@@ -1,0 +1,133 @@
+// Ablation 1 — which repair mechanism does the work?
+//
+// Dynamo-style stores layer three redundant convergence mechanisms:
+// hinted handoff (proactive, write-time), read repair (reactive, on the
+// read path), and anti-entropy (background, catches everything else).
+// DESIGN.md calls for an ablation: knock each out and measure how a
+// replica that missed 50 writes (crashed) regains them.
+//
+// Metric: after the replica restarts, (a) how long until it converges,
+// (b) how many of 100 subsequent R=1 reads would have been stale.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "replication/anti_entropy.h"
+#include "replication/quorum_store.h"
+
+using namespace evc;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+struct AblationResult {
+  double converge_ms = -1;  // restart -> all preference lists converged
+  int stale_window_reads = 0;
+};
+
+AblationResult Run(bool hints, bool read_repair, bool anti_entropy,
+                   uint64_t seed) {
+  sim::Simulator sim(seed);
+  sim::Network net(&sim, std::make_unique<sim::UniformLatency>(
+                             2 * kMillisecond, 15 * kMillisecond));
+  sim::Rpc rpc(&net);
+  repl::QuorumConfig config;
+  config.replication_factor = 3;
+  config.read_quorum = 1;
+  config.write_quorum = 1;
+  config.sloppy = hints;  // sloppy quorums are what generate hints
+  config.read_repair = read_repair;
+  repl::DynamoCluster cluster(&rpc, config);
+  auto servers = cluster.AddServers(5);
+  const sim::NodeId client = net.AddNode();
+
+  std::vector<ReplicaStorage*> storages;
+  for (const auto s : servers) storages.push_back(cluster.storage(s));
+  repl::AntiEntropyOptions ae_options;
+  ae_options.interval = 250 * kMillisecond;
+  repl::AntiEntropy ae(&net, servers, storages, ae_options);
+  if (anti_entropy) ae.Start();
+  if (hints) cluster.StartHintDelivery(250 * kMillisecond);
+
+  // The victim replica serves key "hot" and crashes before the writes.
+  const auto pref = cluster.PreferenceList("hot");
+  const sim::NodeId victim = pref[1];
+  net.SetNodeUp(victim, false);
+
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    // Find a live coordinator.
+    sim::NodeId coordinator = pref[0];
+    cluster.Put(client, coordinator, "hot", "v" + std::to_string(i), {},
+                [&](Result<Version> r) {
+                  if (r.ok()) ++completed;
+                });
+    sim.RunFor(300 * kMillisecond);
+  }
+
+  net.SetNodeUp(victim, true);
+  const sim::Time restart_at = sim.Now();
+
+  // Issue periodic reads (they drive read repair when enabled) and watch
+  // for convergence.
+  AblationResult result;
+  int reads_done = 0;
+  while (sim.Now() < restart_at + 60 * kSecond) {
+    if (reads_done < 100) {
+      ++reads_done;
+      // Ground truth staleness of the victim before this read.
+      const bool victim_stale = !cluster.ReplicasConverged("hot");
+      if (victim_stale) ++result.stale_window_reads;
+      cluster.Get(client, pref[0], "hot", [](Result<repl::ReadResult>) {});
+    }
+    sim.RunFor(100 * kMillisecond);
+    if (cluster.ReplicasConverged("hot")) {
+      result.converge_ms =
+          static_cast<double>(sim.Now() - restart_at) / kMillisecond;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation 1: repair mechanisms for a replica that missed 50 "
+      "writes ===\n\n");
+  std::printf("%-10s %-12s %-14s | %-16s %-18s\n", "hints", "read-repair",
+              "anti-entropy", "converge (ms)", "stale-window reads");
+  std::printf("--------------------------------------------+---------------"
+              "---------------------\n");
+  struct Config {
+    bool hints, repair, ae;
+  };
+  const Config configs[] = {
+      {false, false, false}, {true, false, false}, {false, true, false},
+      {false, false, true},  {true, true, true},
+  };
+  uint64_t seed = 91;
+  for (const Config& c : configs) {
+    const AblationResult r = Run(c.hints, c.repair, c.ae, seed++);
+    char converge[32];
+    if (r.converge_ms < 0) {
+      std::snprintf(converge, sizeof(converge), "never (>60s)");
+    } else {
+      std::snprintf(converge, sizeof(converge), "%.0f", r.converge_ms);
+    }
+    std::printf("%-10s %-12s %-14s | %-16s %-18d\n",
+                c.hints ? "on" : "off", c.repair ? "on" : "off",
+                c.ae ? "on" : "off", converge, r.stale_window_reads);
+  }
+  std::printf(
+      "\nExpected shape: with everything off the replica never converges\n"
+      "(nothing re-sends the missed writes). Hints alone fix it quickly\n"
+      "(handoff replays buffered writes on restart). Read repair alone\n"
+      "fixes it only when reads happen to touch the stale replica within\n"
+      "the first R repliers. Anti-entropy alone fixes it within a few\n"
+      "gossip rounds. All three together converge fastest.\n");
+  return 0;
+}

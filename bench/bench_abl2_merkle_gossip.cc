@@ -1,0 +1,124 @@
+// Ablation 2 — anti-entropy design knobs: Merkle depth and push vs
+// push-pull gossip.
+//
+// (a) Merkle tree depth trades digest-exchange volume against key-transfer
+//     precision: too shallow and every sync ships whole buckets of clean
+//     keys; too deep and the digest list itself dominates. The sweet spot
+//     depends on database size.
+// (b) Push-pull gossip converges roughly twice as fast as push-only for
+//     the same round budget (rumors travel both directions per pairing).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "replication/anti_entropy.h"
+#include "sim/rpc.h"
+
+using namespace evc;
+using repl::AntiEntropy;
+using repl::AntiEntropyOptions;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+LamportTimestamp Ts(uint64_t c, uint32_t node = 0) {
+  return LamportTimestamp{c, node};
+}
+
+void MerkleDepthSweep() {
+  std::printf("--- (a) Merkle depth sweep: 50k-key DB, 50 dirty keys ---\n");
+  std::printf("%-8s %-18s %-14s %-16s\n", "depth", "digests compared",
+              "keys shipped", "cost proxy (sum)");
+  std::printf("--------------------------------------------------------\n");
+  for (int depth : {6, 8, 10, 12, 14, 16}) {
+    sim::Simulator sim(7);
+    sim::Network net(&sim,
+                     std::make_unique<sim::ConstantLatency>(kMillisecond));
+    std::vector<sim::NodeId> nodes = {net.AddNode(), net.AddNode()};
+    ReplicaStorageOptions options;
+    options.durable = false;
+    options.merkle_depth = depth;
+    ReplicaStorage a(0, options), b(1, options);
+    for (int k = 0; k < 50000; ++k) {
+      const std::string key = "key" + std::to_string(k);
+      a.Put(key, "v", {}, Ts(k + 1));
+      b.MergeRemote(key, a.GetRaw(key));
+    }
+    for (int k = 0; k < 50; ++k) {
+      a.Put("dirty" + std::to_string(k), "v", {}, Ts(100000 + k));
+    }
+    AntiEntropy ae(&net, nodes, {&a, &b}, AntiEntropyOptions{});
+    ae.SyncPair(0, 1);
+    EVC_CHECK(ae.Converged());
+    const auto& s = ae.stats();
+    std::printf("%-8d %-18llu %-14llu %-16llu\n", depth,
+                static_cast<unsigned long long>(s.digests_shipped),
+                static_cast<unsigned long long>(s.keys_shipped),
+                static_cast<unsigned long long>(s.digests_shipped +
+                                                s.keys_shipped * 8));
+  }
+}
+
+double MeasureConvergence(bool push_pull, int replicas, uint64_t seed) {
+  sim::Simulator sim(seed);
+  sim::Network net(&sim, std::make_unique<sim::UniformLatency>(
+                             kMillisecond, 10 * kMillisecond));
+  std::vector<sim::NodeId> nodes;
+  std::vector<std::unique_ptr<ReplicaStorage>> storages;
+  std::vector<ReplicaStorage*> raw;
+  ReplicaStorageOptions options;
+  options.durable = false;
+  for (int i = 0; i < replicas; ++i) {
+    nodes.push_back(net.AddNode());
+    storages.push_back(std::make_unique<ReplicaStorage>(
+        static_cast<uint32_t>(i), options));
+    raw.push_back(storages.back().get());
+  }
+  AntiEntropyOptions ae_options;
+  ae_options.interval = 100 * kMillisecond;
+  ae_options.push_pull = push_pull;
+  AntiEntropy ae(&net, nodes, raw, ae_options);
+  for (int k = 0; k < 50; ++k) {
+    storages[0]->Put("key" + std::to_string(k), "v", {}, Ts(k + 1));
+  }
+  ae.Start();
+  while (sim.Now() < 300 * kSecond) {
+    sim.RunFor(20 * kMillisecond);
+    if (ae.Converged()) return static_cast<double>(sim.Now()) / kSecond;
+  }
+  return -1;
+}
+
+void PushPullSweep() {
+  std::printf("\n--- (b) push vs push-pull gossip (median of 7 seeds) ---\n");
+  std::printf("%-10s %-14s %-14s\n", "replicas", "push-only (s)",
+              "push-pull (s)");
+  std::printf("--------------------------------------\n");
+  for (int replicas : {8, 16, 32, 64}) {
+    std::vector<double> push, pp;
+    for (uint64_t seed = 1; seed <= 7; ++seed) {
+      push.push_back(MeasureConvergence(false, replicas, seed));
+      pp.push_back(MeasureConvergence(true, replicas, seed * 100));
+    }
+    std::sort(push.begin(), push.end());
+    std::sort(pp.begin(), pp.end());
+    std::printf("%-10d %-14.2f %-14.2f\n", replicas, push[3], pp[3]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 2: anti-entropy design knobs ===\n\n");
+  MerkleDepthSweep();
+  PushPullSweep();
+  std::printf(
+      "\nExpected shape: (a) shallow trees ship few digests but many clean\n"
+      "keys; deep trees the reverse; the combined proxy bottoms out at a\n"
+      "moderate depth. (b) push-pull beats push-only at every cluster\n"
+      "size, by roughly 1.5-2x.\n");
+  return 0;
+}

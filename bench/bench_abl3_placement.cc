@@ -1,0 +1,102 @@
+// Ablation 3 — key placement: modulo walk vs consistent hashing w/ vnodes.
+//
+// The tutorial's partitioning discussion motivates Dynamo's consistent-hash
+// ring: (a) load balance across servers, tunable by virtual-node count, and
+// (b) minimal key movement when membership changes (modulo placement
+// remaps nearly everything).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "replication/hash_ring.h"
+
+using namespace evc;
+using repl::HashRing;
+
+namespace {
+
+// Primary ownership imbalance: hottest server's share / fair share.
+double Imbalance(const std::map<sim::NodeId, int>& owned, int keys,
+                 int servers) {
+  int max_owned = 0;
+  for (const auto& [node, count] : owned) {
+    max_owned = std::max(max_owned, count);
+  }
+  return static_cast<double>(max_owned) / (static_cast<double>(keys) / servers);
+}
+
+void BalanceSweep() {
+  std::printf("--- (a) primary-load imbalance, 8 servers, 50k keys ---\n");
+  std::printf("%-16s %-12s\n", "placement", "max/fair");
+  std::printf("------------------------------\n");
+  const int keys = 50000;
+  const int servers = 8;
+  // Modulo placement is perfectly balanced by construction over a uniform
+  // keyspace — its problem is remapping, shown in (b).
+  {
+    std::map<sim::NodeId, int> owned;
+    for (int i = 0; i < keys; ++i) {
+      owned[Fnv1a64("key" + std::to_string(i)) % servers]++;
+    }
+    std::printf("%-16s %-12.3f\n", "modulo", Imbalance(owned, keys, servers));
+  }
+  for (int vnodes : {1, 4, 16, 64, 256}) {
+    HashRing ring(vnodes);
+    for (sim::NodeId n = 0; n < servers; ++n) ring.AddServer(n);
+    std::map<sim::NodeId, int> owned;
+    for (int i = 0; i < keys; ++i) {
+      owned[ring.PrimaryFor("key" + std::to_string(i))]++;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "ring vnodes=%d", vnodes);
+    std::printf("%-16s %-12.3f\n", label, Imbalance(owned, keys, servers));
+  }
+}
+
+void RemapSweep() {
+  std::printf("\n--- (b) keys remapped when adding server #9 (50k keys) ---\n");
+  std::printf("%-16s %-14s\n", "placement", "moved");
+  std::printf("------------------------------\n");
+  const int keys = 50000;
+  {
+    int moved = 0;
+    for (int i = 0; i < keys; ++i) {
+      const uint64_t h = Fnv1a64("key" + std::to_string(i));
+      if (h % 8 != h % 9) ++moved;
+    }
+    std::printf("%-16s %6d (%.1f%%)\n", "modulo", moved, 100.0 * moved / keys);
+  }
+  {
+    HashRing ring(64);
+    for (sim::NodeId n = 0; n < 8; ++n) ring.AddServer(n);
+    std::vector<sim::NodeId> before(keys);
+    for (int i = 0; i < keys; ++i) {
+      before[i] = ring.PrimaryFor("key" + std::to_string(i));
+    }
+    ring.AddServer(8);
+    int moved = 0;
+    for (int i = 0; i < keys; ++i) {
+      if (ring.PrimaryFor("key" + std::to_string(i)) != before[i]) ++moved;
+    }
+    std::printf("%-16s %6d (%.1f%%)\n", "ring vnodes=64", moved,
+                100.0 * moved / keys);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 3: key placement schemes ===\n\n");
+  BalanceSweep();
+  RemapSweep();
+  std::printf(
+      "\nExpected shape: (a) 1 vnode leaves some server ~2-3x overloaded;\n"
+      "imbalance falls toward 1.0 as vnodes grow (modulo is balanced by\n"
+      "construction). (b) modulo remaps ~8/9 of all keys when a server\n"
+      "joins; the ring moves only ~1/9 — the reason Dynamo-style systems\n"
+      "can scale elastically without mass data migration.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Fig. 3 — Anti-entropy: epidemic convergence and Merkle sync cost.
+//
+// Claims (tutorial):
+//   (a) gossip spreads an update epidemically — convergence time grows
+//       ~logarithmically with cluster size and shrinks with fanout;
+//   (b) Merkle-tree sync moves work proportional to the *divergence*
+//       between replicas, not the database size.
+//
+// Output: (a) virtual time to full convergence for cluster sizes 4..64 and
+// fanouts 1..3; (b) digests/keys shipped to reconcile d dirty keys out of a
+// 20k-key database.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "replication/anti_entropy.h"
+#include "sim/rpc.h"
+
+using namespace evc;
+using repl::AntiEntropy;
+using repl::AntiEntropyOptions;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+LamportTimestamp Ts(uint64_t c, uint32_t node = 0) {
+  return LamportTimestamp{c, node};
+}
+
+sim::Time MeasureConvergence(int replicas, int fanout, uint64_t seed) {
+  sim::Simulator sim(seed);
+  sim::Network net(&sim, std::make_unique<sim::UniformLatency>(
+                             kMillisecond, 10 * kMillisecond));
+  std::vector<sim::NodeId> nodes;
+  std::vector<std::unique_ptr<ReplicaStorage>> storages;
+  std::vector<ReplicaStorage*> raw;
+  ReplicaStorageOptions storage_options;
+  storage_options.durable = false;
+  for (int i = 0; i < replicas; ++i) {
+    nodes.push_back(net.AddNode());
+    storages.push_back(std::make_unique<ReplicaStorage>(
+        static_cast<uint32_t>(i), storage_options));
+    raw.push_back(storages.back().get());
+  }
+  AntiEntropyOptions options;
+  options.interval = 100 * kMillisecond;
+  options.fanout = fanout;
+  AntiEntropy ae(&net, nodes, raw, options);
+  // Seed 100 fresh keys at replica 0 ("rumor source").
+  for (int k = 0; k < 100; ++k) {
+    storages[0]->Put("key" + std::to_string(k), "v", {}, Ts(k + 1));
+  }
+  ae.Start();
+  // Poll for convergence.
+  const sim::Time poll = 10 * kMillisecond;
+  while (sim.Now() < 120 * kSecond) {
+    sim.RunFor(poll);
+    if (ae.Converged()) return sim.Now();
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 3a: gossip convergence time vs cluster size ===\n");
+  std::printf("(100 keys seeded at one replica; round interval 100 ms;\n");
+  std::printf(" median of 5 seeds, virtual seconds to all-equal roots)\n\n");
+  std::printf("%-10s", "replicas");
+  for (int fanout : {1, 2, 3}) std::printf("  fanout=%d", fanout);
+  std::printf("\n----------------------------------------\n");
+  for (int replicas : {4, 8, 16, 32, 64}) {
+    std::printf("%-10d", replicas);
+    for (int fanout : {1, 2, 3}) {
+      std::vector<sim::Time> times;
+      for (uint64_t seed = 1; seed <= 5; ++seed) {
+        times.push_back(MeasureConvergence(replicas, fanout, seed));
+      }
+      std::sort(times.begin(), times.end());
+      std::printf("  %7.2fs",
+                  static_cast<double>(times[2]) / kSecond);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Fig. 3b: Merkle sync cost vs divergence ===\n");
+  std::printf("(two replicas sharing 20000 keys, d extra keys on one side,\n");
+  std::printf(" depth-14 Merkle tree: cost of one interactive sync)\n\n");
+  std::printf("%-12s %-16s %-14s %-12s\n", "dirty keys", "digests compared",
+              "keys shipped", "of 20000+d");
+  std::printf("------------------------------------------------------\n");
+  for (int dirty : {1, 10, 100, 1000, 5000}) {
+    sim::Simulator sim(7);
+    sim::Network net(&sim, std::make_unique<sim::ConstantLatency>(
+                               kMillisecond));
+    std::vector<sim::NodeId> nodes = {net.AddNode(), net.AddNode()};
+    ReplicaStorageOptions storage_options;
+    storage_options.durable = false;
+    storage_options.merkle_depth = 14;
+    ReplicaStorage a(0, storage_options), b(1, storage_options);
+    for (int k = 0; k < 20000; ++k) {
+      const std::string key = "key" + std::to_string(k);
+      a.Put(key, "v", {}, Ts(k + 1));
+      b.MergeRemote(key, a.GetRaw(key));
+    }
+    for (int k = 0; k < dirty; ++k) {
+      a.Put("dirty" + std::to_string(k), "v", {}, Ts(100000 + k));
+    }
+    AntiEntropy ae(&net, nodes, {&a, &b}, AntiEntropyOptions{});
+    ae.SyncPair(0, 1);
+    EVC_CHECK(ae.Converged());
+    std::printf("%-12d %-16llu %-14llu %.4f\n", dirty,
+                static_cast<unsigned long long>(ae.stats().digests_shipped),
+                static_cast<unsigned long long>(ae.stats().keys_shipped),
+                static_cast<double>(ae.stats().keys_shipped) /
+                    (20000.0 + dirty));
+  }
+  std::printf(
+      "\nExpected shape: (a) time grows roughly with log(replicas) and\n"
+      "drops as fanout rises; (b) keys shipped tracks the divergence d\n"
+      "(plus same-bucket collateral), a tiny fraction of the database.\n");
+  return 0;
+}

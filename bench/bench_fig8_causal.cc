@@ -1,0 +1,202 @@
+// Fig. 8 — Causal consistency: local latency, bounded dep-wait.
+//
+// Claims (tutorial, after COPS): causal+ gives anomaly-free reads at
+// essentially eventual-consistency latency — clients commit locally — and
+// the cost shows up only as *dependency wait* at remote datacenters: a
+// write that overtakes its causal parent on a faster/luckier WAN path is
+// buffered (never shown early). We measure:
+//   (a) client write latency (always local, chain-depth independent);
+//   (b) time from the last write of a reply chain until the whole chain is
+//       visible at every datacenter (bounded by ~one WAN delay);
+//   (c) how often replication overtakes causality on a jittery WAN and how
+//       long the dependency check buffers those writes.
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "causal/causal_store.h"
+#include "common/stats.h"
+
+using namespace evc;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+struct Harness {
+  explicit Harness(uint64_t seed, double jitter = 0.05) : sim(seed) {
+    auto latency = std::make_unique<sim::WanMatrixLatency>(
+        sim::WanMatrixLatency::ThreeRegionBaseUs(), jitter);
+    wan = latency.get();
+    net = std::make_unique<sim::Network>(&sim, std::move(latency));
+    rpc = std::make_unique<sim::Rpc>(net.get());
+    cluster = std::make_unique<causal::CausalCluster>(rpc.get(),
+                                                      causal::CausalOptions{});
+    dcs = cluster->AddDatacenters(3);
+    for (int i = 0; i < 3; ++i) wan->AssignNode(dcs[i], i);
+    for (int i = 0; i < 3; ++i) {
+      const sim::NodeId node = net->AddNode();
+      wan->AssignNode(node, i);
+      clients.emplace_back(cluster.get(), node, dcs[i]);
+    }
+  }
+
+  // Runs the simulation until `flag` turns true (completion-driven).
+  void StepUntil(const bool& flag) {
+    while (!flag && sim.Step()) {
+    }
+    EVC_CHECK(flag);
+  }
+
+  sim::Simulator sim;
+  sim::WanMatrixLatency* wan = nullptr;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<sim::Rpc> rpc;
+  std::unique_ptr<causal::CausalCluster> cluster;
+  std::vector<sim::NodeId> dcs;
+  std::vector<causal::CausalClient> clients;
+};
+
+struct ChainResult {
+  double mean_write_ms = 0;
+  double chain_visible_ms = 0;  // last local commit -> chain fully visible
+};
+
+ChainResult RunChain(int depth, uint64_t seed) {
+  Harness h(seed);
+  OnlineStats write_latency;
+  sim::Time last_commit = 0;
+  for (int d = 0; d < depth; ++d) {
+    causal::CausalClient& author = h.clients[d % 3];
+    if (d > 0) {
+      // Read the parent first (establishes the dependency); it may not
+      // have replicated to this DC yet, so poll like a refreshing user.
+      const std::string parent = "msg" + std::to_string(d - 1);
+      bool found = false;
+      while (!found) {
+        bool replied = false;
+        author.Get(parent, [&](Result<causal::CausalRead> r) {
+          replied = true;
+          found = r.ok() && r->found;
+        });
+        h.StepUntil(replied);
+        if (!found) h.sim.RunFor(10 * kMillisecond);
+      }
+    }
+    const sim::Time start = h.sim.Now();
+    bool committed = false;
+    author.Put("msg" + std::to_string(d), "reply " + std::to_string(d),
+               [&](Result<causal::WriteId> r) {
+                 EVC_CHECK(r.ok());
+                 committed = true;
+               });
+    h.StepUntil(committed);
+    write_latency.Add(static_cast<double>(h.sim.Now() - start));
+    last_commit = h.sim.Now();
+  }
+
+  // Poll at 1 ms until the deepest message is visible at every DC.
+  const std::string last_key = "msg" + std::to_string(depth - 1);
+  sim::Time visible_at = -1;
+  while (h.sim.Now() < last_commit + 300 * kSecond) {
+    bool everywhere = true;
+    for (const sim::NodeId dc : h.dcs) {
+      everywhere &= h.cluster->LocalRead(dc, last_key).found;
+    }
+    if (everywhere) {
+      visible_at = h.sim.Now();
+      break;
+    }
+    h.sim.RunFor(kMillisecond);
+  }
+  EVC_CHECK(visible_at >= 0);
+
+  ChainResult result;
+  result.mean_write_ms = write_latency.mean() / kMillisecond;
+  result.chain_visible_ms =
+      static_cast<double>(visible_at - last_commit) / kMillisecond;
+  return result;
+}
+
+// Overtaking study: EU posts, US-East replies immediately; Asia receives
+// both over a jittery WAN, so the reply often arrives first and must wait.
+void RunOvertakingStudy(int trials, double jitter) {
+  Harness h(1234, jitter);
+  int violations = 0;
+  for (int t = 0; t < trials; ++t) {
+    const std::string photo = "photo" + std::to_string(t);
+    const std::string comment = "comment" + std::to_string(t);
+    bool committed = false;
+    h.clients[1].Put(photo, "img", [&](Result<causal::WriteId> r) {
+      EVC_CHECK(r.ok());
+      committed = true;
+    });
+    h.StepUntil(committed);
+    // US-East reads the photo as soon as it lands there, then comments.
+    bool found = false;
+    while (!found) {
+      bool replied = false;
+      h.clients[0].Get(photo, [&](Result<causal::CausalRead> r) {
+        replied = true;
+        found = r.ok() && r->found;
+      });
+      h.StepUntil(replied);
+      if (!found) h.sim.RunFor(5 * kMillisecond);
+    }
+    bool commented = false;
+    h.clients[0].Put(comment, "nice!", [&](Result<causal::WriteId> r) {
+      EVC_CHECK(r.ok());
+      commented = true;
+    });
+    h.StepUntil(commented);
+    // Watch Asia until both are visible; any comment-without-photo instant
+    // is a causality violation (there must be none).
+    for (;;) {
+      const bool p = h.cluster->LocalRead(h.dcs[2], photo).found;
+      const bool c = h.cluster->LocalRead(h.dcs[2], comment).found;
+      if (c && !p) ++violations;
+      if (p && c) break;
+      h.sim.RunFor(kMillisecond);
+    }
+  }
+  const auto& stats = h.cluster->stats();
+  std::printf(
+      "  jitter=%.2f: %d trials, %llu writes deferred by the dep check "
+      "(mean wait %.1f ms), causality violations: %d\n",
+      jitter, trials,
+      static_cast<unsigned long long>(stats.remote_deferred),
+      stats.dep_wait_us.count() ? stats.dep_wait_us.mean() / kMillisecond
+                                : 0.0,
+      violations);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 8: causal+ comment threads across 3 DCs ===\n\n");
+  std::printf("%-8s %-18s %-22s\n", "depth", "write mean (ms)",
+              "chain visible (ms)");
+  std::printf("------------------------------------------------\n");
+  for (int depth : {1, 2, 4, 8, 16}) {
+    const ChainResult r = RunChain(depth, 40 + static_cast<uint64_t>(depth));
+    std::printf("%-8d %-18.2f %-22.1f\n", depth, r.mean_write_ms,
+                r.chain_visible_ms);
+  }
+
+  std::printf(
+      "\n--- overtaking on a jittery WAN (EU posts, US comments, Asia "
+      "watches) ---\n");
+  for (double jitter : {0.05, 0.50, 1.00}) {
+    RunOvertakingStudy(100, jitter);
+  }
+
+  std::printf(
+      "\nExpected shape: writes commit at local latency (<1 ms) at every\n"
+      "depth; the whole chain becomes visible within ~one WAN delay of the\n"
+      "last write (earlier links replicated while the thread grew). As WAN\n"
+      "jitter grows, more replies overtake their parents and get buffered\n"
+      "(deferred > 0, dep-wait tens of ms) — yet violations stay at zero.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Table 2 — Escrow vs naive replicated counter under contention.
+//
+// Claim (tutorial, after O'Neil): a replicated counter maintained by local
+// check-then-decrement oversells under concurrency (the classic flash-sale
+// bug); escrow reservations keep the invariant with almost entirely local
+// work, coordinating only to rebalance shares.
+//
+// Setup: 4 replicas, stock of 500 units, B concurrent buyers each grabbing
+// one unit, all in flight simultaneously. Sweep B.
+
+#include <cstdio>
+#include <memory>
+
+#include "txn/escrow.h"
+
+using namespace evc;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+struct Outcome {
+  int ok = 0;
+  int aborted = 0;
+  int64_t oversold = 0;
+  uint64_t transfers = 0;
+};
+
+Outcome RunEscrow(int buyers, uint64_t seed) {
+  sim::Simulator sim(seed);
+  sim::Network net(&sim, std::make_unique<sim::UniformLatency>(
+                             5 * kMillisecond, 50 * kMillisecond));
+  sim::Rpc rpc(&net);
+  txn::EscrowCluster escrow(&rpc, 4, 500);
+  const sim::NodeId client = net.AddNode();
+  Rng rng(seed);
+  Outcome out;
+  for (int b = 0; b < buyers; ++b) {
+    // Skewed routing (60% of buyers hit replica 0): the hot replica's
+    // share drains first and escrow must rebalance from its peers.
+    const int replica = rng.NextBool(0.6) ? 0 : 1 + b % 3;
+    escrow.Acquire(client, replica, 1, [&](Result<int64_t> r) {
+      r.ok() ? ++out.ok : ++out.aborted;
+    });
+  }
+  sim.RunFor(120 * kSecond);
+  out.oversold = escrow.total_acquired() > 500
+                     ? escrow.total_acquired() - 500
+                     : 0;
+  out.transfers = escrow.stats().transfers;
+  return out;
+}
+
+Outcome RunNaive(int buyers, uint64_t seed) {
+  sim::Simulator sim(seed);
+  sim::Network net(&sim, std::make_unique<sim::UniformLatency>(
+                             5 * kMillisecond, 50 * kMillisecond));
+  sim::Rpc rpc(&net);
+  txn::NaiveCounterCluster naive(&rpc, 4, 500);
+  const sim::NodeId client = net.AddNode();
+  Outcome out;
+  for (int b = 0; b < buyers; ++b) {
+    naive.Acquire(client, b % 4, 1, [&](Result<int64_t> r) {
+      r.ok() ? ++out.ok : ++out.aborted;
+    });
+  }
+  sim.RunFor(120 * kSecond);
+  out.oversold = naive.Oversold();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Table 2: selling 500 units from 4 replicas, B concurrent "
+      "buyers ===\n\n");
+  std::printf("%-8s | %-28s | %-28s\n", "", "naive counter", "escrow");
+  std::printf("%-8s | %-8s %-8s %-10s | %-8s %-8s %-10s\n", "buyers", "sold",
+              "aborted", "OVERSOLD", "sold", "aborted", "transfers");
+  std::printf("---------+------------------------------+------------------"
+              "-----------\n");
+  for (int buyers : {100, 400, 600, 1000, 2000}) {
+    const Outcome naive = RunNaive(buyers, 17 + buyers);
+    const Outcome escrow = RunEscrow(buyers, 23 + buyers);
+    std::printf("%-8d | %-8d %-8d %-10lld | %-8d %-8d %-10llu\n", buyers,
+                naive.ok, naive.aborted,
+                static_cast<long long>(naive.oversold), escrow.ok,
+                escrow.aborted,
+                static_cast<unsigned long long>(escrow.transfers));
+    EVC_CHECK(escrow.oversold == 0);
+  }
+  std::printf(
+      "\nExpected shape: once buyers exceed the stock, the naive counter\n"
+      "oversells (sold > 500) — more so at higher concurrency, because all\n"
+      "4 replicas sell against stale caches. Escrow never exceeds 500;\n"
+      "its only coordination is the handful of share transfers.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Table 3 — Consistency SLAs (Pileus): utility adapts to client placement.
+//
+// Claim (tutorial, after Terry et al.): with a (latency, consistency,
+// utility) SLA, the client library delivers the best consistency each
+// client's position affords: near the primary it serves strong reads at
+// full utility; far away it degrades to bounded-staleness or eventual
+// reads instead of failing or stalling. Mean delivered utility per client
+// placement is the reproduced table.
+//
+// Setup: primary in US-East, secondary in Asia; clients in US-East, EU,
+// Asia; writer keeps the key warm; 50 SLA reads per client.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "sla/pileus.h"
+
+using namespace evc;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+sla::Sla StandardSla() {
+  return sla::Sla{
+      {50 * kMillisecond, sla::ReadConsistency::kStrong, 0, 1.0},
+      {120 * kMillisecond, sla::ReadConsistency::kBounded,
+       800 * kMillisecond, 0.6},
+      {kSecond, sla::ReadConsistency::kEventual, 0, 0.2},
+  };
+}
+
+struct PlacementResult {
+  double mean_utility = 0;
+  double mean_latency_ms = 0;
+  uint64_t row0 = 0, row1 = 0, row2 = 0, row_none = 0;
+};
+
+PlacementResult RunPlacement(int client_dc, uint64_t seed) {
+  sim::Simulator sim(seed);
+  auto latency = std::make_unique<sim::WanMatrixLatency>(
+      sim::WanMatrixLatency::ThreeRegionBaseUs());
+  auto* wan = latency.get();
+  sim::Network net(&sim, std::move(latency));
+  sim::Rpc rpc(&net);
+  sla::PileusOptions options;
+  options.sync_interval = 200 * kMillisecond;
+  sla::PileusCluster cluster(&rpc, options);
+  const sim::NodeId primary = cluster.AddPrimary();
+  wan->AssignNode(primary, 0);  // US-East
+  const sim::NodeId secondary = cluster.AddSecondary();
+  wan->AssignNode(secondary, 2);  // Asia
+  cluster.Start();
+
+  const sim::NodeId writer = net.AddNode();
+  wan->AssignNode(writer, 0);
+  const sim::NodeId client_node = net.AddNode();
+  wan->AssignNode(client_node, client_dc);
+  sla::PileusClient client(&cluster, &sim, client_node, StandardSla());
+
+  // Warm the key and the client's monitors.
+  bool ok = false;
+  cluster.Put(writer, "item", "v0", [&](Result<uint64_t> r) { ok = r.ok(); });
+  sim.RunFor(2 * kSecond);
+  EVC_CHECK(ok);
+  bool probed = false;
+  client.Probe("item", [&] { probed = true; });
+  sim.RunFor(2 * kSecond);
+  EVC_CHECK(probed);
+
+  PlacementResult result;
+  OnlineStats latency_stats;
+  for (int i = 0; i < 50; ++i) {
+    // Keep the data warm: a write every other read, so staleness at the
+    // secondary reflects the sync interval.
+    if (i % 2 == 0) {
+      cluster.Put(writer, "item", "v" + std::to_string(i),
+                  [](Result<uint64_t>) {});
+    }
+    bool done = false;
+    client.Get("item", [&](Result<sla::SlaReadResult> r) {
+      done = true;
+      if (!r.ok()) return;
+      latency_stats.Add(static_cast<double>(r->observed_latency));
+      switch (r->delivered_row) {
+        case 0: ++result.row0; break;
+        case 1: ++result.row1; break;
+        case 2: ++result.row2; break;
+        default: ++result.row_none; break;
+      }
+    });
+    sim.RunFor(2 * kSecond);
+    EVC_CHECK(done);
+  }
+  result.mean_utility = client.stats().delivered_utility.mean();
+  result.mean_latency_ms = latency_stats.mean() / kMillisecond;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Table 3: Pileus SLA — delivered utility by client placement ===\n"
+      "SLA: [strong@50ms -> 1.0 | bounded(800ms)@120ms -> 0.6 | "
+      "eventual@1s -> 0.2]\n"
+      "primary: US-East; secondary: Asia\n\n");
+  std::printf("%-10s %-14s %-14s %-24s\n", "client", "mean utility",
+              "mean lat ms", "reads/row (strong|bnd|ev|miss)");
+  std::printf("----------------------------------------------------------"
+              "------\n");
+  const char* names[] = {"US-East", "EU", "Asia"};
+  for (int dc = 0; dc < 3; ++dc) {
+    const PlacementResult r = RunPlacement(dc, 71 + static_cast<uint64_t>(dc));
+    std::printf("%-10s %-14.3f %-14.1f %llu | %llu | %llu | %llu\n",
+                names[dc], r.mean_utility, r.mean_latency_ms,
+                static_cast<unsigned long long>(r.row0),
+                static_cast<unsigned long long>(r.row1),
+                static_cast<unsigned long long>(r.row2),
+                static_cast<unsigned long long>(r.row_none));
+  }
+  std::printf(
+      "\nExpected shape: the US-East client earns ~1.0 (strong row, local\n"
+      "primary); the Asia client earns ~0.2-0.6 from its local secondary\n"
+      "(bounded when fresh enough, else eventual) — far better than the 0\n"
+      "a fixed strong-only policy would deliver within its latency bound;\n"
+      "the EU client lands in between, picking whichever side wins.\n");
+  return 0;
+}

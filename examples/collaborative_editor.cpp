@@ -1,0 +1,70 @@
+// Collaborative text editing with the RGA sequence CRDT.
+//
+// Two editors type into the same document while disconnected; their edits
+// merge without coordination and both replicas converge to the identical
+// text — insertions keep their intended position, deletions stick.
+//
+//   $ ./examples/collaborative_editor
+
+#include <cstdio>
+#include <string>
+
+#include "crdt/rga.h"
+
+using evc::crdt::kRgaHead;
+using evc::crdt::Rga;
+using evc::crdt::RgaId;
+
+namespace {
+
+RgaId TypeWord(Rga* doc, RgaId after, const std::string& word) {
+  RgaId last = after;
+  for (char c : word) {
+    last = doc->InsertAfter(last, std::string(1, c));
+  }
+  return last;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Collaborative editing with RGA (replicated growable array)\n\n");
+
+  Rga alice(0), bob(1);
+
+  // Alice drafts the shared sentence while online.
+  RgaId cursor = TypeWord(&alice, kRgaHead, "eventual consistency is ");
+  bob.MergeFrom(alice);
+  std::printf("shared draft:   \"%s\"\n\n", alice.Text().c_str());
+
+  // --- offline: both keep editing ----------------------------------------
+  // Alice finishes the sentence her way.
+  TypeWord(&alice, cursor, "weak");
+  // Bob finishes it his way at the same position...
+  RgaId bob_last = TypeWord(&bob, cursor, "a spectrum");
+  // ...and also fixes the beginning: capitalize the 'e'.
+  auto first = bob.IdAt(0);
+  if (first.ok()) {
+    bob.Erase(*first);
+    bob.InsertAfter(kRgaHead, "E");
+  }
+  (void)bob_last;
+
+  std::printf("alice offline:  \"%s\"\n", alice.Text().c_str());
+  std::printf("bob offline:    \"%s\"\n\n", bob.Text().c_str());
+
+  // --- reconnect: exchange operation logs ---------------------------------
+  alice.MergeFrom(bob);
+  bob.MergeFrom(alice);
+
+  std::printf("alice merged:   \"%s\"\n", alice.Text().c_str());
+  std::printf("bob merged:     \"%s\"\n", bob.Text().c_str());
+  std::printf("\nconverged: %s (live chars: %zu, tombstones kept: %zu)\n",
+              alice.Text() == bob.Text() ? "yes" : "NO — bug!",
+              alice.live_size(), alice.node_count() - alice.live_size());
+  std::printf(
+      "\nBoth endings appear (concurrent inserts at one position are\n"
+      "ordered deterministically), Bob's capitalization won at the head,\n"
+      "and no coordination service was involved.\n");
+  return alice.Text() == bob.Text() ? 0 : 1;
+}

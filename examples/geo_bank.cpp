@@ -1,0 +1,94 @@
+// RedBlue consistency on a geo-replicated bank account.
+//
+// Deposits commute (blue): they execute in the local datacenter at local
+// latency. Withdrawals can break balance >= 0, so they are red: serialized
+// through a global sequencer at WAN latency. Mislabel a withdrawal blue and
+// two sites can double-spend — this example shows all three behaviours.
+//
+//   $ ./examples/geo_bank
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "txn/redblue.h"
+
+using namespace evc;
+using sim::kMillisecond;
+using sim::kSecond;
+
+int main() {
+  std::printf("RedBlue banking across 3 datacenters\n\n");
+
+  sim::Simulator sim(13);
+  auto latency = std::make_unique<sim::WanMatrixLatency>(
+      sim::WanMatrixLatency::ThreeRegionBaseUs());
+  auto* wan = latency.get();
+  sim::Network net(&sim, std::move(latency));
+  sim::Rpc rpc(&net);
+  txn::RedBlueBank bank(&rpc, 3);
+  std::vector<sim::NodeId> clients;
+  for (int i = 0; i < 3; ++i) {
+    wan->AssignNode(bank.site_node(i), i);
+    clients.push_back(net.AddNode());
+    wan->AssignNode(clients.back(), i);
+  }
+
+  auto timed = [&](const char* label, auto issue) {
+    const sim::Time start = sim.Now();
+    sim::Time done_at = -1;
+    Status status;
+    issue([&](Result<int64_t> r) {
+      done_at = sim.Now();
+      status = r.status();
+    });
+    sim.RunFor(5 * kSecond);
+    std::printf("  %-34s %8.1f ms   %s\n", label,
+                static_cast<double>(done_at - start) / kMillisecond,
+                status.ok() ? "ok" : status.ToString().c_str());
+  };
+
+  std::printf("operation                            latency      outcome\n");
+  std::printf("-----------------------------------  -----------  -------\n");
+  timed("deposit $100 (blue, from Asia)", [&](auto cb) {
+    bank.Deposit(clients[2], 2, "acct", 100, cb);
+  });
+  sim.RunFor(kSecond);  // shadow ops replicate
+  timed("withdraw $60 (red, from Asia)", [&](auto cb) {
+    bank.WithdrawRed(clients[2], 2, "acct", 60, cb);
+  });
+  timed("withdraw $60 again (red, Asia)", [&](auto cb) {
+    bank.WithdrawRed(clients[2], 2, "acct", 60, cb);
+  });
+  sim.RunFor(kSecond);
+  std::printf("\nbalance everywhere: $%lld $%lld $%lld (converged: %s)\n",
+              static_cast<long long>(bank.BalanceAt(0, "acct")),
+              static_cast<long long>(bank.BalanceAt(1, "acct")),
+              static_cast<long long>(bank.BalanceAt(2, "acct")),
+              bank.Converged("acct") ? "yes" : "no");
+
+  // Now the mislabelled version: withdraw as a blue op from two sites at
+  // once against a fresh account holding $100.
+  std::printf("\n--- mislabelling withdraw as blue ---\n");
+  bool seeded = false;
+  bank.Deposit(clients[0], 0, "acct2", 100,
+               [&](Result<int64_t> r) { seeded = r.ok(); });
+  sim.RunFor(2 * kSecond);
+  (void)seeded;
+  Status w1, w2;
+  bank.WithdrawBlue(clients[1], 1, "acct2", 80,
+                    [&](Result<int64_t> r) { w1 = r.status(); });
+  bank.WithdrawBlue(clients[2], 2, "acct2", 80,
+                    [&](Result<int64_t> r) { w2 = r.status(); });
+  sim.RunFor(3 * kSecond);
+  std::printf("both blue withdrawals accepted: %s / %s\n",
+              w1.ToString().c_str(), w2.ToString().c_str());
+  std::printf("final balance: $%lld  (invariant violations recorded: %llu)\n",
+              static_cast<long long>(bank.BalanceAt(0, "acct2")),
+              static_cast<unsigned long long>(
+                  bank.stats().invariant_violations));
+  std::printf(
+      "\nBlue ops buy local latency; red ops buy the invariant. Label by\n"
+      "commutativity + invariant-safety, or the bank goes negative.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// The Dynamo shopping cart, three ways.
+//
+// The tutorial's signature anecdote: a shopper's cart is updated from two
+// devices during a network partition between datacenters. What happens to
+// the cart depends entirely on the conflict-handling policy:
+//   1. last-writer-wins      -> one device's items silently vanish;
+//   2. multi-value siblings  -> both versions survive; the app merges;
+//   3. OR-Set CRDT           -> the cart merges itself, removals respected.
+//
+//   $ ./examples/shopping_cart
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "crdt/orset.h"
+#include "replication/quorum_store.h"
+
+using namespace evc;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+void PrintCart(const char* label, const std::vector<std::string>& items) {
+  std::printf("  %-28s [", label);
+  for (size_t i = 0; i < items.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", items[i].c_str());
+  }
+  std::printf("]\n");
+}
+
+// Runs the two-device partition scenario against a DynamoCluster configured
+// with the given conflict policy; returns the final sibling values.
+std::vector<std::vector<std::string>> RunPartitionScenario(
+    ConflictPolicy policy) {
+  sim::Simulator sim(7);
+  sim::Network net(&sim,
+                   std::make_unique<sim::ConstantLatency>(5 * kMillisecond));
+  sim::Rpc rpc(&net);
+  repl::QuorumConfig config;
+  config.replication_factor = 2;
+  config.read_quorum = 1;
+  config.write_quorum = 1;
+  config.sloppy = false;
+  config.storage.store.conflict_policy = policy;
+  repl::DynamoCluster cluster(&rpc, config);
+  auto servers = cluster.AddServers(2);
+  const sim::NodeId phone = net.AddNode();
+  const sim::NodeId laptop = net.AddNode();
+
+  auto put = [&](sim::NodeId client, sim::NodeId coordinator,
+                 const std::string& value, const VersionVector& ctx) {
+    bool done = false;
+    cluster.Put(client, coordinator, "cart", value, ctx,
+                [&](Result<Version> r) { done = r.ok(); });
+    sim.RunFor(kSecond);
+    return done;
+  };
+
+  // Both devices read the shared cart (initially "bread").
+  put(phone, servers[0], "bread", {});
+  sim.RunFor(kSecond);
+
+  repl::ReadResult initial;
+  cluster.Get(phone, servers[0], "cart", [&](Result<repl::ReadResult> r) {
+    if (r.ok()) initial = *r;
+  });
+  sim.RunFor(kSecond);
+
+  // Partition: each device reaches only its side's server.
+  net.Partition({{servers[0], phone}, {servers[1], laptop}});
+  put(phone, servers[0], "bread,milk", initial.context);
+  put(laptop, servers[1], "bread,eggs", initial.context);
+
+  // Heal, let anti-entropy-equivalent (read repair via R=2) reconcile.
+  net.Heal();
+  sim.RunFor(kSecond);
+  repl::ReadResult merged;
+  repl::QuorumConfig read_all = config;
+  (void)read_all;
+  // Read with the full quorum view by asking the coordinator directly.
+  cluster.Get(phone, servers[0], "cart", [&](Result<repl::ReadResult> r) {
+    if (r.ok()) merged = *r;
+  });
+  sim.RunFor(kSecond);
+  // Second read after repair propagates.
+  cluster.Get(phone, servers[0], "cart", [&](Result<repl::ReadResult> r) {
+    if (r.ok()) merged = *r;
+  });
+  sim.RunFor(kSecond);
+
+  std::vector<std::vector<std::string>> out;
+  for (const auto& v : merged.versions) {
+    out.push_back({v.value});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("The partitioned shopping cart (Dynamo anecdote)\n");
+  std::printf("phone adds milk, laptop adds eggs, during a partition\n\n");
+
+  std::printf("1) last-writer-wins:\n");
+  auto lww = RunPartitionScenario(ConflictPolicy::kLastWriterWins);
+  for (const auto& v : lww) PrintCart("surviving cart:", v);
+  std::printf("   -> one device's update was silently discarded.\n\n");
+
+  std::printf("2) multi-value siblings:\n");
+  auto siblings = RunPartitionScenario(ConflictPolicy::kSiblings);
+  for (const auto& v : siblings) PrintCart("sibling:", v);
+  std::printf(
+      "   -> both updates survive as siblings; the app must merge them.\n\n");
+
+  std::printf("3) OR-Set CRDT (the cart merges itself):\n");
+  {
+    crdt::OrSwot phone_cart(0), laptop_cart(1);
+    phone_cart.Add("bread");
+    laptop_cart.Merge(phone_cart);  // both devices synced before partition
+
+    // During the partition:
+    phone_cart.Add("milk");
+    phone_cart.Remove("bread");  // phone also removed bread!
+    laptop_cart.Add("eggs");
+
+    // After healing:
+    phone_cart.Merge(laptop_cart);
+    laptop_cart.Merge(phone_cart);
+    PrintCart("phone after merge:", phone_cart.Elements());
+    PrintCart("laptop after merge:", laptop_cart.Elements());
+    std::printf(
+        "   -> adds from both sides kept, the observed remove of 'bread'\n"
+        "      honored, no coordination, both replicas identical: %s\n",
+        phone_cart == laptop_cart ? "yes" : "NO (bug!)");
+  }
+  return 0;
+}

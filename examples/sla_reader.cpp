@@ -1,0 +1,105 @@
+// Consistency SLAs in action (Pileus-style).
+//
+// One application, three users on three continents, one SLA: "strong
+// within 50 ms is worth 1.0; bounded-staleness within 120 ms is worth 0.6;
+// anything eventual within a second is worth 0.2". The client library
+// routes each read to whichever replica maximizes expected utility given
+// the user's measured network position — no per-deployment tuning.
+//
+//   $ ./examples/sla_reader
+
+#include <cstdio>
+#include <memory>
+
+#include "common/stats.h"
+#include "sla/pileus.h"
+
+using namespace evc;
+using sim::kMillisecond;
+using sim::kSecond;
+
+int main() {
+  std::printf("Pileus-style consistency SLAs: one policy, three continents\n\n");
+
+  sim::Simulator sim(17);
+  auto latency = std::make_unique<sim::WanMatrixLatency>(
+      sim::WanMatrixLatency::ThreeRegionBaseUs());
+  auto* wan = latency.get();
+  sim::Network net(&sim, std::move(latency));
+  sim::Rpc rpc(&net);
+  sla::PileusCluster cluster(&rpc, sla::PileusOptions{});
+  const sim::NodeId primary = cluster.AddPrimary();
+  wan->AssignNode(primary, 0);  // US-East
+  const sim::NodeId secondary = cluster.AddSecondary();
+  wan->AssignNode(secondary, 2);  // Asia
+  cluster.Start();
+
+  // A writer near the primary keeps the item fresh.
+  const sim::NodeId writer = net.AddNode();
+  wan->AssignNode(writer, 0);
+  bool seeded = false;
+  cluster.Put(writer, "item:42", "price=10",
+              [&](Result<uint64_t> r) { seeded = r.ok(); });
+  sim.RunFor(2 * kSecond);
+  if (!seeded) return 1;
+
+  const sla::Sla policy{
+      {50 * kMillisecond, sla::ReadConsistency::kStrong, 0, 1.0},
+      {120 * kMillisecond, sla::ReadConsistency::kBounded,
+       800 * kMillisecond, 0.6},
+      {kSecond, sla::ReadConsistency::kEventual, 0, 0.2},
+  };
+
+  const char* regions[] = {"US-East", "EU", "Asia"};
+  std::printf("%-10s %-14s %-14s %-40s\n", "user", "mean utility",
+              "mean latency", "how the library served them");
+  std::printf("---------------------------------------------------------"
+              "---------------\n");
+  for (int dc = 0; dc < 3; ++dc) {
+    const sim::NodeId user = net.AddNode();
+    wan->AssignNode(user, dc);
+    sla::PileusClient client(&cluster, &sim, user, policy);
+    bool probed = false;
+    client.Probe("item:42", [&] { probed = true; });
+    sim.RunFor(2 * kSecond);
+    if (!probed) return 1;
+
+    OnlineStats latency_stats;
+    for (int i = 0; i < 20; ++i) {
+      if (i % 2 == 0) {
+        cluster.Put(writer, "item:42", "price=" + std::to_string(10 + i),
+                    [](Result<uint64_t>) {});
+      }
+      bool done = false;
+      client.Get("item:42", [&](Result<sla::SlaReadResult> r) {
+        done = true;
+        if (r.ok()) {
+          latency_stats.Add(static_cast<double>(r->observed_latency));
+        }
+      });
+      sim.RunFor(2 * kSecond);
+      if (!done) return 1;
+    }
+    const auto& stats = client.stats();
+    char served[96];
+    std::snprintf(served, sizeof(served),
+                  "strong:%llu bounded:%llu eventual:%llu",
+                  static_cast<unsigned long long>(
+                      stats.reads_per_row.count(0)
+                          ? stats.reads_per_row.at(0) : 0),
+                  static_cast<unsigned long long>(
+                      stats.reads_per_row.count(1)
+                          ? stats.reads_per_row.at(1) : 0),
+                  static_cast<unsigned long long>(
+                      stats.reads_per_row.count(2)
+                          ? stats.reads_per_row.at(2) : 0));
+    std::printf("%-10s %-14.2f %10.1f ms  %-40s\n", regions[dc],
+                stats.delivered_utility.mean(),
+                latency_stats.mean() / kMillisecond, served);
+  }
+  std::printf(
+      "\nSame application code everywhere: the US user gets strong reads,\n"
+      "the Asia user gets bounded-staleness reads from the local\n"
+      "secondary, and nobody had to choose a global consistency level.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Causal consistency for a social timeline (the photo/comment anomaly).
+//
+// Alice removes her boss from an ACL, then posts a photo; or more simply:
+// Alice posts a photo, Bob comments on it. Under plain eventual consistency
+// a remote datacenter can reveal the comment before the photo it refers to.
+// Under the COPS-style causal store that interleaving is impossible: the
+// comment carries its dependency and waits for the photo.
+//
+//   $ ./examples/social_timeline
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "causal/causal_store.h"
+
+using namespace evc;
+using sim::kMillisecond;
+using sim::kSecond;
+
+int main() {
+  std::printf("Causal timeline: no comment before its photo, anywhere\n\n");
+
+  sim::Simulator sim(11);
+  auto latency = std::make_unique<sim::WanMatrixLatency>(
+      sim::WanMatrixLatency::ThreeRegionBaseUs());
+  auto* wan = latency.get();
+  sim::Network net(&sim, std::move(latency));
+  sim::Rpc rpc(&net);
+  causal::CausalCluster cluster(&rpc, causal::CausalOptions{});
+  auto dcs = cluster.AddDatacenters(3);
+  for (int i = 0; i < 3; ++i) wan->AssignNode(dcs[i], i);
+
+  const sim::NodeId alice_node = net.AddNode();
+  wan->AssignNode(alice_node, 0);
+  causal::CausalClient alice(&cluster, alice_node, dcs[0]);
+
+  // Alice (US-East) posts a photo, reads it back, and comments on it —
+  // the comment causally depends on the photo.
+  bool ok = false;
+  alice.Put("photo:42", "sunset.jpg",
+            [&](Result<causal::WriteId> r) { ok = r.ok(); });
+  sim.RunFor(50 * kMillisecond);
+  std::printf("alice posts photo:42 (local commit: %s)\n", ok ? "yes" : "no");
+
+  alice.Get("photo:42", [&](Result<causal::CausalRead> r) { ok = r.ok(); });
+  sim.RunFor(50 * kMillisecond);
+  alice.Put("comment:42.1", "look at this sunset!",
+            [&](Result<causal::WriteId> r) { ok = r.ok(); });
+  sim.RunFor(1 * kMillisecond);
+  std::printf("alice comments on it %lldus later (still replicating)\n\n",
+              static_cast<long long>(sim.Now()));
+
+  // Watch the Asia datacenter (DC 2) at 5 ms granularity while replication
+  // is in flight: the comment must never be visible before the photo.
+  bool violated = false;
+  sim::Time photo_at = -1, comment_at = -1;
+  for (int step = 0; step < 200; ++step) {
+    sim.RunFor(5 * kMillisecond);
+    const bool photo = cluster.LocalRead(dcs[2], "photo:42").found;
+    const bool comment = cluster.LocalRead(dcs[2], "comment:42.1").found;
+    if (photo && photo_at < 0) photo_at = sim.Now();
+    if (comment && comment_at < 0) comment_at = sim.Now();
+    if (comment && !photo) violated = true;
+  }
+  std::printf("asia DC: photo visible at   %8.1f ms\n",
+              static_cast<double>(photo_at) / kMillisecond);
+  std::printf("asia DC: comment visible at %8.1f ms\n",
+              static_cast<double>(comment_at) / kMillisecond);
+  std::printf("comment-before-photo anomaly observed: %s\n",
+              violated ? "YES — causality broken!" : "never");
+
+  const auto& stats = cluster.stats();
+  std::printf(
+      "\nremote applies: %llu immediate, %llu deferred awaiting deps\n",
+      static_cast<unsigned long long>(stats.remote_applied_immediately),
+      static_cast<unsigned long long>(stats.remote_deferred));
+  std::printf(
+      "\nThe dependency check is what distinguishes causal+ from plain\n"
+      "eventual: remote DCs buffer the comment until the photo lands.\n");
+  return violated ? 1 : 0;
+}

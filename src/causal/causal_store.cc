@@ -1,0 +1,352 @@
+#include "causal/causal_store.h"
+
+namespace evc::causal {
+
+namespace {
+constexpr char kPut[] = "cc.put";
+constexpr char kGet[] = "cc.get";
+constexpr char kReplicate[] = "cc.replicate";
+}  // namespace
+
+CausalCluster::CausalCluster(sim::Rpc* rpc, CausalOptions options)
+    : rpc_(rpc), options_(options) {
+  EVC_CHECK(rpc_ != nullptr);
+}
+
+sim::NodeId CausalCluster::AddDatacenter() {
+  auto dc = std::make_unique<Datacenter>();
+  dc->node = rpc_->network()->AddNode();
+  dc->index = static_cast<uint32_t>(dcs_.size());
+  RegisterHandlers(dc.get());
+  by_node_[dc->node] = dc.get();
+  dcs_.push_back(std::move(dc));
+  return dcs_.back()->node;
+}
+
+std::vector<sim::NodeId> CausalCluster::AddDatacenters(int count) {
+  std::vector<sim::NodeId> nodes;
+  for (int i = 0; i < count; ++i) nodes.push_back(AddDatacenter());
+  return nodes;
+}
+
+CausalCluster::Datacenter* CausalCluster::FindDc(sim::NodeId node) {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? nullptr : it->second;
+}
+const CausalCluster::Datacenter* CausalCluster::FindDc(
+    sim::NodeId node) const {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? nullptr : it->second;
+}
+
+bool CausalCluster::DepsSatisfied(const Datacenter& dc,
+                                  const std::vector<Dependency>& deps) const {
+  for (const Dependency& dep : deps) {
+    auto it = dc.data.find(dep.key);
+    if (it == dc.data.end() || it->second.id < dep.id) return false;
+  }
+  return true;
+}
+
+void CausalCluster::ApplyWrite(Datacenter* dc, const ReplicatedWrite& write) {
+  // Lamport clock advance so local writes order after everything applied.
+  if (write.id.lamport > dc->lamport) dc->lamport = write.id.lamport;
+  Record& rec = dc->data[write.key];
+  // Convergent conflict handling: total order on (lamport, dc).
+  if (rec.id < write.id) {
+    rec.value = write.value;
+    rec.id = write.id;
+    rec.deps = write.deps;
+    // Retain in the bounded version history (for get-transactions).
+    auto& hist = dc->history[write.key];
+    hist.push_back(rec);
+    while (hist.size() > kHistoryDepth) hist.pop_front();
+  }
+}
+
+void CausalCluster::DrainPending(Datacenter* dc) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = dc->pending.begin(); it != dc->pending.end(); ++it) {
+      if (!DepsSatisfied(*dc, it->deps)) continue;
+      ReplicatedWrite write = std::move(*it);
+      dc->pending.erase(it);
+      stats_.dep_wait_us.Add(static_cast<double>(
+          rpc_->simulator()->Now() - write.arrived_at));
+      ApplyWrite(dc, write);
+      progress = true;
+      break;  // iterator invalidated; rescan
+    }
+  }
+}
+
+void CausalCluster::RegisterHandlers(Datacenter* dc) {
+  rpc_->RegisterHandler(
+      dc->node, kPut,
+      [this, dc](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto put = std::any_cast<PutReq>(std::move(req));
+        // A local put's dependencies are always satisfied locally: the
+        // client read them from this very datacenter.
+        ++stats_.writes;
+        const WriteId id{++dc->lamport, dc->index};
+        ReplicatedWrite write;
+        write.key = put.key;
+        write.value = std::move(put.value);
+        write.id = id;
+        write.deps = std::move(put.deps);
+        ApplyWrite(dc, write);
+        DrainPending(dc);
+        // Asynchronous geo-replication with dependency metadata.
+        for (auto& peer : dcs_) {
+          if (peer->node == dc->node) continue;
+          rpc_->network()->Send(dc->node, peer->node, kReplicate, write);
+        }
+        respond(std::any{id});
+      });
+
+  rpc_->network()->RegisterHandler(
+      dc->node, kReplicate, [this, dc](sim::Message msg) {
+        auto write = std::any_cast<ReplicatedWrite>(std::move(msg.payload));
+        write.arrived_at = rpc_->simulator()->Now();
+        if (DepsSatisfied(*dc, write.deps)) {
+          ++stats_.remote_applied_immediately;
+          ApplyWrite(dc, write);
+          DrainPending(dc);
+        } else {
+          ++stats_.remote_deferred;
+          dc->pending.push_back(std::move(write));
+        }
+      });
+
+  rpc_->RegisterHandler(
+      dc->node, kGet,
+      [dc](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto get = std::any_cast<GetReq>(std::move(req));
+        CausalRead result;
+        if (!get.min_id.IsNull()) {
+          // GT round 2: the oldest retained version satisfying min_id.
+          auto hist_it = dc->history.find(get.key);
+          if (hist_it != dc->history.end()) {
+            for (const Record& rec : hist_it->second) {
+              if (!(rec.id < get.min_id)) {
+                result.found = true;
+                result.value = rec.value;
+                result.id = rec.id;
+                result.deps = rec.deps;
+                break;
+              }
+            }
+          }
+          respond(std::any{std::move(result)});
+          return;
+        }
+        auto it = dc->data.find(get.key);
+        if (it != dc->data.end()) {
+          result.found = true;
+          result.value = it->second.value;
+          result.id = it->second.id;
+          result.deps = it->second.deps;
+        }
+        respond(std::any{std::move(result)});
+      });
+}
+
+void CausalCluster::Put(sim::NodeId client, sim::NodeId dc,
+                        const std::string& key, std::string value,
+                        std::vector<Dependency> deps, PutCallback done) {
+  PutReq req;
+  req.key = key;
+  req.value = std::move(value);
+  req.deps = std::move(deps);
+  rpc_->Call(client, dc, kPut, std::move(req), options_.rpc_timeout,
+             [done](Result<std::any> r) {
+               if (!r.ok()) {
+                 done(r.status());
+               } else {
+                 done(std::any_cast<WriteId>(std::move(r).value()));
+               }
+             });
+}
+
+void CausalCluster::Get(sim::NodeId client, sim::NodeId dc,
+                        const std::string& key, GetCallback done) {
+  GetReq req{key, WriteId{}};
+  rpc_->Call(client, dc, kGet, std::move(req), options_.rpc_timeout,
+             [done](Result<std::any> r) {
+               if (!r.ok()) {
+                 done(r.status());
+               } else {
+                 done(std::any_cast<CausalRead>(std::move(r).value()));
+               }
+             });
+}
+
+void CausalCluster::GetTransaction(sim::NodeId client, sim::NodeId dc,
+                                   std::vector<std::string> keys,
+                                   GetTransactionCallback done) {
+  struct GtState {
+    std::vector<std::string> keys;
+    std::vector<CausalRead> results;
+    int outstanding = 0;
+    bool failed = false;
+  };
+  auto state = std::make_shared<GtState>();
+  state->keys = std::move(keys);
+  state->results.resize(state->keys.size());
+  state->outstanding = static_cast<int>(state->keys.size());
+  if (state->keys.empty()) {
+    done(std::vector<CausalRead>{});
+    return;
+  }
+
+  auto round2 = [this, client, dc, state, done]() {
+    // Ceiling per requested key: the newest version any returned
+    // dependency names.
+    std::map<std::string, WriteId> required;
+    for (size_t i = 0; i < state->keys.size(); ++i) {
+      required[state->keys[i]] = WriteId{};
+    }
+    for (const CausalRead& r : state->results) {
+      if (!r.found) continue;
+      for (const Dependency& dep : r.deps) {
+        auto it = required.find(dep.key);
+        if (it != required.end() && it->second < dep.id) {
+          it->second = dep.id;
+        }
+      }
+    }
+    struct R2State {
+      int outstanding = 0;
+      bool failed = false;
+    };
+    auto r2 = std::make_shared<R2State>();
+    std::vector<size_t> refetch;
+    for (size_t i = 0; i < state->keys.size(); ++i) {
+      const WriteId need = required[state->keys[i]];
+      if (!need.IsNull() && state->results[i].id < need) {
+        refetch.push_back(i);
+      }
+    }
+    if (refetch.empty()) {
+      done(std::move(state->results));
+      return;
+    }
+    r2->outstanding = static_cast<int>(refetch.size());
+    for (const size_t i : refetch) {
+      GetReq req{state->keys[i], required[state->keys[i]]};
+      rpc_->Call(client, dc, kGet, std::move(req), options_.rpc_timeout,
+                 [state, r2, i, done](Result<std::any> r) {
+                   if (!r.ok()) {
+                     r2->failed = true;
+                   } else {
+                     state->results[i] =
+                         std::any_cast<CausalRead>(std::move(r).value());
+                   }
+                   if (--r2->outstanding == 0) {
+                     if (r2->failed) {
+                       done(Status::Unavailable("get-transaction round 2"));
+                     } else {
+                       done(std::move(state->results));
+                     }
+                   }
+                 });
+    }
+  };
+
+  for (size_t i = 0; i < state->keys.size(); ++i) {
+    GetReq req{state->keys[i], WriteId{}};
+    rpc_->Call(client, dc, kGet, std::move(req), options_.rpc_timeout,
+               [state, i, done, round2](Result<std::any> r) {
+                 if (!r.ok()) {
+                   state->failed = true;
+                 } else {
+                   state->results[i] =
+                       std::any_cast<CausalRead>(std::move(r).value());
+                 }
+                 if (--state->outstanding == 0) {
+                   if (state->failed) {
+                     done(Status::Unavailable("get-transaction round 1"));
+                   } else {
+                     round2();
+                   }
+                 }
+               });
+  }
+}
+
+CausalRead CausalCluster::LocalRead(sim::NodeId dc,
+                                    const std::string& key) const {
+  const Datacenter* d = FindDc(dc);
+  EVC_CHECK(d != nullptr);
+  CausalRead result;
+  auto it = d->data.find(key);
+  if (it != d->data.end()) {
+    result.found = true;
+    result.value = it->second.value;
+    result.id = it->second.id;
+    result.deps = it->second.deps;
+  }
+  return result;
+}
+
+size_t CausalCluster::PendingAt(sim::NodeId dc) const {
+  const Datacenter* d = FindDc(dc);
+  EVC_CHECK(d != nullptr);
+  return d->pending.size();
+}
+
+bool CausalCluster::Converged(const std::string& key) const {
+  WriteId id;
+  bool first = true;
+  for (const auto& dc : dcs_) {
+    auto it = dc->data.find(key);
+    const WriteId here = it == dc->data.end() ? WriteId{} : it->second.id;
+    if (first) {
+      id = here;
+      first = false;
+    } else if (!(here == id)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CausalClient
+// ---------------------------------------------------------------------------
+
+void CausalClient::Put(const std::string& key, std::string value,
+                       CausalCluster::PutCallback done) {
+  std::vector<Dependency> deps;
+  deps.reserve(context_.size());
+  for (const auto& [dep_key, id] : context_) {
+    deps.push_back(Dependency{dep_key, id});
+  }
+  cluster_->Put(client_node_, local_dc_, key, std::move(value),
+                std::move(deps), [this, key, done](Result<WriteId> r) {
+                  if (r.ok()) {
+                    // Nearest-dependency collapse: the new write transitively
+                    // dominates everything in the old context.
+                    context_.clear();
+                    context_[key] = *r;
+                  }
+                  done(std::move(r));
+                });
+}
+
+void CausalClient::Get(const std::string& key,
+                       CausalCluster::GetCallback done) {
+  cluster_->Get(client_node_, local_dc_, key,
+                [this, key, done](Result<CausalRead> r) {
+                  if (r.ok() && r->found) {
+                    auto it = context_.find(key);
+                    if (it == context_.end() || it->second < r->id) {
+                      context_[key] = r->id;
+                    }
+                  }
+                  done(std::move(r));
+                });
+}
+
+}  // namespace evc::causal

@@ -1,0 +1,56 @@
+// Lamport scalar logical clock (Lamport 1978).
+//
+// Provides a total order consistent with happens-before. Used by the
+// last-writer-wins conflict policy (timestamp = (counter, replica-id) to
+// break ties deterministically) and as the op-ordering basis for timeline
+// consistency.
+
+#ifndef EVC_CLOCK_LAMPORT_H_
+#define EVC_CLOCK_LAMPORT_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace evc {
+
+/// A Lamport timestamp: (counter, node) with lexicographic order. The node
+/// component makes the order total across replicas.
+struct LamportTimestamp {
+  uint64_t counter = 0;
+  uint32_t node = 0;
+
+  auto operator<=>(const LamportTimestamp&) const = default;
+
+  std::string ToString() const {
+    return std::to_string(counter) + "@" + std::to_string(node);
+  }
+};
+
+/// Per-process Lamport clock.
+class LamportClock {
+ public:
+  explicit LamportClock(uint32_t node_id) : node_id_(node_id) {}
+
+  /// Advances for a local event (or message send) and returns the new stamp.
+  LamportTimestamp Tick() { return LamportTimestamp{++counter_, node_id_}; }
+
+  /// Folds in a remote timestamp on message receipt, then ticks.
+  LamportTimestamp Observe(const LamportTimestamp& remote) {
+    if (remote.counter > counter_) counter_ = remote.counter;
+    return Tick();
+  }
+
+  /// Current value without advancing.
+  LamportTimestamp Peek() const { return LamportTimestamp{counter_, node_id_}; }
+
+  uint32_t node_id() const { return node_id_; }
+
+ private:
+  uint32_t node_id_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace evc
+
+#endif  // EVC_CLOCK_LAMPORT_H_

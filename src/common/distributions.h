@@ -1,0 +1,104 @@
+// Key-popularity distributions for workload generation (YCSB-style).
+
+#ifndef EVC_COMMON_DISTRIBUTIONS_H_
+#define EVC_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace evc {
+
+/// Draws item indices in [0, item_count) according to some popularity law.
+class KeyDistribution {
+ public:
+  virtual ~KeyDistribution() = default;
+  /// Returns the next sampled item index in [0, item_count()).
+  virtual uint64_t Next(Rng& rng) = 0;
+  /// Number of distinct items this distribution draws from.
+  virtual uint64_t item_count() const = 0;
+};
+
+/// Every item equally likely.
+class UniformDistribution : public KeyDistribution {
+ public:
+  explicit UniformDistribution(uint64_t item_count);
+  uint64_t Next(Rng& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+
+ private:
+  uint64_t item_count_;
+};
+
+/// Zipfian distribution over [0, n) with exponent theta, using the
+/// rejection-inversion-free method of Gray et al. ("Quickly generating
+/// billion-record synthetic databases", SIGMOD '94) as popularized by YCSB.
+/// Item 0 is the most popular.
+class ZipfianDistribution : public KeyDistribution {
+ public:
+  /// `theta` in (0, 1); YCSB default is 0.99. Larger theta = more skew.
+  ZipfianDistribution(uint64_t item_count, double theta = 0.99);
+  uint64_t Next(Rng& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t item_count_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// Zipfian with the popular items scattered across the key space (YCSB's
+/// "scrambled zipfian"): preserves the frequency law while decorrelating
+/// popularity from key order, which matters for range-partitioned stores.
+class ScrambledZipfianDistribution : public KeyDistribution {
+ public:
+  ScrambledZipfianDistribution(uint64_t item_count, double theta = 0.99);
+  uint64_t Next(Rng& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+
+ private:
+  ZipfianDistribution zipf_;
+  uint64_t item_count_;
+};
+
+/// "Latest" distribution: recently inserted items are most popular. The
+/// caller advances `max_item` as inserts happen; draws are Zipfian distances
+/// back from the newest item.
+class LatestDistribution : public KeyDistribution {
+ public:
+  explicit LatestDistribution(uint64_t initial_item_count,
+                              double theta = 0.99);
+  uint64_t Next(Rng& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+  /// Records that a new item was appended; it becomes the most popular.
+  void AdvanceItemCount() { ++item_count_; }
+
+ private:
+  uint64_t item_count_;
+  ZipfianDistribution zipf_;
+};
+
+/// Hotspot distribution: `hot_fraction` of draws hit the first
+/// `hot_set_fraction * n` items uniformly; the rest hit the cold set.
+class HotspotDistribution : public KeyDistribution {
+ public:
+  HotspotDistribution(uint64_t item_count, double hot_set_fraction,
+                      double hot_draw_fraction);
+  uint64_t Next(Rng& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+
+ private:
+  uint64_t item_count_;
+  uint64_t hot_count_;
+  double hot_draw_fraction_;
+};
+
+}  // namespace evc
+
+#endif  // EVC_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,124 @@
+// Binary encoding helpers: little-endian fixed-width integers, LEB128-style
+// varints, and length-prefixed strings, plus streaming Encoder/Decoder
+// wrappers. Used by the WAL, Merkle tree, message serialization, and CRDT
+// state snapshots. Decoding is fully validated: a truncated or malformed
+// buffer yields Status::Corruption, never UB.
+
+#ifndef EVC_COMMON_ENCODING_H_
+#define EVC_COMMON_ENCODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace evc {
+
+/// Appends a 32-bit little-endian integer to `dst`.
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 4);
+}
+
+/// Appends a 64-bit little-endian integer to `dst`.
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 8);
+}
+
+/// Appends an unsigned LEB128 varint.
+inline void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+/// Appends a varint length followed by the raw bytes of `value`.
+inline void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+/// Streaming decoder over a borrowed buffer. All Get* methods return
+/// Corruption on truncation and advance the cursor only on success.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool Done() const { return pos_ == data_.size(); }
+
+  Status GetFixed32(uint32_t* out) {
+    if (remaining() < 4) return Status::Corruption("truncated fixed32");
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(data_[pos_ + i]);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status GetFixed64(uint64_t* out) {
+    if (remaining() < 8) return Status::Corruption("truncated fixed64");
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(data_[pos_ + i]);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status GetVarint64(uint64_t* out) {
+    uint64_t v = 0;
+    int shift = 0;
+    size_t p = pos_;
+    while (p < data_.size() && shift <= 63) {
+      const unsigned char byte = static_cast<unsigned char>(data_[p++]);
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        pos_ = p;
+        *out = v;
+        return Status::OK();
+      }
+      shift += 7;
+    }
+    return Status::Corruption("truncated or overlong varint");
+  }
+
+  Status GetLengthPrefixed(std::string* out) {
+    uint64_t len = 0;
+    const size_t saved = pos_;
+    EVC_RETURN_IF_ERROR(GetVarint64(&len));
+    if (len > remaining()) {
+      pos_ = saved;
+      return Status::Corruption("length-prefixed value truncated");
+    }
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status GetBytes(size_t n, std::string* out) {
+    if (n > remaining()) return Status::Corruption("raw bytes truncated");
+    out->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace evc
+
+#endif  // EVC_COMMON_ENCODING_H_

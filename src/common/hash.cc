@@ -1,0 +1,32 @@
+#include "common/hash.h"
+
+#include <array>
+
+namespace evc {
+namespace {
+
+std::array<uint32_t, 256> BuildCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : (crc >> 1);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrc32cTable();
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char c : data) {
+    crc = kTable[(crc ^ c) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace evc

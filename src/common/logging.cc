@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace evc {
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("EVC_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kOff;
+}
+
+LogLevel g_level = InitialLevel();
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
+             ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), base, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace evc

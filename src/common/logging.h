@@ -1,0 +1,37 @@
+// Minimal leveled logging. Off by default so benchmarks and tests stay
+// quiet; enable with EVC_SET_LOG_LEVEL or the EVC_LOG_LEVEL env var.
+
+#ifndef EVC_COMMON_LOGGING_H_
+#define EVC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace evc {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kOff = -1,
+};
+
+/// Global mutable log level (not thread-safe; set once at startup).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// printf-style log emission; filtered by the global level.
+void LogImpl(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace evc
+
+#define EVC_LOG(level, ...) \
+  ::evc::LogImpl((level), __FILE__, __LINE__, __VA_ARGS__)
+#define EVC_LOG_ERROR(...) EVC_LOG(::evc::LogLevel::kError, __VA_ARGS__)
+#define EVC_LOG_WARN(...) EVC_LOG(::evc::LogLevel::kWarn, __VA_ARGS__)
+#define EVC_LOG_INFO(...) EVC_LOG(::evc::LogLevel::kInfo, __VA_ARGS__)
+#define EVC_LOG_DEBUG(...) EVC_LOG(::evc::LogLevel::kDebug, __VA_ARGS__)
+
+#endif  // EVC_COMMON_LOGGING_H_

@@ -1,0 +1,82 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace evc {
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+// Geometric buckets: bucket i covers [2^(i/16), 2^((i+1)/16)) scaled so that
+// sub-1.0 values land in bucket 0. 512 buckets cover up to ~2^32.
+int Histogram::BucketFor(double value) {
+  if (value < 1.0) return 0;
+  const double l = std::log2(value) * 16.0;
+  int b = static_cast<int>(l) + 1;
+  if (b >= kBucketCount) b = kBucketCount - 1;
+  return b;
+}
+
+double Histogram::BucketLower(int bucket) {
+  if (bucket <= 0) return 0.0;
+  return std::exp2(static_cast<double>(bucket - 1) / 16.0);
+}
+
+double Histogram::BucketUpper(int bucket) {
+  return std::exp2(static_cast<double>(bucket) / 16.0);
+}
+
+void Histogram::Add(double value) {
+  if (value < 0) value = 0;
+  ++buckets_[static_cast<size_t>(BucketFor(value))];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    const uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within the bucket.
+      const double frac =
+          buckets_[i] == 0
+              ? 0.0
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(buckets_[i]);
+      const double lo = BucketLower(i);
+      const double hi = std::min(BucketUpper(i), max_);
+      double v = lo + frac * (hi - lo);
+      return std::clamp(v, min_, max_);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+                static_cast<unsigned long long>(count_), mean(),
+                Percentile(0.50), Percentile(0.95), Percentile(0.99), max());
+  return buf;
+}
+
+}  // namespace evc

@@ -1,0 +1,86 @@
+// Measurement primitives for experiments: streaming mean/variance, and a
+// log-bucketed latency histogram with percentile queries (HdrHistogram-lite).
+
+#ifndef EVC_COMMON_STATS_H_
+#define EVC_COMMON_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evc {
+
+/// Welford streaming mean / variance / min / max.
+class OnlineStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+    sum_ += x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Histogram over non-negative values with geometric buckets: exact counts
+/// for small values, ~2% relative error on percentiles for large ones.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample (negative samples clamp to 0).
+  void Add(double value);
+
+  /// Merges another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double max() const { return max_; }
+  double min() const { return count_ ? min_ : 0.0; }
+
+  /// Value at quantile q in [0,1] (linear interpolation within a bucket).
+  double Percentile(double q) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBucketCount = 512;
+  static int BucketFor(double value);
+  static double BucketLower(int bucket);
+  static double BucketUpper(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace evc
+
+#endif  // EVC_COMMON_STATS_H_

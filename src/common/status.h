@@ -1,0 +1,215 @@
+// Status / Result error-handling primitives for the evc library.
+//
+// The public API of evc never throws across module boundaries: fallible
+// operations return `Status` (or `Result<T>` when they also produce a value),
+// following the Arrow / RocksDB idiom. Logic errors (programming bugs) abort
+// via EVC_CHECK.
+
+#ifndef EVC_COMMON_STATUS_H_
+#define EVC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace evc {
+
+/// Machine-readable classification of an error. Mirrors the subset of the
+/// RocksDB / absl status space that a replicated store actually produces.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,            ///< Key or entity does not exist.
+  kAlreadyExists = 2,       ///< Uniqueness violated (e.g. duplicate register).
+  kInvalidArgument = 3,     ///< Caller passed a malformed argument.
+  kCorruption = 4,          ///< Stored bytes failed validation (CRC, decode).
+  kTimedOut = 5,            ///< Operation deadline elapsed.
+  kUnavailable = 6,         ///< Quorum / leader unreachable; retry may help.
+  kAborted = 7,             ///< Concurrency conflict; caller should retry.
+  kFailedPrecondition = 8,  ///< System state forbids the operation.
+  kOutOfRange = 9,          ///< Index or offset beyond valid range.
+  kNotSupported = 10,       ///< Feature not implemented for this config.
+  kInternal = 11,           ///< Invariant violated inside the library.
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier. Cheap to copy in the OK case (no message
+/// allocation); carries a code + message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status or a value of type T. Modeled after arrow::Result: exactly one of
+/// the two is present; accessing the value of an errored Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (the common success path).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status. Aborts if `status.ok()` — an OK Result must
+  /// carry a value.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::fprintf(stderr, "Result constructed from OK status without value\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace evc
+
+/// Propagates a non-OK Status to the caller.
+#define EVC_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::evc::Status _evc_st = (expr);          \
+    if (!_evc_st.ok()) return _evc_st;       \
+  } while (0)
+
+#define EVC_CONCAT_IMPL(a, b) a##b
+#define EVC_CONCAT(a, b) EVC_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating error status to the caller,
+/// otherwise assigning the value to `lhs`.
+#define EVC_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto EVC_CONCAT(_evc_res_, __LINE__) = (rexpr);               \
+  if (!EVC_CONCAT(_evc_res_, __LINE__).ok())                    \
+    return EVC_CONCAT(_evc_res_, __LINE__).status();            \
+  lhs = std::move(EVC_CONCAT(_evc_res_, __LINE__)).value()
+
+/// Aborts on violated invariants (programming errors), never recoverable.
+#define EVC_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "EVC_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define EVC_CHECK_OK(expr)                                                   \
+  do {                                                                       \
+    ::evc::Status _evc_st = (expr);                                          \
+    if (!_evc_st.ok()) {                                                     \
+      std::fprintf(stderr, "EVC_CHECK_OK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, _evc_st.ToString().c_str());                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // EVC_COMMON_STATUS_H_

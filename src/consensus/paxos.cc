@@ -1,0 +1,677 @@
+#include "consensus/paxos.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/encoding.h"
+#include "common/logging.h"
+
+namespace evc::consensus {
+
+namespace {
+constexpr char kClientProposal[] = "px.client";
+constexpr char kPrepare[] = "px.prepare";
+constexpr char kAccept[] = "px.accept";
+constexpr char kLearn[] = "px.learn";
+constexpr char kHeartbeat[] = "px.heartbeat";
+constexpr char kCatchup[] = "px.catchup";
+}  // namespace
+
+PaxosCluster::PaxosCluster(sim::Rpc* rpc, PaxosOptions options)
+    : rpc_(rpc),
+      options_(options),
+      rng_(rpc->simulator()->rng().Fork(0x9a905)) {
+  EVC_CHECK(rpc_ != nullptr);
+}
+
+PaxosCluster::~PaxosCluster() = default;
+
+sim::NodeId PaxosCluster::AddServer() {
+  EVC_CHECK(!started_);
+  auto server = std::make_unique<Server>();
+  server->node = rpc_->network()->AddNode();
+  server->index = static_cast<uint32_t>(servers_.size());
+  RegisterHandlers(server.get());
+  by_node_[server->node] = server.get();
+  servers_.push_back(std::move(server));
+  return servers_.back()->node;
+}
+
+std::vector<sim::NodeId> PaxosCluster::AddServers(int count) {
+  std::vector<sim::NodeId> nodes;
+  for (int i = 0; i < count; ++i) nodes.push_back(AddServer());
+  return nodes;
+}
+
+PaxosCluster::Server* PaxosCluster::FindServer(sim::NodeId node) {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? nullptr : it->second;
+}
+const PaxosCluster::Server* PaxosCluster::FindServer(sim::NodeId node) const {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? nullptr : it->second;
+}
+
+std::string PaxosCluster::EncodeCommand(const Command& cmd) {
+  std::string out;
+  out.push_back(static_cast<char>(cmd.type));
+  PutLengthPrefixed(&out, cmd.key);
+  PutLengthPrefixed(&out, cmd.value);
+  PutVarint64(&out, cmd.op_id);
+  return out;
+}
+
+Result<Command> PaxosCluster::DecodeCommand(const std::string& bytes) {
+  if (bytes.empty()) return Status::Corruption("empty command");
+  Command cmd;
+  cmd.type = static_cast<Command::Type>(bytes[0]);
+  Decoder dec(std::string_view(bytes).substr(1));
+  EVC_RETURN_IF_ERROR(dec.GetLengthPrefixed(&cmd.key));
+  EVC_RETURN_IF_ERROR(dec.GetLengthPrefixed(&cmd.value));
+  EVC_RETURN_IF_ERROR(dec.GetVarint64(&cmd.op_id));
+  return cmd;
+}
+
+namespace {
+// Contiguous chosen prefix length (first unchosen slot index).
+template <typename SlotMap>
+uint64_t WatermarkOf(const SlotMap& slots) {
+  uint64_t w = 0;
+  auto it = slots.find(w);
+  while (it != slots.end() && it->second.chosen) {
+    ++w;
+    it = slots.find(w);
+  }
+  return w;
+}
+}  // namespace
+
+void PaxosCluster::RegisterHandlers(Server* server) {
+  const sim::NodeId node = server->node;
+
+  rpc_->RegisterHandler(
+      node, kPrepare,
+      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto prepare = std::any_cast<PrepareReq>(std::move(req));
+        PrepareReply reply;
+        if (prepare.ballot > server->promised) {
+          server->promised = prepare.ballot;
+          reply.promised = true;
+          for (const auto& [slot, state] : server->slots) {
+            if (slot < prepare.from_slot) continue;
+            if (state.chosen) {
+              reply.chosen.emplace_back(slot, state.chosen_value);
+            } else if (state.has_accepted) {
+              reply.accepted.emplace_back(slot, state.accepted_ballot,
+                                          state.accepted_value);
+            }
+          }
+        }
+        reply.promised_ballot = server->promised;
+        respond(std::any{std::move(reply)});
+      });
+
+  rpc_->RegisterHandler(
+      node, kAccept,
+      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto accept = std::any_cast<AcceptReq>(std::move(req));
+        AcceptReply reply;
+        if (accept.ballot >= server->promised) {
+          server->promised = accept.ballot;
+          SlotState& state = server->slots[accept.slot];
+          if (!state.chosen) {
+            state.accepted_ballot = accept.ballot;
+            state.accepted_value = accept.value;
+            state.has_accepted = true;
+          }
+          reply.accepted = true;
+        }
+        reply.promised_ballot = server->promised;
+        respond(std::any{reply});
+      });
+
+  rpc_->network()->RegisterHandler(node, kLearn, [this,
+                                                  server](sim::Message msg) {
+    auto learn = std::any_cast<LearnMsg>(std::move(msg.payload));
+    OnChosen(server, learn.slot, learn.value);
+  });
+
+  rpc_->network()->RegisterHandler(
+      node, kHeartbeat, [this, server](sim::Message msg) {
+        auto hb = std::any_cast<HeartbeatMsg>(std::move(msg.payload));
+        if (hb.ballot >= server->leader_ballot) {
+          server->leader_ballot = hb.ballot;
+          server->leader_hint = hb.leader;
+          server->has_leader_hint = true;
+          server->last_heartbeat = rpc_->simulator()->Now();
+          if (server->is_leader && hb.ballot > server->ballot) {
+            StepDown(server, hb.ballot);
+          }
+          // Catch up if the leader has chosen entries we lack.
+          const uint64_t my_watermark = WatermarkOf(server->slots);
+          if (hb.chosen_watermark > my_watermark &&
+              hb.leader != server->node) {
+            ++stats_.catchups;
+            CatchupReq req{my_watermark};
+            rpc_->Call(server->node, hb.leader, kCatchup, req,
+                       4 * options_.rpc_timeout,
+                       [this, server](Result<std::any> r) {
+                         if (!r.ok()) return;
+                         auto reply = std::any_cast<CatchupReply>(
+                             std::move(r).value());
+                         for (const auto& [slot, value] : reply.chosen) {
+                           OnChosen(server, slot, value);
+                         }
+                       });
+          }
+        }
+      });
+
+  rpc_->RegisterHandler(
+      node, kCatchup,
+      [server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto catchup = std::any_cast<CatchupReq>(std::move(req));
+        CatchupReply reply;
+        for (const auto& [slot, state] : server->slots) {
+          if (slot >= catchup.from_slot && state.chosen) {
+            reply.chosen.emplace_back(slot, state.chosen_value);
+          }
+        }
+        respond(std::any{std::move(reply)});
+      });
+
+  rpc_->RegisterHandler(
+      node, kClientProposal,
+      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto cmd = std::any_cast<Command>(std::move(req));
+        if (!server->is_leader) {
+          std::string hint = "not leader";
+          if (server->has_leader_hint) {
+            hint += "; hint=" + std::to_string(server->leader_hint);
+          }
+          respond(Status::FailedPrecondition(hint));
+          return;
+        }
+        auto pending = std::make_shared<PendingProposal>();
+        pending->slot = server->next_slot++;
+        pending->encoded = EncodeCommand(cmd);
+        pending->op_id = cmd.op_id;
+        pending->done = [respond](Result<Execution> r) {
+          if (r.ok()) {
+            respond(std::any{std::move(r).value()});
+          } else {
+            respond(r.status());
+          }
+        };
+        server->in_flight[pending->slot] = pending;
+        // Proposal-level timeout.
+        pending->timeout_event = rpc_->simulator()->ScheduleAfter(
+            options_.proposal_timeout, [this, server, pending] {
+              if (pending->decided) return;
+              pending->decided = true;
+              server->in_flight.erase(pending->slot);
+              ++stats_.proposals_failed;
+              pending->done(Status::TimedOut("proposal timed out"));
+            });
+        ProposeInSlot(server, pending->slot, pending->encoded, pending);
+      });
+}
+
+void PaxosCluster::Start() {
+  started_ = true;
+  sim::Simulator* sim = rpc_->simulator();
+  for (auto& server_ptr : servers_) {
+    Server* server = server_ptr.get();
+    server->last_heartbeat = sim->Now();
+    ScheduleElectionCheck(server);
+  }
+  // Bootstrap: server 0 runs for leadership immediately.
+  sim->ScheduleAfter(1, [this] { StartElection(servers_[0].get()); });
+}
+
+void PaxosCluster::ScheduleElectionCheck(Server* server) {
+  sim::Simulator* sim = rpc_->simulator();
+  const sim::Time jitter = static_cast<sim::Time>(
+      rng_.NextBounded(static_cast<uint64_t>(options_.election_timeout)));
+  sim->ScheduleAfter(options_.election_timeout + jitter, [this, server] {
+    sim::Simulator* sim2 = rpc_->simulator();
+    if (rpc_->network()->IsNodeUp(server->node) && !server->is_leader &&
+        !server->electing &&
+        sim2->Now() - server->last_heartbeat > options_.election_timeout) {
+      StartElection(server);
+    }
+    ScheduleElectionCheck(server);
+  });
+}
+
+void PaxosCluster::StartElection(Server* server) {
+  if (!rpc_->network()->IsNodeUp(server->node)) return;
+  server->electing = true;
+  ++stats_.elections_started;
+  const uint64_t round =
+      std::max({server->promised.round, server->ballot.round,
+                server->leader_ballot.round}) +
+      1;
+  server->ballot = Ballot{round, server->index};
+  const uint64_t from_slot = WatermarkOf(server->slots);
+
+  struct ElectionState {
+    std::vector<PrepareReply> promises;
+    int replies = 0;
+    bool done = false;
+    Ballot ballot;
+  };
+  auto state = std::make_shared<ElectionState>();
+  state->ballot = server->ballot;
+  const int total = static_cast<int>(servers_.size());
+  const int majority = total / 2 + 1;
+
+  PrepareReq req{server->ballot, from_slot};
+  for (auto& peer : servers_) {
+    rpc_->Call(
+        server->node, peer->node, kPrepare, req, options_.rpc_timeout,
+        [this, server, state, majority, total, from_slot](
+            Result<std::any> r) {
+          ++state->replies;
+          if (state->done) return;
+          // A newer election at this server supersedes this one.
+          if (server->ballot != state->ballot) {
+            state->done = true;
+            return;
+          }
+          if (r.ok()) {
+            auto reply = std::any_cast<PrepareReply>(std::move(r).value());
+            if (reply.promised) {
+              state->promises.push_back(std::move(reply));
+            } else if (reply.promised_ballot > server->ballot) {
+              // Lost to a higher ballot: abandon.
+              state->done = true;
+              server->electing = false;
+              return;
+            }
+          }
+          if (static_cast<int>(state->promises.size()) >= majority) {
+            state->done = true;
+            BecomeLeader(server, state->promises, from_slot);
+          } else if (state->replies == total) {
+            state->done = true;
+            server->electing = false;  // retry on next election check
+          }
+        });
+  }
+}
+
+void PaxosCluster::BecomeLeader(Server* server,
+                                const std::vector<PrepareReply>& promises,
+                                uint64_t from_slot) {
+  server->is_leader = true;
+  server->electing = false;
+  server->has_leader_hint = true;
+  server->leader_hint = server->node;
+  server->leader_ballot = server->ballot;
+  ++stats_.leaderships_won;
+
+  // Adopt chosen entries and the highest-ballot accepted value per open slot.
+  std::map<uint64_t, std::pair<Ballot, std::string>> open;
+  uint64_t max_slot_seen = from_slot == 0 ? 0 : from_slot - 1;
+  bool any_slot = from_slot > 0;
+  for (const auto& promise : promises) {
+    for (const auto& [slot, value] : promise.chosen) {
+      OnChosen(server, slot, value);
+      max_slot_seen = std::max(max_slot_seen, slot);
+      any_slot = true;
+    }
+    for (const auto& [slot, ballot, value] : promise.accepted) {
+      auto it = open.find(slot);
+      if (it == open.end() || ballot > it->second.first) {
+        open[slot] = {ballot, value};
+      }
+      max_slot_seen = std::max(max_slot_seen, slot);
+      any_slot = true;
+    }
+  }
+  server->next_slot = any_slot ? max_slot_seen + 1 : from_slot;
+
+  // Re-propose open values; fill holes with no-ops so the log has no gaps.
+  for (uint64_t slot = WatermarkOf(server->slots); slot < server->next_slot;
+       ++slot) {
+    if (server->slots.count(slot) && server->slots[slot].chosen) continue;
+    std::string value;
+    auto it = open.find(slot);
+    if (it != open.end()) {
+      value = it->second.second;
+    } else {
+      Command noop;
+      noop.type = Command::Type::kNoop;
+      value = EncodeCommand(noop);
+    }
+    ProposeInSlot(server, slot, value, nullptr);
+  }
+
+  SendHeartbeats(server);
+}
+
+void PaxosCluster::SendHeartbeats(Server* server) {
+  if (!server->is_leader || !rpc_->network()->IsNodeUp(server->node)) return;
+  HeartbeatMsg hb;
+  hb.ballot = server->ballot;
+  hb.leader = server->node;
+  hb.chosen_watermark = WatermarkOf(server->slots);
+  for (auto& peer : servers_) {
+    if (peer->node == server->node) continue;
+    rpc_->network()->Send(server->node, peer->node, kHeartbeat, hb);
+  }
+  server->last_heartbeat = rpc_->simulator()->Now();
+  rpc_->simulator()->ScheduleAfter(options_.heartbeat_interval,
+                                   [this, server] { SendHeartbeats(server); });
+}
+
+void PaxosCluster::ProposeInSlot(Server* server, uint64_t slot,
+                                 std::string encoded,
+                                 std::shared_ptr<PendingProposal> pending) {
+  // If we have already promised a higher ballot, we are deposed: accepting
+  // our own proposal would break the promise (and Paxos safety).
+  if (server->ballot < server->promised) {
+    StepDown(server, server->promised);  // fails `pending` via in_flight
+    return;
+  }
+  // Leader accepts locally first (it is an acceptor too).
+  SlotState& local = server->slots[slot];
+  if (!local.chosen) {
+    local.accepted_ballot = server->ballot;
+    local.accepted_value = encoded;
+    local.has_accepted = true;
+  }
+  if (server->promised < server->ballot) server->promised = server->ballot;
+
+  struct AcceptState {
+    int acks = 1;  // self
+    int replies = 1;
+    bool done = false;
+  };
+  auto state = std::make_shared<AcceptState>();
+  const int total = static_cast<int>(servers_.size());
+  const int majority = total / 2 + 1;
+  const Ballot ballot = server->ballot;
+
+  if (state->acks >= majority) {
+    state->done = true;
+    OnChosen(server, slot, encoded);
+    return;  // single-node cluster
+  }
+
+  AcceptReq req{ballot, slot, encoded};
+  for (auto& peer : servers_) {
+    if (peer->node == server->node) continue;
+    rpc_->Call(server->node, peer->node, kAccept, req, options_.rpc_timeout,
+               [this, server, state, majority, total, slot, encoded, ballot,
+                pending](Result<std::any> r) {
+                 ++state->replies;
+                 if (state->done) return;
+                 if (r.ok()) {
+                   auto reply =
+                       std::any_cast<AcceptReply>(std::move(r).value());
+                   if (reply.accepted) {
+                     ++state->acks;
+                   } else if (reply.promised_ballot > ballot) {
+                     state->done = true;
+                     StepDown(server, reply.promised_ballot);
+                     return;
+                   }
+                 }
+                 if (state->acks >= majority) {
+                   state->done = true;
+                   OnChosen(server, slot, encoded);
+                   // Spread the decision.
+                   LearnMsg learn{slot, encoded};
+                   for (auto& p : servers_) {
+                     if (p->node != server->node) {
+                       rpc_->network()->Send(server->node, p->node, kLearn,
+                                             learn);
+                     }
+                   }
+                 } else if (state->replies == total) {
+                   state->done = true;
+                   // No majority this round (loss / crashes / partition).
+                   // The slot MUST eventually be decided or it becomes a
+                   // permanent hole blocking application of every later
+                   // slot — the leader re-proposes the same value while it
+                   // remains leader. The client-facing proposal timeout
+                   // fires independently if this drags on.
+                   sim::Simulator* sim = rpc_->simulator();
+                   const Ballot my_ballot = server->ballot;
+                   sim->ScheduleAfter(
+                       100 * sim::kMillisecond,
+                       [this, server, slot, encoded, pending, my_ballot] {
+                         if (!server->is_leader ||
+                             server->ballot != my_ballot) {
+                           return;  // deposed: next leader fills the slot
+                         }
+                         auto it = server->slots.find(slot);
+                         if (it != server->slots.end() && it->second.chosen) {
+                           return;  // a learn already arrived
+                         }
+                         ProposeInSlot(server, slot, encoded, pending);
+                       });
+                 }
+               });
+  }
+}
+
+void PaxosCluster::OnChosen(Server* server, uint64_t slot,
+                            const std::string& value) {
+  SlotState& state = server->slots[slot];
+  if (state.chosen) {
+    // Safety check: a slot can only ever be chosen with one value.
+    EVC_CHECK(state.chosen_value == value);
+    return;
+  }
+  state.chosen = true;
+  state.chosen_value = value;
+  ApplyReady(server);
+}
+
+void PaxosCluster::ApplyReady(Server* server) {
+  for (;;) {
+    auto it = server->slots.find(server->applied_index);
+    if (it == server->slots.end() || !it->second.chosen) break;
+    const uint64_t slot = server->applied_index;
+    auto cmd_or = DecodeCommand(it->second.chosen_value);
+    EVC_CHECK(cmd_or.ok());
+    const Command& cmd = *cmd_or;
+    Execution exec;
+    exec.slot = slot;
+    switch (cmd.type) {
+      case Command::Type::kNoop:
+        break;
+      case Command::Type::kPut:
+        server->kv[cmd.key] = cmd.value;
+        break;
+      case Command::Type::kDelete:
+        server->kv.erase(cmd.key);
+        break;
+      case Command::Type::kGet: {
+        auto kv_it = server->kv.find(cmd.key);
+        if (kv_it != server->kv.end()) {
+          exec.found = true;
+          exec.value = kv_it->second;
+        }
+        break;
+      }
+    }
+    ++stats_.commands_applied;
+    ++server->applied_index;
+    // Complete the client's proposal if this server coordinated it.
+    auto pending_it = server->in_flight.find(slot);
+    if (pending_it != server->in_flight.end()) {
+      auto pending = pending_it->second;
+      server->in_flight.erase(pending_it);
+      if (!pending->decided) {
+        pending->decided = true;
+        rpc_->simulator()->Cancel(pending->timeout_event);
+        if (pending->op_id == cmd.op_id) {
+          ++stats_.proposals_ok;
+          pending->done(exec);
+        } else {
+          // Another leader filled our slot with a different command.
+          ++stats_.proposals_failed;
+          pending->done(Status::Aborted("slot taken by another command"));
+        }
+      }
+    }
+  }
+}
+
+void PaxosCluster::StepDown(Server* server, const Ballot& seen) {
+  if (seen > server->leader_ballot) server->leader_ballot = seen;
+  if (!server->is_leader && !server->electing) return;
+  server->is_leader = false;
+  server->electing = false;
+  // Fail in-flight proposals; clients retry against the new leader.
+  auto in_flight = std::move(server->in_flight);
+  server->in_flight.clear();
+  for (auto& [slot, pending] : in_flight) {
+    if (!pending->decided) {
+      pending->decided = true;
+      rpc_->simulator()->Cancel(pending->timeout_event);
+      ++stats_.proposals_failed;
+      pending->done(Status::Aborted("leadership lost"));
+    }
+  }
+}
+
+void PaxosCluster::Propose(sim::NodeId client, sim::NodeId server,
+                           Command command, ProposeCallback done) {
+  command.op_id = next_op_id_++;
+  rpc_->Call(client, server, kClientProposal, std::move(command),
+             options_.proposal_timeout + 4 * options_.rpc_timeout,
+             [done](Result<std::any> r) {
+               if (!r.ok()) {
+                 done(r.status());
+               } else {
+                 done(std::any_cast<Execution>(std::move(r).value()));
+               }
+             });
+}
+
+std::optional<sim::NodeId> PaxosCluster::CurrentLeader() const {
+  for (const auto& server : servers_) {
+    if (server->is_leader && rpc_->network()->IsNodeUp(server->node)) {
+      return server->node;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> PaxosCluster::ChosenAt(sim::NodeId node,
+                                                  uint64_t slot) const {
+  const Server* server = FindServer(node);
+  EVC_CHECK(server != nullptr);
+  auto it = server->slots.find(slot);
+  if (it == server->slots.end() || !it->second.chosen) return std::nullopt;
+  return it->second.chosen_value;
+}
+
+std::optional<std::string> PaxosCluster::AppliedValue(
+    sim::NodeId node, const std::string& key) const {
+  const Server* server = FindServer(node);
+  EVC_CHECK(server != nullptr);
+  auto it = server->kv.find(key);
+  if (it == server->kv.end()) return std::nullopt;
+  return it->second;
+}
+
+uint64_t PaxosCluster::AppliedIndex(sim::NodeId node) const {
+  const Server* server = FindServer(node);
+  EVC_CHECK(server != nullptr);
+  return server->applied_index;
+}
+
+// ---------------------------------------------------------------------------
+// PaxosKvClient
+// ---------------------------------------------------------------------------
+
+PaxosKvClient::PaxosKvClient(PaxosCluster* cluster, sim::Simulator* sim,
+                             sim::NodeId client_node,
+                             std::vector<sim::NodeId> servers)
+    : cluster_(cluster),
+      sim_(sim),
+      client_node_(client_node),
+      servers_(std::move(servers)) {
+  EVC_CHECK(!servers_.empty());
+}
+
+void PaxosKvClient::Submit(Command cmd, int attempts_left,
+                           std::function<void(Result<Execution>)> done) {
+  if (attempts_left <= 0) {
+    done(Status::Unavailable("paxos retries exhausted"));
+    return;
+  }
+  const sim::NodeId target = servers_[preferred_ % servers_.size()];
+  cluster_->Propose(
+      client_node_, target, cmd,
+      [this, cmd, attempts_left, done](Result<Execution> r) {
+        if (r.ok()) {
+          done(std::move(r));
+          return;
+        }
+        const Status& st = r.status();
+        if (st.IsFailedPrecondition()) {
+          // Follow the leader hint if present, else try the next server.
+          const std::string& msg = st.message();
+          const size_t pos = msg.find("hint=");
+          bool hinted = false;
+          if (pos != std::string::npos) {
+            const sim::NodeId hint = static_cast<sim::NodeId>(
+                std::strtoul(msg.c_str() + pos + 5, nullptr, 10));
+            for (size_t i = 0; i < servers_.size(); ++i) {
+              if (servers_[i] == hint) {
+                preferred_ = i;
+                hinted = true;
+              }
+            }
+          }
+          if (!hinted) preferred_ = (preferred_ + 1) % servers_.size();
+          Submit(cmd, attempts_left - 1, done);
+          return;
+        }
+        // Timeout / abort / unavailable: back off briefly, rotate, retry.
+        preferred_ = (preferred_ + 1) % servers_.size();
+        sim_->ScheduleAfter(100 * sim::kMillisecond,
+                            [this, cmd, attempts_left, done] {
+                              Submit(cmd, attempts_left - 1, done);
+                            });
+      });
+}
+
+void PaxosKvClient::Put(const std::string& key, std::string value,
+                        PutCallback done) {
+  Command cmd;
+  cmd.type = Command::Type::kPut;
+  cmd.key = key;
+  cmd.value = std::move(value);
+  Submit(cmd, 10, [done](Result<Execution> r) {
+    if (r.ok()) {
+      done(r->slot);
+    } else {
+      done(r.status());
+    }
+  });
+}
+
+void PaxosKvClient::Get(const std::string& key, GetCallback done) {
+  Command cmd;
+  cmd.type = Command::Type::kGet;
+  cmd.key = key;
+  Submit(cmd, 10, [done](Result<Execution> r) {
+    if (!r.ok()) {
+      done(r.status());
+    } else if (!r->found) {
+      done(Status::NotFound("key absent at read slot"));
+    } else {
+      done(r->value);
+    }
+  });
+}
+
+}  // namespace evc::consensus

@@ -1,0 +1,253 @@
+// Multi-Paxos replicated log and a linearizable KV state machine on top.
+//
+// This is the strong-consistency baseline of the taxonomy (the
+// Megastore/Spanner family's core): every operation — including reads — is
+// a command agreed on by a majority, applied in slot order at every replica.
+// Properties the tests check:
+//   * safety: no two replicas ever decide different values for a slot, under
+//     message loss, duplication, leader crashes and re-elections;
+//   * liveness (partial synchrony): a majority partition keeps committing;
+//   * the CAP corollary: a minority partition commits nothing (Fig. 7).
+//
+// Structure: each server is acceptor + learner + potential leader. Leaders
+// run Phase 1 (prepare) once over the open slot range, then Phase 2
+// (accept) per command. Heartbeats suppress elections; followers start a
+// randomized-timeout election when the leader goes quiet. Chosen entries
+// propagate via learn messages, with a catch-up path for gaps.
+
+#ifndef EVC_CONSENSUS_PAXOS_H_
+#define EVC_CONSENSUS_PAXOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/rpc.h"
+
+namespace evc::consensus {
+
+/// A Paxos ballot: (round, node) with lexicographic order.
+struct Ballot {
+  uint64_t round = 0;
+  uint32_t node = 0;
+
+  auto operator<=>(const Ballot&) const = default;
+  std::string ToString() const {
+    return std::to_string(round) + "." + std::to_string(node);
+  }
+};
+
+/// A state-machine command. Reads go through the log too, which is the
+/// simplest way to linearizable reads (no leases needed).
+struct Command {
+  enum class Type { kNoop, kPut, kGet, kDelete };
+  Type type = Type::kNoop;
+  std::string key;
+  std::string value;
+  uint64_t op_id = 0;  ///< unique per proposal; used to match callbacks
+};
+
+/// Result of executing a command against the KV state machine.
+struct Execution {
+  uint64_t slot = 0;
+  bool found = false;     ///< kGet: key existed
+  std::string value;      ///< kGet: the value read
+};
+
+struct PaxosOptions {
+  /// Per-phase RPC timeout. Must exceed the worst round trip in the
+  /// deployment (the WAN matrix tops out near 110 ms one-way).
+  sim::Time rpc_timeout = 400 * sim::kMillisecond;
+  sim::Time heartbeat_interval = 50 * sim::kMillisecond;
+  /// Base election timeout; each follower randomizes in [T, 2T).
+  sim::Time election_timeout = 600 * sim::kMillisecond;
+  /// Client-visible proposal timeout.
+  sim::Time proposal_timeout = 2 * sim::kSecond;
+};
+
+struct PaxosStats {
+  uint64_t elections_started = 0;
+  uint64_t leaderships_won = 0;
+  uint64_t proposals_ok = 0;
+  uint64_t proposals_failed = 0;
+  uint64_t commands_applied = 0;
+  uint64_t catchups = 0;
+};
+
+/// A cluster of Paxos servers with a replicated KV state machine.
+class PaxosCluster {
+ public:
+  PaxosCluster(sim::Rpc* rpc, PaxosOptions options);
+  ~PaxosCluster();
+
+  /// Adds a server. Call exactly `n` times before Start().
+  sim::NodeId AddServer();
+  std::vector<sim::NodeId> AddServers(int count);
+
+  /// Starts heartbeat/election timers. Server 0 attempts leadership first.
+  void Start();
+
+  using ProposeCallback = std::function<void(Result<Execution>)>;
+
+  /// Proposes a command via `server`. Fails with FailedPrecondition (+the
+  /// current leader hint in the message) when `server` is not the leader,
+  /// or TimedOut when no progress is possible.
+  void Propose(sim::NodeId client, sim::NodeId server, Command command,
+               ProposeCallback done);
+
+  /// The node currently believing itself leader (0-or-more may transiently
+  /// believe so; the log stays safe regardless). Returns nullopt when none.
+  std::optional<sim::NodeId> CurrentLeader() const;
+
+  /// Chosen value in `slot` at `server` (test hook). Empty if not chosen.
+  std::optional<std::string> ChosenAt(sim::NodeId server, uint64_t slot) const;
+
+  /// Applied state machine: value of `key` at `server` (test hook).
+  std::optional<std::string> AppliedValue(sim::NodeId server,
+                                          const std::string& key) const;
+  /// Number of contiguously applied slots at `server`.
+  uint64_t AppliedIndex(sim::NodeId server) const;
+
+  const PaxosStats& stats() const { return stats_; }
+  size_t server_count() const { return servers_.size(); }
+
+ private:
+  struct SlotState {
+    Ballot accepted_ballot;
+    std::string accepted_value;  // encoded command
+    bool has_accepted = false;
+    bool chosen = false;
+    std::string chosen_value;
+  };
+
+  struct PendingProposal {
+    uint64_t slot = 0;
+    std::string encoded;
+    int accept_acks = 0;
+    int accept_replies = 0;
+    bool decided = false;
+    ProposeCallback done;
+    uint64_t op_id = 0;
+    sim::EventId timeout_event = 0;
+  };
+
+  struct Server {
+    sim::NodeId node = 0;
+    uint32_t index = 0;
+    // Acceptor state.
+    Ballot promised;
+    std::map<uint64_t, SlotState> slots;
+    // Learner / state machine.
+    uint64_t applied_index = 0;  // next slot to apply
+    std::map<std::string, std::string> kv;
+    // Leader state.
+    bool is_leader = false;
+    bool electing = false;
+    Ballot ballot;            // my current ballot when leading/electing
+    uint64_t next_slot = 0;   // next free slot as leader
+    std::map<uint64_t, std::shared_ptr<PendingProposal>> in_flight;
+    // Failure detection.
+    sim::Time last_heartbeat = 0;
+    Ballot leader_ballot;     // highest ballot heard from a leader
+    sim::NodeId leader_hint = 0;
+    bool has_leader_hint = false;
+  };
+
+  // Message payloads.
+  struct PrepareReq {
+    Ballot ballot;
+    uint64_t from_slot = 0;
+  };
+  struct PrepareReply {
+    bool promised = false;
+    Ballot promised_ballot;
+    // Accepted entries at/after from_slot: slot -> (ballot, value).
+    std::vector<std::tuple<uint64_t, Ballot, std::string>> accepted;
+    // Chosen entries the preparer might be missing.
+    std::vector<std::pair<uint64_t, std::string>> chosen;
+  };
+  struct AcceptReq {
+    Ballot ballot;
+    uint64_t slot = 0;
+    std::string value;
+  };
+  struct AcceptReply {
+    bool accepted = false;
+    Ballot promised_ballot;
+  };
+  struct LearnMsg {
+    uint64_t slot = 0;
+    std::string value;
+  };
+  struct HeartbeatMsg {
+    Ballot ballot;
+    sim::NodeId leader = 0;
+    uint64_t chosen_watermark = 0;  // leader's contiguous chosen prefix
+  };
+  struct CatchupReq {
+    uint64_t from_slot = 0;
+  };
+  struct CatchupReply {
+    std::vector<std::pair<uint64_t, std::string>> chosen;
+  };
+
+  Server* FindServer(sim::NodeId node);
+  const Server* FindServer(sim::NodeId node) const;
+  void RegisterHandlers(Server* server);
+  void ScheduleElectionCheck(Server* server);
+  void StartElection(Server* server);
+  void BecomeLeader(Server* server,
+                    const std::vector<PrepareReply>& promises,
+                    uint64_t from_slot);
+  void SendHeartbeats(Server* server);
+  void ProposeInSlot(Server* server, uint64_t slot, std::string encoded,
+                     std::shared_ptr<PendingProposal> pending);
+  void OnChosen(Server* server, uint64_t slot, const std::string& value);
+  void ApplyReady(Server* server);
+  void StepDown(Server* server, const Ballot& seen);
+
+  static std::string EncodeCommand(const Command& cmd);
+  static Result<Command> DecodeCommand(const std::string& bytes);
+
+  sim::Rpc* rpc_;
+  PaxosOptions options_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::map<sim::NodeId, Server*> by_node_;
+  PaxosStats stats_;
+  Rng rng_;
+  uint64_t next_op_id_ = 1;
+  bool started_ = false;
+};
+
+/// Thin client that tracks the leader hint and retries redirected or
+/// timed-out proposals. This is what examples and benches use.
+class PaxosKvClient {
+ public:
+  PaxosKvClient(PaxosCluster* cluster, sim::Simulator* sim,
+                sim::NodeId client_node, std::vector<sim::NodeId> servers);
+
+  using PutCallback = std::function<void(Result<uint64_t>)>;  // slot
+  using GetCallback = std::function<void(Result<std::string>)>;
+
+  void Put(const std::string& key, std::string value, PutCallback done);
+  void Get(const std::string& key, GetCallback done);
+
+ private:
+  void Submit(Command cmd, int attempts_left,
+              std::function<void(Result<Execution>)> done);
+
+  PaxosCluster* cluster_;
+  sim::Simulator* sim_;
+  sim::NodeId client_node_;
+  std::vector<sim::NodeId> servers_;
+  size_t preferred_ = 0;  // index of last known-good server
+  uint64_t next_op_ = 1;
+};
+
+}  // namespace evc::consensus
+
+#endif  // EVC_CONSENSUS_PAXOS_H_

@@ -1,0 +1,83 @@
+#include "crdt/delta_orset.h"
+
+namespace evc::crdt {
+
+DeltaOrSet DeltaOrSet::Add(const std::string& element) {
+  const Dot dot = ctx_.NextDot(replica_id_);
+
+  DeltaOrSet delta;
+  // The delta's context carries the new dot AND the dots it supersedes
+  // (locally observed dots for this element), so receivers drop them too.
+  delta.ctx_.Add(dot);
+  auto it = entries_.find(element);
+  if (it != entries_.end()) {
+    for (const Dot& old : it->second) delta.ctx_.Add(old);
+  }
+  delta.entries_[element] = {dot};
+
+  entries_[element] = {dot};
+  return delta;
+}
+
+DeltaOrSet DeltaOrSet::Remove(const std::string& element) {
+  DeltaOrSet delta;
+  auto it = entries_.find(element);
+  if (it != entries_.end()) {
+    // Context-only delta: "I observed these dots (and removed them)".
+    for (const Dot& dot : it->second) delta.ctx_.Add(dot);
+    entries_.erase(it);
+  }
+  return delta;
+}
+
+std::vector<std::string> DeltaOrSet::Elements() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [element, dots] : entries_) out.push_back(element);
+  return out;
+}
+
+void DeltaOrSet::Merge(const DeltaOrSet& other) {
+  std::map<std::string, std::set<Dot>> merged;
+
+  auto consider = [&](const std::string& element,
+                      const std::set<Dot>* mine,
+                      const std::set<Dot>* theirs) {
+    std::set<Dot> keep;
+    if (mine != nullptr) {
+      for (const Dot& d : *mine) {
+        const bool they_have = theirs != nullptr && theirs->count(d) > 0;
+        if (they_have || !other.ctx_.Contains(d)) keep.insert(d);
+      }
+    }
+    if (theirs != nullptr) {
+      for (const Dot& d : *theirs) {
+        const bool i_have = mine != nullptr && mine->count(d) > 0;
+        if (i_have || !ctx_.Contains(d)) keep.insert(d);
+      }
+    }
+    if (!keep.empty()) merged[element] = std::move(keep);
+  };
+
+  for (const auto& [element, dots] : entries_) {
+    auto it = other.entries_.find(element);
+    consider(element, &dots,
+             it == other.entries_.end() ? nullptr : &it->second);
+  }
+  for (const auto& [element, dots] : other.entries_) {
+    if (entries_.count(element) == 0) consider(element, nullptr, &dots);
+  }
+
+  entries_ = std::move(merged);
+  ctx_.Merge(other.ctx_);
+}
+
+size_t DeltaOrSet::StateBytes() const {
+  size_t bytes = ctx_.StateBytes();
+  for (const auto& [element, dots] : entries_) {
+    bytes += element.size() + dots.size() * 12;
+  }
+  return bytes;
+}
+
+}  // namespace evc::crdt

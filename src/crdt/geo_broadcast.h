@@ -1,0 +1,85 @@
+// Causal broadcast over the simulated network, for op-based CRDT
+// replication between geo-distributed replicas.
+//
+// CausalBus (causal_bus.h) provides the delivery contract in-memory; this
+// component provides it across the simulated WAN: each published op is
+// stamped with the origin's vector clock and broadcast; receivers buffer
+// ops until causally ready. The `causal` switch exists to measure what the
+// contract is worth: with it off, ops apply in arrival order, and an
+// OR-set remove can arrive before the add it observed — the removed
+// element then resurrects on that replica *permanently* (tests and the
+// docs call this the zombie-element anomaly).
+
+#ifndef EVC_CRDT_GEO_BROADCAST_H_
+#define EVC_CRDT_GEO_BROADCAST_H_
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "clock/version_vector.h"
+#include "sim/network.h"
+
+namespace evc::crdt {
+
+struct GeoBroadcastOptions {
+  /// Enforce causal delivery (buffer out-of-order ops). Off = apply in
+  /// arrival order (the broken baseline).
+  bool causal = true;
+};
+
+/// Reliable broadcast among a fixed group of network nodes. Delivery
+/// callbacks receive the op payload (std::any, as elsewhere on the
+/// simulated network) in causal order when enabled.
+class GeoBroadcast {
+ public:
+  GeoBroadcast(sim::Network* network, GeoBroadcastOptions options = {});
+
+  using DeliverFn = std::function<void(uint32_t origin_index, const std::any&)>;
+
+  /// Registers `node` as member number `index` (0-based, dense). All
+  /// members must be added before the first Publish.
+  void AddMember(sim::NodeId node, DeliverFn deliver);
+
+  /// Publishes an op from member `index`: delivers locally at once, then
+  /// broadcasts. Exactly-once per member; causal order per options.
+  void Publish(uint32_t index, std::any op);
+
+  size_t member_count() const { return members_.size(); }
+  /// Ops buffered awaiting causal readiness at member `index`.
+  size_t PendingAt(uint32_t index) const;
+  uint64_t delivered_at(uint32_t index) const {
+    return members_[index].delivered;
+  }
+
+ private:
+  struct StampedOp {
+    uint32_t origin = 0;
+    uint64_t seq = 0;
+    VectorClock deps;
+    std::any op;
+  };
+  struct Member {
+    sim::NodeId node = 0;
+    uint32_t index = 0;
+    VectorClock clock;
+    std::deque<StampedOp> pending;
+    DeliverFn deliver;
+    uint64_t delivered = 0;
+  };
+
+  bool Ready(const Member& member, const StampedOp& op) const;
+  void Receive(Member* member, StampedOp op);
+  void Drain(Member* member);
+
+  sim::Network* network_;
+  GeoBroadcastOptions options_;
+  std::vector<Member> members_;
+};
+
+}  // namespace evc::crdt
+
+#endif  // EVC_CRDT_GEO_BROADCAST_H_

@@ -1,0 +1,90 @@
+// Observed-remove map with last-writer-wins values.
+//
+// Key presence follows OR-set (add-wins) semantics — a concurrent Put
+// survives a Remove — while the value under each key converges by LWW.
+// This is the document/row shape most NoSQL stores expose over CRDTs.
+
+#ifndef EVC_CRDT_ORMAP_H_
+#define EVC_CRDT_ORMAP_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crdt/orset.h"
+#include "crdt/registers.h"
+
+namespace evc::crdt {
+
+/// OR-Map: keys managed by an OrSwot, values by LwwRegister.
+class OrMap {
+ public:
+  explicit OrMap(uint32_t replica_id)
+      : replica_id_(replica_id), keys_(replica_id) {}
+
+  /// Inserts or updates `key`.
+  void Put(const std::string& key, std::string value, LamportTimestamp ts) {
+    keys_.Add(key);
+    values_[key].Set(std::move(value), ts);
+  }
+
+  /// Removes `key` (observed-remove: concurrent Puts survive).
+  void Remove(const std::string& key) { keys_.Remove(key); }
+
+  /// Value if the key is live.
+  std::optional<std::string> Get(const std::string& key) const {
+    if (!keys_.Contains(key)) return std::nullopt;
+    auto it = values_.find(key);
+    if (it == values_.end() || !it->second.has_value()) return std::nullopt;
+    return it->second.value();
+  }
+
+  bool Contains(const std::string& key) const { return keys_.Contains(key); }
+
+  std::vector<std::string> Keys() const { return keys_.Elements(); }
+  size_t size() const { return keys_.size(); }
+
+  void Merge(const OrMap& other) {
+    keys_.Merge(other.keys_);
+    for (const auto& [key, reg] : other.values_) {
+      values_[key].Merge(reg);
+    }
+    // Registers for keys whose presence dots were all removed are retained
+    // as hidden state (they matter if the key is re-added concurrently);
+    // GarbageCollect() trims registers for keys dead on this replica.
+  }
+
+  /// Drops value registers for keys not currently live. Safe only after all
+  /// replicas have exchanged state (same caveat as tombstone GC).
+  size_t GarbageCollect() {
+    size_t removed = 0;
+    for (auto it = values_.begin(); it != values_.end();) {
+      if (!keys_.Contains(it->first)) {
+        it = values_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  bool operator==(const OrMap& other) const {
+    if (!(keys_ == other.keys_)) return false;
+    // Compare only live values: hidden registers may differ by GC timing.
+    for (const auto& key : Keys()) {
+      if (Get(key) != other.Get(key)) return false;
+    }
+    return true;
+  }
+
+ private:
+  uint32_t replica_id_;
+  OrSwot keys_;
+  std::map<std::string, LwwRegister> values_;
+};
+
+}  // namespace evc::crdt
+
+#endif  // EVC_CRDT_ORMAP_H_

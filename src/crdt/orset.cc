@@ -1,0 +1,164 @@
+#include "crdt/orset.h"
+
+namespace evc::crdt {
+
+// ---------------------------------------------------------------------------
+// OrSet (tombstoned)
+// ---------------------------------------------------------------------------
+
+void OrSet::Add(const std::string& element) {
+  live_[element].insert(Dot{replica_id_, ++next_tag_});
+}
+
+void OrSet::Remove(const std::string& element) {
+  auto it = live_.find(element);
+  if (it == live_.end()) return;
+  tombstones_.insert(it->second.begin(), it->second.end());
+  live_.erase(it);
+}
+
+void OrSet::Compact(const std::string& element) {
+  auto it = live_.find(element);
+  if (it == live_.end()) return;
+  for (auto dot_it = it->second.begin(); dot_it != it->second.end();) {
+    if (tombstones_.count(*dot_it)) {
+      dot_it = it->second.erase(dot_it);
+    } else {
+      ++dot_it;
+    }
+  }
+  if (it->second.empty()) live_.erase(it);
+}
+
+bool OrSet::Contains(const std::string& element) const {
+  auto it = live_.find(element);
+  return it != live_.end() && !it->second.empty();
+}
+
+void OrSet::Merge(const OrSet& other) {
+  tombstones_.insert(other.tombstones_.begin(), other.tombstones_.end());
+  for (const auto& [element, dots] : other.live_) {
+    live_[element].insert(dots.begin(), dots.end());
+  }
+  // Apply tombstones to the union.
+  std::vector<std::string> keys;
+  keys.reserve(live_.size());
+  for (const auto& [element, dots] : live_) keys.push_back(element);
+  for (const auto& key : keys) Compact(key);
+  // next_tag_ is per-replica; merging never needs to advance it because tags
+  // are namespaced by replica id.
+}
+
+std::vector<std::string> OrSet::Elements() const {
+  std::vector<std::string> out;
+  out.reserve(live_.size());
+  for (const auto& [element, dots] : live_) {
+    if (!dots.empty()) out.push_back(element);
+  }
+  return out;
+}
+
+size_t OrSet::size() const { return Elements().size(); }
+
+size_t OrSet::live_dot_count() const {
+  size_t n = 0;
+  for (const auto& [element, dots] : live_) n += dots.size();
+  return n;
+}
+
+size_t OrSet::StateBytes() const {
+  size_t bytes = tombstones_.size() * 12;
+  for (const auto& [element, dots] : live_) {
+    bytes += element.size() + dots.size() * 12;
+  }
+  return bytes;
+}
+
+bool OrSet::operator==(const OrSet& other) const {
+  return live_ == other.live_ && tombstones_ == other.tombstones_;
+}
+
+// ---------------------------------------------------------------------------
+// OrSwot (optimized, no tombstones)
+// ---------------------------------------------------------------------------
+
+void OrSwot::Add(const std::string& element) {
+  const uint64_t counter = vv_.Increment(replica_id_);
+  // The fresh dot supersedes all locally observed dots for this element
+  // (they remain covered by vv_, so peers learn they were removed).
+  entries_[element] = {Dot{replica_id_, counter}};
+}
+
+void OrSwot::Remove(const std::string& element) {
+  // Observed dots stay summarized in vv_; dropping the entry encodes the
+  // removal without a tombstone.
+  entries_.erase(element);
+}
+
+bool OrSwot::Contains(const std::string& element) const {
+  return entries_.count(element) > 0;
+}
+
+void OrSwot::Merge(const OrSwot& other) {
+  std::map<std::string, std::set<Dot>> merged;
+
+  // Union of element names present on either side.
+  auto consider = [&](const std::string& element,
+                      const std::set<Dot>* mine_dots,
+                      const std::set<Dot>* their_dots) {
+    std::set<Dot> keep;
+    if (mine_dots != nullptr) {
+      for (const Dot& d : *mine_dots) {
+        // Keep my dot if they also have it, or they have never seen it.
+        const bool they_have =
+            their_dots != nullptr && their_dots->count(d) > 0;
+        const bool they_observed = other.vv_.Get(d.replica) >= d.counter;
+        if (they_have || !they_observed) keep.insert(d);
+      }
+    }
+    if (their_dots != nullptr) {
+      for (const Dot& d : *their_dots) {
+        const bool i_have = mine_dots != nullptr && mine_dots->count(d) > 0;
+        const bool i_observed = vv_.Get(d.replica) >= d.counter;
+        if (i_have || !i_observed) keep.insert(d);
+      }
+    }
+    if (!keep.empty()) merged[element] = std::move(keep);
+  };
+
+  for (const auto& [element, dots] : entries_) {
+    auto it = other.entries_.find(element);
+    consider(element, &dots, it == other.entries_.end() ? nullptr : &it->second);
+  }
+  for (const auto& [element, dots] : other.entries_) {
+    if (entries_.count(element) == 0) {
+      consider(element, nullptr, &dots);
+    }
+  }
+
+  entries_ = std::move(merged);
+  vv_.MergeWith(other.vv_);
+}
+
+std::vector<std::string> OrSwot::Elements() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [element, dots] : entries_) out.push_back(element);
+  return out;
+}
+
+size_t OrSwot::live_dot_count() const {
+  size_t n = 0;
+  for (const auto& [element, dots] : entries_) n += dots.size();
+  return n;
+}
+
+size_t OrSwot::StateBytes() const {
+  size_t bytes = vv_.size() * 12;
+  for (const auto& [element, dots] : entries_) {
+    bytes += element.size() + dots.size() * 12;
+  }
+  return bytes;
+}
+
+}  // namespace evc::crdt

@@ -1,0 +1,94 @@
+// Observed-remove sets: the CRDT behind Dynamo-style shopping carts.
+//
+// Add tags the element with a globally unique dot; Remove deletes exactly
+// the tags it has observed. A concurrent Add therefore survives a Remove
+// (add-wins), which is the semantics the tutorial's shopping-cart anecdote
+// wants: no deleted item resurrects, no concurrent addition is lost.
+//
+// Two implementations with identical observable semantics:
+//   * OrSet      — classic tombstoned version: removed dots accumulate
+//                  forever (state grows with remove traffic).
+//   * OrSwot     — "OR-Set without tombstones" (optimized, Riak-style):
+//                  a version vector summarizes observed dots, so removes
+//                  free state. Fig. 6 measures the state-size difference.
+
+#ifndef EVC_CRDT_ORSET_H_
+#define EVC_CRDT_ORSET_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clock/version_vector.h"
+
+namespace evc::crdt {
+
+/// Classic tombstoned observed-remove set.
+class OrSet {
+ public:
+  explicit OrSet(uint32_t replica_id) : replica_id_(replica_id) {}
+
+  /// Adds `element` with a fresh unique tag.
+  void Add(const std::string& element);
+
+  /// Removes every currently observed tag of `element`. Concurrent adds at
+  /// other replicas (tags we have not seen) survive the merge.
+  void Remove(const std::string& element);
+
+  bool Contains(const std::string& element) const;
+
+  void Merge(const OrSet& other);
+
+  std::vector<std::string> Elements() const;
+  size_t size() const;
+
+  /// Total dots stored, live + tombstoned: the unbounded-growth metric.
+  size_t live_dot_count() const;
+  size_t tombstone_count() const { return tombstones_.size(); }
+  size_t StateBytes() const;
+
+  /// Structural equality (same live dots and tombstones).
+  bool operator==(const OrSet& other) const;
+
+ private:
+  void Compact(const std::string& element);
+
+  uint32_t replica_id_;
+  uint64_t next_tag_ = 0;
+  std::map<std::string, std::set<Dot>> live_;  // element -> observed dots
+  std::set<Dot> tombstones_;                   // removed dots, kept forever
+};
+
+/// Optimized observed-remove set without tombstones (add-wins).
+class OrSwot {
+ public:
+  explicit OrSwot(uint32_t replica_id) : replica_id_(replica_id) {}
+
+  void Add(const std::string& element);
+  void Remove(const std::string& element);
+  bool Contains(const std::string& element) const;
+
+  void Merge(const OrSwot& other);
+
+  std::vector<std::string> Elements() const;
+  size_t size() const { return entries_.size(); }
+  size_t live_dot_count() const;
+  size_t StateBytes() const;
+
+  const VersionVector& context() const { return vv_; }
+
+  /// Structural equality: same causal context and same element dots.
+  bool operator==(const OrSwot& other) const {
+    return vv_ == other.vv_ && entries_ == other.entries_;
+  }
+
+ private:
+  uint32_t replica_id_;
+  VersionVector vv_;  // summarizes every dot this replica has observed
+  std::map<std::string, std::set<Dot>> entries_;
+};
+
+}  // namespace evc::crdt
+
+#endif  // EVC_CRDT_ORSET_H_

@@ -1,0 +1,72 @@
+#include "crdt/registers.h"
+
+#include <algorithm>
+
+namespace evc::crdt {
+
+VersionVector MvRegister::Context() const {
+  VersionVector ctx;
+  for (const auto& e : siblings_) ctx.MergeWith(e.vv);
+  return ctx;
+}
+
+void MvRegister::Set(std::string value, uint32_t replica) {
+  Entry e;
+  e.vv = Context();
+  e.vv.Increment(replica);
+  e.value = std::move(value);
+  siblings_.clear();  // new write dominates everything it observed
+  siblings_.push_back(std::move(e));
+}
+
+void MvRegister::Insert(std::vector<Entry>* entries, const Entry& e) {
+  for (const auto& existing : *entries) {
+    const CausalOrder order = existing.vv.Compare(e.vv);
+    if (order == CausalOrder::kAfter || order == CausalOrder::kEqual) return;
+  }
+  entries->erase(std::remove_if(entries->begin(), entries->end(),
+                                [&e](const Entry& existing) {
+                                  return e.vv.Dominates(existing.vv);
+                                }),
+                 entries->end());
+  entries->push_back(e);
+}
+
+void MvRegister::Merge(const MvRegister& other) {
+  for (const auto& e : other.siblings_) Insert(&siblings_, e);
+}
+
+std::vector<std::string> MvRegister::Values() const {
+  std::vector<std::string> out;
+  out.reserve(siblings_.size());
+  for (const auto& e : siblings_) out.push_back(e.value);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool MvRegister::operator==(const MvRegister& other) const {
+  if (siblings_.size() != other.siblings_.size()) return false;
+  // Compare as sets of (value, vv).
+  for (const auto& e : siblings_) {
+    const bool found = std::any_of(
+        other.siblings_.begin(), other.siblings_.end(), [&e](const Entry& o) {
+          return o.value == e.value &&
+                 o.vv.Compare(e.vv) == CausalOrder::kEqual;
+        });
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string MvRegister::ToString() const {
+  std::string out = "MvRegister{";
+  bool first = true;
+  for (const auto& v : Values()) {
+    if (!first) out += " | ";
+    first = false;
+    out += v;
+  }
+  return out + "}";
+}
+
+}  // namespace evc::crdt

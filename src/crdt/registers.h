@@ -1,0 +1,91 @@
+// Register CRDTs: last-writer-wins and multi-value.
+//
+// LWWRegister resolves concurrent assignments by timestamp (arbitrary but
+// convergent — one write silently loses). MVRegister keeps all concurrent
+// assignments as siblings for the application to reconcile, trading
+// convergence-to-one-value for no-lost-updates. Fig. 5 contrasts the two.
+
+#ifndef EVC_CRDT_REGISTERS_H_
+#define EVC_CRDT_REGISTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "clock/lamport.h"
+#include "clock/version_vector.h"
+
+namespace evc::crdt {
+
+/// Last-writer-wins register. Ties broken by (counter, node) so the order is
+/// total and all replicas pick the same winner.
+class LwwRegister {
+ public:
+  LwwRegister() = default;
+
+  /// Assigns `value` at timestamp `ts`. Stale assignments are ignored.
+  /// Returns true if the assignment took effect locally.
+  bool Set(std::string value, LamportTimestamp ts) {
+    if (has_value_ && !(ts_ < ts)) return false;
+    value_ = std::move(value);
+    ts_ = ts;
+    has_value_ = true;
+    return true;
+  }
+
+  void Merge(const LwwRegister& other) {
+    if (!other.has_value_) return;
+    Set(other.value_, other.ts_);
+  }
+
+  bool has_value() const { return has_value_; }
+  const std::string& value() const { return value_; }
+  LamportTimestamp timestamp() const { return ts_; }
+
+  bool operator==(const LwwRegister& other) const {
+    if (has_value_ != other.has_value_) return false;
+    if (!has_value_) return true;
+    return value_ == other.value_ && ts_ == other.ts_;
+  }
+
+ private:
+  std::string value_;
+  LamportTimestamp ts_{};
+  bool has_value_ = false;
+};
+
+/// Multi-value register: concurrent assignments become siblings.
+class MvRegister {
+ public:
+  MvRegister() = default;
+
+  /// Assigns `value` at `replica`, superseding every sibling currently
+  /// visible (their contexts are absorbed).
+  void Set(std::string value, uint32_t replica);
+
+  /// Current sibling values (more than one iff there were concurrent Sets).
+  std::vector<std::string> Values() const;
+
+  /// Number of concurrent siblings.
+  size_t sibling_count() const { return siblings_.size(); }
+
+  void Merge(const MvRegister& other);
+
+  bool operator==(const MvRegister& other) const;
+
+  std::string ToString() const;
+
+ private:
+  struct Entry {
+    std::string value;
+    VersionVector vv;
+  };
+  /// Observed context = join of all sibling vectors.
+  VersionVector Context() const;
+  static void Insert(std::vector<Entry>* entries, const Entry& e);
+
+  std::vector<Entry> siblings_;
+};
+
+}  // namespace evc::crdt
+
+#endif  // EVC_CRDT_REGISTERS_H_

@@ -1,0 +1,83 @@
+// Simple set CRDTs: grow-only set and two-phase set.
+//
+// GSet supports only Add. TwoPhaseSet adds Remove via a tombstone set, at
+// the cost that a removed element can never be re-added — the limitation
+// that motivates the observed-remove sets in orset.h.
+
+#ifndef EVC_CRDT_SETS_H_
+#define EVC_CRDT_SETS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace evc::crdt {
+
+/// Grow-only set; join is union.
+class GSet {
+ public:
+  /// Returns true if the element was newly added.
+  bool Add(const std::string& element) {
+    return elements_.insert(element).second;
+  }
+  bool Contains(const std::string& element) const {
+    return elements_.count(element) > 0;
+  }
+  void Merge(const GSet& other) {
+    elements_.insert(other.elements_.begin(), other.elements_.end());
+  }
+  size_t size() const { return elements_.size(); }
+  const std::set<std::string>& elements() const { return elements_; }
+  bool operator==(const GSet& other) const {
+    return elements_ == other.elements_;
+  }
+
+ private:
+  std::set<std::string> elements_;
+};
+
+/// Two-phase set: element lifecycle is absent -> present -> removed-forever.
+class TwoPhaseSet {
+ public:
+  /// Adds an element. Re-adding after removal has no effect (remove wins).
+  void Add(const std::string& element) { added_.insert(element); }
+
+  /// Removes an element that has been added (a blind remove of a never-seen
+  /// element is recorded too, poisoning future adds — standard 2P-set).
+  void Remove(const std::string& element) {
+    added_.insert(element);
+    removed_.insert(element);
+  }
+
+  bool Contains(const std::string& element) const {
+    return added_.count(element) > 0 && removed_.count(element) == 0;
+  }
+
+  void Merge(const TwoPhaseSet& other) {
+    added_.insert(other.added_.begin(), other.added_.end());
+    removed_.insert(other.removed_.begin(), other.removed_.end());
+  }
+
+  std::vector<std::string> LiveElements() const {
+    std::vector<std::string> out;
+    for (const auto& e : added_) {
+      if (removed_.count(e) == 0) out.push_back(e);
+    }
+    return out;
+  }
+
+  size_t live_size() const { return LiveElements().size(); }
+  size_t tombstone_count() const { return removed_.size(); }
+
+  bool operator==(const TwoPhaseSet& other) const {
+    return added_ == other.added_ && removed_ == other.removed_;
+  }
+
+ private:
+  std::set<std::string> added_;
+  std::set<std::string> removed_;
+};
+
+}  // namespace evc::crdt
+
+#endif  // EVC_CRDT_SETS_H_

@@ -1,0 +1,166 @@
+#include "replication/anti_entropy.h"
+
+#include "common/logging.h"
+
+namespace evc::repl {
+
+namespace {
+constexpr char kSyncReq[] = "ae.sync";
+constexpr char kSyncRsp[] = "ae.sync.reply";
+constexpr char kPush[] = "ae.push";
+}  // namespace
+
+AntiEntropy::AntiEntropy(sim::Network* network, std::vector<sim::NodeId> nodes,
+                         std::vector<ReplicaStorage*> storages,
+                         AntiEntropyOptions options)
+    : network_(network),
+      nodes_(std::move(nodes)),
+      storages_(std::move(storages)),
+      options_(options),
+      rng_(network->simulator()->rng().Fork(0xae0ae0)) {
+  EVC_CHECK(nodes_.size() == storages_.size());
+  EVC_CHECK(!nodes_.empty());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    index_of_[nodes_[i]] = i;
+    RegisterHandlers(i);
+  }
+}
+
+void AntiEntropy::RegisterHandlers(size_t index) {
+  // Receiving a sync request: compare leaves, merge nothing yet (we do not
+  // have the sender's keys), reply with our keys for divergent buckets and
+  // the bucket list so the sender can push back.
+  network_->RegisterHandler(
+      nodes_[index], kSyncReq, [this, index](sim::Message msg) {
+        auto req = std::any_cast<SyncRequest>(std::move(msg.payload));
+        ReplicaStorage* storage = storages_[index];
+        SyncReply reply;
+        if (req.root != storage->merkle().RootDigest()) {
+          for (size_t b = 0; b < req.leaf_digests.size(); ++b) {
+            if (storage->merkle().LeafDigest(b) != req.leaf_digests[b]) {
+              reply.divergent_buckets.push_back(b);
+            }
+          }
+          reply.keys = CollectBuckets(storage, reply.divergent_buckets);
+          stats_.buckets_exchanged += reply.divergent_buckets.size();
+          stats_.keys_shipped += reply.keys.size();
+        }
+        network_->Send(msg.to, msg.from, kSyncRsp, std::move(reply));
+      });
+
+  // Receiving the reply: merge the peer's keys, then (push-pull) send back
+  // our versions for the divergent buckets.
+  network_->RegisterHandler(
+      nodes_[index], kSyncRsp, [this, index](sim::Message msg) {
+        auto reply = std::any_cast<SyncReply>(std::move(msg.payload));
+        ReplicaStorage* storage = storages_[index];
+        for (const auto& [key, versions] : reply.keys) {
+          storage->MergeRemote(key, versions);
+        }
+        if (options_.push_pull && !reply.divergent_buckets.empty()) {
+          auto mine = CollectBuckets(storage, reply.divergent_buckets);
+          stats_.keys_shipped += mine.size();
+          network_->Send(msg.to, msg.from, kPush, std::move(mine));
+        }
+      });
+
+  // Receiving pushed keys.
+  network_->RegisterHandler(
+      nodes_[index], kPush, [this, index](sim::Message msg) {
+        auto keys = std::any_cast<
+            std::vector<std::pair<std::string, std::vector<Version>>>>(
+            std::move(msg.payload));
+        for (const auto& [key, versions] : keys) {
+          storages_[index]->MergeRemote(key, versions);
+        }
+      });
+}
+
+std::vector<std::pair<std::string, std::vector<Version>>>
+AntiEntropy::CollectBuckets(ReplicaStorage* storage,
+                            const std::vector<size_t>& buckets) {
+  std::vector<std::pair<std::string, std::vector<Version>>> out;
+  if (buckets.empty()) return out;
+  std::vector<bool> wanted(storage->merkle().leaf_count(), false);
+  for (size_t b : buckets) wanted[b] = true;
+  storage->store().ForEachKey(
+      [&](const std::string& key, const std::vector<Version>& versions) {
+        if (wanted[storage->merkle().BucketFor(key)]) {
+          out.emplace_back(key, versions);
+        }
+      });
+  return out;
+}
+
+void AntiEntropy::GossipRound(size_t index) {
+  if (!network_->IsNodeUp(nodes_[index])) return;
+  ++stats_.rounds;
+  ReplicaStorage* storage = storages_[index];
+  for (int f = 0; f < options_.fanout; ++f) {
+    if (nodes_.size() < 2) return;
+    size_t peer;
+    do {
+      peer = rng_.NextBounded(nodes_.size());
+    } while (peer == index);
+    SyncRequest req;
+    req.root = storage->merkle().RootDigest();
+    const size_t leaves = storage->merkle().leaf_count();
+    req.leaf_digests.reserve(leaves);
+    for (size_t b = 0; b < leaves; ++b) {
+      req.leaf_digests.push_back(storage->merkle().LeafDigest(b));
+    }
+    stats_.digests_shipped += leaves + 1;
+    network_->Send(nodes_[index], nodes_[peer], kSyncReq, std::move(req));
+  }
+}
+
+void AntiEntropy::Start() {
+  sim::Simulator* sim = network_->simulator();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    // Stagger the first round so all replicas don't fire simultaneously.
+    const sim::Time phase =
+        static_cast<sim::Time>(rng_.NextBounded(options_.interval) + 1);
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [this, i, sim, tick] {
+      GossipRound(i);
+      sim->ScheduleAfter(options_.interval, *tick);
+    };
+    sim->ScheduleAfter(phase, *tick);
+  }
+}
+
+bool AntiEntropy::SyncPair(size_t a_index, size_t b_index) {
+  ReplicaStorage* a = storages_[a_index];
+  ReplicaStorage* b = storages_[b_index];
+  ++stats_.rounds;
+  if (a->merkle().RootDigest() == b->merkle().RootDigest()) {
+    ++stats_.syncs_skipped;
+    return false;
+  }
+  uint64_t compared = 0;
+  std::vector<size_t> divergent =
+      MerkleTree::DiffLeaves(a->merkle(), b->merkle(), &compared);
+  stats_.digests_shipped += compared;
+  stats_.buckets_exchanged += divergent.size();
+  auto from_a = CollectBuckets(a, divergent);
+  auto from_b = CollectBuckets(b, divergent);
+  stats_.keys_shipped += from_a.size() + from_b.size();
+  bool changed = false;
+  for (const auto& [key, versions] : from_a) {
+    changed |= b->MergeRemote(key, versions);
+  }
+  for (const auto& [key, versions] : from_b) {
+    changed |= a->MergeRemote(key, versions);
+  }
+  return changed;
+}
+
+bool AntiEntropy::Converged() const {
+  const uint64_t root = storages_[0]->merkle().RootDigest();
+  for (const auto* s : storages_) {
+    if (s->merkle().RootDigest() != root) return false;
+  }
+  return true;
+}
+
+}  // namespace evc::repl

@@ -1,0 +1,59 @@
+#include "replication/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace evc::repl {
+
+HashRing::HashRing(int vnodes) : vnodes_(vnodes) {
+  EVC_CHECK(vnodes >= 1);
+}
+
+uint64_t HashRing::PointFor(sim::NodeId node, int index) {
+  return Mix64((static_cast<uint64_t>(node) << 20) ^
+               static_cast<uint64_t>(index) ^ 0x5ca1ab1eULL);
+}
+
+void HashRing::AddServer(sim::NodeId node) {
+  EVC_CHECK(std::find(servers_.begin(), servers_.end(), node) ==
+            servers_.end());
+  servers_.push_back(node);
+  for (int i = 0; i < vnodes_; ++i) {
+    ring_[PointFor(node, i)] = node;
+  }
+}
+
+void HashRing::RemoveServer(sim::NodeId node) {
+  auto it = std::find(servers_.begin(), servers_.end(), node);
+  EVC_CHECK(it != servers_.end());
+  servers_.erase(it);
+  for (int i = 0; i < vnodes_; ++i) {
+    ring_.erase(PointFor(node, i));
+  }
+}
+
+std::vector<sim::NodeId> HashRing::PreferenceList(const std::string& key,
+                                                  size_t n) const {
+  EVC_CHECK(!ring_.empty());
+  n = std::min(n, servers_.size());
+  std::vector<sim::NodeId> out;
+  out.reserve(n);
+  auto it = ring_.lower_bound(Fnv1a64(key));
+  for (size_t steps = 0; out.size() < n && steps < 2 * ring_.size();
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+sim::NodeId HashRing::PrimaryFor(const std::string& key) const {
+  return PreferenceList(key, 1)[0];
+}
+
+}  // namespace evc::repl

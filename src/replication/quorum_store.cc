@@ -1,0 +1,441 @@
+#include "replication/quorum_store.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace evc::repl {
+
+namespace {
+constexpr char kClientPut[] = "dyn.put";
+constexpr char kClientGet[] = "dyn.get";
+constexpr char kStore[] = "dyn.store";
+constexpr char kRead[] = "dyn.read";
+// Sentinel for "no hinted handoff target" (NodeId 0 is a valid node).
+constexpr sim::NodeId kNoHint = UINT32_MAX;
+}  // namespace
+
+DynamoCluster::DynamoCluster(sim::Rpc* rpc, QuorumConfig config)
+    : rpc_(rpc), config_(config), ring_(config.ring_vnodes) {
+  EVC_CHECK(rpc_ != nullptr);
+  EVC_CHECK(config_.replication_factor >= 1);
+  EVC_CHECK(config_.read_quorum >= 1 &&
+            config_.read_quorum <= config_.replication_factor);
+  EVC_CHECK(config_.write_quorum >= 1 &&
+            config_.write_quorum <= config_.replication_factor);
+}
+
+sim::NodeId DynamoCluster::AddServer() {
+  auto server = std::make_unique<Server>();
+  server->node = rpc_->network()->AddNode();
+  ring_.AddServer(server->node);
+  server->replica_id = static_cast<uint32_t>(servers_.size());
+  server->storage = std::make_unique<ReplicaStorage>(server->replica_id,
+                                                     config_.storage);
+  server->clock = LamportClock(server->replica_id);
+  RegisterHandlers(server.get());
+  by_node_[server->node] = server.get();
+  servers_.push_back(std::move(server));
+  return servers_.back()->node;
+}
+
+std::vector<sim::NodeId> DynamoCluster::AddServers(int count) {
+  std::vector<sim::NodeId> nodes;
+  nodes.reserve(count);
+  for (int i = 0; i < count; ++i) nodes.push_back(AddServer());
+  return nodes;
+}
+
+DynamoCluster::Server* DynamoCluster::FindServer(sim::NodeId node) {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? nullptr : it->second;
+}
+
+ReplicaStorage* DynamoCluster::storage(sim::NodeId server) {
+  Server* s = FindServer(server);
+  EVC_CHECK(s != nullptr);
+  return s->storage.get();
+}
+
+std::vector<sim::NodeId> DynamoCluster::RingWalk(
+    const std::string& key) const {
+  EVC_CHECK(!servers_.empty());
+  if (config_.use_hash_ring) {
+    return ring_.PreferenceList(key, servers_.size());
+  }
+  const size_t start = Fnv1a64(key) % servers_.size();
+  std::vector<sim::NodeId> out;
+  out.reserve(servers_.size());
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    out.push_back(servers_[(start + i) % servers_.size()]->node);
+  }
+  return out;
+}
+
+std::vector<sim::NodeId> DynamoCluster::PreferenceList(
+    const std::string& key) const {
+  std::vector<sim::NodeId> walk = RingWalk(key);
+  walk.resize(std::min<size_t>(config_.replication_factor, walk.size()));
+  return walk;
+}
+
+void DynamoCluster::WriteTargets(Server* coordinator, const std::string& key,
+                                 std::vector<sim::NodeId>* targets,
+                                 std::vector<sim::NodeId>* intended) {
+  const std::vector<sim::NodeId> preferred = PreferenceList(key);
+  targets->clear();
+  intended->clear();
+  if (!config_.sloppy) {
+    *targets = preferred;
+    intended->assign(preferred.size(), kNoHint);
+    return;
+  }
+  // Sloppy quorum: walk the ring; replace unreachable preferred nodes with
+  // the next reachable nodes, carrying a hint naming the intended home.
+  // (Reachability here is the coordinator's failure detector, modeled as an
+  // oracle over the simulated network.)
+  sim::Network* net = rpc_->network();
+  const std::vector<sim::NodeId> ring_walk = RingWalk(key);
+  size_t walk = 0;
+  size_t preferred_idx = 0;
+  while (targets->size() < preferred.size() && walk < ring_walk.size()) {
+    const sim::NodeId candidate = ring_walk[walk];
+    ++walk;
+    if (std::find(targets->begin(), targets->end(), candidate) !=
+        targets->end()) {
+      continue;
+    }
+    if (!net->CanCommunicate(coordinator->node, candidate)) continue;
+    // Is this candidate one of the preferred homes, or a fallback?
+    const bool is_preferred =
+        std::find(preferred.begin(), preferred.end(), candidate) !=
+        preferred.end();
+    if (is_preferred) {
+      targets->push_back(candidate);
+      intended->push_back(kNoHint);
+    } else {
+      // Fallback substitutes for the next still-missing preferred node.
+      while (preferred_idx < preferred.size() &&
+             net->CanCommunicate(coordinator->node,
+                                 preferred[preferred_idx])) {
+        ++preferred_idx;
+      }
+      if (preferred_idx >= preferred.size()) break;
+      targets->push_back(candidate);
+      intended->push_back(preferred[preferred_idx]);
+      ++preferred_idx;
+      ++stats_.sloppy_diversions;
+    }
+  }
+}
+
+void DynamoCluster::RegisterHandlers(Server* server) {
+  const sim::NodeId node = server->node;
+
+  rpc_->RegisterHandler(
+      node, kClientPut,
+      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto put = std::any_cast<ClientPutReq>(std::move(req));
+        CoordinatePut(server, std::move(put),
+                      [respond](Result<Version> r) mutable {
+                        if (r.ok()) {
+                          respond(std::any{std::move(r).value()});
+                        } else {
+                          respond(r.status());
+                        }
+                      });
+      });
+
+  rpc_->RegisterHandler(
+      node, kClientGet,
+      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto get = std::any_cast<ClientGetReq>(std::move(req));
+        CoordinateGet(server, std::move(get.key),
+                      [respond](Result<ReadResult> r) mutable {
+                        if (r.ok()) {
+                          respond(std::any{std::move(r).value()});
+                        } else {
+                          respond(r.status());
+                        }
+                      });
+      });
+
+  rpc_->RegisterHandler(
+      node, kStore,
+      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto store = std::any_cast<StoreReq>(std::move(req));
+        if (store.has_hint && store.intended != server->node) {
+          // We are a fallback home: buffer for handoff AND serve reads from
+          // local storage in the meantime.
+          server->hints[store.intended][store.key] = store.versions;
+          ++stats_.hints_stored;
+        }
+        server->storage->MergeRemote(store.key, store.versions);
+        respond(std::any{StoreAck{server->storage->store().KeyDigest(
+            store.key)}});
+      });
+
+  rpc_->RegisterHandler(
+      node, kRead,
+      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto read = std::any_cast<ReadReq>(std::move(req));
+        ReadReply reply;
+        reply.versions = server->storage->GetRaw(read.key);
+        reply.digest = server->storage->store().KeyDigest(read.key);
+        respond(std::any{std::move(reply)});
+      });
+}
+
+void DynamoCluster::Put(sim::NodeId client, sim::NodeId coordinator,
+                        const std::string& key, std::string value,
+                        const VersionVector& context, PutCallback done) {
+  ClientPutReq req;
+  req.key = key;
+  req.value = std::move(value);
+  req.context = context;
+  req.is_delete = false;
+  rpc_->Call(client, coordinator, kClientPut, std::move(req),
+             4 * config_.rpc_timeout, [done](Result<std::any> r) {
+               if (!r.ok()) {
+                 done(r.status());
+               } else {
+                 done(std::any_cast<Version>(std::move(r).value()));
+               }
+             });
+}
+
+void DynamoCluster::Delete(sim::NodeId client, sim::NodeId coordinator,
+                           const std::string& key,
+                           const VersionVector& context, PutCallback done) {
+  ClientPutReq req;
+  req.key = key;
+  req.context = context;
+  req.is_delete = true;
+  rpc_->Call(client, coordinator, kClientPut, std::move(req),
+             4 * config_.rpc_timeout, [done](Result<std::any> r) {
+               if (!r.ok()) {
+                 done(r.status());
+               } else {
+                 done(std::any_cast<Version>(std::move(r).value()));
+               }
+             });
+}
+
+void DynamoCluster::Get(sim::NodeId client, sim::NodeId coordinator,
+                        const std::string& key, GetCallback done) {
+  ClientGetReq req{key};
+  rpc_->Call(client, coordinator, kClientGet, std::move(req),
+             4 * config_.rpc_timeout, [done](Result<std::any> r) {
+               if (!r.ok()) {
+                 done(r.status());
+               } else {
+                 done(std::any_cast<ReadResult>(std::move(r).value()));
+               }
+             });
+}
+
+void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
+                                  std::function<void(Result<Version>)> done) {
+  // Mint the new version once; every replica stores the identical bytes.
+  Version version;
+  version.value = std::move(req.value);
+  version.tombstone = req.is_delete;
+  version.vv = req.context;
+  coordinator->coord_counter =
+      std::max(coordinator->coord_counter,
+               req.context.Get(coordinator->replica_id)) +
+      1;
+  version.vv.Set(coordinator->replica_id, coordinator->coord_counter);
+  version.lww_ts = coordinator->clock.Tick();
+
+  std::vector<sim::NodeId> targets;
+  std::vector<sim::NodeId> intended;
+  WriteTargets(coordinator, req.key, &targets, &intended);
+
+  struct PutState {
+    int acks = 0;
+    int completed = 0;
+    int total = 0;
+    int required = 0;
+    bool done_fired = false;
+  };
+  auto state = std::make_shared<PutState>();
+  state->total = static_cast<int>(targets.size());
+  state->required = std::min(config_.write_quorum, state->total);
+
+  if (state->total == 0) {
+    ++stats_.puts_unavailable;
+    done(Status::Unavailable("no reachable replicas"));
+    return;
+  }
+
+  auto on_complete = [this, state, done, version](bool ok) {
+    if (ok) ++state->acks;
+    ++state->completed;
+    if (state->done_fired) return;
+    if (state->acks >= state->required) {
+      state->done_fired = true;
+      ++stats_.puts_ok;
+      done(version);
+    } else if (state->completed == state->total) {
+      state->done_fired = true;
+      ++stats_.puts_unavailable;
+      done(Status::Unavailable("write quorum not met"));
+    }
+  };
+
+  for (size_t i = 0; i < targets.size(); ++i) {
+    StoreReq store;
+    store.key = req.key;
+    store.versions = {version};
+    store.has_hint = intended[i] != kNoHint;
+    store.intended = intended[i];
+    rpc_->Call(coordinator->node, targets[i], kStore, std::move(store),
+               config_.rpc_timeout,
+               [on_complete](Result<std::any> r) { on_complete(r.ok()); });
+  }
+}
+
+void DynamoCluster::CoordinateGet(
+    Server* coordinator, std::string key,
+    std::function<void(Result<ReadResult>)> done) {
+  const std::vector<sim::NodeId> preferred = PreferenceList(key);
+
+  struct GetState {
+    std::vector<std::vector<Version>> replies;
+    std::vector<std::pair<sim::NodeId, uint64_t>> replier_digests;
+    int completed = 0;
+    int total = 0;
+    int required = 0;
+    bool done_fired = false;
+    std::string key;
+  };
+  auto state = std::make_shared<GetState>();
+  state->total = static_cast<int>(preferred.size());
+  state->required = std::min(config_.read_quorum, state->total);
+  state->key = key;
+
+  auto finish = [this, state, coordinator, done]() {
+    // Merge sibling sets from all repliers.
+    std::vector<Version> merged = MergeSiblingSets(state->replies);
+    ReadResult result;
+    result.replies = static_cast<int>(state->replies.size());
+    for (const auto& v : merged) {
+      result.context.MergeWith(v.vv);
+      if (!v.tombstone) result.versions.push_back(v);
+    }
+    // Read repair: push the merged set to any replier whose digest differs.
+    if (config_.read_repair && !merged.empty()) {
+      // Compute the digest a converged replica would report (same formula
+      // as VersionedStore::KeyDigest over the merged sibling set).
+      const uint64_t key_hash = Fnv1a64(state->key);
+      uint64_t want = 0;
+      for (const auto& v : merged) want ^= Mix64(key_hash ^ v.Digest());
+      for (const auto& [node, digest] : state->replier_digests) {
+        if (digest == want) continue;
+        StoreReq repair;
+        repair.key = state->key;
+        repair.versions = merged;
+        rpc_->Call(coordinator->node, node, kStore, std::move(repair),
+                   config_.rpc_timeout, [](Result<std::any>) {});
+        ++stats_.read_repairs;
+        result.repaired = true;
+      }
+    }
+    ++stats_.gets_ok;
+    done(std::move(result));
+  };
+
+  auto on_reply = [this, state, finish,
+                   done](sim::NodeId from, Result<std::any> r) {
+    ++state->completed;
+    if (state->done_fired) return;
+    if (r.ok()) {
+      auto reply = std::any_cast<ReadReply>(std::move(r).value());
+      state->replies.push_back(std::move(reply.versions));
+      state->replier_digests.emplace_back(from, reply.digest);
+    }
+    if (static_cast<int>(state->replies.size()) >= state->required) {
+      state->done_fired = true;
+      finish();
+    } else if (state->completed == state->total) {
+      state->done_fired = true;
+      ++stats_.gets_unavailable;
+      done(Status::Unavailable("read quorum not met"));
+    }
+  };
+
+  for (const sim::NodeId target : preferred) {
+    ReadReq read{key};
+    rpc_->Call(coordinator->node, target, kRead, std::move(read),
+               config_.rpc_timeout, [on_reply, target](Result<std::any> r) {
+                 on_reply(target, std::move(r));
+               });
+  }
+}
+
+void DynamoCluster::StartHintDelivery(sim::Time interval) {
+  sim::Simulator* sim = rpc_->simulator();
+  for (auto& server : servers_) {
+    Server* s = server.get();
+    std::shared_ptr<std::function<void()>> tick =
+        std::make_shared<std::function<void()>>();
+    *tick = [this, s, sim, interval, tick] {
+      DeliverHints(s);
+      sim->ScheduleAfter(interval, *tick);
+    };
+    sim->ScheduleAfter(interval, *tick);
+  }
+}
+
+void DynamoCluster::DeliverHints(Server* server) {
+  sim::Network* net = rpc_->network();
+  if (!net->IsNodeUp(server->node)) return;
+  for (auto it = server->hints.begin(); it != server->hints.end();) {
+    const sim::NodeId intended = it->first;
+    if (!net->CanCommunicate(server->node, intended)) {
+      ++it;
+      continue;
+    }
+    for (const auto& [key, versions] : it->second) {
+      StoreReq store;
+      store.key = key;
+      store.versions = versions;
+      rpc_->Call(server->node, intended, kStore, std::move(store),
+                 config_.rpc_timeout, [this](Result<std::any> r) {
+                   if (r.ok()) ++stats_.hints_delivered;
+                 });
+    }
+    // Optimistic: drop the hint once sent; a lost handoff is later fixed by
+    // anti-entropy (mirrors Dynamo's at-least-once handoff semantics).
+    it = server->hints.erase(it);
+  }
+}
+
+bool DynamoCluster::ReplicasConverged(const std::string& key) {
+  const std::vector<sim::NodeId> preferred = PreferenceList(key);
+  uint64_t digest = 0;
+  bool first = true;
+  for (const sim::NodeId node : preferred) {
+    Server* s = FindServer(node);
+    const uint64_t d = s->storage->store().KeyDigest(key);
+    if (first) {
+      digest = d;
+      first = false;
+    } else if (d != digest) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t DynamoCluster::pending_hints() const {
+  size_t n = 0;
+  for (const auto& server : servers_) {
+    for (const auto& [intended, keys] : server->hints) n += keys.size();
+  }
+  return n;
+}
+
+}  // namespace evc::repl

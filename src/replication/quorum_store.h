@@ -1,0 +1,183 @@
+// Dynamo-style quorum-replicated key-value store on the simulated network.
+//
+// The mechanism centerpiece of the tutorial's "first generation" systems:
+//   * a preference list of N replicas per key (ring walk from the key hash);
+//   * writes ship a causally tagged version to all N and ack after W;
+//   * reads query all N, return after R, and merge sibling sets;
+//   * read repair pushes the merged result back to stale replicas;
+//   * optional sloppy quorums divert writes to fallback nodes with a hint
+//     (hinted handoff) so writes stay available through failures;
+//   * R + W > N gives read-your-latest-write intersection; smaller R/W gives
+//     lower latency and higher availability but stale/concurrent reads —
+//     exactly the dial Figs. 1/2 and Table 4 sweep.
+
+#ifndef EVC_REPLICATION_QUORUM_STORE_H_
+#define EVC_REPLICATION_QUORUM_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clock/lamport.h"
+#include "replication/hash_ring.h"
+#include "sim/rpc.h"
+#include "storage/replica_storage.h"
+
+namespace evc::repl {
+
+/// Quorum configuration (Dynamo's N/R/W).
+struct QuorumConfig {
+  int replication_factor = 3;  ///< N: replicas per key
+  int read_quorum = 2;         ///< R: replies required for a read
+  int write_quorum = 2;        ///< W: acks required for a write
+  bool sloppy = true;          ///< divert to fallback nodes with hints
+  bool read_repair = true;     ///< push merged versions to stale replicas
+  sim::Time rpc_timeout = 250 * sim::kMillisecond;
+  /// Placement: modulo ring walk (false) or consistent hashing with
+  /// virtual nodes (true; see HashRing). Ablation 3 compares them.
+  bool use_hash_ring = false;
+  int ring_vnodes = 64;
+  ReplicaStorageOptions storage;
+};
+
+/// Result of a quorum read.
+struct ReadResult {
+  std::vector<Version> versions;  ///< live (non-tombstone) merged siblings
+  VersionVector context;          ///< pass into the next Put to supersede
+  int replies = 0;                ///< replicas that answered within the quorum
+  bool repaired = false;          ///< read repair was triggered
+};
+
+using PutCallback = std::function<void(Result<Version>)>;
+using GetCallback = std::function<void(Result<ReadResult>)>;
+
+/// Operation statistics (monotonic counters for experiments).
+struct DynamoStats {
+  uint64_t puts_ok = 0;
+  uint64_t puts_unavailable = 0;
+  uint64_t gets_ok = 0;
+  uint64_t gets_unavailable = 0;
+  uint64_t read_repairs = 0;
+  uint64_t hints_stored = 0;
+  uint64_t hints_delivered = 0;
+  uint64_t sloppy_diversions = 0;
+};
+
+/// A cluster of Dynamo-style storage servers sharing one Rpc/network.
+class DynamoCluster {
+ public:
+  DynamoCluster(sim::Rpc* rpc, QuorumConfig config);
+
+  /// Adds a storage server; returns its network node id. All servers must be
+  /// added before the first operation.
+  sim::NodeId AddServer();
+  /// Convenience: adds `count` servers.
+  std::vector<sim::NodeId> AddServers(int count);
+
+  size_t server_count() const { return servers_.size(); }
+  const QuorumConfig& config() const { return config_; }
+
+  /// Issues a put from `client` through coordinator `coordinator` (must be a
+  /// server node). `context` is the causal context from a prior read (empty
+  /// for blind writes). The callback fires with the stored Version or
+  /// Unavailable/TimedOut.
+  void Put(sim::NodeId client, sim::NodeId coordinator, const std::string& key,
+           std::string value, const VersionVector& context, PutCallback done);
+
+  /// Issues a tombstone write.
+  void Delete(sim::NodeId client, sim::NodeId coordinator,
+              const std::string& key, const VersionVector& context,
+              PutCallback done);
+
+  /// Issues a quorum read through `coordinator`.
+  void Get(sim::NodeId client, sim::NodeId coordinator, const std::string& key,
+           GetCallback done);
+
+  /// The first N servers on the ring walk for `key` (ignoring liveness).
+  std::vector<sim::NodeId> PreferenceList(const std::string& key) const;
+
+  /// Starts periodic hinted-handoff delivery attempts on every server.
+  void StartHintDelivery(sim::Time interval);
+
+  /// Storage engine of a server (for assertions / anti-entropy wiring).
+  ReplicaStorage* storage(sim::NodeId server);
+  const DynamoStats& stats() const { return stats_; }
+
+  /// True if every server that is in `key`'s preference list stores an
+  /// identical sibling set for `key`.
+  bool ReplicasConverged(const std::string& key);
+
+  /// Total undelivered hints across all servers.
+  size_t pending_hints() const;
+
+ private:
+  struct Server {
+    sim::NodeId node = 0;
+    uint32_t replica_id = 0;
+    std::unique_ptr<ReplicaStorage> storage;
+    LamportClock clock{0};
+    uint64_t coord_counter = 0;  // for versions minted as coordinator
+    // Hinted handoff buffer: intended server -> key -> versions.
+    std::map<sim::NodeId, std::map<std::string, std::vector<Version>>> hints;
+  };
+
+  // RPC payloads.
+  struct ClientPutReq {
+    std::string key;
+    std::string value;
+    VersionVector context;
+    bool is_delete = false;
+  };
+  struct ClientGetReq {
+    std::string key;
+  };
+  struct StoreReq {
+    std::string key;
+    std::vector<Version> versions;
+    bool has_hint = false;
+    sim::NodeId intended = 0;  // hinted handoff target
+  };
+  struct StoreAck {
+    uint64_t digest = 0;
+  };
+  struct ReadReq {
+    std::string key;
+  };
+  struct ReadReply {
+    std::vector<Version> versions;  // raw, including tombstones
+    uint64_t digest = 0;
+  };
+
+  Server* FindServer(sim::NodeId node);
+  void RegisterHandlers(Server* server);
+
+  /// Every server, in `key`'s placement order (preference list = first N).
+  std::vector<sim::NodeId> RingWalk(const std::string& key) const;
+
+  /// Write targets for a coordinator: the preference list, with unreachable
+  /// entries replaced by ring-walk fallbacks when sloppy quorums are on.
+  /// fallback_for[i] holds the intended node when targets[i] is a fallback.
+  void WriteTargets(Server* coordinator, const std::string& key,
+                    std::vector<sim::NodeId>* targets,
+                    std::vector<sim::NodeId>* intended);
+
+  void CoordinatePut(Server* coordinator, ClientPutReq req,
+                     std::function<void(Result<Version>)> done);
+  void CoordinateGet(Server* coordinator, std::string key,
+                     std::function<void(Result<ReadResult>)> done);
+  void DeliverHints(Server* server);
+
+  sim::Rpc* rpc_;
+  QuorumConfig config_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::map<sim::NodeId, Server*> by_node_;
+  HashRing ring_;
+  DynamoStats stats_;
+};
+
+}  // namespace evc::repl
+
+#endif  // EVC_REPLICATION_QUORUM_STORE_H_

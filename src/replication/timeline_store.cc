@@ -1,0 +1,300 @@
+#include "replication/timeline_store.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace evc::repl {
+
+namespace {
+constexpr char kWrite[] = "tl.write";
+constexpr char kReplicate[] = "tl.replicate";
+constexpr char kRead[] = "tl.read";
+constexpr char kAdopt[] = "tl.adopt";
+}  // namespace
+
+TimelineCluster::TimelineCluster(sim::Rpc* rpc, TimelineOptions options)
+    : rpc_(rpc), options_(options) {
+  EVC_CHECK(rpc_ != nullptr);
+  EVC_CHECK(options_.replication_factor >= 1);
+}
+
+sim::NodeId TimelineCluster::AddServer() {
+  auto server = std::make_unique<Server>();
+  server->node = rpc_->network()->AddNode();
+  RegisterHandlers(server.get());
+  by_node_[server->node] = server.get();
+  servers_.push_back(std::move(server));
+  return servers_.back()->node;
+}
+
+std::vector<sim::NodeId> TimelineCluster::AddServers(int count) {
+  std::vector<sim::NodeId> nodes;
+  for (int i = 0; i < count; ++i) nodes.push_back(AddServer());
+  return nodes;
+}
+
+TimelineCluster::Server* TimelineCluster::FindServer(sim::NodeId node) {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? nullptr : it->second;
+}
+
+sim::NodeId TimelineCluster::DefaultMasterOf(const std::string& key) const {
+  EVC_CHECK(!servers_.empty());
+  return servers_[Fnv1a64(key) % servers_.size()]->node;
+}
+
+sim::NodeId TimelineCluster::MasterOf(const std::string& key) const {
+  auto it = master_override_.find(key);
+  if (it != master_override_.end()) return it->second;
+  return DefaultMasterOf(key);
+}
+
+std::vector<sim::NodeId> TimelineCluster::ReplicasOf(
+    const std::string& key) const {
+  const size_t start = Fnv1a64(key) % servers_.size();
+  const size_t n =
+      std::min<size_t>(options_.replication_factor, servers_.size());
+  std::vector<sim::NodeId> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(servers_[(start + i) % servers_.size()]->node);
+  }
+  // A migrated-to master outside the ring set joins the replica group.
+  const sim::NodeId master = MasterOf(key);
+  if (std::find(out.begin(), out.end(), master) == out.end()) {
+    out.push_back(master);
+  }
+  return out;
+}
+
+void TimelineCluster::RegisterHandlers(Server* server) {
+  rpc_->RegisterHandler(
+      server->node, kWrite,
+      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto write = std::any_cast<WriteReq>(std::move(req));
+        // Only the master serializes writes; a misrouted write is rejected
+        // so the client retries against the true master.
+        if (MasterOf(write.key) != server->node) {
+          respond(Status::FailedPrecondition("not the master"));
+          return;
+        }
+        Record& rec = server->data[write.key];
+        rec.value = write.value;
+        ++rec.seqno;
+        ++stats_.writes_ok;
+        // Asynchronous in-order propagation to the other replicas. The
+        // network may reorder; replicas apply only monotonically.
+        for (const sim::NodeId replica : ReplicasOf(write.key)) {
+          if (replica == server->node) continue;
+          ReplicateMsg msg;
+          msg.key = write.key;
+          msg.value = rec.value;
+          msg.seqno = rec.seqno;
+          rpc_->network()->Send(server->node, replica, kReplicate,
+                                std::move(msg));
+        }
+        respond(std::any{rec.seqno});
+      });
+
+  rpc_->network()->RegisterHandler(
+      server->node, kReplicate, [server](sim::Message msg) {
+        auto repl = std::any_cast<ReplicateMsg>(std::move(msg.payload));
+        Record& rec = server->data[repl.key];
+        // Timeline order: never apply an older update over a newer one.
+        if (repl.seqno > rec.seqno) {
+          rec.value = std::move(repl.value);
+          rec.seqno = repl.seqno;
+        }
+      });
+
+  rpc_->RegisterHandler(
+      server->node, kRead,
+      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto read = std::any_cast<ReadReq>(std::move(req));
+        HandleRead(server, read, std::move(respond));
+      });
+
+  // Mastership adoption: install the shipped record (if newer than our
+  // replica copy) and continue its timeline.
+  rpc_->RegisterHandler(
+      server->node, kAdopt,
+      [server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto adopt = std::any_cast<AdoptReq>(std::move(req));
+        Record& rec = server->data[adopt.key];
+        if (adopt.has_record && adopt.seqno > rec.seqno) {
+          rec.value = std::move(adopt.value);
+          rec.seqno = adopt.seqno;
+        }
+        respond(std::any{rec.seqno});
+      });
+}
+
+void TimelineCluster::HandleRead(Server* server, const ReadReq& req,
+                                 sim::RpcResponder respond) {
+  const auto level = static_cast<TimelineReadLevel>(req.level);
+  const sim::NodeId master = MasterOf(req.key);
+  auto it = server->data.find(req.key);
+  const uint64_t local_seqno = it == server->data.end() ? 0 : it->second.seqno;
+
+  const bool need_forward =
+      server->node != master &&
+      (level == TimelineReadLevel::kCritical ||
+       (level == TimelineReadLevel::kAtLeast && local_seqno < req.min_seqno));
+
+  if (!need_forward) {
+    TimelineRead result;
+    if (it != server->data.end()) {
+      result.found = true;
+      result.value = it->second.value;
+      result.seqno = it->second.seqno;
+    }
+    ++stats_.reads_local;
+    // Staleness accounting: compare against the master's current seqno (an
+    // omniscient-observer metric, not visible to the protocol itself).
+    if (level == TimelineReadLevel::kAny) {
+      Server* m = FindServer(master);
+      auto mit = m->data.find(req.key);
+      if (mit != m->data.end() && mit->second.seqno > local_seqno) {
+        ++stats_.stale_reads_served;
+      }
+    }
+    respond(std::any{result});
+    return;
+  }
+
+  // Forward to the master.
+  ++stats_.reads_forwarded;
+  ReadReq fwd = req;
+  fwd.level = static_cast<uint8_t>(TimelineReadLevel::kAny);
+  rpc_->Call(server->node, master, kRead, std::move(fwd),
+             options_.rpc_timeout, [respond](Result<std::any> r) {
+               if (r.ok()) {
+                 respond(std::move(r).value());
+               } else {
+                 respond(r.status());
+               }
+             });
+}
+
+void TimelineCluster::Write(sim::NodeId client, const std::string& key,
+                            std::string value, WriteCallback done) {
+  WriteAttempt(client, key, std::move(value), /*attempts_left=*/6,
+               std::move(done));
+}
+
+void TimelineCluster::WriteAttempt(sim::NodeId client, const std::string& key,
+                                   std::string value, int attempts_left,
+                                   WriteCallback done) {
+  if (migrating_.count(key)) {
+    // Mastership handoff in progress: back off and retry (PNUTS routers do
+    // the same while a record's master is moving).
+    if (attempts_left <= 0) {
+      ++stats_.writes_unavailable;
+      done(Status::Unavailable("mastership migration in progress"));
+      return;
+    }
+    rpc_->simulator()->ScheduleAfter(
+        50 * sim::kMillisecond,
+        [this, client, key, value = std::move(value), attempts_left,
+         done]() mutable {
+          WriteAttempt(client, key, std::move(value), attempts_left - 1,
+                       std::move(done));
+        });
+    return;
+  }
+  WriteReq req;
+  req.key = key;
+  req.value = value;
+  rpc_->Call(client, MasterOf(key), kWrite, std::move(req),
+             options_.rpc_timeout,
+             [this, client, key, value = std::move(value), attempts_left,
+              done](Result<std::any> r) mutable {
+               if (r.ok()) {
+                 done(std::any_cast<uint64_t>(std::move(r).value()));
+                 return;
+               }
+               // Retry misroutes (stale master view) and migration races.
+               if (r.status().IsFailedPrecondition() && attempts_left > 0) {
+                 WriteAttempt(client, key, std::move(value),
+                              attempts_left - 1, std::move(done));
+                 return;
+               }
+               ++stats_.writes_unavailable;
+               done(r.status());
+             });
+}
+
+void TimelineCluster::MigrateMaster(const std::string& key,
+                                    sim::NodeId new_master,
+                                    MigrateCallback done) {
+  EVC_CHECK(FindServer(new_master) != nullptr);
+  const sim::NodeId old_master = MasterOf(key);
+  if (old_master == new_master) {
+    done(Status::OK());
+    return;
+  }
+  if (!migrating_.insert(key).second) {
+    done(Status::FailedPrecondition("migration already in progress"));
+    return;
+  }
+
+  auto finish = [this, key, new_master, done](Status status) {
+    migrating_.erase(key);
+    if (status.ok()) master_override_[key] = new_master;
+    done(std::move(status));
+  };
+
+  // Fetch the old master's record (if reachable), ship it to the adopter.
+  ReadReq fetch;
+  fetch.key = key;
+  fetch.level = static_cast<uint8_t>(TimelineReadLevel::kAny);
+  rpc_->Call(new_master, old_master, kRead, fetch, options_.rpc_timeout,
+             [this, key, new_master, finish](Result<std::any> r) {
+               AdoptReq adopt;
+               adopt.key = key;
+               if (r.ok()) {
+                 auto read =
+                     std::any_cast<TimelineRead>(std::move(r).value());
+                 adopt.has_record = read.found;
+                 adopt.value = std::move(read.value);
+                 adopt.seqno = read.seqno;
+               }
+               // Old master unreachable => failover: adopt from the new
+               // master's own replica state (adopt.has_record stays false;
+               // the handler keeps whatever it already has).
+               rpc_->Call(new_master, new_master, kAdopt, std::move(adopt),
+                          options_.rpc_timeout,
+                          [finish](Result<std::any> adopted) {
+                            finish(adopted.ok()
+                                       ? Status::OK()
+                                       : adopted.status());
+                          });
+             });
+}
+
+void TimelineCluster::Read(sim::NodeId client, sim::NodeId replica,
+                           const std::string& key, TimelineReadLevel level,
+                           uint64_t min_seqno, ReadCallback done) {
+  ReadReq req;
+  req.key = key;
+  req.level = static_cast<uint8_t>(level);
+  req.min_seqno = min_seqno;
+  rpc_->Call(client, replica, kRead, std::move(req), 2 * options_.rpc_timeout,
+             [done](Result<std::any> r) {
+               if (!r.ok()) {
+                 done(r.status());
+               } else {
+                 done(std::any_cast<TimelineRead>(std::move(r).value()));
+               }
+             });
+}
+
+uint64_t TimelineCluster::VisibleSeqno(sim::NodeId server,
+                                       const std::string& key) {
+  Server* s = FindServer(server);
+  EVC_CHECK(s != nullptr);
+  auto it = s->data.find(key);
+  return it == s->data.end() ? 0 : it->second.seqno;
+}
+
+}  // namespace evc::repl

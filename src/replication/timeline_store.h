@@ -1,0 +1,155 @@
+// Timeline (primary-copy) consistency, PNUTS-style.
+//
+// Every key has a master replica; all writes to the key are serialized
+// through it, producing a per-key monotonically increasing sequence number —
+// the record's "timeline". Replicas apply updates in timeline order, so a
+// reader at any replica sees some *prefix-consistent* version (possibly
+// stale, never out of order, never a fork). Read levels:
+//   * kAny       — local replica's version (fast, possibly stale);
+//   * kCritical  — forwarded to the master (read-your-latest, slower);
+//   * kAtLeast   — local if fresh enough, else forwarded (the mechanism
+//                  behind per-record session guarantees in PNUTS).
+// Writes are unavailable when the master is unreachable: per-record CP.
+
+#ifndef EVC_REPLICATION_TIMELINE_STORE_H_
+#define EVC_REPLICATION_TIMELINE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/rpc.h"
+
+namespace evc::repl {
+
+struct TimelineOptions {
+  int replication_factor = 3;
+  sim::Time rpc_timeout = 250 * sim::kMillisecond;
+};
+
+/// A read result from the timeline store.
+struct TimelineRead {
+  bool found = false;
+  std::string value;
+  uint64_t seqno = 0;  ///< position on the record's timeline
+};
+
+enum class TimelineReadLevel {
+  kAny,       ///< any replica, possibly stale
+  kCritical,  ///< up-to-date (served by the master)
+  kAtLeast,   ///< any replica at least as fresh as min_seqno
+};
+
+struct TimelineStats {
+  uint64_t writes_ok = 0;
+  uint64_t writes_unavailable = 0;
+  uint64_t reads_local = 0;
+  uint64_t reads_forwarded = 0;
+  uint64_t stale_reads_served = 0;  ///< kAny reads older than master's seqno
+};
+
+/// Cluster of timeline-consistent replicas.
+class TimelineCluster {
+ public:
+  TimelineCluster(sim::Rpc* rpc, TimelineOptions options);
+
+  sim::NodeId AddServer();
+  std::vector<sim::NodeId> AddServers(int count);
+  size_t server_count() const { return servers_.size(); }
+
+  /// The master replica for `key`: the migrated-to master if the record's
+  /// mastership was moved, else the first server on its ring walk.
+  sim::NodeId MasterOf(const std::string& key) const;
+  /// All replicas holding `key`.
+  std::vector<sim::NodeId> ReplicasOf(const std::string& key) const;
+
+  using WriteCallback = std::function<void(Result<uint64_t>)>;
+  using ReadCallback = std::function<void(Result<TimelineRead>)>;
+
+  /// Writes through the record's master. Succeeds with the new seqno; fails
+  /// Unavailable/TimedOut if the master is unreachable.
+  void Write(sim::NodeId client, const std::string& key, std::string value,
+             WriteCallback done);
+
+  /// Reads from `replica` (a server the client talks to) at `level`.
+  /// `min_seqno` applies to kAtLeast only.
+  void Read(sim::NodeId client, sim::NodeId replica, const std::string& key,
+            TimelineReadLevel level, uint64_t min_seqno, ReadCallback done);
+
+  using MigrateCallback = std::function<void(Status)>;
+
+  /// Migrates `key`'s mastership to `new_master` (PNUTS-style record-level
+  /// master handoff). The protocol: the router marks the record as
+  /// migrating (writes are rejected with FailedPrecondition and retried by
+  /// the Write path), the old master ships its (value, seqno) to the new
+  /// master, the new master adopts and continues the SAME timeline (seqno
+  /// continuity), and the router repoints. Works as manual failover too:
+  /// when the old master is unreachable, adoption proceeds from the new
+  /// master's own replica state — any suffix of updates that existed only
+  /// on the dead master is lost (the usual primary-copy failover caveat),
+  /// but the timeline never forks.
+  void MigrateMaster(const std::string& key, sim::NodeId new_master,
+                     MigrateCallback done);
+
+  const TimelineStats& stats() const { return stats_; }
+
+  /// Test hook: the seqno currently visible for `key` at `server`.
+  uint64_t VisibleSeqno(sim::NodeId server, const std::string& key);
+
+ private:
+  struct Record {
+    std::string value;
+    uint64_t seqno = 0;
+  };
+  struct Server {
+    sim::NodeId node = 0;
+    std::map<std::string, Record> data;
+  };
+  struct WriteReq {
+    std::string key;
+    std::string value;
+  };
+  struct ReplicateMsg {
+    std::string key;
+    std::string value;
+    uint64_t seqno = 0;
+  };
+  struct ReadReq {
+    std::string key;
+    uint8_t level = 0;
+    uint64_t min_seqno = 0;
+  };
+  struct AdoptReq {
+    std::string key;
+    std::string value;
+    uint64_t seqno = 0;
+    bool has_record = false;
+  };
+
+  Server* FindServer(sim::NodeId node);
+  void RegisterHandlers(Server* server);
+  void HandleRead(Server* server, const ReadReq& req,
+                  sim::RpcResponder respond);
+  void WriteAttempt(sim::NodeId client, const std::string& key,
+                    std::string value, int attempts_left,
+                    WriteCallback done);
+  /// Ring-walk master, ignoring overrides.
+  sim::NodeId DefaultMasterOf(const std::string& key) const;
+
+  sim::Rpc* rpc_;
+  TimelineOptions options_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::map<sim::NodeId, Server*> by_node_;
+  // Router state: per-record master overrides and in-flight migrations.
+  std::map<std::string, sim::NodeId> master_override_;
+  std::set<std::string> migrating_;
+  TimelineStats stats_;
+};
+
+}  // namespace evc::repl
+
+#endif  // EVC_REPLICATION_TIMELINE_STORE_H_

@@ -1,0 +1,100 @@
+#include "session/session.h"
+
+namespace evc::session {
+
+Session::Session(repl::DynamoCluster* cluster, sim::Simulator* sim,
+                 sim::NodeId client_node,
+                 std::vector<sim::NodeId> coordinators, SessionOptions options)
+    : cluster_(cluster),
+      sim_(sim),
+      client_node_(client_node),
+      coordinators_(std::move(coordinators)),
+      options_(options) {
+  EVC_CHECK(cluster_ != nullptr);
+  EVC_CHECK(!coordinators_.empty());
+}
+
+VersionVector Session::WriteContext(const std::string& key) const {
+  VersionVector ctx;
+  if (options_.monotonic_writes) {
+    auto it = write_vector_.find(key);
+    if (it != write_vector_.end()) ctx.MergeWith(it->second);
+  }
+  if (options_.writes_follow_reads) {
+    auto it = read_vector_.find(key);
+    if (it != read_vector_.end()) ctx.MergeWith(it->second);
+  }
+  return ctx;
+}
+
+void Session::Put(const std::string& key, std::string value,
+                  repl::PutCallback done) {
+  ++stats_.writes;
+  const VersionVector ctx = WriteContext(key);
+  if (options_.rotate_coordinators) ++next_coordinator_;
+  const sim::NodeId coordinator =
+      coordinators_[next_coordinator_ % coordinators_.size()];
+  cluster_->Put(client_node_, coordinator, key, std::move(value), ctx,
+                [this, key, done](Result<Version> r) {
+                  if (r.ok()) {
+                    write_vector_[key].MergeWith(r->vv);
+                  }
+                  done(std::move(r));
+                });
+}
+
+void Session::Get(const std::string& key, repl::GetCallback done) {
+  ++stats_.reads;
+  if (options_.rotate_coordinators) ++next_coordinator_;
+  GetAttempt(key, options_.max_retries, next_coordinator_, std::move(done));
+}
+
+void Session::GetAttempt(const std::string& key, int attempts_left,
+                         size_t coordinator_index, repl::GetCallback done) {
+  const sim::NodeId coordinator =
+      coordinators_[coordinator_index % coordinators_.size()];
+  cluster_->Get(
+      client_node_, coordinator, key,
+      [this, key, attempts_left, coordinator_index,
+       done](Result<repl::ReadResult> r) {
+        if (!r.ok()) {
+          done(std::move(r));
+          return;
+        }
+        // Anomaly accounting runs regardless of enforcement, so that the
+        // guarantees-off configuration measures how often eventual
+        // consistency would have broken each promise.
+        auto wit = write_vector_.find(key);
+        const bool ryw_violated = wit != write_vector_.end() &&
+                                  !r->context.Descends(wit->second);
+        auto rit = read_vector_.find(key);
+        const bool mr_violated = rit != read_vector_.end() &&
+                                 !r->context.Descends(rit->second);
+        if (ryw_violated) ++stats_.ryw_violations_detected;
+        if (mr_violated) ++stats_.mr_violations_detected;
+
+        // Enforcement: retry only for the guarantees that are switched on.
+        const bool must_retry = (options_.read_your_writes && ryw_violated) ||
+                                (options_.monotonic_reads && mr_violated);
+        if (must_retry) {
+          if (attempts_left <= 0) {
+            ++stats_.guarantee_failures;
+            done(Status::Unavailable(
+                "session guarantee unsatisfiable (retries exhausted)"));
+            return;
+          }
+          ++stats_.guarantee_retries;
+          sim_->ScheduleAfter(
+              options_.retry_interval,
+              [this, key, attempts_left, coordinator_index, done] {
+                GetAttempt(key, attempts_left - 1, coordinator_index + 1,
+                           done);
+              });
+          return;
+        }
+        read_vector_[key].MergeWith(r->context);
+        done(std::move(r));
+      });
+}
+
+}  // namespace evc::session

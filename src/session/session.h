@@ -1,0 +1,101 @@
+// Bayou-style session guarantees over the quorum store.
+//
+// Eventual consistency makes no per-client promises; the four session
+// guarantees (Terry et al., PDIS '94) restore exactly the promises mobile
+// and interactive applications need, without global coordination:
+//   * read-your-writes  (RYW): a read reflects every earlier session write;
+//   * monotonic reads    (MR): reads never go backwards in time;
+//   * monotonic writes   (MW): session writes apply in issue order;
+//   * writes-follow-reads(WFR): a write is ordered after the writes whose
+//     effects the session has read.
+//
+// Mechanism (per the tutorial): the session tracks a read-vector and a
+// write-vector per key. Writes carry the merged vectors as their causal
+// context (MW + WFR fall out of causal domination). Reads check that the
+// reply's context dominates the session vectors (RYW + MR); a stale reply
+// is retried against another coordinator or after a delay — the "stick to a
+// sufficiently fresh server" rule. With guarantees disabled, the same
+// machinery *detects and counts* the anomalies instead of preventing them
+// (Fig. 4 reports both sides).
+
+#ifndef EVC_SESSION_SESSION_H_
+#define EVC_SESSION_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "replication/quorum_store.h"
+
+namespace evc::session {
+
+struct SessionOptions {
+  bool read_your_writes = true;
+  bool monotonic_reads = true;
+  bool monotonic_writes = true;
+  bool writes_follow_reads = true;
+  /// Delay between freshness retries.
+  sim::Time retry_interval = 50 * sim::kMillisecond;
+  /// Retries before giving up with Unavailable (guarantee not satisfiable).
+  int max_retries = 20;
+  /// When true, each operation routes through the next coordinator in turn
+  /// (a load-balanced deployment with no server stickiness — the setting in
+  /// which session guarantees earn their keep). When false, the session
+  /// sticks to one coordinator.
+  bool rotate_coordinators = false;
+};
+
+struct SessionStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t guarantee_retries = 0;       ///< stale replies retried (enforcing)
+  uint64_t ryw_violations_detected = 0; ///< stale replies served (detecting)
+  uint64_t mr_violations_detected = 0;
+  uint64_t guarantee_failures = 0;      ///< retries exhausted
+};
+
+/// One client session. Not thread-safe (simulator single-threaded).
+class Session {
+ public:
+  /// `coordinators`: servers this session may route through; retries rotate
+  /// across them.
+  Session(repl::DynamoCluster* cluster, sim::Simulator* sim,
+          sim::NodeId client_node, std::vector<sim::NodeId> coordinators,
+          SessionOptions options);
+
+  /// Writes under the session's guarantees.
+  void Put(const std::string& key, std::string value,
+           repl::PutCallback done);
+
+  /// Reads under the session's guarantees. The returned versions reflect at
+  /// least the session's prior writes (RYW) and reads (MR) when enabled.
+  void Get(const std::string& key, repl::GetCallback done);
+
+  const SessionStats& stats() const { return stats_; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  /// Context a write must causally follow: write-vector (MW) ⊔ read-vector
+  /// (WFR), per the enabled guarantees.
+  VersionVector WriteContext(const std::string& key) const;
+
+  void GetAttempt(const std::string& key, int attempts_left,
+                  size_t coordinator_index, repl::GetCallback done);
+
+  repl::DynamoCluster* cluster_;
+  sim::Simulator* sim_;
+  sim::NodeId client_node_;
+  std::vector<sim::NodeId> coordinators_;
+  SessionOptions options_;
+  SessionStats stats_;
+  // Per-key session state (version vectors are per-key in this store).
+  std::map<std::string, VersionVector> write_vector_;
+  std::map<std::string, VersionVector> read_vector_;
+  size_t next_coordinator_ = 0;
+};
+
+}  // namespace evc::session
+
+#endif  // EVC_SESSION_SESSION_H_

@@ -1,0 +1,53 @@
+#include "sim/latency.h"
+
+namespace evc::sim {
+
+WanMatrixLatency::WanMatrixLatency(std::vector<std::vector<Time>> base_us,
+                                   double jitter_fraction)
+    : base_us_(std::move(base_us)), jitter_fraction_(jitter_fraction) {
+  EVC_CHECK(!base_us_.empty());
+  for (const auto& row : base_us_) {
+    EVC_CHECK(row.size() == base_us_.size());
+  }
+}
+
+void WanMatrixLatency::AssignNode(NodeId node, uint32_t dc) {
+  EVC_CHECK(dc < base_us_.size());
+  if (node_dc_.size() <= node) node_dc_.resize(node + 1, 0);
+  node_dc_[node] = dc;
+}
+
+uint32_t WanMatrixLatency::DatacenterOf(NodeId node) const {
+  return node < node_dc_.size() ? node_dc_[node] : 0;
+}
+
+Time WanMatrixLatency::Sample(NodeId from, NodeId to, Rng& rng) {
+  const Time base = base_us_[DatacenterOf(from)][DatacenterOf(to)];
+  if (jitter_fraction_ <= 0) return base;
+  const double jitter = rng.NextExponential(jitter_fraction_);
+  return base + static_cast<Time>(static_cast<double>(base) * jitter);
+}
+
+std::vector<std::vector<Time>> WanMatrixLatency::FiveRegionBaseUs() {
+  // One-way latencies (us): US-East, US-West, EU-West, Asia-East, Australia.
+  // Derived from public inter-region RTT tables (RTT/2), rounded.
+  const Time e = 250;  // intra-DC one-way
+  return {
+      {e, 32000, 38000, 90000, 100000},
+      {32000, e, 70000, 60000, 70000},
+      {38000, 70000, e, 110000, 125000},
+      {90000, 60000, 110000, e, 55000},
+      {100000, 70000, 125000, 55000, e},
+  };
+}
+
+std::vector<std::vector<Time>> WanMatrixLatency::ThreeRegionBaseUs() {
+  const Time e = 250;
+  return {
+      {e, 38000, 90000},
+      {38000, e, 110000},
+      {90000, 110000, e},
+  };
+}
+
+}  // namespace evc::sim

@@ -1,0 +1,116 @@
+#include "sim/network.h"
+
+#include "common/logging.h"
+
+namespace evc::sim {
+
+Network::Network(Simulator* sim, std::unique_ptr<LatencyModel> latency)
+    : sim_(sim),
+      latency_(std::move(latency)),
+      rng_(sim->rng().Fork(0x4e455457)) {
+  EVC_CHECK(sim_ != nullptr);
+  EVC_CHECK(latency_ != nullptr);
+}
+
+NodeId Network::AddNode() {
+  const NodeId id = static_cast<NodeId>(node_up_.size());
+  node_up_.push_back(true);
+  node_group_.push_back(0);
+  handlers_.emplace_back();
+  return id;
+}
+
+void Network::RegisterHandler(NodeId node, const std::string& type,
+                              MessageHandler handler) {
+  EVC_CHECK(node < handlers_.size());
+  handlers_[node][type] = std::move(handler);
+}
+
+uint32_t Network::GroupOf(NodeId node) const {
+  return node < node_group_.size() ? node_group_[node] : 0;
+}
+
+bool Network::CanCommunicate(NodeId a, NodeId b) const {
+  if (!IsNodeUp(a) || !IsNodeUp(b)) return false;
+  if (!partitioned_) return true;
+  return GroupOf(a) == GroupOf(b);
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  EVC_CHECK(node < node_up_.size());
+  node_up_[node] = up;
+}
+
+bool Network::IsNodeUp(NodeId node) const {
+  return node < node_up_.size() && node_up_[node];
+}
+
+void Network::Partition(const std::vector<std::vector<NodeId>>& groups) {
+  for (auto& g : node_group_) g = 0;
+  uint32_t group_id = 1;
+  for (const auto& group : groups) {
+    for (NodeId n : group) {
+      EVC_CHECK(n < node_group_.size());
+      node_group_[n] = group_id;
+    }
+    ++group_id;
+  }
+  partitioned_ = true;
+}
+
+void Network::Heal() {
+  partitioned_ = false;
+  for (auto& g : node_group_) g = 0;
+}
+
+void Network::Send(NodeId from, NodeId to, std::string type,
+                   std::any payload) {
+  ++messages_sent_;
+  ++sent_by_type_[type];
+  if (!IsNodeUp(from) || !CanCommunicate(from, to) ||
+      (loss_rate_ > 0 && rng_.NextBool(loss_rate_))) {
+    ++messages_dropped_;
+    return;
+  }
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.type = std::move(type);
+  msg.payload = std::move(payload);
+  msg.sent_at = sim_->Now();
+
+  const Time latency = latency_->Sample(from, to, rng_);
+  const bool duplicate = duplicate_rate_ > 0 && rng_.NextBool(duplicate_rate_);
+  if (duplicate) {
+    Message copy = msg;  // payload copied; duplicates carry the same data
+    const Time extra = latency_->Sample(from, to, rng_);
+    sim_->ScheduleAfter(latency + extra,
+                        [this, m = std::move(copy)]() mutable {
+                          Deliver(std::move(m));
+                        });
+  }
+  sim_->ScheduleAfter(latency, [this, m = std::move(msg)]() mutable {
+    Deliver(std::move(m));
+  });
+}
+
+void Network::Deliver(Message msg) {
+  // Re-check reachability at delivery time: a partition or crash that began
+  // while the message was in flight also prevents delivery.
+  if (!IsNodeUp(msg.to) || !CanCommunicate(msg.from, msg.to)) {
+    ++messages_dropped_;
+    return;
+  }
+  auto& node_handlers = handlers_[msg.to];
+  auto it = node_handlers.find(msg.type);
+  if (it == node_handlers.end()) {
+    EVC_LOG_WARN("node %u has no handler for message type '%s'", msg.to,
+                 msg.type.c_str());
+    ++messages_dropped_;
+    return;
+  }
+  ++messages_delivered_;
+  it->second(std::move(msg));
+}
+
+}  // namespace evc::sim

@@ -1,0 +1,122 @@
+// Simulated message-passing network with fault injection.
+//
+// Nodes are integer ids; components register per-message-type handlers on a
+// node. Delivery latency comes from a pluggable LatencyModel; faults include
+// probabilistic loss, duplication, node crashes, and named network
+// partitions (the CAP experiments drive these directly).
+
+#ifndef EVC_SIM_NETWORK_H_
+#define EVC_SIM_NETWORK_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+
+namespace evc::sim {
+
+/// A delivered message. `payload` is a std::any moved from the sender; the
+/// handler any_casts it to the protocol's request struct. (The simulator
+/// substitutes for the wire, so no byte serialization is required; modules
+/// that need real serialization — the WAL, Merkle trees — use
+/// common/encoding.h.)
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string type;
+  std::any payload;
+  Time sent_at = 0;
+};
+
+/// Handler invoked at delivery time on the destination node.
+using MessageHandler = std::function<void(Message)>;
+
+/// Simulated network. Single-threaded; owned by one Simulator.
+class Network {
+ public:
+  Network(Simulator* sim, std::unique_ptr<LatencyModel> latency);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Allocates a new node id. Nodes start up (not crashed).
+  NodeId AddNode();
+
+  /// Number of nodes allocated so far.
+  size_t node_count() const { return node_up_.size(); }
+
+  /// Registers the handler for messages of `type` addressed to `node`.
+  /// Overwrites any existing handler for that (node, type).
+  void RegisterHandler(NodeId node, const std::string& type,
+                       MessageHandler handler);
+
+  /// Sends a message. The message is dropped (silently, as on a real
+  /// network) if the sender is crashed, the destination is crashed at
+  /// delivery time, the two nodes are partitioned at send or delivery time,
+  /// or the loss coin comes up tails.
+  void Send(NodeId from, NodeId to, std::string type, std::any payload);
+
+  // --- fault injection -----------------------------------------------------
+
+  /// Probability in [0,1] that any given transmission is lost.
+  void set_loss_rate(double p) { loss_rate_ = p; }
+  /// Probability in [0,1] that a delivered message is delivered twice.
+  void set_duplicate_rate(double p) { duplicate_rate_ = p; }
+
+  /// Crashes or restarts a node. A crashed node receives nothing; its
+  /// volatile protocol state is the owning component's responsibility.
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+
+  /// Splits the network into groups; messages across groups are dropped.
+  /// Nodes not listed go to group 0. Replaces any previous partition.
+  void Partition(const std::vector<std::vector<NodeId>>& groups);
+  /// Removes any partition.
+  void Heal();
+  /// True if a and b can currently exchange messages (both up, same side).
+  bool CanCommunicate(NodeId a, NodeId b) const;
+
+  // --- introspection -------------------------------------------------------
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  /// Total payload-agnostic message count by type (for bandwidth-ish
+  /// accounting in experiments).
+  const std::unordered_map<std::string, uint64_t>& sent_by_type() const {
+    return sent_by_type_;
+  }
+
+  Simulator* simulator() { return sim_; }
+  LatencyModel* latency_model() { return latency_.get(); }
+
+ private:
+  void Deliver(Message msg);
+  uint32_t GroupOf(NodeId node) const;
+
+  Simulator* sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  std::vector<bool> node_up_;
+  std::vector<uint32_t> node_group_;
+  bool partitioned_ = false;
+  double loss_rate_ = 0.0;
+  double duplicate_rate_ = 0.0;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+  std::unordered_map<std::string, uint64_t> sent_by_type_;
+  // handlers_[node][type]
+  std::vector<std::unordered_map<std::string, MessageHandler>> handlers_;
+};
+
+}  // namespace evc::sim
+
+#endif  // EVC_SIM_NETWORK_H_

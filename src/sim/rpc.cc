@@ -1,0 +1,87 @@
+#include "sim/rpc.h"
+
+#include "common/logging.h"
+
+namespace evc::sim {
+
+namespace {
+constexpr char kRequestType[] = "rpc.request";
+constexpr char kReplyType[] = "rpc.reply";
+}  // namespace
+
+Rpc::Rpc(Network* network) : network_(network) {
+  EVC_CHECK(network_ != nullptr);
+  // Register dispatchers for all current and future nodes lazily: we hook
+  // every node that gets a handler or makes a call.
+}
+
+void Rpc::RegisterHandler(NodeId node, const std::string& method,
+                          RpcHandler handler) {
+  if (handlers_.find(node) == handlers_.end()) {
+    network_->RegisterHandler(
+        node, kRequestType, [this](Message msg) { OnRequest(std::move(msg)); });
+  }
+  handlers_[node][method] = std::move(handler);
+}
+
+void Rpc::Call(NodeId from, NodeId to, const std::string& method,
+               std::any request, Time timeout, RpcCallback cb) {
+  // Ensure the caller can receive replies.
+  network_->RegisterHandler(
+      from, kReplyType, [this](Message msg) { OnReply(std::move(msg)); });
+
+  const uint64_t call_id = next_call_id_++;
+  Simulator* sim = network_->simulator();
+  const EventId timeout_event = sim->ScheduleAfter(timeout, [this, call_id] {
+    auto it = pending_.find(call_id);
+    if (it == pending_.end()) return;
+    RpcCallback cb = std::move(it->second.cb);
+    pending_.erase(it);
+    cb(Status::TimedOut("rpc timeout"));
+  });
+  pending_[call_id] = Pending{std::move(cb), timeout_event};
+
+  RequestEnvelope env{call_id, method, std::move(request)};
+  network_->Send(from, to, kRequestType, std::move(env));
+}
+
+void Rpc::OnRequest(Message msg) {
+  auto env = std::any_cast<RequestEnvelope>(std::move(msg.payload));
+  const NodeId server = msg.to;
+  const NodeId client = msg.from;
+
+  auto node_it = handlers_.find(server);
+  if (node_it == handlers_.end()) return;
+  auto method_it = node_it->second.find(env.method);
+  if (method_it == node_it->second.end()) {
+    EVC_LOG_WARN("node %u: no rpc handler for method '%s'", server,
+                 env.method.c_str());
+    return;
+  }
+
+  const uint64_t call_id = env.call_id;
+  Network* net = network_;
+  RpcResponder responder([net, server, client, call_id](Result<std::any> r) {
+    ReplyEnvelope reply{call_id,
+                        r.ok() ? Status::OK() : r.status(),
+                        r.ok() ? std::move(r).value() : std::any{}};
+    net->Send(server, client, kReplyType, std::move(reply));
+  });
+  method_it->second(client, std::move(env.payload), std::move(responder));
+}
+
+void Rpc::OnReply(Message msg) {
+  auto env = std::any_cast<ReplyEnvelope>(std::move(msg.payload));
+  auto it = pending_.find(env.call_id);
+  if (it == pending_.end()) return;  // late reply after timeout: ignore
+  RpcCallback cb = std::move(it->second.cb);
+  network_->simulator()->Cancel(it->second.timeout_event);
+  pending_.erase(it);
+  if (env.status.ok()) {
+    cb(std::move(env.payload));
+  } else {
+    cb(env.status);
+  }
+}
+
+}  // namespace evc::sim

@@ -1,0 +1,94 @@
+// Request/response layer over the simulated network.
+//
+// Protocol coordinators (quorum reads, Paxos phases, dep-checks) are written
+// against asynchronous RPC with timeouts: a lost request or reply, a crashed
+// peer, or a partition all surface as Status::TimedOut at the caller.
+
+#ifndef EVC_SIM_RPC_H_
+#define EVC_SIM_RPC_H_
+
+#include <any>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "sim/network.h"
+
+namespace evc::sim {
+
+/// Completion callback for an RPC: either the peer's reply value or an error
+/// (TimedOut for loss/crash/partition, or the application Status the server
+/// handler returned).
+using RpcCallback = std::function<void(Result<std::any>)>;
+
+/// Replies to an in-flight RPC. May be invoked after the handler returns
+/// (asynchronous servers); must be invoked at most once.
+class RpcResponder {
+ public:
+  RpcResponder() = default;
+  RpcResponder(std::function<void(Result<std::any>)> fn) : fn_(std::move(fn)) {}
+  void operator()(Result<std::any> result) const {
+    EVC_CHECK(fn_ != nullptr);
+    fn_(std::move(result));
+  }
+
+ private:
+  std::function<void(Result<std::any>)> fn_;
+};
+
+/// Server-side method handler: `request` is the caller's payload; call
+/// `respond` (now or later) to complete the RPC.
+using RpcHandler =
+    std::function<void(NodeId from, std::any request, RpcResponder respond)>;
+
+/// One Rpc instance serves a whole Network (it multiplexes by node id).
+class Rpc {
+ public:
+  explicit Rpc(Network* network);
+
+  /// Registers `handler` for calls of `method` addressed to `node`.
+  void RegisterHandler(NodeId node, const std::string& method,
+                       RpcHandler handler);
+
+  /// Issues an asynchronous call. `cb` fires exactly once: with the reply,
+  /// or with TimedOut after `timeout` elapses without one.
+  void Call(NodeId from, NodeId to, const std::string& method,
+            std::any request, Time timeout, RpcCallback cb);
+
+  Network* network() { return network_; }
+  Simulator* simulator() { return network_->simulator(); }
+
+  /// Total RPCs issued (diagnostic).
+  uint64_t calls_issued() const { return next_call_id_ - 1; }
+
+ private:
+  struct RequestEnvelope {
+    uint64_t call_id;
+    std::string method;
+    std::any payload;
+  };
+  struct ReplyEnvelope {
+    uint64_t call_id;
+    Status status;
+    std::any payload;
+  };
+  struct Pending {
+    RpcCallback cb;
+    EventId timeout_event;
+  };
+
+  void OnRequest(Message msg);
+  void OnReply(Message msg);
+
+  Network* network_;
+  uint64_t next_call_id_ = 1;
+  std::unordered_map<uint64_t, Pending> pending_;
+  // handlers_[node][method]
+  std::unordered_map<NodeId, std::unordered_map<std::string, RpcHandler>>
+      handlers_;
+};
+
+}  // namespace evc::sim
+
+#endif  // EVC_SIM_RPC_H_

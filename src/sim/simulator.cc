@@ -1,0 +1,56 @@
+#include "sim/simulator.h"
+
+namespace evc::sim {
+
+EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
+  EVC_CHECK(when >= now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; copy out the small fields and move the
+    // closure via const_cast, which is safe because we pop immediately.
+    Event& top = const_cast<Event&>(queue_.top());
+    Event ev{top.when, top.seq, top.id, std::move(top.fn)};
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(Time deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace evc::sim

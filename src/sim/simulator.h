@@ -1,0 +1,107 @@
+// Deterministic discrete-event simulator.
+//
+// All protocol experiments in evc run on virtual time: events are closures
+// scheduled at microsecond-granularity timestamps and executed in (time,
+// insertion-order) sequence, so two runs with the same seed are bitwise
+// identical. This replaces the real geo-distributed testbeds used by the
+// systems the tutorial surveys (see DESIGN.md, substitution table).
+
+#ifndef EVC_SIM_SIMULATOR_H_
+#define EVC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace evc::sim {
+
+/// Virtual time in microseconds since simulation start.
+using Time = int64_t;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000;
+constexpr Time kSecond = 1000 * 1000;
+
+/// Identifies a scheduled event so it can be cancelled (e.g. RPC timeout
+/// timers cancelled when the reply arrives).
+using EventId = uint64_t;
+
+/// Single-threaded discrete-event executor with a virtual clock.
+class Simulator {
+ public:
+  /// `seed` drives the simulator-owned RNG; forked per component.
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `when` (>= Now()).
+  /// Returns an id usable with Cancel().
+  EventId ScheduleAt(Time when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after Now().
+  EventId ScheduleAfter(Time delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns true if the event had not yet run and
+  /// was not already cancelled.
+  bool Cancel(EventId id);
+
+  /// Executes the next pending event, advancing the clock. Returns false if
+  /// the queue is empty.
+  bool Step();
+
+  /// Runs until the event queue drains.
+  void Run();
+
+  /// Runs until the queue drains or virtual time would exceed `deadline`;
+  /// the clock ends at min(deadline, last-event time). Events scheduled at
+  /// exactly `deadline` execute.
+  void RunUntil(Time deadline);
+
+  /// Runs for `duration` more virtual time.
+  void RunFor(Time duration) { RunUntil(now_ + duration); }
+
+  /// Number of events executed so far (diagnostic).
+  uint64_t events_executed() const { return events_executed_; }
+  /// Number of events currently pending.
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+  /// Simulator-level RNG; components should Fork() their own stream.
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Event {
+    Time when;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace evc::sim
+
+#endif  // EVC_SIM_SIMULATOR_H_

@@ -1,0 +1,112 @@
+#include "stale/pbs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evc::stale {
+
+LatencySampler ShiftedExponential(double base_us, double tail_mean_us) {
+  return [base_us, tail_mean_us](Rng& rng) {
+    return base_us +
+           (tail_mean_us > 0 ? rng.NextExponential(tail_mean_us) : 0.0);
+  };
+}
+
+PbsEstimator::PbsEstimator(PbsConfig config, uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  EVC_CHECK(config_.n >= 1);
+  EVC_CHECK(config_.r >= 1 && config_.r <= config_.n);
+  EVC_CHECK(config_.w >= 1 && config_.w <= config_.n);
+}
+
+void PbsEstimator::SampleWrite(std::vector<double>* replica_has_at,
+                               double* commit_at) {
+  const int n = config_.n;
+  replica_has_at->resize(n);
+  std::vector<double> ack_at(n);
+  for (int i = 0; i < n; ++i) {
+    const double w = config_.w_latency(rng_);
+    const double a = config_.a_latency(rng_);
+    (*replica_has_at)[i] = w;       // replica holds the version once W lands
+    ack_at[i] = w + a;              // coordinator hears back after A more
+  }
+  std::nth_element(ack_at.begin(), ack_at.begin() + (config_.w - 1),
+                   ack_at.end());
+  *commit_at = ack_at[config_.w - 1];
+}
+
+bool PbsEstimator::SampleRead(const std::vector<double>& replica_has_at,
+                              double read_at) {
+  const int n = config_.n;
+  scratch_responses_.clear();
+  scratch_responses_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double request_arrives = read_at + config_.r_latency(rng_);
+    const double response_arrives = request_arrives + config_.s_latency(rng_);
+    // The replica answers with the version iff it already had it when the
+    // read request arrived.
+    const bool fresh = replica_has_at[i] <= request_arrives;
+    scratch_responses_.emplace_back(response_arrives, fresh ? 1 : 0);
+  }
+  std::sort(scratch_responses_.begin(), scratch_responses_.end());
+  for (int i = 0; i < config_.r; ++i) {
+    if (scratch_responses_[i].second) return true;
+  }
+  return false;
+}
+
+double PbsEstimator::ProbConsistent(double t_after_commit_us, int iterations) {
+  int consistent = 0;
+  for (int it = 0; it < iterations; ++it) {
+    double commit_at = 0;
+    SampleWrite(&scratch_has_at_, &commit_at);
+    if (SampleRead(scratch_has_at_, commit_at + t_after_commit_us)) {
+      ++consistent;
+    }
+  }
+  return static_cast<double>(consistent) / iterations;
+}
+
+double PbsEstimator::TVisibility(double target_prob, double max_t_us,
+                                 int probes, int iterations) {
+  // Geometric probe ladder: staleness curves are log-shaped.
+  double lo = 0;
+  for (int p = 0; p <= probes; ++p) {
+    const double t =
+        p == 0 ? 0 : max_t_us * std::pow(2.0, p - probes);  // 2^-probes..1
+    if (ProbConsistent(t, iterations) >= target_prob) return t;
+    lo = t;
+  }
+  return lo;  // not reached within max_t
+}
+
+double PbsEstimator::ProbKStaleness(int k, double write_interval_us,
+                                    int iterations) {
+  EVC_CHECK(k >= 1);
+  // Versions v_0 (newest) .. v_{k-1}: the read is stale beyond k only if it
+  // sees none of the k newest. Version v_j was written j*interval before
+  // the newest; a replica holds "one of the k newest" if it received any of
+  // their W messages by read time.
+  int within_k = 0;
+  std::vector<double> newest_has_at;
+  for (int it = 0; it < iterations; ++it) {
+    // For each replica, earliest time (relative to the NEWEST write's
+    // issue) at which it holds any of the k newest versions.
+    std::vector<double> has_any(config_.n, 1e300);
+    double newest_commit = 0;
+    for (int j = 0; j < k; ++j) {
+      double commit_at = 0;
+      SampleWrite(&newest_has_at, &commit_at);
+      for (int i = 0; i < config_.n; ++i) {
+        // Write j was issued j*interval earlier.
+        const double t = newest_has_at[i] - j * write_interval_us;
+        has_any[i] = std::min(has_any[i], t);
+      }
+      if (j == 0) newest_commit = commit_at;
+    }
+    if (SampleRead(has_any, newest_commit)) ++within_k;
+  }
+  return static_cast<double>(within_k) / iterations;
+}
+
+}  // namespace evc::stale

@@ -1,0 +1,86 @@
+// Probabilistically Bounded Staleness (Bailis et al., VLDB 2012).
+//
+// For partial quorums (R + W <= N) the tutorial's answer to "how eventual is
+// eventual?" is PBS: a Monte-Carlo model over the WARS latency decomposition
+//   W — coordinator -> replica write propagation,
+//   A — replica -> coordinator write acknowledgement,
+//   R — coordinator -> replica read request,
+//   S — replica -> coordinator read response,
+// computing
+//   * t-visibility: P(a read issued t after a write commits sees it), and
+//   * k-staleness: P(a read returns one of the k newest versions).
+// Fig. 2 reproduces the paper's headline curves (Dynamo-style defaults are
+// "mostly consistent" within tens of milliseconds).
+
+#ifndef EVC_STALE_PBS_H_
+#define EVC_STALE_PBS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace evc::stale {
+
+/// One-way latency sampler in microseconds.
+using LatencySampler = std::function<double(Rng&)>;
+
+/// Makes a shifted-exponential sampler (base + Exp(mean_tail)): the family
+/// the PBS paper fits to production Cassandra/Dynamo traces.
+LatencySampler ShiftedExponential(double base_us, double tail_mean_us);
+
+struct PbsConfig {
+  int n = 3;
+  int r = 1;
+  int w = 1;
+  /// WARS samplers. Defaults model a LAN deployment: ~0.5 ms base one-way
+  /// with millisecond-scale exponential tails.
+  LatencySampler w_latency = ShiftedExponential(500, 2000);
+  LatencySampler a_latency = ShiftedExponential(500, 2000);
+  LatencySampler r_latency = ShiftedExponential(500, 500);
+  LatencySampler s_latency = ShiftedExponential(500, 500);
+};
+
+/// Monte-Carlo PBS estimator.
+class PbsEstimator {
+ public:
+  PbsEstimator(PbsConfig config, uint64_t seed = 42);
+
+  /// P(read issued `t_after_commit_us` after the write commits returns the
+  /// written version or newer). One write, one read, no concurrent writes —
+  /// the standard PBS setting.
+  double ProbConsistent(double t_after_commit_us, int iterations = 20000);
+
+  /// Expected t-visibility quantile: the smallest t (searched over `probe`
+  /// points between 0 and max_t) with ProbConsistent(t) >= target.
+  double TVisibility(double target_prob, double max_t_us = 1e6,
+                     int probes = 64, int iterations = 8000);
+
+  /// P(read returns a version among the `k` newest, with writes arriving
+  /// every `write_interval_us` and the read issued immediately after the
+  /// latest commit).
+  double ProbKStaleness(int k, double write_interval_us,
+                        int iterations = 20000);
+
+  const PbsConfig& config() const { return config_; }
+
+ private:
+  /// Samples one write round: per-replica time (after write issue) at which
+  /// the replica holds the version, plus the commit time (Wth ack).
+  void SampleWrite(std::vector<double>* replica_has_at, double* commit_at);
+
+  /// Samples one read at absolute time `read_at` (write issued at 0):
+  /// true if the R-quorum assembled from the fastest responders contains a
+  /// replica that had the version when the read request reached it.
+  bool SampleRead(const std::vector<double>& replica_has_at, double read_at);
+
+  PbsConfig config_;
+  Rng rng_;
+  std::vector<double> scratch_has_at_;
+  std::vector<std::pair<double, int>> scratch_responses_;
+};
+
+}  // namespace evc::stale
+
+#endif  // EVC_STALE_PBS_H_

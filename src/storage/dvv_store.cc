@@ -1,0 +1,140 @@
+#include "storage/dvv_store.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace evc {
+
+Dot DvvStore::Put(const std::string& key, std::string value,
+                  const VersionVector& context) {
+  Entry& entry = map_[key];
+  // Advance past anything the context or container has seen from us, so
+  // the new dot is genuinely fresh.
+  counter_ = std::max({counter_, context.Get(replica_id_),
+                       entry.context.Get(replica_id_)}) +
+             1;
+  const Dot dot{replica_id_, counter_};
+
+  // Prune exactly the siblings the writer observed (covered by context).
+  entry.siblings.erase(
+      std::remove_if(entry.siblings.begin(), entry.siblings.end(),
+                     [&context](const DvvSibling& s) {
+                       return Covered(s.dot, context);
+                     }),
+      entry.siblings.end());
+
+  DvvSibling sibling;
+  sibling.value = std::move(value);
+  sibling.dot = dot;
+  entry.siblings.push_back(std::move(sibling));
+  entry.context.MergeWith(context);
+  entry.context.Set(replica_id_,
+                    std::max(entry.context.Get(replica_id_), dot.counter));
+  return dot;
+}
+
+Dot DvvStore::Delete(const std::string& key, const VersionVector& context) {
+  Entry& entry = map_[key];
+  counter_ = std::max({counter_, context.Get(replica_id_),
+                       entry.context.Get(replica_id_)}) +
+             1;
+  const Dot dot{replica_id_, counter_};
+  entry.siblings.erase(
+      std::remove_if(entry.siblings.begin(), entry.siblings.end(),
+                     [&context](const DvvSibling& s) {
+                       return Covered(s.dot, context);
+                     }),
+      entry.siblings.end());
+  DvvSibling sibling;
+  sibling.dot = dot;
+  sibling.tombstone = true;
+  entry.siblings.push_back(std::move(sibling));
+  entry.context.MergeWith(context);
+  entry.context.Set(replica_id_,
+                    std::max(entry.context.Get(replica_id_), dot.counter));
+  return dot;
+}
+
+DvvReadResult DvvStore::Get(const std::string& key) const {
+  DvvReadResult result;
+  auto it = map_.find(key);
+  if (it == map_.end()) return result;
+  for (const DvvSibling& s : it->second.siblings) {
+    if (!s.tombstone) result.siblings.push_back(s);
+  }
+  result.context = it->second.context;
+  return result;
+}
+
+DvvStore::Container DvvStore::GetContainer(const std::string& key) const {
+  Container out;
+  auto it = map_.find(key);
+  if (it == map_.end()) return out;
+  out.siblings = it->second.siblings;
+  out.context = it->second.context;
+  return out;
+}
+
+bool DvvStore::MergeRemote(const std::string& key, const Container& remote) {
+  if (remote.siblings.empty() && remote.context.empty()) return false;
+  Entry& entry = map_[key];
+
+  // DVV container join: keep a sibling iff the other side either also has
+  // its dot, or has never observed it.
+  auto has_dot = [](const std::vector<DvvSibling>& siblings, const Dot& dot) {
+    return std::any_of(
+        siblings.begin(), siblings.end(),
+        [&dot](const DvvSibling& s) { return s.dot == dot; });
+  };
+
+  std::vector<DvvSibling> merged;
+  bool changed = false;
+  for (const DvvSibling& mine : entry.siblings) {
+    if (has_dot(remote.siblings, mine.dot) ||
+        !Covered(mine.dot, remote.context)) {
+      merged.push_back(mine);
+    } else {
+      changed = true;  // remote observed and removed this sibling
+    }
+  }
+  for (const DvvSibling& theirs : remote.siblings) {
+    if (has_dot(entry.siblings, theirs.dot)) continue;
+    if (!Covered(theirs.dot, entry.context)) {
+      merged.push_back(theirs);
+      changed = true;
+    }
+  }
+
+  const VersionVector joined =
+      VersionVector::Merge(entry.context, remote.context);
+  if (!(joined == entry.context)) changed = true;
+  entry.siblings = std::move(merged);
+  entry.context = joined;
+  if (entry.siblings.empty() && entry.context.empty()) map_.erase(key);
+  return changed;
+}
+
+size_t DvvStore::sibling_count(const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? 0 : it->second.siblings.size();
+}
+
+bool DvvStore::Identical(const DvvStore& a, const DvvStore& b,
+                         const std::string& key) {
+  const Container ca = a.GetContainer(key);
+  const Container cb = b.GetContainer(key);
+  if (!(ca.context == cb.context)) return false;
+  if (ca.siblings.size() != cb.siblings.size()) return false;
+  for (const DvvSibling& s : ca.siblings) {
+    const bool found = std::any_of(
+        cb.siblings.begin(), cb.siblings.end(), [&s](const DvvSibling& o) {
+          return o.dot == s.dot && o.value == s.value &&
+                 o.tombstone == s.tombstone;
+        });
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace evc

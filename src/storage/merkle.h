@@ -1,0 +1,64 @@
+// Merkle tree over a hashed key space, for efficient anti-entropy.
+//
+// Replicas exchange O(log n) digests to locate the buckets in which they
+// differ, then exchange only those keys — sync cost proportional to the
+// divergence, not the database size (the claim Fig. 3 quantifies). Keys are
+// placed into 2^depth leaf buckets by key hash; bucket digests are
+// order-independent XOR accumulators so point updates are O(depth).
+
+#ifndef EVC_STORAGE_MERKLE_H_
+#define EVC_STORAGE_MERKLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace evc {
+
+/// Incrementally maintained Merkle tree with XOR-accumulator leaves.
+class MerkleTree {
+ public:
+  /// `depth` >= 1; the tree has 2^depth leaves. depth=10 (1024 buckets) is a
+  /// reasonable default for up to ~1M keys.
+  explicit MerkleTree(int depth = 10);
+
+  int depth() const { return depth_; }
+  size_t leaf_count() const { return leaf_count_; }
+
+  /// Reflects a change to `key`'s digest: pass 0 for old_digest when the key
+  /// is new, 0 for new_digest when the key is removed. Digests must be the
+  /// store's KeyDigest values (never 0 for a live key; callers guard this).
+  void UpdateKey(const std::string& key, uint64_t old_digest,
+                 uint64_t new_digest);
+
+  /// Root digest; equal roots <=> (with overwhelming probability) equal
+  /// contents.
+  uint64_t RootDigest() const;
+
+  /// Leaf bucket index for a key.
+  size_t BucketFor(const std::string& key) const;
+
+  uint64_t LeafDigest(size_t bucket) const;
+
+  /// Indices of leaf buckets whose digests differ between the two trees.
+  /// `digests_compared` (optional) counts internal+leaf digest comparisons —
+  /// the "bytes on the wire" proxy for an interactive Merkle descent.
+  static std::vector<size_t> DiffLeaves(const MerkleTree& a,
+                                        const MerkleTree& b,
+                                        uint64_t* digests_compared = nullptr);
+
+ private:
+  // Heap layout: node 1 is the root, children of i are 2i and 2i+1; leaves
+  // occupy [leaf_count_, 2*leaf_count_).
+  void PropagateUp(size_t leaf_index);
+
+  int depth_;
+  size_t leaf_count_;
+  std::vector<uint64_t> nodes_;
+};
+
+}  // namespace evc
+
+#endif  // EVC_STORAGE_MERKLE_H_

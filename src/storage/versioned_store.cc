@@ -1,0 +1,210 @@
+#include "storage/versioned_store.h"
+
+#include <algorithm>
+
+#include "common/encoding.h"
+#include "common/hash.h"
+
+namespace evc {
+
+uint64_t Version::Digest() const {
+  std::string buf;
+  PutLengthPrefixed(&buf, value);
+  vv.EncodeTo(&buf);
+  PutVarint64(&buf, lww_ts.counter);
+  PutVarint64(&buf, lww_ts.node);
+  buf.push_back(tombstone ? 1 : 0);
+  return Fnv1a64(buf);
+}
+
+void Version::EncodeTo(std::string* dst) const {
+  PutLengthPrefixed(dst, value);
+  std::string vv_bytes;
+  vv.EncodeTo(&vv_bytes);
+  PutLengthPrefixed(dst, vv_bytes);
+  PutVarint64(dst, lww_ts.counter);
+  PutVarint64(dst, lww_ts.node);
+  dst->push_back(tombstone ? 1 : 0);
+}
+
+Result<Version> Version::DecodeFrom(Decoder* dec) {
+  Version v;
+  EVC_RETURN_IF_ERROR(dec->GetLengthPrefixed(&v.value));
+  std::string vv_bytes;
+  EVC_RETURN_IF_ERROR(dec->GetLengthPrefixed(&vv_bytes));
+  EVC_ASSIGN_OR_RETURN(v.vv, VersionVector::Decode(vv_bytes));
+  uint64_t counter = 0, node = 0;
+  EVC_RETURN_IF_ERROR(dec->GetVarint64(&counter));
+  EVC_RETURN_IF_ERROR(dec->GetVarint64(&node));
+  if (node > UINT32_MAX) return Status::Corruption("lww node out of range");
+  v.lww_ts = LamportTimestamp{counter, static_cast<uint32_t>(node)};
+  std::string flag;
+  EVC_RETURN_IF_ERROR(dec->GetBytes(1, &flag));
+  v.tombstone = flag[0] != 0;
+  return v;
+}
+
+std::string Version::ToString() const {
+  std::string out = tombstone ? "<tombstone>" : ("\"" + value + "\"");
+  out += " vv=" + vv.ToString() + " ts=" + lww_ts.ToString();
+  return out;
+}
+
+VersionedStore::VersionedStore(uint32_t replica_id,
+                               VersionedStoreOptions options)
+    : replica_id_(replica_id), options_(options) {}
+
+Version VersionedStore::Put(const std::string& key, std::string value,
+                            const VersionVector& context, LamportTimestamp ts) {
+  Version v;
+  v.value = std::move(value);
+  v.vv = context;
+  // The new write's own-replica slot must exceed both our counter and any
+  // own-replica event already in the context, or the write would fail to
+  // dominate a version it causally follows.
+  write_counter_ = std::max(write_counter_, context.Get(replica_id_)) + 1;
+  v.vv.Set(replica_id_, write_counter_);
+  v.lww_ts = ts;
+  v.tombstone = false;
+
+  auto& siblings = map_[key];
+  InsertIntoSiblingSet(&siblings, v);
+  ApplyConflictPolicy(&siblings);
+  return v;
+}
+
+Version VersionedStore::Delete(const std::string& key,
+                               const VersionVector& context,
+                               LamportTimestamp ts) {
+  Version v;
+  v.vv = context;
+  write_counter_ = std::max(write_counter_, context.Get(replica_id_)) + 1;
+  v.vv.Set(replica_id_, write_counter_);
+  v.lww_ts = ts;
+  v.tombstone = true;
+
+  auto& siblings = map_[key];
+  InsertIntoSiblingSet(&siblings, v);
+  ApplyConflictPolicy(&siblings);
+  return v;
+}
+
+std::vector<Version> VersionedStore::Get(const std::string& key) const {
+  std::vector<Version> out;
+  auto it = map_.find(key);
+  if (it == map_.end()) return out;
+  for (const auto& v : it->second) {
+    if (!v.tombstone) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Version> VersionedStore::GetRaw(const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? std::vector<Version>{} : it->second;
+}
+
+VersionVector VersionedStore::ContextFor(const std::string& key) const {
+  VersionVector ctx;
+  auto it = map_.find(key);
+  if (it == map_.end()) return ctx;
+  for (const auto& v : it->second) ctx.MergeWith(v.vv);
+  return ctx;
+}
+
+bool InsertIntoSiblingSet(std::vector<Version>* siblings, const Version& v) {
+  // Drop the insert if an existing sibling dominates or equals it.
+  for (const auto& existing : *siblings) {
+    const CausalOrder order = existing.vv.Compare(v.vv);
+    if (order == CausalOrder::kAfter || order == CausalOrder::kEqual) {
+      return false;
+    }
+  }
+  // Remove existing siblings dominated by the new version.
+  siblings->erase(
+      std::remove_if(siblings->begin(), siblings->end(),
+                     [&v](const Version& existing) {
+                       return v.vv.Dominates(existing.vv);
+                     }),
+      siblings->end());
+  siblings->push_back(v);
+  return true;
+}
+
+std::vector<Version> MergeSiblingSets(
+    const std::vector<std::vector<Version>>& sets) {
+  std::vector<Version> out;
+  for (const auto& set : sets) {
+    for (const auto& v : set) InsertIntoSiblingSet(&out, v);
+  }
+  return out;
+}
+
+void VersionedStore::ApplyConflictPolicy(std::vector<Version>* siblings) {
+  if (options_.conflict_policy != ConflictPolicy::kLastWriterWins) return;
+  if (siblings->size() <= 1) return;
+  auto winner = std::max_element(
+      siblings->begin(), siblings->end(),
+      [](const Version& a, const Version& b) { return a.lww_ts < b.lww_ts; });
+  Version keep = *winner;
+  // LWW collapses history: the survivor's vector absorbs the losers' so the
+  // collapse propagates (otherwise losers would resurrect via anti-entropy).
+  for (const auto& v : *siblings) keep.vv.MergeWith(v.vv);
+  siblings->clear();
+  siblings->push_back(std::move(keep));
+}
+
+bool VersionedStore::MergeRemote(const std::string& key,
+                                 const std::vector<Version>& remote_versions) {
+  if (remote_versions.empty()) return false;
+  auto& siblings = map_[key];
+  bool changed = false;
+  for (const auto& rv : remote_versions) {
+    changed |= InsertIntoSiblingSet(&siblings, rv);
+  }
+  if (changed) ApplyConflictPolicy(&siblings);
+  if (siblings.empty()) map_.erase(key);
+  return changed;
+}
+
+size_t VersionedStore::version_count() const {
+  size_t n = 0;
+  for (const auto& [key, siblings] : map_) n += siblings.size();
+  return n;
+}
+
+uint64_t VersionedStore::KeyDigest(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return 0;
+  // Order-independent: XOR of per-version digests mixed with the key hash.
+  const uint64_t key_hash = Fnv1a64(key);
+  uint64_t acc = 0;
+  for (const auto& v : it->second) {
+    acc ^= Mix64(key_hash ^ v.Digest());
+  }
+  return acc;
+}
+
+void VersionedStore::ForEachKey(
+    const std::function<void(const std::string&, const std::vector<Version>&)>&
+        fn) const {
+  for (const auto& [key, siblings] : map_) fn(key, siblings);
+}
+
+size_t VersionedStore::PurgeTombstones() {
+  size_t removed = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    const bool all_tombstones =
+        std::all_of(it->second.begin(), it->second.end(),
+                    [](const Version& v) { return v.tombstone; });
+    if (all_tombstones) {
+      it = map_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace evc

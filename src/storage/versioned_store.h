@@ -1,0 +1,142 @@
+// Per-replica versioned key-value storage.
+//
+// Each key holds a set of sibling versions tagged with version vectors, the
+// structure beneath Dynamo-style multi-value stores. A configurable conflict
+// policy decides what happens when concurrent versions meet:
+//   * kSiblings — keep all concurrent versions (clients merge); no update is
+//     ever silently lost.
+//   * kLastWriterWins — keep only the version with the largest (Lamport)
+//     timestamp; concurrent losers are discarded, which is exactly the
+//     lost-update anomaly the tutorial warns about (quantified in Fig. 5).
+// Deletes are tombstone versions so that removal survives anti-entropy.
+
+#ifndef EVC_STORAGE_VERSIONED_STORE_H_
+#define EVC_STORAGE_VERSIONED_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "clock/lamport.h"
+#include "clock/version_vector.h"
+#include "common/status.h"
+
+namespace evc {
+
+/// One stored version of a key.
+struct Version {
+  std::string value;
+  VersionVector vv;          ///< causal tag of this version
+  LamportTimestamp lww_ts;   ///< total-order timestamp for LWW policy
+  bool tombstone = false;    ///< true if this version is a delete marker
+
+  /// Deterministic digest of this version (for Merkle sync).
+  uint64_t Digest() const;
+
+  /// Binary serialization (WAL records, snapshot transfer).
+  void EncodeTo(std::string* dst) const;
+  static Result<Version> DecodeFrom(class Decoder* dec);
+
+  std::string ToString() const;
+};
+
+/// Inserts `v` into a sibling set, maintaining the invariant that no version
+/// in the set causally dominates another: dominated existing siblings are
+/// removed, and the insert is dropped when an existing sibling dominates or
+/// equals it. Returns true if the set changed. (Shared by VersionedStore and
+/// by protocol coordinators that merge read replies.)
+bool InsertIntoSiblingSet(std::vector<Version>* siblings, const Version& v);
+
+/// Merges several replicas' sibling sets for a key into the minimal
+/// conflict-free set (union minus dominated versions).
+std::vector<Version> MergeSiblingSets(
+    const std::vector<std::vector<Version>>& sets);
+
+/// Conflict policy applied when merging concurrent versions of one key.
+enum class ConflictPolicy {
+  kSiblings,        ///< retain all concurrent versions
+  kLastWriterWins,  ///< retain only the max-timestamp version
+};
+
+struct VersionedStoreOptions {
+  ConflictPolicy conflict_policy = ConflictPolicy::kSiblings;
+};
+
+/// In-memory versioned KV map for a single replica. Not thread-safe (the
+/// simulator is single-threaded).
+class VersionedStore {
+ public:
+  explicit VersionedStore(uint32_t replica_id,
+                          VersionedStoreOptions options = {});
+
+  uint32_t replica_id() const { return replica_id_; }
+  const VersionedStoreOptions& options() const { return options_; }
+
+  /// Writes a new version. `context` is the causal context the writer read
+  /// (its version vector); the new version's vv is context ⊔ {replica: next}.
+  /// Siblings causally dominated by the new version are discarded. Returns
+  /// the stored version.
+  Version Put(const std::string& key, std::string value,
+              const VersionVector& context, LamportTimestamp ts);
+
+  /// Writes a tombstone with the same rules as Put.
+  Version Delete(const std::string& key, const VersionVector& context,
+                 LamportTimestamp ts);
+
+  /// Returns the live (non-tombstone) sibling versions of `key`.
+  /// Empty if unknown or fully deleted.
+  std::vector<Version> Get(const std::string& key) const;
+
+  /// Returns all sibling versions including tombstones (for replication).
+  std::vector<Version> GetRaw(const std::string& key) const;
+
+  /// The merged causal context of all siblings of `key` (pass back into Put
+  /// to supersede what was read).
+  VersionVector ContextFor(const std::string& key) const;
+
+  /// Merges a remote sibling set into the local one (anti-entropy / replica
+  /// sync / read repair). Keeps the union minus dominated versions, then
+  /// applies the conflict policy. Returns true if local state changed.
+  bool MergeRemote(const std::string& key,
+                   const std::vector<Version>& remote_versions);
+
+  /// Number of keys with at least one version (including tombstone-only).
+  size_t key_count() const { return map_.size(); }
+
+  /// Total sibling versions across all keys (state-size metric).
+  size_t version_count() const;
+
+  /// Digest of the full sibling set of `key` (order-independent).
+  uint64_t KeyDigest(const std::string& key) const;
+
+  /// Iterates all keys in order.
+  void ForEachKey(
+      const std::function<void(const std::string& key,
+                               const std::vector<Version>&)>& fn) const;
+
+  /// Removes keys whose every sibling is a tombstone. Returns count removed.
+  /// (Safe only once all replicas have seen the tombstone; experiments call
+  /// this after convergence.)
+  size_t PurgeTombstones();
+
+  /// Raises the internal write counter to at least `floor`. Called during
+  /// crash recovery so post-recovery writes never reuse a version-vector
+  /// slot that was already handed out before the crash.
+  void RestoreCounterFloor(uint64_t floor) {
+    if (floor > write_counter_) write_counter_ = floor;
+  }
+
+ private:
+  void ApplyConflictPolicy(std::vector<Version>* siblings);
+
+  uint32_t replica_id_;
+  VersionedStoreOptions options_;
+  uint64_t write_counter_ = 0;  // per-replica monotonic counter for vv
+  std::map<std::string, std::vector<Version>> map_;
+};
+
+}  // namespace evc
+
+#endif  // EVC_STORAGE_VERSIONED_STORE_H_

@@ -1,0 +1,73 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+
+#include "common/encoding.h"
+#include "common/hash.h"
+
+namespace evc {
+
+uint64_t WriteAheadLog::Append(std::string_view record) {
+  const uint64_t offset = buffer_.size();
+  PutFixed32(&buffer_, Crc32c(record));
+  PutVarint64(&buffer_, record.size());
+  buffer_.append(record.data(), record.size());
+  return offset;
+}
+
+Status WriteAheadLog::ReadAll(std::vector<std::string>* records,
+                              uint64_t* valid_prefix) const {
+  records->clear();
+  Decoder dec(buffer_);
+  uint64_t consumed = 0;
+  while (!dec.Done()) {
+    uint32_t crc = 0;
+    uint64_t len = 0;
+    std::string payload;
+    if (!dec.GetFixed32(&crc).ok() || !dec.GetVarint64(&len).ok() ||
+        !dec.GetBytes(len, &payload).ok()) {
+      break;  // torn tail
+    }
+    if (Crc32c(payload) != crc) {
+      break;  // corrupt record: stop recovery here
+    }
+    records->push_back(std::move(payload));
+    consumed = buffer_.size() - dec.remaining();
+  }
+  if (valid_prefix != nullptr) *valid_prefix = consumed;
+  return Status::OK();
+}
+
+void WriteAheadLog::TruncateTo(uint64_t size) {
+  if (size < buffer_.size()) buffer_.resize(size);
+}
+
+void WriteAheadLog::CorruptByteAt(uint64_t offset) {
+  if (offset < buffer_.size()) buffer_[offset] ^= 0x5a;
+}
+
+Status WriteAheadLog::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::InvalidArgument("cannot open " + path);
+  const size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  std::fclose(f);
+  if (written != buffer_.size()) {
+    return Status::Corruption("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  buffer_.clear();
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buffer_.append(chunk, n);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace evc

@@ -1,0 +1,168 @@
+#include "txn/redblue.h"
+
+namespace evc::txn {
+
+namespace {
+constexpr char kLocalOp[] = "rb.local";
+constexpr char kRedOp[] = "rb.red";
+constexpr char kDelta[] = "rb.delta";
+}  // namespace
+
+RedBlueBank::RedBlueBank(sim::Rpc* rpc, int site_count, RedBlueOptions options)
+    : rpc_(rpc), options_(options) {
+  EVC_CHECK(rpc_ != nullptr);
+  EVC_CHECK(site_count >= 1);
+  for (int i = 0; i < site_count; ++i) {
+    auto site = std::make_unique<Site>();
+    site->node = rpc_->network()->AddNode();
+    site->index = i;
+    RegisterHandlers(site.get());
+    by_node_[site->node] = site.get();
+    sites_.push_back(std::move(site));
+  }
+}
+
+sim::NodeId RedBlueBank::site_node(int index) const {
+  EVC_CHECK(index >= 0 && index < static_cast<int>(sites_.size()));
+  return sites_[index]->node;
+}
+
+RedBlueBank::Site* RedBlueBank::FindSite(sim::NodeId node) {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? nullptr : it->second;
+}
+
+void RedBlueBank::ApplyDelta(Site* site, const std::string& account,
+                             int64_t delta) {
+  int64_t& balance = site->balances[account];
+  balance += delta;
+  if (balance < 0) {
+    // The invariant "balance >= 0" is broken at this site — the double-
+    // spend anomaly mislabelled-blue withdrawals produce.
+    ++stats_.invariant_violations;
+  }
+}
+
+void RedBlueBank::BroadcastDelta(Site* origin, const std::string& account,
+                                 int64_t delta) {
+  BlueDelta msg{account, delta};
+  for (auto& peer : sites_) {
+    if (peer->node == origin->node) continue;
+    rpc_->network()->Send(origin->node, peer->node, kDelta, msg);
+  }
+}
+
+void RedBlueBank::RegisterHandlers(Site* site) {
+  // Blue shadow deltas commute: apply on arrival, any order.
+  rpc_->network()->RegisterHandler(
+      site->node, kDelta, [this, site](sim::Message msg) {
+        auto delta = std::any_cast<BlueDelta>(std::move(msg.payload));
+        ApplyDelta(site, delta.account, delta.delta);
+      });
+
+  // Blue client ops (deposit / mislabelled-blue withdraw).
+  rpc_->RegisterHandler(
+      site->node, kLocalOp,
+      [this, site](sim::NodeId, std::any req, sim::RpcResponder respond) {
+        auto op = std::any_cast<LocalOpReq>(std::move(req));
+        if (op.is_withdraw) {
+          // Local-only invariant check: unsound globally, by design.
+          if (site->balances[op.account] < op.amount) {
+            respond(Status::Aborted("insufficient funds (local view)"));
+            return;
+          }
+          ++stats_.blue_ops;
+          ApplyDelta(site, op.account, -op.amount);
+          BroadcastDelta(site, op.account, -op.amount);
+        } else {
+          ++stats_.blue_ops;
+          ApplyDelta(site, op.account, op.amount);
+          BroadcastDelta(site, op.account, op.amount);
+        }
+        respond(std::any{site->balances[op.account]});
+      });
+
+  // Red ops land only on the sequencer (site 0).
+  if (site->index == 0) {
+    rpc_->RegisterHandler(
+        site->node, kRedOp,
+        [this, site](sim::NodeId, std::any req, sim::RpcResponder respond) {
+          auto op = std::any_cast<RedReq>(std::move(req));
+          ++stats_.red_ops;
+          // The sequencer's local balance is a safe under-approximation of
+          // the global balance: it contains every red withdrawal (they all
+          // execute here) and a subset of the deposits (those already
+          // replicated). Approving against it can never overdraw.
+          if (site->balances[op.account] < op.amount) {
+            ++stats_.red_aborts;
+            respond(Status::Aborted("insufficient funds (red check)"));
+            return;
+          }
+          ApplyDelta(site, op.account, -op.amount);
+          BroadcastDelta(site, op.account, -op.amount);
+          respond(std::any{site->balances[op.account]});
+        });
+  }
+}
+
+void RedBlueBank::Deposit(sim::NodeId client, int site,
+                          const std::string& account, int64_t amount,
+                          OpCallback done) {
+  EVC_CHECK(amount >= 0);
+  LocalOpReq req{account, amount, /*is_withdraw=*/false};
+  rpc_->Call(client, site_node(site), kLocalOp, std::move(req),
+             options_.rpc_timeout, [done](Result<std::any> r) {
+               if (!r.ok()) {
+                 done(r.status());
+               } else {
+                 done(std::any_cast<int64_t>(std::move(r).value()));
+               }
+             });
+}
+
+void RedBlueBank::WithdrawBlue(sim::NodeId client, int site,
+                               const std::string& account, int64_t amount,
+                               OpCallback done) {
+  EVC_CHECK(amount >= 0);
+  LocalOpReq req{account, amount, /*is_withdraw=*/true};
+  rpc_->Call(client, site_node(site), kLocalOp, std::move(req),
+             options_.rpc_timeout, [done](Result<std::any> r) {
+               if (!r.ok()) {
+                 done(r.status());
+               } else {
+                 done(std::any_cast<int64_t>(std::move(r).value()));
+               }
+             });
+}
+
+void RedBlueBank::WithdrawRed(sim::NodeId client, int site,
+                              const std::string& account, int64_t amount,
+                              OpCallback done) {
+  EVC_CHECK(amount >= 0);
+  (void)site;  // red ops always route to the sequencer, wherever the client
+  RedReq req{account, amount};
+  rpc_->Call(client, site_node(0), kRedOp, std::move(req),
+             options_.rpc_timeout, [done](Result<std::any> r) {
+               if (!r.ok()) {
+                 done(r.status());
+               } else {
+                 done(std::any_cast<int64_t>(std::move(r).value()));
+               }
+             });
+}
+
+int64_t RedBlueBank::BalanceAt(int site, const std::string& account) const {
+  EVC_CHECK(site >= 0 && site < static_cast<int>(sites_.size()));
+  auto it = sites_[site]->balances.find(account);
+  return it == sites_[site]->balances.end() ? 0 : it->second;
+}
+
+bool RedBlueBank::Converged(const std::string& account) const {
+  const int64_t first = BalanceAt(0, account);
+  for (size_t i = 1; i < sites_.size(); ++i) {
+    if (BalanceAt(static_cast<int>(i), account) != first) return false;
+  }
+  return true;
+}
+
+}  // namespace evc::txn

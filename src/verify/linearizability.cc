@@ -1,0 +1,135 @@
+#include "verify/linearizability.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/status.h"
+
+namespace evc::verify {
+
+Operation Write(std::string value, int64_t invoke, int64_t response) {
+  Operation op;
+  op.type = Operation::Type::kWrite;
+  op.value = std::move(value);
+  op.invoke = invoke;
+  op.response = response;
+  return op;
+}
+
+Operation Read(std::string value, int64_t invoke, int64_t response) {
+  Operation op;
+  op.type = Operation::Type::kRead;
+  op.value = std::move(value);
+  op.found = true;
+  op.invoke = invoke;
+  op.response = response;
+  return op;
+}
+
+Operation ReadNotFound(int64_t invoke, int64_t response) {
+  Operation op;
+  op.type = Operation::Type::kRead;
+  op.found = false;
+  op.invoke = invoke;
+  op.response = response;
+  return op;
+}
+
+namespace {
+
+// Register states are interned: 0 = "not present", i+1 = distinct value i.
+class Checker {
+ public:
+  Checker(const std::vector<Operation>& history, const CheckOptions& options)
+      : history_(history), options_(options) {
+    EVC_CHECK(history.size() <= 63);
+    auto intern = [this](const std::string& value) {
+      if (!value_ids_.count(value)) {
+        const int id = static_cast<int>(value_ids_.size()) + 1;
+        value_ids_[value] = id;
+      }
+    };
+    for (const Operation& op : history_) {
+      if (op.type == Operation::Type::kWrite || op.found) intern(op.value);
+    }
+    if (options_.initial_present) intern(options_.initial_value);
+    initial_state_ = options_.initial_present
+                         ? InternOrZero(options_.initial_value)
+                         : 0;
+  }
+
+  CheckResult Run() {
+    CheckResult result;
+    const uint64_t all_done = (uint64_t{1} << history_.size()) - 1;
+    result.linearizable = Dfs(all_done, initial_state_, &result);
+    return result;
+  }
+
+ private:
+  int InternOrZero(const std::string& value) const {
+    auto it = value_ids_.find(value);
+    return it == value_ids_.end() ? 0 : it->second;
+  }
+
+  /// `remaining` is the bitmask of not-yet-linearized ops; `state` is the
+  /// interned register value. Returns true if the remainder linearizes.
+  bool Dfs(uint64_t remaining, int state, CheckResult* result) {
+    if (remaining == 0) return true;
+    const auto memo_key = std::make_pair(remaining, state);
+    if (!visited_.insert(memo_key).second) return false;
+    if (++result->states_explored > options_.max_states) {
+      result->exhausted = true;
+      return false;
+    }
+
+    // An op may be linearized next iff no other remaining op completed
+    // strictly before it was invoked (real-time order).
+    int64_t min_response = INT64_MAX;
+    for (size_t i = 0; i < history_.size(); ++i) {
+      if ((remaining >> i) & 1) {
+        min_response = std::min(min_response, history_[i].response);
+      }
+    }
+    for (size_t i = 0; i < history_.size(); ++i) {
+      if (!((remaining >> i) & 1)) continue;
+      const Operation& op = history_[i];
+      if (op.invoke > min_response) continue;  // something finished first
+
+      if (op.type == Operation::Type::kRead) {
+        const int expect = op.found ? InternOrZero(op.value) : 0;
+        if (op.found && expect == 0) continue;  // value never written
+        if (expect != state) continue;          // read wouldn't match
+        if (Dfs(remaining & ~(uint64_t{1} << i), state, result)) return true;
+      } else {
+        const int next_state = InternOrZero(op.value);
+        if (Dfs(remaining & ~(uint64_t{1} << i), next_state, result)) {
+          return true;
+        }
+      }
+      if (result->exhausted) return false;
+    }
+    return false;
+  }
+
+  const std::vector<Operation>& history_;
+  const CheckOptions& options_;
+  std::map<std::string, int> value_ids_;
+  int initial_state_ = 0;
+  std::set<std::pair<uint64_t, int>> visited_;
+};
+
+}  // namespace
+
+CheckResult CheckLinearizable(const std::vector<Operation>& history,
+                              const CheckOptions& options) {
+  if (history.empty()) {
+    CheckResult result;
+    result.linearizable = true;
+    return result;
+  }
+  Checker checker(history, options);
+  return checker.Run();
+}
+
+}  // namespace evc::verify

@@ -1,0 +1,95 @@
+// YCSB-style workload generation.
+//
+// The experiments drive every store through the same synthetic workloads the
+// systems surveyed by the tutorial were evaluated with: a keyspace of
+// `record_count` records, an operation mix (read / update / insert /
+// read-modify-write), and a key-popularity distribution (uniform, Zipfian,
+// latest, hotspot). Presets mirror the standard YCSB core workloads A-D/F.
+
+#ifndef EVC_WORKLOAD_WORKLOAD_H_
+#define EVC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/distributions.h"
+#include "common/rng.h"
+
+namespace evc::workload {
+
+enum class OpType {
+  kRead,
+  kUpdate,
+  kInsert,
+  kReadModifyWrite,
+};
+
+const char* OpTypeToString(OpType type);
+
+/// One generated operation.
+struct Op {
+  OpType type = OpType::kRead;
+  std::string key;
+  std::string value;  // empty for reads
+};
+
+enum class KeyDistributionKind {
+  kUniform,
+  kZipfian,
+  kLatest,
+  kHotspot,
+};
+
+struct WorkloadConfig {
+  uint64_t record_count = 1000;
+  double read_proportion = 0.95;
+  double update_proportion = 0.05;
+  double insert_proportion = 0.0;
+  double rmw_proportion = 0.0;
+  KeyDistributionKind distribution = KeyDistributionKind::kZipfian;
+  double zipf_theta = 0.99;
+  double hotspot_set_fraction = 0.2;
+  double hotspot_draw_fraction = 0.8;
+  size_t value_size = 100;
+  std::string key_prefix = "user";
+
+  /// Standard YCSB presets.
+  static WorkloadConfig YcsbA();  ///< 50/50 read/update, zipfian
+  static WorkloadConfig YcsbB();  ///< 95/5 read/update, zipfian
+  static WorkloadConfig YcsbC();  ///< read-only, zipfian
+  static WorkloadConfig YcsbD();  ///< 95/5 read/insert, latest
+  static WorkloadConfig YcsbF();  ///< 50/50 read/RMW, zipfian
+};
+
+/// Deterministic (seeded) operation stream.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, uint64_t seed);
+
+  /// Next operation. Inserts extend the live keyspace.
+  Op Next();
+
+  /// The canonical key string for record index `i`.
+  std::string KeyFor(uint64_t index) const;
+
+  /// Deterministic value payload for a key (self-describing for checksum
+  /// assertions: value embeds the key and a sequence number).
+  std::string ValueFor(const std::string& key);
+
+  uint64_t live_record_count() const { return live_records_; }
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  std::unique_ptr<KeyDistribution> MakeDistribution() const;
+
+  WorkloadConfig config_;
+  Rng rng_;
+  uint64_t live_records_;
+  uint64_t value_seq_ = 0;
+  std::unique_ptr<KeyDistribution> dist_;
+};
+
+}  // namespace evc::workload
+
+#endif  // EVC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,225 @@
+#include "replication/anti_entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/rpc.h"
+
+namespace evc::repl {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+class AntiEntropyTest : public ::testing::Test {
+ protected:
+  void Build(int replica_count, AntiEntropyOptions options = {},
+             uint64_t seed = 11) {
+    sim_ = std::make_unique<sim::Simulator>(seed);
+    net_ = std::make_unique<sim::Network>(
+        sim_.get(), std::make_unique<sim::ConstantLatency>(5 * kMillisecond));
+    for (int i = 0; i < replica_count; ++i) {
+      nodes_.push_back(net_->AddNode());
+      storages_.push_back(std::make_unique<ReplicaStorage>(
+          static_cast<uint32_t>(i), ReplicaStorageOptions{}));
+      raw_storages_.push_back(storages_.back().get());
+    }
+    ae_ = std::make_unique<AntiEntropy>(net_.get(), nodes_, raw_storages_,
+                                        options);
+  }
+
+  LamportTimestamp Ts(uint64_t c, uint32_t node = 0) {
+    return LamportTimestamp{c, node};
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::vector<sim::NodeId> nodes_;
+  std::vector<std::unique_ptr<ReplicaStorage>> storages_;
+  std::vector<ReplicaStorage*> raw_storages_;
+  std::unique_ptr<AntiEntropy> ae_;
+};
+
+TEST_F(AntiEntropyTest, SyncPairTransfersMissingKeys) {
+  Build(2);
+  storages_[0]->Put("a", "1", {}, Ts(1));
+  storages_[0]->Put("b", "2", {}, Ts(2));
+  EXPECT_FALSE(ae_->Converged());
+  EXPECT_TRUE(ae_->SyncPair(0, 1));
+  EXPECT_TRUE(ae_->Converged());
+  EXPECT_EQ(storages_[1]->Get("a").size(), 1u);
+  EXPECT_EQ(storages_[1]->Get("b").size(), 1u);
+}
+
+TEST_F(AntiEntropyTest, SyncPairIsBidirectional) {
+  Build(2);
+  storages_[0]->Put("only-on-0", "x", {}, Ts(1, 0));
+  storages_[1]->Put("only-on-1", "y", {}, Ts(1, 1));
+  ae_->SyncPair(0, 1);
+  EXPECT_TRUE(ae_->Converged());
+  EXPECT_FALSE(storages_[0]->Get("only-on-1").empty());
+  EXPECT_FALSE(storages_[1]->Get("only-on-0").empty());
+}
+
+TEST_F(AntiEntropyTest, SyncPairSkipsWhenIdentical) {
+  Build(2);
+  storages_[0]->Put("k", "v", {}, Ts(1));
+  ae_->SyncPair(0, 1);
+  const auto shipped_before = ae_->stats().keys_shipped;
+  EXPECT_FALSE(ae_->SyncPair(0, 1));
+  EXPECT_EQ(ae_->stats().keys_shipped, shipped_before);
+  EXPECT_GE(ae_->stats().syncs_skipped, 1u);
+}
+
+TEST_F(AntiEntropyTest, SyncCostProportionalToDivergenceNotDbSize) {
+  Build(2);
+  // Large shared database.
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "shared" + std::to_string(i);
+    storages_[0]->Put(key, "v", {}, Ts(i + 1));
+    storages_[1]->MergeRemote(key, storages_[0]->GetRaw(key));
+  }
+  // Small divergence.
+  for (int i = 0; i < 5; ++i) {
+    storages_[0]->Put("fresh" + std::to_string(i), "v", {}, Ts(10000 + i));
+  }
+  ae_->SyncPair(0, 1);
+  EXPECT_TRUE(ae_->Converged());
+  // Keys shipped should be near the divergence (same-bucket collateral keys
+  // allowed), far below database size.
+  EXPECT_LT(ae_->stats().keys_shipped, 100u);
+}
+
+TEST_F(AntiEntropyTest, GossipConvergesEightReplicas) {
+  AntiEntropyOptions options;
+  options.interval = 50 * kMillisecond;
+  options.fanout = 1;
+  Build(8, options);
+  for (int i = 0; i < 20; ++i) {
+    storages_[0]->Put("key" + std::to_string(i), "v", {}, Ts(i + 1));
+  }
+  ae_->Start();
+  sim_->RunFor(5 * kSecond);
+  EXPECT_TRUE(ae_->Converged());
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(storages_[r]->key_count(), 20u) << "replica " << r;
+  }
+}
+
+TEST_F(AntiEntropyTest, GossipConvergesWithUpdatesAtEveryReplica) {
+  AntiEntropyOptions options;
+  options.interval = 50 * kMillisecond;
+  Build(6, options);
+  for (int r = 0; r < 6; ++r) {
+    storages_[r]->Put("from" + std::to_string(r), "v", {},
+                      Ts(1, static_cast<uint32_t>(r)));
+  }
+  ae_->Start();
+  sim_->RunFor(5 * kSecond);
+  EXPECT_TRUE(ae_->Converged());
+  EXPECT_EQ(storages_[3]->key_count(), 6u);
+}
+
+TEST_F(AntiEntropyTest, DownReplicaCatchesUpAfterRestart) {
+  AntiEntropyOptions options;
+  options.interval = 50 * kMillisecond;
+  Build(4, options);
+  net_->SetNodeUp(nodes_[3], false);
+  storages_[0]->Put("k", "v", {}, Ts(1));
+  ae_->Start();
+  sim_->RunFor(2 * kSecond);
+  EXPECT_TRUE(storages_[3]->Get("k").empty());  // down: no gossip received
+  net_->SetNodeUp(nodes_[3], true);
+  sim_->RunFor(3 * kSecond);
+  EXPECT_TRUE(ae_->Converged());
+  EXPECT_FALSE(storages_[3]->Get("k").empty());
+}
+
+TEST_F(AntiEntropyTest, ConflictingSiblingsSpreadEverywhere) {
+  AntiEntropyOptions options;
+  options.interval = 50 * kMillisecond;
+  Build(3, options);
+  // Concurrent writes of the same key at two replicas.
+  storages_[0]->Put("cart", "milk", {}, Ts(1, 0));
+  storages_[1]->Put("cart", "eggs", {}, Ts(1, 1));
+  ae_->Start();
+  sim_->RunFor(5 * kSecond);
+  EXPECT_TRUE(ae_->Converged());
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(storages_[r]->Get("cart").size(), 2u) << "replica " << r;
+  }
+}
+
+TEST_F(AntiEntropyTest, PushOnlyStillConvergesButSlower) {
+  // Push-pull moves data both directions per round; push-only needs the
+  // reverse pairing to happen by chance. Both converge eventually.
+  AntiEntropyOptions pp;
+  pp.interval = 50 * kMillisecond;
+  pp.push_pull = false;
+  Build(4, pp);
+  storages_[0]->Put("a", "1", {}, Ts(1, 0));
+  storages_[3]->Put("b", "2", {}, Ts(1, 3));
+  ae_->Start();
+  sim_->RunFor(10 * kSecond);
+  EXPECT_TRUE(ae_->Converged());
+}
+
+TEST_F(AntiEntropyTest, TombstonesPropagate) {
+  AntiEntropyOptions options;
+  options.interval = 50 * kMillisecond;
+  Build(3, options);
+  storages_[0]->Put("k", "v", {}, Ts(1));
+  ae_->SyncPair(0, 1);
+  ae_->SyncPair(0, 2);
+  EXPECT_TRUE(ae_->Converged());
+  storages_[1]->Delete("k", storages_[1]->ContextFor("k"), Ts(2, 1));
+  ae_->Start();
+  sim_->RunFor(5 * kSecond);
+  EXPECT_TRUE(ae_->Converged());
+  EXPECT_TRUE(storages_[0]->Get("k").empty());
+  EXPECT_TRUE(storages_[2]->Get("k").empty());
+}
+
+// Property sweep: convergence holds across cluster sizes and fanouts.
+class AntiEntropyConvergenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AntiEntropyConvergenceTest, AlwaysConverges) {
+  const int replicas = std::get<0>(GetParam());
+  const int fanout = std::get<1>(GetParam());
+  sim::Simulator sim(static_cast<uint64_t>(replicas * 100 + fanout));
+  sim::Network net(&sim,
+                   std::make_unique<sim::UniformLatency>(kMillisecond,
+                                                         10 * kMillisecond));
+  std::vector<sim::NodeId> nodes;
+  std::vector<std::unique_ptr<ReplicaStorage>> storages;
+  std::vector<ReplicaStorage*> raw;
+  for (int i = 0; i < replicas; ++i) {
+    nodes.push_back(net.AddNode());
+    storages.push_back(std::make_unique<ReplicaStorage>(
+        static_cast<uint32_t>(i), ReplicaStorageOptions{}));
+    raw.push_back(storages.back().get());
+  }
+  AntiEntropyOptions options;
+  options.interval = 40 * kMillisecond;
+  options.fanout = fanout;
+  AntiEntropy ae(&net, nodes, raw, options);
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const auto r = static_cast<uint32_t>(rng.NextBounded(replicas));
+    storages[r]->Put("key" + std::to_string(i), "v", {},
+                     LamportTimestamp{static_cast<uint64_t>(i + 1), r});
+  }
+  ae.Start();
+  sim.RunFor(20 * kSecond);
+  EXPECT_TRUE(ae.Converged())
+      << "replicas=" << replicas << " fanout=" << fanout;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AntiEntropyConvergenceTest,
+                         ::testing::Combine(::testing::Values(2, 4, 16, 32),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace evc::repl

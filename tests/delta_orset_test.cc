@@ -1,0 +1,185 @@
+#include "crdt/delta_orset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+
+#include "common/rng.h"
+
+namespace evc::crdt {
+namespace {
+
+TEST(DotContextTest, ContainsContiguousAndCloud) {
+  DotContext ctx;
+  ctx.Add(Dot{0, 1});
+  ctx.Add(Dot{0, 2});
+  ctx.Add(Dot{0, 5});  // gap: 3,4 missing
+  EXPECT_TRUE(ctx.Contains(Dot{0, 1}));
+  EXPECT_TRUE(ctx.Contains(Dot{0, 2}));
+  EXPECT_FALSE(ctx.Contains(Dot{0, 3}));
+  EXPECT_TRUE(ctx.Contains(Dot{0, 5}));
+  EXPECT_EQ(ctx.vector().Get(0), 2u);
+  EXPECT_EQ(ctx.cloud_size(), 1u);
+}
+
+TEST(DotContextTest, CompactFoldsFilledGaps) {
+  DotContext ctx;
+  ctx.Add(Dot{0, 2});
+  ctx.Add(Dot{0, 3});
+  EXPECT_EQ(ctx.vector().Get(0), 0u);  // nothing contiguous yet
+  ctx.Add(Dot{0, 1});                  // fills the gap
+  EXPECT_EQ(ctx.vector().Get(0), 3u);
+  EXPECT_EQ(ctx.cloud_size(), 0u);
+}
+
+TEST(DotContextTest, NextDotIsFreshAndContiguous) {
+  DotContext ctx;
+  const Dot d1 = ctx.NextDot(4);
+  const Dot d2 = ctx.NextDot(4);
+  EXPECT_EQ(d1.counter + 1, d2.counter);
+  EXPECT_TRUE(ctx.Contains(d1));
+  EXPECT_TRUE(ctx.Contains(d2));
+  EXPECT_EQ(ctx.cloud_size(), 0u);
+}
+
+TEST(DotContextTest, MergeCompactsAcrossSources) {
+  DotContext a, b;
+  a.Add(Dot{1, 1});
+  b.Add(Dot{1, 2});
+  a.Merge(b);
+  EXPECT_EQ(a.vector().Get(1), 2u);
+  EXPECT_EQ(a.cloud_size(), 0u);
+}
+
+TEST(DeltaOrSetTest, AddRemoveLocal) {
+  DeltaOrSet s(0);
+  s.Add("x");
+  EXPECT_TRUE(s.Contains("x"));
+  s.Remove("x");
+  EXPECT_FALSE(s.Contains("x"));
+  s.Add("x");
+  EXPECT_TRUE(s.Contains("x"));  // re-add works
+}
+
+TEST(DeltaOrSetTest, DeltaTransfersAdd) {
+  DeltaOrSet a(0), b(1);
+  const DeltaOrSet delta = a.Add("x");
+  b.Merge(delta);
+  EXPECT_TRUE(b.Contains("x"));
+}
+
+TEST(DeltaOrSetTest, DeltaTransfersRemove) {
+  DeltaOrSet a(0), b(1);
+  b.Merge(a.Add("x"));
+  ASSERT_TRUE(b.Contains("x"));
+  b.Merge(a.Remove("x"));
+  EXPECT_FALSE(b.Contains("x"));
+}
+
+TEST(DeltaOrSetTest, DeltaStreamEqualsFullState) {
+  DeltaOrSet source(0), via_deltas(100), via_state(101);
+  Rng rng(3);
+  const char* items[] = {"a", "b", "c", "d"};
+  for (int i = 0; i < 300; ++i) {
+    const std::string item = items[rng.NextBounded(4)];
+    const DeltaOrSet delta =
+        rng.NextBool(0.6) ? source.Add(item) : source.Remove(item);
+    via_deltas.Merge(delta);
+  }
+  via_state.Merge(source);
+  EXPECT_TRUE(via_deltas == via_state);
+  EXPECT_TRUE(via_deltas == source);
+}
+
+TEST(DeltaOrSetTest, ConcurrentAddSurvivesRemove) {
+  DeltaOrSet a(0), b(1);
+  b.Merge(a.Add("beer"));
+  const DeltaOrSet remove_delta = a.Remove("beer");  // observed a's dot
+  const DeltaOrSet add_delta = b.Add("beer");        // fresh concurrent dot
+  a.Merge(add_delta);
+  b.Merge(remove_delta);
+  EXPECT_TRUE(a.Contains("beer"));
+  EXPECT_TRUE(b.Contains("beer"));
+  a.Merge(b);
+  b.Merge(a);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(DeltaOrSetTest, ReorderedDeltasStillConverge) {
+  // Deltas are joined like state: applying them out of order (even with
+  // gaps temporarily unfilled) converges once all have arrived.
+  DeltaOrSet source(0), sink(1);
+  std::vector<DeltaOrSet> deltas;
+  deltas.push_back(source.Add("a"));
+  deltas.push_back(source.Add("b"));
+  deltas.push_back(source.Remove("a"));
+  deltas.push_back(source.Add("c"));
+  std::reverse(deltas.begin(), deltas.end());
+  for (const auto& d : deltas) sink.Merge(d);
+  EXPECT_TRUE(sink == source);
+  auto elements = sink.Elements();
+  std::sort(elements.begin(), elements.end());
+  EXPECT_EQ(elements, (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(DeltaOrSetTest, DuplicatedDeltasAreIdempotent) {
+  DeltaOrSet source(0), sink(1);
+  const DeltaOrSet d1 = source.Add("x");
+  const DeltaOrSet d2 = source.Remove("x");
+  sink.Merge(d1);
+  sink.Merge(d1);
+  sink.Merge(d2);
+  sink.Merge(d2);
+  sink.Merge(d1);  // stale re-delivery after the remove
+  EXPECT_FALSE(sink.Contains("x"));
+  EXPECT_TRUE(sink == source);
+}
+
+TEST(DeltaOrSetTest, DeltaBytesMuchSmallerThanState) {
+  DeltaOrSet s(0);
+  for (int i = 0; i < 500; ++i) s.Add("item" + std::to_string(i));
+  const DeltaOrSet delta = s.Add("one-more");
+  EXPECT_LT(delta.StateBytes() * 20, s.StateBytes());
+}
+
+class DeltaOrSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaOrSetPropertyTest, RandomDeltaGossipConverges) {
+  Rng rng(GetParam());
+  DeltaOrSet replicas[3] = {DeltaOrSet(0), DeltaOrSet(1), DeltaOrSet(2)};
+  // Per-destination delta queues with random delivery (loss-free but
+  // arbitrarily delayed and reordered).
+  std::deque<DeltaOrSet> queues[3];
+  const char* items[] = {"p", "q", "r"};
+  for (int step = 0; step < 400; ++step) {
+    const uint32_t r = static_cast<uint32_t>(rng.NextBounded(3));
+    const std::string item = items[rng.NextBounded(3)];
+    DeltaOrSet delta = rng.NextBool(0.55) ? replicas[r].Add(item)
+                                          : replicas[r].Remove(item);
+    for (uint32_t peer = 0; peer < 3; ++peer) {
+      if (peer != r) queues[peer].push_back(delta);
+    }
+    // Randomly deliver some queued deltas, possibly out of order.
+    for (uint32_t peer = 0; peer < 3; ++peer) {
+      while (!queues[peer].empty() && rng.NextBool(0.4)) {
+        const size_t pick = rng.NextBounded(queues[peer].size());
+        replicas[peer].Merge(queues[peer][pick]);
+        queues[peer].erase(queues[peer].begin() +
+                           static_cast<long>(pick));
+      }
+    }
+  }
+  // Drain all queues.
+  for (uint32_t peer = 0; peer < 3; ++peer) {
+    for (const auto& d : queues[peer]) replicas[peer].Merge(d);
+  }
+  EXPECT_TRUE(replicas[0] == replicas[1]);
+  EXPECT_TRUE(replicas[1] == replicas[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaOrSetPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace evc::crdt

@@ -1,0 +1,199 @@
+#include "storage/dvv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace evc {
+namespace {
+
+std::vector<std::string> Values(const DvvReadResult& r) {
+  std::vector<std::string> out;
+  for (const auto& s : r.siblings) out.push_back(s.value);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(DvvStoreTest, EmptyRead) {
+  DvvStore store(0);
+  const DvvReadResult r = store.Get("nope");
+  EXPECT_TRUE(r.siblings.empty());
+  EXPECT_TRUE(r.context.empty());
+}
+
+TEST(DvvStoreTest, PutThenGet) {
+  DvvStore store(0);
+  store.Put("k", "v", {});
+  const DvvReadResult r = store.Get("k");
+  ASSERT_EQ(r.siblings.size(), 1u);
+  EXPECT_EQ(r.siblings[0].value, "v");
+  EXPECT_EQ(r.context.Get(0), 1u);
+}
+
+TEST(DvvStoreTest, CausalOverwritePrunes) {
+  DvvStore store(0);
+  store.Put("k", "v1", {});
+  const DvvReadResult r1 = store.Get("k");
+  store.Put("k", "v2", r1.context);
+  const DvvReadResult r2 = store.Get("k");
+  EXPECT_EQ(Values(r2), (std::vector<std::string>{"v2"}));
+}
+
+TEST(DvvStoreTest, SameCoordinatorBlindWritesKeepSiblings) {
+  // THE fix over plain version vectors: two clients with empty contexts
+  // writing through the same coordinator both survive.
+  DvvStore store(0);
+  store.Put("k", "from-client-A", {});
+  store.Put("k", "from-client-B", {});
+  const DvvReadResult r = store.Get("k");
+  EXPECT_EQ(Values(r),
+            (std::vector<std::string>{"from-client-A", "from-client-B"}));
+}
+
+TEST(DvvStoreTest, SiblingCountBoundedByConcurrentWriters) {
+  // Unlike tombstone-accumulating schemes, the sibling set stays bounded:
+  // a client that read everything collapses the set to one.
+  DvvStore store(0);
+  for (int i = 0; i < 10; ++i) {
+    store.Put("k", "blind" + std::to_string(i), {});
+  }
+  EXPECT_EQ(store.Get("k").siblings.size(), 10u);
+  const DvvReadResult all = store.Get("k");
+  store.Put("k", "resolved", all.context);
+  EXPECT_EQ(Values(store.Get("k")), (std::vector<std::string>{"resolved"}));
+}
+
+TEST(DvvStoreTest, PartialContextPrunesOnlyObserved) {
+  DvvStore store(0);
+  store.Put("k", "old", {});
+  const DvvReadResult r1 = store.Get("k");  // client X reads {old}
+  store.Put("k", "concurrent", {});         // client Y writes blind
+  store.Put("k", "replacement", r1.context);  // X replaces what it saw
+  const DvvReadResult r2 = store.Get("k");
+  EXPECT_EQ(Values(r2),
+            (std::vector<std::string>{"concurrent", "replacement"}));
+}
+
+TEST(DvvStoreTest, DeleteTombstonesObservedSiblings) {
+  DvvStore store(0);
+  store.Put("k", "v", {});
+  const DvvReadResult r = store.Get("k");
+  store.Delete("k", r.context);
+  EXPECT_TRUE(store.Get("k").siblings.empty());
+  EXPECT_EQ(store.sibling_count("k"), 1u);  // the tombstone remains
+}
+
+TEST(DvvStoreTest, ConcurrentWriteSurvivesDelete) {
+  DvvStore store(0);
+  store.Put("k", "v", {});
+  const DvvReadResult r = store.Get("k");
+  store.Delete("k", r.context);
+  store.Put("k", "concurrent-add", {});  // blind: did not see the delete
+  const DvvReadResult after = store.Get("k");
+  EXPECT_EQ(Values(after), (std::vector<std::string>{"concurrent-add"}));
+}
+
+TEST(DvvStoreTest, MergeRemoteTransfersState) {
+  DvvStore a(0), b(1);
+  a.Put("k", "x", {});
+  EXPECT_TRUE(b.MergeRemote("k", a.GetContainer("k")));
+  EXPECT_FALSE(b.MergeRemote("k", a.GetContainer("k")));  // idempotent
+  EXPECT_EQ(Values(b.Get("k")), (std::vector<std::string>{"x"}));
+  EXPECT_TRUE(DvvStore::Identical(a, b, "k"));
+}
+
+TEST(DvvStoreTest, MergeKeepsConcurrentDropsObservedRemovals) {
+  DvvStore a(0), b(1);
+  a.Put("k", "v1", {});
+  b.MergeRemote("k", a.GetContainer("k"));
+  // b overwrites causally; a concurrently adds a blind sibling.
+  const DvvReadResult rb = b.Get("k");
+  b.Put("k", "v2", rb.context);
+  a.Put("k", "blind", {});
+  // Converge both ways.
+  a.MergeRemote("k", b.GetContainer("k"));
+  b.MergeRemote("k", a.GetContainer("k"));
+  EXPECT_TRUE(DvvStore::Identical(a, b, "k"));
+  EXPECT_EQ(Values(a.Get("k")), (std::vector<std::string>{"blind", "v2"}));
+}
+
+TEST(DvvStoreTest, ThreeReplicaRandomConvergence) {
+  Rng rng(17);
+  DvvStore replicas[3] = {DvvStore(0), DvvStore(1), DvvStore(2)};
+  for (int step = 0; step < 400; ++step) {
+    const int r = static_cast<int>(rng.NextBounded(3));
+    const double dice = rng.NextDouble();
+    if (dice < 0.35) {
+      // Causal write: read locally first.
+      const DvvReadResult read = replicas[r].Get("k");
+      replicas[r].Put("k", "v" + std::to_string(step), read.context);
+    } else if (dice < 0.5) {
+      replicas[r].Put("k", "blind" + std::to_string(step), {});
+    } else if (dice < 0.6) {
+      const DvvReadResult read = replicas[r].Get("k");
+      replicas[r].Delete("k", read.context);
+    } else {
+      const int peer = static_cast<int>(rng.NextBounded(3));
+      replicas[r].MergeRemote("k", replicas[peer].GetContainer("k"));
+    }
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        if (i != j) {
+          replicas[i].MergeRemote("k", replicas[j].GetContainer("k"));
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(DvvStore::Identical(replicas[0], replicas[1], "k"));
+  EXPECT_TRUE(DvvStore::Identical(replicas[1], replicas[2], "k"));
+}
+
+// The head-to-head anomaly demonstration: plain VV store loses one of two
+// concurrent same-coordinator writes; the DVV store keeps both.
+TEST(DvvStoreTest, HeadToHeadAgainstPlainVersionVectors) {
+  DvvStore dvv(0);
+  dvv.Put("cart", "milk", {});
+  dvv.Put("cart", "eggs", {});
+  EXPECT_EQ(dvv.Get("cart").siblings.size(), 2u);  // both kept
+
+  // (The plain-VV behaviour is asserted in
+  // VersionedStoreTest.BlindWritesSameCoordinatorFalselyOverwrite.)
+}
+
+class DvvPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DvvPropertyTest, MergeIsCommutativeAndIdempotent) {
+  Rng rng(GetParam());
+  DvvStore a(0), b(1);
+  for (int i = 0; i < 50; ++i) {
+    DvvStore& target = rng.NextBool(0.5) ? a : b;
+    if (rng.NextBool(0.6)) {
+      target.Put("k", "v" + std::to_string(i),
+                 rng.NextBool(0.5) ? target.Get("k").context
+                                   : VersionVector());
+    } else if (rng.NextBool(0.3)) {
+      target.Delete("k", target.Get("k").context);
+    }
+  }
+  // Merge in both orders into fresh observers.
+  DvvStore ab(7), ba(8);
+  ab.MergeRemote("k", a.GetContainer("k"));
+  ab.MergeRemote("k", b.GetContainer("k"));
+  ba.MergeRemote("k", b.GetContainer("k"));
+  ba.MergeRemote("k", a.GetContainer("k"));
+  EXPECT_TRUE(DvvStore::Identical(ab, ba, "k"));
+  // Idempotence.
+  DvvStore again(9);
+  again.MergeRemote("k", a.GetContainer("k"));
+  EXPECT_FALSE(again.MergeRemote("k", a.GetContainer("k")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DvvPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace evc

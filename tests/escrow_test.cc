@@ -1,0 +1,189 @@
+#include "txn/escrow.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+namespace evc::txn {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+class EscrowTest : public ::testing::Test {
+ protected:
+  void Build(int replicas, int64_t total, uint64_t seed = 29) {
+    sim_ = std::make_unique<sim::Simulator>(seed);
+    net_ = std::make_unique<sim::Network>(
+        sim_.get(), std::make_unique<sim::UniformLatency>(
+                        5 * kMillisecond, 40 * kMillisecond));
+    rpc_ = std::make_unique<sim::Rpc>(net_.get());
+    escrow_ = std::make_unique<EscrowCluster>(rpc_.get(), replicas, total);
+    client_ = net_->AddNode();
+  }
+
+  Result<int64_t> AcquireSync(int replica, int64_t amount) {
+    std::optional<Result<int64_t>> out;
+    escrow_->Acquire(client_, replica, amount,
+                     [&](Result<int64_t> r) { out = std::move(r); });
+    sim_->RunFor(10 * kSecond);
+    EVC_CHECK(out.has_value());
+    return *out;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<sim::Rpc> rpc_;
+  std::unique_ptr<EscrowCluster> escrow_;
+  sim::NodeId client_ = 0;
+};
+
+TEST_F(EscrowTest, SharesSplitEvenly) {
+  Build(4, 100);
+  EXPECT_EQ(escrow_->ShareOf(0), 25);
+  EXPECT_EQ(escrow_->ShareOf(3), 25);
+  EXPECT_EQ(escrow_->TotalRemaining(), 100);
+}
+
+TEST_F(EscrowTest, UnevenSplitDistributesRemainder) {
+  Build(3, 100);
+  EXPECT_EQ(escrow_->TotalRemaining(), 100);
+  EXPECT_EQ(escrow_->ShareOf(0) + escrow_->ShareOf(1) + escrow_->ShareOf(2),
+            100);
+}
+
+TEST_F(EscrowTest, LocalAcquireFastPath) {
+  Build(2, 100);
+  auto r = AcquireSync(0, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 40);  // 50 - 10
+  EXPECT_EQ(escrow_->TotalRemaining(), 90);
+  EXPECT_EQ(escrow_->total_acquired(), 10);
+  EXPECT_EQ(escrow_->stats().transfers, 0u);
+}
+
+TEST_F(EscrowTest, DryReplicaStealsFromPeer) {
+  Build(2, 100);
+  ASSERT_TRUE(AcquireSync(0, 50).ok());  // replica 0 now empty
+  auto r = AcquireSync(0, 10);           // must rebalance from replica 1
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(escrow_->stats().transfers, 1u);
+  EXPECT_EQ(escrow_->TotalRemaining(), 40);
+}
+
+TEST_F(EscrowTest, ExhaustedEscrowAborts) {
+  Build(2, 20);
+  ASSERT_TRUE(AcquireSync(0, 10).ok());
+  ASSERT_TRUE(AcquireSync(1, 10).ok());
+  auto r = AcquireSync(0, 1);
+  EXPECT_TRUE(r.status().IsAborted());
+  EXPECT_EQ(escrow_->TotalRemaining(), 0);
+  EXPECT_EQ(escrow_->total_acquired(), 20);
+}
+
+TEST_F(EscrowTest, NeverOversellsUnderConcurrency) {
+  Build(4, 100);
+  int ok = 0, aborted = 0;
+  // 150 concurrent acquires of 1 against stock of 100.
+  for (int i = 0; i < 150; ++i) {
+    escrow_->Acquire(client_, i % 4, 1, [&](Result<int64_t> r) {
+      if (r.ok()) {
+        ++ok;
+      } else {
+        ++aborted;
+      }
+    });
+  }
+  sim_->RunFor(60 * kSecond);
+  EXPECT_EQ(ok + aborted, 150);
+  EXPECT_EQ(escrow_->total_acquired(), ok);
+  EXPECT_LE(escrow_->total_acquired(), 100);
+  EXPECT_EQ(escrow_->TotalRemaining(), 100 - escrow_->total_acquired());
+  // Escrow should sell essentially everything (aborts only from races on
+  // the final units).
+  EXPECT_GE(ok, 95);
+}
+
+TEST_F(EscrowTest, InvariantHoldsAtEveryStep) {
+  Build(3, 60);
+  Rng rng(5);
+  int pending = 0;
+  for (int i = 0; i < 100; ++i) {
+    ++pending;
+    escrow_->Acquire(client_, static_cast<int>(rng.NextBounded(3)),
+                     static_cast<int64_t>(rng.NextBounded(5)) + 1,
+                     [&](Result<int64_t>) { --pending; });
+    if (i % 10 == 0) {
+      sim_->RunFor(kSecond);
+      // Conservation: remaining escrow + acquired units == initial stock.
+      EXPECT_EQ(escrow_->TotalRemaining() + escrow_->total_acquired(), 60);
+    }
+  }
+  sim_->RunFor(60 * kSecond);
+  EXPECT_EQ(pending, 0);
+  EXPECT_EQ(escrow_->TotalRemaining() + escrow_->total_acquired(), 60);
+  EXPECT_LE(escrow_->total_acquired(), 60);
+}
+
+TEST(NaiveCounterTest, SingleReplicaBehavesCorrectly) {
+  sim::Simulator sim(31);
+  sim::Network net(&sim, std::make_unique<sim::ConstantLatency>(
+                             10 * kMillisecond));
+  sim::Rpc rpc(&net);
+  NaiveCounterCluster naive(&rpc, 1, 10);
+  const sim::NodeId client = net.AddNode();
+  int ok = 0, aborted = 0;
+  for (int i = 0; i < 15; ++i) {
+    naive.Acquire(client, 0, 1, [&](Result<int64_t> r) {
+      r.ok() ? ++ok : ++aborted;
+    });
+  }
+  sim.RunFor(10 * kSecond);
+  EXPECT_EQ(ok, 10);
+  EXPECT_EQ(aborted, 5);
+  EXPECT_EQ(naive.Oversold(), 0);
+}
+
+TEST(NaiveCounterTest, ConcurrentAcquiresOversell) {
+  sim::Simulator sim(33);
+  sim::Network net(&sim, std::make_unique<sim::UniformLatency>(
+                             20 * kMillisecond, 80 * kMillisecond));
+  sim::Rpc rpc(&net);
+  NaiveCounterCluster naive(&rpc, 4, 100);
+  const sim::NodeId client = net.AddNode();
+  // 4 replicas each sell from a cached count of 100 before any delta
+  // propagates: up to 400 can be "sold".
+  int ok = 0;
+  for (int i = 0; i < 300; ++i) {
+    naive.Acquire(client, i % 4, 1,
+                  [&](Result<int64_t> r) { ok += r.ok() ? 1 : 0; });
+  }
+  sim.RunFor(30 * kSecond);
+  EXPECT_GT(naive.total_acquired(), 100);  // oversold
+  EXPECT_GT(naive.Oversold(), 0);
+  EXPECT_EQ(naive.total_acquired(), ok);
+}
+
+TEST(NaiveCounterTest, SequentialAcquiresWithDrainDoNotOversell) {
+  sim::Simulator sim(35);
+  sim::Network net(&sim, std::make_unique<sim::ConstantLatency>(
+                             5 * kMillisecond));
+  sim::Rpc rpc(&net);
+  NaiveCounterCluster naive(&rpc, 3, 30);
+  const sim::NodeId client = net.AddNode();
+  int ok = 0;
+  for (int i = 0; i < 60; ++i) {
+    std::optional<Result<int64_t>> out;
+    naive.Acquire(client, i % 3, 1,
+                  [&](Result<int64_t> r) { out = std::move(r); });
+    sim.RunFor(kSecond);  // deltas fully propagate between ops
+    ASSERT_TRUE(out.has_value());
+    ok += out->ok() ? 1 : 0;
+  }
+  EXPECT_EQ(ok, 30);
+  EXPECT_EQ(naive.Oversold(), 0);
+}
+
+}  // namespace
+}  // namespace evc::txn

@@ -1,0 +1,171 @@
+#include "replication/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "replication/quorum_store.h"
+
+namespace evc::repl {
+namespace {
+
+TEST(HashRingTest, SingleServerOwnsEverything) {
+  HashRing ring(8);
+  ring.AddServer(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.PrimaryFor("key" + std::to_string(i)), 7u);
+  }
+}
+
+TEST(HashRingTest, PreferenceListDistinctAndDeterministic) {
+  HashRing ring(16);
+  for (sim::NodeId n = 0; n < 10; ++n) ring.AddServer(n);
+  const auto a = ring.PreferenceList("some-key", 3);
+  const auto b = ring.PreferenceList("some-key", 3);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 3u);
+  std::set<sim::NodeId> distinct(a.begin(), a.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(HashRingTest, RequestingMoreThanServersClamps) {
+  HashRing ring(4);
+  ring.AddServer(1);
+  ring.AddServer(2);
+  EXPECT_EQ(ring.PreferenceList("k", 5).size(), 2u);
+}
+
+TEST(HashRingTest, VirtualNodesBalanceLoad) {
+  // With 1 vnode per server, arc lengths vary wildly; with 128, primary
+  // ownership approaches uniform.
+  auto imbalance = [](int vnodes) {
+    HashRing ring(vnodes);
+    for (sim::NodeId n = 0; n < 8; ++n) ring.AddServer(n);
+    std::map<sim::NodeId, int> owned;
+    const int keys = 20000;
+    for (int i = 0; i < keys; ++i) {
+      ++owned[ring.PrimaryFor("key" + std::to_string(i))];
+    }
+    int max_owned = 0;
+    for (const auto& [node, count] : owned) {
+      max_owned = std::max(max_owned, count);
+    }
+    // Ratio of the hottest server's share to the fair share.
+    return static_cast<double>(max_owned) / (keys / 8.0);
+  };
+  const double one_vnode = imbalance(1);
+  const double many_vnodes = imbalance(128);
+  EXPECT_GT(one_vnode, many_vnodes);
+  // Variance of arc lengths shrinks ~1/sqrt(vnodes): expect well under 2x
+  // the fair share at 128 vnodes (typically ~1.2-1.4x), versus often 3-4x
+  // with a single vnode.
+  EXPECT_LT(many_vnodes, 1.6);
+  EXPECT_GT(one_vnode, 1.6);
+}
+
+TEST(HashRingTest, AddingServerRemapsOnlyAFraction) {
+  HashRing ring(64);
+  for (sim::NodeId n = 0; n < 10; ++n) ring.AddServer(n);
+  std::map<std::string, sim::NodeId> before;
+  const int keys = 5000;
+  for (int i = 0; i < keys; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    before[key] = ring.PrimaryFor(key);
+  }
+  ring.AddServer(10);
+  int moved = 0;
+  for (const auto& [key, owner] : before) {
+    if (ring.PrimaryFor(key) != owner) ++moved;
+  }
+  // Consistent hashing: ~1/11 of keys move to the new server; far from the
+  // ~10/11 a modulo scheme would remap.
+  const double fraction = static_cast<double>(moved) / keys;
+  EXPECT_GT(fraction, 0.03);
+  EXPECT_LT(fraction, 0.20);
+  // And every moved key moved TO the new server.
+  for (const auto& [key, owner] : before) {
+    const sim::NodeId now = ring.PrimaryFor(key);
+    if (now != owner) EXPECT_EQ(now, 10u) << key;
+  }
+}
+
+TEST(HashRingTest, RemovingServerSpillsToSuccessors) {
+  HashRing ring(64);
+  for (sim::NodeId n = 0; n < 5; ++n) ring.AddServer(n);
+  std::map<std::string, sim::NodeId> before;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    before[key] = ring.PrimaryFor(key);
+  }
+  ring.RemoveServer(2);
+  for (const auto& [key, owner] : before) {
+    const sim::NodeId now = ring.PrimaryFor(key);
+    if (owner != 2) {
+      EXPECT_EQ(now, owner) << key;  // unaffected keys stay put
+    } else {
+      EXPECT_NE(now, 2u) << key;
+    }
+  }
+}
+
+TEST(HashRingDynamoTest, ClusterWorksWithRingPlacement) {
+  sim::Simulator sim(3);
+  sim::Network net(&sim, std::make_unique<sim::ConstantLatency>(
+                             5 * sim::kMillisecond));
+  sim::Rpc rpc(&net);
+  QuorumConfig config;
+  config.use_hash_ring = true;
+  DynamoCluster cluster(&rpc, config);
+  auto servers = cluster.AddServers(8);
+  const sim::NodeId client = net.AddNode();
+  int completed = 0;
+  for (int i = 0; i < 30; ++i) {
+    cluster.Put(client, servers[i % 8], "key" + std::to_string(i), "v", {},
+                [&](Result<Version> r) {
+                  ASSERT_TRUE(r.ok());
+                  ++completed;
+                });
+  }
+  sim.RunFor(10 * sim::kSecond);
+  EXPECT_EQ(completed, 30);
+  for (int i = 0; i < 30; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_TRUE(cluster.ReplicasConverged(key)) << key;
+    // Preference list agrees with the standalone ring semantics.
+    const auto pref = cluster.PreferenceList(key);
+    EXPECT_EQ(pref.size(), 3u);
+    std::set<sim::NodeId> distinct(pref.begin(), pref.end());
+    EXPECT_EQ(distinct.size(), 3u);
+  }
+}
+
+TEST(HashRingDynamoTest, SloppyQuorumStillWorksOnRing) {
+  sim::Simulator sim(5);
+  sim::Network net(&sim, std::make_unique<sim::ConstantLatency>(
+                             5 * sim::kMillisecond));
+  sim::Rpc rpc(&net);
+  QuorumConfig config;
+  config.use_hash_ring = true;
+  config.sloppy = true;
+  DynamoCluster cluster(&rpc, config);
+  auto servers = cluster.AddServers(6);
+  const sim::NodeId client = net.AddNode();
+  const auto pref = cluster.PreferenceList("k");
+  net.SetNodeUp(pref[1], false);
+  net.SetNodeUp(pref[2], false);
+  int coordinator_index = 0;
+  for (size_t i = 0; i < servers.size(); ++i) {
+    if (servers[i] == pref[0]) coordinator_index = static_cast<int>(i);
+  }
+  bool ok = false;
+  cluster.Put(client, servers[coordinator_index], "k", "v", {},
+              [&](Result<Version> r) { ok = r.ok(); });
+  sim.RunFor(5 * sim::kSecond);
+  EXPECT_TRUE(ok);
+  EXPECT_GE(cluster.stats().sloppy_diversions, 2u);
+}
+
+}  // namespace
+}  // namespace evc::repl

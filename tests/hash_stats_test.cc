@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/stats.h"
+
+namespace evc {
+namespace {
+
+TEST(HashTest, Fnv1aIsDeterministicAndSpreads) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("cba"));
+  EXPECT_NE(Fnv1a64(""), 0u);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(Fnv1a64("key" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 10000u);  // no collisions in a small set
+}
+
+TEST(HashTest, Mix64IsBijectiveOnSample) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+  EXPECT_EQ(Mix64(0), 0u);  // finalizer fixed point: 0 maps to 0
+}
+
+TEST(HashTest, HashCombineIsOrderDependent) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_EQ(HashCombine(1, 2), HashCombine(1, 2));
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC-32C test vector: "123456789" -> 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::string data = "the quick brown fox";
+  const uint32_t base = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] ^= 1;
+    EXPECT_NE(Crc32c(mutated), base) << "flip at " << i;
+  }
+}
+
+TEST(OnlineStatsTest, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(HistogramTest, ExactForSingleValue) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(50.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.Percentile(0.5), 50.0, 3.0);
+  EXPECT_NEAR(h.mean(), 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 50.0);
+}
+
+TEST(HistogramTest, PercentilesOrderedAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Add(static_cast<double>(i));
+  const double p50 = h.Percentile(0.50);
+  const double p95 = h.Percentile(0.95);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_NEAR(p50, 5000, 5000 * 0.05);
+  EXPECT_NEAR(p95, 9500, 9500 * 0.05);
+  EXPECT_NEAR(p99, 9900, 9900 * 0.05);
+  EXPECT_LE(h.Percentile(1.0), 10000.0);
+  EXPECT_GE(h.Percentile(0.0), 0.0);
+}
+
+TEST(HistogramTest, MergeEqualsCombinedSamples) {
+  Histogram a, b, combined;
+  for (int i = 0; i < 1000; ++i) {
+    a.Add(i);
+    combined.Add(i);
+  }
+  for (int i = 1000; i < 3000; ++i) {
+    b.Add(i);
+    combined.Add(i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  EXPECT_DOUBLE_EQ(a.Percentile(0.9), combined.Percentile(0.9));
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Add(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evc

@@ -1,0 +1,204 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace evc::sim {
+namespace {
+
+struct Payload {
+  int value;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : sim_(42),
+        net_(&sim_, std::make_unique<ConstantLatency>(10 * kMillisecond)) {}
+
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  Time delivered_at = -1;
+  int got = 0;
+  net_.RegisterHandler(b, "ping", [&](Message msg) {
+    delivered_at = sim_.Now();
+    got = std::any_cast<Payload>(msg.payload).value;
+    EXPECT_EQ(msg.from, a);
+    EXPECT_EQ(msg.to, b);
+  });
+  net_.Send(a, b, "ping", Payload{7});
+  sim_.Run();
+  EXPECT_EQ(delivered_at, 10 * kMillisecond);
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(net_.messages_delivered(), 1u);
+}
+
+TEST_F(NetworkTest, DropWhenNoHandler) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  net_.Send(a, b, "unknown", Payload{1});
+  sim_.Run();
+  EXPECT_EQ(net_.messages_delivered(), 0u);
+  EXPECT_EQ(net_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, CrashedDestinationDropsAtDelivery) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  int received = 0;
+  net_.RegisterHandler(b, "m", [&](Message) { ++received; });
+  net_.Send(a, b, "m", Payload{1});
+  // Crash b while the message is in flight.
+  sim_.ScheduleAt(5 * kMillisecond, [&] { net_.SetNodeUp(b, false); });
+  sim_.Run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, CrashedSenderCannotSend) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  int received = 0;
+  net_.RegisterHandler(b, "m", [&](Message) { ++received; });
+  net_.SetNodeUp(a, false);
+  net_.Send(a, b, "m", Payload{1});
+  sim_.Run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetworkTest, RestartedNodeReceivesAgain) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  int received = 0;
+  net_.RegisterHandler(b, "m", [&](Message) { ++received; });
+  net_.SetNodeUp(b, false);
+  net_.Send(a, b, "m", Payload{1});
+  sim_.Run();
+  net_.SetNodeUp(b, true);
+  net_.Send(a, b, "m", Payload{2});
+  sim_.Run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkTest, PartitionBlocksCrossGroupTraffic) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  const NodeId c = net_.AddNode();
+  std::vector<NodeId> received_from;
+  net_.RegisterHandler(c, "m", [&](Message msg) {
+    received_from.push_back(msg.from);
+  });
+  net_.Partition({{a}, {b, c}});
+  EXPECT_FALSE(net_.CanCommunicate(a, b));
+  EXPECT_TRUE(net_.CanCommunicate(b, c));
+  net_.Send(a, c, "m", Payload{1});  // blocked
+  net_.Send(b, c, "m", Payload{2});  // same side, allowed
+  sim_.Run();
+  ASSERT_EQ(received_from.size(), 1u);
+  EXPECT_EQ(received_from[0], b);
+}
+
+TEST_F(NetworkTest, PartitionDuringFlightDropsMessage) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  int received = 0;
+  net_.RegisterHandler(b, "m", [&](Message) { ++received; });
+  net_.Send(a, b, "m", Payload{1});
+  sim_.ScheduleAt(1, [&] { net_.Partition({{a}, {b}}); });
+  sim_.Run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetworkTest, HealRestoresConnectivity) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  int received = 0;
+  net_.RegisterHandler(b, "m", [&](Message) { ++received; });
+  net_.Partition({{a}, {b}});
+  net_.Heal();
+  EXPECT_TRUE(net_.CanCommunicate(a, b));
+  net_.Send(a, b, "m", Payload{1});
+  sim_.Run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkTest, LossRateDropsApproximateFraction) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  int received = 0;
+  net_.RegisterHandler(b, "m", [&](Message) { ++received; });
+  net_.set_loss_rate(0.5);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) net_.Send(a, b, "m", Payload{i});
+  sim_.Run();
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.5, 0.03);
+}
+
+TEST_F(NetworkTest, DuplicationDeliversTwice) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  int received = 0;
+  net_.RegisterHandler(b, "m", [&](Message) { ++received; });
+  net_.set_duplicate_rate(1.0);
+  net_.Send(a, b, "m", Payload{1});
+  sim_.Run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST_F(NetworkTest, SentByTypeAccounts) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  net_.RegisterHandler(b, "x", [](Message) {});
+  net_.Send(a, b, "x", Payload{1});
+  net_.Send(a, b, "x", Payload{2});
+  net_.Send(a, b, "y", Payload{3});
+  sim_.Run();
+  EXPECT_EQ(net_.sent_by_type().at("x"), 2u);
+  EXPECT_EQ(net_.sent_by_type().at("y"), 1u);
+}
+
+TEST(WanMatrixTest, CrossDcSlowerThanIntraDc) {
+  Simulator sim(1);
+  auto latency =
+      std::make_unique<WanMatrixLatency>(WanMatrixLatency::ThreeRegionBaseUs(),
+                                         /*jitter_fraction=*/0.0);
+  WanMatrixLatency* wan = latency.get();
+  Network net(&sim, std::move(latency));
+  const NodeId a = net.AddNode();
+  const NodeId b = net.AddNode();
+  const NodeId c = net.AddNode();
+  wan->AssignNode(a, 0);
+  wan->AssignNode(b, 0);
+  wan->AssignNode(c, 2);
+  Rng rng(1);
+  const Time intra = wan->Sample(a, b, rng);
+  const Time cross = wan->Sample(a, c, rng);
+  EXPECT_LT(intra, 1 * kMillisecond);
+  EXPECT_GT(cross, 50 * kMillisecond);
+}
+
+TEST(WanMatrixTest, JitterOnlyIncreasesLatency) {
+  WanMatrixLatency wan(WanMatrixLatency::ThreeRegionBaseUs(), 0.2);
+  wan.AssignNode(0, 0);
+  wan.AssignNode(1, 1);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(wan.Sample(0, 1, rng), 38000);
+  }
+}
+
+TEST(WanMatrixTest, DatacenterOfDefaultsToZero) {
+  WanMatrixLatency wan(WanMatrixLatency::ThreeRegionBaseUs());
+  EXPECT_EQ(wan.DatacenterOf(99), 0u);
+}
+
+}  // namespace
+}  // namespace evc::sim

@@ -1,0 +1,122 @@
+#include "stale/pbs.h"
+
+#include <gtest/gtest.h>
+
+namespace evc::stale {
+namespace {
+
+PbsConfig Config(int n, int r, int w) {
+  PbsConfig c;
+  c.n = n;
+  c.r = r;
+  c.w = w;
+  return c;
+}
+
+TEST(PbsTest, StrictQuorumAlwaysConsistent) {
+  // R + W > N: quorum intersection makes every read see the write, at any t.
+  for (auto [r, w] : {std::pair{2, 2}, {1, 3}, {3, 1}}) {
+    PbsEstimator pbs(Config(3, r, w), 7);
+    EXPECT_DOUBLE_EQ(pbs.ProbConsistent(0, 4000), 1.0)
+        << "R=" << r << " W=" << w;
+  }
+}
+
+TEST(PbsTest, PartialQuorumEventuallyConsistent) {
+  PbsEstimator pbs(Config(3, 1, 1), 7);
+  const double at_zero = pbs.ProbConsistent(0);
+  const double at_10ms = pbs.ProbConsistent(10 * 1000);
+  const double at_100ms = pbs.ProbConsistent(100 * 1000);
+  EXPECT_LT(at_zero, 1.0);
+  EXPECT_GT(at_zero, 0.3);  // even immediately, often consistent
+  EXPECT_GT(at_10ms, at_zero);
+  EXPECT_GT(at_100ms, 0.99);  // converges
+}
+
+TEST(PbsTest, ProbabilityMonotoneInT) {
+  PbsEstimator pbs(Config(3, 1, 1), 11);
+  double prev = 0;
+  for (double t : {0.0, 1000.0, 5000.0, 20000.0, 100000.0}) {
+    const double p = pbs.ProbConsistent(t, 30000);
+    EXPECT_GE(p, prev - 0.02) << "t=" << t;  // monotone modulo MC noise
+    prev = p;
+  }
+}
+
+TEST(PbsTest, LargerRImprovesConsistency) {
+  PbsEstimator r1(Config(3, 1, 1), 5);
+  PbsEstimator r2(Config(3, 2, 1), 5);
+  EXPECT_GT(r2.ProbConsistent(0), r1.ProbConsistent(0) + 0.05);
+}
+
+TEST(PbsTest, LargerWImprovesConsistency) {
+  PbsEstimator w1(Config(3, 1, 1), 5);
+  PbsEstimator w2(Config(3, 1, 2), 5);
+  EXPECT_GT(w2.ProbConsistent(0), w1.ProbConsistent(0) + 0.05);
+}
+
+TEST(PbsTest, TVisibilityFindsThreshold) {
+  PbsEstimator pbs(Config(3, 1, 1), 9);
+  const double t99 = pbs.TVisibility(0.99);
+  EXPECT_GT(t99, 0.0);
+  EXPECT_GT(pbs.ProbConsistent(t99, 30000), 0.97);
+  // A stricter target needs at least as much time.
+  const double t90 = pbs.TVisibility(0.90);
+  EXPECT_LE(t90, t99 + 1.0);
+}
+
+TEST(PbsTest, KStalenessImprovesWithK) {
+  PbsEstimator pbs(Config(3, 1, 1), 13);
+  const double k1 = pbs.ProbKStaleness(1, 10000);
+  const double k3 = pbs.ProbKStaleness(3, 10000);
+  EXPECT_GE(k3, k1 - 0.02);
+  EXPECT_GT(k3, 0.5);
+}
+
+TEST(PbsTest, SlowerReplicationLowersConsistency) {
+  PbsConfig fast = Config(3, 1, 1);
+  PbsConfig slow = Config(3, 1, 1);
+  slow.w_latency = ShiftedExponential(500, 50000);  // heavy write tail
+  PbsEstimator fast_pbs(fast, 3);
+  PbsEstimator slow_pbs(slow, 3);
+  EXPECT_GT(fast_pbs.ProbConsistent(5000),
+            slow_pbs.ProbConsistent(5000) + 0.05);
+}
+
+TEST(PbsTest, DeterministicForSameSeed) {
+  PbsEstimator a(Config(3, 1, 1), 21);
+  PbsEstimator b(Config(3, 1, 1), 21);
+  EXPECT_DOUBLE_EQ(a.ProbConsistent(1000, 5000), b.ProbConsistent(1000, 5000));
+}
+
+TEST(PbsTest, ShiftedExponentialHasBaseFloor) {
+  Rng rng(1);
+  auto sampler = ShiftedExponential(1000, 500);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(sampler(rng), 1000.0);
+  }
+}
+
+// Sweep: for every (R, W) with N=5, strict quorums are perfectly consistent
+// and partial quorums are not (at t=0 with nonzero tails).
+class PbsQuorumSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PbsQuorumSweepTest, IntersectionDeterminesConsistencyAtZero) {
+  const int r = std::get<0>(GetParam());
+  const int w = std::get<1>(GetParam());
+  PbsEstimator pbs(Config(5, r, w), 31);
+  const double p = pbs.ProbConsistent(0, 8000);
+  if (r + w > 5) {
+    EXPECT_DOUBLE_EQ(p, 1.0);
+  } else {
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PbsQuorumSweepTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace evc::stale

@@ -1,0 +1,223 @@
+#include "sla/pileus.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+namespace evc::sla {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+// Topology: primary in DC0 (US-East), secondary in DC2 (Asia). Clients
+// placed near or far exercise the SLA-driven replica selection.
+class PileusTest : public ::testing::Test {
+ protected:
+  void Build(uint64_t seed = 41) {
+    sim_ = std::make_unique<sim::Simulator>(seed);
+    auto latency = std::make_unique<sim::WanMatrixLatency>(
+        sim::WanMatrixLatency::ThreeRegionBaseUs());
+    wan_ = latency.get();
+    net_ = std::make_unique<sim::Network>(sim_.get(), std::move(latency));
+    rpc_ = std::make_unique<sim::Rpc>(net_.get());
+    cluster_ = std::make_unique<PileusCluster>(rpc_.get(), PileusOptions{});
+    primary_ = cluster_->AddPrimary();
+    wan_->AssignNode(primary_, 0);
+    secondary_ = cluster_->AddSecondary();
+    wan_->AssignNode(secondary_, 2);
+    cluster_->Start();
+  }
+
+  sim::NodeId MakeClientNode(int dc) {
+    const sim::NodeId node = net_->AddNode();
+    wan_->AssignNode(node, dc);
+    return node;
+  }
+
+  void PutSync(sim::NodeId client, const std::string& key,
+               const std::string& value) {
+    std::optional<Result<uint64_t>> out;
+    cluster_->Put(client, key, value,
+                  [&](Result<uint64_t> r) { out = std::move(r); });
+    sim_->RunFor(5 * kSecond);
+    EVC_CHECK(out.has_value() && out->ok());
+  }
+
+  Result<SlaReadResult> GetSync(PileusClient* client, const std::string& key) {
+    std::optional<Result<SlaReadResult>> out;
+    client->Get(key, [&](Result<SlaReadResult> r) { out = std::move(r); });
+    sim_->RunFor(5 * kSecond);
+    EVC_CHECK(out.has_value());
+    return *out;
+  }
+
+  void ProbeSync(PileusClient* client) {
+    bool done = false;
+    client->Probe("probe-key", [&] { done = true; });
+    sim_->RunFor(5 * kSecond);
+    EVC_CHECK(done);
+  }
+
+  // The paper's flagship SLA shape: prefer fast+strong, degrade to bounded,
+  // catch-all eventual.
+  Sla StandardSla() {
+    return Sla{
+        {50 * kMillisecond, ReadConsistency::kStrong, 0, 1.0},
+        {100 * kMillisecond, ReadConsistency::kBounded, 500 * kMillisecond,
+         0.6},
+        {800 * kMillisecond, ReadConsistency::kEventual, 0, 0.2},
+    };
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  sim::WanMatrixLatency* wan_ = nullptr;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<sim::Rpc> rpc_;
+  std::unique_ptr<PileusCluster> cluster_;
+  sim::NodeId primary_ = 0;
+  sim::NodeId secondary_ = 0;
+};
+
+TEST_F(PileusTest, WriteThenStrongReadAtPrimary) {
+  Build();
+  const sim::NodeId writer = MakeClientNode(0);
+  PutSync(writer, "k", "v");
+  PileusClient reader(cluster_.get(), sim_.get(), MakeClientNode(0),
+                      StandardSla());
+  ProbeSync(&reader);
+  auto read = GetSync(&reader, "k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->found);
+  EXPECT_EQ(read->value, "v");
+}
+
+TEST_F(PileusTest, SecondariesCatchUpAfterSyncInterval) {
+  Build();
+  const sim::NodeId writer = MakeClientNode(0);
+  PutSync(writer, "k", "v");
+  sim_->RunFor(2 * kSecond);  // > sync_interval + WAN latency
+  EXPECT_GT(cluster_->HighTimeOf(secondary_), 0);
+  // A raw read at the secondary sees the write.
+  std::optional<Result<PileusCluster::RawRead>> raw;
+  cluster_->RawGet(writer, secondary_, "k",
+                   [&](Result<PileusCluster::RawRead> r) {
+                     raw = std::move(r);
+                   });
+  sim_->RunFor(5 * kSecond);
+  ASSERT_TRUE(raw.has_value() && raw->ok());
+  EXPECT_TRUE((*raw)->found);
+  EXPECT_EQ((*raw)->value, "v");
+}
+
+TEST_F(PileusTest, NearClientGetsTopUtility) {
+  Build();
+  const sim::NodeId writer = MakeClientNode(0);
+  PutSync(writer, "k", "v");
+  sim_->RunFor(2 * kSecond);
+  // Client co-located with the primary: strong reads within 50 ms are easy.
+  PileusClient near_client(cluster_.get(), sim_.get(), MakeClientNode(0),
+                           StandardSla());
+  ProbeSync(&near_client);
+  double total = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto read = GetSync(&near_client, "k");
+    ASSERT_TRUE(read.ok());
+    total += read->delivered_utility;
+  }
+  EXPECT_GT(total / 10, 0.9);  // nearly always the 1.0-utility strong row
+}
+
+TEST_F(PileusTest, FarClientDegradesGracefully) {
+  Build();
+  const sim::NodeId writer = MakeClientNode(0);
+  PutSync(writer, "k", "v");
+  sim_->RunFor(5 * kSecond);  // let the secondary be fresh
+  // Client in Asia (DC2): the primary is ~180 ms RTT away — the strong row
+  // (50 ms) is unreachable, but the local secondary serves bounded/eventual.
+  PileusClient far_client(cluster_.get(), sim_.get(), MakeClientNode(2),
+                          StandardSla());
+  ProbeSync(&far_client);
+  double total = 0;
+  int local_reads = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto read = GetSync(&far_client, "k");
+    ASSERT_TRUE(read.ok());
+    total += read->delivered_utility;
+    if (read->observed_latency < 50 * kMillisecond) ++local_reads;
+  }
+  const double mean_utility = total / 10;
+  EXPECT_GT(mean_utility, 0.1);   // never zero: catch-all row
+  EXPECT_LT(mean_utility, 0.95);  // but can't match the near client
+  EXPECT_GT(local_reads, 5);      // served mostly by the local secondary
+}
+
+TEST_F(PileusTest, StrongOnlySlaForcesPrimaryReads) {
+  Build();
+  const sim::NodeId writer = MakeClientNode(0);
+  PutSync(writer, "k", "v");
+  sim_->RunFor(2 * kSecond);
+  Sla strong_only{{kSecond, ReadConsistency::kStrong, 0, 1.0}};
+  PileusClient far_client(cluster_.get(), sim_.get(), MakeClientNode(2),
+                          strong_only);
+  ProbeSync(&far_client);
+  auto read = GetSync(&far_client, "k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "v");
+  // Latency shows the WAN round trip to the primary.
+  EXPECT_GT(read->observed_latency, 100 * kMillisecond);
+  EXPECT_EQ(read->delivered_row, 0);
+}
+
+TEST_F(PileusTest, DeliveredRowVerifiedAgainstActuals) {
+  Build();
+  const sim::NodeId writer = MakeClientNode(0);
+  PutSync(writer, "k", "v1");
+  // Immediately read at the secondary with a tight staleness bound: the
+  // secondary has not synced yet, so the bounded row cannot be delivered.
+  Sla bounded_then_eventual{
+      {kSecond, ReadConsistency::kBounded, 50 * kMillisecond, 1.0},
+      {2 * kSecond, ReadConsistency::kEventual, 0, 0.1},
+  };
+  PileusClient far_client(cluster_.get(), sim_.get(), MakeClientNode(2),
+                          bounded_then_eventual);
+  ProbeSync(&far_client);
+  PutSync(writer, "k", "v2");
+  auto read = GetSync(&far_client, "k");
+  ASSERT_TRUE(read.ok());
+  if (read->observed_latency < 50 * kMillisecond) {
+    // Served locally by a stale secondary: only the eventual row delivered.
+    EXPECT_EQ(read->delivered_row, 1);
+    EXPECT_DOUBLE_EQ(read->delivered_utility, 0.1);
+  }
+}
+
+TEST_F(PileusTest, MonitorTracksRtt) {
+  Build();
+  PileusClient client(cluster_.get(), sim_.get(), MakeClientNode(2),
+                      StandardSla());
+  EXPECT_EQ(client.RttEstimate(primary_), 0);
+  ProbeSync(&client);
+  // Asia -> US-East RTT is ~180 ms; Asia -> Asia is sub-ms.
+  EXPECT_GT(client.RttEstimate(primary_), 100 * kMillisecond);
+  EXPECT_LT(client.RttEstimate(secondary_), 10 * kMillisecond);
+}
+
+TEST_F(PileusTest, StatsAccumulate) {
+  Build();
+  const sim::NodeId writer = MakeClientNode(0);
+  PutSync(writer, "k", "v");
+  sim_->RunFor(2 * kSecond);
+  PileusClient client(cluster_.get(), sim_.get(), MakeClientNode(0),
+                      StandardSla());
+  ProbeSync(&client);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(GetSync(&client, "k").ok());
+  }
+  EXPECT_EQ(client.stats().reads, 5u);
+  EXPECT_EQ(client.stats().delivered_utility.count(), 5u);
+}
+
+}  // namespace
+}  // namespace evc::sla

@@ -1,0 +1,149 @@
+#include "core/replicated_store.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace evc::core {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+Status PutSync(ReplicatedStore* store, sim::NodeId client,
+               const std::string& key, const std::string& value,
+               sim::Time budget = 30 * kSecond) {
+  std::optional<Status> out;
+  store->Put(client, key, value, [&](Status s) { out = std::move(s); });
+  store->RunFor(budget);
+  EVC_CHECK(out.has_value());
+  return *out;
+}
+
+Result<std::string> GetSync(ReplicatedStore* store, sim::NodeId client,
+                            const std::string& key,
+                            sim::Time budget = 30 * kSecond) {
+  std::optional<Result<std::string>> out;
+  store->Get(client, key,
+             [&](Result<std::string> r) { out = std::move(r); });
+  store->RunFor(budget);
+  EVC_CHECK(out.has_value());
+  return *out;
+}
+
+class ReplicatedStoreLevelTest
+    : public ::testing::TestWithParam<ConsistencyLevel> {};
+
+TEST_P(ReplicatedStoreLevelTest, PutGetRoundTripSameClient) {
+  StoreOptions options;
+  options.level = GetParam();
+  ReplicatedStore store(options);
+  const sim::NodeId client = store.AddClient(0);
+  ASSERT_TRUE(PutSync(&store, client, "k", "v").ok());
+  auto get = GetSync(&store, client, "k");
+  ASSERT_TRUE(get.ok()) << get.status().ToString();
+  EXPECT_EQ(*get, "v");
+}
+
+TEST_P(ReplicatedStoreLevelTest, MissingKeyIsNotFound) {
+  StoreOptions options;
+  options.level = GetParam();
+  ReplicatedStore store(options);
+  const sim::NodeId client = store.AddClient(0);
+  auto get = GetSync(&store, client, "never");
+  EXPECT_TRUE(get.status().IsNotFound()) << get.status().ToString();
+}
+
+TEST_P(ReplicatedStoreLevelTest, CrossDatacenterReadAfterQuiescence) {
+  StoreOptions options;
+  options.level = GetParam();
+  ReplicatedStore store(options);
+  const sim::NodeId writer = store.AddClient(0);
+  const sim::NodeId reader = store.AddClient(2);
+  ASSERT_TRUE(PutSync(&store, writer, "k", "v").ok());
+  store.RunFor(5 * kSecond);  // replication / anti-entropy quiescence
+  auto get = GetSync(&store, reader, "k");
+  ASSERT_TRUE(get.ok()) << get.status().ToString();
+  EXPECT_EQ(*get, "v");
+}
+
+TEST_P(ReplicatedStoreLevelTest, SequentialOverwritesReadNewest) {
+  StoreOptions options;
+  options.level = GetParam();
+  ReplicatedStore store(options);
+  const sim::NodeId client = store.AddClient(0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(PutSync(&store, client, "k", "v" + std::to_string(i)).ok());
+  }
+  store.RunFor(5 * kSecond);
+  auto get = GetSync(&store, client, "k");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(*get, "v4");
+}
+
+TEST_P(ReplicatedStoreLevelTest, LatencyHistogramsPopulate) {
+  StoreOptions options;
+  options.level = GetParam();
+  ReplicatedStore store(options);
+  const sim::NodeId client = store.AddClient(1);
+  ASSERT_TRUE(PutSync(&store, client, "k", "v").ok());
+  ASSERT_TRUE(GetSync(&store, client, "k").ok());
+  EXPECT_EQ(store.put_latency().count(), 1u);
+  EXPECT_EQ(store.get_latency().count(), 1u);
+  EXPECT_GT(store.put_latency().mean(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, ReplicatedStoreLevelTest,
+    ::testing::Values(ConsistencyLevel::kEventual, ConsistencyLevel::kQuorum,
+                      ConsistencyLevel::kCausal, ConsistencyLevel::kTimeline,
+                      ConsistencyLevel::kStrong),
+    [](const ::testing::TestParamInfo<ConsistencyLevel>& info) {
+      return ConsistencyLevelToString(info.param);
+    });
+
+TEST(ReplicatedStoreTest, LatencyOrderingMatchesTheTaxonomy) {
+  // The headline qualitative claim (Fig. 1): from a client's local DC,
+  // eventual/causal writes are fast (local), quorum writes pay one WAN
+  // round trip, strong writes pay a consensus round.
+  auto median_put_latency = [](ConsistencyLevel level) {
+    StoreOptions options;
+    options.level = level;
+    options.seed = 77;
+    ReplicatedStore store(options);
+    const sim::NodeId client = store.AddClient(1);  // not the Paxos leader DC
+    for (int i = 0; i < 10; ++i) {
+      EVC_CHECK(PutSync(&store, client, "key" + std::to_string(i), "v").ok());
+    }
+    return store.put_latency().Percentile(0.5);
+  };
+  const double eventual = median_put_latency(ConsistencyLevel::kEventual);
+  const double causal = median_put_latency(ConsistencyLevel::kCausal);
+  const double strong = median_put_latency(ConsistencyLevel::kStrong);
+  EXPECT_LT(causal, 10.0 * kMillisecond);
+  EXPECT_LT(eventual, strong);
+  EXPECT_LT(causal, strong);
+  EXPECT_GT(strong, 50.0 * kMillisecond);  // WAN consensus round
+}
+
+TEST(ReplicatedStoreTest, ConsistencyLevelNames) {
+  EXPECT_STREQ(ConsistencyLevelToString(ConsistencyLevel::kEventual),
+               "eventual");
+  EXPECT_STREQ(ConsistencyLevelToString(ConsistencyLevel::kStrong), "strong");
+}
+
+TEST(ReplicatedStoreTest, ClientsPinnedToDatacenters) {
+  StoreOptions options;
+  options.level = ConsistencyLevel::kEventual;
+  options.datacenters = 3;
+  ReplicatedStore store(options);
+  // Clients in every DC can operate.
+  for (int dc = 0; dc < 3; ++dc) {
+    const sim::NodeId client = store.AddClient(dc);
+    ASSERT_TRUE(
+        PutSync(&store, client, "k" + std::to_string(dc), "v").ok());
+  }
+}
+
+}  // namespace
+}  // namespace evc::core

@@ -1,0 +1,170 @@
+#include "sim/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace evc::sim {
+namespace {
+
+struct EchoReq {
+  std::string text;
+};
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest()
+      : sim_(7),
+        net_(&sim_, std::make_unique<ConstantLatency>(5 * kMillisecond)),
+        rpc_(&net_) {
+    client_ = net_.AddNode();
+    server_ = net_.AddNode();
+  }
+
+  Simulator sim_;
+  Network net_;
+  Rpc rpc_;
+  NodeId client_;
+  NodeId server_;
+};
+
+TEST_F(RpcTest, RoundTripDeliversReply) {
+  rpc_.RegisterHandler(server_, "echo",
+                       [](NodeId, std::any req, RpcResponder respond) {
+                         auto r = std::any_cast<EchoReq>(std::move(req));
+                         respond(std::any{r.text + "!"});
+                       });
+  std::string reply;
+  Time completed_at = -1;
+  rpc_.Call(client_, server_, "echo", EchoReq{"hi"}, kSecond,
+            [&](Result<std::any> r) {
+              ASSERT_TRUE(r.ok());
+              reply = std::any_cast<std::string>(*r);
+              completed_at = sim_.Now();
+            });
+  sim_.Run();
+  EXPECT_EQ(reply, "hi!");
+  EXPECT_EQ(completed_at, 10 * kMillisecond);  // request + reply latency
+}
+
+TEST_F(RpcTest, ServerErrorPropagates) {
+  rpc_.RegisterHandler(server_, "fail",
+                       [](NodeId, std::any, RpcResponder respond) {
+                         respond(Status::NotFound("nope"));
+                       });
+  Status got;
+  rpc_.Call(client_, server_, "fail", EchoReq{}, kSecond,
+            [&](Result<std::any> r) { got = r.status(); });
+  sim_.Run();
+  EXPECT_TRUE(got.IsNotFound());
+  EXPECT_EQ(got.message(), "nope");
+}
+
+TEST_F(RpcTest, TimeoutWhenServerCrashed) {
+  rpc_.RegisterHandler(server_, "echo",
+                       [](NodeId, std::any, RpcResponder respond) {
+                         respond(std::any{1});
+                       });
+  net_.SetNodeUp(server_, false);
+  Status got;
+  Time completed_at = -1;
+  rpc_.Call(client_, server_, "echo", EchoReq{}, 100 * kMillisecond,
+            [&](Result<std::any> r) {
+              got = r.status();
+              completed_at = sim_.Now();
+            });
+  sim_.Run();
+  EXPECT_TRUE(got.IsTimedOut());
+  EXPECT_EQ(completed_at, 100 * kMillisecond);
+}
+
+TEST_F(RpcTest, TimeoutWhenPartitioned) {
+  rpc_.RegisterHandler(server_, "echo",
+                       [](NodeId, std::any, RpcResponder respond) {
+                         respond(std::any{1});
+                       });
+  net_.Partition({{client_}, {server_}});
+  Status got;
+  rpc_.Call(client_, server_, "echo", EchoReq{}, 50 * kMillisecond,
+            [&](Result<std::any> r) { got = r.status(); });
+  sim_.Run();
+  EXPECT_TRUE(got.IsTimedOut());
+}
+
+TEST_F(RpcTest, LateReplyAfterTimeoutIsIgnored) {
+  // Server replies asynchronously after the client's timeout.
+  rpc_.RegisterHandler(
+      server_, "slow", [this](NodeId, std::any, RpcResponder respond) {
+        sim_.ScheduleAfter(500 * kMillisecond,
+                           [respond] { respond(std::any{1}); });
+      });
+  int callbacks = 0;
+  Status first;
+  rpc_.Call(client_, server_, "slow", EchoReq{}, 50 * kMillisecond,
+            [&](Result<std::any> r) {
+              ++callbacks;
+              first = r.status();
+            });
+  sim_.Run();
+  EXPECT_EQ(callbacks, 1);  // exactly once
+  EXPECT_TRUE(first.IsTimedOut());
+}
+
+TEST_F(RpcTest, AsynchronousServerReplyWorks) {
+  rpc_.RegisterHandler(
+      server_, "defer", [this](NodeId, std::any, RpcResponder respond) {
+        sim_.ScheduleAfter(20 * kMillisecond,
+                           [respond] { respond(std::any{std::string("late")}); });
+      });
+  std::string reply;
+  rpc_.Call(client_, server_, "defer", EchoReq{}, kSecond,
+            [&](Result<std::any> r) {
+              ASSERT_TRUE(r.ok());
+              reply = std::any_cast<std::string>(*r);
+            });
+  sim_.Run();
+  EXPECT_EQ(reply, "late");
+}
+
+TEST_F(RpcTest, ManyConcurrentCallsMatchReplies) {
+  rpc_.RegisterHandler(server_, "id",
+                       [](NodeId, std::any req, RpcResponder respond) {
+                         respond(std::any{std::any_cast<int>(req)});
+                       });
+  int matched = 0;
+  for (int i = 0; i < 100; ++i) {
+    rpc_.Call(client_, server_, "id", i, kSecond, [&, i](Result<std::any> r) {
+      ASSERT_TRUE(r.ok());
+      if (std::any_cast<int>(*r) == i) ++matched;
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(matched, 100);
+}
+
+TEST_F(RpcTest, UnknownMethodTimesOut) {
+  Status got;
+  rpc_.Call(client_, server_, "no-such-method", EchoReq{}, 30 * kMillisecond,
+            [&](Result<std::any> r) { got = r.status(); });
+  sim_.Run();
+  EXPECT_TRUE(got.IsTimedOut());
+}
+
+TEST_F(RpcTest, SelfCallWorks) {
+  rpc_.RegisterHandler(client_, "self",
+                       [](NodeId, std::any, RpcResponder respond) {
+                         respond(std::any{std::string("me")});
+                       });
+  std::string reply;
+  rpc_.Call(client_, client_, "self", EchoReq{}, kSecond,
+            [&](Result<std::any> r) {
+              ASSERT_TRUE(r.ok());
+              reply = std::any_cast<std::string>(*r);
+            });
+  sim_.Run();
+  EXPECT_EQ(reply, "me");
+}
+
+}  // namespace
+}  // namespace evc::sim

@@ -1,0 +1,127 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace evc::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  Time fired_at = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // double-cancel reports false
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(999));
+  EXPECT_FALSE(sim.Cancel(0));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.ScheduleAfter(10, tick);
+  };
+  sim.ScheduleAt(0, tick);
+  sim.RunUntil(100);
+  EXPECT_EQ(count, 11);  // t=0,10,...,100 inclusive
+  EXPECT_EQ(sim.Now(), 100);
+  sim.RunUntil(200);
+  EXPECT_EQ(count, 21);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void(int)> recurse = [&](int d) {
+    depth = d;
+    if (d < 5) sim.ScheduleAfter(1, [&, d] { recurse(d + 1); });
+  };
+  sim.ScheduleAt(0, [&] { recurse(1); });
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), 4);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<uint64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      const Time t = static_cast<Time>(sim.rng().NextBounded(1000));
+      sim.ScheduleAt(t, [&trace, &sim] { trace.push_back(
+          static_cast<uint64_t>(sim.Now())); });
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimulatorTest, CancelInsideEarlierEventAtSameTime) {
+  Simulator sim;
+  bool second_ran = false;
+  EventId second = 0;
+  sim.ScheduleAt(10, [&] { sim.Cancel(second); });
+  second = sim.ScheduleAt(10, [&] { second_ran = true; });
+  sim.Run();
+  EXPECT_FALSE(second_ran);
+}
+
+}  // namespace
+}  // namespace evc::sim

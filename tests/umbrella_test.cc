@@ -1,0 +1,75 @@
+// Compiles the umbrella header as one unit and covers the small leftovers:
+// the logging filter and the five-region WAN topology.
+
+#include "evc.h"
+
+#include <gtest/gtest.h>
+
+namespace evc {
+namespace {
+
+TEST(UmbrellaTest, PublicSurfaceCompilesAndLinks) {
+  // Touch one symbol from each corner of the API so the linker pulls in
+  // everything the umbrella exports.
+  Status s = Status::OK();
+  VersionVector vv;
+  crdt::GCounter counter;
+  counter.Increment(0);
+  verify::CheckResult check = verify::CheckLinearizable({});
+  workload::WorkloadConfig wl = workload::WorkloadConfig::YcsbA();
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(vv.empty());
+  EXPECT_EQ(counter.Value(), 1u);
+  EXPECT_TRUE(check.linearizable);
+  EXPECT_DOUBLE_EQ(wl.read_proportion, 0.5);
+}
+
+TEST(LoggingTest, LevelFilterGates) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  EVC_LOG_ERROR("suppressed %d", 1);  // must not crash, prints nothing
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kError));
+  SetLogLevel(saved);
+}
+
+TEST(WanFiveRegionTest, MatrixIsSymmetricWithIntraDcDiagonal) {
+  const auto base = sim::WanMatrixLatency::FiveRegionBaseUs();
+  ASSERT_EQ(base.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(base[i].size(), 5u);
+    EXPECT_LT(base[i][i], 1000);  // intra-DC sub-millisecond
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(base[i][j], base[j][i]) << i << "," << j;
+      if (i != j) EXPECT_GT(base[i][j], 10000);  // WAN links >= 10 ms
+    }
+  }
+}
+
+TEST(WanFiveRegionTest, FiveDatacenterStoreWorks) {
+  core::StoreOptions options;
+  options.level = core::ConsistencyLevel::kEventual;
+  options.datacenters = 5;
+  core::ReplicatedStore store(options);
+  const sim::NodeId client = store.AddClient(4);  // Australia
+  bool put_ok = false;
+  store.Put(client, "k", "v", [&](Status s) { put_ok = s.ok(); });
+  store.RunFor(10 * sim::kSecond);
+  EXPECT_TRUE(put_ok);
+  std::optional<std::string> value;
+  store.Get(client, "k", [&](Result<std::string> r) {
+    if (r.ok()) value = *r;
+  });
+  store.RunFor(10 * sim::kSecond);
+  EXPECT_EQ(value, std::optional<std::string>("v"));
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 11; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+}  // namespace
+}  // namespace evc

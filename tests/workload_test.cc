@@ -1,0 +1,149 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace evc::workload {
+namespace {
+
+TEST(WorkloadTest, MixProportionsRoughlyRespected) {
+  WorkloadConfig config = WorkloadConfig::YcsbB();  // 95/5
+  WorkloadGenerator gen(config, 1);
+  std::map<OpType, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[gen.Next().type];
+  EXPECT_NEAR(static_cast<double>(counts[OpType::kRead]) / n, 0.95, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[OpType::kUpdate]) / n, 0.05, 0.01);
+  EXPECT_EQ(counts[OpType::kInsert], 0);
+}
+
+TEST(WorkloadTest, YcsbAIsHalfAndHalf) {
+  WorkloadGenerator gen(WorkloadConfig::YcsbA(), 2);
+  std::map<OpType, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[gen.Next().type];
+  EXPECT_NEAR(counts[OpType::kRead], counts[OpType::kUpdate], 600);
+}
+
+TEST(WorkloadTest, YcsbCIsReadOnly) {
+  WorkloadGenerator gen(WorkloadConfig::YcsbC(), 3);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(gen.Next().type, OpType::kRead);
+  }
+}
+
+TEST(WorkloadTest, YcsbFHasRmw) {
+  WorkloadGenerator gen(WorkloadConfig::YcsbF(), 4);
+  std::map<OpType, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[gen.Next().type];
+  EXPECT_GT(counts[OpType::kReadModifyWrite], 9000);
+}
+
+TEST(WorkloadTest, InsertsExtendKeyspace) {
+  WorkloadConfig config = WorkloadConfig::YcsbD();
+  config.record_count = 100;
+  WorkloadGenerator gen(config, 5);
+  const uint64_t before = gen.live_record_count();
+  int inserts = 0;
+  std::set<std::string> inserted_keys;
+  for (int i = 0; i < 5000; ++i) {
+    const Op op = gen.Next();
+    if (op.type == OpType::kInsert) {
+      ++inserts;
+      EXPECT_TRUE(inserted_keys.insert(op.key).second)
+          << "duplicate inserted key " << op.key;
+    }
+  }
+  EXPECT_GT(inserts, 0);
+  EXPECT_EQ(gen.live_record_count(), before + inserts);
+}
+
+TEST(WorkloadTest, KeysStayInLiveRange) {
+  WorkloadConfig config;
+  config.record_count = 50;
+  WorkloadGenerator gen(config, 6);
+  for (int i = 0; i < 5000; ++i) {
+    const Op op = gen.Next();
+    // Keys are "user<i>" with i < live_record_count.
+    const uint64_t index = std::stoull(op.key.substr(4));
+    EXPECT_LT(index, gen.live_record_count());
+  }
+}
+
+TEST(WorkloadTest, ValuesHaveConfiguredSizeAndEmbedKey) {
+  WorkloadConfig config = WorkloadConfig::YcsbA();
+  config.value_size = 64;
+  WorkloadGenerator gen(config, 7);
+  for (int i = 0; i < 100; ++i) {
+    const Op op = gen.Next();
+    if (op.type == OpType::kUpdate) {
+      EXPECT_EQ(op.value.size(), 64u);
+      EXPECT_EQ(op.value.rfind(op.key, 0), 0u) << "value embeds its key";
+    }
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadGenerator a(WorkloadConfig::YcsbA(), 9);
+  WorkloadGenerator b(WorkloadConfig::YcsbA(), 9);
+  for (int i = 0; i < 1000; ++i) {
+    const Op op_a = a.Next();
+    const Op op_b = b.Next();
+    EXPECT_EQ(op_a.type, op_b.type);
+    EXPECT_EQ(op_a.key, op_b.key);
+    EXPECT_EQ(op_a.value, op_b.value);
+  }
+}
+
+TEST(WorkloadTest, ZipfianSkewsTowardFewKeys) {
+  WorkloadConfig config = WorkloadConfig::YcsbA();
+  config.record_count = 10000;
+  WorkloadGenerator gen(config, 10);
+  std::map<std::string, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[gen.Next().key];
+  // Top-10 keys should absorb a large share of traffic.
+  std::vector<int> freq;
+  for (const auto& [key, c] : counts) freq.push_back(c);
+  std::sort(freq.rbegin(), freq.rend());
+  int top10 = 0;
+  for (int i = 0; i < 10 && i < static_cast<int>(freq.size()); ++i) {
+    top10 += freq[i];
+  }
+  EXPECT_GT(static_cast<double>(top10) / n, 0.2);
+}
+
+TEST(WorkloadTest, UniformDoesNotSkew) {
+  WorkloadConfig config;
+  config.distribution = KeyDistributionKind::kUniform;
+  config.record_count = 100;
+  WorkloadGenerator gen(config, 11);
+  std::map<std::string, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[gen.Next().key];
+  for (const auto& [key, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.01, 0.005) << key;
+  }
+}
+
+class WorkloadPresetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadPresetTest, ProportionsSumToOne) {
+  WorkloadConfig config;
+  switch (GetParam()) {
+    case 0: config = WorkloadConfig::YcsbA(); break;
+    case 1: config = WorkloadConfig::YcsbB(); break;
+    case 2: config = WorkloadConfig::YcsbC(); break;
+    case 3: config = WorkloadConfig::YcsbD(); break;
+    case 4: config = WorkloadConfig::YcsbF(); break;
+  }
+  EXPECT_NEAR(config.read_proportion + config.update_proportion +
+                  config.insert_proportion + config.rmw_proportion,
+              1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, WorkloadPresetTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace evc::workload
