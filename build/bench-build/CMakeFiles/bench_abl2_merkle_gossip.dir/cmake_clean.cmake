@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl2_merkle_gossip"
+  "../bench/bench_abl2_merkle_gossip.pdb"
+  "CMakeFiles/bench_abl2_merkle_gossip.dir/bench_abl2_merkle_gossip.cc.o"
+  "CMakeFiles/bench_abl2_merkle_gossip.dir/bench_abl2_merkle_gossip.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl2_merkle_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

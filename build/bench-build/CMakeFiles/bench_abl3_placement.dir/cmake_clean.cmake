@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl3_placement"
+  "../bench/bench_abl3_placement.pdb"
+  "CMakeFiles/bench_abl3_placement.dir/bench_abl3_placement.cc.o"
+  "CMakeFiles/bench_abl3_placement.dir/bench_abl3_placement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl3_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_latency_spectrum"
+  "../bench/bench_fig1_latency_spectrum.pdb"
+  "CMakeFiles/bench_fig1_latency_spectrum.dir/bench_fig1_latency_spectrum.cc.o"
+  "CMakeFiles/bench_fig1_latency_spectrum.dir/bench_fig1_latency_spectrum.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_latency_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_antientropy"
+  "../bench/bench_fig3_antientropy.pdb"
+  "CMakeFiles/bench_fig3_antientropy.dir/bench_fig3_antientropy.cc.o"
+  "CMakeFiles/bench_fig3_antientropy.dir/bench_fig3_antientropy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_antientropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

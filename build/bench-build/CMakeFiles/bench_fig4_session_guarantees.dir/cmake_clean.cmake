@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_session_guarantees"
+  "../bench/bench_fig4_session_guarantees.pdb"
+  "CMakeFiles/bench_fig4_session_guarantees.dir/bench_fig4_session_guarantees.cc.o"
+  "CMakeFiles/bench_fig4_session_guarantees.dir/bench_fig4_session_guarantees.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_session_guarantees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_crdt_costs"
+  "../bench/bench_fig6_crdt_costs.pdb"
+  "CMakeFiles/bench_fig6_crdt_costs.dir/bench_fig6_crdt_costs.cc.o"
+  "CMakeFiles/bench_fig6_crdt_costs.dir/bench_fig6_crdt_costs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_crdt_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

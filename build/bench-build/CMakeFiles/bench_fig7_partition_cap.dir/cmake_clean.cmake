@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_partition_cap"
+  "../bench/bench_fig7_partition_cap.pdb"
+  "CMakeFiles/bench_fig7_partition_cap.dir/bench_fig7_partition_cap.cc.o"
+  "CMakeFiles/bench_fig7_partition_cap.dir/bench_fig7_partition_cap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_partition_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_causal"
+  "../bench/bench_fig8_causal.pdb"
+  "CMakeFiles/bench_fig8_causal.dir/bench_fig8_causal.cc.o"
+  "CMakeFiles/bench_fig8_causal.dir/bench_fig8_causal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_causal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab1_redblue"
+  "../bench/bench_tab1_redblue.pdb"
+  "CMakeFiles/bench_tab1_redblue.dir/bench_tab1_redblue.cc.o"
+  "CMakeFiles/bench_tab1_redblue.dir/bench_tab1_redblue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_redblue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab2_escrow"
+  "../bench/bench_tab2_escrow.pdb"
+  "CMakeFiles/bench_tab2_escrow.dir/bench_tab2_escrow.cc.o"
+  "CMakeFiles/bench_tab2_escrow.dir/bench_tab2_escrow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_escrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

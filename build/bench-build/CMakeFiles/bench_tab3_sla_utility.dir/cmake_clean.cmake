@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab3_sla_utility"
+  "../bench/bench_tab3_sla_utility.pdb"
+  "CMakeFiles/bench_tab3_sla_utility.dir/bench_tab3_sla_utility.cc.o"
+  "CMakeFiles/bench_tab3_sla_utility.dir/bench_tab3_sla_utility.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_sla_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

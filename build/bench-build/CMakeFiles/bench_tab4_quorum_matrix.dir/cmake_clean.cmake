@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab4_quorum_matrix"
+  "../bench/bench_tab4_quorum_matrix.pdb"
+  "CMakeFiles/bench_tab4_quorum_matrix.dir/bench_tab4_quorum_matrix.cc.o"
+  "CMakeFiles/bench_tab4_quorum_matrix.dir/bench_tab4_quorum_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_quorum_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

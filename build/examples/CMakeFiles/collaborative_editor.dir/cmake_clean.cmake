@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_editor.dir/collaborative_editor.cpp.o"
+  "CMakeFiles/collaborative_editor.dir/collaborative_editor.cpp.o.d"
+  "collaborative_editor"
+  "collaborative_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_bank.dir/geo_bank.cpp.o"
+  "CMakeFiles/geo_bank.dir/geo_bank.cpp.o.d"
+  "geo_bank"
+  "geo_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

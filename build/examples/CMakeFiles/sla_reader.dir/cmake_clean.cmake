@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_reader.dir/sla_reader.cpp.o"
+  "CMakeFiles/sla_reader.dir/sla_reader.cpp.o.d"
+  "sla_reader"
+  "sla_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/causal/causal_store.cc" "src/CMakeFiles/evc.dir/causal/causal_store.cc.o" "gcc" "src/CMakeFiles/evc.dir/causal/causal_store.cc.o.d"
+  "/root/repo/src/clock/version_vector.cc" "src/CMakeFiles/evc.dir/clock/version_vector.cc.o" "gcc" "src/CMakeFiles/evc.dir/clock/version_vector.cc.o.d"
+  "/root/repo/src/common/distributions.cc" "src/CMakeFiles/evc.dir/common/distributions.cc.o" "gcc" "src/CMakeFiles/evc.dir/common/distributions.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/evc.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/evc.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/evc.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/evc.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/evc.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/evc.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/evc.dir/common/status.cc.o" "gcc" "src/CMakeFiles/evc.dir/common/status.cc.o.d"
+  "/root/repo/src/consensus/paxos.cc" "src/CMakeFiles/evc.dir/consensus/paxos.cc.o" "gcc" "src/CMakeFiles/evc.dir/consensus/paxos.cc.o.d"
+  "/root/repo/src/core/replicated_store.cc" "src/CMakeFiles/evc.dir/core/replicated_store.cc.o" "gcc" "src/CMakeFiles/evc.dir/core/replicated_store.cc.o.d"
+  "/root/repo/src/crdt/delta_orset.cc" "src/CMakeFiles/evc.dir/crdt/delta_orset.cc.o" "gcc" "src/CMakeFiles/evc.dir/crdt/delta_orset.cc.o.d"
+  "/root/repo/src/crdt/gcounter.cc" "src/CMakeFiles/evc.dir/crdt/gcounter.cc.o" "gcc" "src/CMakeFiles/evc.dir/crdt/gcounter.cc.o.d"
+  "/root/repo/src/crdt/geo_broadcast.cc" "src/CMakeFiles/evc.dir/crdt/geo_broadcast.cc.o" "gcc" "src/CMakeFiles/evc.dir/crdt/geo_broadcast.cc.o.d"
+  "/root/repo/src/crdt/orset.cc" "src/CMakeFiles/evc.dir/crdt/orset.cc.o" "gcc" "src/CMakeFiles/evc.dir/crdt/orset.cc.o.d"
+  "/root/repo/src/crdt/registers.cc" "src/CMakeFiles/evc.dir/crdt/registers.cc.o" "gcc" "src/CMakeFiles/evc.dir/crdt/registers.cc.o.d"
+  "/root/repo/src/crdt/rga.cc" "src/CMakeFiles/evc.dir/crdt/rga.cc.o" "gcc" "src/CMakeFiles/evc.dir/crdt/rga.cc.o.d"
+  "/root/repo/src/replication/anti_entropy.cc" "src/CMakeFiles/evc.dir/replication/anti_entropy.cc.o" "gcc" "src/CMakeFiles/evc.dir/replication/anti_entropy.cc.o.d"
+  "/root/repo/src/replication/hash_ring.cc" "src/CMakeFiles/evc.dir/replication/hash_ring.cc.o" "gcc" "src/CMakeFiles/evc.dir/replication/hash_ring.cc.o.d"
+  "/root/repo/src/replication/quorum_store.cc" "src/CMakeFiles/evc.dir/replication/quorum_store.cc.o" "gcc" "src/CMakeFiles/evc.dir/replication/quorum_store.cc.o.d"
+  "/root/repo/src/replication/timeline_store.cc" "src/CMakeFiles/evc.dir/replication/timeline_store.cc.o" "gcc" "src/CMakeFiles/evc.dir/replication/timeline_store.cc.o.d"
+  "/root/repo/src/session/session.cc" "src/CMakeFiles/evc.dir/session/session.cc.o" "gcc" "src/CMakeFiles/evc.dir/session/session.cc.o.d"
+  "/root/repo/src/sim/latency.cc" "src/CMakeFiles/evc.dir/sim/latency.cc.o" "gcc" "src/CMakeFiles/evc.dir/sim/latency.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/evc.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/evc.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/rpc.cc" "src/CMakeFiles/evc.dir/sim/rpc.cc.o" "gcc" "src/CMakeFiles/evc.dir/sim/rpc.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/evc.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/evc.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sla/pileus.cc" "src/CMakeFiles/evc.dir/sla/pileus.cc.o" "gcc" "src/CMakeFiles/evc.dir/sla/pileus.cc.o.d"
+  "/root/repo/src/stale/pbs.cc" "src/CMakeFiles/evc.dir/stale/pbs.cc.o" "gcc" "src/CMakeFiles/evc.dir/stale/pbs.cc.o.d"
+  "/root/repo/src/storage/dvv_store.cc" "src/CMakeFiles/evc.dir/storage/dvv_store.cc.o" "gcc" "src/CMakeFiles/evc.dir/storage/dvv_store.cc.o.d"
+  "/root/repo/src/storage/merkle.cc" "src/CMakeFiles/evc.dir/storage/merkle.cc.o" "gcc" "src/CMakeFiles/evc.dir/storage/merkle.cc.o.d"
+  "/root/repo/src/storage/replica_storage.cc" "src/CMakeFiles/evc.dir/storage/replica_storage.cc.o" "gcc" "src/CMakeFiles/evc.dir/storage/replica_storage.cc.o.d"
+  "/root/repo/src/storage/versioned_store.cc" "src/CMakeFiles/evc.dir/storage/versioned_store.cc.o" "gcc" "src/CMakeFiles/evc.dir/storage/versioned_store.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/evc.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/evc.dir/storage/wal.cc.o.d"
+  "/root/repo/src/txn/escrow.cc" "src/CMakeFiles/evc.dir/txn/escrow.cc.o" "gcc" "src/CMakeFiles/evc.dir/txn/escrow.cc.o.d"
+  "/root/repo/src/txn/redblue.cc" "src/CMakeFiles/evc.dir/txn/redblue.cc.o" "gcc" "src/CMakeFiles/evc.dir/txn/redblue.cc.o.d"
+  "/root/repo/src/verify/linearizability.cc" "src/CMakeFiles/evc.dir/verify/linearizability.cc.o" "gcc" "src/CMakeFiles/evc.dir/verify/linearizability.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/evc.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/evc.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_gt_test.dir/causal_gt_test.cc.o"
+  "CMakeFiles/causal_gt_test.dir/causal_gt_test.cc.o.d"
+  "causal_gt_test"
+  "causal_gt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_gt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

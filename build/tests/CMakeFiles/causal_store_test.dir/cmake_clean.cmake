@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_store_test.dir/causal_store_test.cc.o"
+  "CMakeFiles/causal_store_test.dir/causal_store_test.cc.o.d"
+  "causal_store_test"
+  "causal_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crdt_counters_test.dir/crdt_counters_test.cc.o"
+  "CMakeFiles/crdt_counters_test.dir/crdt_counters_test.cc.o.d"
+  "crdt_counters_test"
+  "crdt_counters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crdt_counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

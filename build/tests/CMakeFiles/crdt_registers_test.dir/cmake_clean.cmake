@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crdt_registers_test.dir/crdt_registers_test.cc.o"
+  "CMakeFiles/crdt_registers_test.dir/crdt_registers_test.cc.o.d"
+  "crdt_registers_test"
+  "crdt_registers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crdt_registers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crdt_sets_test.dir/crdt_sets_test.cc.o"
+  "CMakeFiles/crdt_sets_test.dir/crdt_sets_test.cc.o.d"
+  "crdt_sets_test"
+  "crdt_sets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crdt_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_orset_test.dir/delta_orset_test.cc.o"
+  "CMakeFiles/delta_orset_test.dir/delta_orset_test.cc.o.d"
+  "delta_orset_test"
+  "delta_orset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_orset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

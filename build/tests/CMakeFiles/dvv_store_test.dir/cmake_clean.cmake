@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvv_store_test.dir/dvv_store_test.cc.o"
+  "CMakeFiles/dvv_store_test.dir/dvv_store_test.cc.o.d"
+  "dvv_store_test"
+  "dvv_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvv_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

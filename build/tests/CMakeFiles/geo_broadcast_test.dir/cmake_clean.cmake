@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_broadcast_test.dir/geo_broadcast_test.cc.o"
+  "CMakeFiles/geo_broadcast_test.dir/geo_broadcast_test.cc.o.d"
+  "geo_broadcast_test"
+  "geo_broadcast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_broadcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_stats_test.dir/hash_stats_test.cc.o"
+  "CMakeFiles/hash_stats_test.dir/hash_stats_test.cc.o.d"
+  "hash_stats_test"
+  "hash_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

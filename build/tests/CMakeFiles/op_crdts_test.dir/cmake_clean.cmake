@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_crdts_test.dir/op_crdts_test.cc.o"
+  "CMakeFiles/op_crdts_test.dir/op_crdts_test.cc.o.d"
+  "op_crdts_test"
+  "op_crdts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_crdts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

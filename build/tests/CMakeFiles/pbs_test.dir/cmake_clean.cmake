@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbs_test.dir/pbs_test.cc.o"
+  "CMakeFiles/pbs_test.dir/pbs_test.cc.o.d"
+  "pbs_test"
+  "pbs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

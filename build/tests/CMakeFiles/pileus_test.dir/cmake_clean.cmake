@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pileus_test.dir/pileus_test.cc.o"
+  "CMakeFiles/pileus_test.dir/pileus_test.cc.o.d"
+  "pileus_test"
+  "pileus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pileus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_store_test.dir/quorum_store_test.cc.o"
+  "CMakeFiles/quorum_store_test.dir/quorum_store_test.cc.o.d"
+  "quorum_store_test"
+  "quorum_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redblue_test.dir/redblue_test.cc.o"
+  "CMakeFiles/redblue_test.dir/redblue_test.cc.o.d"
+  "redblue_test"
+  "redblue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redblue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_storage_test.dir/replica_storage_test.cc.o"
+  "CMakeFiles/replica_storage_test.dir/replica_storage_test.cc.o.d"
+  "replica_storage_test"
+  "replica_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

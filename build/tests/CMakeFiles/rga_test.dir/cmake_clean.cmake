@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rga_test.dir/rga_test.cc.o"
+  "CMakeFiles/rga_test.dir/rga_test.cc.o.d"
+  "rga_test"
+  "rga_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_store_test.dir/timeline_store_test.cc.o"
+  "CMakeFiles/timeline_store_test.dir/timeline_store_test.cc.o.d"
+  "timeline_store_test"
+  "timeline_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_vector_test.dir/version_vector_test.cc.o"
+  "CMakeFiles/version_vector_test.dir/version_vector_test.cc.o.d"
+  "version_vector_test"
+  "version_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

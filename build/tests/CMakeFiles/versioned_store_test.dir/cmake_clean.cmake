@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_store_test.dir/versioned_store_test.cc.o"
+  "CMakeFiles/versioned_store_test.dir/versioned_store_test.cc.o.d"
+  "versioned_store_test"
+  "versioned_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
