@@ -18,6 +18,7 @@
 #include "consensus/paxos.h"
 #include "replication/anti_entropy.h"
 #include "replication/quorum_store.h"
+#include "sim/nemesis.h"
 
 using namespace evc;
 using sim::kMillisecond;
@@ -70,9 +71,13 @@ PartitionResult RunEventual(uint64_t seed) {
   EVC_CHECK(seeded);
   sim.RunFor(2 * kSecond);  // replicate everywhere
 
-  // Partition DC2 (with its client) away.
-  net.Partition({{servers[0], servers[1], majority_client},
-                 {servers[2], minority_client}});
+  // Partition DC2 (with its client) away for 10 s, declaratively.
+  sim::Nemesis nemesis(&net, servers, seed);
+  sim::FaultPlan plan;
+  plan.PartitionAt(0, {{servers[0], servers[1], majority_client},
+                       {servers[2], minority_client}})
+      .HealAt(10 * kSecond);
+  nemesis.Execute(plan);
 
   PartitionResult result;
   int op_counter = 0;
@@ -106,8 +111,7 @@ PartitionResult RunEventual(uint64_t seed) {
     sim.RunFor(200 * kMillisecond);
   }
 
-  // Heal and measure time to convergence of the shared key.
-  net.Heal();
+  // The plan's heal has fired; measure time to convergence of the key.
   const sim::Time heal_at = sim.Now();
   while (sim.Now() < heal_at + 30 * kSecond) {
     sim.RunFor(50 * kMillisecond);
@@ -147,8 +151,13 @@ PartitionResult RunStrong(uint64_t seed) {
   sim.RunFor(10 * kSecond);
   EVC_CHECK(seeded);
 
-  net.Partition({{servers[0], servers[1], majority_client},
-                 {servers[2], minority_client}});
+  // 3 s of re-election slack + 10 s of partitioned operation, then heal.
+  sim::Nemesis nemesis(&net, servers, seed);
+  sim::FaultPlan plan;
+  plan.PartitionAt(0, {{servers[0], servers[1], majority_client},
+                       {servers[2], minority_client}})
+      .HealAt(13 * kSecond);
+  nemesis.Execute(plan);
   sim.RunFor(3 * kSecond);  // give the majority time to (re)elect
 
   PartitionResult result;
@@ -173,7 +182,7 @@ PartitionResult RunStrong(uint64_t seed) {
     sim.RunFor(200 * kMillisecond);
   }
 
-  net.Heal();
+  // The plan's heal has fired by now.
   const sim::Time heal_at = sim.Now();
   // Convergence: minority replica applies the majority's last chosen slot.
   while (sim.Now() < heal_at + 60 * kSecond) {

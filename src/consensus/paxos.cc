@@ -485,10 +485,14 @@ void PaxosCluster::ApplyReady(Server* server) {
       case Command::Type::kNoop:
         break;
       case Command::Type::kPut:
-        server->kv[cmd.key] = cmd.value;
+        if (cmd.op_id == 0 || server->applied_ops.insert(cmd.op_id).second) {
+          server->kv[cmd.key] = cmd.value;
+        }
         break;
       case Command::Type::kDelete:
-        server->kv.erase(cmd.key);
+        if (cmd.op_id == 0 || server->applied_ops.insert(cmd.op_id).second) {
+          server->kv.erase(cmd.key);
+        }
         break;
       case Command::Type::kGet: {
         auto kv_it = server->kv.find(cmd.key);
@@ -542,7 +546,7 @@ void PaxosCluster::StepDown(Server* server, const Ballot& seen) {
 
 void PaxosCluster::Propose(sim::NodeId client, sim::NodeId server,
                            Command command, ProposeCallback done) {
-  command.op_id = next_op_id_++;
+  if (command.op_id == 0) command.op_id = next_op_id_++;
   rpc_->Call(client, server, kClientProposal, std::move(command),
              options_.proposal_timeout + 4 * options_.rpc_timeout,
              [done](Result<std::any> r) {
@@ -650,6 +654,9 @@ void PaxosKvClient::Put(const std::string& key, std::string value,
   cmd.type = Command::Type::kPut;
   cmd.key = key;
   cmd.value = std::move(value);
+  // One id across all retries: a timed-out attempt may still commit, and the
+  // state machine must not apply the retry's duplicate on top of it.
+  cmd.op_id = cluster_->MintOpId();
   Submit(cmd, 10, [done](Result<Execution> r) {
     if (r.ok()) {
       done(r->slot);
@@ -663,6 +670,7 @@ void PaxosKvClient::Get(const std::string& key, GetCallback done) {
   Command cmd;
   cmd.type = Command::Type::kGet;
   cmd.key = key;
+  cmd.op_id = cluster_->MintOpId();
   Submit(cmd, 10, [done](Result<Execution> r) {
     if (!r.ok()) {
       done(r.status());

@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,7 +49,12 @@ struct Command {
   Type type = Type::kNoop;
   std::string key;
   std::string value;
-  uint64_t op_id = 0;  ///< unique per proposal; used to match callbacks
+  /// Unique id of the logical operation. Retries of the same client op reuse
+  /// the id, and the state machine applies each mutating id at most once —
+  /// otherwise a timed-out proposal completed later by a new leader plus its
+  /// retry would execute the same put twice (a real linearizability
+  /// violation the fault fuzzer caught). 0 means "stamp at Propose".
+  uint64_t op_id = 0;
 };
 
 /// Result of executing a command against the KV state machine.
@@ -92,6 +98,10 @@ class PaxosCluster {
   void Start();
 
   using ProposeCallback = std::function<void(Result<Execution>)>;
+
+  /// Mints a cluster-unique op id. Clients that retry a command must stamp
+  /// it once with this and reuse it across attempts (see Command::op_id).
+  uint64_t MintOpId() { return next_op_id_++; }
 
   /// Proposes a command via `server`. Fails with FailedPrecondition (+the
   /// current leader hint in the message) when `server` is not the leader,
@@ -144,6 +154,7 @@ class PaxosCluster {
     // Learner / state machine.
     uint64_t applied_index = 0;  // next slot to apply
     std::map<std::string, std::string> kv;
+    std::set<uint64_t> applied_ops;  // mutating op_ids already applied
     // Leader state.
     bool is_leader = false;
     bool electing = false;

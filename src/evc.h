@@ -18,6 +18,7 @@
 
 // Simulation.
 #include "sim/latency.h"    // IWYU pragma: export
+#include "sim/nemesis.h"    // IWYU pragma: export
 #include "sim/network.h"    // IWYU pragma: export
 #include "sim/rpc.h"        // IWYU pragma: export
 #include "sim/simulator.h"  // IWYU pragma: export
@@ -60,8 +61,12 @@
 #include "crdt/sets.h"         // IWYU pragma: export
 
 // Workloads, verification, facade.
-#include "core/replicated_store.h"   // IWYU pragma: export
-#include "verify/linearizability.h"  // IWYU pragma: export
-#include "workload/workload.h"       // IWYU pragma: export
+#include "core/replicated_store.h"        // IWYU pragma: export
+#include "verify/causal_checker.h"        // IWYU pragma: export
+#include "verify/convergence.h"           // IWYU pragma: export
+#include "verify/fuzz.h"                  // IWYU pragma: export
+#include "verify/linearizability.h"       // IWYU pragma: export
+#include "verify/session_guarantees.h"    // IWYU pragma: export
+#include "workload/workload.h"            // IWYU pragma: export
 
 #endif  // EVC_EVC_H_

@@ -120,13 +120,14 @@ void AntiEntropy::Start() {
     // Stagger the first round so all replicas don't fire simultaneously.
     const sim::Time phase =
         static_cast<sim::Time>(rng_.NextBounded(options_.interval) + 1);
-    auto tick = std::make_shared<std::function<void()>>();
-    *tick = [this, i, sim, tick] {
-      GossipRound(i);
-      sim->ScheduleAfter(options_.interval, *tick);
-    };
-    sim->ScheduleAfter(phase, *tick);
+    sim->ScheduleAfter(phase, [this, i] { GossipTick(i); });
   }
+}
+
+void AntiEntropy::GossipTick(size_t index) {
+  GossipRound(index);
+  network_->simulator()->ScheduleAfter(options_.interval,
+                                       [this, index] { GossipTick(index); });
 }
 
 bool AntiEntropy::SyncPair(size_t a_index, size_t b_index) {

@@ -71,6 +71,7 @@ class AntiEntropy {
 
   void RegisterHandlers(size_t index);
   void GossipRound(size_t index);
+  void GossipTick(size_t index);
   /// Collects all (key, siblings) pairs of `storage` falling in `buckets`.
   static std::vector<std::pair<std::string, std::vector<Version>>>
   CollectBuckets(ReplicaStorage* storage, const std::vector<size_t>& buckets);

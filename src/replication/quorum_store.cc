@@ -376,17 +376,14 @@ void DynamoCluster::CoordinateGet(
 }
 
 void DynamoCluster::StartHintDelivery(sim::Time interval) {
-  sim::Simulator* sim = rpc_->simulator();
-  for (auto& server : servers_) {
-    Server* s = server.get();
-    std::shared_ptr<std::function<void()>> tick =
-        std::make_shared<std::function<void()>>();
-    *tick = [this, s, sim, interval, tick] {
-      DeliverHints(s);
-      sim->ScheduleAfter(interval, *tick);
-    };
-    sim->ScheduleAfter(interval, *tick);
-  }
+  for (auto& server : servers_) ScheduleHintTick(server.get(), interval);
+}
+
+void DynamoCluster::ScheduleHintTick(Server* server, sim::Time interval) {
+  rpc_->simulator()->ScheduleAfter(interval, [this, server, interval] {
+    DeliverHints(server);
+    ScheduleHintTick(server, interval);
+  });
 }
 
 void DynamoCluster::DeliverHints(Server* server) {

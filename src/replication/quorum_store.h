@@ -169,6 +169,7 @@ class DynamoCluster {
   void CoordinateGet(Server* coordinator, std::string key,
                      std::function<void(Result<ReadResult>)> done);
   void DeliverHints(Server* server);
+  void ScheduleHintTick(Server* server, sim::Time interval);
 
   sim::Rpc* rpc_;
   QuorumConfig config_;

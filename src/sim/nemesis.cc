@@ -1,0 +1,428 @@
+#include "sim/nemesis.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace evc::sim {
+
+const char* ToString(PartitionStyle style) {
+  switch (style) {
+    case PartitionStyle::kMajorityMinority: return "majority-minority";
+    case PartitionStyle::kRingSplit: return "ring-split";
+    case PartitionStyle::kIsolateOne: return "isolate-one";
+    case PartitionStyle::kRandomBisect: return "random-bisect";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string FormatTime(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.3fs", static_cast<double>(t) / kSecond);
+  return buf;
+}
+
+std::string FormatGroups(const std::vector<std::vector<NodeId>>& groups) {
+  std::string out = "[";
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (g > 0) out += " | ";
+    for (size_t i = 0; i < groups[g].size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(groups[g][i]);
+    }
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string FaultAction::ToString() const {
+  std::string out = FormatTime(at) + " ";
+  switch (kind) {
+    case Kind::kPartition:
+      out += "partition " + FormatGroups(groups);
+      break;
+    case Kind::kRandomPartition:
+      out += std::string("random-partition(") + sim::ToString(style) + ")";
+      break;
+    case Kind::kHeal:
+      out += "heal";
+      break;
+    case Kind::kCrash:
+      out += "crash node " + std::to_string(node);
+      break;
+    case Kind::kRestart:
+      out += "restart node " + std::to_string(node);
+      break;
+    case Kind::kRandomCrash:
+      out += "random-crash";
+      break;
+    case Kind::kRandomRestart:
+      out += "random-restart";
+      break;
+    case Kind::kLossRate: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "loss-rate %.3f", rate);
+      out += buf;
+      break;
+    }
+    case Kind::kDuplicateRate: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "duplicate-rate %.3f", rate);
+      out += buf;
+      break;
+    }
+    case Kind::kHealAll:
+      out += "heal-all";
+      break;
+  }
+  return out;
+}
+
+FaultPlan& FaultPlan::Push(FaultAction action) {
+  actions_.push_back(std::move(action));
+  return *this;
+}
+
+FaultPlan& FaultPlan::PartitionAt(Time at,
+                                  std::vector<std::vector<NodeId>> groups) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kPartition;
+  a.at = at;
+  a.groups = std::move(groups);
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::RandomPartitionAt(Time at, PartitionStyle style) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kRandomPartition;
+  a.at = at;
+  a.style = style;
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::HealAt(Time at) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kHeal;
+  a.at = at;
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::CrashAt(Time at, NodeId node) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kCrash;
+  a.at = at;
+  a.node = node;
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::RestartAt(Time at, NodeId node) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kRestart;
+  a.at = at;
+  a.node = node;
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::RandomCrashAt(Time at) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kRandomCrash;
+  a.at = at;
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::RandomRestartAt(Time at) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kRandomRestart;
+  a.at = at;
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::LossRateAt(Time at, double rate) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kLossRate;
+  a.at = at;
+  a.rate = rate;
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::DuplicateRateAt(Time at, double rate) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kDuplicateRate;
+  a.at = at;
+  a.rate = rate;
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::HealAllAt(Time at) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kHealAll;
+  a.at = at;
+  return Push(std::move(a));
+}
+
+std::string FaultPlan::ToString() const {
+  std::vector<const FaultAction*> sorted;
+  sorted.reserve(actions_.size());
+  for (const FaultAction& a : actions_) sorted.push_back(&a);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultAction* a, const FaultAction* b) {
+                     return a->at < b->at;
+                   });
+  std::string out;
+  for (const FaultAction* a : sorted) {
+    out += a->ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+Nemesis::Nemesis(Network* network, std::vector<NodeId> targets, uint64_t seed)
+    : net_(network), targets_(std::move(targets)), rng_(seed) {
+  EVC_CHECK(net_ != nullptr);
+  EVC_CHECK(!targets_.empty());
+}
+
+FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
+  FaultPlan plan;
+  const Time end = options.duration;
+
+  enum Family { kPartitionF, kCrashF, kLossF, kDupF };
+  std::vector<Family> families;
+  if (options.allow_partitions) families.push_back(kPartitionF);
+  if (options.allow_crashes && options.max_concurrent_crashes > 0) {
+    families.push_back(kCrashF);
+  }
+  if (options.allow_loss) families.push_back(kLossF);
+  if (options.allow_duplication) families.push_back(kDupF);
+  if (families.empty()) {
+    if (options.heal_at_end) plan.HealAllAt(end);
+    return plan;
+  }
+
+  // Walk time forward, drawing fault onsets from an exponential arrival
+  // process and pairing each with its recovery action. `crash_ends` tracks
+  // symbolic crash intervals so the plan never exceeds the concurrency cap.
+  std::vector<Time> crash_ends;
+  Time t = 0;
+  for (;;) {
+    t += std::max<Time>(
+        kMillisecond,
+        static_cast<Time>(rng_.NextExponential(
+            static_cast<double>(options.mean_fault_interval))));
+    if (t >= end) break;
+    const Time hold = std::max<Time>(
+        50 * kMillisecond,
+        static_cast<Time>(rng_.NextExponential(
+            static_cast<double>(options.mean_fault_duration))));
+    const Time recover_at = std::min(t + hold, end);
+
+    Family family = families[rng_.NextBounded(families.size())];
+    if (family == kCrashF) {
+      std::erase_if(crash_ends, [t](Time e) { return e <= t; });
+      if (static_cast<int>(crash_ends.size()) >=
+          options.max_concurrent_crashes) {
+        family = families[rng_.NextBounded(families.size())];
+        if (family == kCrashF) continue;  // skip this onset entirely
+      }
+    }
+
+    switch (family) {
+      case kPartitionF: {
+        constexpr PartitionStyle kStyles[] = {
+            PartitionStyle::kMajorityMinority, PartitionStyle::kRingSplit,
+            PartitionStyle::kIsolateOne, PartitionStyle::kRandomBisect};
+        plan.RandomPartitionAt(t, kStyles[rng_.NextBounded(4)]);
+        plan.HealAt(recover_at);
+        break;
+      }
+      case kCrashF:
+        plan.RandomCrashAt(t);
+        plan.RandomRestartAt(recover_at);
+        crash_ends.push_back(recover_at);
+        break;
+      case kLossF:
+        plan.LossRateAt(t, rng_.NextDouble() * options.max_loss_rate);
+        plan.LossRateAt(recover_at, 0.0);
+        break;
+      case kDupF:
+        plan.DuplicateRateAt(t,
+                             rng_.NextDouble() * options.max_duplicate_rate);
+        plan.DuplicateRateAt(recover_at, 0.0);
+        break;
+    }
+  }
+  if (options.heal_at_end) plan.HealAllAt(end);
+  return plan;
+}
+
+void Nemesis::Execute(const FaultPlan& plan) {
+  Simulator* sim = net_->simulator();
+  const Time base = sim->Now();
+  // Stable-sort by fire time so a heal scheduled at the same instant as the
+  // next fault applies in plan order.
+  std::vector<FaultAction> sorted = plan.actions();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  for (FaultAction& action : sorted) {
+    FaultAction scheduled = std::move(action);
+    sim->ScheduleAt(base + scheduled.at,
+                    [this, a = std::move(scheduled)] { Apply(a); });
+  }
+}
+
+void Nemesis::Note(const std::string& what) {
+  log_.push_back(FormatTime(net_->simulator()->Now()) + " " + what);
+}
+
+void Nemesis::ApplyRandomPartition(PartitionStyle style) {
+  const size_t n = targets_.size();
+  std::vector<NodeId> cut;
+  switch (style) {
+    case PartitionStyle::kMajorityMinority: {
+      // A random minority: 1 .. floor((n-1)/2) targets.
+      const size_t max_cut = std::max<size_t>(1, (n - 1) / 2);
+      const size_t k = 1 + rng_.NextBounded(max_cut);
+      std::vector<NodeId> pool = targets_;
+      for (size_t i = 0; i < k; ++i) {
+        const size_t j = i + rng_.NextBounded(pool.size() - i);
+        std::swap(pool[i], pool[j]);
+        cut.push_back(pool[i]);
+      }
+      break;
+    }
+    case PartitionStyle::kRingSplit: {
+      // A contiguous run of 1..n-1 targets in ring order.
+      const size_t k = 1 + rng_.NextBounded(n - 1);
+      const size_t start = rng_.NextBounded(n);
+      for (size_t i = 0; i < k; ++i) cut.push_back(targets_[(start + i) % n]);
+      break;
+    }
+    case PartitionStyle::kIsolateOne:
+      cut.push_back(targets_[rng_.NextBounded(n)]);
+      break;
+    case PartitionStyle::kRandomBisect:
+      for (NodeId node : targets_) {
+        if (rng_.NextBool(0.5)) cut.push_back(node);
+      }
+      break;
+  }
+  if (cut.empty() || cut.size() == n) {
+    // Degenerate draw (everyone or no one on the cut side): treat as heal
+    // so the action is still deterministic and visible in the log.
+    net_->Heal();
+    ++stats_.heals;
+    Note("partition degenerated to heal");
+    return;
+  }
+  // Only the cut side is listed: every unlisted node (remaining targets and
+  // all client nodes) stays together in group 0.
+  net_->Partition({cut});
+  ++stats_.partitions;
+  Note(std::string("partition(") + sim::ToString(style) + ") cut " +
+       FormatGroups({cut}));
+}
+
+void Nemesis::Apply(const FaultAction& action) {
+  using Kind = FaultAction::Kind;
+  switch (action.kind) {
+    case Kind::kPartition:
+      net_->Partition(action.groups);
+      ++stats_.partitions;
+      Note("partition " + FormatGroups(action.groups));
+      break;
+    case Kind::kRandomPartition:
+      ApplyRandomPartition(action.style);
+      break;
+    case Kind::kHeal:
+      net_->Heal();
+      ++stats_.heals;
+      Note("heal");
+      break;
+    case Kind::kCrash:
+      net_->SetNodeUp(action.node, false);
+      if (std::find(crashed_.begin(), crashed_.end(), action.node) ==
+          crashed_.end()) {
+        crashed_.push_back(action.node);
+      }
+      ++stats_.crashes;
+      Note("crash node " + std::to_string(action.node));
+      break;
+    case Kind::kRestart:
+      net_->SetNodeUp(action.node, true);
+      std::erase(crashed_, action.node);
+      ++stats_.restarts;
+      Note("restart node " + std::to_string(action.node));
+      break;
+    case Kind::kRandomCrash: {
+      std::vector<NodeId> up;
+      for (NodeId node : targets_) {
+        if (net_->IsNodeUp(node)) up.push_back(node);
+      }
+      if (up.empty()) {
+        ++stats_.skipped;
+        Note("random-crash skipped (no target up)");
+        break;
+      }
+      const NodeId victim = up[rng_.NextBounded(up.size())];
+      net_->SetNodeUp(victim, false);
+      crashed_.push_back(victim);
+      ++stats_.crashes;
+      Note("crash node " + std::to_string(victim) + " (random)");
+      break;
+    }
+    case Kind::kRandomRestart: {
+      if (crashed_.empty()) {
+        ++stats_.skipped;
+        Note("random-restart skipped (nothing crashed)");
+        break;
+      }
+      const NodeId node = crashed_.front();
+      crashed_.pop_front();
+      net_->SetNodeUp(node, true);
+      ++stats_.restarts;
+      Note("restart node " + std::to_string(node));
+      break;
+    }
+    case Kind::kLossRate: {
+      net_->set_loss_rate(action.rate);
+      ++stats_.rate_changes;
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "loss-rate %.3f", action.rate);
+      Note(buf);
+      break;
+    }
+    case Kind::kDuplicateRate: {
+      net_->set_duplicate_rate(action.rate);
+      ++stats_.rate_changes;
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "duplicate-rate %.3f", action.rate);
+      Note(buf);
+      break;
+    }
+    case Kind::kHealAll:
+      HealAll();
+      break;
+  }
+}
+
+void Nemesis::HealAll() {
+  net_->Heal();
+  while (!crashed_.empty()) {
+    net_->SetNodeUp(crashed_.front(), true);
+    crashed_.pop_front();
+    ++stats_.restarts;
+  }
+  net_->set_loss_rate(0.0);
+  net_->set_duplicate_rate(0.0);
+  ++stats_.heals;
+  Note("heal-all");
+}
+
+}  // namespace evc::sim

@@ -1,0 +1,177 @@
+// Nemesis: Jepsen-style adversarial fault scheduling for the simulator.
+//
+// Benchmarks and tests used to hand-roll fault injection with raw
+// Network::Partition / SetNodeUp / ScheduleAt calls; the Nemesis gives them
+// one shared, declarative path. A FaultPlan is a time-ordered list of fault
+// actions (explicit or randomized); a Nemesis executes a plan against a
+// Network, resolving the randomized actions from its own seeded Rng so that
+// an entire adversarial schedule is a pure function of (seed, options) and
+// any failure replays bit-identically. The fuzz harness (verify/fuzz.h,
+// tools/evc_fuzz) drives thousands of these schedules against every store.
+
+#ifndef EVC_SIM_NEMESIS_H_
+#define EVC_SIM_NEMESIS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/network.h"
+
+namespace evc::sim {
+
+/// Shapes of randomized partitions the Nemesis can draw.
+enum class PartitionStyle {
+  kMajorityMinority,  ///< cut off a random minority (< half) of the targets
+  kRingSplit,         ///< split a contiguous run of the target ring away
+  kIsolateOne,        ///< isolate a single random target
+  kRandomBisect,      ///< independent fair coin per target
+};
+
+const char* ToString(PartitionStyle style);
+
+/// One scheduled fault. Times are relative to the instant the plan is
+/// executed (Nemesis::Execute adds Simulator::Now()).
+struct FaultAction {
+  enum class Kind {
+    kPartition,        ///< explicit groups (Network::Partition semantics)
+    kRandomPartition,  ///< Nemesis picks the cut set by `style` at fire time
+    kHeal,             ///< remove any partition
+    kCrash,            ///< take an explicit node down
+    kRestart,          ///< bring an explicit node back up
+    kRandomCrash,      ///< crash a random currently-up target
+    kRandomRestart,    ///< restart the longest-crashed nemesis-crashed target
+    kLossRate,         ///< set the network loss probability
+    kDuplicateRate,    ///< set the network duplication probability
+    kHealAll,          ///< heal partition, restart crashed targets, zero rates
+  };
+
+  Kind kind = Kind::kHeal;
+  Time at = 0;
+  std::vector<std::vector<NodeId>> groups;  ///< kPartition only
+  NodeId node = 0;                          ///< kCrash / kRestart only
+  double rate = 0.0;                        ///< kLossRate / kDuplicateRate
+  PartitionStyle style = PartitionStyle::kMajorityMinority;
+
+  std::string ToString() const;
+};
+
+/// Declarative, time-ordered fault schedule. Build one explicitly with the
+/// fluent *At() calls, or let Nemesis::GeneratePlan draw a random one.
+class FaultPlan {
+ public:
+  FaultPlan& PartitionAt(Time at, std::vector<std::vector<NodeId>> groups);
+  FaultPlan& RandomPartitionAt(Time at, PartitionStyle style);
+  FaultPlan& HealAt(Time at);
+  FaultPlan& CrashAt(Time at, NodeId node);
+  FaultPlan& RestartAt(Time at, NodeId node);
+  FaultPlan& RandomCrashAt(Time at);
+  FaultPlan& RandomRestartAt(Time at);
+  FaultPlan& LossRateAt(Time at, double rate);
+  FaultPlan& DuplicateRateAt(Time at, double rate);
+  FaultPlan& HealAllAt(Time at);
+
+  const std::vector<FaultAction>& actions() const { return actions_; }
+  size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+
+  /// One action per line, time-sorted, for failure reports.
+  std::string ToString() const;
+
+ private:
+  FaultPlan& Push(FaultAction action);
+  std::vector<FaultAction> actions_;
+};
+
+/// Knobs for random schedule generation. Defaults produce a schedule that
+/// keeps a majority of targets connected most of the time (so
+/// majority-quorum stores can make progress between faults).
+struct NemesisScheduleOptions {
+  /// Faults are drawn over [0, duration) relative to execution time.
+  Time duration = 20 * kSecond;
+  /// Mean (exponential) gap between consecutive fault onsets.
+  Time mean_fault_interval = 1500 * kMillisecond;
+  /// Mean (exponential) time a fault holds before its paired heal/restart.
+  Time mean_fault_duration = 2 * kSecond;
+  /// Fault families the generator may draw.
+  bool allow_partitions = true;
+  bool allow_crashes = true;
+  bool allow_loss = true;
+  bool allow_duplication = true;
+  /// Upper bounds for the rate ramps.
+  double max_loss_rate = 0.25;
+  double max_duplicate_rate = 0.25;
+  /// Maximum targets crashed at once (1 keeps an n>=3 majority alive).
+  int max_concurrent_crashes = 1;
+  /// Append a HealAll at `duration` so runs end fault-free.
+  bool heal_at_end = true;
+};
+
+struct NemesisStats {
+  uint64_t partitions = 0;
+  uint64_t heals = 0;
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+  uint64_t rate_changes = 0;
+  uint64_t skipped = 0;  ///< random actions with no eligible target
+  uint64_t total() const {
+    return partitions + heals + crashes + restarts + rate_changes;
+  }
+};
+
+/// Executes fault plans against a network. `targets` is the set of nodes the
+/// randomized faults may touch (typically the servers — leave clients out so
+/// a partition never strands them in their own group). All randomness comes
+/// from `seed`, so a schedule replays exactly.
+class Nemesis {
+ public:
+  Nemesis(Network* network, std::vector<NodeId> targets, uint64_t seed);
+
+  Nemesis(const Nemesis&) = delete;
+  Nemesis& operator=(const Nemesis&) = delete;
+
+  /// Draws a random plan from the options. Pure function of the Nemesis
+  /// seed and the options (does not touch the network).
+  FaultPlan GeneratePlan(const NemesisScheduleOptions& options);
+
+  /// Schedules every action in `plan` on the simulator, relative to Now().
+  void Execute(const FaultPlan& plan);
+
+  /// GeneratePlan + Execute.
+  FaultPlan Unleash(const NemesisScheduleOptions& options) {
+    FaultPlan plan = GeneratePlan(options);
+    Execute(plan);
+    return plan;
+  }
+
+  /// Immediately undoes everything this Nemesis did: heals the partition,
+  /// restarts every target it crashed, and zeroes loss/duplication rates.
+  void HealAll();
+
+  /// True if no target is currently crashed by this Nemesis.
+  bool AllTargetsUp() const { return crashed_.empty(); }
+
+  const NemesisStats& stats() const { return stats_; }
+
+  /// Time-stamped record of every fault actually applied (randomized
+  /// actions appear with their resolved nodes/groups).
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void Apply(const FaultAction& action);
+  void ApplyRandomPartition(PartitionStyle style);
+  void Note(const std::string& what);
+
+  Network* net_;
+  std::vector<NodeId> targets_;
+  Rng rng_;
+  NemesisStats stats_;
+  std::deque<NodeId> crashed_;  ///< targets crashed by us, oldest first
+  std::vector<std::string> log_;
+};
+
+}  // namespace evc::sim
+
+#endif  // EVC_SIM_NEMESIS_H_

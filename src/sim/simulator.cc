@@ -6,12 +6,17 @@ EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
   EVC_CHECK(when >= now_);
   const EventId id = next_id_++;
   queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
   return id;
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  return cancelled_.insert(id).second;
+  // Only a genuinely pending event can be cancelled; ids that already ran
+  // (or were already cancelled) report false and leave no tombstone behind,
+  // keeping pending_events() exact.
+  if (pending_ids_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
 }
 
 bool Simulator::Step() {
@@ -26,6 +31,7 @@ bool Simulator::Step() {
       cancelled_.erase(it);
       continue;
     }
+    pending_ids_.erase(ev.id);
     now_ = ev.when;
     ++events_executed_;
     ev.fn();

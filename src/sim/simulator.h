@@ -73,8 +73,11 @@ class Simulator {
 
   /// Number of events executed so far (diagnostic).
   uint64_t events_executed() const { return events_executed_; }
-  /// Number of events currently pending.
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events currently pending: scheduled, not yet executed, not
+  /// cancelled. (Counted via `pending_ids_`, not `queue_.size() -
+  /// cancelled_.size()`: the queue retains cancelled entries until they
+  /// surface, so the naive subtraction could underflow.)
+  size_t pending_events() const { return pending_ids_.size(); }
 
   /// Simulator-level RNG; components should Fork() their own stream.
   Rng& rng() { return rng_; }
@@ -99,6 +102,8 @@ class Simulator {
   uint64_t events_executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::unordered_set<EventId> cancelled_;
+  // Ids scheduled but not yet executed or cancelled.
+  std::unordered_set<EventId> pending_ids_;
   Rng rng_;
 };
 

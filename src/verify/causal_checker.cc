@@ -1,0 +1,91 @@
+#include "verify/causal_checker.h"
+
+#include <map>
+
+namespace evc::verify {
+
+namespace {
+constexpr size_t kDetailCap = 32;
+}  // namespace
+
+std::string CausalCheckResult::ToString() const {
+  return "monotonic=" + std::to_string(monotonic_violations) +
+         " dependency=" + std::to_string(dependency_violations) +
+         " not_found=" + std::to_string(not_found_violations);
+}
+
+CausalCheckResult CheckCausalHistory(
+    const std::vector<CausalRecordedOp>& history) {
+  CausalCheckResult result;
+  auto note = [&result](std::string detail) {
+    if (result.details.size() < kDetailCap) {
+      result.details.push_back(std::move(detail));
+    }
+  };
+
+  struct SessionState {
+    // Highest id observed (or written) per key.
+    std::map<std::string, causal::WriteId> seen;
+    // Owed visibility per key: max dependency id accumulated from observed
+    // writes (and the session's own writes — local RYW in causal+).
+    std::map<std::string, causal::WriteId> owed;
+  };
+  std::map<int, SessionState> sessions;
+
+  auto owe = [](SessionState& s, const std::string& key,
+                const causal::WriteId& id) {
+    causal::WriteId& slot = s.owed[key];
+    if (slot < id) slot = id;
+  };
+
+  for (size_t i = 0; i < history.size(); ++i) {
+    const CausalRecordedOp& op = history[i];
+    SessionState& s = sessions[op.session];
+    if (op.kind == CausalRecordedOp::Kind::kWrite) {
+      // The home datacenter applies the write synchronously: the session
+      // must subsequently read its own write (or newer) — and everything
+      // the write depended on stays owed.
+      owe(s, op.key, op.id);
+      for (const causal::Dependency& dep : op.deps) owe(s, dep.key, dep.id);
+      causal::WriteId& seen = s.seen[op.key];
+      if (seen < op.id) seen = op.id;
+      continue;
+    }
+
+    const causal::WriteId observed = op.found ? op.id : causal::WriteId{};
+    // Monotonicity: never observe an older id than this session already saw.
+    auto seen_it = s.seen.find(op.key);
+    if (seen_it != s.seen.end() && observed < seen_it->second &&
+        op.found) {
+      ++result.monotonic_violations;
+      note("session " + std::to_string(op.session) + " op#" +
+           std::to_string(i) + " key '" + op.key + "' went backwards: " +
+           observed.ToString() + " after " + seen_it->second.ToString());
+    }
+    // Dependency visibility.
+    auto owed_it = s.owed.find(op.key);
+    if (owed_it != s.owed.end()) {
+      if (!op.found) {
+        ++result.not_found_violations;
+        note("session " + std::to_string(op.session) + " op#" +
+             std::to_string(i) + " key '" + op.key +
+             "' not found but owes " + owed_it->second.ToString());
+      } else if (observed < owed_it->second) {
+        ++result.dependency_violations;
+        note("session " + std::to_string(op.session) + " op#" +
+             std::to_string(i) + " key '" + op.key + "' observed " +
+             observed.ToString() + " but owes " + owed_it->second.ToString());
+      }
+    }
+    if (op.found) {
+      causal::WriteId& seen = s.seen[op.key];
+      if (seen < observed) seen = observed;
+      // The observed write's dependencies become owed from now on.
+      for (const causal::Dependency& dep : op.deps) owe(s, dep.key, dep.id);
+      owe(s, op.key, observed);
+    }
+  }
+  return result;
+}
+
+}  // namespace evc::verify

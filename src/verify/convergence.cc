@@ -1,0 +1,95 @@
+#include "verify/convergence.h"
+
+#include <algorithm>
+#include <set>
+
+namespace evc::verify {
+
+namespace {
+constexpr size_t kDetailCap = 16;
+}  // namespace
+
+std::string ConvergenceResult::ToString() const {
+  std::string out = replicas_agree ? "converged" : "DIVERGED";
+  if (!divergent_keys.empty()) {
+    out += " keys=[";
+    for (size_t i = 0; i < divergent_keys.size(); ++i) {
+      if (i > 0) out += ",";
+      out += divergent_keys[i];
+    }
+    out += "]";
+  }
+  out += " lost_writes=" + std::to_string(lost_write_count);
+  if (!lost_writes.empty()) {
+    out += " [";
+    for (size_t i = 0; i < lost_writes.size(); ++i) {
+      if (i > 0) out += ",";
+      out += lost_writes[i].key + "=" + lost_writes[i].value;
+    }
+    out += "]";
+  }
+  return out;
+}
+
+ConvergenceResult CheckConvergence(const std::vector<ReplicaState>& replicas,
+                                   const std::vector<AckedWrite>& acked_writes,
+                                   const CoveredPredicate& covered) {
+  ConvergenceResult result;
+  result.replicas_agree = true;
+
+  if (!replicas.empty()) {
+    // Agreement: every replica equals replica 0, key by key (collect the
+    // union of keys so one-sided extras are reported too).
+    std::set<std::string> keys;
+    for (const ReplicaState& r : replicas) {
+      for (const auto& [key, values] : r) {
+        (void)values;
+        keys.insert(key);
+      }
+    }
+    const ReplicaState& base = replicas.front();
+    for (const std::string& key : keys) {
+      bool divergent = false;
+      auto base_it = base.find(key);
+      for (size_t r = 1; r < replicas.size() && !divergent; ++r) {
+        auto it = replicas[r].find(key);
+        const bool base_has = base_it != base.end();
+        const bool r_has = it != replicas[r].end();
+        if (base_has != r_has ||
+            (base_has && base_it->second != it->second)) {
+          divergent = true;
+        }
+      }
+      if (divergent) {
+        result.replicas_agree = false;
+        if (result.divergent_keys.size() < kDetailCap) {
+          result.divergent_keys.push_back(key);
+        }
+      }
+    }
+  }
+
+  // Lost-update detection against replica 0 (if the replicas disagree the
+  // run already fails on agreement; replica 0 is as good a witness as any).
+  static const std::vector<std::string> kEmpty;
+  for (const AckedWrite& write : acked_writes) {
+    const std::vector<std::string>* values = &kEmpty;
+    if (!replicas.empty()) {
+      auto it = replicas.front().find(write.key);
+      if (it != replicas.front().end()) values = &it->second;
+    }
+    const bool present = std::find(values->begin(), values->end(),
+                                   write.value) != values->end();
+    const bool accounted =
+        present || (covered != nullptr && covered(write, *values));
+    if (!accounted) {
+      ++result.lost_write_count;
+      if (result.lost_writes.size() < kDetailCap) {
+        result.lost_writes.push_back(write);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace evc::verify

@@ -1,0 +1,57 @@
+// Eventual-convergence checker: after faults heal and the system quiesces,
+// (1) every replica holds the same state, and (2) no acknowledged write has
+// been lost — its value is either still visible or provably superseded.
+//
+// This is the machine-checked form of the tutorial's core liveness promise:
+// "replicas eventually agree, and agreement contains everything the system
+// acknowledged". Property (2) is what catches lost updates — an acked write
+// that silently vanishes (dropped hint, bad merge, read-repair regression)
+// fails the check even though the replicas agree with each other.
+
+#ifndef EVC_VERIFY_CONVERGENCE_H_
+#define EVC_VERIFY_CONVERGENCE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace evc::verify {
+
+/// One replica's final observable state: key -> sorted visible values
+/// (sibling sets for multi-value stores, singleton vectors for registers).
+using ReplicaState = std::map<std::string, std::vector<std::string>>;
+
+/// A write the system acknowledged to a client.
+struct AckedWrite {
+  std::string key;
+  std::string value;
+};
+
+/// Decides whether the final sibling set of `write.key` accounts for
+/// `write`. The default (value membership) suits write-once values; stores
+/// with causal supersession pass a predicate that also accepts dominated
+/// writes (e.g. "some final version's vector clock dominates the write's").
+using CoveredPredicate = std::function<bool(
+    const AckedWrite& write, const std::vector<std::string>& final_values)>;
+
+struct ConvergenceResult {
+  bool replicas_agree = false;
+  std::vector<std::string> divergent_keys;  ///< capped at 16
+  std::vector<AckedWrite> lost_writes;      ///< capped at 16
+  size_t lost_write_count = 0;
+
+  bool ok() const { return replicas_agree && lost_write_count == 0; }
+  std::string ToString() const;
+};
+
+/// Checks agreement across `replicas` and coverage of every acked write
+/// against the first replica's state. With zero replicas the result is
+/// vacuously converged (but lost writes are still reported).
+ConvergenceResult CheckConvergence(const std::vector<ReplicaState>& replicas,
+                                   const std::vector<AckedWrite>& acked_writes,
+                                   const CoveredPredicate& covered = nullptr);
+
+}  // namespace evc::verify
+
+#endif  // EVC_VERIFY_CONVERGENCE_H_

@@ -1,0 +1,970 @@
+#include "verify/fuzz.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "causal/causal_store.h"
+#include "consensus/paxos.h"
+#include "crdt/gcounter.h"
+#include "crdt/orset.h"
+#include "replication/anti_entropy.h"
+#include "replication/quorum_store.h"
+#include "replication/timeline_store.h"
+#include "sim/latency.h"
+#include "sim/rpc.h"
+#include "verify/linearizability.h"
+
+namespace evc::verify {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+const char* ToString(FuzzStore store) {
+  switch (store) {
+    case FuzzStore::kPaxos: return "paxos";
+    case FuzzStore::kQuorumStrict: return "quorum-strict";
+    case FuzzStore::kQuorumWeak: return "quorum-weak";
+    case FuzzStore::kTimeline: return "timeline";
+    case FuzzStore::kCausal: return "causal";
+    case FuzzStore::kGCounter: return "gcounter";
+    case FuzzStore::kOrSet: return "orset";
+  }
+  return "?";
+}
+
+bool ParseFuzzStore(const std::string& name, FuzzStore* store) {
+  for (FuzzStore s : AllFuzzStores()) {
+    if (name == ToString(s)) {
+      *store = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FuzzStore> AllFuzzStores() {
+  return {FuzzStore::kPaxos,    FuzzStore::kQuorumStrict,
+          FuzzStore::kQuorumWeak, FuzzStore::kTimeline,
+          FuzzStore::kCausal,   FuzzStore::kGCounter,
+          FuzzStore::kOrSet};
+}
+
+FuzzOptions DefaultFuzzOptions(FuzzStore store, uint64_t seed) {
+  FuzzOptions o;
+  o.seed = seed;
+  o.store = store;
+  switch (store) {
+    case FuzzStore::kPaxos:
+      // Single register, few ops: the linearizability search is exponential.
+      o.servers = 3;
+      o.sessions = 3;
+      o.ops_per_session = 10;
+      o.keyspace = 1;
+      o.quiescence_timeout = 60 * kSecond;
+      break;
+    case FuzzStore::kQuorumStrict:
+    case FuzzStore::kQuorumWeak:
+      o.servers = 5;
+      o.sessions = 4;
+      o.ops_per_session = 25;
+      o.keyspace = 4;
+      o.quiescence_timeout = 60 * kSecond;
+      break;
+    case FuzzStore::kTimeline:
+    case FuzzStore::kCausal:
+      o.servers = 3;
+      o.sessions = 3;
+      o.ops_per_session = 25;
+      o.keyspace = 4;
+      o.quiescence_timeout = 15 * kSecond;
+      break;
+    case FuzzStore::kGCounter:
+    case FuzzStore::kOrSet:
+      o.servers = 4;
+      o.sessions = 4;
+      o.ops_per_session = 30;
+      o.keyspace = 8;  // element pool size for the or-set
+      o.quiescence_timeout = 20 * kSecond;
+      break;
+  }
+  return o;
+}
+
+bool FuzzReport::AnomalyDetected() const {
+  if (lin_checked && !linearizable && !lin_exhausted) return true;
+  if (conv_checked && conv_applicable && !convergence.ok()) return true;
+  if (sess_checked && session.total() > 0) return true;
+  if (causal_checked && !causal.ok()) return true;
+  if (fork_checked && fork_violations > 0) return true;
+  if (crdt_value_checked && !crdt_value_ok) return true;
+  return false;
+}
+
+bool FuzzReport::MeetsClaims(std::string* why) const {
+  auto fail = [why](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (lin_checked && !linearizable && !lin_exhausted) {
+    return fail("history is not linearizable");
+  }
+  if (conv_checked && conv_applicable && !convergence.ok()) {
+    return fail("replicas failed to converge / lost an acked write");
+  }
+  if (causal_checked && !causal.ok()) {
+    return fail("causal consistency violated");
+  }
+  if (fork_checked && fork_violations > 0) {
+    return fail("record timeline forked");
+  }
+  if (crdt_value_checked && !crdt_value_ok) {
+    return fail("CRDT value diverged from acked operations");
+  }
+  if (sess_checked && session.total() > 0) {
+    // Only the strong quorum configuration promises session guarantees; the
+    // weak configuration records them as expected anomalies.
+    if (store == FuzzStore::kQuorumStrict || store == FuzzStore::kTimeline) {
+      return fail("session guarantee violated");
+    }
+  }
+  return true;
+}
+
+std::string FuzzReport::Summary() const {
+  std::ostringstream os;
+  os << "store=" << verify::ToString(store) << " seed=" << seed
+     << " writes=" << writes_acked << "+" << writes_failed
+     << " reads=" << reads_ok << "+" << reads_failed
+     << " faults=" << faults_injected << " drops=" << messages_dropped;
+  if (lin_checked) {
+    os << " lin=" << (linearizable ? "ok" : (lin_exhausted ? "?" : "FAIL"))
+       << "(" << lin_ops << "ops)";
+  }
+  if (conv_checked) {
+    if (!conv_applicable) {
+      os << " conv=n/a";
+    } else {
+      os << " conv=" << (convergence.ok() ? "ok" : "FAIL");
+    }
+  }
+  if (sess_checked) {
+    os << " sess=ryw" << session.ryw_violations << ",mr"
+       << session.mr_violations << ",mw" << session.mw_violations << ",wfr"
+       << session.wfr_violations;
+  }
+  if (causal_checked) {
+    os << " causal=" << (causal.ok() ? "ok" : "FAIL");
+  }
+  if (fork_checked) {
+    os << " forks=" << fork_violations;
+  }
+  if (crdt_value_checked) {
+    os << " value=" << (crdt_value_ok ? "ok" : "FAIL");
+  }
+  std::string why;
+  os << " claims=" << (MeetsClaims(&why) ? "ok" : "VIOLATED");
+  return os.str();
+}
+
+namespace {
+
+constexpr int64_t kOpenInterval = std::numeric_limits<int64_t>::max();
+
+uint64_t NemesisSeed(uint64_t seed) {
+  return seed * 0x9e3779b97f4a7c15ULL + 0x6e656d65ULL;  // "neme"
+}
+
+/// Simulator + network + rpc, wired identically for every store.
+struct SimStack {
+  explicit SimStack(uint64_t seed)
+      : sim(seed),
+        net(&sim,
+            std::make_unique<sim::UniformLatency>(2 * kMillisecond,
+                                                  12 * kMillisecond)),
+        rpc(&net) {}
+  sim::Simulator sim;
+  sim::Network net;
+  sim::Rpc rpc;
+};
+
+std::string UniqueValue(int session, int n) {
+  return "s" + std::to_string(session) + "." + std::to_string(n);
+}
+
+/// Drives the common phases of every runner: unleash the nemesis, run the
+/// client sessions to completion, heal, then quiesce (optionally breaking
+/// early once `settled` reports the store repaired).
+class Driver {
+ public:
+  Driver(SimStack* s, sim::Nemesis* nemesis, const FuzzOptions& options)
+      : s_(s), nemesis_(nemesis), options_(options) {}
+
+  bool stopped() const { return stopped_; }
+  /// Exponential think time targeting ops_per_session ops over the fault
+  /// window.
+  sim::Time NextGap(Rng* rng) const {
+    const double mean = static_cast<double>(options_.nemesis.duration) /
+                        std::max(1, options_.ops_per_session);
+    return static_cast<sim::Time>(rng->NextExponential(mean)) + 1;
+  }
+
+  void SessionDone() { --live_; }
+
+  /// `live` sessions must call SessionDone() when their op chain finishes.
+  void RunWorkload(int live) {
+    live_ = live;
+    nemesis_->Execute(nemesis_->GeneratePlan(options_.nemesis));
+    const sim::Time deadline =
+        s_->sim.Now() + options_.nemesis.duration + 30 * kSecond;
+    while (live_ > 0 && s_->sim.Now() < deadline) {
+      s_->sim.RunFor(50 * kMillisecond);
+    }
+    stopped_ = true;
+    nemesis_->HealAll();
+  }
+
+  void Quiesce(const std::function<bool()>& settled = nullptr) {
+    const sim::Time end = s_->sim.Now() + options_.quiescence_timeout;
+    // Always give in-flight client ops and first repair rounds a chance.
+    s_->sim.RunFor(2 * kSecond);
+    while (s_->sim.Now() < end) {
+      if (settled && settled()) break;
+      s_->sim.RunFor(1 * kSecond);
+    }
+  }
+
+ private:
+  SimStack* s_;
+  sim::Nemesis* nemesis_;
+  const FuzzOptions& options_;
+  int live_ = 0;
+  bool stopped_ = false;
+};
+
+void FillCommon(FuzzReport* rep, const FuzzOptions& o, const SimStack& s,
+                const sim::Nemesis& nemesis) {
+  rep->store = o.store;
+  rep->seed = o.seed;
+  rep->faults_injected = nemesis.stats().total();
+  rep->messages_dropped = s.net.messages_dropped();
+}
+
+// --------------------------------------------------------------------------
+// Paxos: linearizability + post-heal state-machine agreement.
+// --------------------------------------------------------------------------
+
+FuzzReport RunPaxos(const FuzzOptions& o) {
+  FuzzReport rep;
+  SimStack s(o.seed);
+  consensus::PaxosCluster cluster(&s.rpc, consensus::PaxosOptions{});
+  const std::vector<sim::NodeId> servers = cluster.AddServers(o.servers);
+  cluster.Start();
+  s.sim.RunFor(2 * kSecond);  // let the first leader emerge before faults
+
+  sim::Nemesis nemesis(&s.net, servers, NemesisSeed(o.seed));
+  Driver driver(&s, &nemesis, o);
+
+  const std::string kKey = "reg";
+  std::vector<Operation> history;
+  struct Session {
+    std::unique_ptr<consensus::PaxosKvClient> client;
+    Rng rng{0};
+    int issued = 0;
+  };
+  std::vector<std::unique_ptr<Session>> sessions;
+  Rng root(o.seed ^ 0x5e5510ULL);
+
+  std::function<void(int)> next = [&](int i) {
+    Session& sess = *sessions[i];
+    if (driver.stopped() || sess.issued >= o.ops_per_session) {
+      driver.SessionDone();
+      return;
+    }
+    const int n = sess.issued++;
+    const int64_t invoke = s.sim.Now();
+    if (sess.rng.NextBool(0.5)) {
+      const std::string value = UniqueValue(i, n);
+      // Record at issue with an open interval: a timed-out proposal may
+      // still commit, so it must stay a candidate for every later time.
+      history.push_back(Write(value, invoke, kOpenInterval));
+      const size_t slot = history.size() - 1;
+      sess.client->Put(kKey, value, [&, i, slot](Result<uint64_t> r) {
+        if (r.ok()) {
+          history[slot].response = s.sim.Now();
+          ++rep.writes_acked;
+        } else {
+          ++rep.writes_failed;
+        }
+        s.sim.ScheduleAfter(driver.NextGap(&sessions[i]->rng),
+                            [&, i] { next(i); });
+      });
+    } else {
+      sess.client->Get(kKey, [&, i, invoke](Result<std::string> r) {
+        const int64_t response = s.sim.Now();
+        if (r.ok()) {
+          history.push_back(Read(*r, invoke, response));
+          ++rep.reads_ok;
+        } else if (r.status().IsNotFound()) {
+          history.push_back(ReadNotFound(invoke, response));
+          ++rep.reads_ok;
+        } else {
+          ++rep.reads_failed;
+        }
+        s.sim.ScheduleAfter(driver.NextGap(&sessions[i]->rng),
+                            [&, i] { next(i); });
+      });
+    }
+  };
+
+  for (int i = 0; i < o.sessions; ++i) {
+    auto sess = std::make_unique<Session>();
+    const sim::NodeId node = s.net.AddNode();
+    sess->client = std::make_unique<consensus::PaxosKvClient>(
+        &cluster, &s.sim, node, servers);
+    sess->rng = root.Fork(static_cast<uint64_t>(i));
+    sessions.push_back(std::move(sess));
+    s.sim.ScheduleAfter(driver.NextGap(&sessions.back()->rng),
+                        [&, i] { next(i); });
+  }
+
+  driver.RunWorkload(o.sessions);
+  auto applied_agree = [&] {
+    const uint64_t index0 = cluster.AppliedIndex(servers[0]);
+    for (sim::NodeId srv : servers) {
+      if (cluster.AppliedIndex(srv) != index0) return false;
+    }
+    return index0 > 0;
+  };
+  driver.Quiesce(applied_agree);
+
+  rep.lin_checked = true;
+  rep.lin_ops = history.size();
+  CheckOptions lin_options;
+  lin_options.max_states = 1u << 22;
+  const CheckResult lin = CheckLinearizable(history, lin_options);
+  rep.linearizable = lin.linearizable;
+  rep.lin_exhausted = lin.exhausted;
+
+  // Post-heal agreement of the applied state machines.
+  std::vector<ReplicaState> states;
+  for (sim::NodeId srv : servers) {
+    ReplicaState state;
+    if (auto v = cluster.AppliedValue(srv, kKey)) state[kKey] = {*v};
+    states.push_back(std::move(state));
+  }
+  rep.conv_checked = true;
+  rep.convergence = CheckConvergence(states, {});
+
+  FillCommon(&rep, o, s, nemesis);
+  return rep;
+}
+
+// --------------------------------------------------------------------------
+// Dynamo-style quorum store (strict R+W>N and weak R=W=1 configurations).
+// --------------------------------------------------------------------------
+
+FuzzReport RunQuorum(const FuzzOptions& o, bool strict) {
+  FuzzReport rep;
+  SimStack s(o.seed);
+  repl::QuorumConfig cfg;
+  cfg.replication_factor = 3;
+  cfg.read_quorum = strict ? 2 : 1;
+  cfg.write_quorum = strict ? 2 : 1;
+  cfg.sloppy = !strict;
+  cfg.read_repair = true;
+  repl::DynamoCluster cluster(&s.rpc, cfg);
+  const std::vector<sim::NodeId> servers = cluster.AddServers(o.servers);
+  cluster.StartHintDelivery(500 * kMillisecond);
+
+  std::vector<ReplicaStorage*> storages;
+  for (sim::NodeId srv : servers) storages.push_back(cluster.storage(srv));
+  repl::AntiEntropyOptions ae_options;
+  ae_options.interval = 250 * kMillisecond;
+  repl::AntiEntropy ae(&s.net, servers, storages, ae_options);
+  ae.Start();
+
+  sim::Nemesis nemesis(&s.net, servers, NemesisSeed(o.seed));
+  Driver driver(&s, &nemesis, o);
+
+  std::vector<RecordedOp> history;
+  std::vector<AckedWrite> acked;
+  std::map<std::string, VersionVector> acked_vv;  // value -> stored vv
+  struct Session {
+    sim::NodeId node = 0;
+    Rng rng{0};
+    int issued = 0;
+    std::map<std::string, VersionVector> context;  // last read context
+  };
+  std::vector<std::unique_ptr<Session>> sessions;
+  Rng root(o.seed ^ 0x0d15c0ULL);
+
+  std::function<void(int)> next = [&](int i) {
+    Session& sess = *sessions[i];
+    if (driver.stopped() || sess.issued >= o.ops_per_session) {
+      driver.SessionDone();
+      return;
+    }
+    const int n = sess.issued++;
+    const std::string key =
+        "k" + std::to_string(sess.rng.NextBounded(o.keyspace));
+    const sim::NodeId coord =
+        servers[sess.rng.NextBounded(servers.size())];
+    const int64_t invoke = s.sim.Now();
+    if (sess.rng.NextBool(0.5)) {
+      const std::string value = UniqueValue(i, n);
+      history.push_back(RecWrite(i, key, value, invoke, invoke,
+                                 /*acked=*/false));
+      const size_t slot = history.size() - 1;
+      VersionVector context = sess.context[key];
+      cluster.Put(sess.node, coord, key, value, context,
+                  [&, i, key, value, slot](Result<Version> r) {
+                    if (r.ok()) {
+                      history[slot].acked = true;
+                      history[slot].response = s.sim.Now();
+                      acked.push_back({key, value});
+                      acked_vv[value] = r->vv;
+                      ++rep.writes_acked;
+                    } else {
+                      ++rep.writes_failed;
+                    }
+                    s.sim.ScheduleAfter(driver.NextGap(&sessions[i]->rng),
+                                        [&, i] { next(i); });
+                  });
+    } else {
+      cluster.Get(sess.node, coord, key,
+                  [&, i, key, invoke](Result<repl::ReadResult> r) {
+                    const int64_t response = s.sim.Now();
+                    if (r.ok()) {
+                      std::vector<std::string> observed;
+                      for (const Version& v : r->versions) {
+                        observed.push_back(v.value);
+                      }
+                      sessions[i]->context[key] = r->context;
+                      history.push_back(
+                          RecRead(i, key, std::move(observed), invoke,
+                                  response));
+                      ++rep.reads_ok;
+                    } else {
+                      ++rep.reads_failed;
+                    }
+                    s.sim.ScheduleAfter(driver.NextGap(&sessions[i]->rng),
+                                        [&, i] { next(i); });
+                  });
+    }
+  };
+
+  for (int i = 0; i < o.sessions; ++i) {
+    auto sess = std::make_unique<Session>();
+    sess->node = s.net.AddNode();
+    sess->rng = root.Fork(static_cast<uint64_t>(i));
+    sessions.push_back(std::move(sess));
+    s.sim.ScheduleAfter(driver.NextGap(&sessions.back()->rng),
+                        [&, i] { next(i); });
+  }
+
+  driver.RunWorkload(o.sessions);
+  driver.Quiesce(
+      [&] { return ae.Converged() && cluster.pending_hints() == 0; });
+
+  // Final state: anti-entropy replicates every key to every server, so all
+  // server states must agree in full.
+  std::vector<ReplicaState> states;
+  for (sim::NodeId srv : servers) {
+    ReplicaState state;
+    for (int k = 0; k < o.keyspace; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      std::vector<Version> versions = cluster.storage(srv)->Get(key);
+      if (versions.empty()) continue;
+      std::vector<std::string> values;
+      for (const Version& v : versions) values.push_back(v.value);
+      std::sort(values.begin(), values.end());
+      state[key] = std::move(values);
+    }
+    states.push_back(std::move(state));
+  }
+  // An acked write is covered when still a sibling or causally dominated by
+  // a surviving sibling (read-modify-write supersession).
+  std::map<std::string, std::vector<Version>> final_versions;
+  for (int k = 0; k < o.keyspace; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    final_versions[key] = cluster.storage(servers[0])->GetRaw(key);
+  }
+  auto covered = [&](const AckedWrite& w,
+                     const std::vector<std::string>& final_values) {
+    for (const std::string& v : final_values) {
+      if (v == w.value) return true;
+    }
+    auto vv_it = acked_vv.find(w.value);
+    if (vv_it == acked_vv.end()) return false;
+    for (const Version& v : final_versions[w.key]) {
+      if (v.vv.Descends(vv_it->second)) return true;
+    }
+    return false;
+  };
+  rep.conv_checked = true;
+  rep.convergence = CheckConvergence(states, acked, covered);
+
+  rep.sess_checked = true;
+  rep.session = CheckSessionGuarantees(history);
+
+  FillCommon(&rep, o, s, nemesis);
+  return rep;
+}
+
+// --------------------------------------------------------------------------
+// Timeline (PNUTS primary-copy): fork-freedom + monotonic reads.
+// --------------------------------------------------------------------------
+
+FuzzReport RunTimeline(const FuzzOptions& o) {
+  FuzzReport rep;
+  SimStack s(o.seed);
+  repl::TimelineOptions topt;
+  topt.replication_factor = o.servers;
+  repl::TimelineCluster cluster(&s.rpc, topt);
+  const std::vector<sim::NodeId> servers = cluster.AddServers(o.servers);
+
+  sim::Nemesis nemesis(&s.net, servers, NemesisSeed(o.seed));
+  Driver driver(&s, &nemesis, o);
+
+  std::vector<RecordedOp> history;
+  std::vector<AckedWrite> acked;
+  std::map<std::string, uint64_t> seqno_of;  // value -> timeline position
+  // Timeline forks: (key, seqno) -> the unique value every observer must see.
+  std::map<std::pair<std::string, uint64_t>, std::string> timeline;
+  auto observe = [&](const std::string& key, uint64_t seqno,
+                     const std::string& value) {
+    auto [it, inserted] = timeline.try_emplace({key, seqno}, value);
+    if (!inserted && it->second != value) ++rep.fork_violations;
+    seqno_of.emplace(value, seqno);
+  };
+
+  struct Session {
+    sim::NodeId node = 0;
+    sim::NodeId replica = 0;  // pinned read replica
+    Rng rng{0};
+    int issued = 0;
+  };
+  std::vector<std::unique_ptr<Session>> sessions;
+  Rng root(o.seed ^ 0x7191e1ULL);
+
+  std::function<void(int)> next = [&](int i) {
+    Session& sess = *sessions[i];
+    if (driver.stopped() || sess.issued >= o.ops_per_session) {
+      driver.SessionDone();
+      return;
+    }
+    const int n = sess.issued++;
+    const std::string key =
+        "k" + std::to_string(sess.rng.NextBounded(o.keyspace));
+    const int64_t invoke = s.sim.Now();
+    if (sess.rng.NextBool(0.5)) {
+      const std::string value = UniqueValue(i, n);
+      history.push_back(RecWrite(i, key, value, invoke, invoke,
+                                 /*acked=*/false));
+      const size_t slot = history.size() - 1;
+      cluster.Write(sess.node, key, value,
+                    [&, i, key, value, slot](Result<uint64_t> r) {
+                      if (r.ok()) {
+                        history[slot].acked = true;
+                        history[slot].response = s.sim.Now();
+                        acked.push_back({key, value});
+                        observe(key, *r, value);
+                        ++rep.writes_acked;
+                      } else {
+                        ++rep.writes_failed;
+                      }
+                      s.sim.ScheduleAfter(driver.NextGap(&sessions[i]->rng),
+                                          [&, i] { next(i); });
+                    });
+    } else {
+      cluster.Read(sess.node, sess.replica, key,
+                   repl::TimelineReadLevel::kAny, 0,
+                   [&, i, key, invoke](Result<repl::TimelineRead> r) {
+                     const int64_t response = s.sim.Now();
+                     if (r.ok()) {
+                       std::vector<std::string> observed;
+                       if (r->found) {
+                         observed.push_back(r->value);
+                         observe(key, r->seqno, r->value);
+                       }
+                       history.push_back(RecRead(i, key, std::move(observed),
+                                                 invoke, response));
+                       ++rep.reads_ok;
+                     } else {
+                       ++rep.reads_failed;
+                     }
+                     s.sim.ScheduleAfter(driver.NextGap(&sessions[i]->rng),
+                                         [&, i] { next(i); });
+                   });
+    }
+  };
+
+  for (int i = 0; i < o.sessions; ++i) {
+    auto sess = std::make_unique<Session>();
+    sess->node = s.net.AddNode();
+    sess->replica = servers[i % servers.size()];
+    sess->rng = root.Fork(static_cast<uint64_t>(i));
+    sessions.push_back(std::move(sess));
+    s.sim.ScheduleAfter(driver.NextGap(&sessions.back()->rng),
+                        [&, i] { next(i); });
+  }
+
+  driver.RunWorkload(o.sessions);
+  driver.Quiesce();
+
+  rep.fork_checked = true;
+
+  // Reads at a pinned replica never go backwards: monotonic reads only (a
+  // lagging replica legitimately misses the session's own master writes).
+  rep.sess_checked = true;
+  SessionCheckOptions sess_options;
+  sess_options.check_ryw = false;
+  sess_options.check_mw = false;
+  sess_options.check_wfr = false;
+  rep.session = CheckSessionGuarantees(history, sess_options);
+
+  // Replication is fire-and-forget: convergence is only promised when the
+  // schedule dropped no messages.
+  rep.conv_checked = true;
+  rep.conv_applicable = s.net.messages_dropped() == 0;
+  if (rep.conv_applicable) {
+    std::vector<ReplicaState> states;
+    for (sim::NodeId srv : servers) {
+      ReplicaState state;
+      for (int k = 0; k < o.keyspace; ++k) {
+        const std::string key = "k" + std::to_string(k);
+        // Synchronous local read through the test hook pair.
+        const uint64_t seqno = cluster.VisibleSeqno(srv, key);
+        if (seqno == 0) continue;
+        state[key] = {std::to_string(seqno)};
+      }
+      states.push_back(std::move(state));
+    }
+    // Agreement on per-key seqnos; an acked write is covered when the final
+    // timeline position is at least its own.
+    std::vector<AckedWrite> acked_seqnos;
+    for (const AckedWrite& w : acked) {
+      auto it = seqno_of.find(w.value);
+      if (it == seqno_of.end()) continue;
+      acked_seqnos.push_back({w.key, std::to_string(it->second)});
+    }
+    auto covered = [](const AckedWrite& w,
+                      const std::vector<std::string>& final_values) {
+      const uint64_t want = std::stoull(w.value);
+      for (const std::string& v : final_values) {
+        if (std::stoull(v) >= want) return true;
+      }
+      return false;
+    };
+    rep.convergence = CheckConvergence(states, acked_seqnos, covered);
+  }
+
+  FillCommon(&rep, o, s, nemesis);
+  return rep;
+}
+
+// --------------------------------------------------------------------------
+// Causal (COPS): dependency visibility + per-session monotonicity.
+// --------------------------------------------------------------------------
+
+FuzzReport RunCausal(const FuzzOptions& o) {
+  FuzzReport rep;
+  SimStack s(o.seed);
+  causal::CausalCluster cluster(&s.rpc, causal::CausalOptions{});
+  const std::vector<sim::NodeId> dcs = cluster.AddDatacenters(o.servers);
+
+  sim::Nemesis nemesis(&s.net, dcs, NemesisSeed(o.seed));
+  Driver driver(&s, &nemesis, o);
+
+  std::vector<CausalRecordedOp> history;
+  std::vector<AckedWrite> acked;
+  std::map<std::string, causal::WriteId> id_of;  // value -> write id
+  struct Session {
+    std::unique_ptr<causal::CausalClient> client;
+    Rng rng{0};
+    int issued = 0;
+  };
+  std::vector<std::unique_ptr<Session>> sessions;
+  Rng root(o.seed ^ 0xca05a1ULL);
+
+  std::function<void(int)> next = [&](int i) {
+    Session& sess = *sessions[i];
+    if (driver.stopped() || sess.issued >= o.ops_per_session) {
+      driver.SessionDone();
+      return;
+    }
+    const int n = sess.issued++;
+    const std::string key =
+        "k" + std::to_string(sess.rng.NextBounded(o.keyspace));
+    if (sess.rng.NextBool(0.5)) {
+      const std::string value = UniqueValue(i, n);
+      // The dependency context the client will attach to this write.
+      std::vector<causal::Dependency> deps;
+      for (const auto& [dep_key, dep_id] : sess.client->context()) {
+        deps.push_back({dep_key, dep_id});
+      }
+      sess.client->Put(key, value,
+                       [&, i, key, value,
+                        deps](Result<causal::WriteId> r) {
+                         if (r.ok()) {
+                           CausalRecordedOp op;
+                           op.kind = CausalRecordedOp::Kind::kWrite;
+                           op.session = i;
+                           op.key = key;
+                           op.id = *r;
+                           op.deps = deps;
+                           history.push_back(std::move(op));
+                           acked.push_back({key, value});
+                           id_of[value] = *r;
+                           ++rep.writes_acked;
+                         } else {
+                           ++rep.writes_failed;
+                         }
+                         s.sim.ScheduleAfter(
+                             driver.NextGap(&sessions[i]->rng),
+                             [&, i] { next(i); });
+                       });
+    } else {
+      sess.client->Get(key, [&, i, key](Result<causal::CausalRead> r) {
+        if (r.ok()) {
+          CausalRecordedOp op;
+          op.kind = CausalRecordedOp::Kind::kRead;
+          op.session = i;
+          op.key = key;
+          op.found = r->found;
+          if (r->found) {
+            op.id = r->id;
+            op.deps = r->deps;
+            id_of.emplace(r->value, r->id);
+          }
+          history.push_back(std::move(op));
+          ++rep.reads_ok;
+        } else {
+          ++rep.reads_failed;
+        }
+        s.sim.ScheduleAfter(driver.NextGap(&sessions[i]->rng),
+                            [&, i] { next(i); });
+      });
+    }
+  };
+
+  for (int i = 0; i < o.sessions; ++i) {
+    auto sess = std::make_unique<Session>();
+    const sim::NodeId node = s.net.AddNode();
+    sess->client = std::make_unique<causal::CausalClient>(
+        &cluster, node, dcs[i % dcs.size()]);
+    sess->rng = root.Fork(static_cast<uint64_t>(i));
+    sessions.push_back(std::move(sess));
+    s.sim.ScheduleAfter(driver.NextGap(&sessions.back()->rng),
+                        [&, i] { next(i); });
+  }
+
+  driver.RunWorkload(o.sessions);
+  driver.Quiesce();
+
+  rep.causal_checked = true;
+  rep.causal = CheckCausalHistory(history);
+
+  // Geo-replication is fire-and-forget: convergence only when nothing was
+  // dropped.
+  rep.conv_checked = true;
+  rep.conv_applicable = s.net.messages_dropped() == 0;
+  if (rep.conv_applicable) {
+    std::vector<ReplicaState> states;
+    for (sim::NodeId dc : dcs) {
+      ReplicaState state;
+      for (int k = 0; k < o.keyspace; ++k) {
+        const std::string key = "k" + std::to_string(k);
+        const causal::CausalRead r = cluster.LocalRead(dc, key);
+        if (r.found) state[key] = {r.value};
+      }
+      states.push_back(std::move(state));
+    }
+    auto covered = [&](const AckedWrite& w,
+                       const std::vector<std::string>& final_values) {
+      auto want = id_of.find(w.value);
+      if (want == id_of.end()) return true;
+      for (const std::string& v : final_values) {
+        if (v == w.value) return true;
+        auto got = id_of.find(v);
+        // Unknown final value: an unacked write that won LWW; with zero
+        // drops its id is necessarily newer, so accept conservatively.
+        if (got == id_of.end() || want->second < got->second) return true;
+      }
+      return false;
+    };
+    rep.convergence = CheckConvergence(states, acked, covered);
+  }
+
+  FillCommon(&rep, o, s, nemesis);
+  return rep;
+}
+
+// --------------------------------------------------------------------------
+// State-based CRDTs over randomized full-state gossip.
+// --------------------------------------------------------------------------
+
+template <typename State, typename ApplyOp, typename Finalize>
+FuzzReport RunCrdt(const FuzzOptions& o, std::vector<State> replicas,
+                   const char* gossip_type, ApplyOp apply_op,
+                   Finalize finalize) {
+  FuzzReport rep;
+  SimStack s(o.seed);
+  const int n = static_cast<int>(replicas.size());
+  std::vector<sim::NodeId> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back(s.net.AddNode());
+  for (int i = 0; i < n; ++i) {
+    s.net.RegisterHandler(nodes[i], gossip_type, [&, i](sim::Message m) {
+      replicas[i].Merge(std::any_cast<State>(std::move(m.payload)));
+    });
+  }
+
+  // Periodic push gossip: every replica ships full state to a random peer.
+  Rng gossip_rng(o.seed ^ 0x90551bULL);
+  std::function<void()> gossip = [&] {
+    for (int i = 0; i < n; ++i) {
+      const int peer =
+          (i + 1 + static_cast<int>(gossip_rng.NextBounded(n - 1))) % n;
+      s.net.Send(nodes[i], nodes[peer], gossip_type, replicas[i]);
+    }
+    s.sim.ScheduleAfter(100 * kMillisecond, gossip);
+  };
+  s.sim.ScheduleAfter(100 * kMillisecond, gossip);
+
+  sim::Nemesis nemesis(&s.net, nodes, NemesisSeed(o.seed));
+  Driver driver(&s, &nemesis, o);
+
+  struct Session {
+    int replica = 0;
+    Rng rng{0};
+    int issued = 0;
+  };
+  std::vector<std::unique_ptr<Session>> sessions;
+  Rng root(o.seed ^ 0xc4d700ULL);
+
+  std::function<void(int)> next = [&](int i) {
+    Session& sess = *sessions[i];
+    if (driver.stopped() || sess.issued >= o.ops_per_session) {
+      driver.SessionDone();
+      return;
+    }
+    ++sess.issued;
+    // Ops execute locally, but only against a live replica.
+    if (s.net.IsNodeUp(nodes[sess.replica])) {
+      apply_op(&rep, &sess.rng, sess.replica, &replicas[sess.replica]);
+      ++rep.writes_acked;
+    } else {
+      ++rep.writes_failed;
+    }
+    s.sim.ScheduleAfter(driver.NextGap(&sess.rng), [&, i] { next(i); });
+  };
+
+  for (int i = 0; i < o.sessions; ++i) {
+    auto sess = std::make_unique<Session>();
+    sess->replica = i % n;
+    sess->rng = root.Fork(static_cast<uint64_t>(i));
+    sessions.push_back(std::move(sess));
+    s.sim.ScheduleAfter(driver.NextGap(&sessions.back()->rng),
+                        [&, i] { next(i); });
+  }
+
+  driver.RunWorkload(o.sessions);
+  driver.Quiesce([&] {
+    for (int i = 1; i < n; ++i) {
+      if (!(replicas[i] == replicas[0])) return false;
+    }
+    return true;
+  });
+
+  finalize(&rep, replicas);
+  FillCommon(&rep, o, s, nemesis);
+  return rep;
+}
+
+FuzzReport RunGCounter(const FuzzOptions& o) {
+  std::vector<crdt::GCounter> replicas(o.servers);
+  uint64_t total = 0;
+  auto apply_op = [&total](FuzzReport*, Rng* rng, int replica,
+                           crdt::GCounter* state) {
+    const uint64_t amount = rng->NextBounded(3) + 1;
+    state->Increment(static_cast<uint32_t>(replica), amount);
+    total += amount;
+  };
+  auto finalize = [&total](FuzzReport* rep,
+                           const std::vector<crdt::GCounter>& replicas) {
+    std::vector<ReplicaState> states;
+    for (const crdt::GCounter& r : replicas) {
+      states.push_back({{"counter", {std::to_string(r.Value())}}});
+    }
+    rep->conv_checked = true;
+    rep->convergence = CheckConvergence(states, {});
+    rep->crdt_value_checked = true;
+    rep->crdt_value_ok = true;
+    for (const crdt::GCounter& r : replicas) {
+      if (r.Value() != total) rep->crdt_value_ok = false;
+    }
+  };
+  return RunCrdt(o, std::move(replicas), "gcounter-gossip", apply_op,
+                 finalize);
+}
+
+FuzzReport RunOrSet(const FuzzOptions& o) {
+  std::vector<crdt::OrSet> replicas;
+  for (int i = 0; i < o.servers; ++i) {
+    replicas.emplace_back(static_cast<uint32_t>(i));
+  }
+  std::set<std::string> added;
+  std::set<std::string> removed_any;
+  auto apply_op = [&](FuzzReport*, Rng* rng, int, crdt::OrSet* state) {
+    const std::string elem =
+        "e" + std::to_string(rng->NextBounded(o.keyspace));
+    if (rng->NextBool(0.65)) {
+      state->Add(elem);
+      added.insert(elem);
+    } else {
+      state->Remove(elem);
+      removed_any.insert(elem);
+    }
+  };
+  auto finalize = [&](FuzzReport* rep,
+                      const std::vector<crdt::OrSet>& final_replicas) {
+    std::vector<ReplicaState> states;
+    for (const crdt::OrSet& r : final_replicas) {
+      std::vector<std::string> elements = r.Elements();
+      std::sort(elements.begin(), elements.end());
+      states.push_back({{"set", std::move(elements)}});
+    }
+    // Elements that were added and never removed anywhere must survive
+    // (a remove is the only path to absence in an OR-set).
+    std::vector<AckedWrite> must_survive;
+    for (const std::string& e : added) {
+      if (!removed_any.count(e)) must_survive.push_back({"set", e});
+    }
+    rep->conv_checked = true;
+    rep->convergence = CheckConvergence(states, must_survive);
+  };
+  return RunCrdt(o, std::move(replicas), "orset-gossip", apply_op, finalize);
+}
+
+}  // namespace
+
+FuzzReport RunFuzzSeed(const FuzzOptions& options) {
+  switch (options.store) {
+    case FuzzStore::kPaxos: return RunPaxos(options);
+    case FuzzStore::kQuorumStrict: return RunQuorum(options, true);
+    case FuzzStore::kQuorumWeak: return RunQuorum(options, false);
+    case FuzzStore::kTimeline: return RunTimeline(options);
+    case FuzzStore::kCausal: return RunCausal(options);
+    case FuzzStore::kGCounter: return RunGCounter(options);
+    case FuzzStore::kOrSet: return RunOrSet(options);
+  }
+  return {};
+}
+
+}  // namespace evc::verify

@@ -1,0 +1,136 @@
+// Randomized fault-schedule consistency fuzzer.
+//
+// One seed = one deterministic adversarial run: a seeded Nemesis composes a
+// random fault schedule (partitions, crash/restart cycles, loss/duplication
+// ramps) while client sessions run a recorded workload against one of the
+// repo's stores; after the final heal and a quiescence period, the property
+// checkers in verify/ decide whether the store kept exactly the promises its
+// consistency level makes:
+//
+//   store            | must hold under every schedule
+//   -----------------+------------------------------------------------------
+//   paxos            | linearizability, replica convergence after heal
+//   quorum R+W>N     | convergence, no lost acked writes, all four session
+//                    | guarantees
+//   quorum R=W=1     | convergence + no lost acked writes after anti-entropy
+//                    | (session guarantees intentionally NOT claimed: the
+//                    | checkers are expected to catch real stale-read
+//                    | anomalies on some seeds — that is the negative test)
+//   timeline (PNUTS) | no timeline forks, monotonic reads at a pinned
+//                    | replica; convergence when no message was dropped
+//   causal (COPS)    | causal consistency (deps visible, per-key monotone);
+//                    | convergence when no message was dropped (replication
+//                    | is fire-and-forget by design)
+//   CRDT g-counter   | convergence + counter value == sum of increments
+//   CRDT or-set      | convergence of membership
+//
+// Every run is a pure function of (store, seed): a failing seed replays
+// bit-identically (tools/evc_fuzz --store=... --seed=...).
+
+#ifndef EVC_VERIFY_FUZZ_H_
+#define EVC_VERIFY_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/nemesis.h"
+#include "verify/causal_checker.h"
+#include "verify/convergence.h"
+#include "verify/session_guarantees.h"
+
+namespace evc::verify {
+
+enum class FuzzStore {
+  kPaxos,
+  kQuorumStrict,  ///< N=3 R=2 W=2, read repair, anti-entropy
+  kQuorumWeak,    ///< N=3 R=1 W=1, sloppy quorums + hints, anti-entropy
+  kTimeline,      ///< PNUTS-style primary-copy
+  kCausal,        ///< COPS-style causal+
+  kGCounter,      ///< state-based CRDT counter over gossip
+  kOrSet,         ///< observed-remove set over gossip
+};
+
+const char* ToString(FuzzStore store);
+/// Parses the names printed by ToString (e.g. "quorum-weak"). Returns false
+/// on unknown names.
+bool ParseFuzzStore(const std::string& name, FuzzStore* store);
+std::vector<FuzzStore> AllFuzzStores();
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  FuzzStore store = FuzzStore::kQuorumWeak;
+  int servers = 5;
+  int sessions = 3;
+  int ops_per_session = 30;
+  int keyspace = 4;
+  sim::NemesisScheduleOptions nemesis;
+  /// Virtual time allowed for post-heal repair before the convergence check.
+  sim::Time quiescence_timeout = 60 * sim::kSecond;
+};
+
+/// Per-store defaults (server counts, op counts sized to each checker).
+FuzzOptions DefaultFuzzOptions(FuzzStore store, uint64_t seed);
+
+struct FuzzReport {
+  FuzzStore store = FuzzStore::kQuorumWeak;
+  uint64_t seed = 0;
+
+  // Workload accounting.
+  uint64_t writes_acked = 0;
+  uint64_t writes_failed = 0;
+  uint64_t reads_ok = 0;
+  uint64_t reads_failed = 0;
+  uint64_t faults_injected = 0;
+  uint64_t messages_dropped = 0;
+
+  // Linearizability (paxos).
+  bool lin_checked = false;
+  bool linearizable = true;
+  bool lin_exhausted = false;
+  size_t lin_ops = 0;
+
+  // Convergence after heal + quiescence.
+  bool conv_checked = false;
+  /// False when the store has no repair path and the schedule dropped
+  /// messages (timeline/causal replicate fire-and-forget): divergence is
+  /// then expected, not a bug, and convergence is not claimed.
+  bool conv_applicable = true;
+  ConvergenceResult convergence;
+
+  // Session guarantees.
+  bool sess_checked = false;
+  SessionCheckResult session;
+
+  // Causal consistency.
+  bool causal_checked = false;
+  CausalCheckResult causal;
+
+  // Timeline forks: same (key, seqno) observed with two different values.
+  bool fork_checked = false;
+  size_t fork_violations = 0;
+
+  // CRDT value property (g-counter total == acked increments).
+  bool crdt_value_checked = false;
+  bool crdt_value_ok = true;
+
+  /// Any consistency violation recorded, including ones the store's level
+  /// does not forbid (weak-store stale reads). This is how the fuzz tests
+  /// prove the checkers detect real anomalies rather than vacuously passing.
+  bool AnomalyDetected() const;
+
+  /// True when the store satisfied every property its consistency level
+  /// claims under this schedule. On false, `why` (if given) names the
+  /// violated claim.
+  bool MeetsClaims(std::string* why = nullptr) const;
+
+  /// Deterministic one-line summary (identical across replays of a seed).
+  std::string Summary() const;
+};
+
+/// Runs one seed. Deterministic: same options => identical report.
+FuzzReport RunFuzzSeed(const FuzzOptions& options);
+
+}  // namespace evc::verify
+
+#endif  // EVC_VERIFY_FUZZ_H_

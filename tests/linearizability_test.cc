@@ -126,6 +126,32 @@ TEST(LinearizabilityTest, LargerConcurrentHistory) {
   EXPECT_FALSE(result.exhausted);
 }
 
+TEST(LinearizabilityTest, ExhaustedBudgetClaimsNoVerdict) {
+  // A fully concurrent history (every op overlaps every other) maximizes
+  // the search frontier; with a 1-state budget the checker must give up
+  // and say so rather than report a verdict either way.
+  std::vector<Operation> history;
+  for (int i = 0; i < 8; ++i) {
+    history.push_back(Write("w" + std::to_string(i), 0, 1000));
+    history.push_back(Read("w" + std::to_string(7 - i), 0, 1000));
+  }
+  CheckOptions options;
+  options.max_states = 1;
+  const CheckResult result = CheckLinearizable(history, options);
+  EXPECT_TRUE(result.exhausted);
+  // Inconclusive: linearizable defaults to false but exhausted flags that
+  // no verdict was reached — callers (the fuzzer included) must check it.
+  EXPECT_FALSE(result.linearizable);
+  EXPECT_LE(result.states_explored, 1u + history.size());
+
+  // The same history with an ample budget resolves conclusively.
+  CheckOptions ample;
+  ample.max_states = 1u << 22;
+  const CheckResult full = CheckLinearizable(history, ample);
+  EXPECT_FALSE(full.exhausted);
+  EXPECT_TRUE(full.linearizable);
+}
+
 // ---------------------------------------------------------------------------
 // Integration: record real protocol histories and check them.
 // ---------------------------------------------------------------------------

@@ -153,6 +153,63 @@ TEST_F(NetworkTest, DuplicationDeliversTwice) {
   EXPECT_EQ(received, 2);
 }
 
+TEST_F(NetworkTest, DuplicateSecondCopyDropsIfReceiverCrashesBetween) {
+  // The duplicate is an independent delivery with its own payload copy: a
+  // crash between the two delivery times must drop only the second copy.
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  int received = 0;
+  net_.RegisterHandler(b, "m", [&](Message msg) {
+    ++received;
+    // Each delivery owns its payload — safe to consume it by move.
+    EXPECT_EQ(std::any_cast<Payload>(std::move(msg.payload)).value, 1);
+  });
+  net_.set_duplicate_rate(1.0);
+  net_.Send(a, b, "m", Payload{1});
+  // First copy lands at 10 ms; crash before the duplicate's later slot.
+  sim_.ScheduleAt(10 * kMillisecond + 1, [&] { net_.SetNodeUp(b, false); });
+  sim_.Run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, SendWhilePartitionedStaysDroppedAfterHeal) {
+  // Connectivity is checked at send time: a message refused under the
+  // partition does not spring back to life when the partition heals before
+  // its would-be delivery time.
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  int received = 0;
+  net_.RegisterHandler(b, "m", [&](Message) { ++received; });
+  net_.Partition({{a}, {b}});
+  net_.Send(a, b, "m", Payload{1});
+  sim_.ScheduleAt(1 * kMillisecond, [&] { net_.Heal(); });  // before 10 ms
+  sim_.Run();
+  EXPECT_EQ(received, 0);
+  EXPECT_GE(net_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, CanCommunicateIsSymmetricUnderPartition) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  const NodeId c = net_.AddNode();
+  net_.Partition({{a, b}, {c}});
+  const NodeId nodes[] = {a, b, c};
+  for (NodeId x : nodes) {
+    for (NodeId y : nodes) {
+      EXPECT_EQ(net_.CanCommunicate(x, y), net_.CanCommunicate(y, x))
+          << x << " vs " << y;
+    }
+  }
+  EXPECT_TRUE(net_.CanCommunicate(a, b));
+  EXPECT_FALSE(net_.CanCommunicate(b, c));
+  // A crashed node cannot communicate either way, itself included.
+  net_.Heal();
+  net_.SetNodeUp(b, false);
+  EXPECT_FALSE(net_.CanCommunicate(a, b));
+  EXPECT_FALSE(net_.CanCommunicate(b, a));
+}
+
 TEST_F(NetworkTest, SentByTypeAccounts) {
   const NodeId a = net_.AddNode();
   const NodeId b = net_.AddNode();

@@ -267,12 +267,13 @@ TEST_P(PaxosChaosTest, NoDivergenceUnderChaos) {
       }
       net.Partition({minority, majority});
     }
-    // Issue a write.
-    std::optional<Result<uint64_t>> put;
+    // Issue a write. The result slot is shared-owned: with retries the
+    // callback can fire after this round's 8-second window has passed.
+    auto put = std::make_shared<std::optional<Result<uint64_t>>>();
     client.Put("chaos", "v" + std::to_string(round),
-               [&](Result<uint64_t> r) { put = std::move(r); });
+               [put](Result<uint64_t> r) { *put = std::move(r); });
     sim.RunFor(8 * kSecond);
-    if (put.has_value() && put->ok()) ++ok_count;
+    if (put->has_value() && (*put)->ok()) ++ok_count;
   }
   // Heal everything and drain.
   for (const sim::NodeId s : servers) net.SetNodeUp(s, true);

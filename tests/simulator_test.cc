@@ -113,6 +113,55 @@ TEST(SimulatorTest, DeterministicAcrossRuns) {
   EXPECT_NE(run(7), run(8));
 }
 
+TEST(SimulatorTest, PendingEventsCountsAccurately) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_events(), 0u);
+  const EventId a = sim.ScheduleAt(10, [] {});
+  const EventId b = sim.ScheduleAt(20, [] {});
+  sim.ScheduleAt(30, [] {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+  // Cancelling removes from the pending count immediately, even though the
+  // entry is still physically in the queue.
+  EXPECT_TRUE(sim.Cancel(b));
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_TRUE(sim.Step());  // runs a
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // Cancelling an already-executed event must not create a phantom
+  // tombstone that would make the count underflow.
+  EXPECT_FALSE(sim.Cancel(a));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterExecutionReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(5, [] {});
+  sim.Run();
+  // Regression: this used to return true and leave the id in the cancelled
+  // set forever, so pending_events() (size_t subtraction) underflowed to a
+  // huge value once the queue drained.
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.ScheduleAt(10, [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, PendingEventsExactUnderCancelHeavyLoad) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(sim.ScheduleAt(i, [] {}));
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(sim.Cancel(ids[i]));
+  EXPECT_EQ(sim.pending_events(), 50u);
+  for (int i = 0; i < 25; ++i) EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(sim.pending_events(), 25u);
+  // Double-cancel and cancel-after-run are both no-ops.
+  for (int i = 0; i < 100; ++i) sim.Cancel(ids[i]);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(SimulatorTest, CancelInsideEarlierEventAtSameTime) {
   Simulator sim;
   bool second_ran = false;

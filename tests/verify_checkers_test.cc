@@ -1,0 +1,306 @@
+// Unit tests for the property checkers in src/verify/ that the fault
+// fuzzer composes: eventual convergence, session guarantees, and causal
+// consistency. Each test builds a tiny hand-written history with a known
+// verdict.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "verify/causal_checker.h"
+#include "verify/convergence.h"
+#include "verify/session_guarantees.h"
+
+namespace evc::verify {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Convergence.
+
+TEST(ConvergenceTest, AgreeingReplicasWithCoveredWritesPass) {
+  ReplicaState state{{"a", {"1"}}, {"b", {"2", "3"}}};
+  std::vector<ReplicaState> replicas{state, state, state};
+  std::vector<AckedWrite> acked{{"a", "1"}, {"b", "2"}, {"b", "3"}};
+  const ConvergenceResult result = CheckConvergence(replicas, acked);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+  EXPECT_TRUE(result.replicas_agree);
+  EXPECT_EQ(result.lost_write_count, 0u);
+}
+
+TEST(ConvergenceTest, DivergentReplicasFailWithKeyNamed) {
+  ReplicaState a{{"k", {"1"}}};
+  ReplicaState b{{"k", {"2"}}};
+  const ConvergenceResult result = CheckConvergence({a, b}, {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.replicas_agree);
+  ASSERT_FALSE(result.divergent_keys.empty());
+  EXPECT_EQ(result.divergent_keys[0], "k");
+}
+
+TEST(ConvergenceTest, MissingKeyCountsAsDivergence) {
+  ReplicaState a{{"k", {"1"}}};
+  ReplicaState b{};
+  const ConvergenceResult result = CheckConvergence({a, b}, {});
+  EXPECT_FALSE(result.replicas_agree);
+}
+
+TEST(ConvergenceTest, LostAckedWriteIsReported) {
+  ReplicaState state{{"k", {"new"}}};
+  // "gone" was acked but is neither visible nor covered by the default
+  // membership predicate.
+  const ConvergenceResult result =
+      CheckConvergence({state, state}, {{"k", "new"}, {"k", "gone"}});
+  EXPECT_TRUE(result.replicas_agree);
+  EXPECT_EQ(result.lost_write_count, 1u);
+  ASSERT_EQ(result.lost_writes.size(), 1u);
+  EXPECT_EQ(result.lost_writes[0].value, "gone");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ConvergenceTest, CoveredPredicateAcceptsSupersededWrites) {
+  // A supersession-aware predicate (here: "any final value with a larger
+  // numeric suffix dominates") accepts the overwritten write.
+  ReplicaState state{{"k", {"v9"}}};
+  const CoveredPredicate covered = [](const AckedWrite& write,
+                                      const std::vector<std::string>& final) {
+    for (const std::string& value : final) {
+      if (value.substr(1) >= write.value.substr(1)) return true;
+    }
+    return false;
+  };
+  const ConvergenceResult result =
+      CheckConvergence({state}, {{"k", "v3"}, {"k", "v9"}}, covered);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+}
+
+TEST(ConvergenceTest, ZeroReplicasIsVacuouslyConvergedButWritesStillChecked) {
+  const ConvergenceResult result = CheckConvergence({}, {{"k", "v"}});
+  EXPECT_TRUE(result.replicas_agree);
+  EXPECT_EQ(result.lost_write_count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Session guarantees.
+
+TEST(SessionGuaranteeTest, CleanMultiSessionHistoryPasses) {
+  std::vector<RecordedOp> history{
+      RecWrite(0, "k", "w0", 0, 10),
+      RecRead(0, "k", {"w0"}, 20, 30),
+      RecWrite(1, "k", "w1", 40, 50),
+      RecRead(1, "k", {"w1"}, 60, 70),
+      RecRead(0, "k", {"w1"}, 80, 90),  // newer than w0: fine
+  };
+  const SessionCheckResult result = CheckSessionGuarantees(history);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+}
+
+TEST(SessionGuaranteeTest, RywViolationOnProvablyStaleRead) {
+  // Session 0 acks w1 then reads back only w0, whose write wholly precedes
+  // w1 — a provable read-your-writes violation.
+  std::vector<RecordedOp> history{
+      RecWrite(1, "k", "w0", 0, 10),
+      RecWrite(0, "k", "w1", 20, 30),
+      RecRead(0, "k", {"w0"}, 40, 50),
+  };
+  const SessionCheckResult result = CheckSessionGuarantees(history);
+  EXPECT_EQ(result.ryw_violations, 1u);
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_EQ(result.violations[0].kind, SessionViolation::Kind::kRyw);
+  EXPECT_EQ(result.violations[0].expected, "w1");
+}
+
+TEST(SessionGuaranteeTest, RywViolationOnNotFound) {
+  std::vector<RecordedOp> history{
+      RecWrite(0, "k", "w0", 0, 10),
+      RecRead(0, "k", {}, 20, 30),  // not-found after own acked write
+  };
+  const SessionCheckResult result = CheckSessionGuarantees(history);
+  EXPECT_EQ(result.ryw_violations, 1u);
+}
+
+TEST(SessionGuaranteeTest, UnackedWritesCreateNoObligations) {
+  std::vector<RecordedOp> history{
+      RecWrite(0, "k", "w0", 0, 10, /*acked=*/false),
+      RecRead(0, "k", {}, 20, 30),
+  };
+  const SessionCheckResult result = CheckSessionGuarantees(history);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+}
+
+TEST(SessionGuaranteeTest, ConcurrentValuesAreConservativelyAccepted) {
+  // The read returns a value whose producing write overlaps the obligated
+  // write in real time — not provably stale, so no violation.
+  std::vector<RecordedOp> history{
+      RecWrite(1, "k", "w0", 0, 100),   // overlaps w1
+      RecWrite(0, "k", "w1", 20, 30),
+      RecRead(0, "k", {"w0"}, 40, 50),
+  };
+  const SessionCheckResult result = CheckSessionGuarantees(history);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+}
+
+TEST(SessionGuaranteeTest, MonotonicReadsViolation) {
+  // Session 0 observes w1 then later reads back only the older w0.
+  std::vector<RecordedOp> history{
+      RecWrite(1, "k", "w0", 0, 10),
+      RecWrite(1, "k", "w1", 20, 30),
+      RecRead(0, "k", {"w1"}, 40, 50),
+      RecRead(0, "k", {"w0"}, 60, 70),
+  };
+  const SessionCheckResult result = CheckSessionGuarantees(history);
+  EXPECT_EQ(result.mr_violations, 1u);
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_EQ(result.violations[0].kind, SessionViolation::Kind::kMr);
+}
+
+TEST(SessionGuaranteeTest, MonotonicWritesViolation) {
+  // Session 1 writes a then b (different keys). Session 0 observes b but a
+  // later read of the first key provably misses a.
+  std::vector<RecordedOp> history{
+      RecWrite(1, "x", "wx", 0, 10),
+      RecWrite(1, "y", "wy", 20, 30),
+      RecRead(0, "y", {"wy"}, 40, 50),
+      RecRead(0, "x", {}, 60, 70),  // not-found: wx invisible
+  };
+  const SessionCheckResult result = CheckSessionGuarantees(history);
+  EXPECT_EQ(result.mw_violations, 1u);
+}
+
+TEST(SessionGuaranteeTest, WritesFollowReadsViolation) {
+  // Session 1 reads wx, then writes wy. Session 0 observes wy, so wx is
+  // owed; its later read of x provably misses it.
+  std::vector<RecordedOp> history{
+      RecWrite(2, "x", "wx", 0, 10),
+      RecRead(1, "x", {"wx"}, 20, 30),
+      RecWrite(1, "y", "wy", 40, 50),
+      RecRead(0, "y", {"wy"}, 60, 70),
+      RecRead(0, "x", {}, 80, 90),
+  };
+  const SessionCheckResult result = CheckSessionGuarantees(history);
+  EXPECT_EQ(result.wfr_violations, 1u);
+}
+
+TEST(SessionGuaranteeTest, DuplicateWriteValuesMarkHistoryMalformed) {
+  std::vector<RecordedOp> history{
+      RecWrite(0, "k", "dup", 0, 10),
+      RecWrite(1, "k", "dup", 20, 30),
+  };
+  const SessionCheckResult result = CheckSessionGuarantees(history);
+  EXPECT_TRUE(result.malformed);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SessionGuaranteeTest, OptionsDisableIndividualGuarantees) {
+  std::vector<RecordedOp> history{
+      RecWrite(1, "k", "w0", 0, 10),
+      RecWrite(0, "k", "w1", 20, 30),
+      RecRead(0, "k", {"w0"}, 40, 50),  // RYW violation if checked
+  };
+  SessionCheckOptions options;
+  options.check_ryw = false;
+  const SessionCheckResult result = CheckSessionGuarantees(history, options);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Causal consistency.
+
+CausalRecordedOp CausalWrite(int session, std::string key, causal::WriteId id,
+                             std::vector<causal::Dependency> deps = {}) {
+  CausalRecordedOp op;
+  op.kind = CausalRecordedOp::Kind::kWrite;
+  op.session = session;
+  op.key = std::move(key);
+  op.id = id;
+  op.deps = std::move(deps);
+  return op;
+}
+
+CausalRecordedOp CausalReadOp(int session, std::string key, causal::WriteId id,
+                              std::vector<causal::Dependency> deps = {}) {
+  CausalRecordedOp op;
+  op.kind = CausalRecordedOp::Kind::kRead;
+  op.session = session;
+  op.key = std::move(key);
+  op.id = id;
+  op.deps = std::move(deps);
+  return op;
+}
+
+CausalRecordedOp CausalMiss(int session, std::string key) {
+  CausalRecordedOp op;
+  op.kind = CausalRecordedOp::Kind::kRead;
+  op.session = session;
+  op.key = std::move(key);
+  op.found = false;
+  return op;
+}
+
+TEST(CausalCheckerTest, CleanHistoryPasses) {
+  std::vector<CausalRecordedOp> history{
+      CausalWrite(0, "photo", {1, 0}),
+      CausalReadOp(1, "photo", {1, 0}),
+      CausalWrite(1, "comment", {2, 1}, {{"photo", {1, 0}}}),
+      CausalReadOp(2, "comment", {2, 1}, {{"photo", {1, 0}}}),
+      CausalReadOp(2, "photo", {1, 0}),
+  };
+  const CausalCheckResult result = CheckCausalHistory(history);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+}
+
+TEST(CausalCheckerTest, MonotonicViolationWhenIdGoesBackwards) {
+  std::vector<CausalRecordedOp> history{
+      CausalReadOp(0, "k", {5, 0}),
+      CausalReadOp(0, "k", {3, 0}),
+  };
+  const CausalCheckResult result = CheckCausalHistory(history);
+  EXPECT_EQ(result.monotonic_violations, 1u);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CausalCheckerTest, DependencyViolationWhenOwedWriteInvisible) {
+  // Session 0 observes the comment (which depends on photo@2) but then
+  // reads an older photo.
+  std::vector<CausalRecordedOp> history{
+      CausalReadOp(0, "comment", {3, 1}, {{"photo", {2, 0}}}),
+      CausalReadOp(0, "photo", {1, 0}),
+  };
+  const CausalCheckResult result = CheckCausalHistory(history);
+  EXPECT_EQ(result.dependency_violations, 1u);
+  ASSERT_FALSE(result.details.empty());
+}
+
+TEST(CausalCheckerTest, NotFoundOnOwedKeyIsViolation) {
+  std::vector<CausalRecordedOp> history{
+      CausalReadOp(0, "comment", {3, 1}, {{"photo", {2, 0}}}),
+      CausalMiss(0, "photo"),
+  };
+  const CausalCheckResult result = CheckCausalHistory(history);
+  EXPECT_EQ(result.not_found_violations, 1u);
+}
+
+TEST(CausalCheckerTest, OwnWritesCreateObligations) {
+  // A session's own write of photo obliges its later reads of photo to be
+  // at least that new (local datacenter moves forward only).
+  std::vector<CausalRecordedOp> history{
+      CausalWrite(0, "photo", {4, 0}),
+      CausalReadOp(0, "photo", {2, 0}),
+  };
+  const CausalCheckResult result = CheckCausalHistory(history);
+  EXPECT_GE(result.total(), 1u) << result.ToString();
+}
+
+TEST(CausalCheckerTest, SessionsAreIndependent) {
+  // Another session reading an older version is eventual-consistency slack,
+  // not a causal violation.
+  std::vector<CausalRecordedOp> history{
+      CausalReadOp(0, "k", {5, 0}),
+      CausalReadOp(1, "k", {3, 0}),
+  };
+  const CausalCheckResult result = CheckCausalHistory(history);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+}
+
+}  // namespace
+}  // namespace evc::verify
