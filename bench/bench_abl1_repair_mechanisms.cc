@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "harness.h"
 #include "replication/anti_entropy.h"
 #include "replication/quorum_store.h"
 
@@ -95,6 +96,10 @@ AblationResult Run(bool hints, bool read_repair, bool anti_entropy,
 }  // namespace
 
 int main() {
+  bench::Harness harness("abl1_repair_mechanisms");
+  harness.Table("ablation",
+                {"hints", "read_repair", "anti_entropy", "converge_ms",
+                 "stale_window_reads"});
   std::printf(
       "=== Ablation 1: repair mechanisms for a replica that missed 50 "
       "writes ===\n\n");
@@ -121,7 +126,12 @@ int main() {
     std::printf("%-10s %-12s %-14s | %-16s %-18d\n",
                 c.hints ? "on" : "off", c.repair ? "on" : "off",
                 c.ae ? "on" : "off", converge, r.stale_window_reads);
+    harness.Row("ablation",
+                {obs::Json(c.hints), obs::Json(c.repair), obs::Json(c.ae),
+                 obs::Json(r.converge_ms),
+                 obs::Json(r.stale_window_reads)});
   }
+  harness.Write();
   std::printf(
       "\nExpected shape: with everything off the replica never converges\n"
       "(nothing re-sends the missed writes). Hints alone fix it quickly\n"

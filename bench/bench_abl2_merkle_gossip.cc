@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "harness.h"
 #include "replication/anti_entropy.h"
 #include "sim/rpc.h"
 
@@ -28,7 +29,7 @@ LamportTimestamp Ts(uint64_t c, uint32_t node = 0) {
   return LamportTimestamp{c, node};
 }
 
-void MerkleDepthSweep() {
+void MerkleDepthSweep(bench::Harness* out) {
   std::printf("--- (a) Merkle depth sweep: 50k-key DB, 50 dirty keys ---\n");
   std::printf("%-8s %-18s %-14s %-16s\n", "depth", "digests compared",
               "keys shipped", "cost proxy (sum)");
@@ -59,6 +60,12 @@ void MerkleDepthSweep() {
                 static_cast<unsigned long long>(s.keys_shipped),
                 static_cast<unsigned long long>(s.digests_shipped +
                                                 s.keys_shipped * 8));
+    out->Row("merkle_depth",
+             {obs::Json(depth),
+              obs::Json(static_cast<uint64_t>(s.digests_shipped)),
+              obs::Json(static_cast<uint64_t>(s.keys_shipped)),
+              obs::Json(static_cast<uint64_t>(s.digests_shipped +
+                                              s.keys_shipped * 8))});
   }
 }
 
@@ -92,7 +99,7 @@ double MeasureConvergence(bool push_pull, int replicas, uint64_t seed) {
   return -1;
 }
 
-void PushPullSweep() {
+void PushPullSweep(bench::Harness* out) {
   std::printf("\n--- (b) push vs push-pull gossip (median of 7 seeds) ---\n");
   std::printf("%-10s %-14s %-14s\n", "replicas", "push-only (s)",
               "push-pull (s)");
@@ -106,15 +113,22 @@ void PushPullSweep() {
     std::sort(push.begin(), push.end());
     std::sort(pp.begin(), pp.end());
     std::printf("%-10d %-14.2f %-14.2f\n", replicas, push[3], pp[3]);
+    out->Row("gossip", {obs::Json(replicas), obs::Json(push[3]),
+                        obs::Json(pp[3])});
   }
 }
 
 }  // namespace
 
 int main() {
+  bench::Harness harness("abl2_merkle_gossip");
+  harness.Table("merkle_depth",
+                {"depth", "digests_shipped", "keys_shipped", "cost_proxy"});
+  harness.Table("gossip", {"replicas", "push_only_s", "push_pull_s"});
   std::printf("=== Ablation 2: anti-entropy design knobs ===\n\n");
-  MerkleDepthSweep();
-  PushPullSweep();
+  MerkleDepthSweep(&harness);
+  PushPullSweep(&harness);
+  harness.Write();
   std::printf(
       "\nExpected shape: (a) shallow trees ship few digests but many clean\n"
       "keys; deep trees the reverse; the combined proxy bottoms out at a\n"

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "harness.h"
 #include "replication/hash_ring.h"
 
 using namespace evc;
@@ -28,7 +29,7 @@ double Imbalance(const std::map<sim::NodeId, int>& owned, int keys,
   return static_cast<double>(max_owned) / (static_cast<double>(keys) / servers);
 }
 
-void BalanceSweep() {
+void BalanceSweep(bench::Harness* out) {
   std::printf("--- (a) primary-load imbalance, 8 servers, 50k keys ---\n");
   std::printf("%-16s %-12s\n", "placement", "max/fair");
   std::printf("------------------------------\n");
@@ -41,7 +42,9 @@ void BalanceSweep() {
     for (int i = 0; i < keys; ++i) {
       owned[Fnv1a64("key" + std::to_string(i)) % servers]++;
     }
-    std::printf("%-16s %-12.3f\n", "modulo", Imbalance(owned, keys, servers));
+    const double imbalance = Imbalance(owned, keys, servers);
+    std::printf("%-16s %-12.3f\n", "modulo", imbalance);
+    out->Row("balance", {obs::Json("modulo"), obs::Json(imbalance)});
   }
   for (int vnodes : {1, 4, 16, 64, 256}) {
     HashRing ring(vnodes);
@@ -52,11 +55,13 @@ void BalanceSweep() {
     }
     char label[32];
     std::snprintf(label, sizeof(label), "ring vnodes=%d", vnodes);
-    std::printf("%-16s %-12.3f\n", label, Imbalance(owned, keys, servers));
+    const double imbalance = Imbalance(owned, keys, servers);
+    std::printf("%-16s %-12.3f\n", label, imbalance);
+    out->Row("balance", {obs::Json(label), obs::Json(imbalance)});
   }
 }
 
-void RemapSweep() {
+void RemapSweep(bench::Harness* out) {
   std::printf("\n--- (b) keys remapped when adding server #9 (50k keys) ---\n");
   std::printf("%-16s %-14s\n", "placement", "moved");
   std::printf("------------------------------\n");
@@ -68,6 +73,8 @@ void RemapSweep() {
       if (h % 8 != h % 9) ++moved;
     }
     std::printf("%-16s %6d (%.1f%%)\n", "modulo", moved, 100.0 * moved / keys);
+    out->Row("remap", {obs::Json("modulo"), obs::Json(moved),
+                       obs::Json(100.0 * moved / keys)});
   }
   {
     HashRing ring(64);
@@ -83,15 +90,21 @@ void RemapSweep() {
     }
     std::printf("%-16s %6d (%.1f%%)\n", "ring vnodes=64", moved,
                 100.0 * moved / keys);
+    out->Row("remap", {obs::Json("ring vnodes=64"), obs::Json(moved),
+                       obs::Json(100.0 * moved / keys)});
   }
 }
 
 }  // namespace
 
 int main() {
+  bench::Harness harness("abl3_placement");
+  harness.Table("balance", {"placement", "max_over_fair"});
+  harness.Table("remap", {"placement", "moved", "moved_pct"});
   std::printf("=== Ablation 3: key placement schemes ===\n\n");
-  BalanceSweep();
-  RemapSweep();
+  BalanceSweep(&harness);
+  RemapSweep(&harness);
+  harness.Write();
   std::printf(
       "\nExpected shape: (a) 1 vnode leaves some server ~2-3x overloaded;\n"
       "imbalance falls toward 1.0 as vnodes grow (modulo is balanced by\n"

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "core/replicated_store.h"
+#include "harness.h"
 #include "workload/workload.h"
 
 using namespace evc;
@@ -75,6 +76,10 @@ Row RunCell(ConsistencyLevel level, int client_dc) {
 }  // namespace
 
 int main() {
+  bench::Harness harness("fig1_latency_spectrum");
+  harness.Note("setup", "3-DC WAN, YCSB-B, 200 ops per (level, client DC)");
+  harness.Table("latency", {"level", "client_dc", "put_p50_ms", "put_p99_ms",
+                            "get_p50_ms", "get_p99_ms", "failures"});
   std::printf(
       "=== Fig. 1: latency vs consistency level (3-DC WAN, YCSB-B) ===\n");
   std::printf(
@@ -99,8 +104,17 @@ int main() {
                   row.put_p50 / kMillisecond, row.put_p99 / kMillisecond,
                   row.get_p50 / kMillisecond, row.get_p99 / kMillisecond,
                   static_cast<unsigned long long>(row.failures));
+      harness.Row("latency",
+                  {obs::Json(ConsistencyLevelToString(level)),
+                   obs::Json(dc_names[dc]),
+                   obs::Json(row.put_p50 / kMillisecond),
+                   obs::Json(row.put_p99 / kMillisecond),
+                   obs::Json(row.get_p50 / kMillisecond),
+                   obs::Json(row.get_p99 / kMillisecond),
+                   obs::Json(row.failures)});
     }
   }
+  harness.Write();
   std::printf(
       "\nExpected shape: eventual/causal ~ sub-ms to low ms everywhere;\n"
       "quorum ~ one WAN RTT; timeline writes depend on distance to the\n"

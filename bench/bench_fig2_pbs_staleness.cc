@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "harness.h"
 #include "stale/pbs.h"
 
 using namespace evc;
@@ -36,6 +37,11 @@ PbsConfig Config(int r, int w) {
 }  // namespace
 
 int main() {
+  bench::Harness harness("fig2_pbs_staleness");
+  harness.Table("t_visibility",
+                {"r", "w", "t_ms", "p_consistent"});
+  harness.Table("t999", {"r", "w", "t999_ms"});
+  harness.Table("k_staleness", {"r", "w", "k", "p_within_k"});
   std::printf("=== Fig. 2: PBS t-visibility, N=3 (WARS Monte-Carlo) ===\n\n");
   const double ts_ms[] = {0, 1, 2, 5, 10, 20, 50, 100};
   std::printf("%-10s", "(R,W)");
@@ -50,10 +56,15 @@ int main() {
     PbsEstimator pbs(Config(r, w), 1234);
     std::printf("R=%d, W=%d ", r, w);
     for (double t : ts_ms) {
-      std::printf("  %7.4f", pbs.ProbConsistent(t * 1000, 20000));
+      const double p = pbs.ProbConsistent(t * 1000, 20000);
+      std::printf("  %7.4f", p);
+      harness.Row("t_visibility",
+                  {obs::Json(r), obs::Json(w), obs::Json(t), obs::Json(p)});
     }
     const double t999 = pbs.TVisibility(0.999, 1e6, 64, 8000);
     std::printf("   %8.2f\n", t999 / 1000.0);
+    harness.Row("t999",
+                {obs::Json(r), obs::Json(w), obs::Json(t999 / 1000.0)});
   }
 
   std::printf("\n--- k-staleness: P(read within k newest), writes every "
@@ -63,10 +74,14 @@ int main() {
     PbsEstimator pbs(Config(r, w), 99);
     std::printf("R=%d, W=%d ", r, w);
     for (int k : {1, 2, 3, 5}) {
-      std::printf("  %7.4f", pbs.ProbKStaleness(k, 10000, 20000));
+      const double p = pbs.ProbKStaleness(k, 10000, 20000);
+      std::printf("  %7.4f", p);
+      harness.Row("k_staleness",
+                  {obs::Json(r), obs::Json(w), obs::Json(k), obs::Json(p)});
     }
     std::printf("\n");
   }
+  harness.Write();
 
   std::printf(
       "\nExpected shape: R=W=1 starts ~0.5-0.8 at t=0 and exceeds 0.999\n"

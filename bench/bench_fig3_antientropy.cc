@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "harness.h"
 #include "replication/anti_entropy.h"
 #include "sim/rpc.h"
 
@@ -66,6 +67,11 @@ sim::Time MeasureConvergence(int replicas, int fanout, uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::Harness harness("fig3_antientropy");
+  harness.Table("convergence",
+                {"replicas", "fanout", "median_converge_s"});
+  harness.Table("merkle_cost", {"dirty_keys", "digests_compared",
+                                "keys_shipped", "shipped_fraction"});
   std::printf("=== Fig. 3a: gossip convergence time vs cluster size ===\n");
   std::printf("(100 keys seeded at one replica; round interval 100 ms;\n");
   std::printf(" median of 5 seeds, virtual seconds to all-equal roots)\n\n");
@@ -82,6 +88,9 @@ int main() {
       std::sort(times.begin(), times.end());
       std::printf("  %7.2fs",
                   static_cast<double>(times[2]) / kSecond);
+      harness.Row("convergence",
+                  {obs::Json(replicas), obs::Json(fanout),
+                   obs::Json(static_cast<double>(times[2]) / kSecond)});
     }
     std::printf("\n");
   }
@@ -117,7 +126,13 @@ int main() {
                 static_cast<unsigned long long>(ae.stats().keys_shipped),
                 static_cast<double>(ae.stats().keys_shipped) /
                     (20000.0 + dirty));
+    harness.Row("merkle_cost",
+                {obs::Json(dirty), obs::Json(ae.stats().digests_shipped),
+                 obs::Json(ae.stats().keys_shipped),
+                 obs::Json(static_cast<double>(ae.stats().keys_shipped) /
+                           (20000.0 + dirty))});
   }
+  harness.Write();
   std::printf(
       "\nExpected shape: (a) time grows roughly with log(replicas) and\n"
       "drops as fanout rises; (b) keys shipped tracks the divergence d\n"

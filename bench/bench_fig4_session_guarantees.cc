@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "common/stats.h"
+#include "harness.h"
 #include "session/session.h"
 
 using namespace evc;
@@ -97,6 +98,9 @@ CellResult RunCell(bool guarantees_on, uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::Harness harness("fig4_session_guarantees");
+  harness.Table("cells", {"guarantees", "ryw_anomalies", "mr_anomalies",
+                          "retries", "stale_served", "mean_read_ms"});
   std::printf(
       "=== Fig. 4: session guarantees on an N=3, R=W=1 store ===\n"
       "300 write-then-read pairs; one replica left stale per write\n\n");
@@ -113,7 +117,13 @@ int main() {
                 static_cast<unsigned long long>(r.mr_violations),
                 static_cast<unsigned long long>(r.retries),
                 r.stale_values_served, r.mean_read_ms);
+    harness.Row("cells",
+                {obs::Json(on ? "enforced" : "off"),
+                 obs::Json(r.ryw_violations), obs::Json(r.mr_violations),
+                 obs::Json(r.retries), obs::Json(r.stale_values_served),
+                 obs::Json(r.mean_read_ms)});
   }
+  harness.Write();
   std::printf(
       "\nExpected shape: OFF serves a visible fraction of stale reads\n"
       "(anomalies detected, never prevented). ENFORCED serves zero stale\n"

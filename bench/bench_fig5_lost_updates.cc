@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "crdt/orset.h"
+#include "harness.h"
 #include "replication/quorum_store.h"
 
 using namespace evc;
@@ -99,6 +100,10 @@ int RunCrdtCart(int concurrency) {
 }  // namespace
 
 int main() {
+  bench::Harness harness("fig5_lost_updates");
+  harness.Table("survivors",
+                {"concurrency", "lww_survivors", "lww_siblings",
+                 "siblings_survivors", "siblings_siblings", "crdt_survivors"});
   std::printf(
       "=== Fig. 5: surviving updates after C concurrent cart adds ===\n\n");
   std::printf("%-12s | %-22s | %-22s | %-10s\n", "concurrency",
@@ -116,7 +121,14 @@ int main() {
                 "  | %3d/%-3d\n",
                 c, lww_survivors, c, lww_siblings, sib_survivors, c,
                 sib_siblings, crdt_survivors, c);
+    harness.Row("survivors",
+                {obs::Json(c), obs::Json(lww_survivors),
+                 obs::Json(static_cast<uint64_t>(lww_siblings)),
+                 obs::Json(sib_survivors),
+                 obs::Json(static_cast<uint64_t>(sib_siblings)),
+                 obs::Json(crdt_survivors)});
   }
+  harness.Write();
   std::printf(
       "\nExpected shape: LWW keeps exactly ONE of C concurrent updates\n"
       "(loss rate (C-1)/C, worsening with contention); the siblings policy\n"

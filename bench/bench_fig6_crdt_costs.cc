@@ -16,6 +16,7 @@
 #include "crdt/orset.h"
 #include "crdt/registers.h"
 #include "crdt/rga.h"
+#include "harness.h"
 
 namespace {
 
@@ -137,6 +138,17 @@ int main(int argc, char** argv) {
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
 
+  evc::bench::Harness harness("fig6_crdt_costs");
+  harness.Note("microbench",
+               "google-benchmark timings print to stdout only (wall-clock, "
+               "not deterministic); the JSON keeps the state-size tables");
+  harness.Table("state_growth", {"churn_ops", "tombstoned_bytes",
+                                 "optimized_bytes", "ratio"});
+  harness.Table("gcounter_delta",
+                {"increments", "full_state_bytes", "delta_bytes"});
+  harness.Table("orset_delta", {"live_items", "full_state_bytes",
+                                "delta_bytes"});
+
   std::printf("\n=== Fig. 6b: OR-set state bytes after add/remove churn ===\n");
   std::printf("(each round adds then removes one of 16 hot items)\n\n");
   std::printf("%-12s %-18s %-18s %-8s\n", "churn ops", "tombstoned OrSet",
@@ -156,6 +168,11 @@ int main(int argc, char** argv) {
                          static_cast<double>(optimized.StateBytes());
     std::printf("%-12d %-18zu %-18zu %-8.1fx\n", churn,
                 tombstoned.StateBytes(), optimized.StateBytes(), ratio);
+    harness.Row("state_growth",
+                {evc::obs::Json(churn),
+                 evc::obs::Json(static_cast<uint64_t>(tombstoned.StateBytes())),
+                 evc::obs::Json(static_cast<uint64_t>(optimized.StateBytes())),
+                 evc::obs::Json(ratio)});
   }
 
   std::printf("\n=== Fig. 6c: delta vs full-state replication bytes ===\n");
@@ -173,6 +190,10 @@ int main(int argc, char** argv) {
       delta_bytes += delta.StateBytes(); // shipping only the delta
     }
     std::printf("%-12d %-18zu %-18zu\n", increments, full_bytes, delta_bytes);
+    harness.Row("gcounter_delta",
+                {evc::obs::Json(increments),
+                 evc::obs::Json(static_cast<uint64_t>(full_bytes)),
+                 evc::obs::Json(static_cast<uint64_t>(delta_bytes))});
   }
 
   std::printf("\n=== Fig. 6d: delta vs full-state OR-set (dot-cloud deltas) "
@@ -187,7 +208,12 @@ int main(int argc, char** argv) {
     const evc::crdt::DeltaOrSet delta = set.Add("one-more");
     std::printf("%-12d %-18zu %-18zu\n", live, set.StateBytes(),
                 delta.StateBytes());
+    harness.Row("orset_delta",
+                {evc::obs::Json(live),
+                 evc::obs::Json(static_cast<uint64_t>(set.StateBytes())),
+                 evc::obs::Json(static_cast<uint64_t>(delta.StateBytes()))});
   }
+  harness.Write();
   std::printf(
       "\nExpected shape: tombstoned state grows linearly with churn while\n"
       "the optimized set stays flat (ratio grows unboundedly); delta\n"

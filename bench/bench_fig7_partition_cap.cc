@@ -11,11 +11,14 @@
 //     reads ever, minority catches up after healing.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "consensus/paxos.h"
+#include "harness.h"
+#include "obs/export.h"
 #include "replication/anti_entropy.h"
 #include "replication/quorum_store.h"
 #include "sim/nemesis.h"
@@ -33,7 +36,7 @@ struct PartitionResult {
   double heal_to_converged_ms = -1;
 };
 
-PartitionResult RunEventual(uint64_t seed) {
+PartitionResult RunEventual(uint64_t seed, bench::Harness* out) {
   sim::Simulator sim(seed);
   auto latency = std::make_unique<sim::WanMatrixLatency>(
       sim::WanMatrixLatency::ThreeRegionBaseUs());
@@ -121,6 +124,24 @@ PartitionResult RunEventual(uint64_t seed) {
       ae.Converged()
           ? static_cast<double>(sim.Now() - heal_at) / kMillisecond
           : -1;
+
+  // Ship the eventual run's obs state with the bench JSON: the sim-wide
+  // metrics registries under "sim", plus headline counters as metrics.
+  out->AttachSim(sim);
+  obs::MetricsRegistry& g = sim.metrics().global();
+  out->Metric("eventual_rpc_calls",
+              static_cast<double>(g.CounterFor("rpc.calls").value()));
+  out->Metric("eventual_rpc_timeouts",
+              static_cast<double>(g.CounterFor("rpc.timeouts").value()));
+  out->Metric("eventual_net_delivered",
+              static_cast<double>(g.CounterFor("net.delivered").value()));
+  if (const char* dir = std::getenv("EVC_TRACE_OUT");
+      dir != nullptr && dir[0] != '\0') {
+    const std::string path = std::string(dir) + "/TRACE_fig7_eventual.json";
+    EVC_CHECK_OK(obs::WriteFile(
+        path, obs::TraceToJson(sim.tracer()).Dump(2) + "\n"));
+    std::fprintf(stderr, "bench harness: wrote %s\n", path.c_str());
+  }
   return result;
 }
 
@@ -198,20 +219,32 @@ PartitionResult RunStrong(uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::Harness harness("fig7_partition_cap");
+  harness.Table("partition", {"system", "ops_attempted", "ops_succeeded",
+                              "stale_reads", "heal_to_converged_ms"});
   std::printf(
       "=== Fig. 7: 10-second partition, client on the minority side ===\n\n");
   std::printf("%-10s %-12s %-12s %-14s %-18s\n", "system", "attempted",
               "succeeded", "stale reads", "heal->converged");
   std::printf("--------------------------------------------------------------"
               "----\n");
-  const PartitionResult ap = RunEventual(5);
+  const PartitionResult ap = RunEventual(5, &harness);
   std::printf("%-10s %-12d %-12d %-14d %12.0f ms\n", "eventual",
               ap.ops_attempted, ap.ops_succeeded, ap.stale_reads,
               ap.heal_to_converged_ms);
+  harness.Row("partition",
+              {obs::Json("eventual"), obs::Json(ap.ops_attempted),
+               obs::Json(ap.ops_succeeded), obs::Json(ap.stale_reads),
+               obs::Json(ap.heal_to_converged_ms)});
   const PartitionResult cp = RunStrong(6);
   std::printf("%-10s %-12d %-12d %-14d %12.0f ms\n", "strong",
               cp.ops_attempted, cp.ops_succeeded, cp.stale_reads,
               cp.heal_to_converged_ms);
+  harness.Row("partition",
+              {obs::Json("strong"), obs::Json(cp.ops_attempted),
+               obs::Json(cp.ops_succeeded), obs::Json(cp.stale_reads),
+               obs::Json(cp.heal_to_converged_ms)});
+  harness.Write();
   std::printf(
       "\nExpected shape: the eventual store accepts ~100%% of minority-side\n"
       "operations but many of its reads are stale (it cannot see the\n"

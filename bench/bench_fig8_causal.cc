@@ -18,6 +18,7 @@
 
 #include "causal/causal_store.h"
 #include "common/stats.h"
+#include "harness.h"
 
 using namespace evc;
 using sim::kMillisecond;
@@ -122,7 +123,7 @@ ChainResult RunChain(int depth, uint64_t seed) {
 
 // Overtaking study: EU posts, US-East replies immediately; Asia receives
 // both over a jittery WAN, so the reply often arrives first and must wait.
-void RunOvertakingStudy(int trials, double jitter) {
+void RunOvertakingStudy(int trials, double jitter, bench::Harness* out) {
   Harness h(1234, jitter);
   int violations = 0;
   for (int t = 0; t < trials; ++t) {
@@ -162,19 +163,28 @@ void RunOvertakingStudy(int trials, double jitter) {
     }
   }
   const auto& stats = h.cluster->stats();
+  const double mean_wait_ms =
+      stats.dep_wait_us.count() ? stats.dep_wait_us.mean() / kMillisecond
+                                : 0.0;
   std::printf(
       "  jitter=%.2f: %d trials, %llu writes deferred by the dep check "
       "(mean wait %.1f ms), causality violations: %d\n",
       jitter, trials,
       static_cast<unsigned long long>(stats.remote_deferred),
-      stats.dep_wait_us.count() ? stats.dep_wait_us.mean() / kMillisecond
-                                : 0.0,
-      violations);
+      mean_wait_ms, violations);
+  out->Row("overtaking",
+           {obs::Json(jitter), obs::Json(trials),
+            obs::Json(stats.remote_deferred), obs::Json(mean_wait_ms),
+            obs::Json(violations)});
 }
 
 }  // namespace
 
 int main() {
+  bench::Harness results("fig8_causal");
+  results.Table("chains", {"depth", "mean_write_ms", "chain_visible_ms"});
+  results.Table("overtaking", {"jitter", "trials", "deferred",
+                               "mean_dep_wait_ms", "violations"});
   std::printf("=== Fig. 8: causal+ comment threads across 3 DCs ===\n\n");
   std::printf("%-8s %-18s %-22s\n", "depth", "write mean (ms)",
               "chain visible (ms)");
@@ -183,14 +193,17 @@ int main() {
     const ChainResult r = RunChain(depth, 40 + static_cast<uint64_t>(depth));
     std::printf("%-8d %-18.2f %-22.1f\n", depth, r.mean_write_ms,
                 r.chain_visible_ms);
+    results.Row("chains", {obs::Json(depth), obs::Json(r.mean_write_ms),
+                           obs::Json(r.chain_visible_ms)});
   }
 
   std::printf(
       "\n--- overtaking on a jittery WAN (EU posts, US comments, Asia "
       "watches) ---\n");
   for (double jitter : {0.05, 0.50, 1.00}) {
-    RunOvertakingStudy(100, jitter);
+    RunOvertakingStudy(100, jitter, &results);
   }
+  results.Write();
 
   std::printf(
       "\nExpected shape: writes commit at local latency (<1 ms) at every\n"

@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "harness.h"
 #include "txn/redblue.h"
 
 using namespace evc;
@@ -91,6 +92,9 @@ MixResult RunMix(double red_fraction, uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::Harness harness("tab1_redblue");
+  harness.Table("mixes", {"red_fraction", "mean_ms", "p99_ms", "ops_per_sec",
+                          "aborts"});
   std::printf(
       "=== Table 1: RedBlue bank, latency/throughput vs red fraction ===\n"
       "(3 WAN sites, sequencer at US-East, closed-loop clients)\n\n");
@@ -102,7 +106,11 @@ int main() {
     std::printf("%-12.0f %-12.2f %-12.2f %-14.1f %llu\n", red * 100,
                 r.mean_ms, r.p99_ms, r.ops_per_sec,
                 static_cast<unsigned long long>(r.aborts));
+    harness.Row("mixes",
+                {obs::Json(red), obs::Json(r.mean_ms), obs::Json(r.p99_ms),
+                 obs::Json(r.ops_per_sec), obs::Json(r.aborts)});
   }
+  harness.Write();
   std::printf(
       "\nExpected shape: at 0%% red every op is local (sub-ms mean, high\n"
       "throughput); mean latency climbs roughly linearly with the red\n"

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "harness.h"
 #include "txn/escrow.h"
 
 using namespace evc;
@@ -72,6 +73,10 @@ Outcome RunNaive(int buyers, uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::Harness harness("tab2_escrow");
+  harness.Table("contention",
+                {"buyers", "naive_sold", "naive_aborted", "naive_oversold",
+                 "escrow_sold", "escrow_aborted", "escrow_transfers"});
   std::printf(
       "=== Table 2: selling 500 units from 4 replicas, B concurrent "
       "buyers ===\n\n");
@@ -89,7 +94,13 @@ int main() {
                 escrow.aborted,
                 static_cast<unsigned long long>(escrow.transfers));
     EVC_CHECK(escrow.oversold == 0);
+    harness.Row("contention",
+                {obs::Json(buyers), obs::Json(naive.ok),
+                 obs::Json(naive.aborted), obs::Json(naive.oversold),
+                 obs::Json(escrow.ok), obs::Json(escrow.aborted),
+                 obs::Json(escrow.transfers)});
   }
+  harness.Write();
   std::printf(
       "\nExpected shape: once buyers exceed the stock, the naive counter\n"
       "oversells (sold > 500) — more so at higher concurrency, because all\n"

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "harness.h"
 #include "sla/pileus.h"
 
 using namespace evc;
@@ -101,6 +102,11 @@ PlacementResult RunPlacement(int client_dc, uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::Harness harness("tab3_sla_utility");
+  harness.Table("placements",
+                {"client_dc", "mean_utility", "mean_latency_ms",
+                 "reads_strong", "reads_bounded", "reads_eventual",
+                 "reads_missed"});
   std::printf(
       "=== Table 3: Pileus SLA — delivered utility by client placement ===\n"
       "SLA: [strong@50ms -> 1.0 | bounded(800ms)@120ms -> 0.6 | "
@@ -119,7 +125,13 @@ int main() {
                 static_cast<unsigned long long>(r.row1),
                 static_cast<unsigned long long>(r.row2),
                 static_cast<unsigned long long>(r.row_none));
+    harness.Row("placements",
+                {obs::Json(names[dc]), obs::Json(r.mean_utility),
+                 obs::Json(r.mean_latency_ms), obs::Json(r.row0),
+                 obs::Json(r.row1), obs::Json(r.row2),
+                 obs::Json(r.row_none)});
   }
+  harness.Write();
   std::printf(
       "\nExpected shape: the US-East client earns ~1.0 (strong row, local\n"
       "primary); the Asia client earns ~0.2-0.6 from its local secondary\n"

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "common/stats.h"
+#include "harness.h"
 #include "replication/quorum_store.h"
 #include "stale/pbs.h"
 
@@ -102,6 +103,10 @@ MatrixRow RunConfig(int r, int w, uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::Harness harness("tab4_quorum_matrix");
+  harness.Table("matrix",
+                {"r", "w", "put_p50_ms", "get_p50_ms", "write_survives_f1",
+                 "read_survives_f1", "p_fresh_at_0", "classification"});
   std::printf(
       "=== Table 4: N=3 quorum matrix — latency / availability(f=1) / "
       "consistency ===\n\n");
@@ -121,8 +126,15 @@ int main() {
                   row.write_survives_one_failure ? "yes" : "NO",
                   row.read_survives_one_failure ? "yes" : "NO",
                   row.prob_fresh_read_at_0, klass);
+      harness.Row("matrix",
+                  {obs::Json(r), obs::Json(w), obs::Json(row.put_p50_ms),
+                   obs::Json(row.get_p50_ms),
+                   obs::Json(row.write_survives_one_failure),
+                   obs::Json(row.read_survives_one_failure),
+                   obs::Json(row.prob_fresh_read_at_0), obs::Json(klass)});
     }
   }
+  harness.Write();
   std::printf(
       "\nExpected shape: latency grows with quorum size (W or R of 3 waits\n"
       "for the farthest replica); any quorum of 3 dies with one failure\n"

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "causal/causal_store.h"
+#include "harness.h"
 
 using namespace evc;
 using sim::kMillisecond;
@@ -124,6 +125,9 @@ TrialStats Run(double jitter, int trials, uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::Harness harness("tab5_get_transactions");
+  harness.Table("jitter_sweep", {"jitter", "trials", "plain_violations",
+                                 "gt_violations", "gt_second_rounds"});
   std::printf(
       "=== Table 5: plain pair-reads vs get-transactions (COPS-GT) ===\n"
       "writer EU -> photo then comment; reader Asia fetches the pair\n\n");
@@ -136,7 +140,12 @@ int main() {
         Run(jitter, 150, 100 + static_cast<uint64_t>(jitter * 10));
     std::printf("%-10.2f %-8d %-18d %-16d %-18d\n", jitter, s.trials,
                 s.plain_violations, s.gt_violations, s.gt_second_rounds);
+    harness.Row("jitter_sweep",
+                {obs::Json(jitter), obs::Json(s.trials),
+                 obs::Json(s.plain_violations), obs::Json(s.gt_violations),
+                 obs::Json(s.gt_second_rounds)});
   }
+  harness.Write();
   std::printf(
       "\nExpected shape: plain pair-reads return causally inconsistent\n"
       "pairs once WAN jitter makes arrivals straddle the read window;\n"

@@ -1,0 +1,93 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+#include "obs/export.h"
+#include "sim/simulator.h"
+
+namespace evc::bench {
+
+Harness::Harness(std::string name) : name_(std::move(name)) {
+  EVC_CHECK(!name_.empty());
+}
+
+void Harness::Metric(const std::string& metric, double value) {
+  metrics_[metric] = value;
+}
+
+void Harness::Note(const std::string& key, std::string value) {
+  notes_[key] = std::move(value);
+}
+
+void Harness::Table(const std::string& table,
+                    std::vector<std::string> columns) {
+  EVC_CHECK(!columns.empty());
+  TableData& data = tables_[table];
+  data.columns = std::move(columns);
+  data.rows.clear();
+}
+
+void Harness::Row(const std::string& table, std::vector<obs::Json> values) {
+  auto it = tables_.find(table);
+  EVC_CHECK(it != tables_.end());
+  EVC_CHECK(values.size() == it->second.columns.size());
+  it->second.rows.push_back(std::move(values));
+}
+
+void Harness::AttachSim(const sim::Simulator& sim) {
+  sim_ = obs::MetricsToJson(sim.metrics());
+}
+
+std::string Harness::ToJson() const {
+  obs::Json::Object root;
+  root["schema"] = obs::Json("evc-bench-v1");
+  root["name"] = obs::Json(name_);
+
+  obs::Json::Object metrics;
+  for (const auto& [k, v] : metrics_) metrics[k] = obs::Json(v);
+  root["metrics"] = obs::Json(std::move(metrics));
+
+  obs::Json::Object notes;
+  for (const auto& [k, v] : notes_) notes[k] = obs::Json(v);
+  root["notes"] = obs::Json(std::move(notes));
+
+  obs::Json::Object tables;
+  for (const auto& [name, data] : tables_) {
+    obs::Json::Object table;
+    obs::Json::Array columns;
+    for (const auto& c : data.columns) columns.push_back(obs::Json(c));
+    table["columns"] = obs::Json(std::move(columns));
+    obs::Json::Array rows;
+    for (const auto& row : data.rows) {
+      obs::Json::Array cells;
+      for (const auto& cell : row) cells.push_back(cell);
+      rows.push_back(obs::Json(std::move(cells)));
+    }
+    table["rows"] = obs::Json(std::move(rows));
+    tables[name] = obs::Json(std::move(table));
+  }
+  root["tables"] = obs::Json(std::move(tables));
+
+  if (!sim_.is_null()) root["sim"] = sim_;
+  return obs::Json(std::move(root)).Dump(2) + "\n";
+}
+
+Status Harness::Write() const {
+  std::string path = "BENCH_" + name_ + ".json";
+  if (const char* dir = std::getenv("EVC_BENCH_OUT");
+      dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  Status status = obs::WriteFile(path, ToJson());
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench harness: failed to write %s: %s\n",
+                 path.c_str(), status.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "bench harness: wrote %s\n", path.c_str());
+  }
+  return status;
+}
+
+}  // namespace evc::bench

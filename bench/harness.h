@@ -1,0 +1,85 @@
+// Shared result harness for the bench binaries.
+//
+// Every bench keeps its human-readable stdout tables, and additionally
+// registers its numbers here so the run also produces a machine-readable
+// `BENCH_<name>.json` (schema `evc-bench-v1`). The export is deterministic:
+// same binary + same seeds => byte-identical JSON (no wall-clock timestamps,
+// sorted keys, fixed float formatting), which lets CI diff bench output
+// across commits.
+//
+// Schema `evc-bench-v1`:
+//   {
+//     "schema":  "evc-bench-v1",
+//     "name":    "<bench name>",
+//     "metrics": { "<metric>": <number>, ... },
+//     "notes":   { "<key>": "<string>", ... },
+//     "tables":  { "<table>": { "columns": ["c1", ...],
+//                               "rows": [[v, ...], ...] }, ... },
+//     "sim":     { <evc-metrics-v1 document> }        // optional, AttachSim
+//   }
+//
+// Output location: `$EVC_BENCH_OUT/BENCH_<name>.json` when the environment
+// variable is set (CI points it at the artifact directory), else the
+// current working directory.
+
+#ifndef EVC_BENCH_HARNESS_H_
+#define EVC_BENCH_HARNESS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace evc::sim {
+class Simulator;
+}  // namespace evc::sim
+
+namespace evc::bench {
+
+class Harness {
+ public:
+  /// `name` names the output file: BENCH_<name>.json.
+  explicit Harness(std::string name);
+
+  /// Records a scalar headline metric (overwrites on re-record).
+  void Metric(const std::string& metric, double value);
+
+  /// Records a free-form string annotation (config, expected shape, ...).
+  void Note(const std::string& key, std::string value);
+
+  /// Declares a table and its column names. Must precede Row() for `table`.
+  void Table(const std::string& table, std::vector<std::string> columns);
+
+  /// Appends one row; `values.size()` must equal the declared column count.
+  void Row(const std::string& table, std::vector<obs::Json> values);
+
+  /// Snapshots a simulator's metrics registries into the "sim" section
+  /// (evc-metrics-v1). Last call wins; benches that run many simulators
+  /// typically attach the final/representative one or none at all.
+  void AttachSim(const sim::Simulator& sim);
+
+  /// The full evc-bench-v1 document.
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json (see file comment for where). Logs and
+  /// returns the error on failure; benches treat that as fatal.
+  Status Write() const;
+
+ private:
+  struct TableData {
+    std::vector<std::string> columns;
+    std::vector<std::vector<obs::Json>> rows;
+  };
+
+  std::string name_;
+  std::map<std::string, double> metrics_;
+  std::map<std::string, std::string> notes_;
+  std::map<std::string, TableData> tables_;
+  obs::Json sim_;  // null until AttachSim
+};
+
+}  // namespace evc::bench
+
+#endif  // EVC_BENCH_HARNESS_H_

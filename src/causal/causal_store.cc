@@ -39,6 +39,10 @@ const CausalCluster::Datacenter* CausalCluster::FindDc(
   return it == by_node_.end() ? nullptr : it->second;
 }
 
+obs::MetricsRegistry& CausalCluster::Obs() {
+  return rpc_->simulator()->metrics().global();
+}
+
 bool CausalCluster::DepsSatisfied(const Datacenter& dc,
                                   const std::vector<Dependency>& deps) const {
   for (const Dependency& dep : deps) {
@@ -72,8 +76,10 @@ void CausalCluster::DrainPending(Datacenter* dc) {
       if (!DepsSatisfied(*dc, it->deps)) continue;
       ReplicatedWrite write = std::move(*it);
       dc->pending.erase(it);
-      stats_.dep_wait_us.Add(static_cast<double>(
-          rpc_->simulator()->Now() - write.arrived_at));
+      const double waited = static_cast<double>(
+          rpc_->simulator()->Now() - write.arrived_at);
+      stats_.dep_wait_us.Add(waited);
+      Obs().HistogramFor("causal.dep_wait_us").Add(waited);
       ApplyWrite(dc, write);
       progress = true;
       break;  // iterator invalidated; rescan
@@ -89,6 +95,7 @@ void CausalCluster::RegisterHandlers(Datacenter* dc) {
         // A local put's dependencies are always satisfied locally: the
         // client read them from this very datacenter.
         ++stats_.writes;
+        Obs().CounterFor("causal.writes").Inc();
         const WriteId id{++dc->lamport, dc->index};
         ReplicatedWrite write;
         write.key = put.key;
@@ -111,10 +118,12 @@ void CausalCluster::RegisterHandlers(Datacenter* dc) {
         write.arrived_at = rpc_->simulator()->Now();
         if (DepsSatisfied(*dc, write.deps)) {
           ++stats_.remote_applied_immediately;
+          Obs().CounterFor("causal.remote_applied_immediately").Inc();
           ApplyWrite(dc, write);
           DrainPending(dc);
         } else {
           ++stats_.remote_deferred;
+          Obs().CounterFor("causal.remote_deferred").Inc();
           dc->pending.push_back(std::move(write));
         }
       });

@@ -152,6 +152,8 @@ class CausalCluster {
   Datacenter* FindDc(sim::NodeId node);
   const Datacenter* FindDc(sim::NodeId node) const;
   void RegisterHandlers(Datacenter* dc);
+  /// Global metrics registry of the owning simulator (causal.* instruments).
+  obs::MetricsRegistry& Obs();
   bool DepsSatisfied(const Datacenter& dc,
                      const std::vector<Dependency>& deps) const;
   /// Applies a write (LWW by id) and drains any newly-unblocked pending.

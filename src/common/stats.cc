@@ -7,12 +7,23 @@ namespace evc {
 
 Histogram::Histogram() : buckets_(kBucketCount, 0) {}
 
-// Geometric buckets: bucket i covers [2^(i/16), 2^((i+1)/16)) scaled so that
+// Geometric buckets: bucket i >= 1 covers [2^((i-1)/16), 2^(i/16)) and
 // sub-1.0 values land in bucket 0. 512 buckets cover up to ~2^32.
 int Histogram::BucketFor(double value) {
   if (value < 1.0) return 0;
-  const double l = std::log2(value) * 16.0;
-  int b = static_cast<int>(l) + 1;
+  int b = static_cast<int>(std::log2(value) * 16.0) + 1;
+  if (b >= kBucketCount) return kBucketCount - 1;
+  // log2's rounding error can land values at or near a bucket boundary one
+  // bucket off in either direction (e.g. log2(2^(1/16)) * 16 truncates to 0,
+  // and values one ulp below a boundary round up onto it), skewing
+  // percentiles. Settle boundaries against the buckets' own exp2-defined
+  // edges instead of trusting the truncated logarithm.
+  if (value >= BucketUpper(b)) {
+    ++b;
+  } else if (value < BucketLower(b)) {
+    --b;
+  }
+  if (b < 1) b = 1;  // value >= 1.0 always belongs at or above bucket 1
   if (b >= kBucketCount) b = kBucketCount - 1;
   return b;
 }

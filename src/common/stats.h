@@ -68,12 +68,15 @@ class Histogram {
   /// One-line summary: count/mean/p50/p95/p99/max.
   std::string Summary() const;
 
- private:
+  // Bucket geometry, exposed for exporters and boundary tests. Bucket 0 is
+  // [0, 1); bucket i >= 1 covers [BucketLower(i), BucketUpper(i)) with
+  // BucketLower(i) == 2^((i-1)/16).
   static constexpr int kBucketCount = 512;
   static int BucketFor(double value);
   static double BucketLower(int bucket);
   static double BucketUpper(int bucket);
 
+ private:
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   double sum_ = 0.0;

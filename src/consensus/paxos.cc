@@ -24,6 +24,10 @@ PaxosCluster::PaxosCluster(sim::Rpc* rpc, PaxosOptions options)
   EVC_CHECK(rpc_ != nullptr);
 }
 
+obs::MetricsRegistry& PaxosCluster::Obs() {
+  return rpc_->simulator()->metrics().global();
+}
+
 PaxosCluster::~PaxosCluster() = default;
 
 sim::NodeId PaxosCluster::AddServer() {
@@ -125,6 +129,10 @@ void PaxosCluster::RegisterHandlers(Server* server) {
             state.has_accepted = true;
           }
           reply.accepted = true;
+        } else {
+          // Ballot conflict: a competing (would-be) leader holds a higher
+          // promise at this acceptor.
+          Obs().CounterFor("paxos.accept_conflicts").Inc();
         }
         reply.promised_ballot = server->promised;
         respond(std::any{reply});
@@ -152,6 +160,7 @@ void PaxosCluster::RegisterHandlers(Server* server) {
           if (hb.chosen_watermark > my_watermark &&
               hb.leader != server->node) {
             ++stats_.catchups;
+            Obs().CounterFor("paxos.catchups").Inc();
             CatchupReq req{my_watermark};
             rpc_->Call(server->node, hb.leader, kCatchup, req,
                        4 * options_.rpc_timeout,
@@ -211,6 +220,7 @@ void PaxosCluster::RegisterHandlers(Server* server) {
               pending->decided = true;
               server->in_flight.erase(pending->slot);
               ++stats_.proposals_failed;
+              Obs().CounterFor("paxos.proposals_failed").Inc();
               pending->done(Status::TimedOut("proposal timed out"));
             });
         ProposeInSlot(server, pending->slot, pending->encoded, pending);
@@ -248,6 +258,7 @@ void PaxosCluster::StartElection(Server* server) {
   if (!rpc_->network()->IsNodeUp(server->node)) return;
   server->electing = true;
   ++stats_.elections_started;
+  Obs().CounterFor("paxos.elections").Inc();
   const uint64_t round =
       std::max({server->promised.round, server->ballot.round,
                 server->leader_ballot.round}) +
@@ -310,6 +321,7 @@ void PaxosCluster::BecomeLeader(Server* server,
   server->leader_hint = server->node;
   server->leader_ballot = server->ballot;
   ++stats_.leaderships_won;
+  Obs().CounterFor("paxos.leaderships_won").Inc();
 
   // Adopt chosen entries and the highest-ballot accepted value per open slot.
   std::map<uint64_t, std::pair<Ballot, std::string>> open;
@@ -487,11 +499,15 @@ void PaxosCluster::ApplyReady(Server* server) {
       case Command::Type::kPut:
         if (cmd.op_id == 0 || server->applied_ops.insert(cmd.op_id).second) {
           server->kv[cmd.key] = cmd.value;
+        } else {
+          Obs().CounterFor("paxos.dedup_hits").Inc();
         }
         break;
       case Command::Type::kDelete:
         if (cmd.op_id == 0 || server->applied_ops.insert(cmd.op_id).second) {
           server->kv.erase(cmd.key);
+        } else {
+          Obs().CounterFor("paxos.dedup_hits").Inc();
         }
         break;
       case Command::Type::kGet: {
@@ -504,6 +520,7 @@ void PaxosCluster::ApplyReady(Server* server) {
       }
     }
     ++stats_.commands_applied;
+    Obs().CounterFor("paxos.commands_applied").Inc();
     ++server->applied_index;
     // Complete the client's proposal if this server coordinated it.
     auto pending_it = server->in_flight.find(slot);
@@ -515,10 +532,12 @@ void PaxosCluster::ApplyReady(Server* server) {
         rpc_->simulator()->Cancel(pending->timeout_event);
         if (pending->op_id == cmd.op_id) {
           ++stats_.proposals_ok;
+          Obs().CounterFor("paxos.proposals_ok").Inc();
           pending->done(exec);
         } else {
           // Another leader filled our slot with a different command.
           ++stats_.proposals_failed;
+          Obs().CounterFor("paxos.proposals_failed").Inc();
           pending->done(Status::Aborted("slot taken by another command"));
         }
       }
@@ -539,6 +558,7 @@ void PaxosCluster::StepDown(Server* server, const Ballot& seen) {
       pending->decided = true;
       rpc_->simulator()->Cancel(pending->timeout_event);
       ++stats_.proposals_failed;
+      Obs().CounterFor("paxos.proposals_failed").Inc();
       pending->done(Status::Aborted("leadership lost"));
     }
   }

@@ -208,6 +208,8 @@ class PaxosCluster {
 
   Server* FindServer(sim::NodeId node);
   const Server* FindServer(sim::NodeId node) const;
+  /// Global metrics registry of the owning simulator (paxos.* instruments).
+  obs::MetricsRegistry& Obs();
   void RegisterHandlers(Server* server);
   void ScheduleElectionCheck(Server* server);
   void StartElection(Server* server);

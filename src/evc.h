@@ -16,6 +16,12 @@
 #include "common/stats.h"           // IWYU pragma: export
 #include "common/status.h"          // IWYU pragma: export
 
+// Observability.
+#include "obs/export.h"   // IWYU pragma: export
+#include "obs/json.h"     // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export
+
 // Simulation.
 #include "sim/latency.h"    // IWYU pragma: export
 #include "sim/nemesis.h"    // IWYU pragma: export

@@ -1,0 +1,37 @@
+#include "obs/metrics.h"
+
+namespace evc::obs {
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].Inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].Add(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].Merge(h);
+  }
+}
+
+MetricsRegistry& Metrics::node(uint32_t node) {
+  if (nodes_.size() <= node) nodes_.resize(node + 1);
+  if (!nodes_[node]) nodes_[node] = std::make_unique<MetricsRegistry>();
+  return *nodes_[node];
+}
+
+const MetricsRegistry* Metrics::node_if(uint32_t node) const {
+  if (node >= nodes_.size()) return nullptr;
+  return nodes_[node].get();
+}
+
+MetricsRegistry Metrics::Merged() const {
+  MetricsRegistry out;
+  out.MergeFrom(global_);
+  for (const auto& reg : nodes_) {
+    if (reg) out.MergeFrom(*reg);
+  }
+  return out;
+}
+
+}  // namespace evc::obs

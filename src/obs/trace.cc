@@ -1,0 +1,41 @@
+#include "obs/trace.h"
+
+namespace evc::obs {
+
+uint64_t Tracer::BeginChild(uint64_t parent, uint32_t node, std::string name,
+                            int64_t now) {
+  if (!enabled_) return 0;
+  const uint64_t id = next_id_++;
+  ++started_;
+  Span span;
+  span.id = id;
+  span.parent = parent;
+  span.node = node;
+  span.start = now;
+  span.end = now;
+  span.name = std::move(name);
+  open_.emplace(id, std::move(span));
+  return id;
+}
+
+void Tracer::End(uint64_t id, int64_t now, std::string outcome) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  Span span = std::move(it->second);
+  open_.erase(it);
+  span.end = now;
+  span.outcome = std::move(outcome);
+  ++ended_;
+  finished_.push_back(std::move(span));
+  while (finished_.size() > capacity_) {
+    finished_.pop_front();
+    ++dropped_;
+  }
+}
+
+void Tracer::Clear() {
+  open_.clear();
+  finished_.clear();
+}
+
+}  // namespace evc::obs

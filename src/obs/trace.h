@@ -1,0 +1,112 @@
+// Structured trace spans for RPCs and replication events.
+//
+// A span is one timed unit of protocol work: an RPC call, the server-side
+// handling of that call, an anti-entropy round. Spans carry (id, parent,
+// node, name, sim-time start/end, outcome) and finished spans land in a
+// bounded ring buffer — overflow evicts the oldest, so memory stays O(capacity)
+// no matter how long the run is.
+//
+// Parenting uses an ambient "current span" that the single-threaded
+// simulator makes sound: while an RPC handler (or a reply callback) runs,
+// the RPC layer scopes the current span to the enclosing call, so any
+// nested Call() started from inside is recorded as a child. Cross-node
+// edges work because the RPC envelopes carry the caller's span id.
+//
+// Span ids come from a plain counter and times from the virtual clock, so
+// traces are deterministic for a fixed seed.
+
+#ifndef EVC_OBS_TRACE_H_
+#define EVC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+namespace evc::obs {
+
+/// One finished (or in-flight) unit of traced work. Times are virtual
+/// microseconds; node is a sim::NodeId.
+struct Span {
+  uint64_t id = 0;
+  uint64_t parent = 0;  ///< 0 = root
+  uint32_t node = 0;
+  int64_t start = 0;
+  int64_t end = 0;
+  std::string name;     ///< e.g. "rpc.dyn.put", "ae.round"
+  std::string outcome;  ///< "ok", "timeout", an error code name, ...
+};
+
+/// Records spans into a bounded ring buffer of finished spans.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  /// Tracing toggle; Begin() is a no-op returning 0 while disabled.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Opens a span parented to the ambient current span. Returns its id.
+  uint64_t Begin(uint32_t node, std::string name, int64_t now) {
+    return BeginChild(current_, node, std::move(name), now);
+  }
+  /// Opens a span with an explicit parent (0 = root).
+  uint64_t BeginChild(uint64_t parent, uint32_t node, std::string name,
+                      int64_t now);
+
+  /// Closes span `id`, moving it into the ring buffer. Unknown or
+  /// already-closed ids are ignored (e.g. a span evicted by Clear).
+  void End(uint64_t id, int64_t now, std::string outcome);
+
+  /// Ambient parent for Begin(); scoped by the RPC layer around handlers
+  /// and reply callbacks. 0 = no current span.
+  uint64_t current() const { return current_; }
+
+  /// RAII: makes `span` the ambient current span for the scope's lifetime.
+  class Scope {
+   public:
+    Scope(Tracer* tracer, uint64_t span)
+        : tracer_(tracer), saved_(tracer->current_) {
+      tracer_->current_ = span;
+    }
+    ~Scope() { tracer_->current_ = saved_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer* tracer_;
+    uint64_t saved_;
+  };
+
+  /// Finished spans, oldest first. At most `capacity()` entries; overflow
+  /// evicted the oldest (newest spans always survive).
+  const std::deque<Span>& finished() const { return finished_; }
+  size_t capacity() const { return capacity_; }
+  /// Spans evicted from the ring due to overflow.
+  uint64_t dropped() const { return dropped_; }
+  /// Spans begun / finished over the tracer's lifetime.
+  uint64_t started() const { return started_; }
+  uint64_t ended() const { return ended_; }
+  /// Spans begun but not yet ended.
+  size_t open_count() const { return open_.size(); }
+
+  /// Drops all finished and open spans (counters keep accumulating).
+  void Clear();
+
+ private:
+  bool enabled_ = true;
+  size_t capacity_;
+  uint64_t next_id_ = 1;
+  uint64_t current_ = 0;
+  uint64_t started_ = 0;
+  uint64_t ended_ = 0;
+  uint64_t dropped_ = 0;
+  std::unordered_map<uint64_t, Span> open_;
+  std::deque<Span> finished_;
+};
+
+}  // namespace evc::obs
+
+#endif  // EVC_OBS_TRACE_H_

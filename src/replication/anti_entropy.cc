@@ -26,6 +26,10 @@ AntiEntropy::AntiEntropy(sim::Network* network, std::vector<sim::NodeId> nodes,
   }
 }
 
+obs::MetricsRegistry& AntiEntropy::Obs() {
+  return network_->simulator()->metrics().global();
+}
+
 void AntiEntropy::RegisterHandlers(size_t index) {
   // Receiving a sync request: compare leaves, merge nothing yet (we do not
   // have the sender's keys), reply with our keys for divergent buckets and
@@ -44,6 +48,9 @@ void AntiEntropy::RegisterHandlers(size_t index) {
           reply.keys = CollectBuckets(storage, reply.divergent_buckets);
           stats_.buckets_exchanged += reply.divergent_buckets.size();
           stats_.keys_shipped += reply.keys.size();
+          Obs().CounterFor("ae.buckets_exchanged")
+              .Inc(reply.divergent_buckets.size());
+          Obs().CounterFor("ae.keys_shipped").Inc(reply.keys.size());
         }
         network_->Send(msg.to, msg.from, kSyncRsp, std::move(reply));
       });
@@ -60,6 +67,7 @@ void AntiEntropy::RegisterHandlers(size_t index) {
         if (options_.push_pull && !reply.divergent_buckets.empty()) {
           auto mine = CollectBuckets(storage, reply.divergent_buckets);
           stats_.keys_shipped += mine.size();
+          Obs().CounterFor("ae.keys_shipped").Inc(mine.size());
           network_->Send(msg.to, msg.from, kPush, std::move(mine));
         }
       });
@@ -95,6 +103,7 @@ AntiEntropy::CollectBuckets(ReplicaStorage* storage,
 void AntiEntropy::GossipRound(size_t index) {
   if (!network_->IsNodeUp(nodes_[index])) return;
   ++stats_.rounds;
+  Obs().CounterFor("ae.rounds").Inc();
   ReplicaStorage* storage = storages_[index];
   for (int f = 0; f < options_.fanout; ++f) {
     if (nodes_.size() < 2) return;
@@ -110,6 +119,7 @@ void AntiEntropy::GossipRound(size_t index) {
       req.leaf_digests.push_back(storage->merkle().LeafDigest(b));
     }
     stats_.digests_shipped += leaves + 1;
+    Obs().CounterFor("ae.digests_shipped").Inc(leaves + 1);
     network_->Send(nodes_[index], nodes_[peer], kSyncReq, std::move(req));
   }
 }
@@ -134,8 +144,10 @@ bool AntiEntropy::SyncPair(size_t a_index, size_t b_index) {
   ReplicaStorage* a = storages_[a_index];
   ReplicaStorage* b = storages_[b_index];
   ++stats_.rounds;
+  Obs().CounterFor("ae.rounds").Inc();
   if (a->merkle().RootDigest() == b->merkle().RootDigest()) {
     ++stats_.syncs_skipped;
+    Obs().CounterFor("ae.syncs_skipped").Inc();
     return false;
   }
   uint64_t compared = 0;
@@ -143,9 +155,12 @@ bool AntiEntropy::SyncPair(size_t a_index, size_t b_index) {
       MerkleTree::DiffLeaves(a->merkle(), b->merkle(), &compared);
   stats_.digests_shipped += compared;
   stats_.buckets_exchanged += divergent.size();
+  Obs().CounterFor("ae.digests_shipped").Inc(compared);
+  Obs().CounterFor("ae.buckets_exchanged").Inc(divergent.size());
   auto from_a = CollectBuckets(a, divergent);
   auto from_b = CollectBuckets(b, divergent);
   stats_.keys_shipped += from_a.size() + from_b.size();
+  Obs().CounterFor("ae.keys_shipped").Inc(from_a.size() + from_b.size());
   bool changed = false;
   for (const auto& [key, versions] : from_a) {
     changed |= b->MergeRemote(key, versions);

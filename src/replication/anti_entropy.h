@@ -72,6 +72,8 @@ class AntiEntropy {
   void RegisterHandlers(size_t index);
   void GossipRound(size_t index);
   void GossipTick(size_t index);
+  /// Global metrics registry of the owning simulator (ae.* instruments).
+  obs::MetricsRegistry& Obs();
   /// Collects all (key, siblings) pairs of `storage` falling in `buckets`.
   static std::vector<std::pair<std::string, std::vector<Version>>>
   CollectBuckets(ReplicaStorage* storage, const std::vector<size_t>& buckets);

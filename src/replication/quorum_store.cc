@@ -52,6 +52,10 @@ DynamoCluster::Server* DynamoCluster::FindServer(sim::NodeId node) {
   return it == by_node_.end() ? nullptr : it->second;
 }
 
+obs::MetricsRegistry& DynamoCluster::Obs() {
+  return rpc_->simulator()->metrics().global();
+}
+
 ReplicaStorage* DynamoCluster::storage(sim::NodeId server) {
   Server* s = FindServer(server);
   EVC_CHECK(s != nullptr);
@@ -126,6 +130,7 @@ void DynamoCluster::WriteTargets(Server* coordinator, const std::string& key,
       intended->push_back(preferred[preferred_idx]);
       ++preferred_idx;
       ++stats_.sloppy_diversions;
+      Obs().CounterFor("dyn.sloppy_diversions").Inc();
     }
   }
 }
@@ -170,6 +175,7 @@ void DynamoCluster::RegisterHandlers(Server* server) {
           // local storage in the meantime.
           server->hints[store.intended][store.key] = store.versions;
           ++stats_.hints_stored;
+          Obs().CounterFor("dyn.hints_stored").Inc();
         }
         server->storage->MergeRemote(store.key, store.versions);
         respond(std::any{StoreAck{server->storage->store().KeyDigest(
@@ -237,6 +243,7 @@ void DynamoCluster::Get(sim::NodeId client, sim::NodeId coordinator,
 
 void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
                                   std::function<void(Result<Version>)> done) {
+  const sim::Time started = rpc_->simulator()->Now();
   // Mint the new version once; every replica stores the identical bytes.
   Version version;
   version.value = std::move(req.value);
@@ -266,21 +273,26 @@ void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
 
   if (state->total == 0) {
     ++stats_.puts_unavailable;
+    Obs().CounterFor("dyn.puts_unavailable").Inc();
     done(Status::Unavailable("no reachable replicas"));
     return;
   }
 
-  auto on_complete = [this, state, done, version](bool ok) {
+  auto on_complete = [this, state, done, version, started](bool ok) {
     if (ok) ++state->acks;
     ++state->completed;
     if (state->done_fired) return;
     if (state->acks >= state->required) {
       state->done_fired = true;
       ++stats_.puts_ok;
+      Obs().CounterFor("dyn.puts_ok").Inc();
+      Obs().HistogramFor("dyn.put_latency_us")
+          .Add(static_cast<double>(rpc_->simulator()->Now() - started));
       done(version);
     } else if (state->completed == state->total) {
       state->done_fired = true;
       ++stats_.puts_unavailable;
+      Obs().CounterFor("dyn.puts_unavailable").Inc();
       done(Status::Unavailable("write quorum not met"));
     }
   };
@@ -300,6 +312,7 @@ void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
 void DynamoCluster::CoordinateGet(
     Server* coordinator, std::string key,
     std::function<void(Result<ReadResult>)> done) {
+  const sim::Time started = rpc_->simulator()->Now();
   const std::vector<sim::NodeId> preferred = PreferenceList(key);
 
   struct GetState {
@@ -316,7 +329,7 @@ void DynamoCluster::CoordinateGet(
   state->required = std::min(config_.read_quorum, state->total);
   state->key = key;
 
-  auto finish = [this, state, coordinator, done]() {
+  auto finish = [this, state, coordinator, done, started]() {
     // Merge sibling sets from all repliers.
     std::vector<Version> merged = MergeSiblingSets(state->replies);
     ReadResult result;
@@ -340,10 +353,14 @@ void DynamoCluster::CoordinateGet(
         rpc_->Call(coordinator->node, node, kStore, std::move(repair),
                    config_.rpc_timeout, [](Result<std::any>) {});
         ++stats_.read_repairs;
+        Obs().CounterFor("dyn.read_repairs").Inc();
         result.repaired = true;
       }
     }
     ++stats_.gets_ok;
+    Obs().CounterFor("dyn.gets_ok").Inc();
+    Obs().HistogramFor("dyn.get_latency_us")
+        .Add(static_cast<double>(rpc_->simulator()->Now() - started));
     done(std::move(result));
   };
 
@@ -362,6 +379,7 @@ void DynamoCluster::CoordinateGet(
     } else if (state->completed == state->total) {
       state->done_fired = true;
       ++stats_.gets_unavailable;
+      Obs().CounterFor("dyn.gets_unavailable").Inc();
       done(Status::Unavailable("read quorum not met"));
     }
   };
@@ -401,7 +419,10 @@ void DynamoCluster::DeliverHints(Server* server) {
       store.versions = versions;
       rpc_->Call(server->node, intended, kStore, std::move(store),
                  config_.rpc_timeout, [this](Result<std::any> r) {
-                   if (r.ok()) ++stats_.hints_delivered;
+                   if (r.ok()) {
+                     ++stats_.hints_delivered;
+                     Obs().CounterFor("dyn.hints_delivered").Inc();
+                   }
                  });
     }
     // Optimistic: drop the hint once sent; a lost handoff is later fixed by

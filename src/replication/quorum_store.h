@@ -153,6 +153,8 @@ class DynamoCluster {
 
   Server* FindServer(sim::NodeId node);
   void RegisterHandlers(Server* server);
+  /// Global metrics registry of the owning simulator (dyn.* instruments).
+  obs::MetricsRegistry& Obs();
 
   /// Every server, in `key`'s placement order (preference list = first N).
   std::vector<sim::NodeId> RingWalk(const std::string& key) const;

@@ -39,6 +39,10 @@ TimelineCluster::Server* TimelineCluster::FindServer(sim::NodeId node) {
   return it == by_node_.end() ? nullptr : it->second;
 }
 
+obs::MetricsRegistry& TimelineCluster::Obs() {
+  return rpc_->simulator()->metrics().global();
+}
+
 sim::NodeId TimelineCluster::DefaultMasterOf(const std::string& key) const {
   EVC_CHECK(!servers_.empty());
   return servers_[Fnv1a64(key) % servers_.size()]->node;
@@ -82,6 +86,7 @@ void TimelineCluster::RegisterHandlers(Server* server) {
         rec.value = write.value;
         ++rec.seqno;
         ++stats_.writes_ok;
+        Obs().CounterFor("tl.writes_ok").Inc();
         // Asynchronous in-order propagation to the other replicas. The
         // network may reorder; replicas apply only monotonically.
         for (const sim::NodeId replica : ReplicasOf(write.key)) {
@@ -149,6 +154,7 @@ void TimelineCluster::HandleRead(Server* server, const ReadReq& req,
       result.seqno = it->second.seqno;
     }
     ++stats_.reads_local;
+    Obs().CounterFor("tl.reads_local").Inc();
     // Staleness accounting: compare against the master's current seqno (an
     // omniscient-observer metric, not visible to the protocol itself).
     if (level == TimelineReadLevel::kAny) {
@@ -156,6 +162,7 @@ void TimelineCluster::HandleRead(Server* server, const ReadReq& req,
       auto mit = m->data.find(req.key);
       if (mit != m->data.end() && mit->second.seqno > local_seqno) {
         ++stats_.stale_reads_served;
+        Obs().CounterFor("tl.stale_reads_served").Inc();
       }
     }
     respond(std::any{result});
@@ -164,6 +171,7 @@ void TimelineCluster::HandleRead(Server* server, const ReadReq& req,
 
   // Forward to the master.
   ++stats_.reads_forwarded;
+  Obs().CounterFor("tl.reads_forwarded").Inc();
   ReadReq fwd = req;
   fwd.level = static_cast<uint8_t>(TimelineReadLevel::kAny);
   rpc_->Call(server->node, master, kRead, std::move(fwd),
@@ -190,6 +198,7 @@ void TimelineCluster::WriteAttempt(sim::NodeId client, const std::string& key,
     // the same while a record's master is moving).
     if (attempts_left <= 0) {
       ++stats_.writes_unavailable;
+      Obs().CounterFor("tl.writes_unavailable").Inc();
       done(Status::Unavailable("mastership migration in progress"));
       return;
     }
@@ -220,6 +229,7 @@ void TimelineCluster::WriteAttempt(sim::NodeId client, const std::string& key,
                  return;
                }
                ++stats_.writes_unavailable;
+               Obs().CounterFor("tl.writes_unavailable").Inc();
                done(r.status());
              });
 }
@@ -240,7 +250,10 @@ void TimelineCluster::MigrateMaster(const std::string& key,
 
   auto finish = [this, key, new_master, done](Status status) {
     migrating_.erase(key);
-    if (status.ok()) master_override_[key] = new_master;
+    if (status.ok()) {
+      master_override_[key] = new_master;
+      Obs().CounterFor("tl.migrations_ok").Inc();
+    }
     done(std::move(status));
   };
 

@@ -132,6 +132,8 @@ class TimelineCluster {
 
   Server* FindServer(sim::NodeId node);
   void RegisterHandlers(Server* server);
+  /// Global metrics registry of the owning simulator (tl.* instruments).
+  obs::MetricsRegistry& Obs();
   void HandleRead(Server* server, const ReadReq& req,
                   sim::RpcResponder respond);
   void WriteAttempt(sim::NodeId client, const std::string& key,

@@ -13,12 +13,20 @@ WanMatrixLatency::WanMatrixLatency(std::vector<std::vector<Time>> base_us,
 
 void WanMatrixLatency::AssignNode(NodeId node, uint32_t dc) {
   EVC_CHECK(dc < base_us_.size());
-  if (node_dc_.size() <= node) node_dc_.resize(node + 1, 0);
+  if (node_dc_.size() <= node) node_dc_.resize(node + 1, kUnassigned);
   node_dc_[node] = dc;
 }
 
 uint32_t WanMatrixLatency::DatacenterOf(NodeId node) const {
-  return node < node_dc_.size() ? node_dc_[node] : 0;
+  // An unassigned node is a topology misconfiguration; the old silent
+  // DC-0 default gave such nodes intra-DC latency to US-East, corrupting
+  // WAN experiments without any symptom. Fail loudly instead.
+  EVC_CHECK(IsAssigned(node));
+  return node_dc_[node];
+}
+
+bool WanMatrixLatency::IsAssigned(NodeId node) const {
+  return node < node_dc_.size() && node_dc_[node] != kUnassigned;
 }
 
 Time WanMatrixLatency::Sample(NodeId from, NodeId to, Rng& rng) {

@@ -97,10 +97,17 @@ class WanMatrixLatency : public LatencyModel {
   WanMatrixLatency(std::vector<std::vector<Time>> base_us,
                    double jitter_fraction = 0.05);
 
-  /// Assigns `node` to datacenter `dc`. Unassigned nodes default to DC 0.
+  /// Assigns `node` to datacenter `dc`. Every node that sends or receives
+  /// traffic MUST be assigned: earlier versions silently defaulted unknown
+  /// nodes to DC 0, which gave misconfigured topologies intra-DC latency
+  /// instead of failing — DatacenterOf now aborts (EVC_CHECK) on a node
+  /// never passed to AssignNode.
   void AssignNode(NodeId node, uint32_t dc);
 
+  /// The datacenter of `node`. Aborts if `node` was never assigned.
   uint32_t DatacenterOf(NodeId node) const;
+  /// True if `node` was explicitly assigned to a datacenter.
+  bool IsAssigned(NodeId node) const;
   size_t datacenter_count() const { return base_us_.size(); }
 
   Time Sample(NodeId from, NodeId to, Rng& rng) override;
@@ -112,9 +119,11 @@ class WanMatrixLatency : public LatencyModel {
   static std::vector<std::vector<Time>> ThreeRegionBaseUs();
 
  private:
+  static constexpr uint32_t kUnassigned = UINT32_MAX;
+
   std::vector<std::vector<Time>> base_us_;
   double jitter_fraction_;
-  std::vector<uint32_t> node_dc_;  // indexed by NodeId
+  std::vector<uint32_t> node_dc_;  // indexed by NodeId; kUnassigned = never set
 };
 
 }  // namespace evc::sim

@@ -10,6 +10,15 @@ Network::Network(Simulator* sim, std::unique_ptr<LatencyModel> latency)
       rng_(sim->rng().Fork(0x4e455457)) {
   EVC_CHECK(sim_ != nullptr);
   EVC_CHECK(latency_ != nullptr);
+  obs::MetricsRegistry& g = sim_->metrics().global();
+  metrics_.sent = &g.CounterFor("net.sent");
+  metrics_.delivered = &g.CounterFor("net.delivered");
+  metrics_.duplicated = &g.CounterFor("net.duplicated");
+  metrics_.drop_crashed = &g.CounterFor("net.drop.crashed");
+  metrics_.drop_partition = &g.CounterFor("net.drop.partition");
+  metrics_.drop_loss = &g.CounterFor("net.drop.loss");
+  metrics_.drop_no_handler = &g.CounterFor("net.drop.no_handler");
+  metrics_.delivery_latency_us = &g.HistogramFor("net.delivery_latency_us");
 }
 
 NodeId Network::AddNode() {
@@ -67,9 +76,21 @@ void Network::Send(NodeId from, NodeId to, std::string type,
                    std::any payload) {
   ++messages_sent_;
   ++sent_by_type_[type];
-  if (!IsNodeUp(from) || !CanCommunicate(from, to) ||
-      (loss_rate_ > 0 && rng_.NextBool(loss_rate_))) {
+  metrics_.sent->Inc();
+  sim_->metrics().node(from).CounterFor("net.sent").Inc();
+  if (!IsNodeUp(from) || !IsNodeUp(to)) {
     ++messages_dropped_;
+    metrics_.drop_crashed->Inc();
+    return;
+  }
+  if (!CanCommunicate(from, to)) {
+    ++messages_dropped_;
+    metrics_.drop_partition->Inc();
+    return;
+  }
+  if (loss_rate_ > 0 && rng_.NextBool(loss_rate_)) {
+    ++messages_dropped_;
+    metrics_.drop_loss->Inc();
     return;
   }
   Message msg;
@@ -82,6 +103,7 @@ void Network::Send(NodeId from, NodeId to, std::string type,
   const Time latency = latency_->Sample(from, to, rng_);
   const bool duplicate = duplicate_rate_ > 0 && rng_.NextBool(duplicate_rate_);
   if (duplicate) {
+    metrics_.duplicated->Inc();
     Message copy = msg;  // payload copied; duplicates carry the same data
     const Time extra = latency_->Sample(from, to, rng_);
     sim_->ScheduleAfter(latency + extra,
@@ -97,8 +119,14 @@ void Network::Send(NodeId from, NodeId to, std::string type,
 void Network::Deliver(Message msg) {
   // Re-check reachability at delivery time: a partition or crash that began
   // while the message was in flight also prevents delivery.
-  if (!IsNodeUp(msg.to) || !CanCommunicate(msg.from, msg.to)) {
+  if (!IsNodeUp(msg.to)) {
     ++messages_dropped_;
+    metrics_.drop_crashed->Inc();
+    return;
+  }
+  if (!CanCommunicate(msg.from, msg.to)) {
+    ++messages_dropped_;
+    metrics_.drop_partition->Inc();
     return;
   }
   auto& node_handlers = handlers_[msg.to];
@@ -107,9 +135,14 @@ void Network::Deliver(Message msg) {
     EVC_LOG_WARN("node %u has no handler for message type '%s'", msg.to,
                  msg.type.c_str());
     ++messages_dropped_;
+    metrics_.drop_no_handler->Inc();
     return;
   }
   ++messages_delivered_;
+  metrics_.delivered->Inc();
+  sim_->metrics().node(msg.to).CounterFor("net.delivered").Inc();
+  metrics_.delivery_latency_us->Add(
+      static_cast<double>(sim_->Now() - msg.sent_at));
   it->second(std::move(msg));
 }
 

@@ -101,7 +101,20 @@ class Network {
   void Deliver(Message msg);
   uint32_t GroupOf(NodeId node) const;
 
+  // Cached global metrics instruments (stable references; see obs/metrics.h).
+  struct NetMetrics {
+    obs::Counter* sent = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* duplicated = nullptr;
+    obs::Counter* drop_crashed = nullptr;
+    obs::Counter* drop_partition = nullptr;
+    obs::Counter* drop_loss = nullptr;
+    obs::Counter* drop_no_handler = nullptr;
+    Histogram* delivery_latency_us = nullptr;  // evc::Histogram (common/stats.h)
+  };
+
   Simulator* sim_;
+  NetMetrics metrics_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   std::vector<bool> node_up_;

@@ -1,6 +1,7 @@
 #include "sim/rpc.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace evc::sim {
 
@@ -32,16 +33,32 @@ void Rpc::Call(NodeId from, NodeId to, const std::string& method,
 
   const uint64_t call_id = next_call_id_++;
   Simulator* sim = network_->simulator();
+  obs::Tracer& tracer = sim->tracer();
+  obs::MetricsRegistry& g = sim->metrics().global();
+  g.CounterFor("rpc.calls").Inc();
+
+  // Client-side span for the whole call, parented to whatever span is
+  // ambient (e.g. the server-side span of an enclosing coordinator RPC).
+  const uint64_t span_parent = tracer.current();
+  const uint64_t span = tracer.Begin(from, "rpc." + method, sim->Now());
+
   const EventId timeout_event = sim->ScheduleAfter(timeout, [this, call_id] {
     auto it = pending_.find(call_id);
     if (it == pending_.end()) return;
-    RpcCallback cb = std::move(it->second.cb);
+    Pending pending = std::move(it->second);
     pending_.erase(it);
-    cb(Status::TimedOut("rpc timeout"));
+    Simulator* s = network_->simulator();
+    s->metrics().global().CounterFor("rpc.timeouts").Inc();
+    s->tracer().End(pending.span, s->Now(), "timeout");
+    // The callback logically continues the caller's work: restore its
+    // ambient span so any retry RPC it issues stays on the same trace tree.
+    obs::Tracer::Scope scope(&s->tracer(), pending.span_parent);
+    pending.cb(Status::TimedOut("rpc timeout"));
   });
-  pending_[call_id] = Pending{std::move(cb), timeout_event};
+  pending_[call_id] =
+      Pending{std::move(cb), timeout_event, span, span_parent, sim->Now()};
 
-  RequestEnvelope env{call_id, method, std::move(request)};
+  RequestEnvelope env{call_id, method, std::move(request), span};
   network_->Send(from, to, kRequestType, std::move(env));
 }
 
@@ -61,12 +78,24 @@ void Rpc::OnRequest(Message msg) {
 
   const uint64_t call_id = env.call_id;
   Network* net = network_;
-  RpcResponder responder([net, server, client, call_id](Result<std::any> r) {
-    ReplyEnvelope reply{call_id,
-                        r.ok() ? Status::OK() : r.status(),
-                        r.ok() ? std::move(r).value() : std::any{}};
-    net->Send(server, client, kReplyType, std::move(reply));
-  });
+  Simulator* sim = network_->simulator();
+  obs::Tracer& tracer = sim->tracer();
+  // Server-side span, parented across the wire to the client's call span.
+  const uint64_t srv_span = tracer.BeginChild(
+      env.span, server, "rpc.server." + env.method, sim->Now());
+  RpcResponder responder(
+      [net, server, client, call_id, srv_span](Result<std::any> r) {
+        Simulator* s = net->simulator();
+        s->tracer().End(srv_span, s->Now(),
+                        r.ok() ? "ok" : StatusCodeToString(r.status().code()));
+        ReplyEnvelope reply{call_id,
+                            r.ok() ? Status::OK() : r.status(),
+                            r.ok() ? std::move(r).value() : std::any{}};
+        net->Send(server, client, kReplyType, std::move(reply));
+      });
+  // Handlers run with the server span ambient, so RPCs they issue
+  // synchronously (quorum fan-outs, Paxos phases) become its children.
+  obs::Tracer::Scope scope(&tracer, srv_span);
   method_it->second(client, std::move(env.payload), std::move(responder));
 }
 
@@ -74,13 +103,24 @@ void Rpc::OnReply(Message msg) {
   auto env = std::any_cast<ReplyEnvelope>(std::move(msg.payload));
   auto it = pending_.find(env.call_id);
   if (it == pending_.end()) return;  // late reply after timeout: ignore
-  RpcCallback cb = std::move(it->second.cb);
-  network_->simulator()->Cancel(it->second.timeout_event);
+  Pending pending = std::move(it->second);
+  Simulator* sim = network_->simulator();
+  sim->Cancel(pending.timeout_event);
   pending_.erase(it);
+  sim->metrics().global().HistogramFor("rpc.call_latency_us").Add(
+      static_cast<double>(sim->Now() - pending.started_at));
+  sim->tracer().End(pending.span, sim->Now(),
+                    env.status.ok()
+                        ? "ok"
+                        : StatusCodeToString(env.status.code()));
+  if (!env.status.ok()) {
+    sim->metrics().global().CounterFor("rpc.app_errors").Inc();
+  }
+  obs::Tracer::Scope scope(&sim->tracer(), pending.span_parent);
   if (env.status.ok()) {
-    cb(std::move(env.payload));
+    pending.cb(std::move(env.payload));
   } else {
-    cb(env.status);
+    pending.cb(env.status);
   }
 }
 

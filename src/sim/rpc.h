@@ -67,6 +67,7 @@ class Rpc {
     uint64_t call_id;
     std::string method;
     std::any payload;
+    uint64_t span = 0;  ///< caller's trace span (cross-node parenting)
   };
   struct ReplyEnvelope {
     uint64_t call_id;
@@ -76,6 +77,9 @@ class Rpc {
   struct Pending {
     RpcCallback cb;
     EventId timeout_event;
+    uint64_t span = 0;        ///< client-side span of this call
+    uint64_t span_parent = 0; ///< restored as ambient parent around `cb`
+    Time started_at = 0;
   };
 
   void OnRequest(Message msg);

@@ -17,6 +17,8 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace evc::sim {
 
@@ -63,9 +65,10 @@ class Simulator {
   /// Runs until the event queue drains.
   void Run();
 
-  /// Runs until the queue drains or virtual time would exceed `deadline`;
-  /// the clock ends at min(deadline, last-event time). Events scheduled at
-  /// exactly `deadline` execute.
+  /// Runs until the queue drains or the next event would exceed `deadline`.
+  /// Events scheduled at exactly `deadline` execute, and the clock always
+  /// ends at exactly `deadline` — even when the queue drains early — so
+  /// consecutive RunFor(d) calls each advance the clock by exactly d.
   void RunUntil(Time deadline);
 
   /// Runs for `duration` more virtual time.
@@ -81,6 +84,14 @@ class Simulator {
 
   /// Simulator-level RNG; components should Fork() their own stream.
   Rng& rng() { return rng_; }
+
+  /// Sim-wide observability: metrics registries (global + per-node) and the
+  /// trace-span recorder. Components instrument themselves through these;
+  /// exporters (obs/export.h, bench/harness.h) serialize them after a run.
+  obs::Metrics& metrics() { return metrics_; }
+  const obs::Metrics& metrics() const { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
 
  private:
   struct Event {
@@ -105,6 +116,8 @@ class Simulator {
   // Ids scheduled but not yet executed or cancelled.
   std::unordered_set<EventId> pending_ids_;
   Rng rng_;
+  obs::Metrics metrics_;
+  obs::Tracer tracer_;
 };
 
 }  // namespace evc::sim

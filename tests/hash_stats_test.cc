@@ -120,5 +120,54 @@ TEST(HistogramTest, SummaryMentionsCount) {
   EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
 }
 
+// Regression: BucketFor used to trust the truncated log2, which misplaced
+// values at (and one ulp below) bucket boundaries by one bucket — e.g.
+// 2^(1/16) landed in bucket 1 instead of 2, and nextafter(8.0, 0.0) rounded
+// up into 8.0's bucket. That skewed every percentile computed from the
+// affected buckets.
+TEST(HistogramTest, BucketForExactBoundaries) {
+  // Bucket i >= 1 covers [2^((i-1)/16), 2^(i/16)): each boundary value is
+  // the *lower* edge of its own bucket.
+  EXPECT_EQ(Histogram::BucketFor(0.0), 0);
+  EXPECT_EQ(Histogram::BucketFor(0.999), 0);
+  EXPECT_EQ(Histogram::BucketFor(1.0), 1);
+  EXPECT_EQ(Histogram::BucketFor(std::exp2(1.0 / 16.0)), 2);
+  EXPECT_EQ(Histogram::BucketFor(2.0), 17);
+  EXPECT_EQ(Histogram::BucketFor(8.0), 49);
+  EXPECT_EQ(Histogram::BucketFor(std::nextafter(2.0, 0.0)), 16);
+  EXPECT_EQ(Histogram::BucketFor(std::nextafter(8.0, 0.0)), 48);
+}
+
+TEST(HistogramTest, BucketForAgreesWithBucketEdgesEverywhere) {
+  for (int b = 1; b < Histogram::kBucketCount - 1; ++b) {
+    const double lo = Histogram::BucketLower(b);
+    const double just_below_hi = std::nextafter(Histogram::BucketUpper(b), 0.0);
+    EXPECT_EQ(Histogram::BucketFor(lo), b) << "lower edge of bucket " << b;
+    EXPECT_EQ(Histogram::BucketFor(just_below_hi), b)
+        << "upper edge of bucket " << b;
+  }
+}
+
+TEST(HistogramTest, PercentileEndpointsReturnMinAndMax) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1000.0);
+  // Tail quantiles stay within the recorded range and ordered.
+  const double p999 = h.Percentile(0.999);
+  EXPECT_GE(p999, h.Percentile(0.99));
+  EXPECT_LE(p999, 1000.0);
+  EXPECT_GE(p999, 990.0);  // ~2% relative error bound at the tail
+}
+
+TEST(HistogramTest, BoundaryHeavySamplesKeepPercentilesInRange) {
+  // All mass exactly on bucket boundaries: with the old off-by-one
+  // bucketing, p50 of {8, 8, 8, 8} could report from the wrong bucket.
+  Histogram h;
+  for (int i = 0; i < 4; ++i) h.Add(8.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.999), 8.0);
+}
+
 }  // namespace
 }  // namespace evc

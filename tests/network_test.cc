@@ -252,9 +252,16 @@ TEST(WanMatrixTest, JitterOnlyIncreasesLatency) {
   }
 }
 
-TEST(WanMatrixTest, DatacenterOfDefaultsToZero) {
+TEST(WanMatrixTest, DatacenterOfUnassignedNodeAborts) {
+  // This used to silently default unassigned nodes to datacenter 0, which
+  // made forgotten AssignNode calls corrupt WAN experiments (every stray
+  // node looked US-East-local). It is now a hard check.
   WanMatrixLatency wan(WanMatrixLatency::ThreeRegionBaseUs());
-  EXPECT_EQ(wan.DatacenterOf(99), 0u);
+  EXPECT_DEATH(wan.DatacenterOf(99), "EVC_CHECK failed");
+  wan.AssignNode(99, 2);
+  EXPECT_EQ(wan.DatacenterOf(99), 2u);
+  EXPECT_TRUE(wan.IsAssigned(99));
+  EXPECT_FALSE(wan.IsAssigned(98));
 }
 
 }  // namespace

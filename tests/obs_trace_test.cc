@@ -1,0 +1,120 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace evc::obs {
+namespace {
+
+TEST(Tracer, RecordsSpanFieldsOnEnd) {
+  Tracer tracer;
+  const uint64_t id = tracer.Begin(/*node=*/4, "rpc.put", /*now=*/100);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(tracer.open_count(), 1u);
+  tracer.End(id, /*now=*/250, "ok");
+  EXPECT_EQ(tracer.open_count(), 0u);
+  ASSERT_EQ(tracer.finished().size(), 1u);
+  const Span& span = tracer.finished().front();
+  EXPECT_EQ(span.id, id);
+  EXPECT_EQ(span.parent, 0u);
+  EXPECT_EQ(span.node, 4u);
+  EXPECT_EQ(span.name, "rpc.put");
+  EXPECT_EQ(span.start, 100);
+  EXPECT_EQ(span.end, 250);
+  EXPECT_EQ(span.outcome, "ok");
+}
+
+TEST(Tracer, BeginParentsToAmbientCurrentSpan) {
+  Tracer tracer;
+  const uint64_t root = tracer.Begin(0, "root", 0);
+  uint64_t child = 0;
+  {
+    Tracer::Scope scope(&tracer, root);
+    EXPECT_EQ(tracer.current(), root);
+    child = tracer.Begin(0, "child", 10);
+  }
+  // Scope restored the previous (empty) ambient parent.
+  EXPECT_EQ(tracer.current(), 0u);
+  const uint64_t sibling = tracer.Begin(0, "sibling", 20);
+  tracer.End(child, 15, "ok");
+  tracer.End(sibling, 25, "ok");
+  tracer.End(root, 30, "ok");
+  ASSERT_EQ(tracer.finished().size(), 3u);
+  EXPECT_EQ(tracer.finished()[0].parent, root);    // child
+  EXPECT_EQ(tracer.finished()[1].parent, 0u);      // sibling
+  EXPECT_EQ(tracer.finished()[2].parent, 0u);      // root
+}
+
+TEST(Tracer, ScopesNestAndRestore) {
+  Tracer tracer;
+  const uint64_t a = tracer.Begin(0, "a", 0);
+  const uint64_t b = tracer.Begin(0, "b", 0);
+  {
+    Tracer::Scope outer(&tracer, a);
+    {
+      Tracer::Scope inner(&tracer, b);
+      EXPECT_EQ(tracer.current(), b);
+    }
+    EXPECT_EQ(tracer.current(), a);
+  }
+  EXPECT_EQ(tracer.current(), 0u);
+}
+
+TEST(Tracer, BeginChildUsesExplicitParentAcrossNodes) {
+  Tracer tracer;
+  const uint64_t client = tracer.Begin(1, "rpc.get", 0);
+  const uint64_t server = tracer.BeginChild(client, /*node=*/2,
+                                            "rpc.server.get", 5);
+  tracer.End(server, 9, "ok");
+  tracer.End(client, 12, "ok");
+  EXPECT_EQ(tracer.finished()[0].parent, client);
+  EXPECT_EQ(tracer.finished()[0].node, 2u);
+}
+
+TEST(Tracer, RingOverflowDropsOldestKeepsNewest) {
+  Tracer tracer(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t id = tracer.Begin(0, "s", i);
+    tracer.End(id, i, "ok");
+  }
+  EXPECT_EQ(tracer.finished().size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.started(), 10u);
+  EXPECT_EQ(tracer.ended(), 10u);
+  // Ids are assigned 1..10; the survivors must be the newest four.
+  EXPECT_EQ(tracer.finished().front().id, 7u);
+  EXPECT_EQ(tracer.finished().back().id, 10u);
+}
+
+TEST(Tracer, EndOfUnknownIdIsIgnored) {
+  Tracer tracer;
+  tracer.End(12345, 0, "ok");
+  const uint64_t id = tracer.Begin(0, "s", 0);
+  tracer.End(id, 1, "ok");
+  tracer.End(id, 2, "again");  // already closed
+  EXPECT_EQ(tracer.finished().size(), 1u);
+  EXPECT_EQ(tracer.finished().front().outcome, "ok");
+}
+
+TEST(Tracer, DisabledTracerIsANoOp) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  EXPECT_EQ(tracer.Begin(0, "s", 0), 0u);
+  EXPECT_EQ(tracer.started(), 0u);
+  tracer.End(0, 1, "ok");
+  EXPECT_TRUE(tracer.finished().empty());
+}
+
+TEST(Tracer, ClearDropsSpansButKeepsLifetimeCounters) {
+  Tracer tracer;
+  const uint64_t a = tracer.Begin(0, "a", 0);
+  tracer.End(a, 1, "ok");
+  tracer.Begin(0, "open", 2);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.finished().empty());
+  EXPECT_EQ(tracer.open_count(), 0u);
+  EXPECT_EQ(tracer.started(), 2u);
+  EXPECT_EQ(tracer.ended(), 1u);
+}
+
+}  // namespace
+}  // namespace evc::obs

@@ -76,6 +76,21 @@ TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
   EXPECT_EQ(sim.Now(), 500);
 }
 
+TEST(SimulatorTest, RunUntilEndsAtDeadlineWhenQueueDrainsEarly) {
+  // Contract: the clock always lands exactly on the deadline, even when the
+  // last scheduled event fires well before it. Callers rely on this to
+  // compose fixed-length measurement windows (RunFor = RunUntil(Now+d)).
+  Simulator sim;
+  bool ran = false;
+  sim.ScheduleAt(10, [&] { ran = true; });
+  sim.RunUntil(1000);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.Now(), 1000);
+  // A later RunFor window starts from the deadline, not the last event.
+  sim.RunFor(50);
+  EXPECT_EQ(sim.Now(), 1050);
+}
+
 TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
   Simulator sim;
   EXPECT_FALSE(sim.Step());
