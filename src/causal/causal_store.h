@@ -26,6 +26,7 @@
 
 #include "common/stats.h"
 #include "sim/rpc.h"
+#include "storage/wal.h"
 
 namespace evc::causal {
 
@@ -58,19 +59,29 @@ struct CausalRead {
 
 struct CausalOptions {
   sim::Time rpc_timeout = 500 * sim::kMillisecond;
+  /// Journal applied writes per datacenter so a crashed replica recovers
+  /// its applied prefix (the Lamport clock recovers with it).
+  bool durable = true;
+  /// Register datacenters as simulator CrashParticipants (sim/nemesis.h).
+  bool crash_amnesia = true;
 };
 
 struct CausalStats {
   uint64_t writes = 0;
   uint64_t remote_applied_immediately = 0;  ///< dep check passed on arrival
   uint64_t remote_deferred = 0;             ///< buffered awaiting deps
+  /// Dep-waiting remote writes lost to a crash before they could apply.
+  /// The origin DC already applied them, so convergence for those keys
+  /// depends on re-replication — a crash-window the checkers must excuse.
+  uint64_t pending_dropped = 0;
   OnlineStats dep_wait_us;                  ///< buffering time of deferred writes
 };
 
 /// One logical datacenter = one server node holding a full replica.
-class CausalCluster {
+class CausalCluster : private sim::CrashParticipant {
  public:
   CausalCluster(sim::Rpc* rpc, CausalOptions options);
+  ~CausalCluster();
 
   /// Adds a datacenter replica; returns its node id.
   sim::NodeId AddDatacenter();
@@ -136,6 +147,8 @@ class CausalCluster {
     // Bounded multi-version history, oldest first (GT round-2 fetches).
     std::map<std::string, std::deque<Record>> history;
     std::deque<ReplicatedWrite> pending;  // dep-unsatisfied remote writes
+    // Applied-write journal, replayed on restart (empty when !durable).
+    WriteAheadLog wal;
   };
   struct PutReq {
     std::string key;
@@ -157,14 +170,24 @@ class CausalCluster {
   bool DepsSatisfied(const Datacenter& dc,
                      const std::vector<Dependency>& deps) const;
   /// Applies a write (LWW by id) and drains any newly-unblocked pending.
-  void ApplyWrite(Datacenter* dc, const ReplicatedWrite& write);
+  /// Journals applied writes unless `replaying` (WAL replay must not
+  /// re-append what it reads).
+  void ApplyWrite(Datacenter* dc, const ReplicatedWrite& write,
+                  bool replaying = false);
   void DrainPending(Datacenter* dc);
+
+  // CrashParticipant: crash drops data/history/pending (deferred writes are
+  // counted in pending_dropped — they were never applied); restart replays
+  // the applied-write journal, which also restores the Lamport clock.
+  void OnCrash(uint32_t node) override;
+  void OnRestart(uint32_t node) override;
 
   sim::Rpc* rpc_;
   CausalOptions options_;
   std::vector<std::unique_ptr<Datacenter>> dcs_;
   std::map<sim::NodeId, Datacenter*> by_node_;
   CausalStats stats_;
+  sim::CrashRegistrar crash_registrar_;
 };
 
 /// Client-side causal context: tracks nearest dependencies.

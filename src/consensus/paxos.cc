@@ -15,6 +15,11 @@ constexpr char kAccept[] = "px.accept";
 constexpr char kLearn[] = "px.learn";
 constexpr char kHeartbeat[] = "px.heartbeat";
 constexpr char kCatchup[] = "px.catchup";
+
+// Acceptor journal record tags (first byte of each WAL record).
+constexpr char kWalPromise = 'P';  // [round][node]
+constexpr char kWalAccept = 'A';   // [slot][round][node][value]
+constexpr char kWalChosen = 'C';   // [slot][value]
 }  // namespace
 
 PaxosCluster::PaxosCluster(sim::Rpc* rpc, PaxosOptions options)
@@ -37,6 +42,9 @@ sim::NodeId PaxosCluster::AddServer() {
   server->index = static_cast<uint32_t>(servers_.size());
   RegisterHandlers(server.get());
   by_node_[server->node] = server.get();
+  if (options_.crash_amnesia) {
+    crash_registrar_.Register(rpc_->simulator(), server->node, this);
+  }
   servers_.push_back(std::move(server));
   return servers_.back()->node;
 }
@@ -100,6 +108,9 @@ void PaxosCluster::RegisterHandlers(Server* server) {
         PrepareReply reply;
         if (prepare.ballot > server->promised) {
           server->promised = prepare.ballot;
+          // Journal before the ack leaves: a restarted acceptor must still
+          // honor this promise or two leaders can both reach majority.
+          JournalPromise(server, server->promised);
           reply.promised = true;
           for (const auto& [slot, state] : server->slots) {
             if (slot < prepare.from_slot) continue;
@@ -127,6 +138,10 @@ void PaxosCluster::RegisterHandlers(Server* server) {
             state.accepted_ballot = accept.ballot;
             state.accepted_value = accept.value;
             state.has_accepted = true;
+            JournalAccept(server, accept.slot, accept.ballot, accept.value);
+          } else {
+            // Nothing accepted, but the promise still advanced.
+            JournalPromise(server, server->promised);
           }
           reply.accepted = true;
         } else {
@@ -393,8 +408,12 @@ void PaxosCluster::ProposeInSlot(Server* server, uint64_t slot,
     local.accepted_ballot = server->ballot;
     local.accepted_value = encoded;
     local.has_accepted = true;
+    JournalAccept(server, slot, server->ballot, encoded);
   }
-  if (server->promised < server->ballot) server->promised = server->ballot;
+  if (server->promised < server->ballot) {
+    server->promised = server->ballot;
+    JournalPromise(server, server->promised);
+  }
 
   struct AcceptState {
     int acks = 1;  // self
@@ -474,12 +493,23 @@ void PaxosCluster::OnChosen(Server* server, uint64_t slot,
                             const std::string& value) {
   SlotState& state = server->slots[slot];
   if (state.chosen) {
-    // Safety check: a slot can only ever be chosen with one value.
-    EVC_CHECK(state.chosen_value == value);
+    if (state.chosen_value != value) {
+      // A slot can only ever be chosen with one value — with journaled
+      // acceptors this is a hard invariant. With journaling off and amnesia
+      // crashes on, the unsound acceptor genuinely allows it; count the
+      // violation (the paxos_amnesia test pins this) and keep the first
+      // value so the run can finish.
+      if (options_.journal_acceptor_state) {
+        EVC_CHECK(state.chosen_value == value);
+      }
+      ++stats_.chosen_conflicts;
+      Obs().CounterFor("paxos.chosen_conflicts").Inc();
+    }
     return;
   }
   state.chosen = true;
   state.chosen_value = value;
+  JournalChosen(server, slot, value);
   ApplyReady(server);
 }
 
@@ -545,6 +575,135 @@ void PaxosCluster::ApplyReady(Server* server) {
   }
 }
 
+void PaxosCluster::JournalPromise(Server* server, const Ballot& ballot) {
+  if (!options_.journal_acceptor_state) return;
+  std::string rec;
+  rec.push_back(kWalPromise);
+  PutVarint64(&rec, ballot.round);
+  PutVarint64(&rec, ballot.node);
+  server->wal.Append(rec);
+}
+
+void PaxosCluster::JournalAccept(Server* server, uint64_t slot,
+                                 const Ballot& ballot,
+                                 const std::string& value) {
+  if (!options_.journal_acceptor_state) return;
+  std::string rec;
+  rec.push_back(kWalAccept);
+  PutVarint64(&rec, slot);
+  PutVarint64(&rec, ballot.round);
+  PutVarint64(&rec, ballot.node);
+  PutLengthPrefixed(&rec, value);
+  server->wal.Append(rec);
+}
+
+void PaxosCluster::JournalChosen(Server* server, uint64_t slot,
+                                 const std::string& value) {
+  if (!options_.journal_acceptor_state) return;
+  std::string rec;
+  rec.push_back(kWalChosen);
+  PutVarint64(&rec, slot);
+  PutLengthPrefixed(&rec, value);
+  server->wal.Append(rec);
+}
+
+void PaxosCluster::OnCrash(uint32_t node) {
+  Server* server = FindServer(node);
+  EVC_CHECK(server != nullptr);
+  // Account for everything volatile that evaporates.
+  uint64_t dropped = 0;
+  for (const auto& [slot, state] : server->slots) {
+    dropped += state.accepted_value.size() + state.chosen_value.size();
+  }
+  for (const auto& [key, value] : server->kv) {
+    dropped += key.size() + value.size();
+  }
+  Obs().CounterFor("crash.state_dropped_bytes").Inc(dropped);
+  // Neutralize in-flight proposal state. Do NOT invoke the callbacks: the
+  // coordinator just lost power, so its client's RPC times out naturally.
+  for (auto& [slot, pending] : server->in_flight) {
+    if (!pending->decided) {
+      pending->decided = true;
+      rpc_->simulator()->Cancel(pending->timeout_event);
+    }
+  }
+  server->in_flight.clear();
+  server->promised = Ballot{};
+  server->slots.clear();
+  server->applied_index = 0;
+  server->kv.clear();
+  server->applied_ops.clear();
+  server->is_leader = false;
+  server->electing = false;
+  server->ballot = Ballot{};
+  server->next_slot = 0;
+  server->leader_ballot = Ballot{};
+  server->leader_hint = 0;
+  server->has_leader_hint = false;
+}
+
+void PaxosCluster::OnRestart(uint32_t node) {
+  Server* server = FindServer(node);
+  EVC_CHECK(server != nullptr);
+  std::vector<std::string> records;
+  uint64_t valid_prefix = 0;
+  EVC_CHECK(server->wal.ReadAll(&records, &valid_prefix).ok());
+  server->wal.TruncateTo(valid_prefix);
+  for (const std::string& rec : records) {
+    EVC_CHECK(!rec.empty());
+    Decoder dec(std::string_view(rec).substr(1));
+    switch (rec[0]) {
+      case kWalPromise: {
+        Ballot b;
+        EVC_CHECK(dec.GetVarint64(&b.round).ok());
+        uint64_t bnode = 0;
+        EVC_CHECK(dec.GetVarint64(&bnode).ok());
+        b.node = static_cast<uint32_t>(bnode);
+        if (b > server->promised) server->promised = b;
+        break;
+      }
+      case kWalAccept: {
+        uint64_t slot = 0;
+        Ballot b;
+        uint64_t bnode = 0;
+        std::string value;
+        EVC_CHECK(dec.GetVarint64(&slot).ok());
+        EVC_CHECK(dec.GetVarint64(&b.round).ok());
+        EVC_CHECK(dec.GetVarint64(&bnode).ok());
+        b.node = static_cast<uint32_t>(bnode);
+        EVC_CHECK(dec.GetLengthPrefixed(&value).ok());
+        SlotState& state = server->slots[slot];
+        if (!state.chosen) {
+          state.accepted_ballot = b;
+          state.accepted_value = std::move(value);
+          state.has_accepted = true;
+        }
+        if (b > server->promised) server->promised = b;
+        break;
+      }
+      case kWalChosen: {
+        uint64_t slot = 0;
+        std::string value;
+        EVC_CHECK(dec.GetVarint64(&slot).ok());
+        EVC_CHECK(dec.GetLengthPrefixed(&value).ok());
+        SlotState& state = server->slots[slot];
+        state.chosen = true;
+        state.chosen_value = std::move(value);
+        break;
+      }
+      default:
+        EVC_CHECK(false);
+    }
+  }
+  Obs().CounterFor("wal.replayed_records").Inc(records.size());
+  // Re-apply the contiguous chosen prefix to rebuild the state machine (the
+  // op_id dedup set rebuilds with it, so replay stays exactly-once).
+  ApplyReady(server);
+  // Fresh failure-detection clock: give the incumbent a full election
+  // timeout to make contact before this node runs for leadership.
+  server->last_heartbeat = rpc_->simulator()->Now();
+}
+
 void PaxosCluster::StepDown(Server* server, const Ballot& seen) {
   if (seen > server->leader_ballot) server->leader_ballot = seen;
   if (!server->is_leader && !server->electing) return;
@@ -576,6 +735,12 @@ void PaxosCluster::Propose(sim::NodeId client, sim::NodeId server,
                  done(std::any_cast<Execution>(std::move(r).value()));
                }
              });
+}
+
+bool PaxosCluster::IsLeader(sim::NodeId node) const {
+  const Server* server = FindServer(node);
+  EVC_CHECK(server != nullptr);
+  return server->is_leader;
 }
 
 std::optional<sim::NodeId> PaxosCluster::CurrentLeader() const {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sim/rpc.h"
+#include "storage/wal.h"
 
 namespace evc::consensus {
 
@@ -73,6 +74,15 @@ struct PaxosOptions {
   sim::Time election_timeout = 600 * sim::kMillisecond;
   /// Client-visible proposal timeout.
   sim::Time proposal_timeout = 2 * sim::kSecond;
+  /// Register servers as simulator CrashParticipants: a nemesis crash drops
+  /// all volatile state and a restart recovers from the acceptor journal.
+  /// Off means the pre-durability behavior (crash = network silence only).
+  bool crash_amnesia = true;
+  /// Journal promised/accepted ballots to a per-acceptor WAL before acking
+  /// Prepare/Accept. Turning this off under crash_amnesia reproduces the
+  /// classic unsound acceptor: a restarted node forgets its promises and can
+  /// let two different values be chosen for one slot (pinned by test).
+  bool journal_acceptor_state = true;
 };
 
 struct PaxosStats {
@@ -82,10 +92,14 @@ struct PaxosStats {
   uint64_t proposals_failed = 0;
   uint64_t commands_applied = 0;
   uint64_t catchups = 0;
+  /// Slots observed chosen with two different values — impossible when
+  /// acceptors journal their state, possible (and counted instead of
+  /// crashing) when journal_acceptor_state is off under amnesia crashes.
+  uint64_t chosen_conflicts = 0;
 };
 
 /// A cluster of Paxos servers with a replicated KV state machine.
-class PaxosCluster {
+class PaxosCluster : private sim::CrashParticipant {
  public:
   PaxosCluster(sim::Rpc* rpc, PaxosOptions options);
   ~PaxosCluster();
@@ -112,6 +126,9 @@ class PaxosCluster {
   /// The node currently believing itself leader (0-or-more may transiently
   /// believe so; the log stays safe regardless). Returns nullopt when none.
   std::optional<sim::NodeId> CurrentLeader() const;
+
+  /// True if `server` currently believes itself leader (test hook).
+  bool IsLeader(sim::NodeId server) const;
 
   /// Chosen value in `slot` at `server` (test hook). Empty if not chosen.
   std::optional<std::string> ChosenAt(sim::NodeId server, uint64_t slot) const;
@@ -166,6 +183,9 @@ class PaxosCluster {
     Ballot leader_ballot;     // highest ballot heard from a leader
     sim::NodeId leader_hint = 0;
     bool has_leader_hint = false;
+    // Acceptor journal: promised / accepted / chosen records, replayed on
+    // restart (empty when options_.journal_acceptor_state is off).
+    WriteAheadLog wal;
   };
 
   // Message payloads.
@@ -223,6 +243,15 @@ class PaxosCluster {
   void ApplyReady(Server* server);
   void StepDown(Server* server, const Ballot& seen);
 
+  // CrashParticipant: amnesia crash drops all volatile server state; restart
+  // replays the acceptor journal and re-applies the chosen prefix.
+  void OnCrash(uint32_t node) override;
+  void OnRestart(uint32_t node) override;
+  void JournalPromise(Server* server, const Ballot& ballot);
+  void JournalAccept(Server* server, uint64_t slot, const Ballot& ballot,
+                     const std::string& value);
+  void JournalChosen(Server* server, uint64_t slot, const std::string& value);
+
   static std::string EncodeCommand(const Command& cmd);
   static Result<Command> DecodeCommand(const std::string& bytes);
 
@@ -231,6 +260,7 @@ class PaxosCluster {
   std::vector<std::unique_ptr<Server>> servers_;
   std::map<sim::NodeId, Server*> by_node_;
   PaxosStats stats_;
+  sim::CrashRegistrar crash_registrar_;
   Rng rng_;
   uint64_t next_op_id_ = 1;
   bool started_ = false;

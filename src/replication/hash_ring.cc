@@ -7,7 +7,8 @@
 
 namespace evc::repl {
 
-HashRing::HashRing(int vnodes) : vnodes_(vnodes) {
+HashRing::HashRing(int vnodes, uint64_t point_mask)
+    : vnodes_(vnodes), point_mask_(point_mask) {
   EVC_CHECK(vnodes >= 1);
 }
 
@@ -19,9 +20,22 @@ uint64_t HashRing::PointFor(sim::NodeId node, int index) {
 void HashRing::AddServer(sim::NodeId node) {
   EVC_CHECK(std::find(servers_.begin(), servers_.end(), node) ==
             servers_.end());
+  // The masked point space must fit every vnode of every server.
+  EVC_CHECK(point_mask_ >=
+            (servers_.size() + 1) * static_cast<uint64_t>(vnodes_));
   servers_.push_back(node);
+  std::vector<uint64_t>& points = points_[node];
+  points.reserve(static_cast<size_t>(vnodes_));
   for (int i = 0; i < vnodes_; ++i) {
-    ring_[PointFor(node, i)] = node;
+    uint64_t p = PointFor(node, i) & point_mask_;
+    // Re-probe through the mixer on collision: overwriting would hand this
+    // arc to `node` and, worse, RemoveServer(node) would then erase the
+    // *other* server's surviving point.
+    for (uint64_t probe = 1; ring_.count(p); ++probe) {
+      p = Mix64(PointFor(node, i) + probe) & point_mask_;
+    }
+    ring_[p] = node;
+    points.push_back(p);
   }
 }
 
@@ -29,9 +43,10 @@ void HashRing::RemoveServer(sim::NodeId node) {
   auto it = std::find(servers_.begin(), servers_.end(), node);
   EVC_CHECK(it != servers_.end());
   servers_.erase(it);
-  for (int i = 0; i < vnodes_; ++i) {
-    ring_.erase(PointFor(node, i));
-  }
+  auto pts = points_.find(node);
+  EVC_CHECK(pts != points_.end());
+  for (uint64_t p : pts->second) ring_.erase(p);
+  points_.erase(pts);
 }
 
 std::vector<sim::NodeId> HashRing::PreferenceList(const std::string& key,

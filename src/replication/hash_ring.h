@@ -24,15 +24,21 @@ namespace evc::repl {
 class HashRing {
  public:
   /// `vnodes` ring positions per server (1 = plain consistent hashing).
-  explicit HashRing(int vnodes = 64);
+  /// `point_mask` narrows the point space (tests use it to force vnode
+  /// collisions; production keeps the full 64-bit space).
+  explicit HashRing(int vnodes = 64, uint64_t point_mask = ~0ull);
 
-  /// Adds a server's vnodes to the ring.
+  /// Adds a server's vnodes to the ring. A vnode point that collides with
+  /// one already owned by another server is re-probed to a free point, so
+  /// no server ever silently overwrites (and later erases) another's arc.
   void AddServer(sim::NodeId node);
   /// Removes a server (its arcs fall to the successors).
   void RemoveServer(sim::NodeId node);
 
   size_t server_count() const { return servers_.size(); }
   int vnodes() const { return vnodes_; }
+  /// Ring points currently placed; always server_count() * vnodes().
+  size_t point_count() const { return ring_.size(); }
 
   /// The first `n` *distinct* servers clockwise from hash(key).
   std::vector<sim::NodeId> PreferenceList(const std::string& key,
@@ -45,7 +51,11 @@ class HashRing {
   static uint64_t PointFor(sim::NodeId node, int index);
 
   int vnodes_;
+  uint64_t point_mask_;
   std::map<uint64_t, sim::NodeId> ring_;  // position -> server
+  // Points actually placed per server: re-probed points differ from
+  // PointFor(node, i), so removal must erase what AddServer recorded.
+  std::map<sim::NodeId, std::vector<uint64_t>> points_;
   std::vector<sim::NodeId> servers_;
 };
 

@@ -26,6 +26,8 @@ DynamoCluster::DynamoCluster(sim::Rpc* rpc, QuorumConfig config)
             config_.write_quorum <= config_.replication_factor);
 }
 
+DynamoCluster::~DynamoCluster() = default;
+
 sim::NodeId DynamoCluster::AddServer() {
   auto server = std::make_unique<Server>();
   server->node = rpc_->network()->AddNode();
@@ -36,6 +38,9 @@ sim::NodeId DynamoCluster::AddServer() {
   server->clock = LamportClock(server->replica_id);
   RegisterHandlers(server.get());
   by_node_[server->node] = server.get();
+  if (config_.crash_amnesia) {
+    crash_registrar_.Register(rpc_->simulator(), server->node, this);
+  }
   servers_.push_back(std::move(server));
   return servers_.back()->node;
 }
@@ -172,10 +177,18 @@ void DynamoCluster::RegisterHandlers(Server* server) {
         auto store = std::any_cast<StoreReq>(std::move(req));
         if (store.has_hint && store.intended != server->node) {
           // We are a fallback home: buffer for handoff AND serve reads from
-          // local storage in the meantime.
-          server->hints[store.intended][store.key] = store.versions;
-          ++stats_.hints_stored;
-          Obs().CounterFor("dyn.hints_stored").Inc();
+          // local storage in the meantime. Merge into any hint already
+          // buffered for this (intended, key) — counting a re-divert as a
+          // fresh stored hint would unbalance the stored/delivered/lost
+          // ledger, since delivery is per (intended, key) entry.
+          auto& slot = server->hints[store.intended][store.key];
+          if (slot.empty()) {
+            ++stats_.hints_stored;
+            Obs().CounterFor("dyn.hints_stored").Inc();
+            slot = store.versions;
+          } else {
+            slot = MergeSiblingSets({slot, store.versions});
+          }
         }
         server->storage->MergeRemote(store.key, store.versions);
         respond(std::any{StoreAck{server->storage->store().KeyDigest(
@@ -422,6 +435,13 @@ void DynamoCluster::DeliverHints(Server* server) {
                    if (r.ok()) {
                      ++stats_.hints_delivered;
                      Obs().CounterFor("dyn.hints_delivered").Inc();
+                   } else {
+                     // The hint was already dropped from the buffer
+                     // (optimistic erase below); account the loss so the
+                     // handoff ledger still balances. Anti-entropy repairs
+                     // the data itself.
+                     ++stats_.hints_lost;
+                     Obs().CounterFor("dyn.hints_lost").Inc();
                    }
                  });
     }
@@ -429,6 +449,62 @@ void DynamoCluster::DeliverHints(Server* server) {
     // anti-entropy (mirrors Dynamo's at-least-once handoff semantics).
     it = server->hints.erase(it);
   }
+}
+
+void DynamoCluster::OnCrash(uint32_t node) {
+  Server* server = FindServer(node);
+  EVC_CHECK(server != nullptr);
+  // Hints are volatile by design: count and drop them.
+  uint64_t dropped = 0;
+  uint64_t lost_hints = 0;
+  for (const auto& [intended, keys] : server->hints) {
+    lost_hints += keys.size();
+    for (const auto& [key, versions] : keys) {
+      dropped += key.size();
+      for (const Version& v : versions) dropped += v.value.size();
+    }
+  }
+  stats_.hints_lost += lost_hints;
+  Obs().CounterFor("dyn.hints_lost").Inc(lost_hints);
+  server->hints.clear();
+  // Non-durable storage has no WAL to replay: the whole store evaporates.
+  if (!config_.storage.durable) {
+    server->storage->store().ForEachKey(
+        [&dropped](const std::string& key,
+                   const std::vector<Version>& versions) {
+          dropped += key.size();
+          for (const Version& v : versions) dropped += v.value.size();
+        });
+  }
+  Obs().CounterFor("crash.state_dropped_bytes").Inc(dropped);
+  server->coord_counter = 0;
+  server->clock = LamportClock(server->replica_id);
+}
+
+void DynamoCluster::OnRestart(uint32_t node) {
+  Server* server = FindServer(node);
+  EVC_CHECK(server != nullptr);
+  // Replay the storage WAL (empty buffer for non-durable storage, so this
+  // doubles as the state drop). RestoreCounterFloor inside recovery keeps
+  // VersionedStore's internal write counter monotonic.
+  auto replayed = server->storage->CrashAndRecover();
+  EVC_CHECK(replayed.ok());
+  Obs().CounterFor("wal.replayed_records").Inc(*replayed);
+  // Restore the coordinator's minting counter and Lamport clock from the
+  // recovered versions, so post-restart puts never reuse a version-vector
+  // slot or LWW timestamp already handed out before the crash.
+  uint64_t counter_floor = 0;
+  LamportTimestamp max_ts;
+  server->storage->store().ForEachKey(
+      [&](const std::string&, const std::vector<Version>& versions) {
+        for (const Version& v : versions) {
+          counter_floor =
+              std::max(counter_floor, v.vv.Get(server->replica_id));
+          if (max_ts < v.lww_ts) max_ts = v.lww_ts;
+        }
+      });
+  server->coord_counter = counter_floor;
+  server->clock.Observe(max_ts);
 }
 
 bool DynamoCluster::ReplicasConverged(const std::string& key) {

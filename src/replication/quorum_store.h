@@ -41,6 +41,11 @@ struct QuorumConfig {
   bool use_hash_ring = false;
   int ring_vnodes = 64;
   ReplicaStorageOptions storage;
+  /// Register servers as simulator CrashParticipants: a nemesis crash drops
+  /// the volatile hint buffers (counted in hints_lost) and restart replays
+  /// the storage WAL. Hints are deliberately NOT journaled — Dynamo treats
+  /// them as best-effort, with anti-entropy as the backstop.
+  bool crash_amnesia = true;
 };
 
 /// Result of a quorum read.
@@ -63,13 +68,19 @@ struct DynamoStats {
   uint64_t read_repairs = 0;
   uint64_t hints_stored = 0;
   uint64_t hints_delivered = 0;
+  /// Hints dropped without delivery: handoff RPC failed, or the holder
+  /// crashed with hints buffered. Every stored hint is eventually delivered,
+  /// lost, or still pending: hints_stored = hints_delivered + hints_lost +
+  /// pending_hints() once no handoff RPC is in flight.
+  uint64_t hints_lost = 0;
   uint64_t sloppy_diversions = 0;
 };
 
 /// A cluster of Dynamo-style storage servers sharing one Rpc/network.
-class DynamoCluster {
+class DynamoCluster : private sim::CrashParticipant {
  public:
   DynamoCluster(sim::Rpc* rpc, QuorumConfig config);
+  ~DynamoCluster();
 
   /// Adds a storage server; returns its network node id. All servers must be
   /// added before the first operation.
@@ -173,12 +184,19 @@ class DynamoCluster {
   void DeliverHints(Server* server);
   void ScheduleHintTick(Server* server, sim::Time interval);
 
+  // CrashParticipant: crash drops the hint buffer (and, for non-durable
+  // storage, the whole store); restart replays the storage WAL and restores
+  // the coordinator's version counter so minted versions never reuse a slot.
+  void OnCrash(uint32_t node) override;
+  void OnRestart(uint32_t node) override;
+
   sim::Rpc* rpc_;
   QuorumConfig config_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::map<sim::NodeId, Server*> by_node_;
   HashRing ring_;
   DynamoStats stats_;
+  sim::CrashRegistrar crash_registrar_;
 };
 
 }  // namespace evc::repl

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/encoding.h"
 #include "common/hash.h"
 
 namespace evc::repl {
@@ -19,11 +20,16 @@ TimelineCluster::TimelineCluster(sim::Rpc* rpc, TimelineOptions options)
   EVC_CHECK(options_.replication_factor >= 1);
 }
 
+TimelineCluster::~TimelineCluster() = default;
+
 sim::NodeId TimelineCluster::AddServer() {
   auto server = std::make_unique<Server>();
   server->node = rpc_->network()->AddNode();
   RegisterHandlers(server.get());
   by_node_[server->node] = server.get();
+  if (options_.crash_amnesia) {
+    crash_registrar_.Register(rpc_->simulator(), server->node, this);
+  }
   servers_.push_back(std::move(server));
   return servers_.back()->node;
 }
@@ -85,6 +91,7 @@ void TimelineCluster::RegisterHandlers(Server* server) {
         Record& rec = server->data[write.key];
         rec.value = write.value;
         ++rec.seqno;
+        JournalApply(server, write.key, rec.value, rec.seqno);
         ++stats_.writes_ok;
         Obs().CounterFor("tl.writes_ok").Inc();
         // Asynchronous in-order propagation to the other replicas. The
@@ -102,13 +109,14 @@ void TimelineCluster::RegisterHandlers(Server* server) {
       });
 
   rpc_->network()->RegisterHandler(
-      server->node, kReplicate, [server](sim::Message msg) {
+      server->node, kReplicate, [this, server](sim::Message msg) {
         auto repl = std::any_cast<ReplicateMsg>(std::move(msg.payload));
         Record& rec = server->data[repl.key];
         // Timeline order: never apply an older update over a newer one.
         if (repl.seqno > rec.seqno) {
           rec.value = std::move(repl.value);
           rec.seqno = repl.seqno;
+          JournalApply(server, repl.key, rec.value, rec.seqno);
         }
       });
 
@@ -123,12 +131,13 @@ void TimelineCluster::RegisterHandlers(Server* server) {
   // replica copy) and continue its timeline.
   rpc_->RegisterHandler(
       server->node, kAdopt,
-      [server](sim::NodeId, std::any req, sim::RpcResponder respond) {
+      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
         auto adopt = std::any_cast<AdoptReq>(std::move(req));
         Record& rec = server->data[adopt.key];
         if (adopt.has_record && adopt.seqno > rec.seqno) {
           rec.value = std::move(adopt.value);
           rec.seqno = adopt.seqno;
+          JournalApply(server, adopt.key, rec.value, rec.seqno);
         }
         respond(std::any{rec.seqno});
       });
@@ -300,6 +309,52 @@ void TimelineCluster::Read(sim::NodeId client, sim::NodeId replica,
                  done(std::any_cast<TimelineRead>(std::move(r).value()));
                }
              });
+}
+
+void TimelineCluster::JournalApply(Server* server, const std::string& key,
+                                   const std::string& value, uint64_t seqno) {
+  if (!options_.durable) return;
+  std::string rec;
+  PutLengthPrefixed(&rec, key);
+  PutLengthPrefixed(&rec, value);
+  PutVarint64(&rec, seqno);
+  server->wal.Append(rec);
+}
+
+void TimelineCluster::OnCrash(uint32_t node) {
+  Server* server = FindServer(node);
+  EVC_CHECK(server != nullptr);
+  uint64_t dropped = 0;
+  for (const auto& [key, rec] : server->data) {
+    dropped += key.size() + rec.value.size();
+  }
+  Obs().CounterFor("crash.state_dropped_bytes").Inc(dropped);
+  server->data.clear();
+}
+
+void TimelineCluster::OnRestart(uint32_t node) {
+  Server* server = FindServer(node);
+  EVC_CHECK(server != nullptr);
+  std::vector<std::string> records;
+  uint64_t valid_prefix = 0;
+  EVC_CHECK(server->wal.ReadAll(&records, &valid_prefix).ok());
+  server->wal.TruncateTo(valid_prefix);
+  for (const std::string& raw : records) {
+    Decoder dec(raw);
+    std::string key;
+    std::string value;
+    uint64_t seqno = 0;
+    EVC_CHECK(dec.GetLengthPrefixed(&key).ok());
+    EVC_CHECK(dec.GetLengthPrefixed(&value).ok());
+    EVC_CHECK(dec.GetVarint64(&seqno).ok());
+    Record& rec = server->data[key];
+    // Same monotonicity rule as live replication.
+    if (seqno > rec.seqno) {
+      rec.value = std::move(value);
+      rec.seqno = seqno;
+    }
+  }
+  Obs().CounterFor("wal.replayed_records").Inc(records.size());
 }
 
 uint64_t TimelineCluster::VisibleSeqno(sim::NodeId server,

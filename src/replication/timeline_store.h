@@ -23,12 +23,19 @@
 #include <vector>
 
 #include "sim/rpc.h"
+#include "storage/wal.h"
 
 namespace evc::repl {
 
 struct TimelineOptions {
   int replication_factor = 3;
   sim::Time rpc_timeout = 250 * sim::kMillisecond;
+  /// Journal applied (key, value, seqno) records per server so a crashed
+  /// replica recovers its timeline prefix. A non-durable master that
+  /// forgets its seqnos would re-mint them and fork the timeline.
+  bool durable = true;
+  /// Register servers as simulator CrashParticipants (see sim/nemesis.h).
+  bool crash_amnesia = true;
 };
 
 /// A read result from the timeline store.
@@ -53,9 +60,10 @@ struct TimelineStats {
 };
 
 /// Cluster of timeline-consistent replicas.
-class TimelineCluster {
+class TimelineCluster : private sim::CrashParticipant {
  public:
   TimelineCluster(sim::Rpc* rpc, TimelineOptions options);
+  ~TimelineCluster();
 
   sim::NodeId AddServer();
   std::vector<sim::NodeId> AddServers(int count);
@@ -108,6 +116,8 @@ class TimelineCluster {
   struct Server {
     sim::NodeId node = 0;
     std::map<std::string, Record> data;
+    // Applied-record journal, replayed on restart (empty when !durable).
+    WriteAheadLog wal;
   };
   struct WriteReq {
     std::string key;
@@ -142,6 +152,15 @@ class TimelineCluster {
   /// Ring-walk master, ignoring overrides.
   sim::NodeId DefaultMasterOf(const std::string& key) const;
 
+  /// Journals one applied record; called after every data mutation.
+  void JournalApply(Server* server, const std::string& key,
+                    const std::string& value, uint64_t seqno);
+
+  // CrashParticipant: crash drops the replica's data map; restart replays
+  // the journal in append order (monotone per key, like kReplicate).
+  void OnCrash(uint32_t node) override;
+  void OnRestart(uint32_t node) override;
+
   sim::Rpc* rpc_;
   TimelineOptions options_;
   std::vector<std::unique_ptr<Server>> servers_;
@@ -150,6 +169,7 @@ class TimelineCluster {
   std::map<std::string, sim::NodeId> master_override_;
   std::set<std::string> migrating_;
   TimelineStats stats_;
+  sim::CrashRegistrar crash_registrar_;
 };
 
 }  // namespace evc::repl

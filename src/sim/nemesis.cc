@@ -345,8 +345,13 @@ void Nemesis::Apply(const FaultAction& action) {
       ++stats_.heals;
       Note("heal");
       break;
-    case Kind::kCrash:
+    case Kind::kCrash: {
+      // A nemesis crash is a power loss: volatile state goes with the node.
+      // Notify participants only on the up->down edge so a repeated crash of
+      // an already-down node cannot double-drop state.
+      const bool was_up = net_->IsNodeUp(action.node);
       net_->SetNodeUp(action.node, false);
+      if (was_up) net_->simulator()->NotifyCrash(action.node);
       if (std::find(crashed_.begin(), crashed_.end(), action.node) ==
           crashed_.end()) {
         crashed_.push_back(action.node);
@@ -354,7 +359,13 @@ void Nemesis::Apply(const FaultAction& action) {
       ++stats_.crashes;
       Note("crash node " + std::to_string(action.node));
       break;
+    }
     case Kind::kRestart:
+      // Recover from durable state before the network marks the node up, so
+      // no message can observe half-recovered state.
+      if (!net_->IsNodeUp(action.node)) {
+        net_->simulator()->NotifyRestart(action.node);
+      }
       net_->SetNodeUp(action.node, true);
       std::erase(crashed_, action.node);
       ++stats_.restarts;
@@ -372,6 +383,7 @@ void Nemesis::Apply(const FaultAction& action) {
       }
       const NodeId victim = up[rng_.NextBounded(up.size())];
       net_->SetNodeUp(victim, false);
+      net_->simulator()->NotifyCrash(victim);
       crashed_.push_back(victim);
       ++stats_.crashes;
       Note("crash node " + std::to_string(victim) + " (random)");
@@ -385,6 +397,7 @@ void Nemesis::Apply(const FaultAction& action) {
       }
       const NodeId node = crashed_.front();
       crashed_.pop_front();
+      net_->simulator()->NotifyRestart(node);
       net_->SetNodeUp(node, true);
       ++stats_.restarts;
       Note("restart node " + std::to_string(node));
@@ -415,8 +428,10 @@ void Nemesis::Apply(const FaultAction& action) {
 void Nemesis::HealAll() {
   net_->Heal();
   while (!crashed_.empty()) {
-    net_->SetNodeUp(crashed_.front(), true);
+    const NodeId node = crashed_.front();
     crashed_.pop_front();
+    net_->simulator()->NotifyRestart(node);
+    net_->SetNodeUp(node, true);
     ++stats_.restarts;
   }
   net_->set_loss_rate(0.0);

@@ -70,8 +70,10 @@ class Network {
   /// Probability in [0,1] that a delivered message is delivered twice.
   void set_duplicate_rate(double p) { duplicate_rate_ = p; }
 
-  /// Crashes or restarts a node. A crashed node receives nothing; its
-  /// volatile protocol state is the owning component's responsibility.
+  /// Crashes or restarts a node at the network layer only: a crashed node
+  /// receives nothing, but volatile protocol state survives. Nemesis-driven
+  /// crashes additionally notify Simulator CrashParticipants so components
+  /// drop volatile state and recover from their journals (see sim/nemesis.h).
   void SetNodeUp(NodeId node, bool up);
   bool IsNodeUp(NodeId node) const;
 

@@ -45,6 +45,30 @@ void Simulator::Run() {
   }
 }
 
+void Simulator::RegisterCrashParticipant(uint32_t node, CrashParticipant* p) {
+  EVC_CHECK(p != nullptr);
+  crash_participants_[node].push_back(p);
+}
+
+void Simulator::UnregisterCrashParticipant(CrashParticipant* p) {
+  for (auto& [node, participants] : crash_participants_) {
+    std::erase(participants, p);
+  }
+}
+
+void Simulator::NotifyCrash(uint32_t node) {
+  auto it = crash_participants_.find(node);
+  if (it == crash_participants_.end()) return;
+  for (CrashParticipant* p : it->second) p->OnCrash(node);
+}
+
+void Simulator::NotifyRestart(uint32_t node) {
+  auto it = crash_participants_.find(node);
+  if (it == crash_participants_.end() || it->second.empty()) return;
+  for (CrashParticipant* p : it->second) p->OnRestart(node);
+  metrics_.global().CounterFor("crash.recoveries").Inc();
+}
+
 void Simulator::RunUntil(Time deadline) {
   while (!queue_.empty()) {
     const Event& top = queue_.top();

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -32,6 +34,23 @@ constexpr Time kSecond = 1000 * 1000;
 /// Identifies a scheduled event so it can be cancelled (e.g. RPC timeout
 /// timers cancelled when the reply arrives).
 using EventId = uint64_t;
+
+/// Interface for components that own per-node state with crash semantics.
+/// When the fault layer crashes a node it calls OnCrash (drop everything
+/// volatile: caches, buffers, in-memory indexes); when the node restarts it
+/// calls OnRestart (rebuild state from whatever the component journaled —
+/// e.g. WAL replay). A component registers once per node it hosts state for;
+/// notifications arrive only for that node. Node ids are the raw uint32
+/// underlying NodeId (the typedef lives in latency.h, above this header).
+class CrashParticipant {
+ public:
+  virtual ~CrashParticipant() = default;
+  /// The node lost power: volatile state is gone. Must not send messages.
+  virtual void OnCrash(uint32_t node) = 0;
+  /// The node restarted: recover from durable state. Runs before the
+  /// network marks the node up, so recovery must not rely on messaging.
+  virtual void OnRestart(uint32_t node) = 0;
+};
 
 /// Single-threaded discrete-event executor with a virtual clock.
 class Simulator {
@@ -93,6 +112,27 @@ class Simulator {
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
 
+  // --- crash participants --------------------------------------------------
+  // The nemesis fault layer (sim/nemesis.h) drives these; a direct
+  // Network::SetNodeUp remains a network-only fault (no state loss).
+
+  /// Registers `p` to receive crash/restart notifications for `node`.
+  /// Multiple participants per node run in registration order.
+  void RegisterCrashParticipant(uint32_t node, CrashParticipant* p);
+  /// Removes `p` from every node it was registered for (component teardown).
+  void UnregisterCrashParticipant(CrashParticipant* p);
+  /// Invokes OnCrash on every participant registered for `node`.
+  void NotifyCrash(uint32_t node);
+  /// Invokes OnRestart on every participant registered for `node` and bumps
+  /// the global `crash.recoveries` counter when any participant recovered.
+  void NotifyRestart(uint32_t node);
+
+  /// Liveness token for participants whose destruction order relative to
+  /// the simulator is not guaranteed (test fixtures commonly rebuild the
+  /// simulator before the clusters that registered with it). Expired =>
+  /// the simulator is gone and unregistration must be skipped.
+  std::weak_ptr<void> liveness() const { return liveness_; }
+
  private:
   struct Event {
     Time when;
@@ -118,6 +158,40 @@ class Simulator {
   Rng rng_;
   obs::Metrics metrics_;
   obs::Tracer tracer_;
+  // Ordered map so notification order is deterministic across runs.
+  std::map<uint32_t, std::vector<CrashParticipant*>> crash_participants_;
+  std::shared_ptr<void> liveness_ = std::make_shared<int>(0);
+};
+
+/// RAII guard owning one participant's registrations. Unregisters on
+/// destruction — but only if the simulator is still alive (checked via
+/// Simulator::liveness()), so clusters and simulators may die in either
+/// order.
+class CrashRegistrar {
+ public:
+  CrashRegistrar() = default;
+  CrashRegistrar(const CrashRegistrar&) = delete;
+  CrashRegistrar& operator=(const CrashRegistrar&) = delete;
+  ~CrashRegistrar() {
+    if (sim_ != nullptr && !liveness_.expired()) {
+      sim_->UnregisterCrashParticipant(participant_);
+    }
+  }
+
+  /// Registers `p` for `node`. All calls on one registrar must pass the
+  /// same simulator and participant.
+  void Register(Simulator* sim, uint32_t node, CrashParticipant* p) {
+    EVC_CHECK(sim_ == nullptr || (sim_ == sim && participant_ == p));
+    sim_ = sim;
+    participant_ = p;
+    liveness_ = sim->liveness();
+    sim->RegisterCrashParticipant(node, p);
+  }
+
+ private:
+  Simulator* sim_ = nullptr;
+  CrashParticipant* participant_ = nullptr;
+  std::weak_ptr<void> liveness_;
 };
 
 }  // namespace evc::sim

@@ -262,7 +262,9 @@ void FillCommon(FuzzReport* rep, const FuzzOptions& o, const SimStack& s,
 FuzzReport RunPaxos(const FuzzOptions& o) {
   FuzzReport rep;
   SimStack s(o.seed);
-  consensus::PaxosCluster cluster(&s.rpc, consensus::PaxosOptions{});
+  consensus::PaxosOptions popt;
+  popt.crash_amnesia = o.amnesia;
+  consensus::PaxosCluster cluster(&s.rpc, popt);
   const std::vector<sim::NodeId> servers = cluster.AddServers(o.servers);
   cluster.Start();
   s.sim.RunFor(2 * kSecond);  // let the first leader emerge before faults
@@ -378,6 +380,7 @@ FuzzReport RunQuorum(const FuzzOptions& o, bool strict) {
   cfg.write_quorum = strict ? 2 : 1;
   cfg.sloppy = !strict;
   cfg.read_repair = true;
+  cfg.crash_amnesia = o.amnesia;
   repl::DynamoCluster cluster(&s.rpc, cfg);
   const std::vector<sim::NodeId> servers = cluster.AddServers(o.servers);
   cluster.StartHintDelivery(500 * kMillisecond);
@@ -526,6 +529,7 @@ FuzzReport RunTimeline(const FuzzOptions& o) {
   SimStack s(o.seed);
   repl::TimelineOptions topt;
   topt.replication_factor = o.servers;
+  topt.crash_amnesia = o.amnesia;
   repl::TimelineCluster cluster(&s.rpc, topt);
   const std::vector<sim::NodeId> servers = cluster.AddServers(o.servers);
 
@@ -676,7 +680,9 @@ FuzzReport RunTimeline(const FuzzOptions& o) {
 FuzzReport RunCausal(const FuzzOptions& o) {
   FuzzReport rep;
   SimStack s(o.seed);
-  causal::CausalCluster cluster(&s.rpc, causal::CausalOptions{});
+  causal::CausalOptions copt;
+  copt.crash_amnesia = o.amnesia;
+  causal::CausalCluster cluster(&s.rpc, copt);
   const std::vector<sim::NodeId> dcs = cluster.AddDatacenters(o.servers);
 
   sim::Nemesis nemesis(&s.net, dcs, NemesisSeed(o.seed));
@@ -772,9 +778,11 @@ FuzzReport RunCausal(const FuzzOptions& o) {
   rep.causal = CheckCausalHistory(history);
 
   // Geo-replication is fire-and-forget: convergence only when nothing was
-  // dropped.
+  // dropped, and no dep-waiting write died in a crashed buffer (its origin
+  // DC applied it, but it will never re-replicate).
   rep.conv_checked = true;
-  rep.conv_applicable = s.net.messages_dropped() == 0;
+  rep.conv_applicable = s.net.messages_dropped() == 0 &&
+                        cluster.stats().pending_dropped == 0;
   if (rep.conv_applicable) {
     std::vector<ReplicaState> states;
     for (sim::NodeId dc : dcs) {
@@ -825,6 +833,32 @@ FuzzReport RunCrdt(const FuzzOptions& o, std::vector<State> replicas,
     });
   }
 
+  // Amnesia model for the harness-owned CRDT replicas: client ops write
+  // through a per-replica durable copy (a local op is synchronously
+  // journaled, so it survives a crash), while gossip-merged state is
+  // volatile. A nemesis crash resets the live replica to its durable copy;
+  // peers re-supply the lost merges through gossip after restart.
+  std::vector<State> durable;
+  struct AmnesiaHook : sim::CrashParticipant {
+    std::vector<State>* live = nullptr;
+    std::vector<State>* saved = nullptr;
+    const std::vector<sim::NodeId>* nodes = nullptr;
+    void OnCrash(uint32_t node) override {
+      for (size_t i = 0; i < nodes->size(); ++i) {
+        if ((*nodes)[i] == node) (*live)[i] = (*saved)[i];
+      }
+    }
+    void OnRestart(uint32_t) override {}
+  };
+  AmnesiaHook hook;
+  if (o.amnesia) {
+    durable = replicas;
+    hook.live = &replicas;
+    hook.saved = &durable;
+    hook.nodes = &nodes;
+    for (sim::NodeId node : nodes) s.sim.RegisterCrashParticipant(node, &hook);
+  }
+
   // Periodic push gossip: every replica ships full state to a random peer.
   Rng gossip_rng(o.seed ^ 0x90551bULL);
   std::function<void()> gossip = [&] {
@@ -857,7 +891,15 @@ FuzzReport RunCrdt(const FuzzOptions& o, std::vector<State> replicas,
     ++sess.issued;
     // Ops execute locally, but only against a live replica.
     if (s.net.IsNodeUp(nodes[sess.replica])) {
-      apply_op(&rep, &sess.rng, sess.replica, &replicas[sess.replica]);
+      if (o.amnesia) {
+        // Commit to the durable copy, then fold into the live replica. All
+        // tags/components a replica mints live in its durable copy, so a
+        // crash can only lose state that peers still hold.
+        apply_op(&rep, &sess.rng, sess.replica, &durable[sess.replica]);
+        replicas[sess.replica].Merge(durable[sess.replica]);
+      } else {
+        apply_op(&rep, &sess.rng, sess.replica, &replicas[sess.replica]);
+      }
       ++rep.writes_acked;
     } else {
       ++rep.writes_failed;
@@ -882,6 +924,7 @@ FuzzReport RunCrdt(const FuzzOptions& o, std::vector<State> replicas,
     return true;
   });
 
+  if (o.amnesia) s.sim.UnregisterCrashParticipant(&hook);
   finalize(&rep, replicas);
   FillCommon(&rep, o, s, nemesis);
   return rep;

@@ -67,6 +67,11 @@ struct FuzzOptions {
   sim::NemesisScheduleOptions nemesis;
   /// Virtual time allowed for post-heal repair before the convergence check.
   sim::Time quiescence_timeout = 60 * sim::kSecond;
+  /// Amnesia crashes: register every store as a simulator CrashParticipant,
+  /// so a nemesis crash drops volatile state and restart replays the
+  /// store's journal. Off (the default, matching the pinned seed corpora)
+  /// reproduces the historical crash-is-just-network-silence behavior.
+  bool amnesia = false;
 };
 
 /// Per-store defaults (server counts, op counts sized to each checker).

@@ -152,6 +152,56 @@ TEST(FuzzConsistencyTest, CrdtsConvergeToCorrectValues) {
   }
 }
 
+// Amnesia crashes on: nemesis crashes now really drop volatile state and
+// restarts replay each store's journal. Every store must STILL meet the
+// claims of its consistency level — durability is part of the contract.
+TEST(FuzzConsistencyTest, AllStoresMeetClaimsUnderAmnesiaCrashes) {
+  for (FuzzStore store : AllFuzzStores()) {
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      FuzzOptions options = DefaultFuzzOptions(store, seed);
+      options.amnesia = true;
+      const FuzzReport report = RunFuzzSeed(options);
+      std::string why;
+      EXPECT_TRUE(report.MeetsClaims(&why))
+          << ToString(store) << " amnesia seed " << seed << ": " << why
+          << "\n"
+          << report.Summary();
+    }
+  }
+}
+
+// Crash-heavy amnesia schedules (the CI smoke profile): faster fault
+// cadence, crashes and partitions only.
+TEST(FuzzConsistencyTest, CrashHeavyAmnesiaSchedulesHoldClaims) {
+  for (FuzzStore store : AllFuzzStores()) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      FuzzOptions options = DefaultFuzzOptions(store, seed);
+      options.amnesia = true;
+      options.nemesis.allow_loss = false;
+      options.nemesis.allow_duplication = false;
+      options.nemesis.mean_fault_interval = sim::kSecond;
+      const FuzzReport report = RunFuzzSeed(options);
+      std::string why;
+      EXPECT_TRUE(report.MeetsClaims(&why))
+          << ToString(store) << " crash-heavy seed " << seed << ": " << why
+          << "\n"
+          << report.Summary();
+    }
+  }
+}
+
+// Amnesia runs replay bit-identically too (crash/recovery is part of the
+// deterministic event stream, not a side channel).
+TEST(FuzzConsistencyTest, AmnesiaReplayIsBitIdentical) {
+  for (FuzzStore store : AllFuzzStores()) {
+    FuzzOptions options = DefaultFuzzOptions(store, 11);
+    options.amnesia = true;
+    const FuzzReport a = RunFuzzSeed(options);
+    const FuzzReport b = RunFuzzSeed(options);
+    EXPECT_EQ(a.Summary(), b.Summary()) << ToString(store);
+  }
+}
+
 // The store-name round trip the replay CLI depends on.
 TEST(FuzzConsistencyTest, StoreNamesRoundTrip) {
   for (FuzzStore store : AllFuzzStores()) {

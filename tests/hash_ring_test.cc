@@ -141,6 +141,43 @@ TEST(HashRingDynamoTest, ClusterWorksWithRingPlacement) {
   }
 }
 
+// Regression: two servers' vnodes can hash to the same ring point. The old
+// AddServer silently overwrote the first owner's point, and RemoveServer of
+// the *second* server then erased the survivor's arc. A narrowed point
+// space (mask 0xFF: 128 vnodes into 256 slots) forces collisions.
+TEST(HashRingTest, VnodeCollisionsAreReprobedNotOverwritten) {
+  HashRing ring(64, /*point_mask=*/0xFF);
+  ring.AddServer(1);
+  ring.AddServer(2);
+  // Every vnode of both servers is on the ring: nothing was overwritten.
+  EXPECT_EQ(ring.point_count(), 128u);
+
+  // Removing server 2 must erase exactly its own points; server 1 keeps
+  // all 64 of its arcs and still owns every key.
+  ring.RemoveServer(2);
+  EXPECT_EQ(ring.point_count(), 64u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(ring.PrimaryFor("key" + std::to_string(i)), 1u);
+  }
+}
+
+TEST(HashRingTest, ReprobedRingStillServesDistinctPreferenceLists) {
+  HashRing ring(32, /*point_mask=*/0xFF);
+  for (sim::NodeId n = 1; n <= 5; ++n) ring.AddServer(n);
+  EXPECT_EQ(ring.point_count(), 5u * 32u);
+  for (int i = 0; i < 50; ++i) {
+    const auto pref = ring.PreferenceList("k" + std::to_string(i), 3);
+    ASSERT_EQ(pref.size(), 3u);
+    std::set<sim::NodeId> distinct(pref.begin(), pref.end());
+    EXPECT_EQ(distinct.size(), 3u);
+  }
+  // Add/remove churn keeps the books exact.
+  ring.RemoveServer(3);
+  EXPECT_EQ(ring.point_count(), 4u * 32u);
+  ring.AddServer(3);
+  EXPECT_EQ(ring.point_count(), 5u * 32u);
+}
+
 TEST(HashRingDynamoTest, SloppyQuorumStillWorksOnRing) {
   sim::Simulator sim(5);
   sim::Network net(&sim, std::make_unique<sim::ConstantLatency>(

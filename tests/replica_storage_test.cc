@@ -142,6 +142,41 @@ TEST(ReplicaStorageTest, WritesAfterCheckpointStillRecover) {
   EXPECT_EQ(rs.Get("b")[0].value, "2");
 }
 
+// Satellite pin: the full checkpoint -> crash -> replay round-trip. The
+// recovered state must be bit-exact (merkle root, version count, values,
+// tombstones) with a checkpoint record in the middle of the log, and the
+// recovered store must keep journaling correctly afterwards.
+TEST(ReplicaStorageTest, CheckpointCrashReplayRoundTrip) {
+  ReplicaStorage rs(2);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i % 7);
+    rs.Put(key, "pre" + std::to_string(i), rs.ContextFor(key), Ts(i + 1));
+  }
+  rs.Delete("k6", rs.ContextFor("k6"), Ts(60));
+  ASSERT_GT(rs.Checkpoint(), 0u);
+  // Post-checkpoint traffic, including a resurrection of the tombstone.
+  rs.Put("k6", "reborn", rs.ContextFor("k6"), Ts(61));
+  rs.Put("k0", "post", rs.ContextFor("k0"), Ts(62));
+  rs.Delete("k1", rs.ContextFor("k1"), Ts(63));
+
+  const uint64_t root = rs.merkle().RootDigest();
+  const size_t versions = rs.version_count();
+  auto replayed = rs.CrashAndRecover();
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_GT(*replayed, 3u);  // checkpoint records + the post-checkpoint tail
+  EXPECT_EQ(rs.merkle().RootDigest(), root);
+  EXPECT_EQ(rs.version_count(), versions);
+  EXPECT_EQ(rs.Get("k6")[0].value, "reborn");
+  EXPECT_EQ(rs.Get("k0")[0].value, "post");
+  EXPECT_TRUE(rs.Get("k1").empty());      // tombstoned
+  EXPECT_FALSE(rs.GetRaw("k1").empty());  // tombstone retained
+
+  // The recovered store journals new writes: a second crash loses nothing.
+  rs.Put("k2", "after-recovery", rs.ContextFor("k2"), Ts(64));
+  ASSERT_TRUE(rs.CrashAndRecover().ok());
+  EXPECT_EQ(rs.Get("k2")[0].value, "after-recovery");
+}
+
 TEST(ReplicaStorageTest, CheckpointCounterFloorSurvives) {
   // Regression: after checkpoint + recovery, new writes must still not
   // reuse version-vector slots.

@@ -62,6 +62,38 @@ TEST(WalTest, CorruptRecordStopsRecovery) {
   EXPECT_EQ(valid, second_offset);
 }
 
+// Satellite pin: corrupt-in-the-middle is treated as torn-at-tail. The
+// valid prefix is the recovery state; truncating to it and re-appending
+// yields a clean log (the corrupted suffix, including records after the
+// bad one, is intentionally discarded).
+TEST(WalTest, CorruptMiddleTruncateThenReappendIsClean) {
+  WriteAheadLog wal;
+  wal.Append("alpha");
+  wal.Append("bravo");
+  const uint64_t third_offset = wal.Append("charlie");
+  wal.Append("delta");
+  wal.Append("echo");
+  wal.CorruptByteAt(third_offset + 7);  // flip a payload byte of "charlie"
+
+  std::vector<std::string> records;
+  uint64_t valid = 0;
+  ASSERT_TRUE(wal.ReadAll(&records, &valid).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(valid, third_offset);
+
+  // Recovery protocol: truncate to the valid prefix, then keep appending.
+  wal.TruncateTo(valid);
+  EXPECT_EQ(wal.size_bytes(), third_offset);
+  wal.Append("foxtrot");
+  records.clear();
+  ASSERT_TRUE(wal.ReadAll(&records, &valid).ok());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], "alpha");
+  EXPECT_EQ(records[1], "bravo");
+  EXPECT_EQ(records[2], "foxtrot");
+  EXPECT_EQ(valid, wal.size_bytes());  // whole log valid again
+}
+
 TEST(WalTest, SaveAndLoadFile) {
   WriteAheadLog wal;
   wal.Append("persisted");

@@ -9,6 +9,10 @@
 //   evc_fuzz --seeds=200              # wider sweep
 //   evc_fuzz --store=quorum-weak      # one store only
 //   evc_fuzz --store=paxos --seed=42  # replay one seed (bit-identical)
+//   evc_fuzz --amnesia                # crashes drop volatile state (WAL
+//                                     # recovery on restart)
+//   evc_fuzz --profile=crash-heavy    # schedule biased toward crash/restart
+//                                     # churn (no loss/duplication ramps)
 //   evc_fuzz --verbose                # per-seed summaries, not just failures
 //
 // Exit code: 0 when every store met its claims on every seed, 1 otherwise.
@@ -32,12 +36,31 @@ struct CliOptions {
   std::optional<evc::verify::FuzzStore> store;
   std::optional<uint64_t> single_seed;
   bool verbose = false;
+  bool amnesia = false;
+  std::string profile;  // "" (default) or "crash-heavy"
 };
+
+/// Overlays a named schedule profile onto per-store default options.
+/// "crash-heavy": faults arrive faster, are all partitions/crashes (no
+/// loss/duplication ramps), so every store sees several amnesia
+/// crash/recovery cycles per seed.
+bool ApplyProfile(const std::string& profile,
+                  evc::verify::FuzzOptions* options) {
+  if (profile.empty()) return true;
+  if (profile == "crash-heavy") {
+    options->nemesis.allow_loss = false;
+    options->nemesis.allow_duplication = false;
+    options->nemesis.mean_fault_interval = evc::sim::kSecond;
+    return true;
+  }
+  return false;
+}
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--first-seed=S] [--store=NAME] "
-               "[--seed=S] [--verbose]\n  stores:",
+               "[--seed=S] [--amnesia] [--profile=crash-heavy] [--verbose]\n"
+               "  stores:",
                argv0);
   for (evc::verify::FuzzStore s : evc::verify::AllFuzzStores()) {
     std::fprintf(stderr, " %s", evc::verify::ToString(s));
@@ -66,6 +89,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
         return false;
       }
       cli->store = store;
+    } else if (const char* v = value_of("--profile=")) {
+      cli->profile = v;
+    } else if (arg == "--amnesia") {
+      cli->amnesia = true;
     } else if (arg == "--verbose" || arg == "-v") {
       cli->verbose = true;
     } else {
@@ -95,8 +122,13 @@ int main(int argc, char** argv) {
       const uint64_t seed =
           cli.single_seed ? *cli.single_seed
                           : cli.first_seed + static_cast<uint64_t>(i);
-      const evc::verify::FuzzOptions options =
+      evc::verify::FuzzOptions options =
           evc::verify::DefaultFuzzOptions(store, seed);
+      options.amnesia = cli.amnesia;
+      if (!ApplyProfile(cli.profile, &options)) {
+        std::fprintf(stderr, "unknown profile '%s'\n", cli.profile.c_str());
+        return 2;
+      }
       const evc::verify::FuzzReport report = evc::verify::RunFuzzSeed(options);
       if (report.AnomalyDetected()) ++anomalies_recorded;
       std::string why;
