@@ -32,6 +32,8 @@ enum class StatusCode : uint8_t {
   kOutOfRange = 9,          ///< Index or offset beyond valid range.
   kNotSupported = 10,       ///< Feature not implemented for this config.
   kInternal = 11,           ///< Invariant violated inside the library.
+  kDeadlineExceeded = 12,   ///< Caller's overall budget elapsed (vs kTimedOut,
+                            ///< which is a single attempt timing out).
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -82,6 +84,9 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -99,6 +104,9 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -786,8 +786,29 @@ PaxosKvClient::PaxosKvClient(PaxosCluster* cluster, sim::Simulator* sim,
     : cluster_(cluster),
       sim_(sim),
       client_node_(client_node),
-      servers_(std::move(servers)) {
+      servers_(std::move(servers)),
+      detector_(resilience::DetectorOptions{}),
+      // Seeded from the client's node id so adding client-side resilience
+      // leaves every other component's random stream untouched.
+      retry_(
+          [] {
+            resilience::RetryOptions r;
+            r.initial_backoff = 50 * sim::kMillisecond;
+            r.max_backoff = 800 * sim::kMillisecond;
+            r.jitter = 0.3;
+            return r;
+          }(),
+          0xbac0ff5eULL ^
+              (uint64_t{client_node} + 1) * 0x9e3779b97f4a7c15ULL) {
   EVC_CHECK(!servers_.empty());
+}
+
+size_t PaxosKvClient::PickServer() const {
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    const size_t idx = (preferred_ + i) % servers_.size();
+    if (!detector_.ConsecutiveFailuresExceeded(servers_[idx])) return idx;
+  }
+  return preferred_ % servers_.size();
 }
 
 void PaxosKvClient::Submit(Command cmd, int attempts_left,
@@ -796,10 +817,22 @@ void PaxosKvClient::Submit(Command cmd, int attempts_left,
     done(Status::Unavailable("paxos retries exhausted"));
     return;
   }
+  preferred_ = PickServer();
   const sim::NodeId target = servers_[preferred_ % servers_.size()];
   cluster_->Propose(
       client_node_, target, cmd,
-      [this, cmd, attempts_left, done](Result<Execution> r) {
+      [this, cmd, target, attempts_left, done](Result<Execution> r) {
+        // Any reply — success, NotLeader, app error — proves the server is
+        // alive; only silence (timeout) counts against it.
+        // The client runs no heartbeat stream, so only the detector's
+        // consecutive-failure fallback applies: replies clear it, timeouts
+        // feed it (phi over request interarrivals would convict idle peers).
+        const bool alive = r.ok() || !r.status().IsTimedOut();
+        if (alive) {
+          detector_.OnAlive(target);
+        } else {
+          detector_.OnFailure(target, sim_->Now());
+        }
         if (r.ok()) {
           done(std::move(r));
           return;
@@ -824,9 +857,12 @@ void PaxosKvClient::Submit(Command cmd, int attempts_left,
           Submit(cmd, attempts_left - 1, done);
           return;
         }
-        // Timeout / abort / unavailable: back off briefly, rotate, retry.
+        // Timeout / abort / unavailable: exponential backoff with jitter,
+        // rotate to the next server, retry. The detector marks a silent
+        // server so PickServer skips it on the next attempt.
         preferred_ = (preferred_ + 1) % servers_.size();
-        sim_->ScheduleAfter(100 * sim::kMillisecond,
+        const int retry_number = kMaxAttempts - attempts_left + 1;
+        sim_->ScheduleAfter(retry_.BackoffBefore(retry_number),
                             [this, cmd, attempts_left, done] {
                               Submit(cmd, attempts_left - 1, done);
                             });
@@ -842,7 +878,7 @@ void PaxosKvClient::Put(const std::string& key, std::string value,
   // One id across all retries: a timed-out attempt may still commit, and the
   // state machine must not apply the retry's duplicate on top of it.
   cmd.op_id = cluster_->MintOpId();
-  Submit(cmd, 10, [done](Result<Execution> r) {
+  Submit(cmd, kMaxAttempts, [done](Result<Execution> r) {
     if (r.ok()) {
       done(r->slot);
     } else {
@@ -856,7 +892,7 @@ void PaxosKvClient::Get(const std::string& key, GetCallback done) {
   cmd.type = Command::Type::kGet;
   cmd.key = key;
   cmd.op_id = cluster_->MintOpId();
-  Submit(cmd, 10, [done](Result<Execution> r) {
+  Submit(cmd, kMaxAttempts, [done](Result<Execution> r) {
     if (!r.ok()) {
       done(r.status());
     } else if (!r->found) {

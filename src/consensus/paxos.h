@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "resilience/detector.h"
+#include "resilience/retry.h"
 #include "sim/rpc.h"
 #include "storage/wal.h"
 
@@ -280,8 +282,13 @@ class PaxosKvClient {
   void Get(const std::string& key, GetCallback done);
 
  private:
+  static constexpr int kMaxAttempts = 10;
+
   void Submit(Command cmd, int attempts_left,
               std::function<void(Result<Execution>)> done);
+  /// First non-suspected server starting at preferred_; falls back to
+  /// preferred_ when the detector suspects everyone.
+  size_t PickServer() const;
 
   PaxosCluster* cluster_;
   sim::Simulator* sim_;
@@ -289,6 +296,11 @@ class PaxosKvClient {
   std::vector<sim::NodeId> servers_;
   size_t preferred_ = 0;  // index of last known-good server
   uint64_t next_op_ = 1;
+  // Client-side resilience: proposal outcomes feed a per-server phi-accrual
+  // detector so leader probing skips servers that stopped answering, and
+  // retries back off exponentially with jitter instead of a fixed pause.
+  resilience::PhiAccrualDetector detector_;
+  resilience::RetryPolicy retry_;
 };
 
 }  // namespace evc::consensus

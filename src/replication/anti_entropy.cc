@@ -107,10 +107,29 @@ void AntiEntropy::GossipRound(size_t index) {
   ReplicaStorage* storage = storages_[index];
   for (int f = 0; f < options_.fanout; ++f) {
     if (nodes_.size() < 2) return;
-    size_t peer;
-    do {
-      peer = rng_.NextBounded(nodes_.size());
-    } while (peer == index);
+    // Draw a peer, re-drawing past self (as before). With a liveness filter
+    // installed, also re-draw past unusable peers, but give up on the round
+    // after a few rejections so a fully-suspect membership terminates.
+    // Without a filter the rng consumption is identical to the original
+    // draw-until-not-self loop.
+    size_t peer = index;
+    bool found = false;
+    int rejected = 0;
+    while (true) {
+      const size_t candidate = rng_.NextBounded(nodes_.size());
+      if (candidate == index) continue;
+      if (options_.peer_usable &&
+          !options_.peer_usable(nodes_[index], nodes_[candidate])) {
+        ++stats_.peers_skipped;
+        Obs().CounterFor("ae.peer_skips").Inc();
+        if (++rejected >= 8) break;
+        continue;
+      }
+      peer = candidate;
+      found = true;
+      break;
+    }
+    if (!found) continue;
     SyncRequest req;
     req.root = storage->merkle().RootDigest();
     const size_t leaves = storage->merkle().leaf_count();

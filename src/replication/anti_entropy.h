@@ -24,6 +24,11 @@ struct AntiEntropyOptions {
   sim::Time interval = 100 * sim::kMillisecond;  ///< gossip round period
   int fanout = 1;          ///< peers contacted per round
   bool push_pull = true;   ///< false = push only (slower convergence)
+  /// Optional liveness filter for gossip peer selection (e.g. a node's
+  /// phi-accrual verdict via DynamoCluster::PeerUsable). A round re-draws a
+  /// few times past unusable peers rather than wasting its fanout on a
+  /// suspect; unset = every peer is eligible (the seed behavior).
+  std::function<bool(sim::NodeId self, sim::NodeId peer)> peer_usable;
 };
 
 struct AntiEntropyStats {
@@ -32,6 +37,7 @@ struct AntiEntropyStats {
   uint64_t buckets_exchanged = 0; ///< divergent leaf buckets shipped
   uint64_t keys_shipped = 0;      ///< (key, sibling-set) payloads sent
   uint64_t digests_shipped = 0;   ///< leaf digests sent (root probes too)
+  uint64_t peers_skipped = 0;     ///< draws rejected by peer_usable
 };
 
 /// Runs anti-entropy among a fixed membership of replicas. Each replica's

@@ -14,6 +14,13 @@ constexpr char kStore[] = "dyn.store";
 constexpr char kRead[] = "dyn.read";
 // Sentinel for "no hinted handoff target" (NodeId 0 is a valid node).
 constexpr sim::NodeId kNoHint = UINT32_MAX;
+
+// Seed stream for per-node ResilientRpc instances. Derived from the node id
+// (not the simulator rng) so adding the resilience layer does not perturb
+// any pre-existing component's random stream.
+uint64_t ResilienceSeed(sim::NodeId node) {
+  return 0xd06f00dULL ^ (uint64_t{node} + 1) * 0x9e3779b97f4a7c15ULL;
+}
 }  // namespace
 
 DynamoCluster::DynamoCluster(sim::Rpc* rpc, QuorumConfig config)
@@ -36,6 +43,8 @@ sim::NodeId DynamoCluster::AddServer() {
   server->storage = std::make_unique<ReplicaStorage>(server->replica_id,
                                                      config_.storage);
   server->clock = LamportClock(server->replica_id);
+  server->resilient = std::make_unique<resilience::ResilientRpc>(
+      rpc_, server->node, config_.resilience, ResilienceSeed(server->node));
   RegisterHandlers(server.get());
   by_node_[server->node] = server.get();
   if (config_.crash_amnesia) {
@@ -65,6 +74,48 @@ ReplicaStorage* DynamoCluster::storage(sim::NodeId server) {
   Server* s = FindServer(server);
   EVC_CHECK(s != nullptr);
   return s->storage.get();
+}
+
+resilience::ResilientRpc* DynamoCluster::resilient(sim::NodeId server) {
+  Server* s = FindServer(server);
+  EVC_CHECK(s != nullptr);
+  return s->resilient.get();
+}
+
+bool DynamoCluster::TargetUsable(Server* coordinator,
+                                 sim::NodeId candidate) const {
+  if (config_.use_oracle_detector) {
+    return rpc_->network()->CanCommunicate(coordinator->node, candidate);
+  }
+  return coordinator->resilient->PeerUsable(candidate);
+}
+
+bool DynamoCluster::PeerUsable(sim::NodeId server, sim::NodeId peer) const {
+  if (config_.use_oracle_detector) return true;
+  auto it = by_node_.find(server);
+  if (it == by_node_.end()) return true;
+  return it->second->resilient->PeerUsable(peer);
+}
+
+void DynamoCluster::StartFailureDetection() {
+  if (config_.use_oracle_detector) return;
+  std::vector<sim::NodeId> nodes;
+  nodes.reserve(servers_.size());
+  for (const auto& server : servers_) nodes.push_back(server->node);
+  for (auto& server : servers_) server->resilient->StartHeartbeats(nodes);
+}
+
+resilience::ResilientRpc* DynamoCluster::ClientRpc(sim::NodeId client) {
+  if (Server* s = FindServer(client)) return s->resilient.get();
+  auto it = client_rpcs_.find(client);
+  if (it == client_rpcs_.end()) {
+    it = client_rpcs_
+             .emplace(client, std::make_unique<resilience::ResilientRpc>(
+                                  rpc_, client, config_.resilience,
+                                  ResilienceSeed(client)))
+             .first;
+  }
+  return it->second.get();
 }
 
 std::vector<sim::NodeId> DynamoCluster::RingWalk(
@@ -102,9 +153,9 @@ void DynamoCluster::WriteTargets(Server* coordinator, const std::string& key,
   }
   // Sloppy quorum: walk the ring; replace unreachable preferred nodes with
   // the next reachable nodes, carrying a hint naming the intended home.
-  // (Reachability here is the coordinator's failure detector, modeled as an
-  // oracle over the simulated network.)
-  sim::Network* net = rpc_->network();
+  // Reachability is the coordinator's own failure detector (phi-accrual over
+  // observed replies) unless use_oracle_detector opts back into the
+  // omniscient network oracle.
   const std::vector<sim::NodeId> ring_walk = RingWalk(key);
   size_t walk = 0;
   size_t preferred_idx = 0;
@@ -115,7 +166,7 @@ void DynamoCluster::WriteTargets(Server* coordinator, const std::string& key,
         targets->end()) {
       continue;
     }
-    if (!net->CanCommunicate(coordinator->node, candidate)) continue;
+    if (!TargetUsable(coordinator, candidate)) continue;
     // Is this candidate one of the preferred homes, or a fallback?
     const bool is_preferred =
         std::find(preferred.begin(), preferred.end(), candidate) !=
@@ -126,8 +177,7 @@ void DynamoCluster::WriteTargets(Server* coordinator, const std::string& key,
     } else {
       // Fallback substitutes for the next still-missing preferred node.
       while (preferred_idx < preferred.size() &&
-             net->CanCommunicate(coordinator->node,
-                                 preferred[preferred_idx])) {
+             TargetUsable(coordinator, preferred[preferred_idx])) {
         ++preferred_idx;
       }
       if (preferred_idx >= preferred.size()) break;
@@ -206,6 +256,20 @@ void DynamoCluster::RegisterHandlers(Server* server) {
       });
 }
 
+// Client calls keep the seed's overall 4*rpc_timeout budget, but spend it as
+// two resilient attempts (2*rpc_timeout each, backoff between) under an
+// absolute deadline instead of one long-shot RPC. A retried put is safe: the
+// coordinator mints a fresh version whose vector dominates the first mint's
+// (same context, higher coordinator counter), so re-execution converges to a
+// single sibling rather than duplicating state.
+resilience::CallOptions DynamoCluster::ClientCallOptions() const {
+  resilience::CallOptions opts;
+  opts.attempt_timeout = 2 * config_.rpc_timeout;
+  opts.deadline = rpc_->simulator()->Now() + 4 * config_.rpc_timeout;
+  opts.max_attempts = 2;
+  return opts;
+}
+
 void DynamoCluster::Put(sim::NodeId client, sim::NodeId coordinator,
                         const std::string& key, std::string value,
                         const VersionVector& context, PutCallback done) {
@@ -214,14 +278,15 @@ void DynamoCluster::Put(sim::NodeId client, sim::NodeId coordinator,
   req.value = std::move(value);
   req.context = context;
   req.is_delete = false;
-  rpc_->Call(client, coordinator, kClientPut, std::move(req),
-             4 * config_.rpc_timeout, [done](Result<std::any> r) {
-               if (!r.ok()) {
-                 done(r.status());
-               } else {
-                 done(std::any_cast<Version>(std::move(r).value()));
-               }
-             });
+  ClientRpc(client)->Call(coordinator, kClientPut, std::move(req),
+                          ClientCallOptions(), [done](Result<std::any> r) {
+                            if (!r.ok()) {
+                              done(r.status());
+                            } else {
+                              done(std::any_cast<Version>(
+                                  std::move(r).value()));
+                            }
+                          });
 }
 
 void DynamoCluster::Delete(sim::NodeId client, sim::NodeId coordinator,
@@ -231,27 +296,42 @@ void DynamoCluster::Delete(sim::NodeId client, sim::NodeId coordinator,
   req.key = key;
   req.context = context;
   req.is_delete = true;
-  rpc_->Call(client, coordinator, kClientPut, std::move(req),
-             4 * config_.rpc_timeout, [done](Result<std::any> r) {
-               if (!r.ok()) {
-                 done(r.status());
-               } else {
-                 done(std::any_cast<Version>(std::move(r).value()));
-               }
-             });
+  ClientRpc(client)->Call(coordinator, kClientPut, std::move(req),
+                          ClientCallOptions(), [done](Result<std::any> r) {
+                            if (!r.ok()) {
+                              done(r.status());
+                            } else {
+                              done(std::any_cast<Version>(
+                                  std::move(r).value()));
+                            }
+                          });
 }
 
 void DynamoCluster::Get(sim::NodeId client, sim::NodeId coordinator,
                         const std::string& key, GetCallback done) {
   ClientGetReq req{key};
-  rpc_->Call(client, coordinator, kClientGet, std::move(req),
-             4 * config_.rpc_timeout, [done](Result<std::any> r) {
-               if (!r.ok()) {
-                 done(r.status());
-               } else {
-                 done(std::any_cast<ReadResult>(std::move(r).value()));
-               }
-             });
+  resilience::CallOptions opts = ClientCallOptions();
+  if (config_.hedge_reads && servers_.size() > 1) {
+    // Race a slow coordinator against the next server; reads are idempotent
+    // and both coordinators merge the same replica set, so either reply is
+    // a valid quorum read.
+    opts.hedge = true;
+    for (size_t i = 0; i < servers_.size(); ++i) {
+      if (servers_[i]->node == coordinator) {
+        opts.hedge_to = servers_[(i + 1) % servers_.size()]->node;
+        break;
+      }
+    }
+  }
+  ClientRpc(client)->Call(coordinator, kClientGet, std::move(req), opts,
+                          [done](Result<std::any> r) {
+                            if (!r.ok()) {
+                              done(r.status());
+                            } else {
+                              done(std::any_cast<ReadResult>(
+                                  std::move(r).value()));
+                            }
+                          });
 }
 
 void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
@@ -310,15 +390,23 @@ void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
     }
   };
 
+  // Fan-out legs feed the coordinator's detector/breaker (record_outcome)
+  // in both modes; single attempt, breaker not consulted — the quorum math
+  // already tolerates missing acks, and WriteTargets skipped unusable
+  // peers up front.
+  resilience::CallOptions leg;
+  leg.attempt_timeout = config_.rpc_timeout;
+  leg.max_attempts = 1;
+  leg.respect_breaker = false;
   for (size_t i = 0; i < targets.size(); ++i) {
     StoreReq store;
     store.key = req.key;
     store.versions = {version};
     store.has_hint = intended[i] != kNoHint;
     store.intended = intended[i];
-    rpc_->Call(coordinator->node, targets[i], kStore, std::move(store),
-               config_.rpc_timeout,
-               [on_complete](Result<std::any> r) { on_complete(r.ok()); });
+    coordinator->resilient->Call(
+        targets[i], kStore, std::move(store), leg,
+        [on_complete](Result<std::any> r) { on_complete(r.ok()); });
   }
 }
 
@@ -397,12 +485,16 @@ void DynamoCluster::CoordinateGet(
     }
   };
 
+  resilience::CallOptions leg;
+  leg.attempt_timeout = config_.rpc_timeout;
+  leg.max_attempts = 1;
+  leg.respect_breaker = false;
   for (const sim::NodeId target : preferred) {
     ReadReq read{key};
-    rpc_->Call(coordinator->node, target, kRead, std::move(read),
-               config_.rpc_timeout, [on_reply, target](Result<std::any> r) {
-                 on_reply(target, std::move(r));
-               });
+    coordinator->resilient->Call(target, kRead, std::move(read), leg,
+                                 [on_reply, target](Result<std::any> r) {
+                                   on_reply(target, std::move(r));
+                                 });
   }
 }
 
@@ -422,16 +514,25 @@ void DynamoCluster::DeliverHints(Server* server) {
   if (!net->IsNodeUp(server->node)) return;
   for (auto it = server->hints.begin(); it != server->hints.end();) {
     const sim::NodeId intended = it->first;
-    if (!net->CanCommunicate(server->node, intended)) {
+    // Hold the hint while the intended home still looks down — to the
+    // holder's own detector in detector mode, to the oracle otherwise.
+    const bool reachable = config_.use_oracle_detector
+                               ? net->CanCommunicate(server->node, intended)
+                               : server->resilient->PeerUsable(intended);
+    if (!reachable) {
       ++it;
       continue;
     }
+    resilience::CallOptions leg;
+    leg.attempt_timeout = config_.rpc_timeout;
+    leg.max_attempts = 1;
+    leg.respect_breaker = false;
     for (const auto& [key, versions] : it->second) {
       StoreReq store;
       store.key = key;
       store.versions = versions;
-      rpc_->Call(server->node, intended, kStore, std::move(store),
-                 config_.rpc_timeout, [this](Result<std::any> r) {
+      server->resilient->Call(intended, kStore, std::move(store), leg,
+                              [this](Result<std::any> r) {
                    if (r.ok()) {
                      ++stats_.hints_delivered;
                      Obs().CounterFor("dyn.hints_delivered").Inc();

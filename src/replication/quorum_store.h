@@ -23,6 +23,7 @@
 
 #include "clock/lamport.h"
 #include "replication/hash_ring.h"
+#include "resilience/resilient_rpc.h"
 #include "sim/rpc.h"
 #include "storage/replica_storage.h"
 
@@ -46,6 +47,18 @@ struct QuorumConfig {
   /// the storage WAL. Hints are deliberately NOT journaled — Dynamo treats
   /// them as best-effort, with anti-entropy as the backstop.
   bool crash_amnesia = true;
+  /// Opt-out: use the simulator's omniscient CanCommunicate oracle for
+  /// sloppy-quorum target selection and hint-delivery gating instead of the
+  /// default client-side phi-accrual detector. The oracle is blind to gray
+  /// failures (slow/flaky links look "reachable"); the detector sees what a
+  /// real coordinator sees. Kept for A/B experiments against the seed
+  /// behavior.
+  bool use_oracle_detector = false;
+  /// Hedge client reads: a slow coordinator gets raced against the next
+  /// server after a latency-percentile delay (first reply wins).
+  bool hedge_reads = false;
+  /// Retry/hedge/detector tuning shared by all servers and clients.
+  resilience::ResilienceOptions resilience;
 };
 
 /// Result of a quorum read.
@@ -113,6 +126,18 @@ class DynamoCluster : private sim::CrashParticipant {
   /// Starts periodic hinted-handoff delivery attempts on every server.
   void StartHintDelivery(sim::Time interval);
 
+  /// Starts phi-accrual heartbeat probing between all servers. No-op in
+  /// oracle mode (the oracle needs no evidence). Call after AddServers.
+  void StartFailureDetection();
+
+  /// `server`'s client-side liveness verdict on `peer`: detector + breaker
+  /// in detector mode, always true in oracle mode (callers that want the
+  /// oracle ask the Network directly). Used by anti-entropy peer selection.
+  bool PeerUsable(sim::NodeId server, sim::NodeId peer) const;
+
+  /// Resilience layer of a server (for assertions on detector state).
+  resilience::ResilientRpc* resilient(sim::NodeId server);
+
   /// Storage engine of a server (for assertions / anti-entropy wiring).
   ReplicaStorage* storage(sim::NodeId server);
   const DynamoStats& stats() const { return stats_; }
@@ -133,6 +158,9 @@ class DynamoCluster : private sim::CrashParticipant {
     uint64_t coord_counter = 0;  // for versions minted as coordinator
     // Hinted handoff buffer: intended server -> key -> versions.
     std::map<sim::NodeId, std::map<std::string, std::vector<Version>>> hints;
+    // Client-side resilience: fan-out outcomes feed its detector/breaker in
+    // both modes; only detector mode consults the verdicts.
+    std::unique_ptr<resilience::ResilientRpc> resilient;
   };
 
   // RPC payloads.
@@ -164,6 +192,15 @@ class DynamoCluster : private sim::CrashParticipant {
 
   Server* FindServer(sim::NodeId node);
   void RegisterHandlers(Server* server);
+  /// Coordinator's liveness verdict on a fan-out candidate: oracle or
+  /// detector per config (see QuorumConfig::use_oracle_detector).
+  bool TargetUsable(Server* coordinator, sim::NodeId candidate) const;
+  /// Lazily built per-client ResilientRpc (client retries + read hedging).
+  /// Reuses the server's instance when `client` is also a server node.
+  resilience::ResilientRpc* ClientRpc(sim::NodeId client);
+  /// Per-call options for client ops: two attempts inside the same overall
+  /// 4*rpc_timeout budget the seed spent on one long-shot RPC.
+  resilience::CallOptions ClientCallOptions() const;
   /// Global metrics registry of the owning simulator (dyn.* instruments).
   obs::MetricsRegistry& Obs();
 
@@ -194,6 +231,8 @@ class DynamoCluster : private sim::CrashParticipant {
   QuorumConfig config_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::map<sim::NodeId, Server*> by_node_;
+  std::map<sim::NodeId, std::unique_ptr<resilience::ResilientRpc>>
+      client_rpcs_;
   HashRing ring_;
   DynamoStats stats_;
   sim::CrashRegistrar crash_registrar_;

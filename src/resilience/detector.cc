@@ -1,0 +1,90 @@
+#include "resilience/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace evc::resilience {
+
+PhiAccrualDetector::PhiAccrualDetector(DetectorOptions options)
+    : options_(options) {
+  EVC_CHECK(options_.suspect_threshold > 0.0);
+  EVC_CHECK(options_.window >= 2);
+  EVC_CHECK(options_.min_std > 0);
+  EVC_CHECK(options_.first_interval_estimate > 0);
+}
+
+void PhiAccrualDetector::OnArrival(uint32_t peer, sim::Time now) {
+  PeerHistory& h = peers_[peer];
+  h.consecutive_failures = 0;
+  if (h.has_arrival && now >= h.last_arrival) {
+    const sim::Time interval = now - h.last_arrival;
+    h.intervals.push_back(interval);
+    const double x = static_cast<double>(interval);
+    h.sum += x;
+    h.sum_sq += x * x;
+    if (h.intervals.size() > options_.window) {
+      const double old = static_cast<double>(h.intervals.front());
+      h.intervals.pop_front();
+      h.sum -= old;
+      h.sum_sq -= old * old;
+    }
+  }
+  h.last_arrival = now;
+  h.has_arrival = true;
+}
+
+void PhiAccrualDetector::OnAlive(uint32_t peer) {
+  auto it = peers_.find(peer);
+  if (it != peers_.end()) it->second.consecutive_failures = 0;
+}
+
+void PhiAccrualDetector::OnFailure(uint32_t peer, sim::Time) {
+  ++peers_[peer].consecutive_failures;
+}
+
+double PhiAccrualDetector::Phi(uint32_t peer, sim::Time now) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || !it->second.has_arrival) return 0.0;
+  const PeerHistory& h = it->second;
+
+  double mean;
+  double std_dev;
+  if (h.intervals.size() < 2) {
+    mean = static_cast<double>(options_.first_interval_estimate);
+    std_dev = mean / 4.0;
+  } else {
+    const double n = static_cast<double>(h.intervals.size());
+    mean = h.sum / n;
+    const double var = std::max(0.0, h.sum_sq / n - mean * mean);
+    std_dev = std::sqrt(var);
+  }
+  std_dev = std::max(std_dev, static_cast<double>(options_.min_std));
+
+  const double t = static_cast<double>(std::max<sim::Time>(0, now - h.last_arrival));
+  // Logistic approximation to the normal tail (as in Akka's implementation):
+  // P(interval > t) ~ e / (1 + e) with e = exp(-y (1.5976 + 0.070566 y^2)).
+  const double y = (t - mean) / std_dev;
+  const double e = std::exp(-y * (1.5976 + 0.070566 * y * y));
+  const double p_later =
+      t > mean ? e / (1.0 + e) : 1.0 - 1.0 / (1.0 + e);
+  if (p_later <= 0.0) return 40.0;  // beyond double precision: certainly dead
+  return -std::log10(p_later);
+}
+
+bool PhiAccrualDetector::IsSuspected(uint32_t peer, sim::Time now) const {
+  if (ConsecutiveFailuresExceeded(peer)) return true;
+  return Phi(peer, now) >= options_.suspect_threshold;
+}
+
+bool PhiAccrualDetector::ConsecutiveFailuresExceeded(uint32_t peer) const {
+  auto it = peers_.find(peer);
+  return it != peers_.end() && options_.consecutive_failures_to_suspect > 0 &&
+         it->second.consecutive_failures >=
+             options_.consecutive_failures_to_suspect;
+}
+
+void PhiAccrualDetector::Forget(uint32_t peer) { peers_.erase(peer); }
+
+}  // namespace evc::resilience

@@ -1,0 +1,320 @@
+#include "resilience/resilient_rpc.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace evc::resilience {
+
+namespace {
+constexpr char kPingMethod[] = "rsl.ping";
+struct PingReq {};
+}  // namespace
+
+struct ResilientRpc::CallState {
+  sim::NodeId to = 0;
+  std::string method;
+  std::any request;  // prototype; each leg sends a copy
+  CallOptions opts;
+  sim::RpcCallback cb;
+  bool completed = false;
+  int legs_inflight = 0;
+  bool hedge_issued = false;
+  bool hedge_timer_armed = false;
+  sim::EventId hedge_timer = 0;
+  Status last_error = Status::Unavailable("no attempt issued");
+};
+
+ResilientRpc::ResilientRpc(sim::Rpc* rpc, sim::NodeId self,
+                           ResilienceOptions options, uint64_t seed)
+    : rpc_(rpc),
+      self_(self),
+      options_(options),
+      retry_(options.retry, seed ^ 0x52455452ULL),  // "RETR"
+      detector_(options.detector),
+      breaker_(options.breaker),
+      rng_(seed) {
+  EVC_CHECK(rpc_ != nullptr);
+  // Answer other nodes' heartbeat probes.
+  rpc_->RegisterHandler(
+      self_, kPingMethod,
+      [](sim::NodeId, std::any, sim::RpcResponder respond) {
+        respond(std::any{true});
+      });
+}
+
+obs::MetricsRegistry& ResilientRpc::Obs() const {
+  return rpc_->simulator()->metrics().global();
+}
+
+void ResilientRpc::Call(sim::NodeId to, const std::string& method,
+                        std::any request, const CallOptions& options,
+                        sim::RpcCallback cb) {
+  EVC_CHECK(options.max_attempts >= 1);
+  EVC_CHECK(options.attempt_timeout > 0);
+  auto state = std::make_shared<CallState>();
+  state->to = to;
+  state->method = method;
+  state->request = std::move(request);
+  state->opts = options;
+  state->cb = std::move(cb);
+  Attempt(state, 0);
+}
+
+void ResilientRpc::Attempt(const std::shared_ptr<CallState>& state,
+                           int attempt) {
+  sim::Simulator* sim = rpc_->simulator();
+  const sim::Time now = sim->Now();
+  sim::Time timeout = state->opts.attempt_timeout;
+  if (state->opts.deadline > 0) {
+    const sim::Time remaining = state->opts.deadline - now;
+    if (remaining <= 0) {
+      FailDeadline(state);
+      return;
+    }
+    timeout = std::min(timeout, remaining);
+  }
+  if (state->opts.respect_breaker && options_.breaker_enabled &&
+      !breaker_.AllowRequest(state->to, now)) {
+    ++stats_.breaker_rejects;
+    Obs().CounterFor("resilience.breaker_rejects").Inc();
+    state->last_error = Status::Unavailable("circuit breaker open");
+    RetryOrFail(state, attempt);
+    return;
+  }
+
+  ++stats_.attempts;
+  Obs().CounterFor("resilience.attempts").Inc();
+  state->legs_inflight = 0;
+  state->hedge_issued = false;
+  state->hedge_timer_armed = false;
+  IssueLeg(state, attempt, state->to, /*is_hedge=*/false, timeout);
+
+  if (state->opts.hedge) {
+    const sim::NodeId hedge_to =
+        state->opts.hedge_to == CallOptions::kSameDestination
+            ? state->to
+            : state->opts.hedge_to;
+    const sim::Time delay = HedgeDelay();
+    if (delay < timeout) {
+      state->hedge_timer_armed = true;
+      state->hedge_timer = sim->ScheduleAfter(
+          delay, [this, state, attempt, hedge_to, timeout] {
+            if (state->completed || !state->hedge_timer_armed) return;
+            state->hedge_timer_armed = false;
+            sim::Time hedge_timeout = timeout;
+            if (state->opts.deadline > 0) {
+              const sim::Time rem =
+                  state->opts.deadline - rpc_->simulator()->Now();
+              if (rem <= 0) return;
+              hedge_timeout = std::min(hedge_timeout, rem);
+            }
+            state->hedge_issued = true;
+            ++stats_.hedges_issued;
+            Obs().CounterFor("resilience.hedges_issued").Inc();
+            IssueLeg(state, attempt, hedge_to, /*is_hedge=*/true,
+                     hedge_timeout);
+          });
+    }
+  }
+}
+
+void ResilientRpc::IssueLeg(const std::shared_ptr<CallState>& state,
+                            int attempt, sim::NodeId dest, bool is_hedge,
+                            sim::Time timeout) {
+  ++state->legs_inflight;
+  const sim::Time started = rpc_->simulator()->Now();
+  std::any payload = state->request;  // retries/hedges re-send a copy
+  rpc_->Call(self_, dest, state->method, std::move(payload), timeout,
+             [this, state, attempt, dest, is_hedge,
+              started](Result<std::any> r) {
+               OnLegDone(state, attempt, dest, is_hedge, started,
+                         std::move(r));
+             });
+}
+
+void ResilientRpc::OnLegDone(const std::shared_ptr<CallState>& state,
+                             int attempt, sim::NodeId dest, bool is_hedge,
+                             sim::Time leg_started, Result<std::any> r) {
+  --state->legs_inflight;
+  // A reply — even an application error — proves the peer is alive; only a
+  // timeout counts against it.
+  const bool definitive = r.ok() || !r.status().IsTimedOut();
+  if (state->opts.record_outcome) RecordOutcome(dest, definitive);
+
+  // First definitive reply wins; the loser's reply lands here after
+  // `completed` is set and is dropped (each leg has its own rpc call id, so
+  // there is no cross-talk in sim::Rpc either).
+  if (state->completed) return;
+
+  if (definitive) {
+    if (state->hedge_issued) {
+      if (is_hedge) {
+        ++stats_.hedges_won;
+        Obs().CounterFor("resilience.hedges_won").Inc();
+      } else {
+        ++stats_.hedges_lost;
+        Obs().CounterFor("resilience.hedges_lost").Inc();
+      }
+    }
+    if (state->hedge_timer_armed) {
+      state->hedge_timer_armed = false;
+      rpc_->simulator()->Cancel(state->hedge_timer);
+    }
+    if (r.ok()) {
+      attempt_latency_us_.Add(
+          static_cast<double>(rpc_->simulator()->Now() - leg_started));
+    }
+    Complete(state, std::move(r));
+    return;
+  }
+
+  state->last_error = r.status();
+  if (state->legs_inflight > 0) return;  // other leg still racing
+  if (state->hedge_timer_armed) {
+    state->hedge_timer_armed = false;
+    rpc_->simulator()->Cancel(state->hedge_timer);
+  }
+  RetryOrFail(state, attempt);
+}
+
+void ResilientRpc::RetryOrFail(const std::shared_ptr<CallState>& state,
+                               int attempt) {
+  if (attempt + 1 >= state->opts.max_attempts) {
+    Complete(state, state->last_error.ok()
+                        ? Status::Unavailable("attempts exhausted")
+                        : state->last_error);
+    return;
+  }
+  const sim::Time backoff = retry_.BackoffBefore(attempt + 1);
+  const sim::Time now = rpc_->simulator()->Now();
+  // Deadline propagation: when the remaining budget cannot even cover the
+  // backoff sleep, fail fast instead of sleeping past the deadline.
+  if (state->opts.deadline > 0 && now + backoff >= state->opts.deadline) {
+    FailDeadline(state);
+    return;
+  }
+  ++stats_.retries;
+  Obs().CounterFor("resilience.retries").Inc();
+  rpc_->simulator()->ScheduleAfter(
+      backoff, [this, state, attempt] { Attempt(state, attempt + 1); });
+}
+
+void ResilientRpc::Complete(const std::shared_ptr<CallState>& state,
+                            Result<std::any> r) {
+  if (state->completed) return;
+  state->completed = true;
+  state->cb(std::move(r));
+}
+
+void ResilientRpc::FailDeadline(const std::shared_ptr<CallState>& state) {
+  ++stats_.deadline_exceeded;
+  Obs().CounterFor("resilience.deadline_exceeded").Inc();
+  Complete(state, Status::DeadlineExceeded("call budget exhausted"));
+}
+
+sim::Time ResilientRpc::HedgeDelay() const {
+  const HedgeOptions& h = options_.hedge;
+  if (attempt_latency_us_.count() < h.min_samples) {
+    return std::max(h.min_delay, h.default_delay);
+  }
+  const auto p =
+      static_cast<sim::Time>(attempt_latency_us_.Percentile(h.percentile));
+  return std::max(h.min_delay, p);
+}
+
+void ResilientRpc::RecordOutcome(sim::NodeId peer, bool success,
+                                 bool heartbeat) {
+  const sim::Time now = rpc_->simulator()->Now();
+  if (success) {
+    // Only heartbeat replies enter the phi interval window: request
+    // interarrivals follow the workload, not a clock, and feeding them in
+    // would convict every peer the client merely stopped talking to.
+    if (heartbeat) {
+      detector_.OnArrival(peer, now);
+    } else {
+      detector_.OnAlive(peer);
+    }
+  } else {
+    detector_.OnFailure(peer, now);
+  }
+  if (options_.breaker_enabled) {
+    if (success) {
+      breaker_.OnSuccess(peer);
+    } else {
+      breaker_.OnFailure(peer, now);
+    }
+  }
+  NoteSuspicionEdge(peer);
+}
+
+bool ResilientRpc::SuspectedNow(sim::NodeId peer, sim::Time now) const {
+  // The silence-based phi verdict assumes a regular arrival stream; with no
+  // heartbeats running, only repeated explicit failures convict.
+  if (heartbeats_started_) return detector_.IsSuspected(peer, now);
+  return detector_.ConsecutiveFailuresExceeded(peer);
+}
+
+void ResilientRpc::NoteSuspicionEdge(sim::NodeId peer) {
+  const sim::Time now = rpc_->simulator()->Now();
+  const bool suspected = SuspectedNow(peer, now);
+  bool& prev = suspected_[peer];
+  if (suspected && !prev) {
+    ++stats_.suspect_transitions;
+    Obs().CounterFor("resilience.detector.suspects").Inc();
+    // Honesty accounting: if the omniscient oracle says the peer was
+    // reachable at the moment suspicion was raised, this was a false alarm.
+    // (Gray failures are deliberately NOT false positives: the oracle still
+    // reports a flaky link as reachable, but suspecting it is the point.)
+    if (rpc_->network()->CanCommunicate(self_, peer)) {
+      ++stats_.false_positives;
+      Obs().CounterFor("resilience.detector.false_positives").Inc();
+    }
+  }
+  prev = suspected;
+}
+
+bool ResilientRpc::PeerUsable(sim::NodeId peer) const {
+  const sim::Time now = rpc_->simulator()->Now();
+  if (SuspectedNow(peer, now)) return false;
+  if (options_.breaker_enabled &&
+      breaker_.StateOf(peer, now) == CircuitBreaker::State::kOpen) {
+    return false;
+  }
+  return true;
+}
+
+void ResilientRpc::StartHeartbeats(std::vector<sim::NodeId> peers) {
+  if (heartbeats_started_) return;
+  heartbeats_started_ = true;
+  sim::Simulator* sim = rpc_->simulator();
+  for (sim::NodeId peer : peers) {
+    if (peer == self_) continue;
+    // Phase-stagger first probes so a cluster of detectors doesn't fire in
+    // lockstep.
+    const sim::Time phase = static_cast<sim::Time>(rng_.NextBounded(
+                                static_cast<uint64_t>(
+                                    options_.heartbeat_interval))) +
+                            1;
+    sim->ScheduleAfter(phase, [this, peer] { HeartbeatTick(peer); });
+  }
+}
+
+void ResilientRpc::HeartbeatTick(sim::NodeId peer) {
+  sim::Simulator* sim = rpc_->simulator();
+  sim->ScheduleAfter(options_.heartbeat_interval,
+                     [this, peer] { HeartbeatTick(peer); });
+  // A crashed process runs no detector; probing resumes after restart.
+  if (!rpc_->network()->IsNodeUp(self_)) return;
+  ++stats_.heartbeats_sent;
+  Obs().CounterFor("resilience.heartbeats_sent").Inc();
+  // Probes bypass the breaker on purpose: a healed peer's successful probe
+  // is what closes its breaker again.
+  rpc_->Call(self_, peer, kPingMethod, std::any{PingReq{}},
+             options_.heartbeat_timeout, [this, peer](Result<std::any> r) {
+               RecordOutcome(peer, r.ok(), /*heartbeat=*/true);
+             });
+}
+
+}  // namespace evc::resilience

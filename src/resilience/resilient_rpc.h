@@ -1,0 +1,179 @@
+// Client-side resilience facade over sim::Rpc.
+//
+// One ResilientRpc instance belongs to one node (`self`) and composes the
+// three client-side mechanisms real systems use against partial failure:
+//
+//   * retries  — capped exponential backoff with seeded jitter (retry.h),
+//     with per-call deadline propagation: a retry whose backoff would sleep
+//     past the caller's absolute deadline fails fast with DeadlineExceeded
+//     instead of burning budget it no longer has;
+//   * hedging  — after a latency-percentile delay, a second copy of the
+//     request goes to an alternate destination; the first definitive reply
+//     wins, the loser's reply is ignored (distinct rpc call ids make that
+//     duplicate-safe), and the pending hedge timer is cancelled on a win
+//     ("The Tail at Scale", CACM 2013);
+//   * failure detection — heartbeat probes feed a per-destination
+//     phi-accrual detector (detector.h); every attempt outcome feeds its
+//     consecutive-failure fallback and a circuit breaker (breaker.h);
+//     PeerUsable() is the client-side, implementable replacement for the
+//     Network::CanCommunicate oracle.
+//
+// Detector honesty is measured, not assumed: on every not-suspected ->
+// suspected edge the layer consults the simulator's ground truth and counts
+// a false positive (resilience.detector.false_positives) when the oracle
+// says the peer was actually reachable.
+//
+// Determinism: all jitter and phase staggering comes from an Rng seeded at
+// construction; no wall-clock anywhere. Two same-seed runs issue identical
+// schedules of attempts, hedges, and probes.
+
+#ifndef EVC_RESILIENCE_RESILIENT_RPC_H_
+#define EVC_RESILIENCE_RESILIENT_RPC_H_
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "resilience/breaker.h"
+#include "resilience/detector.h"
+#include "resilience/retry.h"
+#include "sim/rpc.h"
+
+namespace evc::resilience {
+
+/// Hedged-request policy: when to issue the second attempt.
+struct HedgeOptions {
+  /// Hedge after the observed latency at this percentile (of this node's
+  /// successful attempts) has elapsed without a reply.
+  double percentile = 0.95;
+  /// Samples required before the percentile is trusted.
+  size_t min_samples = 16;
+  /// Hedge delay used until enough samples exist.
+  sim::Time default_delay = 50 * sim::kMillisecond;
+  sim::Time min_delay = 1 * sim::kMillisecond;
+};
+
+struct ResilienceOptions {
+  RetryOptions retry;
+  DetectorOptions detector;
+  BreakerOptions breaker;
+  HedgeOptions hedge;
+  bool breaker_enabled = true;
+  /// Heartbeat probing (StartHeartbeats): period and per-probe timeout.
+  sim::Time heartbeat_interval = 100 * sim::kMillisecond;
+  sim::Time heartbeat_timeout = 150 * sim::kMillisecond;
+};
+
+/// Per-call knobs. The per-attempt timeout is the sim::Rpc timeout; the
+/// deadline is an absolute sim-time budget across ALL attempts and backoffs.
+struct CallOptions {
+  sim::Time attempt_timeout = 250 * sim::kMillisecond;
+  /// Absolute deadline (sim time); 0 = no deadline.
+  sim::Time deadline = 0;
+  /// Total attempts (hedges don't count). 1 = no retries.
+  int max_attempts = 1;
+  /// Issue a hedged second copy of slow attempts.
+  bool hedge = false;
+  /// Destination of the hedged copy; kSameDestination re-sends to `to`.
+  sim::NodeId hedge_to = kSameDestination;
+  /// Feed attempt outcomes into the detector/breaker.
+  bool record_outcome = true;
+  /// Reject attempts the breaker holds open (failing fast with Unavailable).
+  bool respect_breaker = true;
+
+  static constexpr sim::NodeId kSameDestination = UINT32_MAX;
+};
+
+struct ResilienceStats {
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t hedges_issued = 0;
+  uint64_t hedges_won = 0;   ///< hedge leg answered first
+  uint64_t hedges_lost = 0;  ///< primary answered first, hedge wasted
+  uint64_t breaker_rejects = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t suspect_transitions = 0;
+  uint64_t false_positives = 0;  ///< suspected while oracle said reachable
+  uint64_t heartbeats_sent = 0;
+};
+
+class ResilientRpc {
+ public:
+  /// `self` is the node this instance issues calls from. `seed` drives all
+  /// jitter; derive it deterministically (e.g. from the node id).
+  ResilientRpc(sim::Rpc* rpc, sim::NodeId self, ResilienceOptions options,
+               uint64_t seed);
+
+  ResilientRpc(const ResilientRpc&) = delete;
+  ResilientRpc& operator=(const ResilientRpc&) = delete;
+
+  /// Issues `method` to `to` with retries/hedging per `options`. `cb` fires
+  /// exactly once: with the first definitive reply, DeadlineExceeded when
+  /// the budget ran out, Unavailable when the breaker rejected the final
+  /// attempt, or the last attempt's error.
+  void Call(sim::NodeId to, const std::string& method, std::any request,
+            const CallOptions& options, sim::RpcCallback cb);
+
+  /// Starts periodic ping probes to `peers`, phase-staggered. Probes feed
+  /// the detector/breaker exactly like real attempt outcomes. Peers answer
+  /// via their own ResilientRpc (the ping handler registers in the ctor).
+  void StartHeartbeats(std::vector<sim::NodeId> peers);
+
+  /// Client-side liveness verdict for `peer`: not suspected by the detector
+  /// and not held open by the breaker. Non-mutating. Phi (silence-based)
+  /// suspicion applies only while heartbeats run — without a heartbeat
+  /// stream, silence is workload, not death, and only the
+  /// consecutive-failure fallback and the breaker convict.
+  bool PeerUsable(sim::NodeId peer) const;
+
+  /// Feeds an externally observed outcome (e.g. a fan-out RPC issued
+  /// through the raw sim::Rpc) into the detector/breaker. Only heartbeat
+  /// outcomes (`heartbeat = true`) enter the phi interval window; request
+  /// outcomes touch the consecutive-failure fallback and the breaker.
+  void RecordOutcome(sim::NodeId peer, bool success, bool heartbeat = false);
+
+  PhiAccrualDetector& detector() { return detector_; }
+  const PhiAccrualDetector& detector() const { return detector_; }
+  CircuitBreaker& breaker() { return breaker_; }
+  const ResilienceStats& stats() const { return stats_; }
+  sim::NodeId self() const { return self_; }
+  sim::Rpc* rpc() { return rpc_; }
+
+ private:
+  struct CallState;
+
+  void Attempt(const std::shared_ptr<CallState>& state, int attempt);
+  void IssueLeg(const std::shared_ptr<CallState>& state, int attempt,
+                sim::NodeId dest, bool is_hedge, sim::Time timeout);
+  void OnLegDone(const std::shared_ptr<CallState>& state, int attempt,
+                 sim::NodeId dest, bool is_hedge, sim::Time leg_started,
+                 Result<std::any> r);
+  void RetryOrFail(const std::shared_ptr<CallState>& state, int attempt);
+  void Complete(const std::shared_ptr<CallState>& state, Result<std::any> r);
+  void FailDeadline(const std::shared_ptr<CallState>& state);
+  sim::Time HedgeDelay() const;
+  bool SuspectedNow(sim::NodeId peer, sim::Time now) const;
+  void NoteSuspicionEdge(sim::NodeId peer);
+  void HeartbeatTick(sim::NodeId peer);
+  obs::MetricsRegistry& Obs() const;
+
+  sim::Rpc* rpc_;
+  sim::NodeId self_;
+  ResilienceOptions options_;
+  RetryPolicy retry_;
+  PhiAccrualDetector detector_;
+  CircuitBreaker breaker_;
+  Rng rng_;
+  ResilienceStats stats_;
+  Histogram attempt_latency_us_;  ///< successful attempts, feeds HedgeDelay
+  std::unordered_map<sim::NodeId, bool> suspected_;  ///< last published edge
+  bool heartbeats_started_ = false;
+};
+
+}  // namespace evc::resilience
+
+#endif  // EVC_RESILIENCE_RESILIENT_RPC_H_

@@ -1,0 +1,32 @@
+#include "resilience/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace evc::resilience {
+
+RetryPolicy::RetryPolicy(RetryOptions options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  EVC_CHECK(options_.max_attempts >= 1);
+  EVC_CHECK(options_.initial_backoff > 0);
+  EVC_CHECK(options_.max_backoff >= options_.initial_backoff);
+  EVC_CHECK(options_.multiplier >= 1.0);
+  EVC_CHECK(options_.jitter >= 0.0 && options_.jitter < 1.0);
+}
+
+sim::Time RetryPolicy::BackoffBefore(int retry) {
+  EVC_CHECK(retry >= 1);
+  double backoff = static_cast<double>(options_.initial_backoff) *
+                   std::pow(options_.multiplier, retry - 1);
+  backoff = std::min(backoff, static_cast<double>(options_.max_backoff));
+  if (options_.jitter > 0.0) {
+    const double scale =
+        1.0 + options_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+    backoff *= scale;
+  }
+  return std::max<sim::Time>(1, static_cast<sim::Time>(backoff));
+}
+
+}  // namespace evc::resilience

@@ -1,0 +1,46 @@
+// Capped exponential backoff with deterministic seeded jitter.
+//
+// The client half of the resilience layer (see resilient_rpc.h): every
+// retried attempt backs off exponentially from `initial_backoff` up to
+// `max_backoff`, with +/-`jitter` multiplicative noise drawn from a seeded
+// Rng so that (a) retry storms decorrelate across clients and (b) a whole
+// schedule of retries is still a pure function of the seed.
+
+#ifndef EVC_RESILIENCE_RETRY_H_
+#define EVC_RESILIENCE_RETRY_H_
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace evc::resilience {
+
+struct RetryOptions {
+  /// Total attempts (first try + retries) a policy-driven call may make.
+  int max_attempts = 3;
+  sim::Time initial_backoff = 25 * sim::kMillisecond;
+  sim::Time max_backoff = 2 * sim::kSecond;
+  double multiplier = 2.0;
+  /// Multiplicative jitter fraction: each backoff is scaled by a uniform
+  /// draw in [1-jitter, 1+jitter]. 0 disables jitter.
+  double jitter = 0.2;
+};
+
+class RetryPolicy {
+ public:
+  RetryPolicy(RetryOptions options, uint64_t seed);
+
+  /// Backoff to sleep before retry number `retry` (1-based: 1 precedes the
+  /// second attempt). Consumes one jittered draw, so calls must happen in
+  /// schedule order to stay deterministic.
+  sim::Time BackoffBefore(int retry);
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+};
+
+}  // namespace evc::resilience
+
+#endif  // EVC_RESILIENCE_RETRY_H_

@@ -76,6 +76,49 @@ std::string FaultAction::ToString() const {
       out += buf;
       break;
     }
+    case Kind::kSlowLink: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "slow-link %u<->%u x%.2f", node, node_b,
+                    factor);
+      out += buf;
+      break;
+    }
+    case Kind::kFlakyLink: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "flaky-link %u<->%u drop %.3f", node,
+                    node_b, rate);
+      out += buf;
+      break;
+    }
+    case Kind::kSlowNode: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "slow-node %u +%.1fms", node,
+                    static_cast<double>(delay) / kMillisecond);
+      out += buf;
+      break;
+    }
+    case Kind::kRandomSlowLink: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "random-slow-link x%.2f", factor);
+      out += buf;
+      break;
+    }
+    case Kind::kRandomFlakyLink: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "random-flaky-link drop %.3f", rate);
+      out += buf;
+      break;
+    }
+    case Kind::kRandomSlowNode: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "random-slow-node +%.1fms",
+                    static_cast<double>(delay) / kMillisecond);
+      out += buf;
+      break;
+    }
+    case Kind::kGrayRecover:
+      out += "gray-recover";
+      break;
     case Kind::kHealAll:
       out += "heal-all";
       break;
@@ -158,6 +201,67 @@ FaultPlan& FaultPlan::DuplicateRateAt(Time at, double rate) {
   return Push(std::move(a));
 }
 
+FaultPlan& FaultPlan::SlowLinkAt(Time at, NodeId a, NodeId b, double factor) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kSlowLink;
+  action.at = at;
+  action.node = a;
+  action.node_b = b;
+  action.factor = factor;
+  return Push(std::move(action));
+}
+
+FaultPlan& FaultPlan::FlakyLinkAt(Time at, NodeId a, NodeId b,
+                                  double drop_rate) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kFlakyLink;
+  action.at = at;
+  action.node = a;
+  action.node_b = b;
+  action.rate = drop_rate;
+  return Push(std::move(action));
+}
+
+FaultPlan& FaultPlan::SlowNodeAt(Time at, NodeId node, Time delay) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kSlowNode;
+  action.at = at;
+  action.node = node;
+  action.delay = delay;
+  return Push(std::move(action));
+}
+
+FaultPlan& FaultPlan::RandomSlowLinkAt(Time at, double factor) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kRandomSlowLink;
+  action.at = at;
+  action.factor = factor;
+  return Push(std::move(action));
+}
+
+FaultPlan& FaultPlan::RandomFlakyLinkAt(Time at, double drop_rate) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kRandomFlakyLink;
+  action.at = at;
+  action.rate = drop_rate;
+  return Push(std::move(action));
+}
+
+FaultPlan& FaultPlan::RandomSlowNodeAt(Time at, Time delay) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kRandomSlowNode;
+  action.at = at;
+  action.delay = delay;
+  return Push(std::move(action));
+}
+
+FaultPlan& FaultPlan::GrayRecoverAt(Time at) {
+  FaultAction action;
+  action.kind = FaultAction::Kind::kGrayRecover;
+  action.at = at;
+  return Push(std::move(action));
+}
+
 FaultPlan& FaultPlan::HealAllAt(Time at) {
   FaultAction a;
   a.kind = FaultAction::Kind::kHealAll;
@@ -191,7 +295,12 @@ FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
   FaultPlan plan;
   const Time end = options.duration;
 
-  enum Family { kPartitionF, kCrashF, kLossF, kDupF };
+  enum Family {
+    kPartitionF, kCrashF, kLossF, kDupF,
+    kSlowLinkF, kFlakyLinkF, kSlowNodeF
+  };
+  // Gray families are appended after the historical ones, so schedules drawn
+  // with the default toggles consume the rng stream exactly as before.
   std::vector<Family> families;
   if (options.allow_partitions) families.push_back(kPartitionF);
   if (options.allow_crashes && options.max_concurrent_crashes > 0) {
@@ -199,6 +308,13 @@ FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
   }
   if (options.allow_loss) families.push_back(kLossF);
   if (options.allow_duplication) families.push_back(kDupF);
+  if (options.allow_slow_links && targets_.size() >= 2) {
+    families.push_back(kSlowLinkF);
+  }
+  if (options.allow_flaky_links && targets_.size() >= 2) {
+    families.push_back(kFlakyLinkF);
+  }
+  if (options.allow_slow_nodes) families.push_back(kSlowNodeF);
   if (families.empty()) {
     if (options.heal_at_end) plan.HealAllAt(end);
     return plan;
@@ -253,6 +369,26 @@ FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
         plan.DuplicateRateAt(t,
                              rng_.NextDouble() * options.max_duplicate_rate);
         plan.DuplicateRateAt(recover_at, 0.0);
+        break;
+      case kSlowLinkF:
+        // Factor in [2, max]: a x1 slow link would be a no-op draw.
+        plan.RandomSlowLinkAt(
+            t, 2.0 + rng_.NextDouble() * (options.max_latency_factor - 2.0));
+        plan.GrayRecoverAt(recover_at);
+        break;
+      case kFlakyLinkF:
+        // Rate in [0.2, max]: low rates are indistinguishable from loss.
+        plan.RandomFlakyLinkAt(
+            t, 0.2 + rng_.NextDouble() * (options.max_flaky_drop_rate - 0.2));
+        plan.GrayRecoverAt(recover_at);
+        break;
+      case kSlowNodeF:
+        plan.RandomSlowNodeAt(
+            t, std::max<Time>(kMillisecond,
+                              static_cast<Time>(
+                                  rng_.NextDouble() *
+                                  static_cast<double>(options.max_node_delay))));
+        plan.GrayRecoverAt(recover_at);
         break;
     }
   }
@@ -419,10 +555,120 @@ void Nemesis::Apply(const FaultAction& action) {
       Note(buf);
       break;
     }
+    case Kind::kSlowLink:
+    case Kind::kFlakyLink:
+    case Kind::kSlowNode:
+    case Kind::kRandomSlowLink:
+    case Kind::kRandomFlakyLink:
+    case Kind::kRandomSlowNode:
+      ApplyGray(action);
+      break;
+    case Kind::kGrayRecover: {
+      if (gray_active_.empty()) {
+        ++stats_.skipped;
+        Note("gray-recover skipped (no active gray fault)");
+        break;
+      }
+      const GrayFault fault = gray_active_.front();
+      gray_active_.pop_front();
+      RecoverGray(fault);
+      break;
+    }
     case Kind::kHealAll:
       HealAll();
       break;
   }
+}
+
+bool Nemesis::DrawTargetPair(NodeId* a, NodeId* b) {
+  if (targets_.size() < 2) return false;
+  const size_t i = rng_.NextBounded(targets_.size());
+  const size_t j_raw = rng_.NextBounded(targets_.size() - 1);
+  const size_t j = j_raw < i ? j_raw : j_raw + 1;
+  *a = targets_[i];
+  *b = targets_[j];
+  return true;
+}
+
+void Nemesis::ApplyGray(const FaultAction& action) {
+  using Kind = FaultAction::Kind;
+  GrayFault fault;
+  fault.node = action.node;
+  fault.node_b = action.node_b;
+  switch (action.kind) {
+    case Kind::kSlowLink:
+    case Kind::kRandomSlowLink: {
+      fault.kind = Kind::kSlowLink;
+      if (action.kind == Kind::kRandomSlowLink &&
+          !DrawTargetPair(&fault.node, &fault.node_b)) {
+        ++stats_.skipped;
+        Note("random-slow-link skipped (fewer than two targets)");
+        return;
+      }
+      net_->SetLinkLatencyFactor(fault.node, fault.node_b, action.factor);
+      char buf[80];
+      std::snprintf(buf, sizeof(buf), "slow-link %u<->%u x%.2f", fault.node,
+                    fault.node_b, action.factor);
+      Note(buf);
+      break;
+    }
+    case Kind::kFlakyLink:
+    case Kind::kRandomFlakyLink: {
+      fault.kind = Kind::kFlakyLink;
+      if (action.kind == Kind::kRandomFlakyLink &&
+          !DrawTargetPair(&fault.node, &fault.node_b)) {
+        ++stats_.skipped;
+        Note("random-flaky-link skipped (fewer than two targets)");
+        return;
+      }
+      net_->SetLinkDropRate(fault.node, fault.node_b, action.rate);
+      char buf[80];
+      std::snprintf(buf, sizeof(buf), "flaky-link %u<->%u drop %.3f",
+                    fault.node, fault.node_b, action.rate);
+      Note(buf);
+      break;
+    }
+    case Kind::kSlowNode:
+    case Kind::kRandomSlowNode: {
+      fault.kind = Kind::kSlowNode;
+      if (action.kind == Kind::kRandomSlowNode) {
+        fault.node = targets_[rng_.NextBounded(targets_.size())];
+      }
+      net_->SetNodeProcessingDelay(fault.node, action.delay);
+      char buf[80];
+      std::snprintf(buf, sizeof(buf), "slow-node %u +%.1fms", fault.node,
+                    static_cast<double>(action.delay) / kMillisecond);
+      Note(buf);
+      break;
+    }
+    default:
+      EVC_CHECK(false);
+  }
+  gray_active_.push_back(fault);
+  ++stats_.gray_faults;
+}
+
+void Nemesis::RecoverGray(const GrayFault& fault) {
+  using Kind = FaultAction::Kind;
+  switch (fault.kind) {
+    case Kind::kSlowLink:
+      net_->SetLinkLatencyFactor(fault.node, fault.node_b, 1.0);
+      Note("gray-recover slow-link " + std::to_string(fault.node) + "<->" +
+           std::to_string(fault.node_b));
+      break;
+    case Kind::kFlakyLink:
+      net_->SetLinkDropRate(fault.node, fault.node_b, 0.0);
+      Note("gray-recover flaky-link " + std::to_string(fault.node) + "<->" +
+           std::to_string(fault.node_b));
+      break;
+    case Kind::kSlowNode:
+      net_->SetNodeProcessingDelay(fault.node, 0);
+      Note("gray-recover slow-node " + std::to_string(fault.node));
+      break;
+    default:
+      EVC_CHECK(false);
+  }
+  ++stats_.gray_recoveries;
 }
 
 void Nemesis::HealAll() {
@@ -436,6 +682,11 @@ void Nemesis::HealAll() {
   }
   net_->set_loss_rate(0.0);
   net_->set_duplicate_rate(0.0);
+  while (!gray_active_.empty()) {
+    const GrayFault fault = gray_active_.front();
+    gray_active_.pop_front();
+    RecoverGray(fault);
+  }
   ++stats_.heals;
   Note("heal-all");
 }

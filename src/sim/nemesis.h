@@ -45,14 +45,27 @@ struct FaultAction {
     kRandomRestart,    ///< restart the longest-crashed nemesis-crashed target
     kLossRate,         ///< set the network loss probability
     kDuplicateRate,    ///< set the network duplication probability
-    kHealAll,          ///< heal partition, restart crashed targets, zero rates
+    // Gray failures: the link/node keeps "working" as far as the
+    // CanCommunicate oracle is concerned, but degrades service.
+    kSlowLink,         ///< inflate latency on an explicit link by `factor`
+    kFlakyLink,        ///< drop transmissions on an explicit link at `rate`
+    kSlowNode,         ///< add processing `delay` to an explicit node
+    kRandomSlowLink,   ///< kSlowLink on a random target pair
+    kRandomFlakyLink,  ///< kFlakyLink on a random target pair
+    kRandomSlowNode,   ///< kSlowNode on a random target
+    kGrayRecover,      ///< undo the oldest still-active gray fault
+    kHealAll,          ///< heal partition, restart crashed targets, zero
+                       ///< rates, clear gray faults
   };
 
   Kind kind = Kind::kHeal;
   Time at = 0;
   std::vector<std::vector<NodeId>> groups;  ///< kPartition only
-  NodeId node = 0;                          ///< kCrash / kRestart only
-  double rate = 0.0;                        ///< kLossRate / kDuplicateRate
+  NodeId node = 0;     ///< kCrash / kRestart / kSlowNode / link endpoint a
+  NodeId node_b = 0;   ///< link endpoint b (kSlowLink / kFlakyLink)
+  double rate = 0.0;   ///< kLossRate / kDuplicateRate / kFlakyLink
+  double factor = 1.0; ///< kSlowLink latency multiplier
+  Time delay = 0;      ///< kSlowNode processing delay
   PartitionStyle style = PartitionStyle::kMajorityMinority;
 
   std::string ToString() const;
@@ -71,6 +84,13 @@ class FaultPlan {
   FaultPlan& RandomRestartAt(Time at);
   FaultPlan& LossRateAt(Time at, double rate);
   FaultPlan& DuplicateRateAt(Time at, double rate);
+  FaultPlan& SlowLinkAt(Time at, NodeId a, NodeId b, double factor);
+  FaultPlan& FlakyLinkAt(Time at, NodeId a, NodeId b, double drop_rate);
+  FaultPlan& SlowNodeAt(Time at, NodeId node, Time delay);
+  FaultPlan& RandomSlowLinkAt(Time at, double factor);
+  FaultPlan& RandomFlakyLinkAt(Time at, double drop_rate);
+  FaultPlan& RandomSlowNodeAt(Time at, Time delay);
+  FaultPlan& GrayRecoverAt(Time at);
   FaultPlan& HealAllAt(Time at);
 
   const std::vector<FaultAction>& actions() const { return actions_; }
@@ -95,14 +115,23 @@ struct NemesisScheduleOptions {
   Time mean_fault_interval = 1500 * kMillisecond;
   /// Mean (exponential) time a fault holds before its paired heal/restart.
   Time mean_fault_duration = 2 * kSecond;
-  /// Fault families the generator may draw.
+  /// Fault families the generator may draw. The gray families default to
+  /// off so historical schedules (pinned fuzz corpora) replay bit-identically
+  /// — enabling a family appends to the draw table, never reorders it.
   bool allow_partitions = true;
   bool allow_crashes = true;
   bool allow_loss = true;
   bool allow_duplication = true;
+  bool allow_slow_links = false;
+  bool allow_flaky_links = false;
+  bool allow_slow_nodes = false;
   /// Upper bounds for the rate ramps.
   double max_loss_rate = 0.25;
   double max_duplicate_rate = 0.25;
+  /// Upper bounds for the gray-failure draws.
+  double max_latency_factor = 8.0;
+  double max_flaky_drop_rate = 0.6;
+  Time max_node_delay = 30 * kMillisecond;
   /// Maximum targets crashed at once (1 keeps an n>=3 majority alive).
   int max_concurrent_crashes = 1;
   /// Append a HealAll at `duration` so runs end fault-free.
@@ -115,9 +144,12 @@ struct NemesisStats {
   uint64_t crashes = 0;
   uint64_t restarts = 0;
   uint64_t rate_changes = 0;
+  uint64_t gray_faults = 0;      ///< slow/flaky links + slow nodes applied
+  uint64_t gray_recoveries = 0;  ///< gray faults undone
   uint64_t skipped = 0;  ///< random actions with no eligible target
   uint64_t total() const {
-    return partitions + heals + crashes + restarts + rate_changes;
+    return partitions + heals + crashes + restarts + rate_changes +
+           gray_faults + gray_recoveries;
   }
 };
 
@@ -153,6 +185,9 @@ class Nemesis {
   /// True if no target is currently crashed by this Nemesis.
   bool AllTargetsUp() const { return crashed_.empty(); }
 
+  /// Gray faults applied by this Nemesis and not yet recovered.
+  size_t active_gray_faults() const { return gray_active_.size(); }
+
   const NemesisStats& stats() const { return stats_; }
 
   /// Time-stamped record of every fault actually applied (randomized
@@ -160,8 +195,20 @@ class Nemesis {
   const std::vector<std::string>& log() const { return log_; }
 
  private:
+  /// One gray fault this Nemesis currently holds active (for GrayRecover /
+  /// HealAll undo). `node_b` is unused for slow-node entries.
+  struct GrayFault {
+    FaultAction::Kind kind = FaultAction::Kind::kSlowNode;
+    NodeId node = 0;
+    NodeId node_b = 0;
+  };
+
   void Apply(const FaultAction& action);
   void ApplyRandomPartition(PartitionStyle style);
+  void ApplyGray(const FaultAction& action);
+  void RecoverGray(const GrayFault& fault);
+  /// Draws a random unordered target pair; false if fewer than two targets.
+  bool DrawTargetPair(NodeId* a, NodeId* b);
   void Note(const std::string& what);
 
   Network* net_;
@@ -169,6 +216,7 @@ class Nemesis {
   Rng rng_;
   NemesisStats stats_;
   std::deque<NodeId> crashed_;  ///< targets crashed by us, oldest first
+  std::deque<GrayFault> gray_active_;  ///< active gray faults, oldest first
   std::vector<std::string> log_;
 };
 

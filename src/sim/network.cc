@@ -17,6 +17,7 @@ Network::Network(Simulator* sim, std::unique_ptr<LatencyModel> latency)
   metrics_.drop_crashed = &g.CounterFor("net.drop.crashed");
   metrics_.drop_partition = &g.CounterFor("net.drop.partition");
   metrics_.drop_loss = &g.CounterFor("net.drop.loss");
+  metrics_.drop_flaky = &g.CounterFor("net.drop.flaky");
   metrics_.drop_no_handler = &g.CounterFor("net.drop.no_handler");
   metrics_.delivery_latency_us = &g.HistogramFor("net.delivery_latency_us");
 }
@@ -72,6 +73,60 @@ void Network::Heal() {
   for (auto& g : node_group_) g = 0;
 }
 
+uint64_t Network::LinkKey(NodeId a, NodeId b) {
+  const NodeId lo = a < b ? a : b;
+  const NodeId hi = a < b ? b : a;
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+void Network::SetLinkLatencyFactor(NodeId a, NodeId b, double factor) {
+  EVC_CHECK(factor > 0.0);
+  if (factor == 1.0) {
+    link_latency_factor_.erase(LinkKey(a, b));
+  } else {
+    link_latency_factor_[LinkKey(a, b)] = factor;
+  }
+}
+
+double Network::LinkLatencyFactor(NodeId a, NodeId b) const {
+  auto it = link_latency_factor_.find(LinkKey(a, b));
+  return it == link_latency_factor_.end() ? 1.0 : it->second;
+}
+
+void Network::SetLinkDropRate(NodeId a, NodeId b, double rate) {
+  EVC_CHECK(rate >= 0.0 && rate <= 1.0);
+  if (rate == 0.0) {
+    link_drop_rate_.erase(LinkKey(a, b));
+  } else {
+    link_drop_rate_[LinkKey(a, b)] = rate;
+  }
+}
+
+double Network::LinkDropRate(NodeId a, NodeId b) const {
+  auto it = link_drop_rate_.find(LinkKey(a, b));
+  return it == link_drop_rate_.end() ? 0.0 : it->second;
+}
+
+void Network::SetNodeProcessingDelay(NodeId node, Time delay) {
+  EVC_CHECK(delay >= 0);
+  if (delay == 0) {
+    node_delay_.erase(node);
+  } else {
+    node_delay_[node] = delay;
+  }
+}
+
+Time Network::NodeProcessingDelay(NodeId node) const {
+  auto it = node_delay_.find(node);
+  return it == node_delay_.end() ? 0 : it->second;
+}
+
+void Network::ClearGrayFaults() {
+  link_latency_factor_.clear();
+  link_drop_rate_.clear();
+  node_delay_.clear();
+}
+
 void Network::Send(NodeId from, NodeId to, std::string type,
                    std::any payload) {
   ++messages_sent_;
@@ -93,6 +148,12 @@ void Network::Send(NodeId from, NodeId to, std::string type,
     metrics_.drop_loss->Inc();
     return;
   }
+  if (const double flaky = LinkDropRate(from, to);
+      flaky > 0 && rng_.NextBool(flaky)) {
+    ++messages_dropped_;
+    metrics_.drop_flaky->Inc();
+    return;
+  }
   Message msg;
   msg.from = from;
   msg.to = to;
@@ -100,7 +161,13 @@ void Network::Send(NodeId from, NodeId to, std::string type,
   msg.payload = std::move(payload);
   msg.sent_at = sim_->Now();
 
-  const Time latency = latency_->Sample(from, to, rng_);
+  // Gray faults stretch delivery: slow links scale the sampled latency,
+  // slow nodes add processing delay at both sender and receiver.
+  Time latency = latency_->Sample(from, to, rng_);
+  if (const double factor = LinkLatencyFactor(from, to); factor != 1.0) {
+    latency = static_cast<Time>(static_cast<double>(latency) * factor);
+  }
+  latency += NodeProcessingDelay(from) + NodeProcessingDelay(to);
   const bool duplicate = duplicate_rate_ > 0 && rng_.NextBool(duplicate_rate_);
   if (duplicate) {
     metrics_.duplicated->Inc();

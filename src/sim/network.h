@@ -83,7 +83,36 @@ class Network {
   /// Removes any partition.
   void Heal();
   /// True if a and b can currently exchange messages (both up, same side).
+  /// Deliberately blind to gray failures below: a slow or flaky link still
+  /// "communicates" as far as this oracle is concerned — that gap is exactly
+  /// what client-side failure detectors (src/resilience) must close.
   bool CanCommunicate(NodeId a, NodeId b) const;
+
+  // --- gray failures (partial, non-binary faults) --------------------------
+  //
+  // The link knobs are symmetric (one value per unordered node pair); a
+  // factor of 1.0 / rate of 0.0 / delay of 0 clears the entry.
+
+  /// Multiplies sampled delivery latency on the a<->b link by `factor`.
+  void SetLinkLatencyFactor(NodeId a, NodeId b, double factor);
+  double LinkLatencyFactor(NodeId a, NodeId b) const;
+
+  /// Probability in [0,1] that a transmission on the a<->b link is dropped,
+  /// independent of the global loss rate.
+  void SetLinkDropRate(NodeId a, NodeId b, double rate);
+  double LinkDropRate(NodeId a, NodeId b) const;
+
+  /// Extra processing delay added to every message into or out of `node`
+  /// (a "limping" node: alive, answering, but slow).
+  void SetNodeProcessingDelay(NodeId node, Time delay);
+  Time NodeProcessingDelay(NodeId node) const;
+
+  /// Clears all slow-link, flaky-link, and slow-node state.
+  void ClearGrayFaults();
+  bool HasGrayFaults() const {
+    return !link_latency_factor_.empty() || !link_drop_rate_.empty() ||
+           !node_delay_.empty();
+  }
 
   // --- introspection -------------------------------------------------------
 
@@ -102,6 +131,7 @@ class Network {
  private:
   void Deliver(Message msg);
   uint32_t GroupOf(NodeId node) const;
+  static uint64_t LinkKey(NodeId a, NodeId b);
 
   // Cached global metrics instruments (stable references; see obs/metrics.h).
   struct NetMetrics {
@@ -111,6 +141,7 @@ class Network {
     obs::Counter* drop_crashed = nullptr;
     obs::Counter* drop_partition = nullptr;
     obs::Counter* drop_loss = nullptr;
+    obs::Counter* drop_flaky = nullptr;
     obs::Counter* drop_no_handler = nullptr;
     Histogram* delivery_latency_us = nullptr;  // evc::Histogram (common/stats.h)
   };
@@ -124,6 +155,10 @@ class Network {
   bool partitioned_ = false;
   double loss_rate_ = 0.0;
   double duplicate_rate_ = 0.0;
+  // Gray-failure state, keyed by unordered node pair (LinkKey) or node.
+  std::unordered_map<uint64_t, double> link_latency_factor_;
+  std::unordered_map<uint64_t, double> link_drop_rate_;
+  std::unordered_map<NodeId, Time> node_delay_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;

@@ -102,7 +102,14 @@ void Rpc::OnRequest(Message msg) {
 void Rpc::OnReply(Message msg) {
   auto env = std::any_cast<ReplyEnvelope>(std::move(msg.payload));
   auto it = pending_.find(env.call_id);
-  if (it == pending_.end()) return;  // late reply after timeout: ignore
+  if (it == pending_.end()) {
+    // Late reply after timeout (or a network duplicate of a reply already
+    // consumed): ignored, but counted — hedging win/loss accounting needs
+    // the number of replies that raced a timeout to balance.
+    network_->simulator()->metrics().global()
+        .CounterFor("rpc.late_replies").Inc();
+    return;
+  }
   Pending pending = std::move(it->second);
   Simulator* sim = network_->simulator();
   sim->Cancel(pending.timeout_event);

@@ -381,14 +381,22 @@ FuzzReport RunQuorum(const FuzzOptions& o, bool strict) {
   cfg.sloppy = !strict;
   cfg.read_repair = true;
   cfg.crash_amnesia = o.amnesia;
+  cfg.use_oracle_detector = o.use_oracle_detector;
   repl::DynamoCluster cluster(&s.rpc, cfg);
   const std::vector<sim::NodeId> servers = cluster.AddServers(o.servers);
   cluster.StartHintDelivery(500 * kMillisecond);
+  cluster.StartFailureDetection();  // no-op in oracle mode
 
   std::vector<ReplicaStorage*> storages;
   for (sim::NodeId srv : servers) storages.push_back(cluster.storage(srv));
   repl::AntiEntropyOptions ae_options;
   ae_options.interval = 250 * kMillisecond;
+  if (!o.use_oracle_detector) {
+    // Route gossip peer selection through each node's own detector verdict.
+    ae_options.peer_usable = [&cluster](sim::NodeId self, sim::NodeId peer) {
+      return cluster.PeerUsable(self, peer);
+    };
+  }
   repl::AntiEntropy ae(&s.net, servers, storages, ae_options);
   ae.Start();
 
@@ -515,6 +523,13 @@ FuzzReport RunQuorum(const FuzzOptions& o, bool strict) {
 
   rep.sess_checked = true;
   rep.session = CheckSessionGuarantees(history);
+
+  rep.hints_stored = cluster.stats().hints_stored;
+  rep.detector_false_positives =
+      s.sim.metrics()
+          .global()
+          .CounterFor("resilience.detector.false_positives")
+          .value();
 
   FillCommon(&rep, o, s, nemesis);
   return rep;

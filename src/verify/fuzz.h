@@ -72,6 +72,11 @@ struct FuzzOptions {
   /// store's journal. Off (the default, matching the pinned seed corpora)
   /// reproduces the historical crash-is-just-network-silence behavior.
   bool amnesia = false;
+  /// Quorum stores only: use the omniscient CanCommunicate oracle for
+  /// sloppy-quorum target selection instead of the default phi-accrual
+  /// detector (see QuorumConfig::use_oracle_detector). Same-seed A/B runs
+  /// of the two modes compare their hinted-handoff behavior.
+  bool use_oracle_detector = false;
 };
 
 /// Per-store defaults (server counts, op counts sized to each checker).
@@ -118,6 +123,12 @@ struct FuzzReport {
   // CRDT value property (g-counter total == acked increments).
   bool crdt_value_checked = false;
   bool crdt_value_ok = true;
+
+  // Quorum stores: hinted-handoff volume and detector honesty (suspicions
+  // raised while the network oracle said the peer was reachable — zero by
+  // definition in oracle mode).
+  uint64_t hints_stored = 0;
+  uint64_t detector_false_positives = 0;
 
   /// Any consistency violation recorded, including ones the store's level
   /// does not forbid (weak-store stale reads). This is how the fuzz tests

@@ -115,9 +115,12 @@ TEST(DynamoCrashTest, HintLedgerBalancesAfterCrash) {
   sim::Nemesis nemesis(&net, servers, /*seed=*/9);
 
   // Take one home replica down; sloppy writes hint for it at a substitute.
+  // The failure detector (not the old oracle) picks the substitute, so give
+  // the heartbeats time to convict the crashed replica first.
+  cluster.StartFailureDetection();
   const auto pref = cluster.PreferenceList("k");
   nemesis.Execute(sim::FaultPlan().CrashAt(0, pref[1]));
-  sim.RunFor(50 * kMillisecond);
+  sim.RunFor(kSecond);
   bool ok = false;
   cluster.Put(client, pref[0], "k", "v", {},
               [&](Result<Version> r) { ok = r.ok(); });

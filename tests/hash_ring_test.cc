@@ -188,10 +188,12 @@ TEST(HashRingDynamoTest, SloppyQuorumStillWorksOnRing) {
   config.sloppy = true;
   DynamoCluster cluster(&rpc, config);
   auto servers = cluster.AddServers(6);
+  cluster.StartFailureDetection();
   const sim::NodeId client = net.AddNode();
   const auto pref = cluster.PreferenceList("k");
   net.SetNodeUp(pref[1], false);
   net.SetNodeUp(pref[2], false);
+  sim.RunFor(sim::kSecond);  // heartbeats convict the dead replicas
   int coordinator_index = 0;
   for (size_t i = 0; i < servers.size(); ++i) {
     if (servers[i] == pref[0]) coordinator_index = static_cast<int>(i);

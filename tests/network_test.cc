@@ -210,6 +210,59 @@ TEST_F(NetworkTest, CanCommunicateIsSymmetricUnderPartition) {
   EXPECT_FALSE(net_.CanCommunicate(b, a));
 }
 
+TEST_F(NetworkTest, SlowLinkScalesLatencyBothWays) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  net_.SetLinkLatencyFactor(a, b, 3.0);
+  Time delivered_at = -1;
+  net_.RegisterHandler(b, "m", [&](Message) { delivered_at = sim_.Now(); });
+  net_.RegisterHandler(a, "m", [&](Message) { delivered_at = sim_.Now(); });
+  net_.Send(a, b, "m", Payload{1});
+  sim_.Run();
+  EXPECT_EQ(delivered_at, 30 * kMillisecond);
+  net_.Send(b, a, "m", Payload{2});  // symmetric: same key both directions
+  sim_.Run();
+  EXPECT_EQ(delivered_at, 60 * kMillisecond);
+  net_.SetLinkLatencyFactor(a, b, 1.0);  // neutral value clears the fault
+  EXPECT_FALSE(net_.HasGrayFaults());
+}
+
+TEST_F(NetworkTest, FlakyLinkDropsProbabilisticallyAndCounts) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  int received = 0;
+  net_.RegisterHandler(b, "m", [&](Message) { ++received; });
+  net_.SetLinkDropRate(a, b, 1.0);
+  for (int i = 0; i < 10; ++i) net_.Send(a, b, "m", Payload{i});
+  sim_.Run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net_.messages_dropped(), 10u);
+  // The oracle stays blind: the link is 100% lossy yet "reachable".
+  EXPECT_TRUE(net_.CanCommunicate(a, b));
+  net_.SetLinkDropRate(a, b, 0.0);
+  net_.Send(a, b, "m", Payload{99});
+  sim_.Run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkTest, SlowNodeDelaysItsSendsAndReceives) {
+  const NodeId a = net_.AddNode();
+  const NodeId b = net_.AddNode();
+  const NodeId c = net_.AddNode();
+  net_.SetNodeProcessingDelay(b, 25 * kMillisecond);
+  Time delivered_at = -1;
+  net_.RegisterHandler(b, "m", [&](Message) { delivered_at = sim_.Now(); });
+  net_.RegisterHandler(c, "m", [&](Message) { delivered_at = sim_.Now(); });
+  net_.Send(a, b, "m", Payload{1});  // slow receiver
+  sim_.Run();
+  EXPECT_EQ(delivered_at, 35 * kMillisecond);
+  net_.Send(b, c, "m", Payload{2});  // slow sender
+  sim_.Run();
+  EXPECT_EQ(delivered_at, 70 * kMillisecond);
+  net_.ClearGrayFaults();
+  EXPECT_FALSE(net_.HasGrayFaults());
+}
+
 TEST_F(NetworkTest, SentByTypeAccounts) {
   const NodeId a = net_.AddNode();
   const NodeId b = net_.AddNode();

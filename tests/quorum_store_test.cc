@@ -185,11 +185,15 @@ TEST_F(QuorumStoreTest, SloppyQuorumSurvivesPreferredFailures) {
   QuorumConfig config;
   config.sloppy = true;
   Build(config, /*servers=*/5);
+  cluster_->StartFailureDetection();
   auto pref = cluster_->PreferenceList("k");
   // Coordinator must stay up: pick a server not in the preference list, or
   // the first preferred one; crash the other two preferred replicas.
   net_->SetNodeUp(pref[1], false);
   net_->SetNodeUp(pref[2], false);
+  // Unlike the old CanCommunicate oracle, the failure detector needs a few
+  // missed heartbeats before it convicts the dead replicas.
+  sim_->RunFor(kSecond);
   int coordinator_index = 0;
   for (size_t i = 0; i < server_nodes_.size(); ++i) {
     if (server_nodes_[i] == pref[0]) coordinator_index = static_cast<int>(i);
@@ -205,8 +209,10 @@ TEST_F(QuorumStoreTest, HintedHandoffDeliversAfterRecovery) {
   QuorumConfig config;
   config.sloppy = true;
   Build(config, /*servers=*/5);
+  cluster_->StartFailureDetection();
   auto pref = cluster_->PreferenceList("k");
   net_->SetNodeUp(pref[1], false);
+  sim_->RunFor(kSecond);  // heartbeats convict the dead replica
   int coordinator_index = 0;
   for (size_t i = 0; i < server_nodes_.size(); ++i) {
     if (server_nodes_[i] == pref[0]) coordinator_index = static_cast<int>(i);

@@ -1,0 +1,395 @@
+// Client resilience layer: retry/backoff, deadline propagation, hedged
+// requests, phi-accrual failure detection, and the circuit breaker.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resilience/resilient_rpc.h"
+#include "sim/latency.h"
+
+namespace evc::resilience {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+// ---------------------------------------------------------------------------
+// RetryPolicy
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicy, ExponentialGrowthCappedWithoutJitter) {
+  RetryOptions opts;
+  opts.initial_backoff = 25 * kMillisecond;
+  opts.max_backoff = 100 * kMillisecond;
+  opts.multiplier = 2.0;
+  opts.jitter = 0.0;
+  RetryPolicy policy(opts, 1);
+  EXPECT_EQ(policy.BackoffBefore(1), 25 * kMillisecond);
+  EXPECT_EQ(policy.BackoffBefore(2), 50 * kMillisecond);
+  EXPECT_EQ(policy.BackoffBefore(3), 100 * kMillisecond);
+  EXPECT_EQ(policy.BackoffBefore(4), 100 * kMillisecond);  // capped
+  EXPECT_EQ(policy.BackoffBefore(10), 100 * kMillisecond);
+}
+
+TEST(RetryPolicy, JitterStaysInBandAndIsSeedDeterministic) {
+  RetryOptions opts;
+  opts.initial_backoff = 100 * kMillisecond;
+  opts.max_backoff = kSecond;
+  opts.jitter = 0.2;
+  RetryPolicy a(opts, 99);
+  RetryPolicy b(opts, 99);
+  RetryPolicy c(opts, 100);
+  bool any_diff_from_c = false;
+  for (int retry = 1; retry <= 8; ++retry) {
+    const sim::Time backoff = a.BackoffBefore(retry);
+    EXPECT_EQ(backoff, b.BackoffBefore(retry));  // same seed, same draws
+    const double nominal =
+        std::min(static_cast<double>(opts.max_backoff),
+                 static_cast<double>(opts.initial_backoff) *
+                     std::pow(opts.multiplier, retry - 1));
+    EXPECT_GE(backoff, static_cast<sim::Time>(nominal * 0.8) - 1);
+    EXPECT_LE(backoff, static_cast<sim::Time>(nominal * 1.2) + 1);
+    if (backoff != c.BackoffBefore(retry)) any_diff_from_c = true;
+  }
+  EXPECT_TRUE(any_diff_from_c);  // different seed, different jitter
+}
+
+// ---------------------------------------------------------------------------
+// PhiAccrualDetector
+// ---------------------------------------------------------------------------
+
+TEST(PhiAccrualDetector, RegularHeartbeatsKeepPhiLowSilenceRaisesIt) {
+  PhiAccrualDetector det;
+  sim::Time now = 0;
+  for (int i = 0; i < 30; ++i) {
+    now += 100 * kMillisecond;
+    det.OnArrival(7, now);
+  }
+  // Right after an arrival, phi is ~0 and the peer is trusted.
+  EXPECT_LT(det.Phi(7, now + 50 * kMillisecond), 1.0);
+  EXPECT_FALSE(det.IsSuspected(7, now + 50 * kMillisecond));
+  // After 20x the usual interval of silence, suspicion is overwhelming.
+  EXPECT_GE(det.Phi(7, now + 2 * kSecond), det.options().suspect_threshold);
+  EXPECT_TRUE(det.IsSuspected(7, now + 2 * kSecond));
+  // A fresh arrival clears the suspicion.
+  det.OnArrival(7, now + 2 * kSecond);
+  EXPECT_FALSE(det.IsSuspected(7, now + 2 * kSecond + 50 * kMillisecond));
+}
+
+TEST(PhiAccrualDetector, UnknownPeerIsNotSuspected) {
+  PhiAccrualDetector det;
+  EXPECT_EQ(det.Phi(3, kSecond), 0.0);
+  EXPECT_FALSE(det.IsSuspected(3, kSecond));
+}
+
+TEST(PhiAccrualDetector, ConsecutiveFailureFallbackFiresWithoutHistory) {
+  DetectorOptions opts;
+  opts.consecutive_failures_to_suspect = 3;
+  PhiAccrualDetector det(opts);
+  det.OnFailure(5, kSecond);
+  det.OnFailure(5, 2 * kSecond);
+  EXPECT_FALSE(det.IsSuspected(5, 2 * kSecond));
+  det.OnFailure(5, 3 * kSecond);
+  EXPECT_TRUE(det.IsSuspected(5, 3 * kSecond));
+  // An arrival resets the failure streak.
+  det.OnArrival(5, 4 * kSecond);
+  EXPECT_FALSE(det.IsSuspected(5, 4 * kSecond));
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreaker, TripsOpensProbesAndRecloses) {
+  BreakerOptions opts;
+  opts.failure_threshold = 2;
+  opts.open_duration = 100 * kMillisecond;
+  CircuitBreaker breaker(opts);
+
+  EXPECT_TRUE(breaker.AllowRequest(1, 0));
+  breaker.OnFailure(1, 10 * kMillisecond);
+  EXPECT_TRUE(breaker.AllowRequest(1, 20 * kMillisecond));
+  breaker.OnFailure(1, 30 * kMillisecond);  // second failure: trip
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.StateOf(1, 40 * kMillisecond), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest(1, 40 * kMillisecond));
+  EXPECT_EQ(breaker.rejects(), 1u);
+
+  // Cool-down elapsed: exactly one half-open probe slot.
+  const sim::Time later = 30 * kMillisecond + opts.open_duration;
+  EXPECT_EQ(breaker.StateOf(1, later), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowRequest(1, later));
+  EXPECT_FALSE(breaker.AllowRequest(1, later));  // probe slot taken
+
+  breaker.OnSuccess(1);
+  EXPECT_EQ(breaker.StateOf(1, later + 1), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(1, later + 1));
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithFreshCoolDown) {
+  BreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_duration = 100 * kMillisecond;
+  CircuitBreaker breaker(opts);
+  breaker.OnFailure(9, 0);  // trip
+  EXPECT_TRUE(breaker.AllowRequest(9, 100 * kMillisecond));  // probe
+  breaker.OnFailure(9, 110 * kMillisecond);                  // probe failed
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.AllowRequest(9, 150 * kMillisecond));
+  EXPECT_TRUE(breaker.AllowRequest(9, 210 * kMillisecond));
+}
+
+// ---------------------------------------------------------------------------
+// ResilientRpc
+// ---------------------------------------------------------------------------
+
+struct EchoReq {
+  std::string text;
+};
+
+class ResilientRpcTest : public ::testing::Test {
+ protected:
+  ResilientRpcTest()
+      : sim_(11),
+        net_(&sim_,
+             std::make_unique<sim::ConstantLatency>(5 * kMillisecond)),
+        rpc_(&net_) {
+    client_ = net_.AddNode();
+    server_ = net_.AddNode();
+    server2_ = net_.AddNode();
+    RegisterEcho(server_, "s1:");
+    RegisterEcho(server2_, "s2:");
+  }
+
+  void RegisterEcho(sim::NodeId node, const std::string& tag) {
+    rpc_.RegisterHandler(
+        node, "echo",
+        [tag](sim::NodeId, std::any req, sim::RpcResponder respond) {
+          auto r = std::any_cast<EchoReq>(std::move(req));
+          respond(std::any{tag + r.text});
+        });
+  }
+
+  std::unique_ptr<ResilientRpc> MakeClient(ResilienceOptions options = {}) {
+    options.retry.jitter = 0.0;  // exact timing assertions below
+    return std::make_unique<ResilientRpc>(&rpc_, client_, options, 1234);
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  sim::Rpc rpc_;
+  sim::NodeId client_ = 0;
+  sim::NodeId server_ = 0;
+  sim::NodeId server2_ = 0;
+};
+
+TEST_F(ResilientRpcTest, RetriesThroughTransientBlackoutAndSucceeds) {
+  ResilienceOptions options;
+  options.retry.initial_backoff = 50 * kMillisecond;
+  auto client = MakeClient(options);
+
+  // The link eats everything until it heals at 120ms.
+  net_.SetLinkDropRate(client_, server_, 1.0);
+  sim_.ScheduleAfter(120 * kMillisecond,
+                     [&] { net_.SetLinkDropRate(client_, server_, 0.0); });
+
+  CallOptions opts;
+  opts.attempt_timeout = 100 * kMillisecond;
+  opts.max_attempts = 3;
+  std::string reply;
+  int fires = 0;
+  client->Call(server_, "echo", EchoReq{"hi"}, opts,
+               [&](Result<std::any> r) {
+                 ++fires;
+                 ASSERT_TRUE(r.ok());
+                 reply = std::any_cast<std::string>(*r);
+               });
+  sim_.Run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(reply, "s1:hi");
+  EXPECT_EQ(client->stats().attempts, 2u);
+  EXPECT_EQ(client->stats().retries, 1u);
+}
+
+// Satellite: deadline propagation. When the remaining budget cannot cover
+// the next backoff, the call fails fast with DeadlineExceeded instead of
+// sleeping past its deadline.
+TEST_F(ResilientRpcTest, DeadlineFailsFastInsteadOfSleepingPastBudget) {
+  ResilienceOptions options;
+  options.retry.initial_backoff = 100 * kMillisecond;
+  auto client = MakeClient(options);
+
+  net_.SetLinkDropRate(client_, server_, 1.0);  // never heals
+
+  CallOptions opts;
+  opts.attempt_timeout = 100 * kMillisecond;
+  opts.deadline = sim_.Now() + 150 * kMillisecond;
+  opts.max_attempts = 3;
+  Status status = Status::OK();
+  sim::Time completed_at = -1;
+  client->Call(server_, "echo", EchoReq{"hi"}, opts,
+               [&](Result<std::any> r) {
+                 status = r.status();
+                 completed_at = sim_.Now();
+               });
+  sim_.Run();
+  // First attempt times out at 100ms; 50ms of budget remain but the next
+  // backoff is 100ms, so the call fails immediately — before the deadline.
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_EQ(completed_at, 100 * kMillisecond);
+  EXPECT_EQ(client->stats().retries, 0u);
+  EXPECT_EQ(client->stats().deadline_exceeded, 1u);
+}
+
+TEST_F(ResilientRpcTest, HedgeWinsAgainstSlowNodeAndLoserIsIgnored) {
+  auto client = MakeClient();  // hedge default_delay = 50ms
+
+  // Primary target processes everything 300ms late (gray failure: the
+  // oracle still says it is reachable).
+  net_.SetNodeProcessingDelay(server_, 300 * kMillisecond);
+
+  CallOptions opts;
+  opts.attempt_timeout = kSecond;
+  opts.hedge = true;
+  opts.hedge_to = server2_;
+  std::string reply;
+  int fires = 0;
+  sim::Time completed_at = -1;
+  client->Call(server_, "echo", EchoReq{"x"}, opts, [&](Result<std::any> r) {
+    ++fires;
+    ASSERT_TRUE(r.ok());
+    reply = std::any_cast<std::string>(*r);
+    completed_at = sim_.Now();
+  });
+  sim_.Run();  // runs until the slow primary's reply has also landed
+  EXPECT_EQ(fires, 1);  // duplicate reply dropped, callback fired once
+  EXPECT_EQ(reply, "s2:x");
+  EXPECT_EQ(client->stats().hedges_issued, 1u);
+  EXPECT_EQ(client->stats().hedges_won, 1u);
+  EXPECT_EQ(client->stats().hedges_lost, 0u);
+  // Completed at hedge delay + round trip, far ahead of the slow primary.
+  EXPECT_EQ(completed_at, 60 * kMillisecond);
+}
+
+TEST_F(ResilientRpcTest, FastPrimaryCancelsArmedHedge) {
+  auto client = MakeClient();
+  CallOptions opts;
+  opts.attempt_timeout = kSecond;
+  opts.hedge = true;
+  opts.hedge_to = server2_;
+  std::string reply;
+  client->Call(server_, "echo", EchoReq{"y"}, opts, [&](Result<std::any> r) {
+    ASSERT_TRUE(r.ok());
+    reply = std::any_cast<std::string>(*r);
+  });
+  sim_.Run();
+  EXPECT_EQ(reply, "s1:y");  // primary answered at 10ms, before the 50ms hedge
+  EXPECT_EQ(client->stats().hedges_issued, 0u);
+  EXPECT_EQ(client->stats().hedges_won, 0u);
+}
+
+TEST_F(ResilientRpcTest, BreakerRejectsAfterRepeatedTimeouts) {
+  ResilienceOptions options;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_duration = 10 * kSecond;
+  options.detector.consecutive_failures_to_suspect = 100;  // isolate breaker
+  auto client = MakeClient(options);
+
+  net_.SetLinkDropRate(client_, server_, 1.0);
+
+  CallOptions opts;
+  opts.attempt_timeout = 50 * kMillisecond;
+  int failures = 0;
+  sim::Time third_issue = 0;
+  sim::Time third_done = -1;
+  auto issue = [&](auto&& self) -> void {
+    client->Call(server_, "echo", EchoReq{"z"}, opts,
+                 [&, self](Result<std::any> r) {
+                   EXPECT_FALSE(r.ok());
+                   if (++failures < 3) {
+                     third_issue = sim_.Now();
+                     self(self);
+                   } else {
+                     third_done = sim_.Now();
+                   }
+                 });
+  };
+  issue(issue);
+  sim_.Run();
+  EXPECT_EQ(failures, 3);
+  // Third call hit the open breaker: rejected instantly, no attempt issued.
+  EXPECT_EQ(third_done, third_issue);
+  EXPECT_EQ(client->stats().breaker_rejects, 1u);
+  EXPECT_EQ(client->stats().attempts, 2u);
+  EXPECT_FALSE(client->PeerUsable(server_));
+}
+
+TEST_F(ResilientRpcTest, HeartbeatsSuspectDeadPeerAndClearHealedPeer) {
+  ResilienceOptions options;
+  options.heartbeat_interval = 100 * kMillisecond;
+  options.heartbeat_timeout = 80 * kMillisecond;
+  auto a = MakeClient(options);
+  // The peer answers pings through its own ResilientRpc instance.
+  ResilientRpc b(&rpc_, server_, options, 4321);
+
+  a->StartHeartbeats({server_});
+  sim_.RunFor(3 * kSecond);
+  EXPECT_TRUE(a->PeerUsable(server_));
+  EXPECT_GT(a->stats().heartbeats_sent, 20u);
+
+  // Kill the peer: probes time out, phi accrues, suspicion rises.
+  net_.SetNodeUp(server_, false);
+  sim_.RunFor(3 * kSecond);
+  EXPECT_FALSE(a->PeerUsable(server_));
+  EXPECT_GE(a->stats().suspect_transitions, 1u);
+  // The oracle agreed the peer was down: no false positive.
+  EXPECT_EQ(a->stats().false_positives, 0u);
+
+  // Heal: probes succeed again and the suspicion clears.
+  net_.SetNodeUp(server_, true);
+  sim_.RunFor(3 * kSecond);
+  EXPECT_TRUE(a->PeerUsable(server_));
+}
+
+TEST_F(ResilientRpcTest, FlakyLinkSuspicionCountsAsOracleDisagreement) {
+  ResilienceOptions options;
+  options.heartbeat_interval = 100 * kMillisecond;
+  options.heartbeat_timeout = 80 * kMillisecond;
+  auto a = MakeClient(options);
+  ResilientRpc b(&rpc_, server_, options, 4321);
+
+  a->StartHeartbeats({server_});
+  sim_.RunFor(2 * kSecond);
+  // A 100% flaky link is de facto dead, but CanCommunicate cannot see it —
+  // the suspicion is "false" only by the blind oracle's account. This is
+  // exactly the disagreement the false-positive counter measures.
+  net_.SetLinkDropRate(client_, server_, 1.0);
+  ASSERT_TRUE(net_.CanCommunicate(client_, server_));
+  sim_.RunFor(3 * kSecond);
+  EXPECT_FALSE(a->PeerUsable(server_));
+  EXPECT_GE(a->stats().false_positives, 1u);
+  EXPECT_EQ(
+      sim_.metrics()
+          .global()
+          .CounterFor("resilience.detector.false_positives")
+          .value(),
+      a->stats().false_positives);
+}
+
+// Satellite: a reply landing after its caller timed out is now visible as
+// rpc.late_replies instead of vanishing silently.
+TEST_F(ResilientRpcTest, LateReplyAfterTimeoutIsCounted) {
+  bool timed_out = false;
+  rpc_.Call(client_, server_, "echo", EchoReq{"slow"}, 8 * kMillisecond,
+            [&](Result<std::any> r) { timed_out = r.status().IsTimedOut(); });
+  sim_.Run();  // reply arrives at 10ms, 2ms after the timeout fired
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(
+      sim_.metrics().global().CounterFor("rpc.late_replies").value(), 1u);
+}
+
+}  // namespace
+}  // namespace evc::resilience

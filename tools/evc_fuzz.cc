@@ -13,6 +13,9 @@
 //                                     # recovery on restart)
 //   evc_fuzz --profile=crash-heavy    # schedule biased toward crash/restart
 //                                     # churn (no loss/duplication ramps)
+//   evc_fuzz --profile=gray-heavy     # gray failures: slow/flaky links and
+//                                     # slow nodes mixed with crashes, no
+//                                     # clean partitions
 //   evc_fuzz --verbose                # per-seed summaries, not just failures
 //
 // Exit code: 0 when every store met its claims on every seed, 1 otherwise.
@@ -37,13 +40,16 @@ struct CliOptions {
   std::optional<uint64_t> single_seed;
   bool verbose = false;
   bool amnesia = false;
-  std::string profile;  // "" (default) or "crash-heavy"
+  std::string profile;  // "" (default), "crash-heavy", or "gray-heavy"
 };
 
 /// Overlays a named schedule profile onto per-store default options.
 /// "crash-heavy": faults arrive faster, are all partitions/crashes (no
 /// loss/duplication ramps), so every store sees several amnesia
 /// crash/recovery cycles per seed.
+/// "gray-heavy": no clean partitions or loss ramps — slow links, flaky
+/// links, and slow nodes (the failures the CanCommunicate oracle cannot
+/// see) mixed with crashes, arriving fast.
 bool ApplyProfile(const std::string& profile,
                   evc::verify::FuzzOptions* options) {
   if (profile.empty()) return true;
@@ -53,13 +59,24 @@ bool ApplyProfile(const std::string& profile,
     options->nemesis.mean_fault_interval = evc::sim::kSecond;
     return true;
   }
+  if (profile == "gray-heavy") {
+    options->nemesis.allow_partitions = false;
+    options->nemesis.allow_loss = false;
+    options->nemesis.allow_duplication = false;
+    options->nemesis.allow_slow_links = true;
+    options->nemesis.allow_flaky_links = true;
+    options->nemesis.allow_slow_nodes = true;
+    options->nemesis.mean_fault_interval = evc::sim::kSecond;
+    return true;
+  }
   return false;
 }
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--first-seed=S] [--store=NAME] "
-               "[--seed=S] [--amnesia] [--profile=crash-heavy] [--verbose]\n"
+               "[--seed=S] [--amnesia] [--profile=crash-heavy|gray-heavy] "
+               "[--verbose]\n"
                "  stores:",
                argv0);
   for (evc::verify::FuzzStore s : evc::verify::AllFuzzStores()) {
