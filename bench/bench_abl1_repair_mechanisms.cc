@@ -131,7 +131,7 @@ int main() {
                  obs::Json(r.converge_ms),
                  obs::Json(r.stale_window_reads)});
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: with everything off the replica never converges\n"
       "(nothing re-sends the missed writes). Hints alone fix it quickly\n"

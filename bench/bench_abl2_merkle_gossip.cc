@@ -128,7 +128,7 @@ int main() {
   std::printf("=== Ablation 2: anti-entropy design knobs ===\n\n");
   MerkleDepthSweep(&harness);
   PushPullSweep(&harness);
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: (a) shallow trees ship few digests but many clean\n"
       "keys; deep trees the reverse; the combined proxy bottoms out at a\n"

@@ -104,7 +104,7 @@ int main() {
   std::printf("=== Ablation 3: key placement schemes ===\n\n");
   BalanceSweep(&harness);
   RemapSweep(&harness);
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: (a) 1 vnode leaves some server ~2-3x overloaded;\n"
       "imbalance falls toward 1.0 as vnodes grow (modulo is balanced by\n"

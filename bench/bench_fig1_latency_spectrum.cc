@@ -114,7 +114,7 @@ int main() {
                    obs::Json(row.failures)});
     }
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: eventual/causal ~ sub-ms to low ms everywhere;\n"
       "quorum ~ one WAN RTT; timeline writes depend on distance to the\n"

@@ -81,7 +81,7 @@ int main() {
     }
     std::printf("\n");
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
 
   std::printf(
       "\nExpected shape: R=W=1 starts ~0.5-0.8 at t=0 and exceeds 0.999\n"

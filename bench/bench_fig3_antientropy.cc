@@ -132,7 +132,7 @@ int main() {
                  obs::Json(static_cast<double>(ae.stats().keys_shipped) /
                            (20000.0 + dirty))});
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: (a) time grows roughly with log(replicas) and\n"
       "drops as fanout rises; (b) keys shipped tracks the divergence d\n"

@@ -123,7 +123,7 @@ int main() {
                  obs::Json(r.retries), obs::Json(r.stale_values_served),
                  obs::Json(r.mean_read_ms)});
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: OFF serves a visible fraction of stale reads\n"
       "(anomalies detected, never prevented). ENFORCED serves zero stale\n"

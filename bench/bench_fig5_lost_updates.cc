@@ -128,7 +128,7 @@ int main() {
                  obs::Json(static_cast<uint64_t>(sib_siblings)),
                  obs::Json(crdt_survivors)});
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: LWW keeps exactly ONE of C concurrent updates\n"
       "(loss rate (C-1)/C, worsening with contention); the siblings policy\n"

@@ -213,7 +213,7 @@ int main(int argc, char** argv) {
                  evc::obs::Json(static_cast<uint64_t>(set.StateBytes())),
                  evc::obs::Json(static_cast<uint64_t>(delta.StateBytes()))});
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: tombstoned state grows linearly with churn while\n"
       "the optimized set stays flat (ratio grows unboundedly); delta\n"

@@ -244,7 +244,7 @@ int main() {
               {obs::Json("strong"), obs::Json(cp.ops_attempted),
                obs::Json(cp.ops_succeeded), obs::Json(cp.stale_reads),
                obs::Json(cp.heal_to_converged_ms)});
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: the eventual store accepts ~100%% of minority-side\n"
       "operations but many of its reads are stale (it cannot see the\n"

@@ -203,7 +203,7 @@ int main() {
   for (double jitter : {0.05, 0.50, 1.00}) {
     RunOvertakingStudy(100, jitter, &results);
   }
-  results.Write();
+  EVC_CHECK_OK(results.Write());
 
   std::printf(
       "\nExpected shape: writes commit at local latency (<1 ms) at every\n"

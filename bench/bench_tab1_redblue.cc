@@ -110,7 +110,7 @@ int main() {
                 {obs::Json(red), obs::Json(r.mean_ms), obs::Json(r.p99_ms),
                  obs::Json(r.ops_per_sec), obs::Json(r.aborts)});
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: at 0%% red every op is local (sub-ms mean, high\n"
       "throughput); mean latency climbs roughly linearly with the red\n"

@@ -100,7 +100,7 @@ int main() {
                  obs::Json(escrow.ok), obs::Json(escrow.aborted),
                  obs::Json(escrow.transfers)});
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: once buyers exceed the stock, the naive counter\n"
       "oversells (sold > 500) — more so at higher concurrency, because all\n"

@@ -131,7 +131,7 @@ int main() {
                  obs::Json(r.row1), obs::Json(r.row2),
                  obs::Json(r.row_none)});
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: the US-East client earns ~1.0 (strong row, local\n"
       "primary); the Asia client earns ~0.2-0.6 from its local secondary\n"

@@ -134,7 +134,7 @@ int main() {
                    obs::Json(row.prob_fresh_read_at_0), obs::Json(klass)});
     }
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: latency grows with quorum size (W or R of 3 waits\n"
       "for the farthest replica); any quorum of 3 dies with one failure\n"

@@ -145,7 +145,7 @@ int main() {
                  obs::Json(s.plain_violations), obs::Json(s.gt_violations),
                  obs::Json(s.gt_second_rounds)});
   }
-  harness.Write();
+  EVC_CHECK_OK(harness.Write());
   std::printf(
       "\nExpected shape: plain pair-reads return causally inconsistent\n"
       "pairs once WAN jitter makes arrivals straddle the read window;\n"

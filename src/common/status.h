@@ -41,7 +41,12 @@ const char* StatusCodeToString(StatusCode code);
 
 /// Value-semantic error carrier. Cheap to copy in the OK case (no message
 /// allocation); carries a code + message otherwise.
-class Status {
+///
+/// The type itself is [[nodiscard]]: any call that returns a Status must
+/// consume it (check it, propagate it, or EVC_CHECK_OK it). Silently dropping
+/// an error is a compile error under -Werror, and the `discarded-status`
+/// evc-lint check provides a redundant belt for builds without warnings.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -126,8 +131,10 @@ class Status {
 
 /// A Status or a value of type T. Modeled after arrow::Result: exactly one of
 /// the two is present; accessing the value of an errored Result aborts.
+/// [[nodiscard]] for the same reason as Status: a dropped Result silently
+/// swallows the error it carries.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (the common success path).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}

@@ -55,7 +55,7 @@ struct CausalCheckResult {
   std::string ToString() const;
 };
 
-CausalCheckResult CheckCausalHistory(
+[[nodiscard]] CausalCheckResult CheckCausalHistory(
     const std::vector<CausalRecordedOp>& history);
 
 }  // namespace evc::verify

@@ -48,9 +48,10 @@ struct ConvergenceResult {
 /// Checks agreement across `replicas` and coverage of every acked write
 /// against the first replica's state. With zero replicas the result is
 /// vacuously converged (but lost writes are still reported).
-ConvergenceResult CheckConvergence(const std::vector<ReplicaState>& replicas,
-                                   const std::vector<AckedWrite>& acked_writes,
-                                   const CoveredPredicate& covered = nullptr);
+[[nodiscard]] ConvergenceResult CheckConvergence(
+    const std::vector<ReplicaState>& replicas,
+    const std::vector<AckedWrite>& acked_writes,
+    const CoveredPredicate& covered = nullptr);
 
 }  // namespace evc::verify
 

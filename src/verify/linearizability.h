@@ -58,8 +58,8 @@ struct CheckResult {
 /// B stays before B), under which every read returns the most recently
 /// written value. Complete operations only (crashed/in-flight ops should
 /// be dropped or closed at +infinity by the caller).
-CheckResult CheckLinearizable(const std::vector<Operation>& history,
-                              const CheckOptions& options = {});
+[[nodiscard]] CheckResult CheckLinearizable(
+    const std::vector<Operation>& history, const CheckOptions& options = {});
 
 }  // namespace evc::verify
 

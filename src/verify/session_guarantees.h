@@ -92,7 +92,7 @@ struct SessionCheckResult {
   std::string ToString() const;
 };
 
-SessionCheckResult CheckSessionGuarantees(
+[[nodiscard]] SessionCheckResult CheckSessionGuarantees(
     const std::vector<RecordedOp>& history,
     const SessionCheckOptions& options = {});
 

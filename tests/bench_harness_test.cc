@@ -1,0 +1,57 @@
+// Regression test for a bug the [[nodiscard]] sweep surfaced: every bench
+// called harness.Write() and silently ignored a failed JSON export, so a
+// bench whose BENCH_<name>.json could not be written still exited 0 and CI's
+// schema gate never saw the file. Write() must report failure (benches now
+// EVC_CHECK_OK it), and the success path must produce the file.
+
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace evc::bench {
+namespace {
+
+class BenchHarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("EVC_BENCH_OUT");
+    if (prev != nullptr) prev_out_ = prev;
+  }
+  void TearDown() override {
+    if (prev_out_.empty()) {
+      unsetenv("EVC_BENCH_OUT");
+    } else {
+      setenv("EVC_BENCH_OUT", prev_out_.c_str(), 1);
+    }
+  }
+  std::string prev_out_;
+};
+
+TEST_F(BenchHarnessTest, WriteReportsFailureOnUnwritableDirectory) {
+  setenv("EVC_BENCH_OUT", "/nonexistent-evc-bench-dir/nested", 1);
+  Harness harness("harness_regression");
+  harness.Metric("ops", 1.0);
+  Status status = harness.Write();
+  EXPECT_FALSE(status.ok())
+      << "a failed bench export must not look like success";
+}
+
+TEST_F(BenchHarnessTest, WriteSucceedsAndProducesTheFile) {
+  const std::string dir = ::testing::TempDir();
+  setenv("EVC_BENCH_OUT", dir.c_str(), 1);
+  Harness harness("harness_regression");
+  harness.Metric("ops", 1.0);
+  ASSERT_TRUE(harness.Write().ok());
+  const std::string path = dir + "/BENCH_harness_regression.json";
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "expected " << path;
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace evc::bench

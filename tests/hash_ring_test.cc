@@ -87,7 +87,9 @@ TEST(HashRingTest, AddingServerRemapsOnlyAFraction) {
   // And every moved key moved TO the new server.
   for (const auto& [key, owner] : before) {
     const sim::NodeId now = ring.PrimaryFor(key);
-    if (now != owner) EXPECT_EQ(now, 10u) << key;
+    if (now != owner) {
+      EXPECT_EQ(now, 10u) << key;
+    }
   }
 }
 

@@ -1,0 +1,9 @@
+// Positive fixture: bare assert() and the <cassert> include must trip
+// check-macro (assert vanishes under NDEBUG, which is how release and fuzz
+// builds run).
+#include <cassert>
+
+int Clamp(int v) {
+  assert(v >= 0);
+  return v > 100 ? 100 : v;
+}

@@ -1,0 +1,22 @@
+// Negative fixture for check-macro: EVC_CHECK, static_assert, and uppercase
+// test macros (ASSERT_EQ) are all fine; so is "assert" in prose.
+#include <cstdio>
+#include <cstdlib>
+
+#define EVC_CHECK(cond) \
+  do {                  \
+    if (!(cond)) {      \
+      std::abort();     \
+    }                   \
+  } while (0)
+
+#define ASSERT_EQ(a, b) EVC_CHECK((a) == (b))
+
+static_assert(sizeof(int) >= 4, "platform check");
+
+// We assert(x) nothing here; comments are stripped before matching.
+int Clamp(int v) {
+  EVC_CHECK(v >= 0);
+  ASSERT_EQ(v, v);
+  return v > 100 ? 100 : v;
+}

@@ -1,0 +1,22 @@
+// Positive fixture: expression-statement calls that drop a Status / Result
+// must trip discarded-status (both free functions and member calls).
+#include <string>
+
+namespace evc {
+class Status {};
+template <typename T>
+class Result {};
+}  // namespace evc
+
+evc::Status Flush();
+evc::Result<int> Decode(const std::string& bytes);
+
+struct Journal {
+  evc::Status Append(const std::string& record);
+};
+
+void Tick(Journal& journal) {
+  Flush();                  // dropped Status
+  journal.Append("entry");  // dropped Status via member call
+  Decode("payload");        // dropped Result
+}

@@ -1,0 +1,27 @@
+// Negative fixture for discarded-status: consumed results (assigned,
+// returned, tested, passed as argument, or macro-wrapped) are all fine.
+#include <string>
+
+namespace evc {
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+}  // namespace evc
+
+#define EVC_CHECK_OK(expr) \
+  do {                     \
+    auto _st = (expr);     \
+    (void)_st;             \
+  } while (0)
+
+evc::Status Flush();
+bool Log(evc::Status status);
+
+evc::Status Tick() {
+  evc::Status st = Flush();       // assigned
+  if (Flush().ok()) return st;    // tested
+  Log(Flush());                   // passed as argument
+  EVC_CHECK_OK(Flush());          // macro-wrapped
+  return Flush();                 // returned
+}

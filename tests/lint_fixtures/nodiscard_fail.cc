@@ -1,0 +1,20 @@
+// Compile-fail fixture: dropping a Status (or Result) must be a compile
+// error under -Werror=unused-result now that both types are [[nodiscard]].
+// The lint self-test compiles this file with the project compiler and
+// asserts that compilation FAILS — proving the dropped-error bug class is
+// extinct at compile time, not just flagged by the scanner.
+#include "common/status.h"
+
+namespace {
+
+evc::Status Flush() { return evc::Status::OK(); }
+
+evc::Result<int> Parse() { return 7; }
+
+}  // namespace
+
+int main() {
+  Flush();  // dropped Status: must not compile
+  Parse();  // dropped Result: must not compile
+  return 0;
+}

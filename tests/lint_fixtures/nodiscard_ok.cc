@@ -1,0 +1,20 @@
+// Compile-pass companion to nodiscard_fail.cc: the same calls with their
+// results consumed must compile cleanly under -Werror=unused-result. This
+// pins that the [[nodiscard]] attribute rejects only genuine drops.
+#include "common/status.h"
+
+namespace {
+
+evc::Status Flush() { return evc::Status::OK(); }
+
+evc::Result<int> Parse() { return 7; }
+
+}  // namespace
+
+int main() {
+  evc::Status st = Flush();
+  if (!st.ok()) return 1;
+  EVC_CHECK_OK(Flush());
+  evc::Result<int> r = Parse();
+  return r.ok() ? 0 : 1;
+}

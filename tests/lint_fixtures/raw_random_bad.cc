@@ -1,0 +1,14 @@
+// Positive fixture: every draw below must trip the raw-random check.
+#include <cstdlib>
+#include <random>
+
+int Draw() {
+  std::random_device rd;
+  std::mt19937 gen;  // unseeded: state depends on default ctor, not our seed
+  std::srand(42);
+  int a = std::rand();
+  std::default_random_engine engine;
+  (void)gen;
+  (void)engine;
+  return a + static_cast<int>(rd());
+}

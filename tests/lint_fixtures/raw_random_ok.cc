@@ -1,0 +1,17 @@
+// Negative fixture for the raw-random check: seeded evc::Rng draws and
+// lookalike identifiers ("operand", "brand") must not be flagged.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t NextU64() { return state_ += 0x9e3779b97f4a7c15ULL; }
+  uint64_t state_;
+};
+
+uint64_t Draw(uint64_t seed) {
+  Rng rng(seed);                  // explicitly seeded: deterministic
+  uint64_t operand = rng.NextU64();
+  uint64_t brand = operand ^ 7;   // "rand" substring inside identifiers is ok
+  // std::rand() in a comment is fine.
+  return brand;
+}

@@ -1,0 +1,19 @@
+// Positive fixture for suppression parsing: each directive below is
+// malformed and must produce a bad-suppression finding (and therefore must
+// NOT silence the violation it sits on).
+#include <unordered_map>
+
+std::unordered_map<int, int> table_;
+
+int Sum() {
+  int total = 0;
+  // evc-lint: allow(unordered-iteration)
+  for (const auto& kv : table_) total += kv.second;  // missing reason=
+  // evc-lint: allow(no-such-check) reason=typo in the check name
+  for (const auto& kv : table_) total += kv.second;
+  // evc-lint: allow() reason=names no checks
+  for (const auto& kv : table_) total += kv.second;
+  // evc-lint: permit(unordered-iteration) reason=wrong verb
+  for (const auto& kv : table_) total += kv.second;
+  return total;
+}

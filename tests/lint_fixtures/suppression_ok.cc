@@ -1,0 +1,16 @@
+// Negative fixture for suppression parsing: well-formed suppressions on the
+// same line and on the line above, including a multi-check allow().
+#include <cstdlib>
+#include <unordered_map>
+
+std::unordered_map<int, int> table_;
+
+int Sum() {
+  int total = 0;
+  // evc-lint: allow(unordered-iteration) reason=order-insensitive sum
+  for (const auto& kv : table_) total += kv.second;
+  for (const auto& kv : table_) total += kv.second;  // evc-lint: allow(unordered-iteration) reason=same-line form
+  // evc-lint: allow(unordered-iteration,raw-random) reason=multi-check form exercising both rules
+  for (const auto& kv : table_) total += kv.second + std::rand();
+  return total;
+}

@@ -1,0 +1,24 @@
+// Positive fixture: range-for over hash-ordered containers, via a member, a
+// local, a getter, and an alias — all four must trip unordered-iteration.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using PeerSet = std::unordered_set<int>;
+
+struct Registry {
+  const std::unordered_map<std::string, int>& counters() const {
+    return counters_;
+  }
+  std::unordered_map<std::string, int> counters_;
+};
+
+int Sum(const Registry& reg, const PeerSet& peers) {
+  int total = 0;
+  for (const auto& kv : reg.counters_) total += kv.second;    // member
+  for (const auto& kv : reg.counters()) total += kv.second;   // getter
+  std::unordered_set<int> local = {1, 2, 3};
+  for (int v : local) total += v;                             // local
+  for (int p : peers) total += p;                             // alias param
+  return total;
+}

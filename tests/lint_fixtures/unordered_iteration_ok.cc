@@ -1,0 +1,24 @@
+// Negative fixture for unordered-iteration: ordered containers iterate
+// freely; unordered containers may be looked up (find/count/operator[]) or
+// iterated under a justified suppression.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Registry {
+  std::map<std::string, int> ordered_;
+  std::unordered_map<std::string, int> index_;
+};
+
+int Sum(const Registry& reg) {
+  int total = 0;
+  for (const auto& kv : reg.ordered_) total += kv.second;  // ordered: fine
+  auto it = reg.index_.find("x");                          // lookup: fine
+  if (it != reg.index_.end()) total += it->second;
+  std::vector<int> values;
+  // evc-lint: allow(unordered-iteration) reason=order-insensitive sum, result does not depend on iteration order
+  for (const auto& kv : reg.index_) values.push_back(kv.second);
+  for (int v : values) total += v;
+  return total;
+}

@@ -1,0 +1,17 @@
+// Positive fixture: every line below must trip the wall-clock check.
+// (Fixtures are scanned textually by evc_lint, never compiled.)
+#include <chrono>
+#include <ctime>
+
+long NowMs() {
+  auto t = std::chrono::system_clock::now();
+  auto u = std::chrono::steady_clock::now();
+  auto v = std::chrono::high_resolution_clock::now();
+  std::time_t raw = std::time(nullptr);
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  (void)t;
+  (void)u;
+  (void)v;
+  return static_cast<long>(raw);
+}

@@ -1,0 +1,18 @@
+// Negative fixture for the wall-clock check: sim time, prose mentions of
+// banned symbols in comments/strings, and lookalike identifiers are all fine.
+#include <cstdint>
+
+struct Simulator {
+  int64_t Now() const { return now_; }
+  int64_t now_ = 0;
+};
+
+// A comment may freely mention std::chrono::system_clock or gettimeofday;
+// the scanner strips comments before matching.
+int64_t NowUs(const Simulator& sim) {
+  const char* doc = "steady_clock is banned";  // string literals stripped too
+  (void)doc;
+  int64_t uptime = sim.Now();       // sim time, not wall time
+  int64_t lifetime_us = uptime;     // identifier containing "time" is fine
+  return lifetime_us;
+}

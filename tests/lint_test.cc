@@ -1,0 +1,246 @@
+// Self-test for tools/evc_lint: fixture-based positive/negative coverage per
+// check, suppression-comment parsing, --werror exit codes, and the
+// compile-fail proof that a dropped Status is now a compile error (the
+// [[nodiscard]] attribute on Status/Result), not just a scanner finding.
+
+#include "evc_lint/lint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace evc::lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(EVC_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Scans one fixture file (by real path, so path-based exemptions see the
+/// fixture directory, not src/obs).
+std::vector<Finding> ScanFixture(const std::string& name) {
+  std::vector<std::string> errors;
+  std::vector<Finding> findings =
+      ScanPaths({FixturePath(name)}, Options{}, &errors);
+  EXPECT_TRUE(errors.empty());
+  return findings;
+}
+
+std::vector<int> LinesOf(const std::vector<Finding>& findings,
+                         const std::string& check) {
+  std::vector<int> lines;
+  for (const Finding& f : findings) {
+    if (f.check == check) lines.push_back(f.line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(EvcLint, ListsFiveChecks) {
+  const std::vector<std::string>& names = AllCheckNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "wall-clock"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "raw-random"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "unordered-iteration"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "discarded-status"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "check-macro"), names.end());
+}
+
+TEST(EvcLint, WallClockPositive) {
+  std::vector<Finding> findings = ScanFixture("wall_clock_bad.cc");
+  EXPECT_EQ(LinesOf(findings, "wall-clock"),
+            (std::vector<int>{7, 8, 9, 10, 12}));
+  EXPECT_EQ(findings.size(), 5u) << "no other checks should fire";
+}
+
+TEST(EvcLint, WallClockNegative) {
+  EXPECT_TRUE(ScanFixture("wall_clock_ok.cc").empty());
+}
+
+TEST(EvcLint, WallClockObsExporterPathIsExempt) {
+  // The same violating content, presented as the obs exporter shim, is clean:
+  // the exporter is the one component allowed to stamp real timestamps.
+  SourceFile shim{"src/obs/export.cc", ReadFixture("wall_clock_bad.cc")};
+  EXPECT_TRUE(ScanFiles({shim}).empty());
+}
+
+TEST(EvcLint, RawRandomPositive) {
+  std::vector<Finding> findings = ScanFixture("raw_random_bad.cc");
+  EXPECT_EQ(LinesOf(findings, "raw-random"),
+            (std::vector<int>{6, 7, 8, 9, 10}));
+  EXPECT_EQ(findings.size(), 5u);
+}
+
+TEST(EvcLint, RawRandomNegative) {
+  EXPECT_TRUE(ScanFixture("raw_random_ok.cc").empty());
+}
+
+TEST(EvcLint, UnorderedIterationPositive) {
+  std::vector<Finding> findings = ScanFixture("unordered_iteration_bad.cc");
+  // Member, getter, local, and alias-typed parameter.
+  EXPECT_EQ(LinesOf(findings, "unordered-iteration"),
+            (std::vector<int>{18, 19, 21, 22}));
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(EvcLint, UnorderedIterationNegative) {
+  EXPECT_TRUE(ScanFixture("unordered_iteration_ok.cc").empty());
+}
+
+TEST(EvcLint, UnorderedDeclarationInHeaderFlagsIterationInOtherFile) {
+  // The declaration (a header) and the iteration (a .cc) are different
+  // files; the symbol table must span the whole scan.
+  SourceFile header{"reg.h",
+                    "#include <unordered_map>\n"
+                    "struct Reg { std::unordered_map<int, int> by_id_; };\n"};
+  SourceFile impl{"reg.cc",
+                  "#include \"reg.h\"\n"
+                  "int Sum(const Reg& r) {\n"
+                  "  int t = 0;\n"
+                  "  for (const auto& kv : r.by_id_) t += kv.second;\n"
+                  "  return t;\n"
+                  "}\n"};
+  std::vector<Finding> findings = ScanFiles({header, impl});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "unordered-iteration");
+  EXPECT_EQ(findings[0].file, "reg.cc");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(EvcLint, DiscardedStatusPositive) {
+  std::vector<Finding> findings = ScanFixture("discarded_status_bad.cc");
+  // Free function, member call, and a dropped Result<T>.
+  EXPECT_EQ(LinesOf(findings, "discarded-status"),
+            (std::vector<int>{19, 20, 21}));
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(EvcLint, DiscardedStatusNegative) {
+  EXPECT_TRUE(ScanFixture("discarded_status_ok.cc").empty());
+}
+
+TEST(EvcLint, CheckMacroPositive) {
+  std::vector<Finding> findings = ScanFixture("check_macro_bad.cc");
+  EXPECT_EQ(LinesOf(findings, "check-macro"), (std::vector<int>{4, 7}));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(EvcLint, CheckMacroNegative) {
+  EXPECT_TRUE(ScanFixture("check_macro_ok.cc").empty());
+}
+
+TEST(EvcLint, MalformedSuppressionsReportAndDoNotSilence) {
+  std::vector<Finding> findings = ScanFixture("suppression_bad.cc");
+  // Each malformed directive is reported...
+  EXPECT_EQ(LinesOf(findings, "bad-suppression"),
+            (std::vector<int>{10, 12, 14, 16}));
+  // ...and the finding it sat on survives.
+  EXPECT_EQ(LinesOf(findings, "unordered-iteration"),
+            (std::vector<int>{11, 13, 15, 17}));
+}
+
+TEST(EvcLint, WellFormedSuppressionsSilence) {
+  // Line-above, same-line, and multi-check allow() forms, all with reasons.
+  EXPECT_TRUE(ScanFixture("suppression_ok.cc").empty());
+}
+
+TEST(EvcLint, FindingFormatIsFileLineCheck) {
+  Finding f{"wall-clock", "src/sim/foo.cc", 12, "no wall clocks"};
+  EXPECT_EQ(FormatFinding(f), "src/sim/foo.cc:12: [wall-clock] no wall clocks");
+}
+
+TEST(EvcLint, ExitCodeCleanScanIsZero) {
+  std::vector<std::string> out;
+  EXPECT_EQ(RunCommandLine({FixturePath("wall_clock_ok.cc"), "--werror"},
+                           &out),
+            0);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), "evc_lint: clean");
+}
+
+TEST(EvcLint, ExitCodeFindingsWithoutWerrorIsZero) {
+  std::vector<std::string> out;
+  EXPECT_EQ(RunCommandLine({FixturePath("wall_clock_bad.cc")}, &out), 0);
+  EXPECT_GT(out.size(), 1u);  // findings are still printed
+}
+
+TEST(EvcLint, ExitCodeFindingsWithWerrorIsOne) {
+  std::vector<std::string> out;
+  EXPECT_EQ(RunCommandLine({FixturePath("wall_clock_bad.cc"), "--werror"},
+                           &out),
+            1);
+}
+
+TEST(EvcLint, ExitCodeBadSuppressionWithWerrorIsOne) {
+  std::vector<std::string> out;
+  EXPECT_EQ(RunCommandLine({FixturePath("suppression_bad.cc"), "--werror"},
+                           &out),
+            1);
+}
+
+TEST(EvcLint, ExitCodeUsageErrorsAreTwo) {
+  std::vector<std::string> out;
+  EXPECT_EQ(RunCommandLine({"--no-such-flag"}, &out), 2);
+  out.clear();
+  EXPECT_EQ(RunCommandLine({"--check=no-such-check"}, &out), 2);
+  out.clear();
+  EXPECT_EQ(RunCommandLine({"no/such/path.cc"}, &out), 2);
+}
+
+TEST(EvcLint, CheckFilterRunsOnlySelectedChecks) {
+  std::vector<std::string> out;
+  // raw_random_bad has only raw-random findings; filtering to wall-clock
+  // must make it scan clean.
+  EXPECT_EQ(RunCommandLine({"--check=wall-clock",
+                            FixturePath("raw_random_bad.cc"), "--werror"},
+                           &out),
+            0);
+}
+
+TEST(EvcLint, ListChecksExitsZero) {
+  std::vector<std::string> out;
+  EXPECT_EQ(RunCommandLine({"--list-checks"}, &out), 0);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+// --- [[nodiscard]] compile-fail regression -------------------------------
+//
+// The scanner's discarded-status check is a belt; the compiler attribute is
+// the suspenders. These two tests invoke the project compiler on paired
+// fixtures and pin that dropping a Status/Result FAILS to compile while the
+// consuming twin compiles cleanly.
+
+int CompileFixture(const std::string& name, bool quiet) {
+  std::string cmd = std::string(EVC_CXX_COMPILER) +
+                    " -std=c++20 -fsyntax-only -Wall -Werror=unused-result -I" +
+                    std::string(EVC_SRC_INCLUDE_DIR) + " " + FixturePath(name);
+  if (quiet) cmd += " 2>/dev/null";
+  return std::system(cmd.c_str());
+}
+
+TEST(NodiscardRegression, DroppedStatusFailsToCompile) {
+  EXPECT_NE(CompileFixture("nodiscard_fail.cc", /*quiet=*/true), 0)
+      << "a dropped Status/Result compiled: [[nodiscard]] regressed";
+}
+
+TEST(NodiscardRegression, ConsumedStatusCompiles) {
+  EXPECT_EQ(CompileFixture("nodiscard_ok.cc", /*quiet=*/false), 0);
+}
+
+}  // namespace
+}  // namespace evc::lint

@@ -176,7 +176,9 @@ TEST(WorkloadInstrumentation, CountsCallsTimeoutsAndSpans) {
   EXPECT_EQ(ok_server, 1);
   EXPECT_EQ(timeouts, 1);
   for (const Span& s : sim.tracer().finished()) {
-    if (s.name == "rpc.server.echo") EXPECT_EQ(s.parent, client_span);
+    if (s.name == "rpc.server.echo") {
+      EXPECT_EQ(s.parent, client_span);
+    }
   }
 }
 

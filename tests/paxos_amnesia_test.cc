@@ -101,7 +101,7 @@ Outcome RunSchedule(bool journal_acceptor_state) {
   {  // R1: the new value is immediately readable on the majority side.
     const int64_t invoke = sim->Now();
     std::optional<Result<Execution>> r;
-    cluster.Propose(c1, new_leader, Command{Command::Type::kGet, "k"},
+    cluster.Propose(c1, new_leader, Command{Command::Type::kGet, "k", "", 0},
                     [&](Result<Execution> res) { r = std::move(res); });
     sim->RunFor(2 * kSecond);
     EXPECT_TRUE(r.has_value() && r->ok() && (*r)->found);
@@ -126,7 +126,7 @@ Outcome RunSchedule(bool journal_acceptor_state) {
   {
     const int64_t invoke = sim->Now();
     std::optional<Result<Execution>> r;
-    cluster.Propose(c0, n0, Command{Command::Type::kGet, "k"},
+    cluster.Propose(c0, n0, Command{Command::Type::kGet, "k", "", 0},
                     [&](Result<Execution> res) { r = std::move(res); });
     sim->RunFor(2 * kSecond);
     if (r.has_value() && r->ok() && (*r)->found) {
@@ -149,7 +149,7 @@ Outcome RunSchedule(bool journal_acceptor_state) {
     const int64_t invoke = sim->Now();
     std::optional<Result<Execution>> r;
     if (leader.has_value()) {
-      cluster.Propose(c1, *leader, Command{Command::Type::kGet, "k"},
+      cluster.Propose(c1, *leader, Command{Command::Type::kGet, "k", "", 0},
                       [&](Result<Execution> res) { r = std::move(res); });
       sim->RunFor(3 * kSecond);
     }

@@ -42,7 +42,9 @@ TEST(WanFiveRegionTest, MatrixIsSymmetricWithIntraDcDiagonal) {
     EXPECT_LT(base[i][i], 1000);  // intra-DC sub-millisecond
     for (size_t j = 0; j < 5; ++j) {
       EXPECT_EQ(base[i][j], base[j][i]) << i << "," << j;
-      if (i != j) EXPECT_GT(base[i][j], 10000);  // WAN links >= 10 ms
+      if (i != j) {
+        EXPECT_GT(base[i][j], 10000);  // WAN links >= 10 ms
+      }
     }
   }
 }

@@ -1,0 +1,728 @@
+#include "evc_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace evc {
+namespace lint {
+
+namespace {
+
+constexpr const char* kWallClock = "wall-clock";
+constexpr const char* kRawRandom = "raw-random";
+constexpr const char* kUnorderedIteration = "unordered-iteration";
+constexpr const char* kDiscardedStatus = "discarded-status";
+constexpr const char* kCheckMacro = "check-macro";
+constexpr const char* kBadSuppression = "bad-suppression";
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// A suppression directive parsed from a comment.
+struct Suppression {
+  int line = 0;  ///< 1-based line the comment ends on; covers line and line+1.
+  std::set<std::string> checks;
+  bool used = false;
+};
+
+/// Per-file result of comment/string stripping.
+struct Preprocessed {
+  /// Source text with comments, string literals and char literals replaced by
+  /// spaces (newlines preserved), so offsets and line numbers still map.
+  std::string code;
+  /// 1-based line number for each byte offset boundary: line_of[i] is the
+  /// line containing code[i].
+  std::vector<int> line_of;
+  std::vector<Suppression> suppressions;
+  std::vector<Finding> bad_suppressions;  ///< malformed directives
+};
+
+/// Parses an evc-lint directive out of one comment's text. Returns true if
+/// the comment contains a directive at all (well-formed or not).
+bool ParseDirective(const std::string& comment_text, int end_line,
+                    const std::string& path, Preprocessed* out) {
+  size_t pos = comment_text.find("evc-lint:");
+  if (pos == std::string::npos) return false;
+  std::string rest = Trim(comment_text.substr(pos + 9));
+
+  auto bad = [&](const std::string& why) {
+    out->bad_suppressions.push_back(
+        {kBadSuppression, path, end_line, "malformed evc-lint directive: " + why});
+  };
+
+  if (rest.rfind("allow(", 0) != 0) {
+    bad("expected 'allow(<check,...>) reason=...'");
+    return true;
+  }
+  size_t close = rest.find(')');
+  if (close == std::string::npos) {
+    bad("missing ')' after allow(");
+    return true;
+  }
+  std::string names = rest.substr(6, close - 6);
+  std::string tail = Trim(rest.substr(close + 1));
+
+  Suppression sup;
+  sup.line = end_line;
+  std::stringstream ss(names);
+  std::string name;
+  const auto& known = AllCheckNames();
+  while (std::getline(ss, name, ',')) {
+    name = Trim(name);
+    if (name.empty()) continue;
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      bad("unknown check '" + name + "'");
+      return true;
+    }
+    sup.checks.insert(name);
+  }
+  if (sup.checks.empty()) {
+    bad("allow() names no checks");
+    return true;
+  }
+  if (tail.rfind("reason=", 0) != 0 || Trim(tail.substr(7)).empty()) {
+    bad("suppression requires a non-empty 'reason=...'");
+    return true;
+  }
+  out->suppressions.push_back(std::move(sup));
+  return true;
+}
+
+/// Strips comments / string literals / char literals (including raw strings),
+/// collecting evc-lint directives from the comments as it goes.
+Preprocessed Preprocess(const std::string& path, const std::string& text) {
+  Preprocessed out;
+  out.code.reserve(text.size());
+  out.line_of.reserve(text.size());
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  int line = 1;
+  std::string comment_text;  // accumulates the current comment's contents
+  std::string raw_delim;     // delimiter of the current raw string
+
+  auto emit = [&](char c) {
+    out.code.push_back(c);
+    out.line_of.push_back(line);
+  };
+  auto blank = [&](char c) { emit(c == '\n' ? '\n' : ' '); };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = (i + 1 < text.size()) ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_text.clear();
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_text.clear();
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          // Raw string? Look back for R / u8R / LR / uR / UR prefix.
+          bool raw = i > 0 && text[i - 1] == 'R' &&
+                     (i < 2 || !IsIdentChar(text[i - 2]) ||
+                      (i >= 2 && (text[i - 2] == 'u' || text[i - 2] == 'U' ||
+                                  text[i - 2] == 'L' || text[i - 2] == '8')));
+          if (raw) {
+            size_t paren = text.find('(', i + 1);
+            if (paren != std::string::npos) {
+              raw_delim = ")" + text.substr(i + 1, paren - i - 1) + "\"";
+              state = State::kRaw;
+              blank(c);
+              break;
+            }
+          }
+          state = State::kString;
+          blank(c);
+        } else if (c == '\'') {
+          // C++14 digit separator (1'000'000) stays in code; anything else
+          // starts a char literal.
+          bool digit_sep =
+              i > 0 && std::isdigit(static_cast<unsigned char>(text[i - 1])) &&
+              std::isxdigit(static_cast<unsigned char>(next));
+          if (!digit_sep) state = State::kChar;
+          blank(c);
+        } else {
+          emit(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          ParseDirective(comment_text, line, path, &out);
+          state = State::kCode;
+          blank(c);
+        } else {
+          comment_text.push_back(c);
+          blank(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          ParseDirective(comment_text, line, path, &out);
+          state = State::kCode;
+          blank(c);
+          blank(next);
+          ++i;
+        } else {
+          comment_text.push_back(c);
+          blank(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          blank(c);
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          blank(c);
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 0; k < raw_delim.size(); ++k) blank(text[i + k]);
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          blank(c);
+        }
+        break;
+    }
+    if (c == '\n') ++line;
+  }
+  if (state == State::kLineComment) ParseDirective(comment_text, line, path, &out);
+  return out;
+}
+
+/// Walks forward from the '<' at `pos`, returning the offset just past the
+/// matching '>', or npos if unbalanced.
+size_t BalanceAngles(const std::string& s, size_t pos) {
+  int depth = 0;
+  for (size_t i = pos; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    else if (s[i] == '>') {
+      if (--depth == 0) return i + 1;
+    } else if (s[i] == ';' || s[i] == '{') {
+      return std::string::npos;  // gave up: not a template argument list
+    }
+  }
+  return std::string::npos;
+}
+
+/// Walks forward from the '(' at `pos`, returning the offset just past the
+/// matching ')', or npos.
+size_t BalanceParens(const std::string& s, size_t pos) {
+  int depth = 0;
+  for (size_t i = pos; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    else if (s[i] == ')') {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+size_t SkipSpaces(const std::string& s, size_t pos) {
+  while (pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Identifiers declared (variables/members) or returned (getters) with an
+/// unordered associative container type, plus function names returning
+/// Status/Result — collected across the whole file set.
+struct SymbolTable {
+  std::set<std::string> unordered_names;
+  std::set<std::string> unordered_aliases;  ///< using X = std::unordered_...
+  std::set<std::string> status_fns;
+};
+
+void CollectUnorderedNames(const std::string& code, SymbolTable* table) {
+  static const char* kTypes[] = {"unordered_map<", "unordered_set<",
+                                 "unordered_multimap<", "unordered_multiset<"};
+  for (const char* type : kTypes) {
+    size_t type_len = std::string(type).size();
+    for (size_t pos = code.find(type); pos != std::string::npos;
+         pos = code.find(type, pos + 1)) {
+      // Require a non-identifier char before (avoids my_unordered_map<).
+      if (pos > 0 && IsIdentChar(code[pos - 1]) && code[pos - 1] != ':') {
+        continue;
+      }
+      size_t after = BalanceAngles(code, pos + type_len - 1);
+      if (after == std::string::npos) continue;
+      size_t p = SkipSpaces(code, after);
+      while (p < code.size() && (code[p] == '&' || code[p] == '*')) {
+        p = SkipSpaces(code, p + 1);
+      }
+      size_t name_start = p;
+      while (p < code.size() && IsIdentChar(code[p])) ++p;
+      if (p == name_start || !IsIdentStart(code[name_start])) continue;
+      std::string name = code.substr(name_start, p - name_start);
+      size_t q = SkipSpaces(code, p);
+      // Variable/member declaration, getter declaration, or using-alias: all
+      // mean "iterating <name> iterates a hash-ordered container".
+      if (q < code.size() && (code[q] == ';' || code[q] == '{' ||
+                              code[q] == '=' || code[q] == ',' ||
+                              code[q] == ')' || code[q] == '(')) {
+        table->unordered_names.insert(std::move(name));
+      }
+    }
+  }
+  // using Alias = std::unordered_map<...>;
+  static const std::regex kAlias(
+      "using\\s+([A-Za-z_]\\w*)\\s*=\\s*(std::)?unordered_(map|set|multimap|"
+      "multiset)\\s*<");
+  for (std::sregex_iterator it(code.begin(), code.end(), kAlias), end;
+       it != end; ++it) {
+    table->unordered_aliases.insert((*it)[1].str());
+  }
+}
+
+/// Second collection pass (needs aliases from every file first): variables,
+/// parameters and getters declared with an unordered alias type.
+void CollectAliasDeclaredNames(const std::string& code, SymbolTable* table) {
+  for (const std::string& alias : table->unordered_aliases) {
+    for (size_t pos = code.find(alias); pos != std::string::npos;
+         pos = code.find(alias, pos + 1)) {
+      if (pos > 0 && (IsIdentChar(code[pos - 1]) || code[pos - 1] == ':')) {
+        continue;
+      }
+      size_t after = pos + alias.size();
+      if (after < code.size() && IsIdentChar(code[after])) continue;
+      size_t p = SkipSpaces(code, after);
+      while (p < code.size() && (code[p] == '&' || code[p] == '*')) {
+        p = SkipSpaces(code, p + 1);
+      }
+      size_t name_start = p;
+      while (p < code.size() && IsIdentChar(code[p])) ++p;
+      if (p == name_start || !IsIdentStart(code[name_start])) continue;
+      size_t q = SkipSpaces(code, p);
+      if (q < code.size() && (code[q] == ';' || code[q] == '{' ||
+                              code[q] == '=' || code[q] == ',' ||
+                              code[q] == ')' || code[q] == '(' ||
+                              code[q] == '[')) {
+        table->unordered_names.insert(code.substr(name_start, p - name_start));
+      }
+    }
+  }
+}
+
+void CollectStatusFns(const std::string& code, SymbolTable* table) {
+  // Plain `Status Name(`-style declarations (with optional namespace
+  // qualification of Status itself).
+  static const std::regex kStatusFn(
+      "(^|[^:\\w<,])(::)?(evc::)?Status\\s+([A-Za-z_]\\w*)\\s*\\(");
+  for (std::sregex_iterator it(code.begin(), code.end(), kStatusFn), end;
+       it != end; ++it) {
+    table->status_fns.insert((*it)[4].str());
+  }
+  // `Result<...> Name(` declarations; angle brackets balanced manually.
+  for (size_t pos = code.find("Result<"); pos != std::string::npos;
+       pos = code.find("Result<", pos + 1)) {
+    if (pos > 0 && IsIdentChar(code[pos - 1])) continue;
+    size_t after = BalanceAngles(code, pos + 6);
+    if (after == std::string::npos) continue;
+    size_t p = SkipSpaces(code, after);
+    size_t name_start = p;
+    while (p < code.size() && IsIdentChar(code[p])) ++p;
+    if (p == name_start || !IsIdentStart(code[name_start])) continue;
+    size_t q = SkipSpaces(code, p);
+    if (q < code.size() && code[q] == '(') {
+      table->status_fns.insert(code.substr(name_start, p - name_start));
+    }
+  }
+}
+
+int LineAt(const Preprocessed& pre, size_t offset) {
+  if (pre.line_of.empty()) return 1;
+  if (offset >= pre.line_of.size()) return pre.line_of.back();
+  return pre.line_of[offset];
+}
+
+/// Per-line regex checks: wall-clock, raw-random, check-macro.
+void RunLineChecks(const std::string& path, const Preprocessed& pre,
+                   std::vector<Finding>* findings) {
+  struct Rule {
+    const char* check;
+    std::regex pattern;
+    const char* message;
+  };
+  // NOTE: patterns run on comment/string-stripped text, so prose mentioning a
+  // banned symbol never trips a rule.
+  static const std::vector<Rule>* rules = new std::vector<Rule>{
+      {kWallClock,
+       std::regex("system_clock|steady_clock|high_resolution_clock"),
+       "wall/monotonic clock use; sim code must take time from "
+       "sim::Simulator::Now() (bit-identical replay)"},
+      {kWallClock,
+       std::regex("\\b(gettimeofday|clock_gettime|timespec_get|localtime|"
+                  "gmtime|mktime|strftime)\\b"),
+       "OS clock API; sim code must take time from sim::Simulator::Now()"},
+      {kWallClock, std::regex("(std::time|(^|[^\\w.:>])time)\\s*\\("),
+       "time() reads the wall clock; use sim::Simulator::Now()"},
+      {kWallClock, std::regex("(^|[^\\w.:>])clock\\s*\\(\\s*\\)"),
+       "clock() reads a process clock; use sim::Simulator::Now()"},
+      {kRawRandom,
+       std::regex("(std::rand\\s*\\(|\\bsrand\\s*\\(|(^|[^\\w.:>])rand\\s*"
+                  "\\()"),
+       "rand()/srand() is global nondeterministic state; draw from "
+       "common/rng.h (evc::Rng)"},
+      {kRawRandom, std::regex("\\brandom_device\\b"),
+       "std::random_device is nondeterministic by design; seed an evc::Rng "
+       "from the experiment seed instead"},
+      {kRawRandom, std::regex("\\bdefault_random_engine\\b"),
+       "std::default_random_engine is implementation-defined; use evc::Rng"},
+      {kRawRandom,
+       std::regex("\\bmt19937(_64)?\\s+[A-Za-z_]\\w*\\s*(;|\\(\\s*\\)|\\{\\s*"
+                  "\\})"),
+       "unseeded std::mt19937; all randomness must flow through common/rng.h "
+       "with an explicit seed"},
+      {kCheckMacro, std::regex("(^|[^\\w])assert\\s*\\("),
+       "bare assert() vanishes under NDEBUG (release/fuzz builds); use "
+       "EVC_CHECK"},
+      {kCheckMacro, std::regex("#\\s*include\\s*[<\"](cassert|assert\\.h)[>\"]"),
+       "<cassert> include; use EVC_CHECK from common/status.h"},
+  };
+
+  // The obs exporter shim is the one place allowed to touch the real clock
+  // (it stamps export metadata, never sim-visible state).
+  bool wall_clock_exempt = path.find("obs/export") != std::string::npos;
+
+  std::istringstream stream(pre.code);
+  std::string line_text;
+  int line_no = 0;
+  while (std::getline(stream, line_text)) {
+    ++line_no;
+    for (const Rule& rule : *rules) {
+      if (wall_clock_exempt && std::string(rule.check) == kWallClock) continue;
+      if (std::regex_search(line_text, rule.pattern)) {
+        findings->push_back({rule.check, path, line_no, rule.message});
+        break;  // one finding per line is enough signal
+      }
+    }
+  }
+}
+
+/// Strips trailing balanced (...) / [...] groups then returns the trailing
+/// identifier of a range-for's range expression ("net.peers()" -> "peers").
+std::string TrailingIdentifier(std::string expr) {
+  expr = Trim(expr);
+  while (!expr.empty() && (expr.back() == ')' || expr.back() == ']')) {
+    char close = expr.back();
+    char open = close == ')' ? '(' : '[';
+    int depth = 0;
+    size_t i = expr.size();
+    while (i > 0) {
+      --i;
+      if (expr[i] == close) ++depth;
+      else if (expr[i] == open && --depth == 0) break;
+    }
+    if (depth != 0) return "";
+    expr = Trim(expr.substr(0, i));
+  }
+  size_t end = expr.size();
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(expr[begin - 1])) --begin;
+  return expr.substr(begin, end - begin);
+}
+
+void RunUnorderedIterationCheck(const std::string& path,
+                                const Preprocessed& pre,
+                                const SymbolTable& table,
+                                std::vector<Finding>* findings) {
+  const std::string& code = pre.code;
+  for (size_t pos = code.find("for"); pos != std::string::npos;
+       pos = code.find("for", pos + 1)) {
+    if (pos > 0 && IsIdentChar(code[pos - 1])) continue;
+    if (pos + 3 < code.size() && IsIdentChar(code[pos + 3])) continue;
+    size_t paren = SkipSpaces(code, pos + 3);
+    if (paren >= code.size() || code[paren] != '(') continue;
+    size_t close = BalanceParens(code, paren);
+    if (close == std::string::npos) continue;
+    std::string head = code.substr(paren + 1, close - paren - 2);
+    // Find a top-level ':' (range-for separator); skip '::'.
+    int depth = 0;
+    size_t colon = std::string::npos;
+    for (size_t i = 0; i < head.size(); ++i) {
+      char c = head[i];
+      if (c == '(' || c == '[' || c == '<' || c == '{') ++depth;
+      else if (c == ')' || c == ']' || c == '>' || c == '}') --depth;
+      else if (c == ':' && depth <= 0) {
+        if ((i + 1 < head.size() && head[i + 1] == ':') ||
+            (i > 0 && head[i - 1] == ':')) {
+          continue;
+        }
+        colon = i;
+        break;
+      } else if (c == '?') {
+        break;  // conditional expression, not a range-for
+      }
+    }
+    if (colon == std::string::npos) continue;
+    std::string ident = TrailingIdentifier(head.substr(colon + 1));
+    if (!ident.empty() && table.unordered_names.count(ident) > 0) {
+      findings->push_back(
+          {kUnorderedIteration, path, LineAt(pre, paren),
+           "range-for over hash-ordered container '" + ident +
+               "'; iteration order depends on hashing/addresses and breaks "
+               "same-seed replay — use std::map, a sorted-key snapshot, or a "
+               "justified allow()"});
+    }
+  }
+}
+
+void RunDiscardedStatusCheck(const std::string& path, const Preprocessed& pre,
+                             const SymbolTable& table,
+                             std::vector<Finding>* findings) {
+  const std::string& code = pre.code;
+  for (const std::string& fn : table.status_fns) {
+    for (size_t pos = code.find(fn); pos != std::string::npos;
+         pos = code.find(fn, pos + 1)) {
+      if (pos > 0 && IsIdentChar(code[pos - 1])) continue;  // substring match
+      size_t after_name = pos + fn.size();
+      size_t paren = SkipSpaces(code, after_name);
+      if (paren >= code.size() || code[paren] != '(') continue;
+      // Walk back over the receiver chain: identifiers, '.', '->', '::'.
+      size_t chain_start = pos;
+      while (chain_start > 0) {
+        char c = code[chain_start - 1];
+        if (IsIdentChar(c) || c == '.' || c == ':') {
+          --chain_start;
+        } else if (c == '>' && chain_start >= 2 &&
+                   code[chain_start - 2] == '-') {
+          chain_start -= 2;
+        } else {
+          break;
+        }
+      }
+      // The chain must begin a statement: preceded (ignoring whitespace) by
+      // ';', '{', '}', or the start of the file. Anything else means the
+      // value is consumed (assignment, return, argument, condition, decl).
+      size_t before = chain_start;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(code[before - 1]))) {
+        --before;
+      }
+      if (before != 0 && code[before - 1] != ';' && code[before - 1] != '{' &&
+          code[before - 1] != '}') {
+        continue;
+      }
+      size_t call_end = BalanceParens(code, paren);
+      if (call_end == std::string::npos) continue;
+      size_t next = SkipSpaces(code, call_end);
+      if (next < code.size() && code[next] == ';') {
+        findings->push_back(
+            {kDiscardedStatus, path, LineAt(pre, pos),
+             "call to '" + fn +
+                 "' discards its Status/Result; check it, propagate it "
+                 "(EVC_RETURN_IF_ERROR), or EVC_CHECK_OK it"});
+      }
+    }
+  }
+}
+
+bool IsSuppressed(std::vector<Suppression>& sups, const Finding& f) {
+  for (Suppression& sup : sups) {
+    if (sup.checks.count(f.check) > 0 &&
+        (f.line == sup.line || f.line == sup.line + 1)) {
+      sup.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllCheckNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      kWallClock, kRawRandom, kUnorderedIteration, kDiscardedStatus,
+      kCheckMacro};
+  return *names;
+}
+
+std::vector<Finding> ScanFiles(const std::vector<SourceFile>& files,
+                               const Options& options) {
+  std::vector<Preprocessed> pres;
+  pres.reserve(files.size());
+  SymbolTable table;
+  for (const SourceFile& file : files) {
+    pres.push_back(Preprocess(file.path, file.content));
+    CollectUnorderedNames(pres.back().code, &table);
+    CollectStatusFns(pres.back().code, &table);
+  }
+  // Aliases can be declared in one file (a header) and used in another, so
+  // alias-typed declarations are collected only once every file is parsed.
+  for (const Preprocessed& pre : pres) {
+    CollectAliasDeclaredNames(pre.code, &table);
+  }
+
+  auto enabled = [&](const char* check) {
+    return options.only_checks.empty() || options.only_checks.count(check) > 0;
+  };
+
+  std::vector<Finding> all;
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::string& path = files[i].path;
+    Preprocessed& pre = pres[i];
+    std::vector<Finding> raw;
+    RunLineChecks(path, pre, &raw);
+    if (enabled(kUnorderedIteration)) {
+      RunUnorderedIterationCheck(path, pre, table, &raw);
+    }
+    if (enabled(kDiscardedStatus)) {
+      RunDiscardedStatusCheck(path, pre, table, &raw);
+    }
+    for (Finding& f : raw) {
+      if (!enabled(f.check.c_str())) continue;
+      if (IsSuppressed(pre.suppressions, f)) continue;
+      all.push_back(std::move(f));
+    }
+    for (Finding& f : pre.bad_suppressions) all.push_back(std::move(f));
+  }
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.check < b.check;
+  });
+  return all;
+}
+
+std::vector<Finding> ScanPaths(const std::vector<std::string>& paths,
+                               const Options& options,
+                               std::vector<std::string>* errors) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  auto load = [&](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      errors->push_back("cannot read " + p.string());
+      return;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back({p.generic_string(), ss.str()});
+  };
+  for (const std::string& path : paths) {
+    fs::path p(path);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      std::vector<fs::path> found;
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file()) continue;
+        std::string ext = it->path().extension().string();
+        if (ext == ".cc" || ext == ".h") found.push_back(it->path());
+      }
+      std::sort(found.begin(), found.end());
+      for (const fs::path& f : found) load(f);
+    } else if (fs::is_regular_file(p, ec)) {
+      load(p);
+    } else {
+      errors->push_back("no such file or directory: " + path);
+    }
+  }
+  return ScanFiles(files, options);
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.check + "] " + finding.message;
+}
+
+int RunCommandLine(const std::vector<std::string>& args,
+                   std::vector<std::string>* out) {
+  Options options;
+  bool werror = false;
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--list-checks") {
+      for (const std::string& name : AllCheckNames()) out->push_back(name);
+      return 0;
+    } else if (arg.rfind("--check=", 0) == 0) {
+      std::stringstream ss(arg.substr(8));
+      std::string name;
+      const auto& known = AllCheckNames();
+      while (std::getline(ss, name, ',')) {
+        name = Trim(name);
+        if (name.empty()) continue;
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+          out->push_back("evc_lint: unknown check '" + name + "'");
+          return 2;
+        }
+        options.only_checks.insert(name);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      out->push_back(
+          "usage: evc_lint [--werror] [--check=name,...] [--list-checks] "
+          "[paths...]");
+      out->push_back(
+          "scans .cc/.h files (default paths: src bench tools) for "
+          "determinism and error-discipline violations");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      out->push_back("evc_lint: unknown flag '" + arg + "'");
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "bench", "tools"};
+
+  std::vector<std::string> errors;
+  std::vector<Finding> findings = ScanPaths(paths, options, &errors);
+  for (const std::string& err : errors) out->push_back("evc_lint: " + err);
+  if (!errors.empty()) return 2;
+  for (const Finding& f : findings) out->push_back(FormatFinding(f));
+  if (findings.empty()) {
+    out->push_back("evc_lint: clean");
+    return 0;
+  }
+  out->push_back("evc_lint: " + std::to_string(findings.size()) +
+                 " finding(s)");
+  return werror ? 1 : 0;
+}
+
+}  // namespace lint
+}  // namespace evc

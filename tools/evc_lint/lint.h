@@ -1,0 +1,93 @@
+// evc_lint — a determinism & error-discipline static-analysis pass.
+//
+// A self-contained token/regex-level scanner (no libclang) that enforces the
+// project rules every replay/safety guarantee rests on:
+//
+//   wall-clock           no wall clocks in sim code (system_clock,
+//                        steady_clock, time(), gettimeofday, ...). Simulated
+//                        time comes from sim::Simulator; a wall clock breaks
+//                        bit-identical same-seed replay. The obs exporter
+//                        shim (src/obs/export.*) is exempt by path.
+//   raw-random           no std::rand / srand / std::random_device, and no
+//                        unseeded std::mt19937. All randomness flows through
+//                        common/rng.h so every draw is seed-derived.
+//   unordered-iteration  no range-for over std::unordered_map/set (or over
+//                        getters returning them). Hash-order iteration is
+//                        address/seed dependent and diverges across runs.
+//   discarded-status     no expression-statement calls to functions returning
+//                        Status/Result (redundant belt to the [[nodiscard]]
+//                        attribute on both types, for builds without -Werror).
+//   check-macro          no bare assert(); use EVC_CHECK, which fires in
+//                        release builds too (assert vanishes under NDEBUG,
+//                        which is exactly when the fuzzer runs).
+//
+// Suppression syntax (same line or the line directly above the finding):
+//
+//   // evc-lint: allow(unordered-iteration) reason=keys sorted before use
+//
+// A suppression without a `reason=` is itself reported (bad-suppression).
+//
+// The scanner strips comments, string and character literals before matching,
+// so prose that merely mentions a banned symbol is never flagged.
+
+#ifndef EVC_TOOLS_EVC_LINT_LINT_H_
+#define EVC_TOOLS_EVC_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace evc {
+namespace lint {
+
+/// One rule violation (or a malformed suppression comment).
+struct Finding {
+  std::string check;    ///< Rule name, e.g. "wall-clock" or "bad-suppression".
+  std::string file;     ///< Path as given to the scanner.
+  int line = 0;         ///< 1-based line number.
+  std::string message;  ///< Human-readable description.
+};
+
+/// Names of all real checks (excludes the synthetic "bad-suppression").
+const std::vector<std::string>& AllCheckNames();
+
+struct Options {
+  /// If non-empty, only run these checks (bad-suppression always runs).
+  std::set<std::string> only_checks;
+};
+
+/// A source file already loaded into memory (path is used for reporting and
+/// for path-based exemptions).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Scans `files` as one unit: declarations collected from any file (e.g. an
+/// unordered_map member in a header) inform checks in every other file.
+/// Returns findings sorted by (file, line, check). Suppressed findings are
+/// omitted; malformed suppressions are reported as check "bad-suppression".
+std::vector<Finding> ScanFiles(const std::vector<SourceFile>& files,
+                               const Options& options = {});
+
+/// Convenience: loads paths (files, or directories walked recursively for
+/// .cc/.h files) and scans them. IO errors append to `*errors`.
+std::vector<Finding> ScanPaths(const std::vector<std::string>& paths,
+                               const Options& options,
+                               std::vector<std::string>* errors);
+
+/// Renders one finding as "file:line: [check] message".
+std::string FormatFinding(const Finding& finding);
+
+/// Full CLI entry point (used by main.cc and by the self-test to pin exit
+/// codes). Returns 0 on a clean scan, or with findings when --werror is NOT
+/// given; 1 when findings exist and --werror IS given; 2 on usage/IO errors.
+/// Output lines append to `*out`.
+int RunCommandLine(const std::vector<std::string>& args,
+                   std::vector<std::string>* out);
+
+}  // namespace lint
+}  // namespace evc
+
+#endif  // EVC_TOOLS_EVC_LINT_LINT_H_

@@ -1,0 +1,18 @@
+// CLI wrapper for the evc-lint scanner. See lint.h for the rule catalog and
+// the suppression syntax; run with --help for usage.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "evc_lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> out;
+  int rc = evc::lint::RunCommandLine(args, &out);
+  for (const std::string& line : out) {
+    std::fprintf(rc == 2 ? stderr : stdout, "%s\n", line.c_str());
+  }
+  return rc;
+}
