@@ -1,0 +1,187 @@
+// Simcore throughput — the tentpole measurement for the calendar-queue
+// scheduler rebuild.
+//
+// A synthetic event-churn workload modeled on what the protocol layers
+// actually put through the scheduler (message deliveries fanning out to
+// random peers, plus the timer complement a resilient RPC call arms on
+// every hop — timeout, retry deadline, hedge trigger — all cancelled by the
+// next delivery, the pattern that dominates real runs) executes at
+// N = 10 / 100 / 1000 nodes under BOTH schedulers:
+//
+//   * SchedulerKind::kCalendar — timing wheel + slab-backed closures;
+//   * SchedulerKind::kLegacyHeap — the seed's binary heap + per-event heap
+//     allocation + hash-set cancellation, kept exactly for this comparison.
+//
+// Both run the identical event sequence (the differential harness in
+// tests/simcore_diff_test.cc proves the ordering contract; this bench
+// EVC_CHECKs the executed-event counts agree), so the wall-clock ratio is a
+// pure scheduler/allocator measurement. Headline metrics:
+//
+//   events_per_sec_n<N>_{calendar,legacy}   raw scheduler throughput
+//   sim_x_realtime_n<N>_{calendar,legacy}   sim-seconds per wall-second
+//   calendar_speedup_n<N>                   calendar / legacy events-per-sec
+//
+// CI gates on calendar_speedup_n1000 via evc_bench_check --floor: the
+// acceptance bar is >= 3x, and the floor is set 20% under the bar so a
+// throughput regression fails the bench-smoke job without making CI
+// sensitive to absolute machine speed.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness.h"
+#include "sim/latency.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+using namespace evc;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+constexpr uint64_t kSeed = 42;
+constexpr int kChainsPerNode = 2;
+// Every hop arms the timer complement a resilient RPC call does — overall
+// timeout, retry deadline, and hedge trigger — and the next delivery
+// disarms all of them. Almost every scheduled timer is cancelled before it
+// fires, the dominant pattern real protocol runs feed the scheduler.
+constexpr int kTimersPerHop = 4;
+constexpr sim::Time kTimeout = 250 * kMillisecond;
+
+// Wall-clock timing is the entire point of a throughput bench; nothing read
+// here ever feeds back into simulation state, so determinism is preserved.
+double WallSeconds(const std::function<void()>& fn) {
+  // evc-lint: allow(wall-clock) reason=throughput bench timing; never sim-visible
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  // evc-lint: allow(wall-clock) reason=throughput bench timing; never sim-visible
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+struct RunResult {
+  uint64_t events = 0;
+  double wall_s = 0;
+  double sim_s = 0;
+  double events_per_sec = 0;
+  double sim_x_realtime = 0;
+};
+
+// Virtual-time horizon per cluster size, tuned so every configuration pushes
+// a six-figure event count through the queue without the legacy baseline
+// blowing the CI time budget.
+sim::Time HorizonFor(int n) {
+  if (n <= 10) return 60 * kSecond;
+  if (n <= 100) return 10 * kSecond;
+  return 2 * kSecond;
+}
+
+RunResult RunChurn(int n, sim::SchedulerKind kind) {
+  sim::Simulator sim(kSeed, kind);
+  sim::Network net(&sim, std::make_unique<sim::UniformLatency>(
+                             1 * kMillisecond, 20 * kMillisecond));
+
+  std::vector<sim::NodeId> nodes;
+  nodes.reserve(n);
+  for (int i = 0; i < n; ++i) nodes.push_back(net.AddNode());
+  const sim::MsgType ping = net.InternType("perf.ping");
+
+  // Shared workload RNG: both schedulers execute events in the identical
+  // (when, seq) order, so the draw sequence — and therefore the whole event
+  // graph — is the same in both runs.
+  auto rng = std::make_shared<Rng>(kSeed * 31);
+  auto timers = std::make_shared<std::vector<sim::EventId>>(
+      static_cast<size_t>(n) * kTimersPerHop, 0);
+
+  for (int i = 0; i < n; ++i) {
+    net.RegisterHandler(nodes[i], ping, [&sim, &net, &nodes, rng, timers, i,
+                                         ping](sim::Message msg) {
+      // The previous hop's timers are disarmed by this delivery.
+      for (int t = 0; t < kTimersPerHop; ++t) {
+        sim::EventId& slot = (*timers)[static_cast<size_t>(i) * kTimersPerHop +
+                                       static_cast<size_t>(t)];
+        if (slot != 0) sim.Cancel(slot);
+        slot = sim.ScheduleAfter(kTimeout + t * 17 * kMillisecond, [] {});
+      }
+      const auto next = static_cast<size_t>(rng->NextBounded(nodes.size()));
+      net.Send(msg.to, nodes[next], ping, msg.sent_at);
+    });
+  }
+
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < kChainsPerNode; ++c) {
+      const auto next = static_cast<size_t>(rng->NextBounded(nodes.size()));
+      net.Send(nodes[i], nodes[next], ping, sim::Time{0});
+    }
+  }
+
+  const sim::Time horizon = HorizonFor(n);
+  RunResult r;
+  r.wall_s = WallSeconds([&] { sim.RunUntil(horizon); });
+  r.events = sim.events_executed();
+  r.sim_s = static_cast<double>(horizon) / kSecond;
+  r.events_per_sec = static_cast<double>(r.events) / r.wall_s;
+  r.sim_x_realtime = r.sim_s / r.wall_s;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::Harness h("perf_simcore");
+  h.Note("workload",
+         "2 ping chains/node, random peer fan-out, 4 staggered 250-300ms "
+         "timers armed per hop and cancelled on the next delivery; uniform "
+         "1-20ms latency");
+  h.Note("expected",
+         "calendar queue >= 3x legacy events/sec at N=1000; CI floors the "
+         "speedup at 2.4 (bar minus 20%)");
+  h.Table("throughput",
+          {"nodes", "scheduler", "events", "wall_s", "events_per_sec",
+           "sim_x_realtime"});
+
+  std::printf("%6s %10s %12s %10s %14s %14s\n", "nodes", "scheduler",
+              "events", "wall_s", "events/sec", "sim x realtime");
+  for (int n : {10, 100, 1000}) {
+    const RunResult cal = RunChurn(n, sim::SchedulerKind::kCalendar);
+    const RunResult leg = RunChurn(n, sim::SchedulerKind::kLegacyHeap);
+    // Same seed + same ordering contract => identical event graphs. A
+    // mismatch means the schedulers diverged and the comparison is invalid.
+    EVC_CHECK(cal.events == leg.events);
+
+    for (const auto& [name, r] :
+         {std::pair<const char*, const RunResult&>{"calendar", cal},
+          std::pair<const char*, const RunResult&>{"legacy", leg}}) {
+      std::printf("%6d %10s %12llu %10.3f %14.0f %14.1f\n", n, name,
+                  static_cast<unsigned long long>(r.events), r.wall_s,
+                  r.events_per_sec, r.sim_x_realtime);
+      const std::string suffix =
+          "_n" + std::to_string(n) + "_" + name;
+      h.Metric("events_per_sec" + suffix, r.events_per_sec);
+      h.Metric("sim_x_realtime" + suffix, r.sim_x_realtime);
+      h.Row("throughput", {obs::Json(static_cast<double>(n)),
+                           obs::Json(std::string(name)),
+                           obs::Json(static_cast<double>(r.events)),
+                           obs::Json(r.wall_s), obs::Json(r.events_per_sec),
+                           obs::Json(r.sim_x_realtime)});
+    }
+    const double speedup = cal.events_per_sec / leg.events_per_sec;
+    h.Metric("calendar_speedup_n" + std::to_string(n), speedup);
+    std::printf("%6d %10s %12s %10s %14.2fx\n", n, "speedup", "", "",
+                speedup);
+  }
+
+  const Status st = h.Write();
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench output write failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

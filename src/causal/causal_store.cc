@@ -13,6 +13,9 @@ constexpr char kReplicate[] = "cc.replicate";
 CausalCluster::CausalCluster(sim::Rpc* rpc, CausalOptions options)
     : rpc_(rpc), options_(options) {
   EVC_CHECK(rpc_ != nullptr);
+  m_put_ = rpc_->InternMethod(kPut);
+  m_get_ = rpc_->InternMethod(kGet);
+  t_replicate_ = rpc_->network()->InternType(kReplicate);
 }
 
 CausalCluster::~CausalCluster() = default;
@@ -111,9 +114,9 @@ void CausalCluster::DrainPending(Datacenter* dc) {
 
 void CausalCluster::RegisterHandlers(Datacenter* dc) {
   rpc_->RegisterHandler(
-      dc->node, kPut,
-      [this, dc](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto put = std::any_cast<PutReq>(std::move(req));
+      dc->node, m_put_,
+      [this, dc](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto put = std::move(req).Take<PutReq>();
         // A local put's dependencies are always satisfied locally: the
         // client read them from this very datacenter.
         ++stats_.writes;
@@ -129,14 +132,14 @@ void CausalCluster::RegisterHandlers(Datacenter* dc) {
         // Asynchronous geo-replication with dependency metadata.
         for (auto& peer : dcs_) {
           if (peer->node == dc->node) continue;
-          rpc_->network()->Send(dc->node, peer->node, kReplicate, write);
+          rpc_->network()->Send(dc->node, peer->node, t_replicate_, write);
         }
-        respond(std::any{id});
+        respond(id);
       });
 
   rpc_->network()->RegisterHandler(
-      dc->node, kReplicate, [this, dc](sim::Message msg) {
-        auto write = std::any_cast<ReplicatedWrite>(std::move(msg.payload));
+      dc->node, t_replicate_, [this, dc](sim::Message msg) {
+        auto write = std::move(msg.payload).Take<ReplicatedWrite>();
         write.arrived_at = rpc_->simulator()->Now();
         if (DepsSatisfied(*dc, write.deps)) {
           ++stats_.remote_applied_immediately;
@@ -151,9 +154,9 @@ void CausalCluster::RegisterHandlers(Datacenter* dc) {
       });
 
   rpc_->RegisterHandler(
-      dc->node, kGet,
-      [dc](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto get = std::any_cast<GetReq>(std::move(req));
+      dc->node, m_get_,
+      [dc](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto get = std::move(req).Take<GetReq>();
         CausalRead result;
         if (!get.min_id.IsNull()) {
           // GT round 2: the oldest retained version satisfying min_id.
@@ -169,7 +172,7 @@ void CausalCluster::RegisterHandlers(Datacenter* dc) {
               }
             }
           }
-          respond(std::any{std::move(result)});
+          respond(std::move(result));
           return;
         }
         auto it = dc->data.find(get.key);
@@ -179,7 +182,7 @@ void CausalCluster::RegisterHandlers(Datacenter* dc) {
           result.id = it->second.id;
           result.deps = it->second.deps;
         }
-        respond(std::any{std::move(result)});
+        respond(std::move(result));
       });
 }
 
@@ -190,12 +193,12 @@ void CausalCluster::Put(sim::NodeId client, sim::NodeId dc,
   req.key = key;
   req.value = std::move(value);
   req.deps = std::move(deps);
-  rpc_->Call(client, dc, kPut, std::move(req), options_.rpc_timeout,
-             [done](Result<std::any> r) {
+  rpc_->Call(client, dc, m_put_, std::move(req), options_.rpc_timeout,
+             [done](Result<sim::Payload> r) {
                if (!r.ok()) {
                  done(r.status());
                } else {
-                 done(std::any_cast<WriteId>(std::move(r).value()));
+                 done(std::move(r).value().Take<WriteId>());
                }
              });
 }
@@ -203,12 +206,12 @@ void CausalCluster::Put(sim::NodeId client, sim::NodeId dc,
 void CausalCluster::Get(sim::NodeId client, sim::NodeId dc,
                         const std::string& key, GetCallback done) {
   GetReq req{key, WriteId{}};
-  rpc_->Call(client, dc, kGet, std::move(req), options_.rpc_timeout,
-             [done](Result<std::any> r) {
+  rpc_->Call(client, dc, m_get_, std::move(req), options_.rpc_timeout,
+             [done](Result<sim::Payload> r) {
                if (!r.ok()) {
                  done(r.status());
                } else {
-                 done(std::any_cast<CausalRead>(std::move(r).value()));
+                 done(std::move(r).value().Take<CausalRead>());
                }
              });
 }
@@ -266,13 +269,13 @@ void CausalCluster::GetTransaction(sim::NodeId client, sim::NodeId dc,
     r2->outstanding = static_cast<int>(refetch.size());
     for (const size_t i : refetch) {
       GetReq req{state->keys[i], required[state->keys[i]]};
-      rpc_->Call(client, dc, kGet, std::move(req), options_.rpc_timeout,
-                 [state, r2, i, done](Result<std::any> r) {
+      rpc_->Call(client, dc, m_get_, std::move(req), options_.rpc_timeout,
+                 [state, r2, i, done](Result<sim::Payload> r) {
                    if (!r.ok()) {
                      r2->failed = true;
                    } else {
                      state->results[i] =
-                         std::any_cast<CausalRead>(std::move(r).value());
+                         std::move(r).value().Take<CausalRead>();
                    }
                    if (--r2->outstanding == 0) {
                      if (r2->failed) {
@@ -287,13 +290,13 @@ void CausalCluster::GetTransaction(sim::NodeId client, sim::NodeId dc,
 
   for (size_t i = 0; i < state->keys.size(); ++i) {
     GetReq req{state->keys[i], WriteId{}};
-    rpc_->Call(client, dc, kGet, std::move(req), options_.rpc_timeout,
-               [state, i, done, round2](Result<std::any> r) {
+    rpc_->Call(client, dc, m_get_, std::move(req), options_.rpc_timeout,
+               [state, i, done, round2](Result<sim::Payload> r) {
                  if (!r.ok()) {
                    state->failed = true;
                  } else {
                    state->results[i] =
-                       std::any_cast<CausalRead>(std::move(r).value());
+                       std::move(r).value().Take<CausalRead>();
                  }
                  if (--state->outstanding == 0) {
                    if (state->failed) {

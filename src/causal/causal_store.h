@@ -183,6 +183,10 @@ class CausalCluster : private sim::CrashParticipant {
   void OnRestart(uint32_t node) override;
 
   sim::Rpc* rpc_;
+  // Pre-interned RPC methods / message types (resolved in the ctor).
+  sim::MethodId m_put_ = 0;
+  sim::MethodId m_get_ = 0;
+  sim::MsgType t_replicate_ = 0;
   CausalOptions options_;
   std::vector<std::unique_ptr<Datacenter>> dcs_;
   std::map<sim::NodeId, Datacenter*> by_node_;

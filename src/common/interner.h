@@ -1,0 +1,95 @@
+// String interning: map recurring names (workload keys, message types, RPC
+// methods, span names) to dense small integers once, then pass the integer.
+//
+// The hot paths that used to hash or copy a std::string per operation —
+// per-message type lookups, per-call method dispatch, per-op workload key
+// construction — intern the string once and index flat vectors afterwards.
+//
+// Determinism: ids are assigned in first-intern order, so for a fixed seed
+// the id of every name is identical across runs (pinned by interner_test).
+// Ids are injective per table by construction: a name maps to exactly one
+// id and an id to exactly one name for the table's lifetime.
+//
+// The reverse index is an unordered_map used for LOOKUP ONLY — the table is
+// never iterated, so hash order can never leak into execution order or
+// exports. evc_lint's unordered-iteration check stays armed for this file;
+// tests/lint_test.cc audits that iterating a KeyInterner's index would still
+// be flagged (the exemption is "lookup-only", not "this container is safe").
+
+#ifndef EVC_COMMON_INTERNER_H_
+#define EVC_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace evc {
+
+/// Dense id for an interned string. Ids start at 0 and are assigned in
+/// first-intern order.
+using KeyId = uint32_t;
+
+constexpr KeyId kInvalidKeyId = UINT32_MAX;
+
+class KeyInterner {
+ public:
+  KeyInterner() = default;
+  KeyInterner(const KeyInterner&) = delete;
+  KeyInterner& operator=(const KeyInterner&) = delete;
+
+  /// Returns the id for `name`, assigning the next dense id on first sight.
+  KeyId Intern(std::string_view name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    const KeyId id = static_cast<KeyId>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// The id of `name` if already interned, else kInvalidKeyId. Never assigns.
+  KeyId Lookup(std::string_view name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? kInvalidKeyId : it->second;
+  }
+
+  /// The canonical string for `id`. The view is stable for the interner's
+  /// lifetime (names live in a deque; they never move).
+  std::string_view NameOf(KeyId id) const {
+    EVC_CHECK(id < names_.size());
+    return names_[id];
+  }
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  // Heterogeneous lookup so Intern/Lookup take string_view without building
+  // a temporary std::string.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  // Stable storage for the canonical strings, in id order. deque: grows
+  // without moving existing strings, so string_views into it stay valid.
+  std::deque<std::string> names_;
+  // Lookup-only reverse index (never iterated; see file comment).
+  std::unordered_map<std::string_view, KeyId, Hash, Eq> index_;
+};
+
+}  // namespace evc
+
+#endif  // EVC_COMMON_INTERNER_H_

@@ -1,0 +1,60 @@
+#include "common/slab.h"
+
+#include <new>
+
+namespace evc {
+
+Slab::~Slab() {
+  // Chunks are released wholesale; individual blocks need no bookkeeping.
+  // Large blocks are freed eagerly in Free(), so nothing to do for them:
+  // a Slab dying with live large blocks would leak, which EVC_CHECK guards
+  // against in debug-heavy test runs via the accounting counters.
+}
+
+void* Slab::Alloc(size_t size) {
+  ++allocs_;
+  if (size == 0) size = 1;
+  if (size > kMaxSmall) {
+    ++large_allocs_;
+    return ::operator new(size, std::align_val_t(kAlign));
+  }
+  const size_t cls = ClassOf(size);
+  if (free_lists_[cls] == nullptr) Refill(cls);
+  FreeBlock* block = free_lists_[cls];
+  free_lists_[cls] = block->next;
+  return block;
+}
+
+void Slab::Free(void* p, size_t size) {
+  EVC_CHECK(p != nullptr);
+  ++frees_;
+  if (size == 0) size = 1;
+  if (size > kMaxSmall) {
+    ::operator delete(p, std::align_val_t(kAlign));
+    return;
+  }
+  const size_t cls = ClassOf(size);
+  auto* block = static_cast<FreeBlock*>(p);
+  block->next = free_lists_[cls];
+  free_lists_[cls] = block;
+}
+
+void Slab::Refill(size_t cls) {
+  const size_t block_bytes = ClassBytes(cls);
+  auto chunk = std::make_unique<char[]>(kChunkBytes);
+  char* base = chunk.get();
+  // make_unique<char[]> comes from operator new[], aligned to
+  // __STDCPP_DEFAULT_NEW_ALIGNMENT__ (>= 16 on all supported targets), and
+  // block_bytes is a multiple of kAlign, so every block stays aligned.
+  const size_t count = kChunkBytes / block_bytes;
+  EVC_CHECK(count > 0);
+  // Thread blocks so the lowest address pops first (deterministic order).
+  for (size_t i = count; i > 0; --i) {
+    auto* block = reinterpret_cast<FreeBlock*>(base + (i - 1) * block_bytes);
+    block->next = free_lists_[cls];
+    free_lists_[cls] = block;
+  }
+  chunks_.push_back(std::move(chunk));
+}
+
+}  // namespace evc

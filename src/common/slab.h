@@ -1,0 +1,84 @@
+// Size-class slab allocator for short-lived simulator objects.
+//
+// The simulator hot path allocates and frees one small object per scheduled
+// event (the closure) and one per in-flight message (the payload box).
+// Routing those through malloc costs a lock-free-but-slow global allocator
+// round-trip each time; the slab turns both into a pointer pop/push on a
+// per-size-class freelist backed by large chunks that are never returned
+// until the slab dies.
+//
+// Properties:
+//   * Size classes in kAlign steps up to kMaxSmall; larger requests fall
+//     back to operator new (counted, so benches can verify the hot path
+//     stays under kMaxSmall).
+//   * LIFO freelists: the most recently freed block is the next allocated,
+//     so the hot path stays cache-warm and reuse order is deterministic for
+//     a deterministic alloc/free sequence (no address-order dependence).
+//   * Single-threaded by design, like the simulator that owns it.
+
+#ifndef EVC_COMMON_SLAB_H_
+#define EVC_COMMON_SLAB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace evc {
+
+class Slab {
+ public:
+  /// Block alignment and size-class step. Every block can hold any object
+  /// with alignment <= kAlign (covers all event closures and payloads).
+  static constexpr size_t kAlign = 16;
+  /// Largest slab-served request; bigger ones go to operator new.
+  static constexpr size_t kMaxSmall = 1024;
+  /// Bytes carved per chunk.
+  static constexpr size_t kChunkBytes = 64 * 1024;
+
+  Slab() = default;
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+  ~Slab();
+
+  /// Returns a block of at least `size` bytes, aligned to kAlign.
+  void* Alloc(size_t size);
+
+  /// Returns a block obtained from Alloc(size) with the same `size`.
+  void Free(void* p, size_t size);
+
+  // --- accounting (diagnostics and tests) ----------------------------------
+  uint64_t allocs() const { return allocs_; }
+  uint64_t frees() const { return frees_; }
+  uint64_t live() const { return allocs_ - frees_; }
+  /// Allocations that exceeded kMaxSmall and hit operator new.
+  uint64_t large_allocs() const { return large_allocs_; }
+  /// Total bytes reserved in chunks (high-water mark; never shrinks).
+  uint64_t reserved_bytes() const { return chunks_.size() * kChunkBytes; }
+
+ private:
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  static constexpr size_t kNumClasses = kMaxSmall / kAlign;
+
+  static size_t ClassOf(size_t size) { return (size + kAlign - 1) / kAlign - 1; }
+  static size_t ClassBytes(size_t cls) { return (cls + 1) * kAlign; }
+
+  /// Carves a fresh chunk into blocks of class `cls` and threads them onto
+  /// its freelist.
+  void Refill(size_t cls);
+
+  FreeBlock* free_lists_[kNumClasses] = {};
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  uint64_t allocs_ = 0;
+  uint64_t frees_ = 0;
+  uint64_t large_allocs_ = 0;
+};
+
+}  // namespace evc
+
+#endif  // EVC_COMMON_SLAB_H_

@@ -27,6 +27,12 @@ PaxosCluster::PaxosCluster(sim::Rpc* rpc, PaxosOptions options)
       options_(options),
       rng_(rpc->simulator()->rng().Fork(0x9a905)) {
   EVC_CHECK(rpc_ != nullptr);
+  m_client_proposal_ = rpc_->InternMethod(kClientProposal);
+  m_prepare_ = rpc_->InternMethod(kPrepare);
+  m_accept_ = rpc_->InternMethod(kAccept);
+  m_catchup_ = rpc_->InternMethod(kCatchup);
+  t_learn_ = rpc_->network()->InternType(kLearn);
+  t_heartbeat_ = rpc_->network()->InternType(kHeartbeat);
 }
 
 obs::MetricsRegistry& PaxosCluster::Obs() {
@@ -102,9 +108,9 @@ void PaxosCluster::RegisterHandlers(Server* server) {
   const sim::NodeId node = server->node;
 
   rpc_->RegisterHandler(
-      node, kPrepare,
-      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto prepare = std::any_cast<PrepareReq>(std::move(req));
+      node, m_prepare_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto prepare = std::move(req).Take<PrepareReq>();
         PrepareReply reply;
         if (prepare.ballot > server->promised) {
           server->promised = prepare.ballot;
@@ -123,13 +129,13 @@ void PaxosCluster::RegisterHandlers(Server* server) {
           }
         }
         reply.promised_ballot = server->promised;
-        respond(std::any{std::move(reply)});
+        respond(std::move(reply));
       });
 
   rpc_->RegisterHandler(
-      node, kAccept,
-      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto accept = std::any_cast<AcceptReq>(std::move(req));
+      node, m_accept_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto accept = std::move(req).Take<AcceptReq>();
         AcceptReply reply;
         if (accept.ballot >= server->promised) {
           server->promised = accept.ballot;
@@ -150,18 +156,18 @@ void PaxosCluster::RegisterHandlers(Server* server) {
           Obs().CounterFor("paxos.accept_conflicts").Inc();
         }
         reply.promised_ballot = server->promised;
-        respond(std::any{reply});
+        respond(reply);
       });
 
-  rpc_->network()->RegisterHandler(node, kLearn, [this,
+  rpc_->network()->RegisterHandler(node, t_learn_, [this,
                                                   server](sim::Message msg) {
-    auto learn = std::any_cast<LearnMsg>(std::move(msg.payload));
+    auto learn = std::move(msg.payload).Take<LearnMsg>();
     OnChosen(server, learn.slot, learn.value);
   });
 
   rpc_->network()->RegisterHandler(
-      node, kHeartbeat, [this, server](sim::Message msg) {
-        auto hb = std::any_cast<HeartbeatMsg>(std::move(msg.payload));
+      node, t_heartbeat_, [this, server](sim::Message msg) {
+        auto hb = std::move(msg.payload).Take<HeartbeatMsg>();
         if (hb.ballot >= server->leader_ballot) {
           server->leader_ballot = hb.ballot;
           server->leader_hint = hb.leader;
@@ -177,12 +183,11 @@ void PaxosCluster::RegisterHandlers(Server* server) {
             ++stats_.catchups;
             Obs().CounterFor("paxos.catchups").Inc();
             CatchupReq req{my_watermark};
-            rpc_->Call(server->node, hb.leader, kCatchup, req,
+            rpc_->Call(server->node, hb.leader, m_catchup_, req,
                        4 * options_.rpc_timeout,
-                       [this, server](Result<std::any> r) {
+                       [this, server](Result<sim::Payload> r) {
                          if (!r.ok()) return;
-                         auto reply = std::any_cast<CatchupReply>(
-                             std::move(r).value());
+                         auto reply = std::move(r).value().Take<CatchupReply>();
                          for (const auto& [slot, value] : reply.chosen) {
                            OnChosen(server, slot, value);
                          }
@@ -192,22 +197,22 @@ void PaxosCluster::RegisterHandlers(Server* server) {
       });
 
   rpc_->RegisterHandler(
-      node, kCatchup,
-      [server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto catchup = std::any_cast<CatchupReq>(std::move(req));
+      node, m_catchup_,
+      [server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto catchup = std::move(req).Take<CatchupReq>();
         CatchupReply reply;
         for (const auto& [slot, state] : server->slots) {
           if (slot >= catchup.from_slot && state.chosen) {
             reply.chosen.emplace_back(slot, state.chosen_value);
           }
         }
-        respond(std::any{std::move(reply)});
+        respond(std::move(reply));
       });
 
   rpc_->RegisterHandler(
-      node, kClientProposal,
-      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto cmd = std::any_cast<Command>(std::move(req));
+      node, m_client_proposal_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto cmd = std::move(req).Take<Command>();
         if (!server->is_leader) {
           std::string hint = "not leader";
           if (server->has_leader_hint) {
@@ -222,7 +227,7 @@ void PaxosCluster::RegisterHandlers(Server* server) {
         pending->op_id = cmd.op_id;
         pending->done = [respond](Result<Execution> r) {
           if (r.ok()) {
-            respond(std::any{std::move(r).value()});
+            respond(std::move(r).value());
           } else {
             respond(r.status());
           }
@@ -295,9 +300,9 @@ void PaxosCluster::StartElection(Server* server) {
   PrepareReq req{server->ballot, from_slot};
   for (auto& peer : servers_) {
     rpc_->Call(
-        server->node, peer->node, kPrepare, req, options_.rpc_timeout,
+        server->node, peer->node, m_prepare_, req, options_.rpc_timeout,
         [this, server, state, majority, total, from_slot](
-            Result<std::any> r) {
+            Result<sim::Payload> r) {
           ++state->replies;
           if (state->done) return;
           // A newer election at this server supersedes this one.
@@ -306,7 +311,7 @@ void PaxosCluster::StartElection(Server* server) {
             return;
           }
           if (r.ok()) {
-            auto reply = std::any_cast<PrepareReply>(std::move(r).value());
+            auto reply = std::move(r).value().Take<PrepareReply>();
             if (reply.promised) {
               state->promises.push_back(std::move(reply));
             } else if (reply.promised_ballot > server->ballot) {
@@ -386,7 +391,7 @@ void PaxosCluster::SendHeartbeats(Server* server) {
   hb.chosen_watermark = WatermarkOf(server->slots);
   for (auto& peer : servers_) {
     if (peer->node == server->node) continue;
-    rpc_->network()->Send(server->node, peer->node, kHeartbeat, hb);
+    rpc_->network()->Send(server->node, peer->node, t_heartbeat_, hb);
   }
   server->last_heartbeat = rpc_->simulator()->Now();
   rpc_->simulator()->ScheduleAfter(options_.heartbeat_interval,
@@ -434,14 +439,14 @@ void PaxosCluster::ProposeInSlot(Server* server, uint64_t slot,
   AcceptReq req{ballot, slot, encoded};
   for (auto& peer : servers_) {
     if (peer->node == server->node) continue;
-    rpc_->Call(server->node, peer->node, kAccept, req, options_.rpc_timeout,
+    rpc_->Call(server->node, peer->node, m_accept_, req, options_.rpc_timeout,
                [this, server, state, majority, total, slot, encoded, ballot,
-                pending](Result<std::any> r) {
+                pending](Result<sim::Payload> r) {
                  ++state->replies;
                  if (state->done) return;
                  if (r.ok()) {
                    auto reply =
-                       std::any_cast<AcceptReply>(std::move(r).value());
+                       std::move(r).value().Take<AcceptReply>();
                    if (reply.accepted) {
                      ++state->acks;
                    } else if (reply.promised_ballot > ballot) {
@@ -457,7 +462,7 @@ void PaxosCluster::ProposeInSlot(Server* server, uint64_t slot,
                    LearnMsg learn{slot, encoded};
                    for (auto& p : servers_) {
                      if (p->node != server->node) {
-                       rpc_->network()->Send(server->node, p->node, kLearn,
+                       rpc_->network()->Send(server->node, p->node, t_learn_,
                                              learn);
                      }
                    }
@@ -726,13 +731,13 @@ void PaxosCluster::StepDown(Server* server, const Ballot& seen) {
 void PaxosCluster::Propose(sim::NodeId client, sim::NodeId server,
                            Command command, ProposeCallback done) {
   if (command.op_id == 0) command.op_id = next_op_id_++;
-  rpc_->Call(client, server, kClientProposal, std::move(command),
+  rpc_->Call(client, server, m_client_proposal_, std::move(command),
              options_.proposal_timeout + 4 * options_.rpc_timeout,
-             [done](Result<std::any> r) {
+             [done](Result<sim::Payload> r) {
                if (!r.ok()) {
                  done(r.status());
                } else {
-                 done(std::any_cast<Execution>(std::move(r).value()));
+                 done(std::move(r).value().Take<Execution>());
                }
              });
 }

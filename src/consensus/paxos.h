@@ -259,6 +259,13 @@ class PaxosCluster : private sim::CrashParticipant {
 
   sim::Rpc* rpc_;
   PaxosOptions options_;
+  // Pre-interned RPC methods / message types (resolved once in the ctor).
+  sim::MethodId m_client_proposal_ = 0;
+  sim::MethodId m_prepare_ = 0;
+  sim::MethodId m_accept_ = 0;
+  sim::MethodId m_catchup_ = 0;
+  sim::MsgType t_learn_ = 0;
+  sim::MsgType t_heartbeat_ = 0;
   std::vector<std::unique_ptr<Server>> servers_;
   std::map<sim::NodeId, Server*> by_node_;
   PaxosStats stats_;

@@ -11,6 +11,7 @@ constexpr char kOpMsg[] = "gb.op";
 GeoBroadcast::GeoBroadcast(sim::Network* network, GeoBroadcastOptions options)
     : network_(network), options_(options) {
   EVC_CHECK(network_ != nullptr);
+  op_type_ = network_->InternType(kOpMsg);
 }
 
 void GeoBroadcast::AddMember(sim::NodeId node, DeliverFn deliver) {
@@ -21,12 +22,12 @@ void GeoBroadcast::AddMember(sim::NodeId node, DeliverFn deliver) {
   member.deliver = std::move(deliver);
   members_.push_back(std::move(member));
 
-  network_->RegisterHandler(node, kOpMsg, [this, index](sim::Message msg) {
-    Receive(&members_[index], std::any_cast<StampedOp>(std::move(msg.payload)));
+  network_->RegisterHandler(node, op_type_, [this, index](sim::Message msg) {
+    Receive(&members_[index], std::move(msg.payload).Take<StampedOp>());
   });
 }
 
-void GeoBroadcast::Publish(uint32_t index, std::any op) {
+void GeoBroadcast::Publish(uint32_t index, sim::Payload op) {
   EVC_CHECK(index < members_.size());
   Member& origin = members_[index];
   StampedOp stamped;
@@ -40,9 +41,11 @@ void GeoBroadcast::Publish(uint32_t index, std::any op) {
   ++origin.delivered;
   origin.deliver(index, stamped.op);
 
+  // Each peer gets its own deep copy, as each send owns its payload (the
+  // seed's std::any made the same per-peer copy implicitly).
   for (Member& peer : members_) {
     if (peer.index == index) continue;
-    network_->Send(origin.node, peer.node, kOpMsg, stamped);
+    network_->Send(origin.node, peer.node, op_type_, stamped.Clone());
   }
 }
 

@@ -13,7 +13,6 @@
 #ifndef EVC_CRDT_GEO_BROADCAST_H_
 #define EVC_CRDT_GEO_BROADCAST_H_
 
-#include <any>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -32,13 +31,14 @@ struct GeoBroadcastOptions {
 };
 
 /// Reliable broadcast among a fixed group of network nodes. Delivery
-/// callbacks receive the op payload (std::any, as elsewhere on the
-/// simulated network) in causal order when enabled.
+/// callbacks receive the op payload (a slab-backed sim::Payload, as
+/// elsewhere on the simulated network) in causal order when enabled.
 class GeoBroadcast {
  public:
   GeoBroadcast(sim::Network* network, GeoBroadcastOptions options = {});
 
-  using DeliverFn = std::function<void(uint32_t origin_index, const std::any&)>;
+  using DeliverFn =
+      std::function<void(uint32_t origin_index, const sim::Payload&)>;
 
   /// Registers `node` as member number `index` (0-based, dense). All
   /// members must be added before the first Publish.
@@ -46,7 +46,16 @@ class GeoBroadcast {
 
   /// Publishes an op from member `index`: delivers locally at once, then
   /// broadcasts. Exactly-once per member; causal order per options.
-  void Publish(uint32_t index, std::any op);
+  void Publish(uint32_t index, sim::Payload op);
+
+  /// Convenience: boxes `op` into the simulator's slab and publishes it.
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<T>, sim::Payload>>>
+  void Publish(uint32_t index, T&& op) {
+    Publish(index, sim::Payload(&network_->simulator()->slab(),
+                                std::forward<T>(op)));
+  }
 
   size_t member_count() const { return members_.size(); }
   /// Ops buffered awaiting causal readiness at member `index`.
@@ -60,9 +69,24 @@ class GeoBroadcast {
     uint32_t origin = 0;
     uint64_t seq = 0;
     VectorClock deps;
-    std::any op;
+    sim::Payload op;
+
+    StampedOp Clone() const {  // duplicate-delivery fault support
+      StampedOp c;
+      c.origin = origin;
+      c.seq = seq;
+      c.deps = deps;
+      c.op = op.Clone();
+      return c;
+    }
   };
   struct Member {
+    // Explicit noexcept move: members_ reallocation must move, not copy
+    // (pending StampedOps hold move-only Payloads).
+    Member() = default;
+    Member(Member&&) noexcept = default;
+    Member& operator=(Member&&) noexcept = default;
+
     sim::NodeId node = 0;
     uint32_t index = 0;
     VectorClock clock;
@@ -75,6 +99,7 @@ class GeoBroadcast {
   void Receive(Member* member, StampedOp op);
   void Drain(Member* member);
 
+  sim::MsgType op_type_ = 0;
   sim::Network* network_;
   GeoBroadcastOptions options_;
   std::vector<Member> members_;

@@ -19,15 +19,15 @@ Json HistogramToJson(const Histogram& h) {
   return Json(std::move(out));
 }
 
-Json SpanToJson(const Span& span) {
+Json SpanToJson(const Tracer& tracer, const Span& span) {
   Json::Object out;
   out["id"] = Json(span.id);
   out["parent"] = Json(span.parent);
   out["node"] = Json(static_cast<uint64_t>(span.node));
-  out["name"] = Json(span.name);
+  out["name"] = Json(std::string(tracer.NameOf(span.name)));
   out["start"] = Json(span.start);
   out["end"] = Json(span.end);
-  out["outcome"] = Json(span.outcome);
+  out["outcome"] = Json(std::string(tracer.NameOf(span.outcome)));
   return Json(std::move(out));
 }
 
@@ -72,7 +72,7 @@ Json TraceToJson(const Tracer& tracer) {
   Json::Array spans;
   spans.reserve(tracer.finished().size());
   for (const Span& span : tracer.finished()) {
-    spans.push_back(SpanToJson(span));
+    spans.push_back(SpanToJson(tracer, span));
   }
   Json::Object out;
   out["schema"] = Json("evc-trace-v1");
@@ -114,11 +114,13 @@ std::string TraceToCsv(const Tracer& tracer) {
   std::string out = "id,parent,node,name,start,end,outcome\n";
   char buf[256];
   for (const Span& span : tracer.finished()) {
+    const std::string name(tracer.NameOf(span.name));
+    const std::string outcome(tracer.NameOf(span.outcome));
     std::snprintf(buf, sizeof(buf), "%llu,%llu,%u,%s,%lld,%lld,%s\n",
                   static_cast<unsigned long long>(span.id),
                   static_cast<unsigned long long>(span.parent), span.node,
-                  span.name.c_str(), static_cast<long long>(span.start),
-                  static_cast<long long>(span.end), span.outcome.c_str());
+                  name.c_str(), static_cast<long long>(span.start),
+                  static_cast<long long>(span.end), outcome.c_str());
     out += buf;
   }
   return out;

@@ -2,7 +2,7 @@
 
 namespace evc::obs {
 
-uint64_t Tracer::BeginChild(uint64_t parent, uint32_t node, std::string name,
+uint64_t Tracer::BeginChild(uint64_t parent, uint32_t node, KeyId name,
                             int64_t now) {
   if (!enabled_) return 0;
   const uint64_t id = next_id_++;
@@ -13,18 +13,18 @@ uint64_t Tracer::BeginChild(uint64_t parent, uint32_t node, std::string name,
   span.node = node;
   span.start = now;
   span.end = now;
-  span.name = std::move(name);
+  span.name = name;
   open_.emplace(id, std::move(span));
   return id;
 }
 
-void Tracer::End(uint64_t id, int64_t now, std::string outcome) {
+void Tracer::End(uint64_t id, int64_t now, KeyId outcome) {
   auto it = open_.find(id);
   if (it == open_.end()) return;
   Span span = std::move(it->second);
   open_.erase(it);
   span.end = now;
-  span.outcome = std::move(outcome);
+  span.outcome = outcome;
   ++ended_;
   finished_.push_back(std::move(span));
   while (finished_.size() > capacity_) {

@@ -20,21 +20,25 @@
 
 #include <cstdint>
 #include <deque>
-#include <string>
+#include <string_view>
 #include <unordered_map>
+
+#include "common/interner.h"
 
 namespace evc::obs {
 
 /// One finished (or in-flight) unit of traced work. Times are virtual
-/// microseconds; node is a sim::NodeId.
+/// microseconds; node is a sim::NodeId. Names and outcomes are interned in
+/// the owning Tracer (resolve with Tracer::NameOf) so a span is a flat
+/// 48-byte record and opening/closing one allocates nothing.
 struct Span {
   uint64_t id = 0;
   uint64_t parent = 0;  ///< 0 = root
   uint32_t node = 0;
+  KeyId name = kInvalidKeyId;     ///< e.g. "rpc.dyn.put", "ae.round"
+  KeyId outcome = kInvalidKeyId;  ///< "ok", "timeout", an error code name
   int64_t start = 0;
   int64_t end = 0;
-  std::string name;     ///< e.g. "rpc.dyn.put", "ae.round"
-  std::string outcome;  ///< "ok", "timeout", an error code name, ...
 };
 
 /// Records spans into a bounded ring buffer of finished spans.
@@ -48,17 +52,34 @@ class Tracer {
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Interns a span-name or outcome string, returning a dense id for the
+  /// id-based Begin/End overloads. Hot callers (the RPC layer) intern once
+  /// at setup; the string_view overloads below intern per call.
+  KeyId InternName(std::string_view name) { return names_.Intern(name); }
+  /// Resolves an id from InternName (stable view; see common/interner.h).
+  std::string_view NameOf(KeyId id) const { return names_.NameOf(id); }
+
   /// Opens a span parented to the ambient current span. Returns its id.
-  uint64_t Begin(uint32_t node, std::string name, int64_t now) {
-    return BeginChild(current_, node, std::move(name), now);
+  uint64_t Begin(uint32_t node, std::string_view name, int64_t now) {
+    return BeginChild(current_, node, InternName(name), now);
+  }
+  uint64_t Begin(uint32_t node, KeyId name, int64_t now) {
+    return BeginChild(current_, node, name, now);
   }
   /// Opens a span with an explicit parent (0 = root).
-  uint64_t BeginChild(uint64_t parent, uint32_t node, std::string name,
+  uint64_t BeginChild(uint64_t parent, uint32_t node, KeyId name,
                       int64_t now);
+  uint64_t BeginChild(uint64_t parent, uint32_t node, std::string_view name,
+                      int64_t now) {
+    return BeginChild(parent, node, InternName(name), now);
+  }
 
   /// Closes span `id`, moving it into the ring buffer. Unknown or
   /// already-closed ids are ignored (e.g. a span evicted by Clear).
-  void End(uint64_t id, int64_t now, std::string outcome);
+  void End(uint64_t id, int64_t now, KeyId outcome);
+  void End(uint64_t id, int64_t now, std::string_view outcome) {
+    End(id, now, InternName(outcome));
+  }
 
   /// Ambient parent for Begin(); scoped by the RPC layer around handlers
   /// and reply callbacks. 0 = no current span.
@@ -105,6 +126,7 @@ class Tracer {
   uint64_t dropped_ = 0;
   std::unordered_map<uint64_t, Span> open_;
   std::deque<Span> finished_;
+  KeyInterner names_;  ///< span names and outcomes (shared id space)
 };
 
 }  // namespace evc::obs

@@ -20,6 +20,9 @@ AntiEntropy::AntiEntropy(sim::Network* network, std::vector<sim::NodeId> nodes,
       rng_(network->simulator()->rng().Fork(0xae0ae0)) {
   EVC_CHECK(nodes_.size() == storages_.size());
   EVC_CHECK(!nodes_.empty());
+  t_sync_req_ = network_->InternType(kSyncReq);
+  t_sync_rsp_ = network_->InternType(kSyncRsp);
+  t_push_ = network_->InternType(kPush);
   for (size_t i = 0; i < nodes_.size(); ++i) {
     index_of_[nodes_[i]] = i;
     RegisterHandlers(i);
@@ -35,8 +38,8 @@ void AntiEntropy::RegisterHandlers(size_t index) {
   // have the sender's keys), reply with our keys for divergent buckets and
   // the bucket list so the sender can push back.
   network_->RegisterHandler(
-      nodes_[index], kSyncReq, [this, index](sim::Message msg) {
-        auto req = std::any_cast<SyncRequest>(std::move(msg.payload));
+      nodes_[index], t_sync_req_, [this, index](sim::Message msg) {
+        auto req = std::move(msg.payload).Take<SyncRequest>();
         ReplicaStorage* storage = storages_[index];
         SyncReply reply;
         if (req.root != storage->merkle().RootDigest()) {
@@ -52,14 +55,14 @@ void AntiEntropy::RegisterHandlers(size_t index) {
               .Inc(reply.divergent_buckets.size());
           Obs().CounterFor("ae.keys_shipped").Inc(reply.keys.size());
         }
-        network_->Send(msg.to, msg.from, kSyncRsp, std::move(reply));
+        network_->Send(msg.to, msg.from, t_sync_rsp_, std::move(reply));
       });
 
   // Receiving the reply: merge the peer's keys, then (push-pull) send back
   // our versions for the divergent buckets.
   network_->RegisterHandler(
-      nodes_[index], kSyncRsp, [this, index](sim::Message msg) {
-        auto reply = std::any_cast<SyncReply>(std::move(msg.payload));
+      nodes_[index], t_sync_rsp_, [this, index](sim::Message msg) {
+        auto reply = std::move(msg.payload).Take<SyncReply>();
         ReplicaStorage* storage = storages_[index];
         for (const auto& [key, versions] : reply.keys) {
           storage->MergeRemote(key, versions);
@@ -68,16 +71,16 @@ void AntiEntropy::RegisterHandlers(size_t index) {
           auto mine = CollectBuckets(storage, reply.divergent_buckets);
           stats_.keys_shipped += mine.size();
           Obs().CounterFor("ae.keys_shipped").Inc(mine.size());
-          network_->Send(msg.to, msg.from, kPush, std::move(mine));
+          network_->Send(msg.to, msg.from, t_push_, std::move(mine));
         }
       });
 
   // Receiving pushed keys.
   network_->RegisterHandler(
-      nodes_[index], kPush, [this, index](sim::Message msg) {
-        auto keys = std::any_cast<
-            std::vector<std::pair<std::string, std::vector<Version>>>>(
-            std::move(msg.payload));
+      nodes_[index], t_push_, [this, index](sim::Message msg) {
+        auto keys = std::move(msg.payload)
+                        .Take<std::vector<
+                            std::pair<std::string, std::vector<Version>>>>();
         for (const auto& [key, versions] : keys) {
           storages_[index]->MergeRemote(key, versions);
         }
@@ -139,7 +142,7 @@ void AntiEntropy::GossipRound(size_t index) {
     }
     stats_.digests_shipped += leaves + 1;
     Obs().CounterFor("ae.digests_shipped").Inc(leaves + 1);
-    network_->Send(nodes_[index], nodes_[peer], kSyncReq, std::move(req));
+    network_->Send(nodes_[index], nodes_[peer], t_sync_req_, std::move(req));
   }
 }
 

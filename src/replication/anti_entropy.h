@@ -85,6 +85,10 @@ class AntiEntropy {
   CollectBuckets(ReplicaStorage* storage, const std::vector<size_t>& buckets);
 
   sim::Network* network_;
+  // Pre-interned RPC methods / message types (resolved in the ctor).
+  sim::MsgType t_sync_req_ = 0;
+  sim::MsgType t_sync_rsp_ = 0;
+  sim::MsgType t_push_ = 0;
   std::vector<sim::NodeId> nodes_;
   std::vector<ReplicaStorage*> storages_;
   std::map<sim::NodeId, size_t> index_of_;

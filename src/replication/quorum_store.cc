@@ -26,6 +26,10 @@ uint64_t ResilienceSeed(sim::NodeId node) {
 DynamoCluster::DynamoCluster(sim::Rpc* rpc, QuorumConfig config)
     : rpc_(rpc), config_(config), ring_(config.ring_vnodes) {
   EVC_CHECK(rpc_ != nullptr);
+  m_client_put_ = rpc_->InternMethod(kClientPut);
+  m_client_get_ = rpc_->InternMethod(kClientGet);
+  m_store_ = rpc_->InternMethod(kStore);
+  m_read_ = rpc_->InternMethod(kRead);
   EVC_CHECK(config_.replication_factor >= 1);
   EVC_CHECK(config_.read_quorum >= 1 &&
             config_.read_quorum <= config_.replication_factor);
@@ -47,6 +51,9 @@ sim::NodeId DynamoCluster::AddServer() {
       rpc_, server->node, config_.resilience, ResilienceSeed(server->node));
   RegisterHandlers(server.get());
   by_node_[server->node] = server.get();
+  ResolveInstruments();
+  // Membership changed: every cached ring walk is stale.
+  for (auto& walk : walk_of_key_) walk.clear();
   if (config_.crash_amnesia) {
     crash_registrar_.Register(rpc_->simulator(), server->node, this);
   }
@@ -68,6 +75,22 @@ DynamoCluster::Server* DynamoCluster::FindServer(sim::NodeId node) {
 
 obs::MetricsRegistry& DynamoCluster::Obs() {
   return rpc_->simulator()->metrics().global();
+}
+
+void DynamoCluster::ResolveInstruments() {
+  if (c_puts_ok_ != nullptr) return;
+  obs::MetricsRegistry& obs = Obs();
+  c_sloppy_diversions_ = &obs.CounterFor("dyn.sloppy_diversions");
+  c_hints_stored_ = &obs.CounterFor("dyn.hints_stored");
+  c_hints_delivered_ = &obs.CounterFor("dyn.hints_delivered");
+  c_hints_lost_ = &obs.CounterFor("dyn.hints_lost");
+  c_puts_unavailable_ = &obs.CounterFor("dyn.puts_unavailable");
+  c_gets_ok_ = &obs.CounterFor("dyn.gets_ok");
+  c_gets_unavailable_ = &obs.CounterFor("dyn.gets_unavailable");
+  c_read_repairs_ = &obs.CounterFor("dyn.read_repairs");
+  h_put_latency_us_ = &obs.HistogramFor("dyn.put_latency_us");
+  h_get_latency_us_ = &obs.HistogramFor("dyn.get_latency_us");
+  c_puts_ok_ = &obs.CounterFor("dyn.puts_ok");  // sentinel: assign last
 }
 
 ReplicaStorage* DynamoCluster::storage(sim::NodeId server) {
@@ -118,14 +141,18 @@ resilience::ResilientRpc* DynamoCluster::ClientRpc(sim::NodeId client) {
   return it->second.get();
 }
 
-std::vector<sim::NodeId> DynamoCluster::RingWalk(
+const std::vector<sim::NodeId>& DynamoCluster::RingWalk(
     const std::string& key) const {
   EVC_CHECK(!servers_.empty());
+  const KeyId id = keys_.Intern(key);
+  if (walk_of_key_.size() <= id) walk_of_key_.resize(id + 1);
+  std::vector<sim::NodeId>& out = walk_of_key_[id];
+  if (!out.empty()) return out;  // cache hit (membership unchanged)
   if (config_.use_hash_ring) {
-    return ring_.PreferenceList(key, servers_.size());
+    out = ring_.PreferenceList(key, servers_.size());
+    return out;
   }
   const size_t start = Fnv1a64(key) % servers_.size();
-  std::vector<sim::NodeId> out;
   out.reserve(servers_.size());
   for (size_t i = 0; i < servers_.size(); ++i) {
     out.push_back(servers_[(start + i) % servers_.size()]->node);
@@ -135,9 +162,12 @@ std::vector<sim::NodeId> DynamoCluster::RingWalk(
 
 std::vector<sim::NodeId> DynamoCluster::PreferenceList(
     const std::string& key) const {
-  std::vector<sim::NodeId> walk = RingWalk(key);
-  walk.resize(std::min<size_t>(config_.replication_factor, walk.size()));
-  return walk;
+  const std::vector<sim::NodeId>& walk = RingWalk(key);
+  std::vector<sim::NodeId> out(
+      walk.begin(),
+      walk.begin() + std::min<size_t>(config_.replication_factor,
+                                      walk.size()));
+  return out;
 }
 
 void DynamoCluster::WriteTargets(Server* coordinator, const std::string& key,
@@ -156,7 +186,7 @@ void DynamoCluster::WriteTargets(Server* coordinator, const std::string& key,
   // Reachability is the coordinator's own failure detector (phi-accrual over
   // observed replies) unless use_oracle_detector opts back into the
   // omniscient network oracle.
-  const std::vector<sim::NodeId> ring_walk = RingWalk(key);
+  const std::vector<sim::NodeId>& ring_walk = RingWalk(key);
   size_t walk = 0;
   size_t preferred_idx = 0;
   while (targets->size() < preferred.size() && walk < ring_walk.size()) {
@@ -185,7 +215,7 @@ void DynamoCluster::WriteTargets(Server* coordinator, const std::string& key,
       intended->push_back(preferred[preferred_idx]);
       ++preferred_idx;
       ++stats_.sloppy_diversions;
-      Obs().CounterFor("dyn.sloppy_diversions").Inc();
+      c_sloppy_diversions_->Inc();
     }
   }
 }
@@ -194,13 +224,13 @@ void DynamoCluster::RegisterHandlers(Server* server) {
   const sim::NodeId node = server->node;
 
   rpc_->RegisterHandler(
-      node, kClientPut,
-      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto put = std::any_cast<ClientPutReq>(std::move(req));
+      node, m_client_put_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto put = std::move(req).Take<ClientPutReq>();
         CoordinatePut(server, std::move(put),
                       [respond](Result<Version> r) mutable {
                         if (r.ok()) {
-                          respond(std::any{std::move(r).value()});
+                          respond(std::move(r).value());
                         } else {
                           respond(r.status());
                         }
@@ -208,13 +238,13 @@ void DynamoCluster::RegisterHandlers(Server* server) {
       });
 
   rpc_->RegisterHandler(
-      node, kClientGet,
-      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto get = std::any_cast<ClientGetReq>(std::move(req));
+      node, m_client_get_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto get = std::move(req).Take<ClientGetReq>();
         CoordinateGet(server, std::move(get.key),
                       [respond](Result<ReadResult> r) mutable {
                         if (r.ok()) {
-                          respond(std::any{std::move(r).value()});
+                          respond(std::move(r).value());
                         } else {
                           respond(r.status());
                         }
@@ -222,9 +252,9 @@ void DynamoCluster::RegisterHandlers(Server* server) {
       });
 
   rpc_->RegisterHandler(
-      node, kStore,
-      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto store = std::any_cast<StoreReq>(std::move(req));
+      node, m_store_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto store = std::move(req).Take<StoreReq>();
         if (store.has_hint && store.intended != server->node) {
           // We are a fallback home: buffer for handoff AND serve reads from
           // local storage in the meantime. Merge into any hint already
@@ -234,25 +264,24 @@ void DynamoCluster::RegisterHandlers(Server* server) {
           auto& slot = server->hints[store.intended][store.key];
           if (slot.empty()) {
             ++stats_.hints_stored;
-            Obs().CounterFor("dyn.hints_stored").Inc();
+            c_hints_stored_->Inc();
             slot = store.versions;
           } else {
             slot = MergeSiblingSets({slot, store.versions});
           }
         }
         server->storage->MergeRemote(store.key, store.versions);
-        respond(std::any{StoreAck{server->storage->store().KeyDigest(
-            store.key)}});
+        respond(StoreAck{server->storage->store().KeyDigest(store.key)});
       });
 
   rpc_->RegisterHandler(
-      node, kRead,
-      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto read = std::any_cast<ReadReq>(std::move(req));
+      node, m_read_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto read = std::move(req).Take<ReadReq>();
         ReadReply reply;
         reply.versions = server->storage->GetRaw(read.key);
         reply.digest = server->storage->store().KeyDigest(read.key);
-        respond(std::any{std::move(reply)});
+        respond(std::move(reply));
       });
 }
 
@@ -278,13 +307,12 @@ void DynamoCluster::Put(sim::NodeId client, sim::NodeId coordinator,
   req.value = std::move(value);
   req.context = context;
   req.is_delete = false;
-  ClientRpc(client)->Call(coordinator, kClientPut, std::move(req),
-                          ClientCallOptions(), [done](Result<std::any> r) {
+  ClientRpc(client)->Call(coordinator, m_client_put_, std::move(req),
+                          ClientCallOptions(), [done](Result<sim::Payload> r) {
                             if (!r.ok()) {
                               done(r.status());
                             } else {
-                              done(std::any_cast<Version>(
-                                  std::move(r).value()));
+                              done(std::move(r).value().Take<Version>());
                             }
                           });
 }
@@ -296,13 +324,12 @@ void DynamoCluster::Delete(sim::NodeId client, sim::NodeId coordinator,
   req.key = key;
   req.context = context;
   req.is_delete = true;
-  ClientRpc(client)->Call(coordinator, kClientPut, std::move(req),
-                          ClientCallOptions(), [done](Result<std::any> r) {
+  ClientRpc(client)->Call(coordinator, m_client_put_, std::move(req),
+                          ClientCallOptions(), [done](Result<sim::Payload> r) {
                             if (!r.ok()) {
                               done(r.status());
                             } else {
-                              done(std::any_cast<Version>(
-                                  std::move(r).value()));
+                              done(std::move(r).value().Take<Version>());
                             }
                           });
 }
@@ -323,13 +350,12 @@ void DynamoCluster::Get(sim::NodeId client, sim::NodeId coordinator,
       }
     }
   }
-  ClientRpc(client)->Call(coordinator, kClientGet, std::move(req), opts,
-                          [done](Result<std::any> r) {
+  ClientRpc(client)->Call(coordinator, m_client_get_, std::move(req), opts,
+                          [done](Result<sim::Payload> r) {
                             if (!r.ok()) {
                               done(r.status());
                             } else {
-                              done(std::any_cast<ReadResult>(
-                                  std::move(r).value()));
+                              done(std::move(r).value().Take<ReadResult>());
                             }
                           });
 }
@@ -366,7 +392,7 @@ void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
 
   if (state->total == 0) {
     ++stats_.puts_unavailable;
-    Obs().CounterFor("dyn.puts_unavailable").Inc();
+    c_puts_unavailable_->Inc();
     done(Status::Unavailable("no reachable replicas"));
     return;
   }
@@ -378,14 +404,14 @@ void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
     if (state->acks >= state->required) {
       state->done_fired = true;
       ++stats_.puts_ok;
-      Obs().CounterFor("dyn.puts_ok").Inc();
-      Obs().HistogramFor("dyn.put_latency_us")
+      c_puts_ok_->Inc();
+      (*h_put_latency_us_)
           .Add(static_cast<double>(rpc_->simulator()->Now() - started));
       done(version);
     } else if (state->completed == state->total) {
       state->done_fired = true;
       ++stats_.puts_unavailable;
-      Obs().CounterFor("dyn.puts_unavailable").Inc();
+      c_puts_unavailable_->Inc();
       done(Status::Unavailable("write quorum not met"));
     }
   };
@@ -405,8 +431,8 @@ void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
     store.has_hint = intended[i] != kNoHint;
     store.intended = intended[i];
     coordinator->resilient->Call(
-        targets[i], kStore, std::move(store), leg,
-        [on_complete](Result<std::any> r) { on_complete(r.ok()); });
+        targets[i], m_store_, std::move(store), leg,
+        [on_complete](Result<sim::Payload> r) { on_complete(r.ok()); });
   }
 }
 
@@ -451,26 +477,26 @@ void DynamoCluster::CoordinateGet(
         StoreReq repair;
         repair.key = state->key;
         repair.versions = merged;
-        rpc_->Call(coordinator->node, node, kStore, std::move(repair),
-                   config_.rpc_timeout, [](Result<std::any>) {});
+        rpc_->Call(coordinator->node, node, m_store_, std::move(repair),
+                   config_.rpc_timeout, [](Result<sim::Payload>) {});
         ++stats_.read_repairs;
-        Obs().CounterFor("dyn.read_repairs").Inc();
+        c_read_repairs_->Inc();
         result.repaired = true;
       }
     }
     ++stats_.gets_ok;
-    Obs().CounterFor("dyn.gets_ok").Inc();
-    Obs().HistogramFor("dyn.get_latency_us")
+    c_gets_ok_->Inc();
+    (*h_get_latency_us_)
         .Add(static_cast<double>(rpc_->simulator()->Now() - started));
     done(std::move(result));
   };
 
   auto on_reply = [this, state, finish,
-                   done](sim::NodeId from, Result<std::any> r) {
+                   done](sim::NodeId from, Result<sim::Payload> r) {
     ++state->completed;
     if (state->done_fired) return;
     if (r.ok()) {
-      auto reply = std::any_cast<ReadReply>(std::move(r).value());
+      auto reply = std::move(r).value().Take<ReadReply>();
       state->replies.push_back(std::move(reply.versions));
       state->replier_digests.emplace_back(from, reply.digest);
     }
@@ -480,7 +506,7 @@ void DynamoCluster::CoordinateGet(
     } else if (state->completed == state->total) {
       state->done_fired = true;
       ++stats_.gets_unavailable;
-      Obs().CounterFor("dyn.gets_unavailable").Inc();
+      c_gets_unavailable_->Inc();
       done(Status::Unavailable("read quorum not met"));
     }
   };
@@ -491,8 +517,8 @@ void DynamoCluster::CoordinateGet(
   leg.respect_breaker = false;
   for (const sim::NodeId target : preferred) {
     ReadReq read{key};
-    coordinator->resilient->Call(target, kRead, std::move(read), leg,
-                                 [on_reply, target](Result<std::any> r) {
+    coordinator->resilient->Call(target, m_read_, std::move(read), leg,
+                                 [on_reply, target](Result<sim::Payload> r) {
                                    on_reply(target, std::move(r));
                                  });
   }
@@ -531,18 +557,18 @@ void DynamoCluster::DeliverHints(Server* server) {
       StoreReq store;
       store.key = key;
       store.versions = versions;
-      server->resilient->Call(intended, kStore, std::move(store), leg,
-                              [this](Result<std::any> r) {
+      server->resilient->Call(intended, m_store_, std::move(store), leg,
+                              [this](Result<sim::Payload> r) {
                    if (r.ok()) {
                      ++stats_.hints_delivered;
-                     Obs().CounterFor("dyn.hints_delivered").Inc();
+                     c_hints_delivered_->Inc();
                    } else {
                      // The hint was already dropped from the buffer
                      // (optimistic erase below); account the loss so the
                      // handoff ledger still balances. Anti-entropy repairs
                      // the data itself.
                      ++stats_.hints_lost;
-                     Obs().CounterFor("dyn.hints_lost").Inc();
+                     c_hints_lost_->Inc();
                    }
                  });
     }
@@ -566,7 +592,7 @@ void DynamoCluster::OnCrash(uint32_t node) {
     }
   }
   stats_.hints_lost += lost_hints;
-  Obs().CounterFor("dyn.hints_lost").Inc(lost_hints);
+  c_hints_lost_->Inc(lost_hints);
   server->hints.clear();
   // Non-durable storage has no WAL to replay: the whole store evaporates.
   if (!config_.storage.durable) {

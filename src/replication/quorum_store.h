@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "clock/lamport.h"
+#include "common/interner.h"
 #include "replication/hash_ring.h"
 #include "resilience/resilient_rpc.h"
 #include "sim/rpc.h"
@@ -205,7 +206,8 @@ class DynamoCluster : private sim::CrashParticipant {
   obs::MetricsRegistry& Obs();
 
   /// Every server, in `key`'s placement order (preference list = first N).
-  std::vector<sim::NodeId> RingWalk(const std::string& key) const;
+  /// Cached per interned key; invalidated when membership changes.
+  const std::vector<sim::NodeId>& RingWalk(const std::string& key) const;
 
   /// Write targets for a coordinator: the preference list, with unreachable
   /// entries replaced by ring-walk fallbacks when sloppy quorums are on.
@@ -228,6 +230,30 @@ class DynamoCluster : private sim::CrashParticipant {
   void OnRestart(uint32_t node) override;
 
   sim::Rpc* rpc_;
+  // Cached dyn.* instruments, resolved on first use (the registry lives on
+  // the simulator; the seed re-looked each one up by string per operation).
+  void ResolveInstruments();
+  obs::Counter* c_sloppy_diversions_ = nullptr;
+  obs::Counter* c_hints_stored_ = nullptr;
+  obs::Counter* c_hints_delivered_ = nullptr;
+  obs::Counter* c_hints_lost_ = nullptr;
+  obs::Counter* c_puts_ok_ = nullptr;
+  obs::Counter* c_puts_unavailable_ = nullptr;
+  obs::Counter* c_gets_ok_ = nullptr;
+  obs::Counter* c_gets_unavailable_ = nullptr;
+  obs::Counter* c_read_repairs_ = nullptr;
+  Histogram* h_put_latency_us_ = nullptr;
+  Histogram* h_get_latency_us_ = nullptr;
+  // Key placement cache: keys intern to dense ids and each key's full ring
+  // walk is computed once. Membership changes (AddServer) clear the walks;
+  // the ids stay stable for the cluster's lifetime.
+  mutable KeyInterner keys_;
+  mutable std::vector<std::vector<sim::NodeId>> walk_of_key_;
+  // Pre-interned RPC methods / message types (resolved in the ctor).
+  sim::MethodId m_client_put_ = 0;
+  sim::MethodId m_client_get_ = 0;
+  sim::MethodId m_store_ = 0;
+  sim::MethodId m_read_ = 0;
   QuorumConfig config_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::map<sim::NodeId, Server*> by_node_;

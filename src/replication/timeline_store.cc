@@ -17,6 +17,10 @@ constexpr char kAdopt[] = "tl.adopt";
 TimelineCluster::TimelineCluster(sim::Rpc* rpc, TimelineOptions options)
     : rpc_(rpc), options_(options) {
   EVC_CHECK(rpc_ != nullptr);
+  m_write_ = rpc_->InternMethod(kWrite);
+  m_read_ = rpc_->InternMethod(kRead);
+  m_adopt_ = rpc_->InternMethod(kAdopt);
+  t_replicate_ = rpc_->network()->InternType(kReplicate);
   EVC_CHECK(options_.replication_factor >= 1);
 }
 
@@ -79,9 +83,9 @@ std::vector<sim::NodeId> TimelineCluster::ReplicasOf(
 
 void TimelineCluster::RegisterHandlers(Server* server) {
   rpc_->RegisterHandler(
-      server->node, kWrite,
-      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto write = std::any_cast<WriteReq>(std::move(req));
+      server->node, m_write_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto write = std::move(req).Take<WriteReq>();
         // Only the master serializes writes; a misrouted write is rejected
         // so the client retries against the true master.
         if (MasterOf(write.key) != server->node) {
@@ -102,15 +106,15 @@ void TimelineCluster::RegisterHandlers(Server* server) {
           msg.key = write.key;
           msg.value = rec.value;
           msg.seqno = rec.seqno;
-          rpc_->network()->Send(server->node, replica, kReplicate,
+          rpc_->network()->Send(server->node, replica, t_replicate_,
                                 std::move(msg));
         }
-        respond(std::any{rec.seqno});
+        respond(rec.seqno);
       });
 
   rpc_->network()->RegisterHandler(
-      server->node, kReplicate, [this, server](sim::Message msg) {
-        auto repl = std::any_cast<ReplicateMsg>(std::move(msg.payload));
+      server->node, t_replicate_, [this, server](sim::Message msg) {
+        auto repl = std::move(msg.payload).Take<ReplicateMsg>();
         Record& rec = server->data[repl.key];
         // Timeline order: never apply an older update over a newer one.
         if (repl.seqno > rec.seqno) {
@@ -121,25 +125,25 @@ void TimelineCluster::RegisterHandlers(Server* server) {
       });
 
   rpc_->RegisterHandler(
-      server->node, kRead,
-      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto read = std::any_cast<ReadReq>(std::move(req));
+      server->node, m_read_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto read = std::move(req).Take<ReadReq>();
         HandleRead(server, read, std::move(respond));
       });
 
   // Mastership adoption: install the shipped record (if newer than our
   // replica copy) and continue its timeline.
   rpc_->RegisterHandler(
-      server->node, kAdopt,
-      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto adopt = std::any_cast<AdoptReq>(std::move(req));
+      server->node, m_adopt_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto adopt = std::move(req).Take<AdoptReq>();
         Record& rec = server->data[adopt.key];
         if (adopt.has_record && adopt.seqno > rec.seqno) {
           rec.value = std::move(adopt.value);
           rec.seqno = adopt.seqno;
           JournalApply(server, adopt.key, rec.value, rec.seqno);
         }
-        respond(std::any{rec.seqno});
+        respond(rec.seqno);
       });
 }
 
@@ -174,7 +178,7 @@ void TimelineCluster::HandleRead(Server* server, const ReadReq& req,
         Obs().CounterFor("tl.stale_reads_served").Inc();
       }
     }
-    respond(std::any{result});
+    respond(result);
     return;
   }
 
@@ -183,8 +187,8 @@ void TimelineCluster::HandleRead(Server* server, const ReadReq& req,
   Obs().CounterFor("tl.reads_forwarded").Inc();
   ReadReq fwd = req;
   fwd.level = static_cast<uint8_t>(TimelineReadLevel::kAny);
-  rpc_->Call(server->node, master, kRead, std::move(fwd),
-             options_.rpc_timeout, [respond](Result<std::any> r) {
+  rpc_->Call(server->node, master, m_read_, std::move(fwd),
+             options_.rpc_timeout, [respond](Result<sim::Payload> r) {
                if (r.ok()) {
                  respond(std::move(r).value());
                } else {
@@ -223,12 +227,12 @@ void TimelineCluster::WriteAttempt(sim::NodeId client, const std::string& key,
   WriteReq req;
   req.key = key;
   req.value = value;
-  rpc_->Call(client, MasterOf(key), kWrite, std::move(req),
+  rpc_->Call(client, MasterOf(key), m_write_, std::move(req),
              options_.rpc_timeout,
              [this, client, key, value = std::move(value), attempts_left,
-              done](Result<std::any> r) mutable {
+              done](Result<sim::Payload> r) mutable {
                if (r.ok()) {
-                 done(std::any_cast<uint64_t>(std::move(r).value()));
+                 done(std::move(r).value().Take<uint64_t>());
                  return;
                }
                // Retry misroutes (stale master view) and migration races.
@@ -270,13 +274,13 @@ void TimelineCluster::MigrateMaster(const std::string& key,
   ReadReq fetch;
   fetch.key = key;
   fetch.level = static_cast<uint8_t>(TimelineReadLevel::kAny);
-  rpc_->Call(new_master, old_master, kRead, fetch, options_.rpc_timeout,
-             [this, key, new_master, finish](Result<std::any> r) {
+  rpc_->Call(new_master, old_master, m_read_, fetch, options_.rpc_timeout,
+             [this, key, new_master, finish](Result<sim::Payload> r) {
                AdoptReq adopt;
                adopt.key = key;
                if (r.ok()) {
                  auto read =
-                     std::any_cast<TimelineRead>(std::move(r).value());
+                     std::move(r).value().Take<TimelineRead>();
                  adopt.has_record = read.found;
                  adopt.value = std::move(read.value);
                  adopt.seqno = read.seqno;
@@ -284,9 +288,9 @@ void TimelineCluster::MigrateMaster(const std::string& key,
                // Old master unreachable => failover: adopt from the new
                // master's own replica state (adopt.has_record stays false;
                // the handler keeps whatever it already has).
-               rpc_->Call(new_master, new_master, kAdopt, std::move(adopt),
+               rpc_->Call(new_master, new_master, m_adopt_, std::move(adopt),
                           options_.rpc_timeout,
-                          [finish](Result<std::any> adopted) {
+                          [finish](Result<sim::Payload> adopted) {
                             finish(adopted.ok()
                                        ? Status::OK()
                                        : adopted.status());
@@ -301,12 +305,12 @@ void TimelineCluster::Read(sim::NodeId client, sim::NodeId replica,
   req.key = key;
   req.level = static_cast<uint8_t>(level);
   req.min_seqno = min_seqno;
-  rpc_->Call(client, replica, kRead, std::move(req), 2 * options_.rpc_timeout,
-             [done](Result<std::any> r) {
+  rpc_->Call(client, replica, m_read_, std::move(req), 2 * options_.rpc_timeout,
+             [done](Result<sim::Payload> r) {
                if (!r.ok()) {
                  done(r.status());
                } else {
-                 done(std::any_cast<TimelineRead>(std::move(r).value()));
+                 done(std::move(r).value().Take<TimelineRead>());
                }
              });
 }

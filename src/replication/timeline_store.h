@@ -162,6 +162,11 @@ class TimelineCluster : private sim::CrashParticipant {
   void OnRestart(uint32_t node) override;
 
   sim::Rpc* rpc_;
+  // Pre-interned RPC methods / message types (resolved in the ctor).
+  sim::MethodId m_write_ = 0;
+  sim::MethodId m_read_ = 0;
+  sim::MethodId m_adopt_ = 0;
+  sim::MsgType t_replicate_ = 0;
   TimelineOptions options_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::map<sim::NodeId, Server*> by_node_;

@@ -14,8 +14,8 @@ struct PingReq {};
 
 struct ResilientRpc::CallState {
   sim::NodeId to = 0;
-  std::string method;
-  std::any request;  // prototype; each leg sends a copy
+  sim::MethodId method = 0;
+  sim::Payload request;  // prototype; each leg sends a clone
   CallOptions opts;
   sim::RpcCallback cb;
   bool completed = false;
@@ -36,11 +36,12 @@ ResilientRpc::ResilientRpc(sim::Rpc* rpc, sim::NodeId self,
       breaker_(options.breaker),
       rng_(seed) {
   EVC_CHECK(rpc_ != nullptr);
+  ping_method_ = rpc_->InternMethod(kPingMethod);
   // Answer other nodes' heartbeat probes.
   rpc_->RegisterHandler(
-      self_, kPingMethod,
-      [](sim::NodeId, std::any, sim::RpcResponder respond) {
-        respond(std::any{true});
+      self_, ping_method_,
+      [](sim::NodeId, sim::Payload, sim::RpcResponder respond) {
+        respond(true);
       });
 }
 
@@ -48,8 +49,8 @@ obs::MetricsRegistry& ResilientRpc::Obs() const {
   return rpc_->simulator()->metrics().global();
 }
 
-void ResilientRpc::Call(sim::NodeId to, const std::string& method,
-                        std::any request, const CallOptions& options,
+void ResilientRpc::Call(sim::NodeId to, sim::MethodId method,
+                        sim::Payload request, const CallOptions& options,
                         sim::RpcCallback cb) {
   EVC_CHECK(options.max_attempts >= 1);
   EVC_CHECK(options.attempt_timeout > 0);
@@ -125,10 +126,10 @@ void ResilientRpc::IssueLeg(const std::shared_ptr<CallState>& state,
                             sim::Time timeout) {
   ++state->legs_inflight;
   const sim::Time started = rpc_->simulator()->Now();
-  std::any payload = state->request;  // retries/hedges re-send a copy
-  rpc_->Call(self_, dest, state->method, std::move(payload), timeout,
+  // Retries/hedges re-send a clone; the prototype stays with the call.
+  rpc_->Call(self_, dest, state->method, state->request.Clone(), timeout,
              [this, state, attempt, dest, is_hedge,
-              started](Result<std::any> r) {
+              started](Result<sim::Payload> r) {
                OnLegDone(state, attempt, dest, is_hedge, started,
                          std::move(r));
              });
@@ -136,7 +137,7 @@ void ResilientRpc::IssueLeg(const std::shared_ptr<CallState>& state,
 
 void ResilientRpc::OnLegDone(const std::shared_ptr<CallState>& state,
                              int attempt, sim::NodeId dest, bool is_hedge,
-                             sim::Time leg_started, Result<std::any> r) {
+                             sim::Time leg_started, Result<sim::Payload> r) {
   --state->legs_inflight;
   // A reply — even an application error — proves the peer is alive; only a
   // timeout counts against it.
@@ -202,7 +203,7 @@ void ResilientRpc::RetryOrFail(const std::shared_ptr<CallState>& state,
 }
 
 void ResilientRpc::Complete(const std::shared_ptr<CallState>& state,
-                            Result<std::any> r) {
+                            Result<sim::Payload> r) {
   if (state->completed) return;
   state->completed = true;
   state->cb(std::move(r));
@@ -311,8 +312,8 @@ void ResilientRpc::HeartbeatTick(sim::NodeId peer) {
   Obs().CounterFor("resilience.heartbeats_sent").Inc();
   // Probes bypass the breaker on purpose: a healed peer's successful probe
   // is what closes its breaker again.
-  rpc_->Call(self_, peer, kPingMethod, std::any{PingReq{}},
-             options_.heartbeat_timeout, [this, peer](Result<std::any> r) {
+  rpc_->Call(self_, peer, ping_method_, PingReq{},
+             options_.heartbeat_timeout, [this, peer](Result<sim::Payload> r) {
                RecordOutcome(peer, r.ok(), /*heartbeat=*/true);
              });
 }

@@ -30,7 +30,6 @@
 #ifndef EVC_RESILIENCE_RESILIENT_RPC_H_
 #define EVC_RESILIENCE_RESILIENT_RPC_H_
 
-#include <any>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -115,8 +114,27 @@ class ResilientRpc {
   /// exactly once: with the first definitive reply, DeadlineExceeded when
   /// the budget ran out, Unavailable when the breaker rejected the final
   /// attempt, or the last attempt's error.
-  void Call(sim::NodeId to, const std::string& method, std::any request,
+  void Call(sim::NodeId to, sim::MethodId method, sim::Payload request,
             const CallOptions& options, sim::RpcCallback cb);
+
+  /// Convenience: boxes `request` into the simulator's slab and calls.
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<T>, sim::Payload>>>
+  void Call(sim::NodeId to, sim::MethodId method, T&& request,
+            const CallOptions& options, sim::RpcCallback cb) {
+    Call(to, method,
+         sim::Payload(&rpc_->simulator()->slab(), std::forward<T>(request)),
+         options, std::move(cb));
+  }
+
+  /// Convenience (tests, cold paths): interns `method` on every call.
+  template <typename T>
+  void Call(sim::NodeId to, std::string_view method, T&& request,
+            const CallOptions& options, sim::RpcCallback cb) {
+    Call(to, rpc_->InternMethod(method), std::forward<T>(request), options,
+         std::move(cb));
+  }
 
   /// Starts periodic ping probes to `peers`, phase-staggered. Probes feed
   /// the detector/breaker exactly like real attempt outcomes. Peers answer
@@ -151,9 +169,9 @@ class ResilientRpc {
                 sim::NodeId dest, bool is_hedge, sim::Time timeout);
   void OnLegDone(const std::shared_ptr<CallState>& state, int attempt,
                  sim::NodeId dest, bool is_hedge, sim::Time leg_started,
-                 Result<std::any> r);
+                 Result<sim::Payload> r);
   void RetryOrFail(const std::shared_ptr<CallState>& state, int attempt);
-  void Complete(const std::shared_ptr<CallState>& state, Result<std::any> r);
+  void Complete(const std::shared_ptr<CallState>& state, Result<sim::Payload> r);
   void FailDeadline(const std::shared_ptr<CallState>& state);
   sim::Time HedgeDelay() const;
   bool SuspectedNow(sim::NodeId peer, sim::Time now) const;
@@ -163,6 +181,7 @@ class ResilientRpc {
 
   sim::Rpc* rpc_;
   sim::NodeId self_;
+  sim::MethodId ping_method_ = 0;
   ResilienceOptions options_;
   RetryPolicy retry_;
   PhiAccrualDetector detector_;

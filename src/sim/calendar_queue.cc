@@ -1,0 +1,264 @@
+#include "sim/calendar_queue.h"
+
+#include <algorithm>
+
+namespace evc::sim {
+
+namespace {
+
+// Initial wheel geometry. Width adapts at every refill; the bucket count
+// doubles (up to kMaxBuckets) when windows pack too many events per bucket.
+constexpr CalendarQueue::Time kInitialWidth = 64;  // microseconds
+constexpr size_t kInitialBuckets = 256;
+constexpr size_t kMaxBuckets = 32768;
+constexpr CalendarQueue::Time kMaxWidth = 1000 * 1000;  // 1 sim-second
+
+// Min-heap on (when, seq): std::push_heap builds a max-heap with respect to
+// the comparator, so "greater than" puts the smallest key at front().
+constexpr auto kHeapGreater = [](const auto& a, const auto& b) {
+  if (a.when != b.when) return a.when > b.when;
+  return a.seq > b.seq;
+};
+
+}  // namespace
+
+CalendarQueue::CalendarQueue(Slab* slab)
+    : slab_(slab), buckets_(kInitialBuckets), width_(kInitialWidth) {
+  EVC_CHECK(slab_ != nullptr);
+}
+
+CalendarQueue::~CalendarQueue() = default;
+
+uint32_t CalendarQueue::AllocSlot() {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].live = true;
+  return slot;
+}
+
+void CalendarQueue::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  s.cancelled = false;
+  s.in_overflow = false;
+  // Bump the generation so stale ids for this slot stop matching. gen 0 is
+  // skipped on wraparound: it would make (gen << 32 | slot) collide with
+  // small plain integers (and id 0 is the callers' "no event" sentinel).
+  if (++s.gen == 0) s.gen = 1;
+  free_slots_.push_back(slot);
+}
+
+CalendarQueue::EventId CalendarQueue::Push(Time when, Task fn) {
+  EVC_CHECK(when >= last_pop_when_);
+  const uint32_t slot = AllocSlot();
+  Rec rec;
+  rec.when = when;
+  rec.seq = next_seq_++;
+  rec.slot = slot;
+  rec.fn = std::move(fn);
+  const EventId id =
+      (static_cast<EventId>(slots_[slot].gen) << 32) | slot;
+  PushRec(std::move(rec));
+  ++pending_;
+  return id;
+}
+
+void CalendarQueue::PushRec(Rec rec) {
+  if (rec.when >= wheel_start_ && rec.when < wheel_end()) {
+    const size_t idx = static_cast<size_t>((rec.when - wheel_start_) / width_);
+    // The cursor may have skipped this bucket while it was empty (e.g.
+    // RunUntil drained past it); pull it back so the event is found.
+    if (idx < cursor_) cursor_ = idx;
+    BucketInsert(&buckets_[idx], std::move(rec));
+    return;
+  }
+  // Far-future events wait here for their window's refill. Events scheduled
+  // before the current window (possible after RunUntil advanced the wheel
+  // past a drained stretch) also land here; FindNext compares the heap top
+  // against the bucket cursor on every pop, so they still pop in order.
+  slots_[rec.slot].in_overflow = true;
+  overflow_.push_back(std::move(rec));
+  std::push_heap(overflow_.begin(), overflow_.end(), kHeapGreater);
+}
+
+void CalendarQueue::BucketInsert(Bucket* bucket, Rec rec) {
+  auto& recs = bucket->recs;
+  if (recs.empty() || KeyLess(recs.back(), rec)) {
+    recs.push_back(std::move(rec));  // common case: newest key in bucket
+    return;
+  }
+  auto pos = std::upper_bound(recs.begin() + bucket->head, recs.end(), rec,
+                              [](const Rec& a, const Rec& b) {
+                                return KeyLess(a, b);
+                              });
+  recs.insert(pos, std::move(rec));
+}
+
+bool CalendarQueue::Cancel(EventId id) {
+  const uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu);
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.live || s.cancelled || s.gen != gen) return false;
+  s.cancelled = true;  // the record is reaped when it surfaces
+  --pending_;
+  if (s.in_overflow) {
+    ++overflow_cancelled_;
+    MaybeCompactOverflow();
+  }
+  return true;
+}
+
+void CalendarQueue::MaybeCompactOverflow() {
+  if (overflow_.size() < 64 ||
+      overflow_cancelled_ * 2 <= overflow_.size()) {
+    return;
+  }
+  ++stats_.compactions;
+  auto live_end = std::remove_if(
+      overflow_.begin(), overflow_.end(), [this](Rec& rec) {
+        if (!slots_[rec.slot].cancelled) return false;
+        rec.fn.Reset();
+        FreeSlot(rec.slot);
+        return true;
+      });
+  overflow_.erase(live_end, overflow_.end());
+  std::make_heap(overflow_.begin(), overflow_.end(), kHeapGreater);
+  overflow_cancelled_ = 0;
+}
+
+bool CalendarQueue::FindNext() {
+  for (;;) {
+    // Prune cancelled records off the overflow top.
+    while (!overflow_.empty() &&
+           slots_[overflow_.front().slot].cancelled) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), kHeapGreater);
+      Rec dead = std::move(overflow_.back());
+      overflow_.pop_back();
+      dead.fn.Reset();
+      FreeSlot(dead.slot);
+      --overflow_cancelled_;
+    }
+    // Position the cursor at the first live bucket record.
+    const Rec* bucket_head = nullptr;
+    while (cursor_ < buckets_.size()) {
+      Bucket& b = buckets_[cursor_];
+      while (b.head < b.recs.size() &&
+             slots_[b.recs[b.head].slot].cancelled) {
+        Rec& dead = b.recs[b.head];
+        dead.fn.Reset();
+        FreeSlot(dead.slot);
+        ++b.head;
+      }
+      if (b.head < b.recs.size()) {
+        bucket_head = &b.recs[b.head];
+        break;
+      }
+      b.recs.clear();
+      b.head = 0;
+      ++cursor_;
+    }
+
+    if (bucket_head != nullptr) {
+      next_from_overflow_ =
+          !overflow_.empty() && KeyLess(overflow_.front(), *bucket_head);
+      return true;
+    }
+    if (!overflow_.empty()) {
+      Refill();
+      continue;  // the refilled window now holds the minimum
+    }
+    return false;
+  }
+}
+
+void CalendarQueue::Refill() {
+  ++stats_.refills;
+
+  // Adapt the bucket width to the previous window's observed event rate so
+  // the wheel keeps averaging ~1 event per bucket. Pure function of the pop
+  // history => identical across same-seed runs.
+  if (popped_this_window_ > 0) {
+    const Time spanned = last_pop_when_ - wheel_start_ + 1;
+    Time new_width = spanned / static_cast<Time>(popped_this_window_);
+    new_width = std::clamp<Time>(new_width, 1, kMaxWidth);
+    if (new_width > width_ * 2 || new_width * 2 < width_) {
+      width_ = new_width;
+      ++stats_.width_changes;
+    }
+  }
+  // Double the bucket count when the last window packed events too densely
+  // for the width floor to fix (many same-instant events).
+  if (moved_last_refill_ > 4 * buckets_.size() &&
+      buckets_.size() < kMaxBuckets) {
+    buckets_.resize(buckets_.size() * 2);
+    ++stats_.grows;
+  }
+
+  wheel_start_ = overflow_.front().when;
+  cursor_ = 0;
+  popped_this_window_ = 0;
+  const Time end = wheel_end();
+  size_t moved = 0;
+  // Heap pops ascend in (when, seq), so every BucketInsert is an append.
+  while (!overflow_.empty() && overflow_.front().when < end) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), kHeapGreater);
+    Rec rec = std::move(overflow_.back());
+    overflow_.pop_back();
+    if (slots_[rec.slot].cancelled) {
+      rec.fn.Reset();
+      FreeSlot(rec.slot);
+      --overflow_cancelled_;
+      continue;
+    }
+    slots_[rec.slot].in_overflow = false;
+    const size_t idx = static_cast<size_t>((rec.when - wheel_start_) / width_);
+    BucketInsert(&buckets_[idx], std::move(rec));
+    ++moved;
+  }
+  moved_last_refill_ = moved;
+}
+
+bool CalendarQueue::PeekWhen(Time* when) {
+  if (!FindNext()) return false;
+  if (next_from_overflow_) {
+    *when = overflow_.front().when;
+  } else {
+    const Bucket& b = buckets_[cursor_];
+    *when = b.recs[b.head].when;
+  }
+  return true;
+}
+
+Task CalendarQueue::PopMin(Time* when) {
+  const bool found = FindNext();
+  EVC_CHECK(found);
+  Rec rec;
+  if (next_from_overflow_) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), kHeapGreater);
+    rec = std::move(overflow_.back());
+    overflow_.pop_back();
+  } else {
+    Bucket& b = buckets_[cursor_];
+    rec = std::move(b.recs[b.head]);
+    ++b.head;
+    if (b.head == b.recs.size()) {
+      b.recs.clear();
+      b.head = 0;
+    }
+  }
+  FreeSlot(rec.slot);
+  --pending_;
+  ++popped_this_window_;
+  last_pop_when_ = rec.when;
+  if (when != nullptr) *when = rec.when;
+  return std::move(rec.fn);
+}
+
+}  // namespace evc::sim

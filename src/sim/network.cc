@@ -27,13 +27,19 @@ NodeId Network::AddNode() {
   node_up_.push_back(true);
   node_group_.push_back(0);
   handlers_.emplace_back();
+  obs::MetricsRegistry& reg = sim_->metrics().node(id);
+  node_sent_.push_back(&reg.CounterFor("net.sent"));
+  node_delivered_.push_back(&reg.CounterFor("net.delivered"));
   return id;
 }
 
-void Network::RegisterHandler(NodeId node, const std::string& type,
+void Network::RegisterHandler(NodeId node, MsgType type,
                               MessageHandler handler) {
   EVC_CHECK(node < handlers_.size());
-  handlers_[node][type] = std::move(handler);
+  EVC_CHECK(type < type_interner_.size());
+  auto& node_handlers = handlers_[node];
+  if (node_handlers.size() <= type) node_handlers.resize(type + 1);
+  node_handlers[type] = std::move(handler);
 }
 
 uint32_t Network::GroupOf(NodeId node) const {
@@ -127,12 +133,12 @@ void Network::ClearGrayFaults() {
   node_delay_.clear();
 }
 
-void Network::Send(NodeId from, NodeId to, std::string type,
-                   std::any payload) {
+void Network::Send(NodeId from, NodeId to, MsgType type, Payload payload) {
   ++messages_sent_;
+  if (sent_by_type_.size() <= type) sent_by_type_.resize(type + 1, 0);
   ++sent_by_type_[type];
   metrics_.sent->Inc();
-  sim_->metrics().node(from).CounterFor("net.sent").Inc();
+  if (from < node_sent_.size()) node_sent_[from]->Inc();
   if (!IsNodeUp(from) || !IsNodeUp(to)) {
     ++messages_dropped_;
     metrics_.drop_crashed->Inc();
@@ -157,7 +163,7 @@ void Network::Send(NodeId from, NodeId to, std::string type,
   Message msg;
   msg.from = from;
   msg.to = to;
-  msg.type = std::move(type);
+  msg.type = type;
   msg.payload = std::move(payload);
   msg.sent_at = sim_->Now();
 
@@ -171,7 +177,14 @@ void Network::Send(NodeId from, NodeId to, std::string type,
   const bool duplicate = duplicate_rate_ > 0 && rng_.NextBool(duplicate_rate_);
   if (duplicate) {
     metrics_.duplicated->Inc();
-    Message copy = msg;  // payload copied; duplicates carry the same data
+    // A packet duplicated in flight carries the same bytes: deep-copy the
+    // payload (the only payload copy left in the network).
+    Message copy;
+    copy.from = msg.from;
+    copy.to = msg.to;
+    copy.type = msg.type;
+    copy.payload = msg.payload.Clone();
+    copy.sent_at = msg.sent_at;
     const Time extra = latency_->Sample(from, to, rng_);
     sim_->ScheduleAfter(latency + extra,
                         [this, m = std::move(copy)]() mutable {
@@ -197,20 +210,19 @@ void Network::Deliver(Message msg) {
     return;
   }
   auto& node_handlers = handlers_[msg.to];
-  auto it = node_handlers.find(msg.type);
-  if (it == node_handlers.end()) {
+  if (msg.type >= node_handlers.size() || !node_handlers[msg.type]) {
     EVC_LOG_WARN("node %u has no handler for message type '%s'", msg.to,
-                 msg.type.c_str());
+                 std::string(TypeName(msg.type)).c_str());
     ++messages_dropped_;
     metrics_.drop_no_handler->Inc();
     return;
   }
   ++messages_delivered_;
   metrics_.delivered->Inc();
-  sim_->metrics().node(msg.to).CounterFor("net.delivered").Inc();
+  if (msg.to < node_delivered_.size()) node_delivered_[msg.to]->Inc();
   metrics_.delivery_latency_us->Add(
       static_cast<double>(sim_->Now() - msg.sent_at));
-  it->second(std::move(msg));
+  node_handlers[msg.type](std::move(msg));
 }
 
 }  // namespace evc::sim

@@ -4,34 +4,47 @@
 // node. Delivery latency comes from a pluggable LatencyModel; faults include
 // probabilistic loss, duplication, node crashes, and named network
 // partitions (the CAP experiments drive these directly).
+//
+// Hot-path design: message types are interned to dense MsgType ids at
+// registration time, so sends and deliveries index flat vectors instead of
+// hashing strings; payloads ride slab-backed move-only Payload boxes
+// (sim/payload.h) instead of std::any, so a send transfers ownership with
+// two pointer copies and the only deep copy left is the duplicate-delivery
+// fault (an in-flight packet genuinely duplicated on the wire).
 
 #ifndef EVC_SIM_NETWORK_H_
 #define EVC_SIM_NETWORK_H_
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/rng.h"
 #include "sim/latency.h"
+#include "sim/payload.h"
 #include "sim/simulator.h"
 
 namespace evc::sim {
 
-/// A delivered message. `payload` is a std::any moved from the sender; the
-/// handler any_casts it to the protocol's request struct. (The simulator
-/// substitutes for the wire, so no byte serialization is required; modules
-/// that need real serialization — the WAL, Merkle trees — use
-/// common/encoding.h.)
+/// Dense id for an interned message-type name; see Network::InternType.
+using MsgType = KeyId;
+
+/// A delivered message. `payload` is a slab-backed box moved from the
+/// sender; the handler Takes it as the protocol's request struct. (The
+/// simulator substitutes for the wire, so no byte serialization is
+/// required; modules that need real serialization — the WAL, Merkle trees —
+/// use common/encoding.h.)
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
-  std::string type;
-  std::any payload;
+  MsgType type = kInvalidKeyId;
+  Payload payload;
   Time sent_at = 0;
 };
 
@@ -52,16 +65,46 @@ class Network {
   /// Number of nodes allocated so far.
   size_t node_count() const { return node_up_.size(); }
 
+  /// Interns a message-type name, returning its dense id. Deterministic for
+  /// a fixed registration order (ids assigned in first-intern order).
+  /// Components intern each type once at setup and send by id.
+  MsgType InternType(std::string_view name) {
+    return type_interner_.Intern(name);
+  }
+  /// The canonical name for an interned type (diagnostics, exports).
+  std::string_view TypeName(MsgType type) const {
+    return type_interner_.NameOf(type);
+  }
+
   /// Registers the handler for messages of `type` addressed to `node`.
   /// Overwrites any existing handler for that (node, type).
-  void RegisterHandler(NodeId node, const std::string& type,
-                       MessageHandler handler);
+  void RegisterHandler(NodeId node, MsgType type, MessageHandler handler);
+  /// Convenience: interns `type` then registers.
+  void RegisterHandler(NodeId node, std::string_view type,
+                       MessageHandler handler) {
+    RegisterHandler(node, InternType(type), std::move(handler));
+  }
 
   /// Sends a message. The message is dropped (silently, as on a real
   /// network) if the sender is crashed, the destination is crashed at
   /// delivery time, the two nodes are partitioned at send or delivery time,
   /// or the loss coin comes up tails.
-  void Send(NodeId from, NodeId to, std::string type, std::any payload);
+  void Send(NodeId from, NodeId to, MsgType type, Payload payload);
+
+  /// Convenience: boxes `value` into the simulator's slab and sends it.
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<T>, Payload>>>
+  void Send(NodeId from, NodeId to, MsgType type, T&& value) {
+    Send(from, to, type, Payload(&sim_->slab(), std::forward<T>(value)));
+  }
+
+  /// Convenience (tests, cold paths): interns `type` on every call, then
+  /// sends. Hot paths intern once at setup and use the MsgType overloads.
+  template <typename T>
+  void Send(NodeId from, NodeId to, std::string_view type, T&& value) {
+    Send(from, to, InternType(type), std::forward<T>(value));
+  }
 
   // --- fault injection -----------------------------------------------------
 
@@ -119,11 +162,14 @@ class Network {
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
-  /// Total payload-agnostic message count by type (for bandwidth-ish
-  /// accounting in experiments).
-  const std::unordered_map<std::string, uint64_t>& sent_by_type() const {
-    return sent_by_type_;
+  /// Messages sent of one interned type (payload-agnostic, for
+  /// bandwidth-ish accounting in experiments). Index with an id from
+  /// InternType; ids ≥ the table size have sent nothing.
+  uint64_t sent_of_type(MsgType type) const {
+    return type < sent_by_type_.size() ? sent_by_type_[type] : 0;
   }
+  /// Number of interned message types (the valid sent_of_type id range).
+  size_t type_count() const { return type_interner_.size(); }
 
   Simulator* simulator() { return sim_; }
   LatencyModel* latency_model() { return latency_.get(); }
@@ -156,15 +202,22 @@ class Network {
   double loss_rate_ = 0.0;
   double duplicate_rate_ = 0.0;
   // Gray-failure state, keyed by unordered node pair (LinkKey) or node.
+  // Lookup-only maps (never iterated beyond empty()/clear()).
   std::unordered_map<uint64_t, double> link_latency_factor_;
   std::unordered_map<uint64_t, double> link_drop_rate_;
   std::unordered_map<NodeId, Time> node_delay_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
-  std::unordered_map<std::string, uint64_t> sent_by_type_;
-  // handlers_[node][type]
-  std::vector<std::unordered_map<std::string, MessageHandler>> handlers_;
+  KeyInterner type_interner_;
+  std::vector<uint64_t> sent_by_type_;  // indexed by MsgType
+  // handlers_[node][type]; inner vector indexed by MsgType, grown on
+  // registration. Empty std::function = no handler.
+  std::vector<std::vector<MessageHandler>> handlers_;
+  // Cached per-node "net.sent"/"net.delivered" counters, indexed by node
+  // (the seed did a registry map lookup per message).
+  std::vector<obs::Counter*> node_sent_;
+  std::vector<obs::Counter*> node_delivered_;
 };
 
 }  // namespace evc::sim

@@ -1,0 +1,156 @@
+// Move-only, slab-backed message payload box.
+//
+// Message payloads used to ride std::any, which (a) heap-allocates for
+// anything larger than one pointer — i.e. every protocol envelope — and
+// (b) requires contents to be copyable, forcing copy-constructible
+// envelopes even though every send transfers ownership. Payload replaces it
+// on the simulated wire: construction placement-news the value into a slab
+// block, moves are two pointer copies, and extraction (`Take<T>()`) moves
+// the value out and returns the block to the slab.
+//
+// Copying is explicit: Clone() duplicates the boxed value (used only by the
+// network's duplicate-delivery fault, which models a packet duplicated in
+// flight). Type mismatches on Take/Peek are programming errors and abort
+// via EVC_CHECK, like a failed any_cast used to throw.
+
+#ifndef EVC_SIM_PAYLOAD_H_
+#define EVC_SIM_PAYLOAD_H_
+
+#include <type_traits>
+#include <typeinfo>
+#include <utility>
+
+#include "common/slab.h"
+#include "common/status.h"
+
+namespace evc::sim {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// True when V can be duplicated for the duplicate-delivery fault: either
+  /// copy-constructible, or it provides `V Clone() const` (the RPC envelopes
+  /// carry a nested Payload, which is move-only but clonable).
+  template <typename V>
+  static constexpr bool kCloneable =
+      std::is_copy_constructible_v<V> ||
+      requires(const V& v) { V(v.Clone()); };
+
+  /// Boxes `value` into `slab`.
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<T>, Payload>>>
+  Payload(Slab* slab, T&& value) {
+    using V = std::decay_t<T>;
+    static_assert(alignof(V) <= Slab::kAlign,
+                  "payload type over-aligned for the slab");
+    static_assert(kCloneable<V>,
+                  "payloads must be clonable (duplicate-delivery fault)");
+    obj_ = slab->Alloc(sizeof(V));
+    new (obj_) V(std::forward<T>(value));
+    slab_ = slab;
+    vtable_ = &VTableFor<V>::vtable;
+  }
+
+  Payload(Payload&& other) noexcept { MoveFrom(other); }
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  ~Payload() { Reset(); }
+
+  bool has_value() const { return obj_ != nullptr; }
+
+  /// Moves the boxed T out and frees the box. Aborts on type mismatch or an
+  /// empty payload.
+  template <typename T>
+  T Take() && {
+    EVC_CHECK(obj_ != nullptr);
+    EVC_CHECK(*vtable_->type == typeid(T));
+    T* typed = static_cast<T*>(obj_);
+    T out = std::move(*typed);
+    typed->~T();
+    slab_->Free(obj_, vtable_->size);
+    obj_ = nullptr;
+    return out;
+  }
+
+  /// Borrow the boxed T without unboxing. Aborts on type mismatch.
+  template <typename T>
+  const T& Peek() const {
+    EVC_CHECK(obj_ != nullptr);
+    EVC_CHECK(*vtable_->type == typeid(T));
+    return *static_cast<const T*>(obj_);
+  }
+
+  template <typename T>
+  bool holds() const {
+    return obj_ != nullptr && *vtable_->type == typeid(T);
+  }
+
+  /// Deep-copies the boxed value into a new box on the same slab.
+  Payload Clone() const {
+    Payload copy;
+    if (obj_ != nullptr) {
+      copy.obj_ = vtable_->clone(obj_, slab_);
+      copy.slab_ = slab_;
+      copy.vtable_ = vtable_;
+    }
+    return copy;
+  }
+
+ private:
+  struct VTable {
+    const std::type_info* type;
+    size_t size;
+    void (*destroy)(void* obj, Slab* slab);
+    void* (*clone)(const void* obj, Slab* slab);
+  };
+
+  template <typename V>
+  struct VTableFor {
+    static constexpr VTable vtable = {
+        &typeid(V), sizeof(V),
+        [](void* obj, Slab* slab) {
+          static_cast<V*>(obj)->~V();
+          slab->Free(obj, sizeof(V));
+        },
+        [](const void* obj, Slab* slab) -> void* {
+          void* p = slab->Alloc(sizeof(V));
+          if constexpr (std::is_copy_constructible_v<V>) {
+            new (p) V(*static_cast<const V*>(obj));
+          } else {
+            new (p) V(static_cast<const V*>(obj)->Clone());
+          }
+          return p;
+        }};
+  };
+
+  void MoveFrom(Payload& other) {
+    obj_ = other.obj_;
+    slab_ = other.slab_;
+    vtable_ = other.vtable_;
+    other.obj_ = nullptr;
+  }
+
+  void Reset() {
+    if (obj_ != nullptr) {
+      vtable_->destroy(obj_, slab_);
+      obj_ = nullptr;
+    }
+  }
+
+  void* obj_ = nullptr;
+  Slab* slab_ = nullptr;
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace evc::sim
+
+#endif  // EVC_SIM_PAYLOAD_H_

@@ -5,51 +5,81 @@
 
 namespace evc::sim {
 
-namespace {
-constexpr char kRequestType[] = "rpc.request";
-constexpr char kReplyType[] = "rpc.reply";
-}  // namespace
-
 Rpc::Rpc(Network* network) : network_(network) {
   EVC_CHECK(network_ != nullptr);
-  // Register dispatchers for all current and future nodes lazily: we hook
-  // every node that gets a handler or makes a call.
+  request_type_ = network_->InternType("rpc.request");
+  reply_type_ = network_->InternType("rpc.reply");
+  obs::MetricsRegistry& g = simulator()->metrics().global();
+  calls_ = &g.CounterFor("rpc.calls");
+  timeouts_ = &g.CounterFor("rpc.timeouts");
+  late_replies_ = &g.CounterFor("rpc.late_replies");
+  app_errors_ = &g.CounterFor("rpc.app_errors");
+  call_latency_us_ = &g.HistogramFor("rpc.call_latency_us");
+  obs::Tracer& tracer = simulator()->tracer();
+  outcome_ok_ = tracer.InternName("ok");
+  outcome_timeout_ = tracer.InternName("timeout");
 }
 
-void Rpc::RegisterHandler(NodeId node, const std::string& method,
-                          RpcHandler handler) {
-  if (handlers_.find(node) == handlers_.end()) {
-    network_->RegisterHandler(
-        node, kRequestType, [this](Message msg) { OnRequest(std::move(msg)); });
+MethodId Rpc::InternMethod(std::string_view method) {
+  const MethodId id = method_interner_.Intern(method);
+  if (id >= client_span_names_.size()) {
+    obs::Tracer& tracer = simulator()->tracer();
+    client_span_names_.push_back(
+        tracer.InternName("rpc." + std::string(method)));
+    server_span_names_.push_back(
+        tracer.InternName("rpc.server." + std::string(method)));
   }
-  handlers_[node][method] = std::move(handler);
+  return id;
 }
 
-void Rpc::Call(NodeId from, NodeId to, const std::string& method,
-               std::any request, Time timeout, RpcCallback cb) {
+void Rpc::HookRequests(NodeId node) {
+  if (node < req_hooked_.size() && req_hooked_[node]) return;
+  if (req_hooked_.size() <= node) req_hooked_.resize(node + 1, false);
+  req_hooked_[node] = true;
+  network_->RegisterHandler(node, request_type_,
+                            [this](Message msg) { OnRequest(std::move(msg)); });
+}
+
+void Rpc::HookReplies(NodeId node) {
+  if (node < reply_hooked_.size() && reply_hooked_[node]) return;
+  if (reply_hooked_.size() <= node) reply_hooked_.resize(node + 1, false);
+  reply_hooked_[node] = true;
+  network_->RegisterHandler(node, reply_type_,
+                            [this](Message msg) { OnReply(std::move(msg)); });
+}
+
+void Rpc::RegisterHandler(NodeId node, MethodId method, RpcHandler handler) {
+  HookRequests(node);
+  if (handlers_.size() <= node) handlers_.resize(node + 1);
+  auto& node_handlers = handlers_[node];
+  if (node_handlers.size() <= method) node_handlers.resize(method + 1);
+  node_handlers[method] = std::move(handler);
+}
+
+void Rpc::Call(NodeId from, NodeId to, MethodId method, Payload request,
+               Time timeout, RpcCallback cb) {
   // Ensure the caller can receive replies.
-  network_->RegisterHandler(
-      from, kReplyType, [this](Message msg) { OnReply(std::move(msg)); });
+  HookReplies(from);
 
   const uint64_t call_id = next_call_id_++;
-  Simulator* sim = network_->simulator();
+  Simulator* sim = simulator();
   obs::Tracer& tracer = sim->tracer();
-  obs::MetricsRegistry& g = sim->metrics().global();
-  g.CounterFor("rpc.calls").Inc();
+  calls_->Inc();
 
   // Client-side span for the whole call, parented to whatever span is
   // ambient (e.g. the server-side span of an enclosing coordinator RPC).
   const uint64_t span_parent = tracer.current();
-  const uint64_t span = tracer.Begin(from, "rpc." + method, sim->Now());
+  const uint64_t span =
+      tracer.Begin(from, client_span_names_[method], sim->Now());
 
   const EventId timeout_event = sim->ScheduleAfter(timeout, [this, call_id] {
     auto it = pending_.find(call_id);
     if (it == pending_.end()) return;
     Pending pending = std::move(it->second);
     pending_.erase(it);
-    Simulator* s = network_->simulator();
-    s->metrics().global().CounterFor("rpc.timeouts").Inc();
-    s->tracer().End(pending.span, s->Now(), "timeout");
+    Simulator* s = simulator();
+    timeouts_->Inc();
+    s->tracer().End(pending.span, s->Now(), outcome_timeout_);
     // The callback logically continues the caller's work: restore its
     // ambient span so any retry RPC it issues stays on the same trace tree.
     obs::Tracer::Scope scope(&s->tracer(), pending.span_parent);
@@ -59,69 +89,74 @@ void Rpc::Call(NodeId from, NodeId to, const std::string& method,
       Pending{std::move(cb), timeout_event, span, span_parent, sim->Now()};
 
   RequestEnvelope env{call_id, method, std::move(request), span};
-  network_->Send(from, to, kRequestType, std::move(env));
+  network_->Send(from, to, request_type_, std::move(env));
 }
 
 void Rpc::OnRequest(Message msg) {
-  auto env = std::any_cast<RequestEnvelope>(std::move(msg.payload));
+  auto env = std::move(msg.payload).Take<RequestEnvelope>();
   const NodeId server = msg.to;
   const NodeId client = msg.from;
 
-  auto node_it = handlers_.find(server);
-  if (node_it == handlers_.end()) return;
-  auto method_it = node_it->second.find(env.method);
-  if (method_it == node_it->second.end()) {
+  const RpcHandler* handler = nullptr;
+  if (server < handlers_.size() && env.method < handlers_[server].size() &&
+      handlers_[server][env.method]) {
+    handler = &handlers_[server][env.method];
+  }
+  if (handler == nullptr) {
     EVC_LOG_WARN("node %u: no rpc handler for method '%s'", server,
-                 env.method.c_str());
+                 std::string(MethodName(env.method)).c_str());
     return;
   }
 
   const uint64_t call_id = env.call_id;
-  Network* net = network_;
-  Simulator* sim = network_->simulator();
+  Rpc* self = this;
+  Simulator* sim = simulator();
   obs::Tracer& tracer = sim->tracer();
   // Server-side span, parented across the wire to the client's call span.
   const uint64_t srv_span = tracer.BeginChild(
-      env.span, server, "rpc.server." + env.method, sim->Now());
+      env.span, server, server_span_names_[env.method], sim->Now());
   RpcResponder responder(
-      [net, server, client, call_id, srv_span](Result<std::any> r) {
-        Simulator* s = net->simulator();
+      &sim->slab(),
+      [self, server, client, call_id, srv_span](Result<Payload> r) {
+        Simulator* s = self->simulator();
         s->tracer().End(srv_span, s->Now(),
-                        r.ok() ? "ok" : StatusCodeToString(r.status().code()));
+                        r.ok() ? self->outcome_ok_
+                               : s->tracer().InternName(
+                                     StatusCodeToString(r.status().code())));
         ReplyEnvelope reply{call_id,
                             r.ok() ? Status::OK() : r.status(),
-                            r.ok() ? std::move(r).value() : std::any{}};
-        net->Send(server, client, kReplyType, std::move(reply));
+                            r.ok() ? std::move(r).value() : Payload{}};
+        self->network_->Send(server, client, self->reply_type_,
+                             std::move(reply));
       });
   // Handlers run with the server span ambient, so RPCs they issue
   // synchronously (quorum fan-outs, Paxos phases) become its children.
   obs::Tracer::Scope scope(&tracer, srv_span);
-  method_it->second(client, std::move(env.payload), std::move(responder));
+  (*handler)(client, std::move(env.payload), std::move(responder));
 }
 
 void Rpc::OnReply(Message msg) {
-  auto env = std::any_cast<ReplyEnvelope>(std::move(msg.payload));
+  auto env = std::move(msg.payload).Take<ReplyEnvelope>();
   auto it = pending_.find(env.call_id);
   if (it == pending_.end()) {
     // Late reply after timeout (or a network duplicate of a reply already
     // consumed): ignored, but counted — hedging win/loss accounting needs
     // the number of replies that raced a timeout to balance.
-    network_->simulator()->metrics().global()
-        .CounterFor("rpc.late_replies").Inc();
+    late_replies_->Inc();
     return;
   }
   Pending pending = std::move(it->second);
-  Simulator* sim = network_->simulator();
+  Simulator* sim = simulator();
   sim->Cancel(pending.timeout_event);
   pending_.erase(it);
-  sim->metrics().global().HistogramFor("rpc.call_latency_us").Add(
-      static_cast<double>(sim->Now() - pending.started_at));
+  call_latency_us_->Add(static_cast<double>(sim->Now() - pending.started_at));
   sim->tracer().End(pending.span, sim->Now(),
                     env.status.ok()
-                        ? "ok"
-                        : StatusCodeToString(env.status.code()));
+                        ? outcome_ok_
+                        : sim->tracer().InternName(
+                              StatusCodeToString(env.status.code())));
   if (!env.status.ok()) {
-    sim->metrics().global().CounterFor("rpc.app_errors").Inc();
+    app_errors_->Inc();
   }
   obs::Tracer::Scope scope(&sim->tracer(), pending.span_parent);
   if (env.status.ok()) {

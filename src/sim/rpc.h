@@ -3,58 +3,116 @@
 // Protocol coordinators (quorum reads, Paxos phases, dep-checks) are written
 // against asynchronous RPC with timeouts: a lost request or reply, a crashed
 // peer, or a partition all surface as Status::TimedOut at the caller.
+//
+// Hot-path design mirrors the network layer: methods are interned to dense
+// MethodId ids (with the client/server trace-span names precomputed at
+// intern time, so no per-call string concatenation), dispatch indexes flat
+// vectors, request/reply values ride slab-backed Payload boxes, and the
+// metric instruments are resolved once in the constructor.
 
 #ifndef EVC_SIM_RPC_H_
 #define EVC_SIM_RPC_H_
 
-#include <any>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "sim/network.h"
+#include "sim/payload.h"
 
 namespace evc::sim {
 
-/// Completion callback for an RPC: either the peer's reply value or an error
-/// (TimedOut for loss/crash/partition, or the application Status the server
-/// handler returned).
-using RpcCallback = std::function<void(Result<std::any>)>;
+/// Dense id for an interned RPC method name; see Rpc::InternMethod.
+using MethodId = KeyId;
+
+/// Completion callback for an RPC: either the peer's reply payload or an
+/// error (TimedOut for loss/crash/partition, or the application Status the
+/// server handler returned).
+using RpcCallback = std::function<void(Result<Payload>)>;
 
 /// Replies to an in-flight RPC. May be invoked after the handler returns
 /// (asynchronous servers); must be invoked at most once.
 class RpcResponder {
  public:
   RpcResponder() = default;
-  RpcResponder(std::function<void(Result<std::any>)> fn) : fn_(std::move(fn)) {}
-  void operator()(Result<std::any> result) const {
+  RpcResponder(Slab* slab, std::function<void(Result<Payload>)> fn)
+      : slab_(slab), fn_(std::move(fn)) {}
+  void operator()(Result<Payload> result) const {
     EVC_CHECK(fn_ != nullptr);
     fn_(std::move(result));
   }
+  /// Convenience: boxes a raw reply struct into the simulator's slab.
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<T>, Result<Payload>> &&
+                !std::is_same_v<std::decay_t<T>, Payload> &&
+                !std::is_same_v<std::decay_t<T>, Status>>>
+  void operator()(T&& value) const {
+    EVC_CHECK(fn_ != nullptr);
+    fn_(Payload(slab_, std::forward<T>(value)));
+  }
 
  private:
-  std::function<void(Result<std::any>)> fn_;
+  Slab* slab_ = nullptr;
+  std::function<void(Result<Payload>)> fn_;
 };
 
 /// Server-side method handler: `request` is the caller's payload; call
 /// `respond` (now or later) to complete the RPC.
 using RpcHandler =
-    std::function<void(NodeId from, std::any request, RpcResponder respond)>;
+    std::function<void(NodeId from, Payload request, RpcResponder respond)>;
 
 /// One Rpc instance serves a whole Network (it multiplexes by node id).
 class Rpc {
  public:
   explicit Rpc(Network* network);
 
+  /// Interns an RPC method name, returning its dense id and precomputing
+  /// the call's trace-span names. Components intern each method once at
+  /// setup and call by id.
+  MethodId InternMethod(std::string_view method);
+  /// The canonical name for an interned method (diagnostics).
+  std::string_view MethodName(MethodId method) const {
+    return method_interner_.NameOf(method);
+  }
+
   /// Registers `handler` for calls of `method` addressed to `node`.
-  void RegisterHandler(NodeId node, const std::string& method,
-                       RpcHandler handler);
+  void RegisterHandler(NodeId node, MethodId method, RpcHandler handler);
+  /// Convenience: interns `method` then registers.
+  void RegisterHandler(NodeId node, std::string_view method,
+                       RpcHandler handler) {
+    RegisterHandler(node, InternMethod(method), std::move(handler));
+  }
 
   /// Issues an asynchronous call. `cb` fires exactly once: with the reply,
   /// or with TimedOut after `timeout` elapses without one.
-  void Call(NodeId from, NodeId to, const std::string& method,
-            std::any request, Time timeout, RpcCallback cb);
+  void Call(NodeId from, NodeId to, MethodId method, Payload request,
+            Time timeout, RpcCallback cb);
+
+  /// Convenience: boxes `request` into the simulator's slab and calls.
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<T>, Payload>>>
+  void Call(NodeId from, NodeId to, MethodId method, T&& request,
+            Time timeout, RpcCallback cb) {
+    Call(from, to, method,
+         Payload(&simulator()->slab(), std::forward<T>(request)), timeout,
+         std::move(cb));
+  }
+
+  /// Convenience (tests, cold paths): interns `method` on every call.
+  /// Hot paths intern once at setup and call by MethodId.
+  template <typename T>
+  void Call(NodeId from, NodeId to, std::string_view method, T&& request,
+            Time timeout, RpcCallback cb) {
+    Call(from, to, InternMethod(method), std::forward<T>(request), timeout,
+         std::move(cb));
+  }
 
   Network* network() { return network_; }
   Simulator* simulator() { return network_->simulator(); }
@@ -65,14 +123,22 @@ class Rpc {
  private:
   struct RequestEnvelope {
     uint64_t call_id;
-    std::string method;
-    std::any payload;
+    MethodId method;
+    Payload payload;
     uint64_t span = 0;  ///< caller's trace span (cross-node parenting)
+
+    RequestEnvelope Clone() const {  // duplicate-delivery fault support
+      return RequestEnvelope{call_id, method, payload.Clone(), span};
+    }
   };
   struct ReplyEnvelope {
     uint64_t call_id;
     Status status;
-    std::any payload;
+    Payload payload;
+
+    ReplyEnvelope Clone() const {
+      return ReplyEnvelope{call_id, status, payload.Clone()};
+    }
   };
   struct Pending {
     RpcCallback cb;
@@ -84,13 +150,34 @@ class Rpc {
 
   void OnRequest(Message msg);
   void OnReply(Message msg);
+  void HookRequests(NodeId node);
+  void HookReplies(NodeId node);
 
   Network* network_;
+  MsgType request_type_;
+  MsgType reply_type_;
   uint64_t next_call_id_ = 1;
+  // Lookup-only map (never iterated); keyed by monotonically growing call id.
   std::unordered_map<uint64_t, Pending> pending_;
-  // handlers_[node][method]
-  std::unordered_map<NodeId, std::unordered_map<std::string, RpcHandler>>
-      handlers_;
+  KeyInterner method_interner_;
+  // Precomputed tracer name ids, indexed by MethodId
+  // ("rpc.<m>"/"rpc.server.<m>"): opening a span never builds a string.
+  std::vector<KeyId> client_span_names_;
+  std::vector<KeyId> server_span_names_;
+  KeyId outcome_ok_ = kInvalidKeyId;
+  KeyId outcome_timeout_ = kInvalidKeyId;
+  // handlers_[node][method]; empty std::function = unregistered.
+  std::vector<std::vector<RpcHandler>> handlers_;
+  // Which nodes have the rpc.request / rpc.reply network dispatchers
+  // installed (the seed re-registered a fresh reply closure on every Call).
+  std::vector<bool> req_hooked_;
+  std::vector<bool> reply_hooked_;
+  // Cached global instruments.
+  obs::Counter* calls_ = nullptr;
+  obs::Counter* timeouts_ = nullptr;
+  obs::Counter* late_replies_ = nullptr;
+  obs::Counter* app_errors_ = nullptr;
+  Histogram* call_latency_us_ = nullptr;
 };
 
 }  // namespace evc::sim

@@ -1,16 +1,19 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 namespace evc::sim {
 
-EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
-  EVC_CHECK(when >= now_);
+EventId Simulator::ScheduleLegacy(Time when, LegacyFn fn) {
   const EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  heap_.push_back(LegacyEvent{when, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), EventOrder{});
   pending_ids_.insert(id);
   return id;
 }
 
 bool Simulator::Cancel(EventId id) {
+  if (sched_ == SchedulerKind::kCalendar) return calq_.Cancel(id);
   // Only a genuinely pending event can be cancelled; ids that already ran
   // (or were already cancelled) report false and leave no tombstone behind,
   // keeping pending_events() exact.
@@ -20,17 +23,22 @@ bool Simulator::Cancel(EventId id) {
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; copy out the small fields and move the
-    // closure via const_cast, which is safe because we pop immediately.
-    Event& top = const_cast<Event&>(queue_.top());
-    Event ev{top.when, top.seq, top.id, std::move(top.fn)};
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+  if (sched_ != SchedulerKind::kCalendar) return StepLegacy();
+  if (calq_.empty()) return false;
+  Time when = 0;
+  Task fn = calq_.PopMin(&when);
+  now_ = when;
+  ++events_executed_;
+  fn.Run();
+  return true;
+}
+
+bool Simulator::StepLegacy() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
+    LegacyEvent ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (cancelled_.erase(ev.id) > 0) continue;
     pending_ids_.erase(ev.id);
     now_ = ev.when;
     ++events_executed_;
@@ -70,15 +78,26 @@ void Simulator::NotifyRestart(uint32_t node) {
 }
 
 void Simulator::RunUntil(Time deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id)) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
+  if (sched_ == SchedulerKind::kCalendar) {
+    Time when = 0;
+    while (calq_.PeekWhen(&when) && when <= deadline) {
+      Task fn = calq_.PopMin(&when);
+      now_ = when;
+      ++events_executed_;
+      fn.Run();
     }
-    if (top.when > deadline) break;
-    Step();
+  } else {
+    while (!heap_.empty()) {
+      const LegacyEvent& top = heap_.front();
+      if (cancelled_.count(top.id) > 0) {
+        cancelled_.erase(top.id);
+        std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
+        heap_.pop_back();
+        continue;
+      }
+      if (top.when > deadline) break;
+      StepLegacy();
+    }
   }
   if (now_ < deadline) now_ = deadline;
 }

@@ -1,0 +1,100 @@
+// Slab-allocated, move-only event closure.
+//
+// The scheduler used to store events as std::function<void()>, which heap
+// allocates for any capture list over two pointers — i.e. for every network
+// delivery closure (they capture a whole Message). Task type-erases the
+// callable into a single slab block instead: allocation and free are a
+// freelist pop/push, and moving a Task moves two pointers.
+//
+// Lifetime rule (pinned by simulator_test "SelfDestroyingClosure"): the
+// callable object stays alive for the duration of operator(), and is
+// destroyed immediately after it returns — so a closure may free the objects
+// it captured, reschedule into the structure that held it, or cause slab
+// reuse, all while running.
+
+#ifndef EVC_SIM_TASK_H_
+#define EVC_SIM_TASK_H_
+
+#include <type_traits>
+#include <utility>
+
+#include "common/slab.h"
+#include "common/status.h"
+
+namespace evc::sim {
+
+class Task {
+ public:
+  Task() = default;
+
+  /// Boxes `fn` into `slab`. `fn` must be invocable with no arguments.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Task>>>
+  Task(Slab* slab, F&& fn) : slab_(slab) {
+    using Fn = std::decay_t<F>;
+    static_assert(alignof(Fn) <= Slab::kAlign,
+                  "closure over-aligned for the slab");
+    obj_ = slab->Alloc(sizeof(Fn));
+    new (obj_) Fn(std::forward<F>(fn));
+    invoke_ = [](void* obj) { (*static_cast<Fn*>(obj))(); };
+    destroy_ = [](void* obj, Slab* s) {
+      static_cast<Fn*>(obj)->~Fn();
+      s->Free(obj, sizeof(Fn));
+    };
+  }
+
+  Task(Task&& other) noexcept { MoveFrom(other); }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Reset(); }
+
+  bool valid() const { return obj_ != nullptr; }
+
+  /// Runs the closure, then destroys it. The Task is empty afterwards.
+  void Run() {
+    EVC_CHECK(obj_ != nullptr);
+    // Detach before invoking: the closure may recurse into the scheduler
+    // and cause this Task object to move or be destroyed.
+    void* obj = obj_;
+    auto invoke = invoke_;
+    auto destroy = destroy_;
+    Slab* slab = slab_;
+    obj_ = nullptr;
+    invoke(obj);
+    destroy(obj, slab);
+  }
+
+  /// Destroys the closure without running it (cancelled events).
+  void Reset() {
+    if (obj_ != nullptr) {
+      destroy_(obj_, slab_);
+      obj_ = nullptr;
+    }
+  }
+
+ private:
+  void MoveFrom(Task& other) {
+    obj_ = other.obj_;
+    invoke_ = other.invoke_;
+    destroy_ = other.destroy_;
+    slab_ = other.slab_;
+    other.obj_ = nullptr;
+  }
+
+  void* obj_ = nullptr;
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*, Slab*) = nullptr;
+  Slab* slab_ = nullptr;
+};
+
+}  // namespace evc::sim
+
+#endif  // EVC_SIM_TASK_H_

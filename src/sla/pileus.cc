@@ -25,6 +25,9 @@ const char* ReadConsistencyToString(ReadConsistency c) {
 PileusCluster::PileusCluster(sim::Rpc* rpc, PileusOptions options)
     : rpc_(rpc), options_(options) {
   EVC_CHECK(rpc_ != nullptr);
+  m_put_ = rpc_->InternMethod(kPut);
+  m_get_ = rpc_->InternMethod(kGet);
+  t_sync_ = rpc_->network()->InternType(kSync);
 }
 
 sim::NodeId PileusCluster::AddPrimary() {
@@ -51,22 +54,22 @@ sim::NodeId PileusCluster::AddServer(bool is_primary) {
 void PileusCluster::RegisterHandlers(Server* server) {
   if (server->is_primary) {
     rpc_->RegisterHandler(
-        server->node, kPut,
-        [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-          auto put = std::any_cast<PutReq>(std::move(req));
+        server->node, m_put_,
+        [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+          auto put = std::move(req).Take<PutReq>();
           Record& rec = server->data[put.key];
           rec.value = put.value;
           rec.seqno = server->next_seqno++;
           server->high_time = rpc_->simulator()->Now();
           pending_sync_.emplace_back(put.key, rec.value, rec.seqno);
-          respond(std::any{rec.seqno});
+          respond(rec.seqno);
         });
   }
 
   rpc_->RegisterHandler(
-      server->node, kGet,
-      [this, server](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto get = std::any_cast<GetReq>(std::move(req));
+      server->node, m_get_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto get = std::move(req).Take<GetReq>();
         RawRead result;
         auto it = server->data.find(get.key);
         if (it != server->data.end()) {
@@ -77,13 +80,13 @@ void PileusCluster::RegisterHandlers(Server* server) {
         // The primary is always current.
         result.high_time = server->is_primary ? rpc_->simulator()->Now()
                                               : server->high_time;
-        respond(std::any{std::move(result)});
+        respond(std::move(result));
       });
 
   if (!server->is_primary) {
     rpc_->network()->RegisterHandler(
-        server->node, kSync, [server](sim::Message msg) {
-          auto batch = std::any_cast<SyncBatch>(std::move(msg.payload));
+        server->node, t_sync_, [server](sim::Message msg) {
+          auto batch = std::move(msg.payload).Take<SyncBatch>();
           for (const auto& [key, value, seqno] : batch.writes) {
             Record& rec = server->data[key];
             if (seqno > rec.seqno) {
@@ -106,7 +109,7 @@ void PileusCluster::ShipSync() {
   batch.through_time = rpc_->simulator()->Now();
   for (const auto& server : servers_) {
     if (server->is_primary) continue;
-    rpc_->network()->Send(primary_server->node, server->node, kSync, batch);
+    rpc_->network()->Send(primary_server->node, server->node, t_sync_, batch);
   }
   rpc_->simulator()->ScheduleAfter(options_.sync_interval,
                                    [this] { ShipSync(); });
@@ -122,12 +125,12 @@ void PileusCluster::Start() {
 void PileusCluster::Put(sim::NodeId client, const std::string& key,
                         std::string value, WriteCallback done) {
   PutReq req{key, std::move(value)};
-  rpc_->Call(client, primary(), kPut, std::move(req), options_.rpc_timeout,
-             [done](Result<std::any> r) {
+  rpc_->Call(client, primary(), m_put_, std::move(req), options_.rpc_timeout,
+             [done](Result<sim::Payload> r) {
                if (!r.ok()) {
                  done(r.status());
                } else {
-                 done(std::any_cast<uint64_t>(std::move(r).value()));
+                 done(std::move(r).value().Take<uint64_t>());
                }
              });
 }
@@ -135,12 +138,12 @@ void PileusCluster::Put(sim::NodeId client, const std::string& key,
 void PileusCluster::RawGet(sim::NodeId client, sim::NodeId server,
                            const std::string& key, RawReadCallback done) {
   GetReq req{key};
-  rpc_->Call(client, server, kGet, std::move(req), options_.rpc_timeout,
-             [done](Result<std::any> r) {
+  rpc_->Call(client, server, m_get_, std::move(req), options_.rpc_timeout,
+             [done](Result<sim::Payload> r) {
                if (!r.ok()) {
                  done(r.status());
                } else {
-                 done(std::any_cast<RawRead>(std::move(r).value()));
+                 done(std::move(r).value().Take<RawRead>());
                }
              });
 }

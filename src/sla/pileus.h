@@ -128,6 +128,10 @@ class PileusCluster {
   void ShipSync();
 
   sim::Rpc* rpc_;
+  // Pre-interned RPC methods / message types (resolved in the ctor).
+  sim::MethodId m_put_ = 0;
+  sim::MethodId m_get_ = 0;
+  sim::MsgType t_sync_ = 0;
   PileusOptions options_;
   std::vector<sim::NodeId> nodes_;
   std::vector<std::unique_ptr<Server>> servers_;

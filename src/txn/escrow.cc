@@ -19,6 +19,8 @@ EscrowCluster::EscrowCluster(sim::Rpc* rpc, int replica_count,
                              int64_t initial_total, EscrowOptions options)
     : rpc_(rpc), options_(options) {
   EVC_CHECK(rpc_ != nullptr);
+  m_acquire_ = rpc_->InternMethod(kAcquire);
+  m_steal_ = rpc_->InternMethod(kSteal);
   EVC_CHECK(replica_count >= 1);
   EVC_CHECK(initial_total >= 0);
   const int64_t base = initial_total / replica_count;
@@ -64,16 +66,16 @@ int EscrowCluster::RichestPeer(const Replica& replica) const {
 
 void EscrowCluster::RegisterHandlers(Replica* replica) {
   rpc_->RegisterHandler(
-      replica->node, kAcquire,
-      [this, replica](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto acquire = std::any_cast<AcquireReq>(std::move(req));
+      replica->node, m_acquire_,
+      [this, replica](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto acquire = std::move(req).Take<AcquireReq>();
         HandleAcquire(replica, acquire, std::move(respond));
       });
 
   rpc_->RegisterHandler(
-      replica->node, kSteal,
-      [this, replica](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto steal = std::any_cast<StealReq>(std::move(req));
+      replica->node, m_steal_,
+      [this, replica](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto steal = std::move(req).Take<StealReq>();
         // Give the larger of `wanted` and a fraction of our share, bounded
         // by what we hold. Giving from our escrow can never break the
         // invariant: units merely change custodian.
@@ -86,7 +88,7 @@ void EscrowCluster::RegisterHandlers(Replica* replica) {
           ++stats_.transfers;
           stats_.transferred_units += give;
         }
-        respond(std::any{give});
+        respond(give);
       });
 }
 
@@ -97,7 +99,7 @@ void EscrowCluster::HandleAcquire(Replica* replica, const AcquireReq& req,
     replica->share -= req.amount;
     total_acquired_ += req.amount;
     ++stats_.acquires_ok;
-    respond(std::any{replica->share});
+    respond(replica->share);
     return;
   }
   if (!req.allow_steal) {
@@ -115,11 +117,11 @@ void EscrowCluster::HandleAcquire(Replica* replica, const AcquireReq& req,
   StealReq steal{req.amount - replica->share};
   AcquireReq retry = req;
   retry.allow_steal = false;
-  rpc_->Call(replica->node, replicas_[peer]->node, kSteal, steal,
+  rpc_->Call(replica->node, replicas_[peer]->node, m_steal_, steal,
              options_.rpc_timeout,
-             [this, replica, retry, respond](Result<std::any> r) mutable {
+             [this, replica, retry, respond](Result<sim::Payload> r) mutable {
                if (r.ok()) {
-                 replica->share += std::any_cast<int64_t>(std::move(r).value());
+                 replica->share += std::move(r).value().Take<int64_t>();
                }
                HandleAcquire(replica, retry, std::move(respond));
              });
@@ -129,12 +131,12 @@ void EscrowCluster::Acquire(sim::NodeId client, int replica, int64_t amount,
                             AcquireCallback done) {
   EVC_CHECK(amount > 0);
   AcquireReq req{amount, /*allow_steal=*/true};
-  rpc_->Call(client, replica_node(replica), kAcquire, req,
-             2 * options_.rpc_timeout, [done](Result<std::any> r) {
+  rpc_->Call(client, replica_node(replica), m_acquire_, req,
+             2 * options_.rpc_timeout, [done](Result<sim::Payload> r) {
                if (!r.ok()) {
                  done(r.status());
                } else {
-                 done(std::any_cast<int64_t>(std::move(r).value()));
+                 done(std::move(r).value().Take<int64_t>());
                }
              });
 }
@@ -148,6 +150,8 @@ NaiveCounterCluster::NaiveCounterCluster(sim::Rpc* rpc, int replica_count,
                                          sim::Time rpc_timeout)
     : rpc_(rpc), rpc_timeout_(rpc_timeout), initial_total_(initial_total) {
   EVC_CHECK(rpc_ != nullptr);
+  m_naive_acquire_ = rpc_->InternMethod(kNaiveAcquire);
+  t_naive_delta_ = rpc_->network()->InternType(kNaiveDelta);
   for (int i = 0; i < replica_count; ++i) {
     auto replica = std::make_unique<Replica>();
     replica->node = rpc_->network()->AddNode();
@@ -155,14 +159,14 @@ NaiveCounterCluster::NaiveCounterCluster(sim::Rpc* rpc, int replica_count,
     Replica* raw = replica.get();
 
     rpc_->network()->RegisterHandler(
-        raw->node, kNaiveDelta, [raw](sim::Message msg) {
-          raw->cached -= std::any_cast<int64_t>(std::move(msg.payload));
+        raw->node, t_naive_delta_, [raw](sim::Message msg) {
+          raw->cached -= std::move(msg.payload).Take<int64_t>();
         });
 
     rpc_->RegisterHandler(
-        raw->node, kNaiveAcquire,
-        [this, raw](sim::NodeId, std::any req, sim::RpcResponder respond) {
-          auto acquire = std::any_cast<AcquireReq>(std::move(req));
+        raw->node, m_naive_acquire_,
+        [this, raw](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+          auto acquire = std::move(req).Take<AcquireReq>();
           // Check-then-act against a possibly stale cache: the classic
           // race. Two replicas both see stock and both sell it.
           if (raw->cached < acquire.amount) {
@@ -175,11 +179,11 @@ NaiveCounterCluster::NaiveCounterCluster(sim::Rpc* rpc, int replica_count,
           ++stats_.acquires_ok;
           for (const auto& peer : replicas_) {
             if (peer->node != raw->node) {
-              rpc_->network()->Send(raw->node, peer->node, kNaiveDelta,
+              rpc_->network()->Send(raw->node, peer->node, t_naive_delta_,
                                     acquire.amount);
             }
           }
-          respond(std::any{raw->cached});
+          respond(raw->cached);
         });
 
     replicas_.push_back(std::move(replica));
@@ -200,12 +204,12 @@ void NaiveCounterCluster::Acquire(sim::NodeId client, int replica,
                                   int64_t amount, AcquireCallback done) {
   EVC_CHECK(amount > 0);
   AcquireReq req{amount};
-  rpc_->Call(client, replica_node(replica), kNaiveAcquire, req, rpc_timeout_,
-             [done](Result<std::any> r) {
+  rpc_->Call(client, replica_node(replica), m_naive_acquire_, req, rpc_timeout_,
+             [done](Result<sim::Payload> r) {
                if (!r.ok()) {
                  done(r.status());
                } else {
-                 done(std::any_cast<int64_t>(std::move(r).value()));
+                 done(std::move(r).value().Take<int64_t>());
                }
              });
 }

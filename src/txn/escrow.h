@@ -80,6 +80,9 @@ class EscrowCluster {
   int RichestPeer(const Replica& replica) const;
 
   sim::Rpc* rpc_;
+  // Pre-interned RPC methods / message types (resolved in the ctor).
+  sim::MethodId m_acquire_ = 0;
+  sim::MethodId m_steal_ = 0;
   EscrowOptions options_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   int64_t total_acquired_ = 0;
@@ -124,6 +127,9 @@ class NaiveCounterCluster {
   };
 
   sim::Rpc* rpc_;
+  // Pre-interned RPC methods / message types (resolved in the ctor).
+  sim::MethodId m_naive_acquire_ = 0;
+  sim::MsgType t_naive_delta_ = 0;
   sim::Time rpc_timeout_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   int64_t initial_total_ = 0;

@@ -11,6 +11,9 @@ constexpr char kDelta[] = "rb.delta";
 RedBlueBank::RedBlueBank(sim::Rpc* rpc, int site_count, RedBlueOptions options)
     : rpc_(rpc), options_(options) {
   EVC_CHECK(rpc_ != nullptr);
+  m_local_op_ = rpc_->InternMethod(kLocalOp);
+  m_red_op_ = rpc_->InternMethod(kRedOp);
+  t_delta_ = rpc_->network()->InternType(kDelta);
   EVC_CHECK(site_count >= 1);
   for (int i = 0; i < site_count; ++i) {
     auto site = std::make_unique<Site>();
@@ -48,23 +51,23 @@ void RedBlueBank::BroadcastDelta(Site* origin, const std::string& account,
   BlueDelta msg{account, delta};
   for (auto& peer : sites_) {
     if (peer->node == origin->node) continue;
-    rpc_->network()->Send(origin->node, peer->node, kDelta, msg);
+    rpc_->network()->Send(origin->node, peer->node, t_delta_, msg);
   }
 }
 
 void RedBlueBank::RegisterHandlers(Site* site) {
   // Blue shadow deltas commute: apply on arrival, any order.
   rpc_->network()->RegisterHandler(
-      site->node, kDelta, [this, site](sim::Message msg) {
-        auto delta = std::any_cast<BlueDelta>(std::move(msg.payload));
+      site->node, t_delta_, [this, site](sim::Message msg) {
+        auto delta = std::move(msg.payload).Take<BlueDelta>();
         ApplyDelta(site, delta.account, delta.delta);
       });
 
   // Blue client ops (deposit / mislabelled-blue withdraw).
   rpc_->RegisterHandler(
-      site->node, kLocalOp,
-      [this, site](sim::NodeId, std::any req, sim::RpcResponder respond) {
-        auto op = std::any_cast<LocalOpReq>(std::move(req));
+      site->node, m_local_op_,
+      [this, site](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        auto op = std::move(req).Take<LocalOpReq>();
         if (op.is_withdraw) {
           // Local-only invariant check: unsound globally, by design.
           if (site->balances[op.account] < op.amount) {
@@ -79,15 +82,15 @@ void RedBlueBank::RegisterHandlers(Site* site) {
           ApplyDelta(site, op.account, op.amount);
           BroadcastDelta(site, op.account, op.amount);
         }
-        respond(std::any{site->balances[op.account]});
+        respond(site->balances[op.account]);
       });
 
   // Red ops land only on the sequencer (site 0).
   if (site->index == 0) {
     rpc_->RegisterHandler(
-        site->node, kRedOp,
-        [this, site](sim::NodeId, std::any req, sim::RpcResponder respond) {
-          auto op = std::any_cast<RedReq>(std::move(req));
+        site->node, m_red_op_,
+        [this, site](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+          auto op = std::move(req).Take<RedReq>();
           ++stats_.red_ops;
           // The sequencer's local balance is a safe under-approximation of
           // the global balance: it contains every red withdrawal (they all
@@ -100,7 +103,7 @@ void RedBlueBank::RegisterHandlers(Site* site) {
           }
           ApplyDelta(site, op.account, -op.amount);
           BroadcastDelta(site, op.account, -op.amount);
-          respond(std::any{site->balances[op.account]});
+          respond(site->balances[op.account]);
         });
   }
 }
@@ -110,12 +113,12 @@ void RedBlueBank::Deposit(sim::NodeId client, int site,
                           OpCallback done) {
   EVC_CHECK(amount >= 0);
   LocalOpReq req{account, amount, /*is_withdraw=*/false};
-  rpc_->Call(client, site_node(site), kLocalOp, std::move(req),
-             options_.rpc_timeout, [done](Result<std::any> r) {
+  rpc_->Call(client, site_node(site), m_local_op_, std::move(req),
+             options_.rpc_timeout, [done](Result<sim::Payload> r) {
                if (!r.ok()) {
                  done(r.status());
                } else {
-                 done(std::any_cast<int64_t>(std::move(r).value()));
+                 done(std::move(r).value().Take<int64_t>());
                }
              });
 }
@@ -125,12 +128,12 @@ void RedBlueBank::WithdrawBlue(sim::NodeId client, int site,
                                OpCallback done) {
   EVC_CHECK(amount >= 0);
   LocalOpReq req{account, amount, /*is_withdraw=*/true};
-  rpc_->Call(client, site_node(site), kLocalOp, std::move(req),
-             options_.rpc_timeout, [done](Result<std::any> r) {
+  rpc_->Call(client, site_node(site), m_local_op_, std::move(req),
+             options_.rpc_timeout, [done](Result<sim::Payload> r) {
                if (!r.ok()) {
                  done(r.status());
                } else {
-                 done(std::any_cast<int64_t>(std::move(r).value()));
+                 done(std::move(r).value().Take<int64_t>());
                }
              });
 }
@@ -141,12 +144,12 @@ void RedBlueBank::WithdrawRed(sim::NodeId client, int site,
   EVC_CHECK(amount >= 0);
   (void)site;  // red ops always route to the sequencer, wherever the client
   RedReq req{account, amount};
-  rpc_->Call(client, site_node(0), kRedOp, std::move(req),
-             options_.rpc_timeout, [done](Result<std::any> r) {
+  rpc_->Call(client, site_node(0), m_red_op_, std::move(req),
+             options_.rpc_timeout, [done](Result<sim::Payload> r) {
                if (!r.ok()) {
                  done(r.status());
                } else {
-                 done(std::any_cast<int64_t>(std::move(r).value()));
+                 done(std::move(r).value().Take<int64_t>());
                }
              });
 }

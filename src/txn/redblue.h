@@ -99,6 +99,10 @@ class RedBlueBank {
                       int64_t delta);
 
   sim::Rpc* rpc_;
+  // Pre-interned RPC methods / message types (resolved in the ctor).
+  sim::MethodId m_local_op_ = 0;
+  sim::MethodId m_red_op_ = 0;
+  sim::MsgType t_delta_ = 0;
   RedBlueOptions options_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::map<sim::NodeId, Site*> by_node_;

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "causal/causal_store.h"
+#include "obs/export.h"
 #include "consensus/paxos.h"
 #include "crdt/gcounter.h"
 #include "crdt/orset.h"
@@ -182,8 +183,8 @@ uint64_t NemesisSeed(uint64_t seed) {
 
 /// Simulator + network + rpc, wired identically for every store.
 struct SimStack {
-  explicit SimStack(uint64_t seed)
-      : sim(seed),
+  explicit SimStack(const FuzzOptions& o)
+      : sim(o.seed, o.scheduler),
         net(&sim,
             std::make_unique<sim::UniformLatency>(2 * kMillisecond,
                                                   12 * kMillisecond)),
@@ -253,6 +254,12 @@ void FillCommon(FuzzReport* rep, const FuzzOptions& o, const SimStack& s,
   rep->seed = o.seed;
   rep->faults_injected = nemesis.stats().total();
   rep->messages_dropped = s.net.messages_dropped();
+  if (o.capture_metrics_json != nullptr) {
+    *o.capture_metrics_json = obs::MetricsToJson(s.sim.metrics()).Dump(2);
+  }
+  if (o.capture_trace_csv != nullptr) {
+    *o.capture_trace_csv = obs::TraceToCsv(s.sim.tracer());
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -261,7 +268,7 @@ void FillCommon(FuzzReport* rep, const FuzzOptions& o, const SimStack& s,
 
 FuzzReport RunPaxos(const FuzzOptions& o) {
   FuzzReport rep;
-  SimStack s(o.seed);
+  SimStack s(o);
   consensus::PaxosOptions popt;
   popt.crash_amnesia = o.amnesia;
   consensus::PaxosCluster cluster(&s.rpc, popt);
@@ -373,7 +380,7 @@ FuzzReport RunPaxos(const FuzzOptions& o) {
 
 FuzzReport RunQuorum(const FuzzOptions& o, bool strict) {
   FuzzReport rep;
-  SimStack s(o.seed);
+  SimStack s(o);
   repl::QuorumConfig cfg;
   cfg.replication_factor = 3;
   cfg.read_quorum = strict ? 2 : 1;
@@ -541,7 +548,7 @@ FuzzReport RunQuorum(const FuzzOptions& o, bool strict) {
 
 FuzzReport RunTimeline(const FuzzOptions& o) {
   FuzzReport rep;
-  SimStack s(o.seed);
+  SimStack s(o);
   repl::TimelineOptions topt;
   topt.replication_factor = o.servers;
   topt.crash_amnesia = o.amnesia;
@@ -695,7 +702,7 @@ FuzzReport RunTimeline(const FuzzOptions& o) {
 
 FuzzReport RunCausal(const FuzzOptions& o) {
   FuzzReport rep;
-  SimStack s(o.seed);
+  SimStack s(o);
   causal::CausalOptions copt;
   copt.crash_amnesia = o.amnesia;
   causal::CausalCluster cluster(&s.rpc, copt);
@@ -839,13 +846,14 @@ FuzzReport RunCrdt(const FuzzOptions& o, std::vector<State> replicas,
                    const char* gossip_type, ApplyOp apply_op,
                    Finalize finalize) {
   FuzzReport rep;
-  SimStack s(o.seed);
+  SimStack s(o);
   const int n = static_cast<int>(replicas.size());
   std::vector<sim::NodeId> nodes;
   for (int i = 0; i < n; ++i) nodes.push_back(s.net.AddNode());
+  const sim::MsgType gossip_msg = s.net.InternType(gossip_type);
   for (int i = 0; i < n; ++i) {
-    s.net.RegisterHandler(nodes[i], gossip_type, [&, i](sim::Message m) {
-      replicas[i].Merge(std::any_cast<State>(std::move(m.payload)));
+    s.net.RegisterHandler(nodes[i], gossip_msg, [&, i](sim::Message m) {
+      replicas[i].Merge(std::move(m.payload).Take<State>());
     });
   }
 
@@ -881,7 +889,7 @@ FuzzReport RunCrdt(const FuzzOptions& o, std::vector<State> replicas,
     for (int i = 0; i < n; ++i) {
       const int peer =
           (i + 1 + static_cast<int>(gossip_rng.NextBounded(n - 1))) % n;
-      s.net.Send(nodes[i], nodes[peer], gossip_type, replicas[i]);
+      s.net.Send(nodes[i], nodes[peer], gossip_msg, replicas[i]);
     }
     s.sim.ScheduleAfter(100 * kMillisecond, gossip);
   };

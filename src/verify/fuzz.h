@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "sim/nemesis.h"
+#include "sim/simulator.h"
 #include "verify/causal_checker.h"
 #include "verify/convergence.h"
 #include "verify/session_guarantees.h"
@@ -77,6 +78,15 @@ struct FuzzOptions {
   /// detector (see QuorumConfig::use_oracle_detector). Same-seed A/B runs
   /// of the two modes compare their hinted-handoff behavior.
   bool use_oracle_detector = false;
+  /// Event-scheduler implementation for the run's simulator. The two
+  /// schedulers promise identical (when, seq) execution order; the 25-seed
+  /// differential harness (tests/simcore_diff_test.cc) runs every seed
+  /// under both and asserts byte-identical exports.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
+  /// When non-null, filled at end-of-run with the deterministic metric /
+  /// trace exports (obs/export.h) for byte-for-byte comparison.
+  std::string* capture_metrics_json = nullptr;
+  std::string* capture_trace_csv = nullptr;
 };
 
 /// Per-store defaults (server counts, op counts sized to each checker).

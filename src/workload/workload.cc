@@ -94,6 +94,15 @@ std::string WorkloadGenerator::ValueFor(const std::string& key) {
   return value;
 }
 
+KeyId WorkloadGenerator::InternIndex(uint64_t index) {
+  if (id_of_index_.size() <= index) {
+    id_of_index_.resize(index + 1, kInvalidKeyId);
+  }
+  KeyId& slot = id_of_index_[index];
+  if (slot == kInvalidKeyId) slot = keys_.Intern(KeyFor(index));
+  return slot;
+}
+
 Op WorkloadGenerator::Next() {
   Op op;
   const double dice = rng_.NextDouble();
@@ -108,14 +117,17 @@ Op WorkloadGenerator::Next() {
     op.type = OpType::kReadModifyWrite;
   }
 
+  uint64_t index;
   if (op.type == OpType::kInsert) {
-    op.key = KeyFor(live_records_++);
+    index = live_records_++;
     if (config_.distribution == KeyDistributionKind::kLatest) {
       static_cast<LatestDistribution*>(dist_.get())->AdvanceItemCount();
     }
   } else {
-    op.key = KeyFor(dist_->Next(rng_));
+    index = dist_->Next(rng_);
   }
+  op.key_id = InternIndex(index);
+  op.key = std::string(keys_.NameOf(op.key_id));
   if (op.type != OpType::kRead) {
     op.value = ValueFor(op.key);
   }

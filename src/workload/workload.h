@@ -12,8 +12,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/distributions.h"
+#include "common/interner.h"
 #include "common/rng.h"
 
 namespace evc::workload {
@@ -27,9 +30,12 @@ enum class OpType {
 
 const char* OpTypeToString(OpType type);
 
-/// One generated operation.
+/// One generated operation. `key_id` is the key interned in the owning
+/// generator's table (dense, first-draw order, deterministic per seed);
+/// hot loops route by id and resolve the string only at store boundaries.
 struct Op {
   OpType type = OpType::kRead;
+  KeyId key_id = kInvalidKeyId;
   std::string key;
   std::string value;  // empty for reads
 };
@@ -80,14 +86,25 @@ class WorkloadGenerator {
   uint64_t live_record_count() const { return live_records_; }
   const WorkloadConfig& config() const { return config_; }
 
+  /// Resolves an Op::key_id back to its canonical key string.
+  std::string_view KeyNameOf(KeyId id) const { return keys_.NameOf(id); }
+  /// Keys interned so far (== distinct keys drawn this run).
+  size_t interned_keys() const { return keys_.size(); }
+
  private:
   std::unique_ptr<KeyDistribution> MakeDistribution() const;
+  /// Id for record `index`, interning its key string on first draw.
+  KeyId InternIndex(uint64_t index);
 
   WorkloadConfig config_;
   Rng rng_;
   uint64_t live_records_;
   uint64_t value_seq_ = 0;
   std::unique_ptr<KeyDistribution> dist_;
+  KeyInterner keys_;
+  // Record index -> interned id; repeat draws of a hot key (the common case
+  // under zipfian/latest skew) skip string construction entirely.
+  std::vector<KeyId> id_of_index_;
 };
 
 }  // namespace evc::workload

@@ -33,8 +33,8 @@ class GeoBroadcastTest : public ::testing::Test {
       sets_.emplace_back(static_cast<uint32_t>(i));
     }
     for (int i = 0; i < members; ++i) {
-      gb_->AddMember(nodes_[i], [this, i](uint32_t, const std::any& op) {
-        sets_[i].Apply(std::any_cast<OpOrSet::Op>(op));
+      gb_->AddMember(nodes_[i], [this, i](uint32_t, const sim::Payload& op) {
+        sets_[i].Apply(op.Peek<OpOrSet::Op>());
       });
     }
   }

@@ -218,6 +218,59 @@ TEST(EvcLint, ListChecksExitsZero) {
   EXPECT_EQ(out.size(), 5u);
 }
 
+// --- intern-table unordered-iteration audit ------------------------------
+//
+// KeyInterner's reverse index is an unordered_map whose exemption stance is
+// "lookup-only": the check stays armed for the file, and the header must
+// scan clean because nothing iterates the index — not because the container
+// is whitelisted. Both directions are pinned here against the REAL header.
+
+std::string ReadRealSource(const std::string& rel) {
+  std::ifstream in(std::string(EVC_SRC_INCLUDE_DIR) + "/" + rel,
+                   std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing source " << rel;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(EvcLint, InternTableLookupOnlyScansClean) {
+  // The shipped interner performs only find()/emplace() on index_; a full
+  // unfiltered scan of the real header must produce zero findings.
+  SourceFile header{"src/common/interner.h",
+                    ReadRealSource("common/interner.h")};
+  std::vector<Finding> findings = ScanFiles({header});
+  EXPECT_TRUE(findings.empty())
+      << "common/interner.h no longer scans clean; if a loop over the "
+         "reverse index was added, it breaks the lookup-only contract";
+}
+
+TEST(EvcLint, InternTableIterationWouldStillBeFlagged) {
+  // The exemption is NOT a blanket one for interner code: appending a loop
+  // over index_ to the very same header must trip unordered-iteration. This
+  // proves the audit above is load-bearing (the check is armed for the
+  // file), not vacuously green.
+  std::string code = ReadRealSource("common/interner.h");
+  code +=
+      "\nnamespace evc {\ninline size_t SumIds(const KeyInterner& in) {\n"
+      "  size_t total = 0;\n"
+      "  for (const auto& [name, id] : in.debug_index()) total += id;\n"
+      "  return total;\n}\n}  // namespace evc\n";
+  // Give the scanner an unambiguous declaration for the iterated name in
+  // the same translation unit (mirrors how a real accessor would leak it).
+  code +=
+      "\nnamespace evc {\nstd::unordered_map<std::string_view, KeyId>"
+      " debug_index;\n"
+      "inline size_t SumAll() {\n  size_t t = 0;\n"
+      "  for (const auto& [k, v] : debug_index) t += v;\n  return t;\n}\n"
+      "}  // namespace evc\n";
+  SourceFile patched{"src/common/interner.h", std::move(code)};
+  std::vector<Finding> findings = ScanFiles({patched});
+  EXPECT_FALSE(LinesOf(findings, "unordered-iteration").empty())
+      << "iterating the intern table went unflagged: the unordered-"
+         "iteration check has been disarmed for common/interner.h";
+}
+
 // --- [[nodiscard]] compile-fail regression -------------------------------
 //
 // The scanner's discarded-status check is a belt; the compiler attribute is

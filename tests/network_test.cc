@@ -30,7 +30,7 @@ TEST_F(NetworkTest, DeliversWithLatency) {
   int got = 0;
   net_.RegisterHandler(b, "ping", [&](Message msg) {
     delivered_at = sim_.Now();
-    got = std::any_cast<Payload>(msg.payload).value;
+    got = msg.payload.Peek<Payload>().value;
     EXPECT_EQ(msg.from, a);
     EXPECT_EQ(msg.to, b);
   });
@@ -162,7 +162,7 @@ TEST_F(NetworkTest, DuplicateSecondCopyDropsIfReceiverCrashesBetween) {
   net_.RegisterHandler(b, "m", [&](Message msg) {
     ++received;
     // Each delivery owns its payload — safe to consume it by move.
-    EXPECT_EQ(std::any_cast<Payload>(std::move(msg.payload)).value, 1);
+    EXPECT_EQ(std::move(msg.payload).Take<Payload>().value, 1);
   });
   net_.set_duplicate_rate(1.0);
   net_.Send(a, b, "m", Payload{1});
@@ -271,8 +271,8 @@ TEST_F(NetworkTest, SentByTypeAccounts) {
   net_.Send(a, b, "x", Payload{2});
   net_.Send(a, b, "y", Payload{3});
   sim_.Run();
-  EXPECT_EQ(net_.sent_by_type().at("x"), 2u);
-  EXPECT_EQ(net_.sent_by_type().at("y"), 1u);
+  EXPECT_EQ(net_.sent_of_type(net_.InternType("x")), 2u);
+  EXPECT_EQ(net_.sent_of_type(net_.InternType("y")), 1u);
 }
 
 TEST(WanMatrixTest, CrossDcSlowerThanIntraDc) {

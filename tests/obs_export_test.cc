@@ -6,7 +6,6 @@
 
 #include <gtest/gtest.h>
 
-#include <any>
 #include <memory>
 #include <string>
 
@@ -98,15 +97,15 @@ RunOutput RunWorkload(uint64_t seed) {
   const sim::NodeId dead = net.AddNode();
   net.SetNodeUp(dead, false);
   rpc.RegisterHandler(server, "echo",
-                      [](sim::NodeId, std::any req, sim::RpcResponder respond) {
+                      [](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
                         respond(std::move(req));
                       });
   for (int i = 0; i < 20; ++i) {
     rpc.Call(client, server, "echo", std::string("x"), sim::kSecond,
-             [](Result<std::any>) {});
+             [](Result<sim::Payload>) {});
     if (i % 5 == 0) {
       rpc.Call(client, dead, "echo", std::string("x"), 100 * sim::kMillisecond,
-               [](Result<std::any>) {});
+               [](Result<sim::Payload>) {});
     }
   }
   sim.Run();
@@ -144,13 +143,13 @@ TEST(WorkloadInstrumentation, CountsCallsTimeoutsAndSpans) {
   const sim::NodeId dead = net.AddNode();
   net.SetNodeUp(dead, false);
   rpc.RegisterHandler(server, "echo",
-                      [](sim::NodeId, std::any req, sim::RpcResponder respond) {
+                      [](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
                         respond(std::move(req));
                       });
   rpc.Call(client, server, "echo", std::string("a"), sim::kSecond,
-           [](Result<std::any>) {});
+           [](Result<sim::Payload>) {});
   rpc.Call(client, dead, "echo", std::string("b"), 50 * sim::kMillisecond,
-           [](Result<std::any>) {});
+           [](Result<sim::Payload>) {});
   sim.Run();
 
   MetricsRegistry& g = sim.metrics().global();
@@ -164,19 +163,21 @@ TEST(WorkloadInstrumentation, CountsCallsTimeoutsAndSpans) {
   // call contributes a client span with outcome "timeout".
   int ok_client = 0, ok_server = 0, timeouts = 0;
   uint64_t client_span = 0;
-  for (const Span& s : sim.tracer().finished()) {
-    if (s.name == "rpc.echo" && s.outcome == "ok") {
+  const Tracer& tracer = sim.tracer();
+  for (const Span& s : tracer.finished()) {
+    if (tracer.NameOf(s.name) == "rpc.echo" &&
+        tracer.NameOf(s.outcome) == "ok") {
       ++ok_client;
       client_span = s.id;
     }
-    if (s.name == "rpc.server.echo") ++ok_server;
-    if (s.outcome == "timeout") ++timeouts;
+    if (tracer.NameOf(s.name) == "rpc.server.echo") ++ok_server;
+    if (tracer.NameOf(s.outcome) == "timeout") ++timeouts;
   }
   EXPECT_EQ(ok_client, 1);
   EXPECT_EQ(ok_server, 1);
   EXPECT_EQ(timeouts, 1);
-  for (const Span& s : sim.tracer().finished()) {
-    if (s.name == "rpc.server.echo") {
+  for (const Span& s : tracer.finished()) {
+    if (tracer.NameOf(s.name) == "rpc.server.echo") {
       EXPECT_EQ(s.parent, client_span);
     }
   }

@@ -167,9 +167,9 @@ class ResilientRpcTest : public ::testing::Test {
   void RegisterEcho(sim::NodeId node, const std::string& tag) {
     rpc_.RegisterHandler(
         node, "echo",
-        [tag](sim::NodeId, std::any req, sim::RpcResponder respond) {
-          auto r = std::any_cast<EchoReq>(std::move(req));
-          respond(std::any{tag + r.text});
+        [tag](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+          auto r = std::move(req).Take<EchoReq>();
+          respond(tag + r.text);
         });
   }
 
@@ -202,10 +202,10 @@ TEST_F(ResilientRpcTest, RetriesThroughTransientBlackoutAndSucceeds) {
   std::string reply;
   int fires = 0;
   client->Call(server_, "echo", EchoReq{"hi"}, opts,
-               [&](Result<std::any> r) {
+               [&](Result<sim::Payload> r) {
                  ++fires;
                  ASSERT_TRUE(r.ok());
-                 reply = std::any_cast<std::string>(*r);
+                 reply = std::move(*r).Take<std::string>();
                });
   sim_.Run();
   EXPECT_EQ(fires, 1);
@@ -231,7 +231,7 @@ TEST_F(ResilientRpcTest, DeadlineFailsFastInsteadOfSleepingPastBudget) {
   Status status = Status::OK();
   sim::Time completed_at = -1;
   client->Call(server_, "echo", EchoReq{"hi"}, opts,
-               [&](Result<std::any> r) {
+               [&](Result<sim::Payload> r) {
                  status = r.status();
                  completed_at = sim_.Now();
                });
@@ -258,10 +258,10 @@ TEST_F(ResilientRpcTest, HedgeWinsAgainstSlowNodeAndLoserIsIgnored) {
   std::string reply;
   int fires = 0;
   sim::Time completed_at = -1;
-  client->Call(server_, "echo", EchoReq{"x"}, opts, [&](Result<std::any> r) {
+  client->Call(server_, "echo", EchoReq{"x"}, opts, [&](Result<sim::Payload> r) {
     ++fires;
     ASSERT_TRUE(r.ok());
-    reply = std::any_cast<std::string>(*r);
+    reply = std::move(*r).Take<std::string>();
     completed_at = sim_.Now();
   });
   sim_.Run();  // runs until the slow primary's reply has also landed
@@ -281,9 +281,9 @@ TEST_F(ResilientRpcTest, FastPrimaryCancelsArmedHedge) {
   opts.hedge = true;
   opts.hedge_to = server2_;
   std::string reply;
-  client->Call(server_, "echo", EchoReq{"y"}, opts, [&](Result<std::any> r) {
+  client->Call(server_, "echo", EchoReq{"y"}, opts, [&](Result<sim::Payload> r) {
     ASSERT_TRUE(r.ok());
-    reply = std::any_cast<std::string>(*r);
+    reply = std::move(*r).Take<std::string>();
   });
   sim_.Run();
   EXPECT_EQ(reply, "s1:y");  // primary answered at 10ms, before the 50ms hedge
@@ -307,7 +307,7 @@ TEST_F(ResilientRpcTest, BreakerRejectsAfterRepeatedTimeouts) {
   sim::Time third_done = -1;
   auto issue = [&](auto&& self) -> void {
     client->Call(server_, "echo", EchoReq{"z"}, opts,
-                 [&, self](Result<std::any> r) {
+                 [&, self](Result<sim::Payload> r) {
                    EXPECT_FALSE(r.ok());
                    if (++failures < 3) {
                      third_issue = sim_.Now();
@@ -384,7 +384,7 @@ TEST_F(ResilientRpcTest, FlakyLinkSuspicionCountsAsOracleDisagreement) {
 TEST_F(ResilientRpcTest, LateReplyAfterTimeoutIsCounted) {
   bool timed_out = false;
   rpc_.Call(client_, server_, "echo", EchoReq{"slow"}, 8 * kMillisecond,
-            [&](Result<std::any> r) { timed_out = r.status().IsTimedOut(); });
+            [&](Result<sim::Payload> r) { timed_out = r.status().IsTimedOut(); });
   sim_.Run();  // reply arrives at 10ms, 2ms after the timeout fired
   EXPECT_TRUE(timed_out);
   EXPECT_EQ(

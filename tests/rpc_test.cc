@@ -31,16 +31,16 @@ class RpcTest : public ::testing::Test {
 
 TEST_F(RpcTest, RoundTripDeliversReply) {
   rpc_.RegisterHandler(server_, "echo",
-                       [](NodeId, std::any req, RpcResponder respond) {
-                         auto r = std::any_cast<EchoReq>(std::move(req));
-                         respond(std::any{r.text + "!"});
+                       [](NodeId, Payload req, RpcResponder respond) {
+                         auto r = std::move(req).Take<EchoReq>();
+                         respond(r.text + "!");
                        });
   std::string reply;
   Time completed_at = -1;
   rpc_.Call(client_, server_, "echo", EchoReq{"hi"}, kSecond,
-            [&](Result<std::any> r) {
+            [&](Result<Payload> r) {
               ASSERT_TRUE(r.ok());
-              reply = std::any_cast<std::string>(*r);
+              reply = std::move(*r).Take<std::string>();
               completed_at = sim_.Now();
             });
   sim_.Run();
@@ -50,12 +50,12 @@ TEST_F(RpcTest, RoundTripDeliversReply) {
 
 TEST_F(RpcTest, ServerErrorPropagates) {
   rpc_.RegisterHandler(server_, "fail",
-                       [](NodeId, std::any, RpcResponder respond) {
+                       [](NodeId, Payload, RpcResponder respond) {
                          respond(Status::NotFound("nope"));
                        });
   Status got;
   rpc_.Call(client_, server_, "fail", EchoReq{}, kSecond,
-            [&](Result<std::any> r) { got = r.status(); });
+            [&](Result<Payload> r) { got = r.status(); });
   sim_.Run();
   EXPECT_TRUE(got.IsNotFound());
   EXPECT_EQ(got.message(), "nope");
@@ -63,14 +63,14 @@ TEST_F(RpcTest, ServerErrorPropagates) {
 
 TEST_F(RpcTest, TimeoutWhenServerCrashed) {
   rpc_.RegisterHandler(server_, "echo",
-                       [](NodeId, std::any, RpcResponder respond) {
-                         respond(std::any{1});
+                       [](NodeId, Payload, RpcResponder respond) {
+                         respond(1);
                        });
   net_.SetNodeUp(server_, false);
   Status got;
   Time completed_at = -1;
   rpc_.Call(client_, server_, "echo", EchoReq{}, 100 * kMillisecond,
-            [&](Result<std::any> r) {
+            [&](Result<Payload> r) {
               got = r.status();
               completed_at = sim_.Now();
             });
@@ -81,13 +81,13 @@ TEST_F(RpcTest, TimeoutWhenServerCrashed) {
 
 TEST_F(RpcTest, TimeoutWhenPartitioned) {
   rpc_.RegisterHandler(server_, "echo",
-                       [](NodeId, std::any, RpcResponder respond) {
-                         respond(std::any{1});
+                       [](NodeId, Payload, RpcResponder respond) {
+                         respond(1);
                        });
   net_.Partition({{client_}, {server_}});
   Status got;
   rpc_.Call(client_, server_, "echo", EchoReq{}, 50 * kMillisecond,
-            [&](Result<std::any> r) { got = r.status(); });
+            [&](Result<Payload> r) { got = r.status(); });
   sim_.Run();
   EXPECT_TRUE(got.IsTimedOut());
 }
@@ -95,14 +95,14 @@ TEST_F(RpcTest, TimeoutWhenPartitioned) {
 TEST_F(RpcTest, LateReplyAfterTimeoutIsIgnored) {
   // Server replies asynchronously after the client's timeout.
   rpc_.RegisterHandler(
-      server_, "slow", [this](NodeId, std::any, RpcResponder respond) {
+      server_, "slow", [this](NodeId, Payload, RpcResponder respond) {
         sim_.ScheduleAfter(500 * kMillisecond,
-                           [respond] { respond(std::any{1}); });
+                           [respond] { respond(1); });
       });
   int callbacks = 0;
   Status first;
   rpc_.Call(client_, server_, "slow", EchoReq{}, 50 * kMillisecond,
-            [&](Result<std::any> r) {
+            [&](Result<Payload> r) {
               ++callbacks;
               first = r.status();
             });
@@ -113,15 +113,15 @@ TEST_F(RpcTest, LateReplyAfterTimeoutIsIgnored) {
 
 TEST_F(RpcTest, AsynchronousServerReplyWorks) {
   rpc_.RegisterHandler(
-      server_, "defer", [this](NodeId, std::any, RpcResponder respond) {
+      server_, "defer", [this](NodeId, Payload, RpcResponder respond) {
         sim_.ScheduleAfter(20 * kMillisecond,
-                           [respond] { respond(std::any{std::string("late")}); });
+                           [respond] { respond(std::string("late")); });
       });
   std::string reply;
   rpc_.Call(client_, server_, "defer", EchoReq{}, kSecond,
-            [&](Result<std::any> r) {
+            [&](Result<Payload> r) {
               ASSERT_TRUE(r.ok());
-              reply = std::any_cast<std::string>(*r);
+              reply = std::move(*r).Take<std::string>();
             });
   sim_.Run();
   EXPECT_EQ(reply, "late");
@@ -129,14 +129,14 @@ TEST_F(RpcTest, AsynchronousServerReplyWorks) {
 
 TEST_F(RpcTest, ManyConcurrentCallsMatchReplies) {
   rpc_.RegisterHandler(server_, "id",
-                       [](NodeId, std::any req, RpcResponder respond) {
-                         respond(std::any{std::any_cast<int>(req)});
+                       [](NodeId, Payload req, RpcResponder respond) {
+                         respond(std::move(req).Take<int>());
                        });
   int matched = 0;
   for (int i = 0; i < 100; ++i) {
-    rpc_.Call(client_, server_, "id", i, kSecond, [&, i](Result<std::any> r) {
+    rpc_.Call(client_, server_, "id", i, kSecond, [&, i](Result<Payload> r) {
       ASSERT_TRUE(r.ok());
-      if (std::any_cast<int>(*r) == i) ++matched;
+      if (std::move(*r).Take<int>() == i) ++matched;
     });
   }
   sim_.Run();
@@ -146,21 +146,21 @@ TEST_F(RpcTest, ManyConcurrentCallsMatchReplies) {
 TEST_F(RpcTest, UnknownMethodTimesOut) {
   Status got;
   rpc_.Call(client_, server_, "no-such-method", EchoReq{}, 30 * kMillisecond,
-            [&](Result<std::any> r) { got = r.status(); });
+            [&](Result<Payload> r) { got = r.status(); });
   sim_.Run();
   EXPECT_TRUE(got.IsTimedOut());
 }
 
 TEST_F(RpcTest, SelfCallWorks) {
   rpc_.RegisterHandler(client_, "self",
-                       [](NodeId, std::any, RpcResponder respond) {
-                         respond(std::any{std::string("me")});
+                       [](NodeId, Payload, RpcResponder respond) {
+                         respond(std::string("me"));
                        });
   std::string reply;
   rpc_.Call(client_, client_, "self", EchoReq{}, kSecond,
-            [&](Result<std::any> r) {
+            [&](Result<Payload> r) {
               ASSERT_TRUE(r.ok());
-              reply = std::any_cast<std::string>(*r);
+              reply = std::move(*r).Take<std::string>();
             });
   sim_.Run();
   EXPECT_EQ(reply, "me");

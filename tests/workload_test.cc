@@ -93,7 +93,27 @@ TEST(WorkloadTest, DeterministicForSameSeed) {
     EXPECT_EQ(op_a.type, op_b.type);
     EXPECT_EQ(op_a.key, op_b.key);
     EXPECT_EQ(op_a.value, op_b.value);
+    // Interned ids are part of the determinism contract too: same-seed runs
+    // must intern keys in the same order (the ids reach hot paths and
+    // caches keyed by them).
+    EXPECT_EQ(op_a.key_id, op_b.key_id);
   }
+}
+
+TEST(WorkloadTest, KeyIdsRoundTripAndAreInjective) {
+  WorkloadGenerator gen(WorkloadConfig::YcsbA(), 4);
+  std::map<KeyId, std::string> seen;  // id -> key
+  for (int i = 0; i < 2000; ++i) {
+    const Op op = gen.Next();
+    ASSERT_NE(op.key_id, kInvalidKeyId);
+    // Round-trip: the id resolves back to exactly the op's key string.
+    EXPECT_EQ(gen.KeyNameOf(op.key_id), op.key);
+    // Injective per run: an id never maps to two different keys, and a
+    // repeated key always gets its original id.
+    auto [it, inserted] = seen.emplace(op.key_id, op.key);
+    if (!inserted) EXPECT_EQ(it->second, op.key);
+  }
+  EXPECT_EQ(gen.interned_keys(), seen.size());
 }
 
 TEST(WorkloadTest, ZipfianSkewsTowardFewKeys) {

@@ -1,9 +1,13 @@
 // evc_bench_check — schema validator for evc-bench-v1 documents.
 //
-// Usage: evc_bench_check BENCH_a.json [BENCH_b.json ...]
+// Usage: evc_bench_check [--floor=<metric>=<min>]... BENCH_a.json [...]
 //
 // Validates every file and exits nonzero if any violates the schema, so CI
-// can gate on bench output staying machine-readable:
+// can gate on bench output staying machine-readable. Each --floor names a
+// metric that must be present (in at least one file) and >= <min> in every
+// file that reports it — the throughput-regression gate for perf benches
+// (e.g. --floor=calendar_speedup_n1000=2.4 fails the simcore bench when the
+// calendar queue slips more than 20% under its 3x acceptance bar):
 //   * top level is an object with schema == "evc-bench-v1" and a nonempty
 //     string name;
 //   * metrics is an object of numbers;
@@ -14,13 +18,34 @@
 //   * sim (optional) is an object.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
 
 namespace {
 
 using evc::obs::Json;
+
+struct Floor {
+  std::string metric;
+  double min = 0;
+  bool seen = false;  ///< found in at least one validated file
+};
+
+/// Parses "--floor=<metric>=<min>". Returns false on malformed input.
+bool ParseFloor(const std::string& arg, Floor* out) {
+  const std::string body = arg.substr(8);  // past "--floor="
+  const size_t eq = body.rfind('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= body.size()) {
+    return false;
+  }
+  out->metric = body.substr(0, eq);
+  char* end = nullptr;
+  out->min = std::strtod(body.c_str() + eq + 1, &end);
+  return end != nullptr && *end == '\0';
+}
 
 bool ReadWholeFile(const std::string& path, std::string* out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -41,6 +66,25 @@ bool Fail(const std::string& path, const std::string& what) {
 bool IsScalar(const Json& v) {
   return v.is_bool() || v.is_number() || v.is_string();
 }
+
+/// Applies every floor that names a metric in `doc` (already validated).
+bool CheckFloors(const std::string& path, const Json& doc,
+                 std::vector<Floor>* floors) {
+  bool ok = true;
+  const Json& metrics = *doc.Find("metrics");
+  for (Floor& floor : *floors) {
+    const Json* value = metrics.Find(floor.metric);
+    if (value == nullptr) continue;
+    floor.seen = true;
+    if (value->AsDouble() < floor.min) {
+      ok = Fail(path, "metric " + floor.metric + " = " +
+                          std::to_string(value->AsDouble()) +
+                          " is below the floor " + std::to_string(floor.min));
+    }
+  }
+  return ok;
+}
+
 
 bool CheckTables(const std::string& path, const Json& tables) {
   if (!tables.is_object()) return Fail(path, "tables is not an object");
@@ -82,7 +126,7 @@ bool CheckTables(const std::string& path, const Json& tables) {
   return true;
 }
 
-bool CheckFile(const std::string& path) {
+bool CheckFile(const std::string& path, std::vector<Floor>* floors) {
   std::string text;
   if (!ReadWholeFile(path, &text)) return Fail(path, "cannot read file");
   auto parsed = Json::Parse(text);
@@ -131,6 +175,8 @@ bool CheckFile(const std::string& path) {
   for (const auto& [tname, table] : tables->AsObject()) {
     rows += table.Find("rows")->AsArray().size();
   }
+  if (!CheckFloors(path, doc, floors)) return false;
+
   std::printf("OK   %s: %zu tables, %zu rows, %zu metrics\n", path.c_str(),
               tables->AsObject().size(), rows, metrics->AsObject().size());
   return true;
@@ -139,13 +185,40 @@ bool CheckFile(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: evc_bench_check BENCH.json [...]\n");
+  std::vector<Floor> floors;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--floor=", 0) == 0) {
+      Floor floor;
+      if (!ParseFloor(arg, &floor)) {
+        std::fprintf(stderr, "malformed %s (want --floor=<metric>=<min>)\n",
+                     arg.c_str());
+        return 2;
+      }
+      floors.push_back(floor);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: evc_bench_check [--floor=<metric>=<min>]... "
+                 "BENCH.json [...]\n");
     return 2;
   }
   bool all_ok = true;
-  for (int i = 1; i < argc; ++i) {
-    all_ok &= CheckFile(argv[i]);
+  for (const std::string& path : paths) {
+    all_ok &= CheckFile(path, &floors);
+  }
+  // A floor naming a metric no file reports is a misconfigured gate, not a
+  // silent pass.
+  for (const Floor& floor : floors) {
+    if (!floor.seen) {
+      std::fprintf(stderr, "FAIL floor metric %s not found in any file\n",
+                   floor.metric.c_str());
+      all_ok = false;
+    }
   }
   return all_ok ? 0 : 1;
 }
