@@ -1,0 +1,49 @@
+#include "cache/lease_registry.h"
+
+namespace evc::cache {
+
+Lease LeaseRegistry::Grant(const std::string& key, sim::NodeId holder,
+                           sim::Time now) {
+  Lease lease;
+  lease.id = next_id_++;
+  lease.expiry = now + ttl_;
+  leases_[key][holder] = lease;
+  return lease;
+}
+
+std::vector<LeaseHolder> LeaseRegistry::Outstanding(const std::string& key,
+                                                    sim::Time now) {
+  std::vector<LeaseHolder> out;
+  auto kit = leases_.find(key);
+  if (kit == leases_.end()) return out;
+  auto& holders = kit->second;
+  for (auto it = holders.begin(); it != holders.end();) {
+    if (it->second.expiry <= now) {
+      it = holders.erase(it);
+      continue;
+    }
+    out.push_back({it->first, it->second});
+    ++it;
+  }
+  if (holders.empty()) leases_.erase(kit);
+  return out;
+}
+
+bool LeaseRegistry::Release(const std::string& key, sim::NodeId holder,
+                            uint64_t id) {
+  auto kit = leases_.find(key);
+  if (kit == leases_.end()) return false;
+  auto hit = kit->second.find(holder);
+  if (hit == kit->second.end() || hit->second.id != id) return false;
+  kit->second.erase(hit);
+  if (kit->second.empty()) leases_.erase(kit);
+  return true;
+}
+
+size_t LeaseRegistry::size() const {
+  size_t n = 0;
+  for (const auto& [key, holders] : leases_) n += holders.size();
+  return n;
+}
+
+}  // namespace evc::cache

@@ -49,6 +49,10 @@ sim::NodeId DynamoCluster::AddServer() {
   server->clock = LamportClock(server->replica_id);
   server->resilient = std::make_unique<resilience::ResilientRpc>(
       rpc_, server->node, config_.resilience, ResilienceSeed(server->node));
+  obs::MetricsRegistry& node_obs =
+      rpc_->simulator()->metrics().node(server->node);
+  server->c_coordinated_gets = &node_obs.CounterFor("dyn.coordinated_gets");
+  server->c_coordinated_puts = &node_obs.CounterFor("dyn.coordinated_puts");
   RegisterHandlers(server.get());
   by_node_[server->node] = server.get();
   ResolveInstruments();
@@ -363,6 +367,7 @@ void DynamoCluster::Get(sim::NodeId client, sim::NodeId coordinator,
 void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
                                   std::function<void(Result<Version>)> done) {
   const sim::Time started = rpc_->simulator()->Now();
+  coordinator->c_coordinated_puts->Inc();
   // Mint the new version once; every replica stores the identical bytes.
   Version version;
   version.value = std::move(req.value);
@@ -440,6 +445,7 @@ void DynamoCluster::CoordinateGet(
     Server* coordinator, std::string key,
     std::function<void(Result<ReadResult>)> done) {
   const sim::Time started = rpc_->simulator()->Now();
+  coordinator->c_coordinated_gets->Inc();
   const std::vector<sim::NodeId> preferred = PreferenceList(key);
 
   struct GetState {

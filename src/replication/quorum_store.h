@@ -162,6 +162,11 @@ class DynamoCluster : private sim::CrashParticipant {
     // Client-side resilience: fan-out outcomes feed its detector/breaker in
     // both modes; only detector mode consults the verdicts.
     std::unique_ptr<resilience::ResilientRpc> resilient;
+    // Per-node routing observability (dyn.coordinated_gets/puts in this
+    // node's registry): lets tests assert WHERE client traffic landed —
+    // e.g. that a sticky session really re-polls one coordinator.
+    obs::Counter* c_coordinated_gets = nullptr;
+    obs::Counter* c_coordinated_puts = nullptr;
   };
 
   // RPC payloads.

@@ -44,6 +44,27 @@ std::vector<sim::NodeId> TimelineCluster::AddServers(int count) {
   return nodes;
 }
 
+std::vector<sim::NodeId> TimelineCluster::Servers() const {
+  std::vector<sim::NodeId> nodes;
+  nodes.reserve(servers_.size());
+  for (const auto& server : servers_) nodes.push_back(server->node);
+  return nodes;
+}
+
+TimelineRead TimelineCluster::LocalRecord(sim::NodeId server,
+                                          const std::string& key) {
+  Server* s = FindServer(server);
+  EVC_CHECK(s != nullptr);
+  TimelineRead result;
+  auto it = s->data.find(key);
+  if (it != s->data.end()) {
+    result.found = true;
+    result.value = it->second.value;
+    result.seqno = it->second.seqno;
+  }
+  return result;
+}
+
 TimelineCluster::Server* TimelineCluster::FindServer(sim::NodeId node) {
   auto it = by_node_.find(node);
   return it == by_node_.end() ? nullptr : it->second;
@@ -92,24 +113,34 @@ void TimelineCluster::RegisterHandlers(Server* server) {
           respond(Status::FailedPrecondition("not the master"));
           return;
         }
-        Record& rec = server->data[write.key];
-        rec.value = write.value;
-        ++rec.seqno;
-        JournalApply(server, write.key, rec.value, rec.seqno);
-        ++stats_.writes_ok;
-        Obs().CounterFor("tl.writes_ok").Inc();
-        // Asynchronous in-order propagation to the other replicas. The
-        // network may reorder; replicas apply only monotonically.
-        for (const sim::NodeId replica : ReplicasOf(write.key)) {
-          if (replica == server->node) continue;
-          ReplicateMsg msg;
-          msg.key = write.key;
-          msg.value = rec.value;
-          msg.seqno = rec.seqno;
-          rpc_->network()->Send(server->node, replica, t_replicate_,
-                                std::move(msg));
+        if (!write_gate_) {
+          ApplyMasterWrite(server, write.key, std::move(write.value),
+                           std::move(respond));
+          return;
         }
-        respond(rec.seqno);
+        // The gate may release asynchronously (revoke fan-out, TTL waits,
+        // crash-recovery fences), so re-validate the world at release time:
+        // mastership can have migrated away, and a crashed master must not
+        // apply or journal anything while down.
+        write_gate_(
+            server->node, write.key,
+            [this, server, key = write.key, value = std::move(write.value),
+             respond = std::move(respond)](Status st) mutable {
+              if (!st.ok()) {
+                respond(std::move(st));
+                return;
+              }
+              if (MasterOf(key) != server->node) {
+                respond(Status::FailedPrecondition("not the master"));
+                return;
+              }
+              if (!rpc_->network()->IsNodeUp(server->node)) {
+                respond(Status::Unavailable("master crashed"));
+                return;
+              }
+              ApplyMasterWrite(server, key, std::move(value),
+                               std::move(respond));
+            });
       });
 
   rpc_->network()->RegisterHandler(
@@ -147,6 +178,29 @@ void TimelineCluster::RegisterHandlers(Server* server) {
       });
 }
 
+void TimelineCluster::ApplyMasterWrite(Server* server, const std::string& key,
+                                       std::string value,
+                                       sim::RpcResponder respond) {
+  Record& rec = server->data[key];
+  rec.value = std::move(value);
+  ++rec.seqno;
+  JournalApply(server, key, rec.value, rec.seqno);
+  ++stats_.writes_ok;
+  Obs().CounterFor("tl.writes_ok").Inc();
+  // Asynchronous in-order propagation to the other replicas. The
+  // network may reorder; replicas apply only monotonically.
+  for (const sim::NodeId replica : ReplicasOf(key)) {
+    if (replica == server->node) continue;
+    ReplicateMsg msg;
+    msg.key = key;
+    msg.value = rec.value;
+    msg.seqno = rec.seqno;
+    rpc_->network()->Send(server->node, replica, t_replicate_,
+                          std::move(msg));
+  }
+  respond(rec.seqno);
+}
+
 void TimelineCluster::HandleRead(Server* server, const ReadReq& req,
                                  sim::RpcResponder respond) {
   const auto level = static_cast<TimelineReadLevel>(req.level);
@@ -169,8 +223,12 @@ void TimelineCluster::HandleRead(Server* server, const ReadReq& req,
     ++stats_.reads_local;
     Obs().CounterFor("tl.reads_local").Inc();
     // Staleness accounting: compare against the master's current seqno (an
-    // omniscient-observer metric, not visible to the protocol itself).
-    if (level == TimelineReadLevel::kAny) {
+    // omniscient-observer metric, not visible to the protocol itself). A
+    // kAtLeast read satisfied locally (seqno >= min_seqno) can still lag
+    // the master and is every bit as stale as a kAny read; the seed only
+    // counted kAny, under-reporting staleness for freshness-floored reads.
+    if (level == TimelineReadLevel::kAny ||
+        level == TimelineReadLevel::kAtLeast) {
       Server* m = FindServer(master);
       auto mit = m->data.find(req.key);
       if (mit != m->data.end() && mit->second.seqno > local_seqno) {
@@ -178,15 +236,25 @@ void TimelineCluster::HandleRead(Server* server, const ReadReq& req,
         Obs().CounterFor("tl.stale_reads_served").Inc();
       }
     }
+    // kAtLeast on the master with min_seqno beyond the master's own seqno:
+    // nothing fresher exists, so serve what we have — but surface it.
+    if (level == TimelineReadLevel::kAtLeast && server->node == master &&
+        local_seqno < req.min_seqno) {
+      result.min_seqno_unmet = true;
+      ++stats_.atleast_unmet;
+      Obs().CounterFor("tl.atleast_unmet").Inc();
+    }
     respond(result);
     return;
   }
 
-  // Forward to the master.
+  // Forward to the master, preserving the requested level: the master then
+  // evaluates (and if need be flags) the kAtLeast floor itself. The seed
+  // downgraded forwards to kAny, which erased min_seqno before the master
+  // could notice it was unmet.
   ++stats_.reads_forwarded;
   Obs().CounterFor("tl.reads_forwarded").Inc();
   ReadReq fwd = req;
-  fwd.level = static_cast<uint8_t>(TimelineReadLevel::kAny);
   rpc_->Call(server->node, master, m_read_, std::move(fwd),
              options_.rpc_timeout, [respond](Result<sim::Payload> r) {
                if (r.ok()) {

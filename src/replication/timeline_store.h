@@ -43,6 +43,13 @@ struct TimelineRead {
   bool found = false;
   std::string value;
   uint64_t seqno = 0;  ///< position on the record's timeline
+  /// kAtLeast only: the MASTER itself served this read with a seqno below
+  /// the requested min_seqno. The master is the freshest replica, so the
+  /// store cannot do better — but silently returning older data would let a
+  /// caller mistake it for a satisfied freshness floor (e.g. after a
+  /// non-durable master lost a timeline suffix). Callers decide whether
+  /// that is an error.
+  bool min_seqno_unmet = false;
 };
 
 enum class TimelineReadLevel {
@@ -56,7 +63,12 @@ struct TimelineStats {
   uint64_t writes_unavailable = 0;
   uint64_t reads_local = 0;
   uint64_t reads_forwarded = 0;
-  uint64_t stale_reads_served = 0;  ///< kAny reads older than master's seqno
+  /// Locally served reads (kAny, or kAtLeast satisfied by a non-master
+  /// replica) older than the master's seqno at serve time. An omniscient-
+  /// observer metric: a kAtLeast read at seqno >= min_seqno can still be
+  /// behind the master, and the staleness benches must see it.
+  uint64_t stale_reads_served = 0;
+  uint64_t atleast_unmet = 0;  ///< kAtLeast served by a master below min_seqno
 };
 
 /// Cluster of timeline-consistent replicas.
@@ -68,6 +80,8 @@ class TimelineCluster : private sim::CrashParticipant {
   sim::NodeId AddServer();
   std::vector<sim::NodeId> AddServers(int count);
   size_t server_count() const { return servers_.size(); }
+  /// Node ids of every server, in add order.
+  std::vector<sim::NodeId> Servers() const;
 
   /// The master replica for `key`: the migrated-to master if the record's
   /// mastership was moved, else the first server on its ring walk.
@@ -104,6 +118,24 @@ class TimelineCluster : private sim::CrashParticipant {
                      MigrateCallback done);
 
   const TimelineStats& stats() const { return stats_; }
+
+  /// Write gate: invoked on the master, after the master check but BEFORE
+  /// the write is applied/replicated/acked. The write proceeds when the gate
+  /// calls `release(OK)`; any other status rejects it to the client. The
+  /// edge-cache tier installs a gate that revokes (or waits out) every
+  /// outstanding lease on the key, so no cached copy can outlive the value
+  /// it caches.
+  using WriteGate = std::function<void(
+      sim::NodeId master, const std::string& key,
+      std::function<void(Status)> release)>;
+  /// At most one gate; installing replaces the previous one. Pass nullptr
+  /// to remove.
+  void SetWriteGate(WriteGate gate) { write_gate_ = std::move(gate); }
+
+  /// Synchronous local lookup at `server` (no RPC, no stats): the read path
+  /// for a server-side tier co-located with the replica (edge-cache lease
+  /// handler). `server` must be a cluster member.
+  TimelineRead LocalRecord(sim::NodeId server, const std::string& key);
 
   /// Test hook: the seqno currently visible for `key` at `server`.
   uint64_t VisibleSeqno(sim::NodeId server, const std::string& key);
@@ -142,6 +174,10 @@ class TimelineCluster : private sim::CrashParticipant {
 
   Server* FindServer(sim::NodeId node);
   void RegisterHandlers(Server* server);
+  /// Master-side apply: bump the seqno, journal, replicate, ack. Runs after
+  /// the write gate (if any) releases the write.
+  void ApplyMasterWrite(Server* server, const std::string& key,
+                        std::string value, sim::RpcResponder respond);
   /// Global metrics registry of the owning simulator (tl.* instruments).
   obs::MetricsRegistry& Obs();
   void HandleRead(Server* server, const ReadReq& req,
@@ -173,6 +209,7 @@ class TimelineCluster : private sim::CrashParticipant {
   // Router state: per-record master overrides and in-flight migrations.
   std::map<std::string, sim::NodeId> master_override_;
   std::set<std::string> migrating_;
+  WriteGate write_gate_;
   TimelineStats stats_;
   sim::CrashRegistrar crash_registrar_;
 };

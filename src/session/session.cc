@@ -84,11 +84,20 @@ void Session::GetAttempt(const std::string& key, int attempts_left,
             return;
           }
           ++stats_.guarantee_retries;
+          // Retry routing follows the session's coordinator policy: a
+          // rotating session tries the next coordinator (a different replica
+          // may already have the write), while a sticky session re-polls the
+          // SAME coordinator after the delay and waits for replication to
+          // catch up. The seed advanced the index unconditionally, silently
+          // turning sticky sessions into rotating ones on every freshness
+          // retry.
+          const size_t retry_index = options_.rotate_coordinators
+                                         ? coordinator_index + 1
+                                         : coordinator_index;
           sim_->ScheduleAfter(
               options_.retry_interval,
-              [this, key, attempts_left, coordinator_index, done] {
-                GetAttempt(key, attempts_left - 1, coordinator_index + 1,
-                           done);
+              [this, key, attempts_left, retry_index, done] {
+                GetAttempt(key, attempts_left - 1, retry_index, done);
               });
           return;
         }

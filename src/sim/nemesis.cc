@@ -289,6 +289,17 @@ Nemesis::Nemesis(Network* network, std::vector<NodeId> targets, uint64_t seed)
     : net_(network), targets_(std::move(targets)), rng_(seed) {
   EVC_CHECK(net_ != nullptr);
   EVC_CHECK(!targets_.empty());
+  gray_pool_ = targets_;
+}
+
+void Nemesis::SetGrayTargets(const std::vector<NodeId>& gray_targets) {
+  gray_pool_ = targets_;
+  for (NodeId node : gray_targets) {
+    if (std::find(gray_pool_.begin(), gray_pool_.end(), node) ==
+        gray_pool_.end()) {
+      gray_pool_.push_back(node);
+    }
+  }
 }
 
 FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
@@ -308,10 +319,10 @@ FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
   }
   if (options.allow_loss) families.push_back(kLossF);
   if (options.allow_duplication) families.push_back(kDupF);
-  if (options.allow_slow_links && targets_.size() >= 2) {
+  if (options.allow_slow_links && gray_pool_.size() >= 2) {
     families.push_back(kSlowLinkF);
   }
-  if (options.allow_flaky_links && targets_.size() >= 2) {
+  if (options.allow_flaky_links && gray_pool_.size() >= 2) {
     families.push_back(kFlakyLinkF);
   }
   if (options.allow_slow_nodes) families.push_back(kSlowNodeF);
@@ -581,12 +592,12 @@ void Nemesis::Apply(const FaultAction& action) {
 }
 
 bool Nemesis::DrawTargetPair(NodeId* a, NodeId* b) {
-  if (targets_.size() < 2) return false;
-  const size_t i = rng_.NextBounded(targets_.size());
-  const size_t j_raw = rng_.NextBounded(targets_.size() - 1);
+  if (gray_pool_.size() < 2) return false;
+  const size_t i = rng_.NextBounded(gray_pool_.size());
+  const size_t j_raw = rng_.NextBounded(gray_pool_.size() - 1);
   const size_t j = j_raw < i ? j_raw : j_raw + 1;
-  *a = targets_[i];
-  *b = targets_[j];
+  *a = gray_pool_[i];
+  *b = gray_pool_[j];
   return true;
 }
 
@@ -632,7 +643,7 @@ void Nemesis::ApplyGray(const FaultAction& action) {
     case Kind::kRandomSlowNode: {
       fault.kind = Kind::kSlowNode;
       if (action.kind == Kind::kRandomSlowNode) {
-        fault.node = targets_[rng_.NextBounded(targets_.size())];
+        fault.node = gray_pool_[rng_.NextBounded(gray_pool_.size())];
       }
       net_->SetNodeProcessingDelay(fault.node, action.delay);
       char buf[80];

@@ -164,6 +164,15 @@ class Nemesis {
   Nemesis(const Nemesis&) = delete;
   Nemesis& operator=(const Nemesis&) = delete;
 
+  /// Extends the pool the *gray* draws (kRandomSlowLink / kRandomFlakyLink /
+  /// kRandomSlowNode) pick from to `targets` plus `gray_targets` — e.g. edge
+  /// cache clients, which a realistic adversary can degrade but which must
+  /// never be partition/crash targets (a crashed client just stops issuing
+  /// ops; a gray-degraded one keeps serving its cache). Partition, crash and
+  /// rate faults still draw from `targets` alone. With an empty extension
+  /// the draw stream is bit-identical to a Nemesis without this call.
+  void SetGrayTargets(const std::vector<NodeId>& gray_targets);
+
   /// Draws a random plan from the options. Pure function of the Nemesis
   /// seed and the options (does not touch the network).
   FaultPlan GeneratePlan(const NemesisScheduleOptions& options);
@@ -207,12 +216,16 @@ class Nemesis {
   void ApplyRandomPartition(PartitionStyle style);
   void ApplyGray(const FaultAction& action);
   void RecoverGray(const GrayFault& fault);
-  /// Draws a random unordered target pair; false if fewer than two targets.
+  /// Draws a random unordered pair from the gray pool; false if fewer than
+  /// two nodes in it.
   bool DrawTargetPair(NodeId* a, NodeId* b);
   void Note(const std::string& what);
 
   Network* net_;
   std::vector<NodeId> targets_;
+  /// Pool for gray draws: targets_ plus SetGrayTargets extras (== targets_
+  /// until extended, keeping historical schedules bit-identical).
+  std::vector<NodeId> gray_pool_;
   Rng rng_;
   NemesisStats stats_;
   std::deque<NodeId> crashed_;  ///< targets crashed by us, oldest first

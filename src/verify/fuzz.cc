@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "cache/edge_cache.h"
 #include "causal/causal_store.h"
 #include "obs/export.h"
 #include "consensus/paxos.h"
@@ -35,6 +36,7 @@ const char* ToString(FuzzStore store) {
     case FuzzStore::kCausal: return "causal";
     case FuzzStore::kGCounter: return "gcounter";
     case FuzzStore::kOrSet: return "orset";
+    case FuzzStore::kEdgeCache: return "edge-cache";
   }
   return "?";
 }
@@ -53,7 +55,7 @@ std::vector<FuzzStore> AllFuzzStores() {
   return {FuzzStore::kPaxos,    FuzzStore::kQuorumStrict,
           FuzzStore::kQuorumWeak, FuzzStore::kTimeline,
           FuzzStore::kCausal,   FuzzStore::kGCounter,
-          FuzzStore::kOrSet};
+          FuzzStore::kOrSet,    FuzzStore::kEdgeCache};
 }
 
 FuzzOptions DefaultFuzzOptions(FuzzStore store, uint64_t seed) {
@@ -93,6 +95,15 @@ FuzzOptions DefaultFuzzOptions(FuzzStore store, uint64_t seed) {
       o.keyspace = 8;  // element pool size for the or-set
       o.quiescence_timeout = 20 * kSecond;
       break;
+    case FuzzStore::kEdgeCache:
+      // Small keyspace so sessions collide on keys and writes actually meet
+      // outstanding leases (the revoke path is the thing under test).
+      o.servers = 3;
+      o.sessions = 4;
+      o.ops_per_session = 25;
+      o.keyspace = 3;
+      o.quiescence_timeout = 15 * kSecond;
+      break;
   }
   return o;
 }
@@ -129,8 +140,11 @@ bool FuzzReport::MeetsClaims(std::string* why) const {
   }
   if (sess_checked && session.total() > 0) {
     // Only the strong quorum configuration promises session guarantees; the
-    // weak configuration records them as expected anomalies.
-    if (store == FuzzStore::kQuorumStrict || store == FuzzStore::kTimeline) {
+    // weak configuration records them as expected anomalies. The edge cache
+    // claims all four guarantees *through the cache* — any violation there,
+    // cached serve or not, breaks the lease protocol's contract.
+    if (store == FuzzStore::kQuorumStrict || store == FuzzStore::kTimeline ||
+        store == FuzzStore::kEdgeCache) {
       return fail("session guarantee violated");
     }
   }
@@ -158,6 +172,10 @@ std::string FuzzReport::Summary() const {
     os << " sess=ryw" << session.ryw_violations << ",mr"
        << session.mr_violations << ",mw" << session.mw_violations << ",wfr"
        << session.wfr_violations;
+    if (session.cached_reads > 0) {
+      os << " cached=" << session.cached_read_violations << "/"
+         << session.cached_reads;
+    }
   }
   if (causal_checked) {
     os << " causal=" << (causal.ok() ? "ok" : "FAIL");
@@ -167,6 +185,10 @@ std::string FuzzReport::Summary() const {
   }
   if (crdt_value_checked) {
     os << " value=" << (crdt_value_ok ? "ok" : "FAIL");
+  }
+  if (store == FuzzStore::kEdgeCache) {
+    os << " cache=" << cache_hits << "h," << cache_misses << "m,"
+       << cache_revokes_sent << "rev," << cache_writes_fenced << "fence";
   }
   std::string why;
   os << " claims=" << (MeetsClaims(&why) ? "ok" : "VIOLATED");
@@ -532,6 +554,9 @@ FuzzReport RunQuorum(const FuzzOptions& o, bool strict) {
   rep.session = CheckSessionGuarantees(history);
 
   rep.hints_stored = cluster.stats().hints_stored;
+  rep.hints_delivered = cluster.stats().hints_delivered;
+  rep.hints_lost = cluster.stats().hints_lost;
+  rep.hints_pending = cluster.pending_hints();
   rep.detector_false_positives =
       s.sim.metrics()
           .global()
@@ -691,6 +716,182 @@ FuzzReport RunTimeline(const FuzzOptions& o) {
     };
     rep.convergence = CheckConvergence(states, acked_seqnos, covered);
   }
+
+  FillCommon(&rep, o, s, nemesis);
+  return rep;
+}
+
+// --------------------------------------------------------------------------
+// Edge cache over timeline: all four session guarantees through the cache.
+// --------------------------------------------------------------------------
+
+// The lease protocol's claim is strong: a cached entry is served only under
+// a live lease, and a write acks only after every lease on its key was
+// revoked or expired — so a served entry is never behind ANY acked write on
+// its key, and RYW/MR/MW/WFR all hold through the cache with no freshness
+// floor. This runner checks exactly that: every read goes through the cache
+// tier (hits recorded with from_cache so violations indict the tier), while
+// crashes (lease-table amnesia + write fencing) and gray degradation of the
+// cache *clients* (a partitioned holder must wait out its own TTL, never
+// serve past it) stress the revoke path's edges.
+FuzzReport RunEdgeCache(const FuzzOptions& o) {
+  FuzzReport rep;
+  SimStack s(o);
+  repl::TimelineOptions topt;
+  topt.replication_factor = o.servers;
+  topt.crash_amnesia = o.amnesia;
+  // A gated write can legally stall for a full lease TTL (unreachable
+  // holder) plus a crash-recovery fence; the per-attempt write timeout must
+  // cover that or every contended write would time out at the client.
+  topt.rpc_timeout = 1 * kSecond;
+  repl::TimelineCluster cluster(&s.rpc, topt);
+  const std::vector<sim::NodeId> servers = cluster.AddServers(o.servers);
+
+  cache::EdgeCacheOptions copt;
+  copt.lease_ttl = 300 * kMillisecond;
+  copt.crash_amnesia = o.amnesia;
+  cache::EdgeCacheTier tier(&s.rpc, &cluster, copt);
+
+  std::vector<RecordedOp> history;
+  std::vector<AckedWrite> acked;
+  std::map<std::string, uint64_t> seqno_of;  // value -> timeline position
+  std::map<std::pair<std::string, uint64_t>, std::string> timeline;
+  auto observe = [&](const std::string& key, uint64_t seqno,
+                     const std::string& value) {
+    auto [it, inserted] = timeline.try_emplace({key, seqno}, value);
+    if (!inserted && it->second != value) ++rep.fork_violations;
+    seqno_of.emplace(value, seqno);
+  };
+
+  struct Session {
+    sim::NodeId node = 0;
+    cache::EdgeCacheClient* client = nullptr;
+    Rng rng{0};
+    int issued = 0;
+  };
+  std::vector<std::unique_ptr<Session>> sessions;
+  std::vector<sim::NodeId> client_nodes;
+  Rng root(o.seed ^ 0xedcecaULL);
+  for (int i = 0; i < o.sessions; ++i) {
+    auto sess = std::make_unique<Session>();
+    sess->node = s.net.AddNode();
+    sess->client = tier.AddClient(sess->node);
+    sess->rng = root.Fork(static_cast<uint64_t>(i));
+    client_nodes.push_back(sess->node);
+    sessions.push_back(std::move(sess));
+  }
+
+  sim::Nemesis nemesis(&s.net, servers, NemesisSeed(o.seed));
+  // Clients are fair game for gray degradation (a slow or flaky cache
+  // holder is exactly the hard case for revocation) but never for
+  // partitions or crashes, which would just silence their workload.
+  nemesis.SetGrayTargets(client_nodes);
+  Driver driver(&s, &nemesis, o);
+
+  std::function<void(int)> next = [&](int i) {
+    Session& sess = *sessions[i];
+    if (driver.stopped() || sess.issued >= o.ops_per_session) {
+      driver.SessionDone();
+      return;
+    }
+    const int n = sess.issued++;
+    const std::string key =
+        "k" + std::to_string(sess.rng.NextBounded(o.keyspace));
+    const int64_t invoke = s.sim.Now();
+    if (sess.rng.NextBool(0.5)) {
+      const std::string value = UniqueValue(i, n);
+      history.push_back(RecWrite(i, key, value, invoke, invoke,
+                                 /*acked=*/false));
+      const size_t slot = history.size() - 1;
+      sess.client->Put(key, value,
+                       [&, i, key, value, slot](Result<uint64_t> r) {
+                         if (r.ok()) {
+                           history[slot].acked = true;
+                           history[slot].response = s.sim.Now();
+                           acked.push_back({key, value});
+                           observe(key, *r, value);
+                           ++rep.writes_acked;
+                         } else {
+                           ++rep.writes_failed;
+                         }
+                         s.sim.ScheduleAfter(
+                             driver.NextGap(&sessions[i]->rng),
+                             [&, i] { next(i); });
+                       });
+    } else {
+      sess.client->Get(
+          key, /*min_seqno=*/0,
+          [&, i, key, invoke](Result<cache::CachedRead> r) {
+            const int64_t response = s.sim.Now();
+            if (r.ok()) {
+              std::vector<std::string> observed;
+              if (r->found) {
+                observed.push_back(r->value);
+                observe(key, r->seqno, r->value);
+              }
+              history.push_back(RecRead(i, key, std::move(observed), invoke,
+                                        response, r->from_cache));
+              ++rep.reads_ok;
+            } else {
+              ++rep.reads_failed;
+            }
+            s.sim.ScheduleAfter(driver.NextGap(&sessions[i]->rng),
+                                [&, i] { next(i); });
+          });
+    }
+  };
+
+  for (int i = 0; i < o.sessions; ++i) {
+    s.sim.ScheduleAfter(driver.NextGap(&sessions[i]->rng),
+                        [&, i] { next(i); });
+  }
+
+  driver.RunWorkload(o.sessions);
+  driver.Quiesce();
+
+  rep.fork_checked = true;
+
+  // The whole point: ALL FOUR session guarantees, cached serves included.
+  rep.sess_checked = true;
+  rep.session = CheckSessionGuarantees(history);
+
+  // Replica convergence beneath the cache (same claim as timeline:
+  // replication is fire-and-forget, so only when nothing was dropped).
+  rep.conv_checked = true;
+  rep.conv_applicable = s.net.messages_dropped() == 0;
+  if (rep.conv_applicable) {
+    std::vector<ReplicaState> states;
+    for (sim::NodeId srv : servers) {
+      ReplicaState state;
+      for (int k = 0; k < o.keyspace; ++k) {
+        const std::string key = "k" + std::to_string(k);
+        const uint64_t seqno = cluster.VisibleSeqno(srv, key);
+        if (seqno == 0) continue;
+        state[key] = {std::to_string(seqno)};
+      }
+      states.push_back(std::move(state));
+    }
+    std::vector<AckedWrite> acked_seqnos;
+    for (const AckedWrite& w : acked) {
+      auto it = seqno_of.find(w.value);
+      if (it == seqno_of.end()) continue;
+      acked_seqnos.push_back({w.key, std::to_string(it->second)});
+    }
+    auto covered = [](const AckedWrite& w,
+                      const std::vector<std::string>& final_values) {
+      const uint64_t want = std::stoull(w.value);
+      for (const std::string& v : final_values) {
+        if (std::stoull(v) >= want) return true;
+      }
+      return false;
+    };
+    rep.convergence = CheckConvergence(states, acked_seqnos, covered);
+  }
+
+  rep.cache_hits = tier.stats().hits;
+  rep.cache_misses = tier.stats().misses;
+  rep.cache_revokes_sent = tier.stats().revokes_sent;
+  rep.cache_writes_fenced = tier.stats().writes_fenced;
 
   FillCommon(&rep, o, s, nemesis);
   return rep;
@@ -1030,6 +1231,7 @@ FuzzReport RunFuzzSeed(const FuzzOptions& options) {
     case FuzzStore::kCausal: return RunCausal(options);
     case FuzzStore::kGCounter: return RunGCounter(options);
     case FuzzStore::kOrSet: return RunOrSet(options);
+    case FuzzStore::kEdgeCache: return RunEdgeCache(options);
   }
   return {};
 }

@@ -23,6 +23,9 @@
 //                    | is fire-and-forget by design)
 //   CRDT g-counter   | convergence + counter value == sum of increments
 //   CRDT or-set      | convergence of membership
+//   edge-cache       | ALL FOUR session guarantees through the cache (a
+//                    | served lease implies no newer acked write), timeline
+//                    | fork-freedom, convergence when no message was dropped
 //
 // Every run is a pure function of (store, seed): a failing seed replays
 // bit-identically (tools/evc_fuzz --store=... --seed=...).
@@ -50,6 +53,7 @@ enum class FuzzStore {
   kCausal,        ///< COPS-style causal+
   kGCounter,      ///< state-based CRDT counter over gossip
   kOrSet,         ///< observed-remove set over gossip
+  kEdgeCache,     ///< lease-based edge cache over the timeline store
 };
 
 const char* ToString(FuzzStore store);
@@ -134,11 +138,22 @@ struct FuzzReport {
   bool crdt_value_checked = false;
   bool crdt_value_ok = true;
 
-  // Quorum stores: hinted-handoff volume and detector honesty (suspicions
-  // raised while the network oracle said the peer was reachable — zero by
-  // definition in oracle mode).
+  // Quorum stores: hinted-handoff ledger (every stored hint is eventually
+  // delivered, lost to an amnesia crash, or still pending — the
+  // fuzz-sweep ledger test asserts stored == delivered + lost + pending)
+  // and detector honesty (suspicions raised while the network oracle said
+  // the peer was reachable — zero by definition in oracle mode).
   uint64_t hints_stored = 0;
+  uint64_t hints_delivered = 0;
+  uint64_t hints_lost = 0;
+  uint64_t hints_pending = 0;
   uint64_t detector_false_positives = 0;
+
+  // Edge cache: client-tier accounting (kEdgeCache only).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_revokes_sent = 0;
+  uint64_t cache_writes_fenced = 0;
 
   /// Any consistency violation recorded, including ones the store's level
   /// does not forbid (weak-store stale reads). This is how the fuzz tests

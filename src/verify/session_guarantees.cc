@@ -27,7 +27,7 @@ RecordedOp RecWrite(int session, std::string key, std::string value,
 
 RecordedOp RecRead(int session, std::string key,
                    std::vector<std::string> observed, int64_t invoke,
-                   int64_t response) {
+                   int64_t response, bool from_cache) {
   RecordedOp op;
   op.kind = RecordedOp::Kind::kRead;
   op.session = session;
@@ -36,6 +36,7 @@ RecordedOp RecRead(int session, std::string key,
   op.acked = true;
   op.invoke = invoke;
   op.response = response;
+  op.from_cache = from_cache;
   return op;
 }
 
@@ -57,7 +58,9 @@ std::string SessionCheckResult::ToString() const {
   return "ryw=" + std::to_string(ryw_violations) +
          " mr=" + std::to_string(mr_violations) +
          " mw=" + std::to_string(mw_violations) +
-         " wfr=" + std::to_string(wfr_violations);
+         " wfr=" + std::to_string(wfr_violations) +
+         " cached_reads=" + std::to_string(cached_reads) +
+         " cached_violations=" + std::to_string(cached_read_violations);
 }
 
 namespace {
@@ -171,6 +174,7 @@ class SessionChecker {
       case Kind::kMw: ++result_.mw_violations; break;
       case Kind::kWfr: ++result_.wfr_violations; break;
     }
+    if (read.from_cache) ++result_.cached_read_violations;
     if (result_.violations.size() < kDetailCap) {
       SessionViolation v;
       v.kind = kind;
@@ -210,6 +214,7 @@ class SessionChecker {
         continue;
       }
       if (!op.acked) continue;
+      if (op.from_cache) ++result_.cached_reads;
 
       // Check what this read owes.
       auto session_it = obligations.find(op.session);

@@ -43,6 +43,11 @@ struct RecordedOp {
   std::string value;
   /// kRead: every value returned (sibling sets; empty means not-found).
   std::vector<std::string> observed;
+  /// kRead: served from a client-side cache (edge-cache tier) rather than a
+  /// replica. Checked under exactly the same obligations — the lease
+  /// protocol's claim is that cached serves are indistinguishable — and
+  /// violations on such reads are additionally tallied per-tier.
+  bool from_cache = false;
   /// kWrite: acknowledged. kRead: completed successfully (failed reads are
   /// ignored by the checker).
   bool acked = false;
@@ -56,7 +61,7 @@ RecordedOp RecWrite(int session, std::string key, std::string value,
                     int64_t invoke, int64_t response, bool acked = true);
 RecordedOp RecRead(int session, std::string key,
                    std::vector<std::string> observed, int64_t invoke,
-                   int64_t response);
+                   int64_t response, bool from_cache = false);
 
 struct SessionCheckOptions {
   bool check_ryw = true;
@@ -81,6 +86,12 @@ struct SessionCheckResult {
   size_t mw_violations = 0;
   size_t wfr_violations = 0;
   std::vector<SessionViolation> violations;  ///< capped at 32
+  /// Reads in the history that were served from a cache (from_cache), and
+  /// how many of the violations above landed on one. A non-zero
+  /// cached_read_violations with zero violations on uncached reads points
+  /// the blame squarely at the caching tier's invalidation protocol.
+  size_t cached_reads = 0;
+  size_t cached_read_violations = 0;
   /// Two writes shared a value: the history breaks the precondition and no
   /// verdict is claimed.
   bool malformed = false;

@@ -18,7 +18,7 @@ namespace evc::verify {
 namespace {
 
 // Every store meets its claims on a small smoke sweep. (The full 200-seed
-// sweep lives in tools/evc_fuzz; 6 seeds x 7 stores keeps CI fast.)
+// sweep lives in tools/evc_fuzz; 6 seeds x 8 stores keeps CI fast.)
 TEST(FuzzConsistencyTest, AllStoresMeetClaimsOnSmokeSeeds) {
   for (FuzzStore store : AllFuzzStores()) {
     for (uint64_t seed = 1; seed <= 6; ++seed) {
@@ -200,6 +200,71 @@ TEST(FuzzConsistencyTest, AmnesiaReplayIsBitIdentical) {
     const FuzzReport b = RunFuzzSeed(options);
     EXPECT_EQ(a.Summary(), b.Summary()) << ToString(store);
   }
+}
+
+// Hinted-handoff ledger invariant (documented in quorum_store.h): every
+// stored hint is eventually delivered, lost to an amnesia crash, or still
+// pending — there is no fourth bucket for hints to silently leak into. A
+// 10-seed gray+crash sweep (slow/flaky links and slow nodes keep handoff
+// targets half-dead, amnesia crashes destroy undelivered hints) pins the
+// accounting the resilience benches report.
+TEST(FuzzConsistencyTest, HintLedgerBalancesUnderGrayAndCrashFaults) {
+  uint64_t total_stored = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FuzzOptions options = DefaultFuzzOptions(FuzzStore::kQuorumWeak, seed);
+    options.amnesia = true;
+    options.nemesis.allow_loss = false;
+    options.nemesis.allow_duplication = false;
+    options.nemesis.allow_slow_links = true;
+    options.nemesis.allow_flaky_links = true;
+    options.nemesis.allow_slow_nodes = true;
+    options.nemesis.mean_fault_interval = sim::kSecond;
+    const FuzzReport report = RunFuzzSeed(options);
+    EXPECT_EQ(report.hints_stored, report.hints_delivered +
+                                       report.hints_lost +
+                                       report.hints_pending)
+        << "seed " << seed << ": stored=" << report.hints_stored
+        << " delivered=" << report.hints_delivered
+        << " lost=" << report.hints_lost
+        << " pending=" << report.hints_pending;
+    total_stored += report.hints_stored;
+  }
+  // The sweep must actually exercise hinted handoff, or the ledger check
+  // above is vacuous.
+  EXPECT_GT(total_stored, 0u);
+}
+
+// Edge cache: all four session guarantees hold THROUGH the cache under the
+// edge-cache profile's crash + gray interleavings, and the runs really do
+// serve reads from cached leases (non-vacuity).
+TEST(FuzzConsistencyTest, EdgeCacheKeepsGuaranteesUnderCrashAndGrayFaults) {
+  uint64_t total_hits = 0;
+  uint64_t total_revokes = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FuzzOptions options = DefaultFuzzOptions(FuzzStore::kEdgeCache, seed);
+    // The edge-cache profile (tools/evc_fuzz --profile=edge-cache).
+    options.amnesia = true;
+    options.nemesis.allow_partitions = false;
+    options.nemesis.allow_loss = false;
+    options.nemesis.allow_duplication = false;
+    options.nemesis.allow_slow_links = true;
+    options.nemesis.allow_flaky_links = true;
+    options.nemesis.allow_slow_nodes = true;
+    options.nemesis.mean_fault_interval = sim::kSecond;
+    const FuzzReport report = RunFuzzSeed(options);
+    std::string why;
+    EXPECT_TRUE(report.MeetsClaims(&why))
+        << "edge-cache seed " << seed << ": " << why << "\n"
+        << report.Summary();
+    ASSERT_TRUE(report.sess_checked);
+    EXPECT_TRUE(report.session.ok())
+        << "seed " << seed << ": " << report.session.ToString();
+    EXPECT_EQ(report.session.cached_read_violations, 0u) << "seed " << seed;
+    total_hits += report.cache_hits;
+    total_revokes += report.cache_revokes_sent;
+  }
+  EXPECT_GT(total_hits, 0u) << "no run served a read from cache";
+  EXPECT_GT(total_revokes, 0u) << "no run exercised revoke-on-write";
 }
 
 // The store-name round trip the replay CLI depends on.

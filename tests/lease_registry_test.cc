@@ -1,0 +1,87 @@
+#include "cache/lease_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace evc::cache {
+namespace {
+
+using sim::kMillisecond;
+
+constexpr sim::Time kTtl = 100 * kMillisecond;
+
+TEST(LeaseRegistryTest, GrantSetsExpiryFromTtl) {
+  LeaseRegistry reg(kTtl);
+  const Lease lease = reg.Grant("k", 7, /*now=*/1000);
+  EXPECT_EQ(lease.expiry, 1000 + kTtl);
+  EXPECT_GT(lease.id, 0u);
+  const auto out = reg.Outstanding("k", 1000);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].holder, 7u);
+  EXPECT_EQ(out[0].lease.id, lease.id);
+}
+
+TEST(LeaseRegistryTest, IdsAreMonotoneAcrossKeysAndHolders) {
+  LeaseRegistry reg(kTtl);
+  uint64_t prev = 0;
+  for (int i = 0; i < 5; ++i) {
+    const Lease a = reg.Grant("a", static_cast<sim::NodeId>(i), 0);
+    const Lease b = reg.Grant("b", static_cast<sim::NodeId>(i), 0);
+    EXPECT_GT(a.id, prev);
+    EXPECT_GT(b.id, a.id);
+    prev = b.id;
+  }
+}
+
+TEST(LeaseRegistryTest, RenewalMintsFreshIdAndKeepsOneLease) {
+  LeaseRegistry reg(kTtl);
+  const Lease first = reg.Grant("k", 7, 0);
+  const Lease renewed = reg.Grant("k", 7, 50);
+  EXPECT_GT(renewed.id, first.id);
+  EXPECT_EQ(renewed.expiry, 50 + kTtl);
+  // One (key, holder) pair holds at most one lease.
+  EXPECT_EQ(reg.Outstanding("k", 50).size(), 1u);
+  EXPECT_EQ(reg.Outstanding("k", 50)[0].lease.id, renewed.id);
+}
+
+TEST(LeaseRegistryTest, OutstandingDropsExpiredLazily) {
+  LeaseRegistry reg(kTtl);
+  reg.Grant("k", 1, 0);
+  reg.Grant("k", 2, 60 * kMillisecond);
+  EXPECT_EQ(reg.Outstanding("k", 0).size(), 2u);
+  // Holder 1 expires at 100ms; holder 2 at 160ms.
+  const auto out = reg.Outstanding("k", 100 * kMillisecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].holder, 2u);
+  EXPECT_EQ(reg.size(), 1u);  // lazy GC actually removed the expired entry
+  EXPECT_TRUE(reg.Outstanding("k", 200 * kMillisecond).empty());
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(LeaseRegistryTest, ReleaseOnlyRemovesTheSnapshottedId) {
+  LeaseRegistry reg(kTtl);
+  const Lease first = reg.Grant("k", 7, 0);
+  // A renewal minted after the revoker's snapshot must survive a stale
+  // Release (the holder re-read and got a fresh lease in the meantime).
+  const Lease renewed = reg.Grant("k", 7, 10);
+  EXPECT_FALSE(reg.Release("k", 7, first.id));
+  ASSERT_EQ(reg.Outstanding("k", 10).size(), 1u);
+  EXPECT_TRUE(reg.Release("k", 7, renewed.id));
+  EXPECT_TRUE(reg.Outstanding("k", 10).empty());
+  EXPECT_FALSE(reg.Release("k", 7, renewed.id));  // idempotent
+}
+
+TEST(LeaseRegistryTest, DropAllForgetsLeasesButNotTheIdCounter) {
+  LeaseRegistry reg(kTtl);
+  const Lease before = reg.Grant("k", 1, 0);
+  reg.Grant("k", 2, 0);
+  reg.DropAll();
+  EXPECT_EQ(reg.size(), 0u);
+  // The monotone id stream must survive amnesia: a post-crash grant with a
+  // recycled id could slip under a client's revoked_floor_ and resurrect a
+  // revoked entry.
+  const Lease after = reg.Grant("k", 1, 0);
+  EXPECT_GT(after.id, before.id);
+}
+
+}  // namespace
+}  // namespace evc::cache

@@ -202,6 +202,59 @@ TEST_F(SessionTest, WritesFollowReadsOrdersAcrossSessions) {
   EXPECT_TRUE(reply->vv.Dominates(post_vv));
 }
 
+TEST_F(SessionTest, StickyFreshnessRetriesRepollTheSameCoordinator) {
+  // Regression: the seed advanced the coordinator index on every freshness
+  // retry regardless of rotate_coordinators, silently turning sticky
+  // sessions into rotating ones. A sticky session must re-poll the SAME
+  // coordinator and wait for replication to catch up.
+  SessionOptions opts;
+  opts.rotate_coordinators = false;  // sticky (the default, but explicit)
+  opts.retry_interval = 20 * kMillisecond;
+  Build(opts);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(
+        StalePut(session_.get(), "hot", "v" + std::to_string(i)).ok());
+    ASSERT_TRUE(GetSync(session_.get(), "hot", 20 * kSecond).ok());
+  }
+  ASSERT_GT(session_->stats().guarantee_retries, 0u)
+      << "workload never forced a retry; the regression is untested";
+  // Every coordinated get, retries included, landed on one node.
+  int coordinators_used = 0;
+  for (const sim::NodeId node : servers_) {
+    const uint64_t gets = sim_->metrics()
+                              .node(node)
+                              .CounterFor("dyn.coordinated_gets")
+                              .value();
+    if (gets > 0) ++coordinators_used;
+  }
+  EXPECT_EQ(coordinators_used, 1);
+}
+
+TEST_F(SessionTest, RotatingFreshnessRetriesSpreadAcrossCoordinators) {
+  // Contrast case pinning the other routing policy: with rotation on, the
+  // same stale workload spreads coordinated gets over several replicas.
+  SessionOptions opts;
+  opts.rotate_coordinators = true;
+  opts.retry_interval = 20 * kMillisecond;
+  Build(opts);
+  for (int i = 0; i < 25; ++i) {
+    // A rotating Put can land on the downed victim replica; skip those ops
+    // (the reads still exercise the rotating retry path).
+    if (!StalePut(session_.get(), "hot", "v" + std::to_string(i)).ok()) {
+      continue;
+    }
+    (void)GetSync(session_.get(), "hot", 20 * kSecond);
+  }
+  int coordinators_used = 0;
+  for (const sim::NodeId node : servers_) {
+    if (sim_->metrics().node(node).CounterFor("dyn.coordinated_gets").value() >
+        0) {
+      ++coordinators_used;
+    }
+  }
+  EXPECT_GT(coordinators_used, 1);
+}
+
 TEST_F(SessionTest, ErrorsPassThroughWhenClusterUnavailable) {
   SessionOptions opts;
   opts.max_retries = 3;

@@ -323,5 +323,66 @@ TEST_F(TimelineStoreTest, MissingKeyReadsNotFoundShape) {
   EXPECT_EQ(read->seqno, 0u);
 }
 
+TEST_F(TimelineStoreTest, AtLeastSatisfiedLocallyStillCountsAsStale) {
+  // Regression: stale_reads_served only counted kAny. A kAtLeast read
+  // satisfied locally (seqno >= min_seqno) but behind the master is every
+  // bit as stale — the staleness benches must see it.
+  Build();
+  ASSERT_TRUE(WriteSync("k", "v1").ok());  // replicates everywhere (2s run)
+  sim::NodeId non_master = 0;
+  for (const sim::NodeId r : cluster_->ReplicasOf("k")) {
+    if (r != cluster_->MasterOf("k")) {
+      non_master = r;
+      break;
+    }
+  }
+  // The replica misses the second write: it is down when the replicate
+  // message is sent, so it stays at seqno 1 while the master moves to 2.
+  net_->SetNodeUp(non_master, false);
+  ASSERT_TRUE(WriteSync("k", "v2").ok());
+  net_->SetNodeUp(non_master, true);
+  ASSERT_EQ(cluster_->VisibleSeqno(non_master, "k"), 1u);
+
+  const uint64_t stale_before = cluster_->stats().stale_reads_served;
+  auto read = ReadSync(non_master, "k", TimelineReadLevel::kAtLeast,
+                       /*min_seqno=*/1);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->seqno, 1u);  // floor met locally, master not consulted
+  EXPECT_FALSE(read->min_seqno_unmet);
+  EXPECT_EQ(cluster_->stats().stale_reads_served, stale_before + 1);
+}
+
+TEST_F(TimelineStoreTest, AtLeastBeyondMasterSurfacesUnmetFloor) {
+  // Regression: a kAtLeast floor above the master's own seqno used to
+  // return older data with no signal. Nothing fresher exists anywhere, so
+  // the store serves what it has — but must say the floor was unmet.
+  Build();
+  ASSERT_TRUE(WriteSync("k", "v1").ok());
+  const sim::NodeId master = cluster_->MasterOf("k");
+  auto at_master = ReadSync(master, "k", TimelineReadLevel::kAtLeast,
+                            /*min_seqno=*/5);
+  ASSERT_TRUE(at_master.ok());
+  EXPECT_EQ(at_master->value, "v1");
+  EXPECT_TRUE(at_master->min_seqno_unmet);
+  EXPECT_EQ(cluster_->stats().atleast_unmet, 1u);
+
+  // Forwarded path: a non-master replica below the floor forwards at the
+  // SAME level, so the master still evaluates (and flags) the floor. The
+  // seed downgraded forwards to kAny, erasing min_seqno en route.
+  sim::NodeId non_master = 0;
+  for (const sim::NodeId r : cluster_->ReplicasOf("k")) {
+    if (r != master) {
+      non_master = r;
+      break;
+    }
+  }
+  auto forwarded = ReadSync(non_master, "k", TimelineReadLevel::kAtLeast,
+                            /*min_seqno=*/5);
+  ASSERT_TRUE(forwarded.ok());
+  EXPECT_EQ(forwarded->value, "v1");
+  EXPECT_TRUE(forwarded->min_seqno_unmet);
+  EXPECT_EQ(cluster_->stats().atleast_unmet, 2u);
+}
+
 }  // namespace
 }  // namespace evc::repl

@@ -16,6 +16,9 @@
 //   evc_fuzz --profile=gray-heavy     # gray failures: slow/flaky links and
 //                                     # slow nodes mixed with crashes, no
 //                                     # clean partitions
+//   evc_fuzz --profile=edge-cache     # crash + gray interleavings tuned for
+//                                     # the lease protocol (amnesia forced
+//                                     # on: lease tables must be volatile)
 //   evc_fuzz --verbose                # per-seed summaries, not just failures
 //
 // Exit code: 0 when every store met its claims on every seed, 1 otherwise.
@@ -40,7 +43,8 @@ struct CliOptions {
   std::optional<uint64_t> single_seed;
   bool verbose = false;
   bool amnesia = false;
-  std::string profile;  // "" (default), "crash-heavy", or "gray-heavy"
+  // "" (default), "crash-heavy", "gray-heavy", or "edge-cache"
+  std::string profile;
 };
 
 /// Overlays a named schedule profile onto per-store default options.
@@ -50,6 +54,10 @@ struct CliOptions {
 /// "gray-heavy": no clean partitions or loss ramps — slow links, flaky
 /// links, and slow nodes (the failures the CanCommunicate oracle cannot
 /// see) mixed with crashes, arriving fast.
+/// "edge-cache": the lease protocol's two hard edges at once — crash
+/// amnesia (volatile lease tables, recovery fences) and gray degradation
+/// (an unreachable lease holder must be waited out, never served around).
+/// Forces --amnesia: a durable lease table would make the fence dead code.
 bool ApplyProfile(const std::string& profile,
                   evc::verify::FuzzOptions* options) {
   if (profile.empty()) return true;
@@ -69,13 +77,25 @@ bool ApplyProfile(const std::string& profile,
     options->nemesis.mean_fault_interval = evc::sim::kSecond;
     return true;
   }
+  if (profile == "edge-cache") {
+    options->amnesia = true;
+    options->nemesis.allow_partitions = false;
+    options->nemesis.allow_loss = false;
+    options->nemesis.allow_duplication = false;
+    options->nemesis.allow_slow_links = true;
+    options->nemesis.allow_flaky_links = true;
+    options->nemesis.allow_slow_nodes = true;
+    options->nemesis.mean_fault_interval = evc::sim::kSecond;
+    return true;
+  }
   return false;
 }
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--first-seed=S] [--store=NAME] "
-               "[--seed=S] [--amnesia] [--profile=crash-heavy|gray-heavy] "
+               "[--seed=S] [--amnesia] "
+               "[--profile=crash-heavy|gray-heavy|edge-cache] "
                "[--verbose]\n"
                "  stores:",
                argv0);
