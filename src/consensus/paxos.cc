@@ -553,6 +553,26 @@ void PaxosCluster::ApplyReady(Server* server) {
         }
         break;
       }
+      case Command::Type::kPutIfAbsent: {
+        // Conditional create: found=false means this command created the
+        // key. A dedup hit means an earlier apply of the SAME op won the
+        // race, so a retry must still observe "created".
+        auto kv_it = server->kv.find(cmd.key);
+        if (cmd.op_id != 0 && server->applied_ops.count(cmd.op_id) > 0) {
+          Obs().CounterFor("paxos.dedup_hits").Inc();
+          exec.found = false;
+          exec.value = cmd.value;
+        } else if (kv_it == server->kv.end()) {
+          if (cmd.op_id != 0) server->applied_ops.insert(cmd.op_id);
+          server->kv[cmd.key] = cmd.value;
+          exec.found = false;
+          exec.value = cmd.value;
+        } else {
+          exec.found = true;
+          exec.value = kv_it->second;
+        }
+        break;
+      }
     }
     ++stats_.commands_applied;
     Obs().CounterFor("paxos.commands_applied").Inc();
@@ -906,6 +926,12 @@ void PaxosKvClient::Get(const std::string& key, GetCallback done) {
       done(r->value);
     }
   });
+}
+
+void PaxosKvClient::Execute(Command cmd,
+                            std::function<void(Result<Execution>)> done) {
+  if (cmd.op_id == 0) cmd.op_id = cluster_->MintOpId();
+  Submit(std::move(cmd), kMaxAttempts, std::move(done));
 }
 
 }  // namespace evc::consensus

@@ -48,7 +48,8 @@ struct Ballot {
 /// A state-machine command. Reads go through the log too, which is the
 /// simplest way to linearizable reads (no leases needed).
 struct Command {
-  enum class Type { kNoop, kPut, kGet, kDelete };
+  // kPutIfAbsent is appended so historical encodings keep their type byte.
+  enum class Type { kNoop, kPut, kGet, kDelete, kPutIfAbsent };
   Type type = Type::kNoop;
   std::string key;
   std::string value;
@@ -63,8 +64,8 @@ struct Command {
 /// Result of executing a command against the KV state machine.
 struct Execution {
   uint64_t slot = 0;
-  bool found = false;     ///< kGet: key existed
-  std::string value;      ///< kGet: the value read
+  bool found = false;     ///< kGet/kPutIfAbsent: key already existed
+  std::string value;      ///< kGet: the value read; kPutIfAbsent: the winner
 };
 
 struct PaxosOptions {
@@ -287,6 +288,12 @@ class PaxosKvClient {
 
   void Put(const std::string& key, std::string value, PutCallback done);
   void Get(const std::string& key, GetCallback done);
+
+  /// Submits an arbitrary command with the full retry/leader-steering logic
+  /// behind Put/Get. Stamps op_id when 0 so retries dedup. This is how the
+  /// membership config service runs kPutIfAbsent epoch claims through the
+  /// consensus group.
+  void Execute(Command cmd, std::function<void(Result<Execution>)> done);
 
  private:
   static constexpr int kMaxAttempts = 10;

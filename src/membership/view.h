@@ -1,0 +1,62 @@
+// Membership views: the epoch-numbered node sets chosen by the config
+// service's Paxos group.
+//
+// A view is the unit of reconfiguration: epoch e names one exact member set,
+// and every data-plane RPC carries the sender's committed epoch so a request
+// built against a stale view is rejected-and-retried instead of silently
+// served (see DESIGN.md §4.4). Views are encoded as Paxos KV values with the
+// shared length-prefixed wire helpers so the config log is replayable.
+
+#ifndef EVC_MEMBERSHIP_VIEW_H_
+#define EVC_MEMBERSHIP_VIEW_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/encoding.h"
+#include "common/status.h"
+#include "sim/network.h"
+
+namespace evc::membership {
+
+/// One membership epoch: a dense view number plus the exact member set.
+/// Members are kept sorted so every node derives the identical HashRing
+/// (vnode placement is a pure function of the sorted member list).
+struct MembershipView {
+  uint64_t epoch = 0;
+  std::vector<sim::NodeId> members;
+
+  bool Contains(sim::NodeId node) const {
+    return std::find(members.begin(), members.end(), node) != members.end();
+  }
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, epoch);
+    PutVarint64(&out, members.size());
+    for (sim::NodeId m : members) PutVarint64(&out, m);
+    return out;
+  }
+
+  static Result<MembershipView> Decode(const std::string& bytes) {
+    MembershipView view;
+    Decoder dec(bytes);
+    EVC_RETURN_IF_ERROR(dec.GetVarint64(&view.epoch));
+    uint64_t count = 0;
+    EVC_RETURN_IF_ERROR(dec.GetVarint64(&count));
+    view.members.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t node = 0;
+      EVC_RETURN_IF_ERROR(dec.GetVarint64(&node));
+      view.members.push_back(static_cast<sim::NodeId>(node));
+    }
+    if (!dec.Done()) return Status::Corruption("trailing bytes in view");
+    return view;
+  }
+};
+
+}  // namespace evc::membership
+
+#endif  // EVC_MEMBERSHIP_VIEW_H_

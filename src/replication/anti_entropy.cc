@@ -23,10 +23,33 @@ AntiEntropy::AntiEntropy(sim::Network* network, std::vector<sim::NodeId> nodes,
   t_sync_req_ = network_->InternType(kSyncReq);
   t_sync_rsp_ = network_->InternType(kSyncRsp);
   t_push_ = network_->InternType(kPush);
+  departed_.assign(nodes_.size(), false);
   for (size_t i = 0; i < nodes_.size(); ++i) {
     index_of_[nodes_[i]] = i;
     RegisterHandlers(i);
   }
+}
+
+void AntiEntropy::AddMember(sim::NodeId node, ReplicaStorage* storage) {
+  EVC_CHECK(index_of_.count(node) == 0);
+  const size_t index = nodes_.size();
+  nodes_.push_back(node);
+  storages_.push_back(storage);
+  departed_.push_back(false);
+  index_of_[node] = index;
+  RegisterHandlers(index);
+  if (started_) {
+    const sim::Time phase =
+        static_cast<sim::Time>(rng_.NextBounded(options_.interval) + 1);
+    network_->simulator()->ScheduleAfter(phase,
+                                         [this, index] { GossipTick(index); });
+  }
+}
+
+void AntiEntropy::MarkDeparted(sim::NodeId node) {
+  auto it = index_of_.find(node);
+  EVC_CHECK(it != index_of_.end());
+  departed_[it->second] = true;
 }
 
 obs::MetricsRegistry& AntiEntropy::Obs() {
@@ -105,6 +128,10 @@ AntiEntropy::CollectBuckets(ReplicaStorage* storage,
 
 void AntiEntropy::GossipRound(size_t index) {
   if (!network_->IsNodeUp(nodes_[index])) return;
+  // A departed member initiates no rounds: it is no longer responsible for
+  // converging anyone, and pulling state back onto it would fight the
+  // migration that just moved that state off.
+  if (departed_[index]) return;
   ++stats_.rounds;
   Obs().CounterFor("ae.rounds").Inc();
   ReplicaStorage* storage = storages_[index];
@@ -121,6 +148,16 @@ void AntiEntropy::GossipRound(size_t index) {
     while (true) {
       const size_t candidate = rng_.NextBounded(nodes_.size());
       if (candidate == index) continue;
+      // The seed bug this PR fixes: the peer pool was the construction-time
+      // node list, so gossip kept hammering removed nodes forever. Departed
+      // peers now count as skips, same as detector-suspect ones. (Static
+      // runs have no departed entries — rng draw order is untouched.)
+      if (departed_[candidate]) {
+        ++stats_.peers_skipped;
+        Obs().CounterFor("ae.peer_skips").Inc();
+        if (++rejected >= 8) break;
+        continue;
+      }
       if (options_.peer_usable &&
           !options_.peer_usable(nodes_[index], nodes_[candidate])) {
         ++stats_.peers_skipped;
@@ -147,6 +184,7 @@ void AntiEntropy::GossipRound(size_t index) {
 }
 
 void AntiEntropy::Start() {
+  started_ = true;
   sim::Simulator* sim = network_->simulator();
   for (size_t i = 0; i < nodes_.size(); ++i) {
     // Stagger the first round so all replicas don't fire simultaneously.
@@ -194,9 +232,19 @@ bool AntiEntropy::SyncPair(size_t a_index, size_t b_index) {
 }
 
 bool AntiEntropy::Converged() const {
-  const uint64_t root = storages_[0]->merkle().RootDigest();
-  for (const auto* s : storages_) {
-    if (s->merkle().RootDigest() != root) return false;
+  // Departed members are out of scope: nothing gossips toward them, so
+  // their roots drift from the live set's by design.
+  bool first = true;
+  uint64_t root = 0;
+  for (size_t i = 0; i < storages_.size(); ++i) {
+    if (departed_[i]) continue;
+    const uint64_t r = storages_[i]->merkle().RootDigest();
+    if (first) {
+      root = r;
+      first = false;
+    } else if (r != root) {
+      return false;
+    }
   }
   return true;
 }

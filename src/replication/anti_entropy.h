@@ -53,6 +53,15 @@ class AntiEntropy {
   /// Starts the periodic gossip timers (one per replica, phase-staggered).
   void Start();
 
+  /// Live membership hooks (elastic clusters; static runs never call these
+  /// and keep bit-identical rng draws). AddMember wires a newly joined
+  /// node's storage into the gossip mesh — after Start it begins gossiping
+  /// on its own staggered timer. MarkDeparted keeps the node's handlers
+  /// registered (late pushes merge harmlessly) but excludes it from peer
+  /// draws (counted in peers_skipped), round initiation, and Converged.
+  void AddMember(sim::NodeId node, ReplicaStorage* storage);
+  void MarkDeparted(sim::NodeId node);
+
   /// Runs one synchronous sync between two members *now* (test hook and
   /// convergence measurement without timers). Returns true if any state
   /// moved in either direction.
@@ -91,7 +100,9 @@ class AntiEntropy {
   sim::MsgType t_push_ = 0;
   std::vector<sim::NodeId> nodes_;
   std::vector<ReplicaStorage*> storages_;
+  std::vector<bool> departed_;  // parallel to nodes_
   std::map<sim::NodeId, size_t> index_of_;
+  bool started_ = false;
   AntiEntropyOptions options_;
   AntiEntropyStats stats_;
   Rng rng_;

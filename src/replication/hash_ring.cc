@@ -55,7 +55,12 @@ std::vector<sim::NodeId> HashRing::PreferenceList(const std::string& key,
   n = std::min(n, servers_.size());
   std::vector<sim::NodeId> out;
   out.reserve(n);
-  auto it = ring_.lower_bound(Fnv1a64(key));
+  // FNV-1a alone is unusable as a ring position for short keys: an n-byte
+  // input only reaches ~2^(40+lg n) of the 2^64 space (each byte contributes
+  // one multiply by the 2^40-sized FNV prime), so every short key lands on
+  // the same arc and placement degenerates to a single preference list.
+  // Finalize with the bijective mixer to spread positions uniformly.
+  auto it = ring_.lower_bound(Mix64(Fnv1a64(key)));
   for (size_t steps = 0; out.size() < n && steps < 2 * ring_.size();
        ++steps) {
     if (it == ring_.end()) it = ring_.begin();

@@ -12,8 +12,18 @@ constexpr char kClientPut[] = "dyn.put";
 constexpr char kClientGet[] = "dyn.get";
 constexpr char kStore[] = "dyn.store";
 constexpr char kRead[] = "dyn.read";
+constexpr char kMigrate[] = "dyn.migrate";
 // Sentinel for "no hinted handoff target" (NodeId 0 is a valid node).
 constexpr sim::NodeId kNoHint = UINT32_MAX;
+// Keys per migration-stream RPC: small enough to interleave with traffic,
+// large enough that catch-up converges in a few round trips.
+constexpr size_t kMigrateChunkKeys = 16;
+// Retry pause for failed migration chunks and unacked catch-up reports.
+constexpr sim::Time kMigrateRetryPause = 500 * sim::kMillisecond;
+
+bool Contains(const std::vector<sim::NodeId>& nodes, sim::NodeId node) {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
 
 // Seed stream for per-node ResilientRpc instances. Derived from the node id
 // (not the simulator rng) so adding the resilience layer does not perturb
@@ -30,6 +40,7 @@ DynamoCluster::DynamoCluster(sim::Rpc* rpc, QuorumConfig config)
   m_client_get_ = rpc_->InternMethod(kClientGet);
   m_store_ = rpc_->InternMethod(kStore);
   m_read_ = rpc_->InternMethod(kRead);
+  m_migrate_ = rpc_->InternMethod(kMigrate);
   EVC_CHECK(config_.replication_factor >= 1);
   EVC_CHECK(config_.read_quorum >= 1 &&
             config_.read_quorum <= config_.replication_factor);
@@ -39,10 +50,14 @@ DynamoCluster::DynamoCluster(sim::Rpc* rpc, QuorumConfig config)
 
 DynamoCluster::~DynamoCluster() = default;
 
-sim::NodeId DynamoCluster::AddServer() {
+DynamoCluster::Server* DynamoCluster::CreateServer(bool on_static_ring) {
   auto server = std::make_unique<Server>();
   server->node = rpc_->network()->AddNode();
-  ring_.AddServer(server->node);
+  if (on_static_ring) {
+    ring_.AddServer(server->node);
+    // Membership changed: every cached static ring walk is stale.
+    for (auto& walk : walk_of_key_) walk.clear();
+  }
   server->replica_id = static_cast<uint32_t>(servers_.size());
   server->storage = std::make_unique<ReplicaStorage>(server->replica_id,
                                                      config_.storage);
@@ -56,13 +71,18 @@ sim::NodeId DynamoCluster::AddServer() {
   RegisterHandlers(server.get());
   by_node_[server->node] = server.get();
   ResolveInstruments();
-  // Membership changed: every cached ring walk is stale.
-  for (auto& walk : walk_of_key_) walk.clear();
   if (config_.crash_amnesia) {
     crash_registrar_.Register(rpc_->simulator(), server->node, this);
   }
   servers_.push_back(std::move(server));
-  return servers_.back()->node;
+  return servers_.back().get();
+}
+
+sim::NodeId DynamoCluster::AddServer() {
+  // Static membership only: once elastic, joins go through the config
+  // service so every node agrees on the epoch the change happens in.
+  EVC_CHECK(config_service_ == nullptr);
+  return CreateServer(/*on_static_ring=*/true)->node;
 }
 
 std::vector<sim::NodeId> DynamoCluster::AddServers(int count) {
@@ -92,6 +112,10 @@ void DynamoCluster::ResolveInstruments() {
   c_gets_ok_ = &obs.CounterFor("dyn.gets_ok");
   c_gets_unavailable_ = &obs.CounterFor("dyn.gets_unavailable");
   c_read_repairs_ = &obs.CounterFor("dyn.read_repairs");
+  c_stale_epoch_rejects_ = &obs.CounterFor("dyn.stale_epoch_rejects");
+  c_view_refreshes_ = &obs.CounterFor("dyn.view_refreshes");
+  c_hints_redirected_ = &obs.CounterFor("dyn.hints_redirected");
+  c_keys_migrated_ = &obs.CounterFor("dyn.keys_migrated");
   h_put_latency_us_ = &obs.HistogramFor("dyn.put_latency_us");
   h_get_latency_us_ = &obs.HistogramFor("dyn.get_latency_us");
   c_puts_ok_ = &obs.CounterFor("dyn.puts_ok");  // sentinel: assign last
@@ -166,6 +190,9 @@ const std::vector<sim::NodeId>& DynamoCluster::RingWalk(
 
 std::vector<sim::NodeId> DynamoCluster::PreferenceList(
     const std::string& key) const {
+  if (elastic()) {
+    return PreferenceListAt(config_service_->committed().epoch, key);
+  }
   const std::vector<sim::NodeId>& walk = RingWalk(key);
   std::vector<sim::NodeId> out(
       walk.begin(),
@@ -174,10 +201,51 @@ std::vector<sim::NodeId> DynamoCluster::PreferenceList(
   return out;
 }
 
+const std::vector<sim::NodeId>& DynamoCluster::MembersOfEpoch(
+    uint64_t epoch) const {
+  auto it = members_of_epoch_.find(epoch);
+  EVC_CHECK(it != members_of_epoch_.end());
+  return it->second;
+}
+
+const std::vector<sim::NodeId>& DynamoCluster::RingWalkAt(
+    uint64_t epoch, const std::string& key) const {
+  const std::vector<sim::NodeId>& members = MembersOfEpoch(epoch);
+  auto ring_it = ring_of_epoch_.find(epoch);
+  if (ring_it == ring_of_epoch_.end()) {
+    // Placement under an epoch is a pure function of its sorted member
+    // list: every node builds the identical ring independently.
+    ring_it = ring_of_epoch_.try_emplace(epoch, config_.ring_vnodes).first;
+    for (sim::NodeId m : members) ring_it->second.AddServer(m);
+  }
+  const KeyId id = keys_.Intern(key);
+  std::vector<std::vector<sim::NodeId>>& walks = walks_of_epoch_[epoch];
+  if (walks.size() <= id) walks.resize(id + 1);
+  std::vector<sim::NodeId>& out = walks[id];
+  if (out.empty()) {
+    out = ring_it->second.PreferenceList(key, members.size());
+  }
+  return out;
+}
+
+std::vector<sim::NodeId> DynamoCluster::PreferenceListAt(
+    uint64_t epoch, const std::string& key) const {
+  const std::vector<sim::NodeId>& walk = RingWalkAt(epoch, key);
+  return std::vector<sim::NodeId>(
+      walk.begin(),
+      walk.begin() +
+          std::min<size_t>(config_.replication_factor, walk.size()));
+}
+
 void DynamoCluster::WriteTargets(Server* coordinator, const std::string& key,
                                  std::vector<sim::NodeId>* targets,
                                  std::vector<sim::NodeId>* intended) {
-  const std::vector<sim::NodeId> preferred = PreferenceList(key);
+  // Elastic coordinators place under their own committed epoch; receivers
+  // fence legs whose epoch differs, so a stale placement can never count
+  // toward a quorum.
+  const std::vector<sim::NodeId> preferred =
+      elastic() ? PreferenceListAt(coordinator->epoch, key)
+                : PreferenceList(key);
   targets->clear();
   intended->clear();
   if (!config_.sloppy) {
@@ -190,7 +258,8 @@ void DynamoCluster::WriteTargets(Server* coordinator, const std::string& key,
   // Reachability is the coordinator's own failure detector (phi-accrual over
   // observed replies) unless use_oracle_detector opts back into the
   // omniscient network oracle.
-  const std::vector<sim::NodeId>& ring_walk = RingWalk(key);
+  const std::vector<sim::NodeId>& ring_walk =
+      elastic() ? RingWalkAt(coordinator->epoch, key) : RingWalk(key);
   size_t walk = 0;
   size_t preferred_idx = 0;
   while (targets->size() < preferred.size() && walk < ring_walk.size()) {
@@ -231,6 +300,24 @@ void DynamoCluster::RegisterHandlers(Server* server) {
       node, m_client_put_,
       [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
         auto put = std::move(req).Take<ClientPutReq>();
+        if (elastic()) {
+          // A coordinator that is behind the client's committed epoch must
+          // not serve: its placement could ack a quorum the new epoch's
+          // readers never intersect. Refresh and make the client retry.
+          // (A coordinator AHEAD of the request epoch serves fine — its
+          // placement is fresher than the client's routing snapshot.)
+          if (put.epoch > server->epoch) {
+            ++stats_.stale_epoch_rejects;
+            c_stale_epoch_rejects_->Inc();
+            RefreshView(server);
+            respond(Status::FailedPrecondition("coordinator view is stale"));
+            return;
+          }
+          if (server->needs_refresh || server->departed) {
+            respond(Status::Unavailable("coordinator not serving"));
+            return;
+          }
+        }
         CoordinatePut(server, std::move(put),
                       [respond](Result<Version> r) mutable {
                         if (r.ok()) {
@@ -245,6 +332,19 @@ void DynamoCluster::RegisterHandlers(Server* server) {
       node, m_client_get_,
       [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
         auto get = std::move(req).Take<ClientGetReq>();
+        if (elastic()) {
+          if (get.epoch > server->epoch) {
+            ++stats_.stale_epoch_rejects;
+            c_stale_epoch_rejects_->Inc();
+            RefreshView(server);
+            respond(Status::FailedPrecondition("coordinator view is stale"));
+            return;
+          }
+          if (server->needs_refresh || server->departed) {
+            respond(Status::Unavailable("coordinator not serving"));
+            return;
+          }
+        }
         CoordinateGet(server, std::move(get.key),
                       [respond](Result<ReadResult> r) mutable {
                         if (r.ok()) {
@@ -259,6 +359,17 @@ void DynamoCluster::RegisterHandlers(Server* server) {
       node, m_store_,
       [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
         auto store = std::move(req).Take<StoreReq>();
+        if (elastic() && !store.cross_epoch && store.epoch != server->epoch) {
+          // Quorum-counted leg from a different epoch: fence it. Either the
+          // sender is stale (its retry re-places under the new view) or we
+          // are (refresh below); accepting would let two epochs' quorums
+          // miss each other.
+          ++stats_.stale_epoch_rejects;
+          c_stale_epoch_rejects_->Inc();
+          if (store.epoch > server->epoch) RefreshView(server);
+          respond(Status::FailedPrecondition("epoch mismatch"));
+          return;
+        }
         if (store.has_hint && store.intended != server->node) {
           // We are a fallback home: buffer for handoff AND serve reads from
           // local storage in the meantime. Merge into any hint already
@@ -282,10 +393,33 @@ void DynamoCluster::RegisterHandlers(Server* server) {
       node, m_read_,
       [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
         auto read = std::move(req).Take<ReadReq>();
+        if (elastic() && read.epoch != server->epoch) {
+          // A stale replica must not contribute to a fresh read quorum (it
+          // may have missed writes placed under the new epoch), and a fresh
+          // replica must not serve a stale coordinator.
+          ++stats_.stale_epoch_rejects;
+          c_stale_epoch_rejects_->Inc();
+          if (read.epoch > server->epoch) RefreshView(server);
+          respond(Status::FailedPrecondition("epoch mismatch"));
+          return;
+        }
         ReadReply reply;
         reply.versions = server->storage->GetRaw(read.key);
         reply.digest = server->storage->store().KeyDigest(read.key);
         respond(std::move(reply));
+      });
+
+  rpc_->RegisterHandler(
+      node, m_migrate_,
+      [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
+        // Inbound migration stream: merge every entry. Version sets are
+        // CRDTs, so replaying a chunk (sender retry) is harmless, and the
+        // merge is valid at either side of the epoch boundary.
+        auto chunk = std::move(req).Take<MigrateChunk>();
+        for (const auto& [key, versions] : chunk.entries) {
+          server->storage->MergeRemote(key, versions);
+        }
+        respond(StoreAck{0});
       });
 }
 
@@ -311,6 +445,7 @@ void DynamoCluster::Put(sim::NodeId client, sim::NodeId coordinator,
   req.value = std::move(value);
   req.context = context;
   req.is_delete = false;
+  if (elastic()) req.epoch = config_service_->committed().epoch;
   ClientRpc(client)->Call(coordinator, m_client_put_, std::move(req),
                           ClientCallOptions(), [done](Result<sim::Payload> r) {
                             if (!r.ok()) {
@@ -328,6 +463,7 @@ void DynamoCluster::Delete(sim::NodeId client, sim::NodeId coordinator,
   req.key = key;
   req.context = context;
   req.is_delete = true;
+  if (elastic()) req.epoch = config_service_->committed().epoch;
   ClientRpc(client)->Call(coordinator, m_client_put_, std::move(req),
                           ClientCallOptions(), [done](Result<sim::Payload> r) {
                             if (!r.ok()) {
@@ -341,6 +477,7 @@ void DynamoCluster::Delete(sim::NodeId client, sim::NodeId coordinator,
 void DynamoCluster::Get(sim::NodeId client, sim::NodeId coordinator,
                         const std::string& key, GetCallback done) {
   ClientGetReq req{key};
+  if (elastic()) req.epoch = config_service_->committed().epoch;
   resilience::CallOptions opts = ClientCallOptions();
   if (config_.hedge_reads && servers_.size() > 1) {
     // Race a slow coordinator against the next server; reads are idempotent
@@ -384,16 +521,32 @@ void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
   std::vector<sim::NodeId> intended;
   WriteTargets(coordinator, req.key, &targets, &intended);
 
+  // During a prepared (uncommitted) reconfiguration the key's NEW owners
+  // must also see every write: once the epoch commits, fresh read quorums
+  // draw only from them. These delta legs are required — a leg that fails
+  // falls back to a hint for its target, which blocks this server's
+  // catch-up report (and therefore the commit) until delivered.
+  std::vector<sim::NodeId> extra;
+  if (elastic() && coordinator->prepared.has_value()) {
+    for (sim::NodeId n :
+         PreferenceListAt(coordinator->prepared->epoch, req.key)) {
+      if (!Contains(targets, n)) extra.push_back(n);
+    }
+  }
+
   struct PutState {
     int acks = 0;
     int completed = 0;
     int total = 0;
     int required = 0;
+    int extra_done = 0;
+    int extra_total = 0;
     bool done_fired = false;
   };
   auto state = std::make_shared<PutState>();
   state->total = static_cast<int>(targets.size());
   state->required = std::min(config_.write_quorum, state->total);
+  state->extra_total = static_cast<int>(extra.size());
 
   if (state->total == 0) {
     ++stats_.puts_unavailable;
@@ -402,23 +555,28 @@ void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
     return;
   }
 
-  auto on_complete = [this, state, done, version, started](bool ok) {
-    if (ok) ++state->acks;
-    ++state->completed;
+  auto maybe_finish = [this, state, done, version, started] {
     if (state->done_fired) return;
-    if (state->acks >= state->required) {
+    if (state->acks >= state->required &&
+        state->extra_done == state->extra_total) {
       state->done_fired = true;
       ++stats_.puts_ok;
       c_puts_ok_->Inc();
       (*h_put_latency_us_)
           .Add(static_cast<double>(rpc_->simulator()->Now() - started));
       done(version);
-    } else if (state->completed == state->total) {
+    } else if (state->completed == state->total &&
+               state->acks < state->required) {
       state->done_fired = true;
       ++stats_.puts_unavailable;
       c_puts_unavailable_->Inc();
       done(Status::Unavailable("write quorum not met"));
     }
+  };
+  auto on_complete = [state, maybe_finish](bool ok) {
+    if (ok) ++state->acks;
+    ++state->completed;
+    maybe_finish();
   };
 
   // Fan-out legs feed the coordinator's detector/breaker (record_outcome)
@@ -435,9 +593,41 @@ void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
     store.versions = {version};
     store.has_hint = intended[i] != kNoHint;
     store.intended = intended[i];
+    store.epoch = coordinator->epoch;
     coordinator->resilient->Call(
         targets[i], m_store_, std::move(store), leg,
         [on_complete](Result<sim::Payload> r) { on_complete(r.ok()); });
+  }
+  for (size_t i = 0; i < extra.size(); ++i) {
+    const sim::NodeId target = extra[i];
+    StoreReq store;
+    store.key = req.key;
+    store.versions = {version};
+    store.epoch = coordinator->epoch;
+    // Valid at either epoch: the receiver may learn of the commit before
+    // this leg lands, and the merge stays correct regardless.
+    store.cross_epoch = true;
+    const std::string key = req.key;
+    coordinator->resilient->Call(
+        target, m_store_, std::move(store), leg,
+        [this, state, maybe_finish, coordinator, target, key,
+         version](Result<sim::Payload> r) {
+          if (!r.ok()) {
+            // Hinted handoff to the NEW owner: the write stays available
+            // and the data reaches the owner before the epoch commits
+            // (TryReportCatchUp holds the report while this hint pends).
+            auto& slot = coordinator->hints[target][key];
+            if (slot.empty()) {
+              ++stats_.hints_stored;
+              c_hints_stored_->Inc();
+              slot = {version};
+            } else {
+              slot = MergeSiblingSets({slot, {version}});
+            }
+          }
+          ++state->extra_done;
+          maybe_finish();
+        });
   }
 }
 
@@ -446,7 +636,12 @@ void DynamoCluster::CoordinateGet(
     std::function<void(Result<ReadResult>)> done) {
   const sim::Time started = rpc_->simulator()->Now();
   coordinator->c_coordinated_gets->Inc();
-  const std::vector<sim::NodeId> preferred = PreferenceList(key);
+  // Elastic coordinators read under their own committed epoch; replicas at
+  // a different epoch fence the leg, so the quorum only counts replicas
+  // that agree on placement.
+  const std::vector<sim::NodeId> preferred =
+      elastic() ? PreferenceListAt(coordinator->epoch, key)
+                : PreferenceList(key);
 
   struct GetState {
     std::vector<std::vector<Version>> replies;
@@ -483,6 +678,10 @@ void DynamoCluster::CoordinateGet(
         StoreReq repair;
         repair.key = state->key;
         repair.versions = merged;
+        repair.epoch = coordinator->epoch;
+        // Repair is an idempotent version-set merge — valid even if the
+        // target's epoch flips while the push is in flight.
+        repair.cross_epoch = true;
         rpc_->Call(coordinator->node, node, m_store_, std::move(repair),
                    config_.rpc_timeout, [](Result<sim::Payload>) {});
         ++stats_.read_repairs;
@@ -522,7 +721,7 @@ void DynamoCluster::CoordinateGet(
   leg.max_attempts = 1;
   leg.respect_breaker = false;
   for (const sim::NodeId target : preferred) {
-    ReadReq read{key};
+    ReadReq read{key, coordinator->epoch};
     coordinator->resilient->Call(target, m_read_, std::move(read), leg,
                                  [on_reply, target](Result<sim::Payload> r) {
                                    on_reply(target, std::move(r));
@@ -531,6 +730,7 @@ void DynamoCluster::CoordinateGet(
 }
 
 void DynamoCluster::StartHintDelivery(sim::Time interval) {
+  hint_interval_ = interval;  // live-added servers get the same cadence
   for (auto& server : servers_) ScheduleHintTick(server.get(), interval);
 }
 
@@ -563,6 +763,10 @@ void DynamoCluster::DeliverHints(Server* server) {
       StoreReq store;
       store.key = key;
       store.versions = versions;
+      store.epoch = server->epoch;
+      // Handoff is an idempotent merge of versions the intended home was
+      // always meant to hold — exempt from the epoch fence.
+      store.cross_epoch = true;
       server->resilient->Call(intended, m_store_, std::move(store), leg,
                               [this](Result<sim::Payload> r) {
                    if (r.ok()) {
@@ -582,6 +786,9 @@ void DynamoCluster::DeliverHints(Server* server) {
     // anti-entropy (mirrors Dynamo's at-least-once handoff semantics).
     it = server->hints.erase(it);
   }
+  // Draining hints may have unblocked a held catch-up report (reports wait
+  // while hints to prepared-view members pend).
+  if (elastic()) TryReportCatchUp(server);
 }
 
 void DynamoCluster::OnCrash(uint32_t node) {
@@ -612,6 +819,9 @@ void DynamoCluster::OnCrash(uint32_t node) {
   Obs().CounterFor("crash.state_dropped_bytes").Inc(dropped);
   server->coord_counter = 0;
   server->clock = LamportClock(server->replica_id);
+  // Migration progress is volatile: the restart refresh rebuilds the task
+  // from durable storage if the prepared view is still pending.
+  server->migration.reset();
 }
 
 void DynamoCluster::OnRestart(uint32_t node) {
@@ -638,6 +848,16 @@ void DynamoCluster::OnRestart(uint32_t node) {
       });
   server->coord_counter = counter_floor;
   server->clock.Observe(max_ts);
+  if (elastic()) {
+    // The view may have moved while we were down (we missed the pushes):
+    // do not coordinate until a fresh pull confirms the epoch.
+    server->needs_refresh = true;
+    server->refresh_inflight = false;
+    server->prepared.reset();
+    rpc_->simulator()->ScheduleAfter(1, [this, server] {
+      RefreshView(server);
+    });
+  }
 }
 
 bool DynamoCluster::ReplicasConverged(const std::string& key) {
@@ -663,6 +883,330 @@ size_t DynamoCluster::pending_hints() const {
     for (const auto& [intended, keys] : server->hints) n += keys.size();
   }
   return n;
+}
+
+// --- Elastic membership ---
+
+void DynamoCluster::EnableElastic(membership::ConfigService* config) {
+  EVC_CHECK(config_service_ == nullptr);
+  EVC_CHECK(config_.use_hash_ring);  // per-epoch rings are vnode-based
+  EVC_CHECK(config != nullptr);
+  config_service_ = config;
+  const membership::MembershipView& committed = config->committed();
+  EVC_CHECK(committed.epoch >= 1);  // must be bootstrapped
+  EVC_CHECK(committed.members.size() == servers_.size());
+  members_of_epoch_.try_emplace(committed.epoch, committed.members);
+  announced_epoch_ = committed.epoch;
+  for (auto& server : servers_) {
+    EVC_CHECK(committed.Contains(server->node));
+    server->epoch = committed.epoch;
+    server->members = committed.members;
+    server->departed = false;
+    SubscribeServer(server.get());
+    ScheduleRefreshTick(server.get());
+  }
+}
+
+void DynamoCluster::SubscribeServer(Server* server) {
+  config_service_->Subscribe(
+      server->node,
+      [this, server](
+          const membership::MembershipView& committed,
+          const std::optional<membership::MembershipView>& prepared) {
+        ApplyView(server, committed, prepared);
+      });
+}
+
+void DynamoCluster::ApplyView(
+    Server* server, const membership::MembershipView& committed,
+    const std::optional<membership::MembershipView>& prepared) {
+  if (committed.epoch > server->epoch) {
+    members_of_epoch_.try_emplace(committed.epoch, committed.members);
+    server->epoch = committed.epoch;
+    server->members = committed.members;
+    server->departed = !committed.Contains(server->node);
+    server->needs_refresh = false;
+    if (server->migration != nullptr &&
+        server->migration->epoch <= committed.epoch) {
+      server->migration.reset();  // that epoch is settled
+    }
+    RedirectHints(server);
+    if (commit_cb_ && committed.epoch > announced_epoch_) {
+      announced_epoch_ = committed.epoch;
+      commit_cb_(committed);
+    }
+  } else if (committed.epoch == server->epoch) {
+    // A same-epoch confirmation is what ends a restarted server's
+    // "no coordination until synced" quarantine.
+    server->needs_refresh = false;
+  }
+  if (prepared.has_value() && prepared->epoch > server->epoch) {
+    members_of_epoch_.try_emplace(prepared->epoch, prepared->members);
+    server->prepared = *prepared;
+    if (server->migration == nullptr ||
+        server->migration->epoch != prepared->epoch) {
+      StartCatchUp(server);
+    }
+  } else {
+    server->prepared.reset();
+  }
+}
+
+void DynamoCluster::RefreshView(Server* server) {
+  if (!elastic() || server->refresh_inflight) return;
+  if (!rpc_->network()->IsNodeUp(server->node)) return;
+  server->refresh_inflight = true;
+  config_service_->Fetch(
+      server->node, [this, server](Result<membership::ViewState> r) {
+        server->refresh_inflight = false;
+        if (!r.ok()) return;  // the periodic tick retries
+        ++stats_.view_refreshes;
+        c_view_refreshes_->Inc();
+        std::optional<membership::MembershipView> prepared;
+        if (r->has_prepared) prepared = std::move(r->prepared);
+        ApplyView(server, r->committed, prepared);
+      });
+}
+
+void DynamoCluster::ScheduleRefreshTick(Server* server) {
+  rpc_->simulator()->ScheduleAfter(config_.view_refresh_interval,
+                                   [this, server] {
+                                     RefreshView(server);
+                                     ScheduleRefreshTick(server);
+                                   });
+}
+
+void DynamoCluster::StartCatchUp(Server* server) {
+  EVC_CHECK(server->prepared.has_value());
+  const uint64_t new_epoch = server->prepared->epoch;
+  auto task = std::make_unique<MigrationTask>();
+  task->epoch = new_epoch;
+  // Stream every key we own under the committed epoch to owners it GAINS
+  // under the prepared one. Only old owners send (new owners have nothing
+  // to say yet), so the stream count stays proportional to moved ranges.
+  server->storage->store().ForEachKey(
+      [&](const std::string& key, const std::vector<Version>& versions) {
+        const std::vector<sim::NodeId> old_pref =
+            PreferenceListAt(server->epoch, key);
+        if (!Contains(old_pref, server->node)) return;
+        for (sim::NodeId n : PreferenceListAt(new_epoch, key)) {
+          if (!Contains(old_pref, n)) {
+            task->outgoing[n].emplace_back(key, versions);
+          }
+        }
+      });
+  task->streaming_done = task->outgoing.empty();
+  server->migration = std::move(task);
+  ++stats_.migrations_started;
+  if (server->migration->streaming_done) {
+    TryReportCatchUp(server);
+  } else {
+    StreamNextChunk(server);
+  }
+}
+
+void DynamoCluster::StreamNextChunk(Server* server) {
+  MigrationTask* task = server->migration.get();
+  if (task == nullptr || task->streaming_done || task->chunk_inflight) return;
+  if (!rpc_->network()->IsNodeUp(server->node)) return;
+  if (task->outgoing.empty()) {
+    task->streaming_done = true;
+    TryReportCatchUp(server);
+    return;
+  }
+  auto it = task->outgoing.begin();
+  const sim::NodeId target = it->first;
+  MigrateChunk chunk;
+  chunk.epoch = task->epoch;
+  const size_t n = std::min(kMigrateChunkKeys, it->second.size());
+  chunk.entries.assign(it->second.end() - static_cast<ptrdiff_t>(n),
+                       it->second.end());
+  it->second.resize(it->second.size() - n);
+  if (it->second.empty()) task->outgoing.erase(it);
+  // Keep a copy for requeue on failure; chunks are idempotent merges, so a
+  // duplicate delivery (late ack + requeue) is harmless.
+  auto pending = std::make_shared<
+      std::vector<std::pair<std::string, std::vector<Version>>>>(
+      chunk.entries);
+  task->chunk_inflight = true;
+  const uint64_t epoch = task->epoch;
+  resilience::CallOptions opts;
+  opts.attempt_timeout = config_.rpc_timeout;
+  opts.max_attempts = 3;
+  server->resilient->Call(
+      target, m_migrate_, std::move(chunk), opts,
+      [this, server, target, pending, epoch](Result<sim::Payload> r) {
+        MigrationTask* t = server->migration.get();
+        if (t == nullptr || t->epoch != epoch) return;  // superseded
+        t->chunk_inflight = false;
+        if (r.ok()) {
+          stats_.keys_migrated += pending->size();
+          c_keys_migrated_->Inc(pending->size());
+          StreamNextChunk(server);
+          return;
+        }
+        auto& queue = t->outgoing[target];
+        queue.insert(queue.end(), pending->begin(), pending->end());
+        rpc_->simulator()->ScheduleAfter(
+            kMigrateRetryPause, [this, server, epoch] {
+              MigrationTask* t2 = server->migration.get();
+              if (t2 != nullptr && t2->epoch == epoch) StreamNextChunk(server);
+            });
+      });
+}
+
+void DynamoCluster::TryReportCatchUp(Server* server) {
+  MigrationTask* task = server->migration.get();
+  if (task == nullptr || !task->streaming_done || task->reported ||
+      task->report_inflight) {
+    return;
+  }
+  if (!rpc_->network()->IsNodeUp(server->node)) return;
+  // Hold the report while a hint addressed to a prepared-view member still
+  // pends: the commit must not open the new epoch before its owners hold
+  // the data those hints carry (DeliverHints re-tries us after draining).
+  if (server->prepared.has_value()) {
+    for (const auto& [intended, keys] : server->hints) {
+      if (!keys.empty() && server->prepared->Contains(intended)) return;
+    }
+  }
+  task->report_inflight = true;
+  const uint64_t epoch = task->epoch;
+  config_service_->ReportCatchUp(
+      server->node, epoch, [this, server, epoch](Status s) {
+        MigrationTask* t = server->migration.get();
+        if (t == nullptr || t->epoch != epoch) return;
+        t->report_inflight = false;
+        if (s.ok()) {
+          t->reported = true;
+          ++stats_.migrations_completed;
+          return;
+        }
+        rpc_->simulator()->ScheduleAfter(
+            kMigrateRetryPause, [this, server, epoch] {
+              MigrationTask* t2 = server->migration.get();
+              if (t2 != nullptr && t2->epoch == epoch) {
+                TryReportCatchUp(server);
+              }
+            });
+      });
+}
+
+void DynamoCluster::RedirectHints(Server* server) {
+  for (auto it = server->hints.begin(); it != server->hints.end();) {
+    const sim::NodeId intended = it->first;
+    if (Contains(server->members, intended)) {
+      ++it;
+      continue;
+    }
+    // The intended home left the committed view: waiting for it to come
+    // back would pend forever (the static-membership bug this PR fixes).
+    // Re-aim each hint at the key's new primary under the current epoch.
+    resilience::CallOptions leg;
+    leg.attempt_timeout = config_.rpc_timeout;
+    leg.max_attempts = 1;
+    leg.respect_breaker = false;
+    for (const auto& [key, versions] : it->second) {
+      ++stats_.hints_redirected;
+      c_hints_redirected_->Inc();
+      const std::vector<sim::NodeId> pref =
+          PreferenceListAt(server->epoch, key);
+      const sim::NodeId target = pref.empty() ? server->node : pref.front();
+      if (target == server->node) {
+        // We are the new primary: the handoff is a local merge.
+        server->storage->MergeRemote(key, versions);
+        ++stats_.hints_delivered;
+        c_hints_delivered_->Inc();
+        continue;
+      }
+      StoreReq store;
+      store.key = key;
+      store.versions = versions;
+      store.epoch = server->epoch;
+      store.cross_epoch = true;
+      server->resilient->Call(target, m_store_, std::move(store), leg,
+                              [this](Result<sim::Payload> r) {
+                                if (r.ok()) {
+                                  ++stats_.hints_delivered;
+                                  c_hints_delivered_->Inc();
+                                } else {
+                                  // Optimistic send, same ledger discipline
+                                  // as DeliverHints: the entry is already
+                                  // erased, so account the loss now.
+                                  ++stats_.hints_lost;
+                                  c_hints_lost_->Inc();
+                                }
+                              });
+    }
+    it = server->hints.erase(it);
+  }
+}
+
+Result<sim::NodeId> DynamoCluster::AddServerLive(
+    std::function<void(Status)> prepared) {
+  EVC_CHECK(elastic());
+  if (config_service_->ReconfigInProgress()) {
+    return Status::FailedPrecondition("reconfiguration in flight");
+  }
+  Server* server = CreateServer(/*on_static_ring=*/false);
+  // The newcomer serves nothing until it pulls a view; data still reaches
+  // it meanwhile via cross-epoch migration chunks and extra write legs.
+  server->needs_refresh = true;
+  SubscribeServer(server);
+  ScheduleRefreshTick(server);
+  if (hint_interval_ > 0) ScheduleHintTick(server, hint_interval_);
+  if (!config_.use_oracle_detector) {
+    std::vector<sim::NodeId> nodes;
+    nodes.reserve(servers_.size());
+    for (const auto& s : servers_) nodes.push_back(s->node);
+    server->resilient->StartHeartbeats(nodes);
+  }
+  if (server_created_cb_) {
+    server_created_cb_(server->node, server->storage.get());
+  }
+  RefreshView(server);
+  const sim::NodeId node = server->node;
+  EVC_RETURN_IF_ERROR(config_service_->ProposeJoin(node, std::move(prepared)));
+  return node;
+}
+
+Status DynamoCluster::RemoveServerLive(sim::NodeId node,
+                                       std::function<void(Status)> prepared) {
+  EVC_CHECK(elastic());
+  if (FindServer(node) == nullptr) {
+    return Status::InvalidArgument("unknown server");
+  }
+  if (config_service_->ReconfigInProgress()) {
+    return Status::FailedPrecondition("reconfiguration in flight");
+  }
+  if (static_cast<int>(config_service_->committed().members.size()) <=
+      config_.min_members) {
+    return Status::FailedPrecondition("member floor reached");
+  }
+  return config_service_->ProposeLeave(node, std::move(prepared));
+}
+
+std::vector<sim::NodeId> DynamoCluster::CommittedMembers() const {
+  EVC_CHECK(elastic());
+  return config_service_->committed().members;
+}
+
+uint64_t DynamoCluster::committed_epoch() const {
+  EVC_CHECK(elastic());
+  return config_service_->committed().epoch;
+}
+
+bool DynamoCluster::Migrating() const {
+  if (!elastic()) return false;
+  if (config_service_->ReconfigInProgress()) return true;
+  const uint64_t committed = config_service_->committed().epoch;
+  for (const auto& server : servers_) {
+    if (server->migration != nullptr && !server->migration->reported) {
+      return true;
+    }
+    if (!server->departed && server->epoch != committed) return true;
+  }
+  return false;
 }
 
 }  // namespace evc::repl

@@ -18,11 +18,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "clock/lamport.h"
 #include "common/interner.h"
+#include "membership/config_service.h"
 #include "replication/hash_ring.h"
 #include "resilience/resilient_rpc.h"
 #include "sim/rpc.h"
@@ -58,6 +61,13 @@ struct QuorumConfig {
   /// Hedge client reads: a slow coordinator gets raced against the next
   /// server after a latency-percentile delay (first reply wins).
   bool hedge_reads = false;
+  /// Elastic mode (EnableElastic): floor below which RemoveServerLive
+  /// refuses to shrink the member set.
+  int min_members = 3;
+  /// Elastic mode: period of each server's view-refresh pull from the
+  /// config service (push broadcasts cover the common case; the pull covers
+  /// servers that were crashed or partitioned during the push).
+  sim::Time view_refresh_interval = 2 * sim::kSecond;
   /// Retry/hedge/detector tuning shared by all servers and clients.
   resilience::ResilienceOptions resilience;
 };
@@ -88,6 +98,13 @@ struct DynamoStats {
   /// pending_hints() once no handoff RPC is in flight.
   uint64_t hints_lost = 0;
   uint64_t sloppy_diversions = 0;
+  // Elastic membership (all zero for static clusters).
+  uint64_t stale_epoch_rejects = 0;  ///< data-plane RPCs fenced by epoch
+  uint64_t view_refreshes = 0;       ///< successful config pulls
+  uint64_t hints_redirected = 0;     ///< hints re-aimed off departed nodes
+  uint64_t keys_migrated = 0;        ///< keys streamed to new owners
+  uint64_t migrations_started = 0;   ///< per-server catch-up tasks begun
+  uint64_t migrations_completed = 0; ///< catch-up tasks acked by the config
 };
 
 /// A cluster of Dynamo-style storage servers sharing one Rpc/network.
@@ -97,10 +114,52 @@ class DynamoCluster : private sim::CrashParticipant {
   ~DynamoCluster();
 
   /// Adds a storage server; returns its network node id. All servers must be
-  /// added before the first operation.
+  /// added before the first operation (and before EnableElastic; live
+  /// topology changes go through AddServerLive / RemoveServerLive).
   sim::NodeId AddServer();
   /// Convenience: adds `count` servers.
   std::vector<sim::NodeId> AddServers(int count);
+
+  /// Switches the cluster to live membership driven by `config`, which must
+  /// already be bootstrapped with exactly the current server set. Requires
+  /// use_hash_ring (epoch rings are vnode-based). Every data-plane RPC then
+  /// carries the sender's committed epoch and is fenced on mismatch; see
+  /// DESIGN.md §4.4.
+  void EnableElastic(membership::ConfigService* config);
+  bool elastic() const { return config_service_ != nullptr; }
+
+  /// Creates a fresh server and proposes its join as epoch e+1. Returns the
+  /// new node id immediately (clients may route to it only once the join
+  /// commits); `prepared` fires when the view is prepared or the proposal
+  /// fails. Fails fast when a reconfiguration is already in flight.
+  [[nodiscard]] Result<sim::NodeId> AddServerLive(
+      std::function<void(Status)> prepared);
+
+  /// Proposes removing `node` as epoch e+1. The server object stays alive
+  /// (it redirects its hints and streams moved ranges out during catch-up)
+  /// but stops serving once the removal commits.
+  [[nodiscard]] Status RemoveServerLive(sim::NodeId node,
+                                        std::function<void(Status)> prepared);
+
+  /// Elastic-mode introspection (test/harness hooks).
+  std::vector<sim::NodeId> CommittedMembers() const;
+  uint64_t committed_epoch() const;
+  /// True while a reconfiguration (prepare → catch-up → commit) is in
+  /// flight.
+  bool Migrating() const;
+
+  /// Fired once per committed epoch the cluster learns of (harnesses wire
+  /// anti-entropy departures and routing updates here).
+  using CommitCallback =
+      std::function<void(const membership::MembershipView&)>;
+  void SetCommitCallback(CommitCallback cb) { commit_cb_ = std::move(cb); }
+  /// Fired when AddServerLive creates a server (harnesses wire the new
+  /// node into anti-entropy before any data moves).
+  using ServerCreatedCallback =
+      std::function<void(sim::NodeId, ReplicaStorage*)>;
+  void SetServerCreatedCallback(ServerCreatedCallback cb) {
+    server_created_cb_ = std::move(cb);
+  }
 
   size_t server_count() const { return servers_.size(); }
   const QuorumConfig& config() const { return config_; }
@@ -151,6 +210,24 @@ class DynamoCluster : private sim::CrashParticipant {
   size_t pending_hints() const;
 
  private:
+  /// One server's outbound side of a reconfiguration: the key ranges it
+  /// owns under the old epoch that gained owners under the prepared one,
+  /// streamed chunk-by-chunk, then reported caught-up to the config
+  /// service. Volatile: a crash drops it and the restart refresh rebuilds
+  /// it from durable storage.
+  struct MigrationTask {
+    uint64_t epoch = 0;  ///< the prepared epoch being caught up to
+    // target -> (key, versions) entries still to stream. Ordered so the
+    // stream order is deterministic.
+    std::map<sim::NodeId,
+             std::vector<std::pair<std::string, std::vector<Version>>>>
+        outgoing;
+    bool streaming_done = false;
+    bool chunk_inflight = false;
+    bool reported = false;
+    bool report_inflight = false;
+  };
+
   struct Server {
     sim::NodeId node = 0;
     uint32_t replica_id = 0;
@@ -167,37 +244,91 @@ class DynamoCluster : private sim::CrashParticipant {
     // e.g. that a sticky session really re-polls one coordinator.
     obs::Counter* c_coordinated_gets = nullptr;
     obs::Counter* c_coordinated_puts = nullptr;
+    // Elastic membership state (defaults are inert for static clusters).
+    uint64_t epoch = 0;                      ///< committed epoch served under
+    std::vector<sim::NodeId> members;        ///< member set at `epoch`
+    std::optional<membership::MembershipView> prepared;  ///< successor view
+    bool departed = false;       ///< self left the committed view
+    bool needs_refresh = false;  ///< restarted: no coordination until synced
+    bool refresh_inflight = false;
+    std::unique_ptr<MigrationTask> migration;
   };
 
-  // RPC payloads.
+  // RPC payloads. In elastic mode every request carries the sender's
+  // committed epoch; receivers fence on mismatch (except cross_epoch data
+  // merges, which are CRDT-safe and must survive the commit race).
   struct ClientPutReq {
     std::string key;
     std::string value;
     VersionVector context;
     bool is_delete = false;
+    uint64_t epoch = 0;  // client's view of the committed epoch
   };
   struct ClientGetReq {
     std::string key;
+    uint64_t epoch = 0;
   };
   struct StoreReq {
     std::string key;
     std::vector<Version> versions;
     bool has_hint = false;
     sim::NodeId intended = 0;  // hinted handoff target
+    uint64_t epoch = 0;        // coordinator's epoch (fenced on mismatch)
+    // Exempt from the epoch fence: hint deliveries, read repair, and the
+    // extra write legs to prepared-view owners merge idempotent version
+    // sets and are valid at either epoch of the boundary they straddle.
+    bool cross_epoch = false;
   };
   struct StoreAck {
     uint64_t digest = 0;
   };
   struct ReadReq {
     std::string key;
+    uint64_t epoch = 0;
   };
   struct ReadReply {
     std::vector<Version> versions;  // raw, including tombstones
     uint64_t digest = 0;
   };
+  struct MigrateChunk {
+    uint64_t epoch = 0;  // prepared epoch the stream belongs to
+    std::vector<std::pair<std::string, std::vector<Version>>> entries;
+  };
 
   Server* FindServer(sim::NodeId node);
+  /// Shared server construction; AddServer places the node on the static
+  /// ring, AddServerLive leaves placement to the per-epoch rings.
+  Server* CreateServer(bool on_static_ring);
   void RegisterHandlers(Server* server);
+
+  // --- Elastic membership internals (no-ops for static clusters) ---
+  /// Routes config-service pushes for `server` into ApplyView.
+  void SubscribeServer(Server* server);
+  /// Applies a learned (committed, prepared) pair: flips the served epoch,
+  /// redirects hints off departed nodes, starts/aborts catch-up.
+  void ApplyView(Server* server, const membership::MembershipView& committed,
+                 const std::optional<membership::MembershipView>& prepared);
+  /// Pulls the current views from the config service (single-flight).
+  void RefreshView(Server* server);
+  void ScheduleRefreshTick(Server* server);
+  /// Members / ring / full walk under a specific epoch (built lazily from
+  /// the sorted member list, so every node derives identical placement).
+  const std::vector<sim::NodeId>& MembersOfEpoch(uint64_t epoch) const;
+  const std::vector<sim::NodeId>& RingWalkAt(uint64_t epoch,
+                                             const std::string& key) const;
+  std::vector<sim::NodeId> PreferenceListAt(uint64_t epoch,
+                                            const std::string& key) const;
+  /// Builds `server`'s outbound migration task for its prepared view and
+  /// starts streaming.
+  void StartCatchUp(Server* server);
+  void StreamNextChunk(Server* server);
+  /// Reports catch-up once streaming finished AND no hint addressed to a
+  /// prepared-view member is still buffered (commit must not open the new
+  /// epoch before its owners hold the data).
+  void TryReportCatchUp(Server* server);
+  /// Re-aims buffered hints whose intended home left the committed view at
+  /// the key's new primary (or merges locally when that is us).
+  void RedirectHints(Server* server);
   /// Coordinator's liveness verdict on a fan-out candidate: oracle or
   /// detector per config (see QuorumConfig::use_oracle_detector).
   bool TargetUsable(Server* coordinator, sim::NodeId candidate) const;
@@ -247,6 +378,10 @@ class DynamoCluster : private sim::CrashParticipant {
   obs::Counter* c_gets_ok_ = nullptr;
   obs::Counter* c_gets_unavailable_ = nullptr;
   obs::Counter* c_read_repairs_ = nullptr;
+  obs::Counter* c_stale_epoch_rejects_ = nullptr;
+  obs::Counter* c_view_refreshes_ = nullptr;
+  obs::Counter* c_hints_redirected_ = nullptr;
+  obs::Counter* c_keys_migrated_ = nullptr;
   Histogram* h_put_latency_us_ = nullptr;
   Histogram* h_get_latency_us_ = nullptr;
   // Key placement cache: keys intern to dense ids and each key's full ring
@@ -259,6 +394,7 @@ class DynamoCluster : private sim::CrashParticipant {
   sim::MethodId m_client_get_ = 0;
   sim::MethodId m_store_ = 0;
   sim::MethodId m_read_ = 0;
+  sim::MethodId m_migrate_ = 0;
   QuorumConfig config_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::map<sim::NodeId, Server*> by_node_;
@@ -267,6 +403,18 @@ class DynamoCluster : private sim::CrashParticipant {
   HashRing ring_;
   DynamoStats stats_;
   sim::CrashRegistrar crash_registrar_;
+  // Elastic membership (null/empty for static clusters).
+  membership::ConfigService* config_service_ = nullptr;
+  sim::Time hint_interval_ = 0;   // remembered for live-added servers
+  uint64_t announced_epoch_ = 0;  // highest epoch surfaced via commit_cb_
+  CommitCallback commit_cb_;
+  ServerCreatedCallback server_created_cb_;
+  // Per-epoch placement caches, all pure functions of the epoch's sorted
+  // member list: member sets, vnode rings, and interned-key full walks.
+  mutable std::map<uint64_t, std::vector<sim::NodeId>> members_of_epoch_;
+  mutable std::map<uint64_t, HashRing> ring_of_epoch_;
+  mutable std::map<uint64_t, std::vector<std::vector<sim::NodeId>>>
+      walks_of_epoch_;
 };
 
 }  // namespace evc::repl

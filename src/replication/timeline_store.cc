@@ -329,11 +329,13 @@ void TimelineCluster::MigrateMaster(const std::string& key,
     return;
   }
 
-  auto finish = [this, key, new_master, done](Status status) {
+  auto finish = [this, key, old_master, new_master, done](Status status) {
     migrating_.erase(key);
     if (status.ok()) {
       master_override_[key] = new_master;
       Obs().CounterFor("tl.migrations_ok").Inc();
+      // Repoint first, then notify: the hook may consult MasterOf(key).
+      if (master_move_hook_) master_move_hook_(key, old_master, new_master);
     }
     done(std::move(status));
   };

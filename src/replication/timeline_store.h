@@ -132,6 +132,17 @@ class TimelineCluster : private sim::CrashParticipant {
   /// to remove.
   void SetWriteGate(WriteGate gate) { write_gate_ = std::move(gate); }
 
+  /// Invoked after a successful MigrateMaster, once the router has
+  /// repointed (so MasterOf(key) already answers new_master). The edge-cache
+  /// tier installs a hook that fences the key for leases the OLD master
+  /// granted and the NEW master has no record of.
+  using MasterMoveHook = std::function<void(
+      const std::string& key, sim::NodeId old_master, sim::NodeId new_master)>;
+  /// At most one hook; nullptr removes.
+  void SetMasterMoveHook(MasterMoveHook hook) {
+    master_move_hook_ = std::move(hook);
+  }
+
   /// Synchronous local lookup at `server` (no RPC, no stats): the read path
   /// for a server-side tier co-located with the replica (edge-cache lease
   /// handler). `server` must be a cluster member.
@@ -210,6 +221,7 @@ class TimelineCluster : private sim::CrashParticipant {
   std::map<std::string, sim::NodeId> master_override_;
   std::set<std::string> migrating_;
   WriteGate write_gate_;
+  MasterMoveHook master_move_hook_;
   TimelineStats stats_;
   sim::CrashRegistrar crash_registrar_;
 };

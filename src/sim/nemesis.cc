@@ -122,6 +122,21 @@ std::string FaultAction::ToString() const {
     case Kind::kHealAll:
       out += "heal-all";
       break;
+    case Kind::kAddNode:
+      out += "add-node";
+      break;
+    case Kind::kRemoveNode:
+      out += "remove-node";
+      break;
+    case Kind::kRollingRestart: {
+      char buf[80];
+      std::snprintf(buf, sizeof(buf),
+                    "rolling-restart stagger %.1fs hold %.1fs",
+                    static_cast<double>(delay) / kSecond,
+                    static_cast<double>(hold) / kSecond);
+      out += buf;
+      break;
+    }
   }
   return out;
 }
@@ -269,6 +284,29 @@ FaultPlan& FaultPlan::HealAllAt(Time at) {
   return Push(std::move(a));
 }
 
+FaultPlan& FaultPlan::AddNodeAt(Time at) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kAddNode;
+  a.at = at;
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::RemoveNodeAt(Time at) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kRemoveNode;
+  a.at = at;
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::RollingRestartAt(Time at, Time stagger, Time hold) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kRollingRestart;
+  a.at = at;
+  a.delay = stagger;
+  a.hold = hold;
+  return Push(std::move(a));
+}
+
 std::string FaultPlan::ToString() const {
   std::vector<const FaultAction*> sorted;
   sorted.reserve(actions_.size());
@@ -308,10 +346,12 @@ FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
 
   enum Family {
     kPartitionF, kCrashF, kLossF, kDupF,
-    kSlowLinkF, kFlakyLinkF, kSlowNodeF
+    kSlowLinkF, kFlakyLinkF, kSlowNodeF,
+    kMembershipF, kRollingF
   };
-  // Gray families are appended after the historical ones, so schedules drawn
-  // with the default toggles consume the rng stream exactly as before.
+  // Gray and membership families are appended after the historical ones, so
+  // schedules drawn with the default toggles consume the rng stream exactly
+  // as before.
   std::vector<Family> families;
   if (options.allow_partitions) families.push_back(kPartitionF);
   if (options.allow_crashes && options.max_concurrent_crashes > 0) {
@@ -326,6 +366,11 @@ FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
     families.push_back(kFlakyLinkF);
   }
   if (options.allow_slow_nodes) families.push_back(kSlowNodeF);
+  if (options.allow_membership && options.max_membership_ops > 0) {
+    families.push_back(kMembershipF);
+  }
+  if (options.allow_rolling_restart) families.push_back(kRollingF);
+  int membership_ops = 0;
   if (families.empty()) {
     if (options.heal_at_end) plan.HealAllAt(end);
     return plan;
@@ -400,6 +445,22 @@ FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
                                   rng_.NextDouble() *
                                   static_cast<double>(options.max_node_delay))));
         plan.GrayRecoverAt(recover_at);
+        break;
+      case kMembershipF:
+        // No paired recovery: a membership change is permanent by nature
+        // (the commit IS the recovery). Skip the draw past the cap rather
+        // than removing the family, to keep the draw table static.
+        if (membership_ops >= options.max_membership_ops) break;
+        ++membership_ops;
+        if (rng_.NextBool(0.5)) {
+          plan.AddNodeAt(t);
+        } else {
+          plan.RemoveNodeAt(t);
+        }
+        break;
+      case kRollingF:
+        plan.RollingRestartAt(t, options.rolling_stagger,
+                              options.rolling_hold);
         break;
     }
   }
@@ -588,6 +649,69 @@ void Nemesis::Apply(const FaultAction& action) {
     case Kind::kHealAll:
       HealAll();
       break;
+    case Kind::kAddNode: {
+      if (actuator_ == nullptr || !actuator_->AddNode()) {
+        ++stats_.skipped;
+        Note("add-node skipped (no actuator or reconfig in flight)");
+        break;
+      }
+      ++stats_.membership_ops;
+      Note("add-node proposed");
+      break;
+    }
+    case Kind::kRemoveNode: {
+      std::vector<NodeId> pool =
+          actuator_ == nullptr ? std::vector<NodeId>{}
+                               : actuator_->RemovableNodes();
+      if (pool.empty()) {
+        ++stats_.skipped;
+        Note("remove-node skipped (no removable member)");
+        break;
+      }
+      const NodeId victim = pool[rng_.NextBounded(pool.size())];
+      if (!actuator_->RemoveNode(victim)) {
+        ++stats_.skipped;
+        Note("remove-node skipped (proposal refused)");
+        break;
+      }
+      ++stats_.membership_ops;
+      Note("remove-node " + std::to_string(victim) + " proposed");
+      break;
+    }
+    case Kind::kRollingRestart: {
+      // Crash + restart every currently-up target, staggered: target i goes
+      // down at i*stagger and returns `hold` later. Reuses the kCrash /
+      // kRestart bookkeeping so crash participants and the crashed_ queue
+      // see ordinary crashes.
+      Simulator* sim = net_->simulator();
+      Time offset = 0;
+      int waved = 0;
+      for (NodeId node : targets_) {
+        if (!net_->IsNodeUp(node)) continue;
+        sim->ScheduleAfter(offset, [this, node] {
+          FaultAction crash;
+          crash.kind = Kind::kCrash;
+          crash.node = node;
+          Apply(crash);
+        });
+        sim->ScheduleAfter(offset + action.hold, [this, node] {
+          FaultAction restart;
+          restart.kind = Kind::kRestart;
+          restart.node = node;
+          Apply(restart);
+        });
+        offset += action.delay;
+        ++waved;
+      }
+      if (waved == 0) {
+        ++stats_.skipped;
+        Note("rolling-restart skipped (no target up)");
+        break;
+      }
+      ++stats_.rolling_restarts;
+      Note("rolling-restart of " + std::to_string(waved) + " targets");
+      break;
+    }
   }
 }
 

@@ -56,6 +56,12 @@ struct FaultAction {
     kGrayRecover,      ///< undo the oldest still-active gray fault
     kHealAll,          ///< heal partition, restart crashed targets, zero
                        ///< rates, clear gray faults
+    // Membership faults (appended so historical kinds keep their values).
+    // They act through the installed MembershipActuator and are skipped
+    // (stats_.skipped) when none is installed.
+    kAddNode,          ///< propose joining a brand-new node
+    kRemoveNode,       ///< propose removing a random removable member
+    kRollingRestart,   ///< crash+restart every up target, staggered
   };
 
   Kind kind = Kind::kHeal;
@@ -65,7 +71,8 @@ struct FaultAction {
   NodeId node_b = 0;   ///< link endpoint b (kSlowLink / kFlakyLink)
   double rate = 0.0;   ///< kLossRate / kDuplicateRate / kFlakyLink
   double factor = 1.0; ///< kSlowLink latency multiplier
-  Time delay = 0;      ///< kSlowNode processing delay
+  Time delay = 0;      ///< kSlowNode processing delay / kRollingRestart stagger
+  Time hold = 0;       ///< kRollingRestart: per-node down time
   PartitionStyle style = PartitionStyle::kMajorityMinority;
 
   std::string ToString() const;
@@ -92,6 +99,12 @@ class FaultPlan {
   FaultPlan& RandomSlowNodeAt(Time at, Time delay);
   FaultPlan& GrayRecoverAt(Time at);
   FaultPlan& HealAllAt(Time at);
+  FaultPlan& AddNodeAt(Time at);
+  FaultPlan& RemoveNodeAt(Time at);
+  /// Crash+restart every up target: target i goes down at `at + i*stagger`
+  /// and comes back `hold` later. With hold < stagger at most one target is
+  /// down at a time — the classic rolling-deploy shape.
+  FaultPlan& RollingRestartAt(Time at, Time stagger, Time hold);
 
   const std::vector<FaultAction>& actions() const { return actions_; }
   size_t size() const { return actions_.size(); }
@@ -125,6 +138,11 @@ struct NemesisScheduleOptions {
   bool allow_slow_links = false;
   bool allow_flaky_links = false;
   bool allow_slow_nodes = false;
+  /// Membership families, appended after the gray ones (same historical-
+  /// replay discipline: enabling appends to the draw table, never reorders).
+  /// Both require a MembershipActuator / cooperating restart handling.
+  bool allow_membership = false;       ///< kAddNode / kRemoveNode draws
+  bool allow_rolling_restart = false;  ///< kRollingRestart draws
   /// Upper bounds for the rate ramps.
   double max_loss_rate = 0.25;
   double max_duplicate_rate = 0.25;
@@ -133,7 +151,15 @@ struct NemesisScheduleOptions {
   double max_flaky_drop_rate = 0.6;
   Time max_node_delay = 30 * kMillisecond;
   /// Maximum targets crashed at once (1 keeps an n>=3 majority alive).
+  /// Rolling restarts account separately: with hold < stagger they keep at
+  /// most one extra target down at a time by construction.
   int max_concurrent_crashes = 1;
+  /// Cap on kAddNode/kRemoveNode draws per plan: reconfigurations are rare,
+  /// heavyweight events, and each one runs a full prepare/catch-up/commit.
+  int max_membership_ops = 3;
+  /// Rolling-restart shape (kRollingRestart draws).
+  Time rolling_stagger = 2 * kSecond;
+  Time rolling_hold = 500 * kMillisecond;
   /// Append a HealAll at `duration` so runs end fault-free.
   bool heal_at_end = true;
 };
@@ -146,11 +172,30 @@ struct NemesisStats {
   uint64_t rate_changes = 0;
   uint64_t gray_faults = 0;      ///< slow/flaky links + slow nodes applied
   uint64_t gray_recoveries = 0;  ///< gray faults undone
+  uint64_t membership_ops = 0;   ///< add/remove proposals actually started
+  uint64_t rolling_restarts = 0; ///< rolling-restart waves launched
   uint64_t skipped = 0;  ///< random actions with no eligible target
   uint64_t total() const {
     return partitions + heals + crashes + restarts + rate_changes +
-           gray_faults + gray_recoveries;
+           gray_faults + gray_recoveries + membership_ops + rolling_restarts;
   }
+};
+
+/// How the Nemesis drives live membership changes (kAddNode / kRemoveNode):
+/// the harness (e.g. the elastic fuzz runner) implements this against its
+/// cluster's AddServerLive / RemoveServerLive. All methods run at fault
+/// apply time on the simulator thread.
+class MembershipActuator {
+ public:
+  virtual ~MembershipActuator() = default;
+  /// Starts a live join of a brand-new node. Returns false when one cannot
+  /// start right now (reconfiguration already in flight, floor/cap rules).
+  virtual bool AddNode() = 0;
+  /// Members currently eligible for removal, in deterministic order. The
+  /// Nemesis picks one at random from this list.
+  virtual std::vector<NodeId> RemovableNodes() = 0;
+  /// Starts a live removal of `node`. Returns false when it cannot start.
+  virtual bool RemoveNode(NodeId node) = 0;
 };
 
 /// Executes fault plans against a network. `targets` is the set of nodes the
@@ -172,6 +217,13 @@ class Nemesis {
   /// rate faults still draw from `targets` alone. With an empty extension
   /// the draw stream is bit-identical to a Nemesis without this call.
   void SetGrayTargets(const std::vector<NodeId>& gray_targets);
+
+  /// Installs the handler for kAddNode / kRemoveNode (not owned; must
+  /// outlive the Nemesis). Without one those actions are skipped. Consumes
+  /// no randomness, so installing it never perturbs existing schedules.
+  void SetMembershipActuator(MembershipActuator* actuator) {
+    actuator_ = actuator;
+  }
 
   /// Draws a random plan from the options. Pure function of the Nemesis
   /// seed and the options (does not touch the network).
@@ -222,6 +274,7 @@ class Nemesis {
   void Note(const std::string& what);
 
   Network* net_;
+  MembershipActuator* actuator_ = nullptr;
   std::vector<NodeId> targets_;
   /// Pool for gray draws: targets_ plus SetGrayTargets extras (== targets_
   /// until extended, keeping historical schedules bit-identical).

@@ -13,6 +13,7 @@
 #include "causal/causal_store.h"
 #include "obs/export.h"
 #include "consensus/paxos.h"
+#include "membership/config_service.h"
 #include "crdt/gcounter.h"
 #include "crdt/orset.h"
 #include "replication/anti_entropy.h"
@@ -37,6 +38,7 @@ const char* ToString(FuzzStore store) {
     case FuzzStore::kGCounter: return "gcounter";
     case FuzzStore::kOrSet: return "orset";
     case FuzzStore::kEdgeCache: return "edge-cache";
+    case FuzzStore::kQuorumElastic: return "quorum-elastic";
   }
   return "?";
 }
@@ -52,10 +54,11 @@ bool ParseFuzzStore(const std::string& name, FuzzStore* store) {
 }
 
 std::vector<FuzzStore> AllFuzzStores() {
-  return {FuzzStore::kPaxos,    FuzzStore::kQuorumStrict,
-          FuzzStore::kQuorumWeak, FuzzStore::kTimeline,
-          FuzzStore::kCausal,   FuzzStore::kGCounter,
-          FuzzStore::kOrSet,    FuzzStore::kEdgeCache};
+  return {FuzzStore::kPaxos,        FuzzStore::kQuorumStrict,
+          FuzzStore::kQuorumWeak,   FuzzStore::kTimeline,
+          FuzzStore::kCausal,       FuzzStore::kGCounter,
+          FuzzStore::kOrSet,        FuzzStore::kEdgeCache,
+          FuzzStore::kQuorumElastic};
 }
 
 FuzzOptions DefaultFuzzOptions(FuzzStore store, uint64_t seed) {
@@ -104,6 +107,28 @@ FuzzOptions DefaultFuzzOptions(FuzzStore store, uint64_t seed) {
       o.keyspace = 3;
       o.quiescence_timeout = 15 * kSecond;
       break;
+    case FuzzStore::kQuorumElastic:
+      // Live membership changes under a strict quorum. The schedule is the
+      // "elastic" shape: no partitions or hard crashes (reconfiguration is
+      // the fault under test; availability through it is the claim), but
+      // gray degradation, rolling restarts, and add/remove draws all on.
+      o.servers = 4;
+      o.sessions = 3;
+      o.ops_per_session = 25;
+      o.keyspace = 4;
+      o.quiescence_timeout = 60 * kSecond;
+      o.nemesis.duration = 25 * kSecond;
+      o.nemesis.mean_fault_interval = 2 * kSecond;
+      o.nemesis.allow_partitions = false;
+      o.nemesis.allow_crashes = false;
+      o.nemesis.allow_loss = false;
+      o.nemesis.allow_duplication = false;
+      o.nemesis.allow_slow_links = true;
+      o.nemesis.allow_flaky_links = true;
+      o.nemesis.allow_slow_nodes = true;
+      o.nemesis.allow_membership = true;
+      o.nemesis.allow_rolling_restart = true;
+      break;
   }
   return o;
 }
@@ -142,9 +167,12 @@ bool FuzzReport::MeetsClaims(std::string* why) const {
     // Only the strong quorum configuration promises session guarantees; the
     // weak configuration records them as expected anomalies. The edge cache
     // claims all four guarantees *through the cache* — any violation there,
-    // cached serve or not, breaks the lease protocol's contract.
+    // cached serve or not, breaks the lease protocol's contract. The elastic
+    // configuration claims them ACROSS reconfiguration boundaries: an epoch
+    // change is not allowed to cost a single guarantee.
     if (store == FuzzStore::kQuorumStrict || store == FuzzStore::kTimeline ||
-        store == FuzzStore::kEdgeCache) {
+        store == FuzzStore::kEdgeCache ||
+        store == FuzzStore::kQuorumElastic) {
       return fail("session guarantee violated");
     }
   }
@@ -189,6 +217,11 @@ std::string FuzzReport::Summary() const {
   if (store == FuzzStore::kEdgeCache) {
     os << " cache=" << cache_hits << "h," << cache_misses << "m,"
        << cache_revokes_sent << "rev," << cache_writes_fenced << "fence";
+  }
+  if (store == FuzzStore::kQuorumElastic) {
+    os << " elastic=" << epochs_committed << "e," << membership_ops << "ops,"
+       << keys_migrated << "mig," << stale_epoch_rejects << "fence,"
+       << hints_redirected << "redir";
   }
   std::string why;
   os << " claims=" << (MeetsClaims(&why) ? "ok" : "VIOLATED");
@@ -562,6 +595,270 @@ FuzzReport RunQuorum(const FuzzOptions& o, bool strict) {
           .global()
           .CounterFor("resilience.detector.false_positives")
           .value();
+
+  FillCommon(&rep, o, s, nemesis);
+  return rep;
+}
+
+// --------------------------------------------------------------------------
+// Elastic quorum: strict R+W>N with Paxos-backed live membership changes.
+// The nemesis adds, removes, and rolling-restarts data servers mid-workload;
+// the checkers then assert the static-cluster claims (convergence, session
+// guarantees, hint ledger) ACROSS every reconfiguration boundary.
+// --------------------------------------------------------------------------
+
+/// Drives nemesis kAddNode/kRemoveNode draws into DynamoCluster live
+/// reconfigurations. Refusals (reconfig already in flight, member floor) are
+/// reported back so the nemesis records the op as skipped.
+class ElasticActuator : public sim::MembershipActuator {
+ public:
+  explicit ElasticActuator(repl::DynamoCluster* cluster) : cluster_(cluster) {}
+
+  bool AddNode() override {
+    Result<sim::NodeId> added = cluster_->AddServerLive([](Status) {});
+    return added.ok();
+  }
+  std::vector<sim::NodeId> RemovableNodes() override {
+    std::vector<sim::NodeId> members = cluster_->CommittedMembers();
+    if (static_cast<int>(members.size()) <= cluster_->config().min_members) {
+      return {};
+    }
+    return members;
+  }
+  bool RemoveNode(sim::NodeId node) override {
+    return cluster_->RemoveServerLive(node, [](Status) {}).ok();
+  }
+
+ private:
+  repl::DynamoCluster* cluster_;
+};
+
+FuzzReport RunQuorumElastic(const FuzzOptions& o) {
+  FuzzReport rep;
+  SimStack s(o);
+
+  // The configuration service's Paxos group lives on its own nodes, OUTSIDE
+  // the nemesis target set: the config core's availability is an assumption
+  // of the design (exactly as in the paper's primary-copy protocols); what
+  // the schedule attacks is the data plane through membership churn.
+  consensus::PaxosCluster paxos(&s.rpc, consensus::PaxosOptions{});
+  const std::vector<sim::NodeId> paxos_servers = paxos.AddServers(3);
+  paxos.Start();
+  membership::ConfigService config(&s.rpc, &paxos, paxos_servers);
+
+  repl::QuorumConfig cfg;
+  cfg.replication_factor = 3;
+  cfg.read_quorum = 2;
+  cfg.write_quorum = 2;
+  cfg.sloppy = o.elastic_sloppy;
+  cfg.read_repair = true;
+  cfg.use_hash_ring = true;
+  cfg.crash_amnesia = o.amnesia;
+  cfg.use_oracle_detector = o.use_oracle_detector;
+  repl::DynamoCluster cluster(&s.rpc, cfg);
+  const std::vector<sim::NodeId> servers = cluster.AddServers(o.servers);
+  cluster.StartHintDelivery(500 * kMillisecond);
+  cluster.StartFailureDetection();  // no-op in oracle mode
+
+  std::vector<ReplicaStorage*> storages;
+  for (sim::NodeId srv : servers) storages.push_back(cluster.storage(srv));
+  repl::AntiEntropyOptions ae_options;
+  ae_options.interval = 250 * kMillisecond;
+  if (!o.use_oracle_detector) {
+    ae_options.peer_usable = [&cluster](sim::NodeId self, sim::NodeId peer) {
+      return cluster.PeerUsable(self, peer);
+    };
+  }
+  repl::AntiEntropy ae(&s.net, servers, storages, ae_options);
+  ae.Start();
+
+  // Membership wiring: a live-joined server starts gossiping before any data
+  // moves; a committed removal marks the node departed so peer draws skip it.
+  std::set<sim::NodeId> gossiping(servers.begin(), servers.end());
+  cluster.SetServerCreatedCallback(
+      [&](sim::NodeId node, ReplicaStorage* storage) {
+        ae.AddMember(node, storage);
+        gossiping.insert(node);
+      });
+  cluster.SetCommitCallback([&](const membership::MembershipView& view) {
+    ++rep.epochs_committed;
+    for (auto it = gossiping.begin(); it != gossiping.end();) {
+      if (view.Contains(*it)) {
+        ++it;
+      } else {
+        ae.MarkDeparted(*it);
+        it = gossiping.erase(it);
+      }
+    }
+  });
+
+  // Bootstrap epoch 1 with the initial server set, then hand the cluster its
+  // view-driven membership.
+  s.sim.RunFor(2 * kSecond);  // let the config group elect a leader
+  bool bootstrapped = false;
+  config.Bootstrap(servers, [&](Status st) {
+    EVC_CHECK_OK(st);
+    bootstrapped = true;
+  });
+  const sim::Time boot_deadline = s.sim.Now() + 30 * kSecond;
+  while (!bootstrapped && s.sim.Now() < boot_deadline) {
+    s.sim.RunFor(100 * kMillisecond);
+  }
+  EVC_CHECK(bootstrapped);
+  cluster.EnableElastic(&config);
+
+  sim::Nemesis nemesis(&s.net, servers, NemesisSeed(o.seed));
+  ElasticActuator actuator(&cluster);
+  nemesis.SetMembershipActuator(&actuator);
+  Driver driver(&s, &nemesis, o);
+
+  std::vector<RecordedOp> history;
+  std::vector<AckedWrite> acked;
+  std::map<std::string, VersionVector> acked_vv;  // value -> stored vv
+  struct Session {
+    sim::NodeId node = 0;
+    Rng rng{0};
+    int issued = 0;
+    std::map<std::string, VersionVector> context;  // last read context
+  };
+  std::vector<std::unique_ptr<Session>> sessions;
+  Rng root(o.seed ^ 0x0d15c0ULL);
+
+  std::function<void(int)> next = [&](int i) {
+    Session& sess = *sessions[i];
+    if (driver.stopped() || sess.issued >= o.ops_per_session) {
+      driver.SessionDone();
+      return;
+    }
+    const int n = sess.issued++;
+    const std::string key =
+        "k" + std::to_string(sess.rng.NextBounded(o.keyspace));
+    // Coordinators are drawn from the CURRENT committed membership — the
+    // client-visible contract of the config service. A request can still
+    // race a commit (pick a server that departs in flight); it then fails
+    // cleanly at the epoch fence and is simply counted as unavailable.
+    const std::vector<sim::NodeId> members = cluster.CommittedMembers();
+    const sim::NodeId coord = members[sess.rng.NextBounded(members.size())];
+    const int64_t invoke = s.sim.Now();
+    if (sess.rng.NextBool(0.5)) {
+      const std::string value = UniqueValue(i, n);
+      history.push_back(RecWrite(i, key, value, invoke, invoke,
+                                 /*acked=*/false));
+      const size_t slot = history.size() - 1;
+      VersionVector context = sess.context[key];
+      cluster.Put(sess.node, coord, key, value, context,
+                  [&, i, key, value, slot](Result<Version> r) {
+                    if (r.ok()) {
+                      history[slot].acked = true;
+                      history[slot].response = s.sim.Now();
+                      acked.push_back({key, value});
+                      acked_vv[value] = r->vv;
+                      ++rep.writes_acked;
+                    } else {
+                      ++rep.writes_failed;
+                    }
+                    s.sim.ScheduleAfter(driver.NextGap(&sessions[i]->rng),
+                                        [&, i] { next(i); });
+                  });
+    } else {
+      cluster.Get(sess.node, coord, key,
+                  [&, i, key, invoke](Result<repl::ReadResult> r) {
+                    const int64_t response = s.sim.Now();
+                    if (r.ok()) {
+                      std::vector<std::string> observed;
+                      for (const Version& v : r->versions) {
+                        observed.push_back(v.value);
+                      }
+                      sessions[i]->context[key] = r->context;
+                      history.push_back(
+                          RecRead(i, key, std::move(observed), invoke,
+                                  response));
+                      ++rep.reads_ok;
+                    } else {
+                      ++rep.reads_failed;
+                    }
+                    s.sim.ScheduleAfter(driver.NextGap(&sessions[i]->rng),
+                                        [&, i] { next(i); });
+                  });
+    }
+  };
+
+  for (int i = 0; i < o.sessions; ++i) {
+    auto sess = std::make_unique<Session>();
+    sess->node = s.net.AddNode();
+    sess->rng = root.Fork(static_cast<uint64_t>(i));
+    sessions.push_back(std::move(sess));
+    s.sim.ScheduleAfter(driver.NextGap(&sessions.back()->rng),
+                        [&, i] { next(i); });
+  }
+
+  driver.RunWorkload(o.sessions);
+  // Quiesce until the last reconfiguration has fully settled (prepare →
+  // catch-up → commit → every server on the committed epoch), hints have
+  // drained, and anti-entropy reports the live members identical.
+  driver.Quiesce([&] {
+    return !cluster.Migrating() && cluster.pending_hints() == 0 &&
+           ae.Converged();
+  });
+
+  // Convergence is asserted over the FINAL committed membership: departed
+  // servers keep their stale shadow copies (harmless — nothing routes to
+  // them), live-joined servers must hold the full acked history.
+  const std::vector<sim::NodeId> final_members = cluster.CommittedMembers();
+  std::vector<ReplicaState> states;
+  for (sim::NodeId srv : final_members) {
+    ReplicaState state;
+    for (int k = 0; k < o.keyspace; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      std::vector<Version> versions = cluster.storage(srv)->Get(key);
+      if (versions.empty()) continue;
+      std::vector<std::string> values;
+      for (const Version& v : versions) values.push_back(v.value);
+      std::sort(values.begin(), values.end());
+      state[key] = std::move(values);
+    }
+    states.push_back(std::move(state));
+  }
+  std::map<std::string, std::vector<Version>> final_versions;
+  for (int k = 0; k < o.keyspace; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    final_versions[key] = cluster.storage(final_members[0])->GetRaw(key);
+  }
+  auto covered = [&](const AckedWrite& w,
+                     const std::vector<std::string>& final_values) {
+    for (const std::string& v : final_values) {
+      if (v == w.value) return true;
+    }
+    auto vv_it = acked_vv.find(w.value);
+    if (vv_it == acked_vv.end()) return false;
+    for (const Version& v : final_versions[w.key]) {
+      if (v.vv.Descends(vv_it->second)) return true;
+    }
+    return false;
+  };
+  rep.conv_checked = true;
+  rep.convergence = CheckConvergence(states, acked, covered);
+
+  if (!o.elastic_sloppy) {
+    // Only the strict configuration claims session guarantees; the sloppy
+    // variant exists to drive hint traffic for the ledger sweep.
+    rep.sess_checked = true;
+    rep.session = CheckSessionGuarantees(history);
+  }
+
+  rep.hints_stored = cluster.stats().hints_stored;
+  rep.hints_delivered = cluster.stats().hints_delivered;
+  rep.hints_lost = cluster.stats().hints_lost;
+  rep.hints_pending = cluster.pending_hints();
+  rep.detector_false_positives =
+      s.sim.metrics()
+          .global()
+          .CounterFor("resilience.detector.false_positives")
+          .value();
+  rep.membership_ops = nemesis.stats().membership_ops;
+  rep.keys_migrated = cluster.stats().keys_migrated;
+  rep.stale_epoch_rejects = cluster.stats().stale_epoch_rejects;
+  rep.hints_redirected = cluster.stats().hints_redirected;
 
   FillCommon(&rep, o, s, nemesis);
   return rep;
@@ -1232,6 +1529,7 @@ FuzzReport RunFuzzSeed(const FuzzOptions& options) {
     case FuzzStore::kGCounter: return RunGCounter(options);
     case FuzzStore::kOrSet: return RunOrSet(options);
     case FuzzStore::kEdgeCache: return RunEdgeCache(options);
+    case FuzzStore::kQuorumElastic: return RunQuorumElastic(options);
   }
   return {};
 }

@@ -54,6 +54,7 @@ enum class FuzzStore {
   kGCounter,      ///< state-based CRDT counter over gossip
   kOrSet,         ///< observed-remove set over gossip
   kEdgeCache,     ///< lease-based edge cache over the timeline store
+  kQuorumElastic, ///< strict quorum + Paxos-backed live membership changes
 };
 
 const char* ToString(FuzzStore store);
@@ -82,6 +83,13 @@ struct FuzzOptions {
   /// detector (see QuorumConfig::use_oracle_detector). Same-seed A/B runs
   /// of the two modes compare their hinted-handoff behavior.
   bool use_oracle_detector = false;
+  /// kQuorumElastic only: run the elastic cluster with sloppy quorums and
+  /// hinted handoff instead of the strict R+W>N configuration. The hint-
+  /// ledger sweep uses this to drive hint traffic across membership changes
+  /// (strict mode stores hints only on rare cross-epoch leg failures);
+  /// session guarantees are not asserted in this mode — sloppy quorums
+  /// trade RYW for availability by design.
+  bool elastic_sloppy = false;
   /// Event-scheduler implementation for the run's simulator. The two
   /// schedulers promise identical (when, seq) execution order; the 25-seed
   /// differential harness (tests/simcore_diff_test.cc) runs every seed
@@ -148,6 +156,15 @@ struct FuzzReport {
   uint64_t hints_lost = 0;
   uint64_t hints_pending = 0;
   uint64_t detector_false_positives = 0;
+
+  // Elastic membership (kQuorumElastic only): reconfigurations that actually
+  // committed during the run, plus the data-plane evidence that the epoch
+  // fences and migration paths were exercised rather than idle.
+  uint64_t epochs_committed = 0;     ///< committed epochs beyond bootstrap
+  uint64_t membership_ops = 0;       ///< nemesis add/remove ops that started
+  uint64_t keys_migrated = 0;        ///< keys streamed to new owners
+  uint64_t stale_epoch_rejects = 0;  ///< data-plane RPCs fenced by epoch
+  uint64_t hints_redirected = 0;     ///< hints re-aimed off departed nodes
 
   // Edge cache: client-tier accounting (kEdgeCache only).
   uint64_t cache_hits = 0;

@@ -136,6 +136,39 @@ TEST_F(AntiEntropyTest, DownReplicaCatchesUpAfterRestart) {
   EXPECT_FALSE(storages_[3]->Get("k").empty());
 }
 
+TEST_F(AntiEntropyTest, DepartedPeerSkippedInPeerDrawsAndConvergence) {
+  // Satellite regression: gossip used to draw peers from the construction-
+  // time node list forever, so a departed member kept being dialed (wasted
+  // rounds against a node that left) and its frozen copy kept vetoing
+  // Converged. Departed peers must be skipped in draws (counted in
+  // ae.peer_skips), stop initiating rounds, and drop out of Converged.
+  AntiEntropyOptions options;
+  options.interval = 50 * kMillisecond;
+  Build(4, options);
+  ae_->MarkDeparted(nodes_[3]);
+  storages_[0]->Put("k", "v", {}, Ts(1));
+  ae_->Start();
+  sim_->RunFor(5 * kSecond);
+  EXPECT_TRUE(ae_->Converged()) << "departed replica still counted";
+  EXPECT_TRUE(storages_[3]->Get("k").empty()) << "departed replica gossiped";
+  EXPECT_GT(ae_->stats().peers_skipped, 0u);
+}
+
+TEST_F(AntiEntropyTest, LiveAddedMemberJoinsGossipAndConverges) {
+  AntiEntropyOptions options;
+  options.interval = 50 * kMillisecond;
+  Build(3, options);
+  storages_[0]->Put("k", "v", {}, Ts(1));
+  ae_->Start();
+  sim_->RunFor(kSecond);
+  ReplicaStorage extra_storage(99, ReplicaStorageOptions{});
+  const sim::NodeId extra = net_->AddNode();
+  ae_->AddMember(extra, &extra_storage);
+  sim_->RunFor(5 * kSecond);
+  EXPECT_TRUE(ae_->Converged());
+  EXPECT_FALSE(extra_storage.Get("k").empty());
+}
+
 TEST_F(AntiEntropyTest, ConflictingSiblingsSpreadEverywhere) {
   AntiEntropyOptions options;
   options.interval = 50 * kMillisecond;

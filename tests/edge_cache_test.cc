@@ -198,6 +198,84 @@ TEST_F(EdgeCacheTest, MasterCrashFencesWritesForOneTtl) {
   EXPECT_GE(tier_->stats().writes_fenced, 1u);
 }
 
+TEST_F(EdgeCacheTest, MasterMoveFencesLeasesGrantedByOldMaster) {
+  // When mastership of a record moves (live reconfiguration / manual
+  // failover), the NEW master has no record of leases the OLD one granted.
+  // A write through it must be fenced until those invisible leases have
+  // provably expired — the key-scoped analogue of the crash fence.
+  Build();
+  ASSERT_TRUE(PutSync(a_, "k", "v1").ok());
+  ASSERT_TRUE(GetSync(a_, "k").ok());  // lease granted by the old master
+  ASSERT_EQ(a_->CachedSeqno("k"), 1u);
+  const sim::NodeId old_master = cluster_->MasterOf("k");
+  sim::NodeId new_master = 0;
+  for (sim::NodeId s : servers_) {
+    if (s != old_master) {
+      new_master = s;
+      break;
+    }
+  }
+  std::optional<Status> moved;
+  cluster_->MigrateMaster("k", new_master, [&](Status s) { moved = s; });
+  for (sim::Time w = 0; !moved.has_value() && w < 2 * kSecond;
+       w += 5 * kMillisecond) {
+    sim_->RunFor(5 * kMillisecond);
+  }
+  ASSERT_TRUE(moved.has_value() && moved->ok());
+  EXPECT_GE(tier_->stats().master_move_fences, 1u);
+
+  auto put = PutSync(b_, "k", "v2");
+  ASSERT_TRUE(put.ok());
+  EXPECT_GE(tier_->stats().writes_fenced, 1u);
+  // By ack time the pre-move lease is dead: no cached copy of v1 survives
+  // an acked v2 anywhere.
+  EXPECT_EQ(a_->CachedSeqno("k"), 0u);
+  auto read = GetSync(a_, "k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "v2");
+}
+
+TEST_F(EdgeCacheTest, MasterMoveWithoutFenceServesStaleReproducingTheBug) {
+  // Regression proof for the fence above: with fence_on_master_move off,
+  // a post-move write acks while an old-epoch holder still serves the
+  // overwritten value from a live lease — the exact anomaly the satellite
+  // bugfix closes. Deleting the fence makes THIS test's stale serve the
+  // shipped behavior, so it documents (and pins) the failure mode.
+  EdgeCacheOptions copt;
+  copt.fence_on_master_move = false;
+  Build(copt);
+  ASSERT_TRUE(PutSync(a_, "k", "v1").ok());
+  ASSERT_TRUE(GetSync(a_, "k").ok());
+  ASSERT_EQ(a_->CachedSeqno("k"), 1u);
+  const sim::NodeId old_master = cluster_->MasterOf("k");
+  sim::NodeId new_master = 0;
+  for (sim::NodeId s : servers_) {
+    if (s != old_master) {
+      new_master = s;
+      break;
+    }
+  }
+  std::optional<Status> moved;
+  cluster_->MigrateMaster("k", new_master, [&](Status s) { moved = s; });
+  for (sim::Time w = 0; !moved.has_value() && w < 2 * kSecond;
+       w += 5 * kMillisecond) {
+    sim_->RunFor(5 * kMillisecond);
+  }
+  ASSERT_TRUE(moved.has_value() && moved->ok());
+
+  // The new master sees no leases on "k", so the write acks unfenced...
+  auto put = PutSync(b_, "k", "v2");
+  ASSERT_TRUE(put.ok());
+  EXPECT_EQ(tier_->stats().writes_fenced, 0u);
+  // ...while the pre-move holder still serves v1 under a live lease: a
+  // cached read is now BEHIND an acked write.
+  ASSERT_EQ(a_->CachedSeqno("k"), 1u);
+  auto read = GetSync(a_, "k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->from_cache);
+  EXPECT_EQ(read->value, "v1");
+}
+
 TEST_F(EdgeCacheTest, MinSeqnoFloorBypassesAStaleEntry) {
   Build();
   ASSERT_TRUE(PutSync(a_, "k", "v1").ok());

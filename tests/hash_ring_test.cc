@@ -180,6 +180,88 @@ TEST(HashRingTest, ReprobedRingStillServesDistinctPreferenceLists) {
   EXPECT_EQ(ring.point_count(), 5u * 32u);
 }
 
+TEST(HashRingTest, ShortKeysSpreadAcrossTheRing) {
+  // Regression: ring positions must be post-mixed. Raw FNV-1a of an n-byte
+  // key only spans ~2^(40+lg n) of the 2^64 point space, so every short key
+  // ("k0".."k9" — exactly the fuzz keyspace) used to land on one arc and
+  // the whole keyspace collapsed onto a single preference list.
+  HashRing ring(64);
+  for (sim::NodeId n = 0; n < 8; ++n) ring.AddServer(n);
+  std::set<sim::NodeId> primaries;
+  for (int i = 0; i < 10; ++i) {
+    primaries.insert(ring.PrimaryFor("k" + std::to_string(i)));
+  }
+  EXPECT_GT(primaries.size(), 1u) << "all short keys on one arc";
+}
+
+TEST(HashRingTest, RemapDeltaBoundedOnJoin) {
+  // The consistent-hashing contract across a membership change: when a
+  // server joins an n-server ring, only about a 1/(n+1) share of keys may
+  // change primary, every moved key must move TO the newcomer, and keys
+  // that stay put must keep their whole ownership walk (untouched ranges
+  // keep ownership order — the property epoch migration relies on to move
+  // only the delta).
+  const int kKeys = 20000;
+  const int kServers = 8;
+  HashRing ring(64);
+  for (sim::NodeId n = 0; n < kServers; ++n) ring.AddServer(n);
+  std::vector<sim::NodeId> before_primary(kKeys);
+  std::vector<std::vector<sim::NodeId>> before_walk(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    before_primary[i] = ring.PrimaryFor(key);
+    before_walk[i] = ring.PreferenceList(key, 3);
+  }
+  const sim::NodeId newcomer = 100;
+  ring.AddServer(newcomer);
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const sim::NodeId primary = ring.PrimaryFor(key);
+    if (primary != before_primary[i]) {
+      ++moved;
+      EXPECT_EQ(primary, newcomer) << "key moved to a non-joining server";
+    }
+    // A walk that does not include the newcomer was untouched by the join
+    // and must be byte-identical to the old ownership order.
+    const auto walk = ring.PreferenceList(key, 3);
+    if (std::find(walk.begin(), walk.end(), newcomer) == walk.end()) {
+      EXPECT_EQ(walk, before_walk[i]) << "untouched range reordered";
+    }
+  }
+  // Fair share is kKeys/(n+1); allow 50% headroom for vnode arc variance.
+  const double fair = static_cast<double>(kKeys) / (kServers + 1);
+  EXPECT_GT(moved, 0);
+  EXPECT_LE(moved, static_cast<int>(fair * 1.5))
+      << "join moved far more than the newcomer's fair share";
+}
+
+TEST(HashRingTest, RemapDeltaBoundedOnLeave) {
+  // Removal is symmetric: only keys the leaver owned may move, and they
+  // must fall to the clockwise successors already next in their walk.
+  const int kKeys = 20000;
+  HashRing ring(64);
+  for (sim::NodeId n = 0; n < 8; ++n) ring.AddServer(n);
+  const sim::NodeId leaver = 3;
+  std::vector<sim::NodeId> before_primary(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    before_primary[i] = ring.PrimaryFor("key" + std::to_string(i));
+  }
+  ring.RemoveServer(leaver);
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const sim::NodeId primary = ring.PrimaryFor("key" + std::to_string(i));
+    if (primary != before_primary[i]) {
+      ++moved;
+      EXPECT_EQ(before_primary[i], leaver)
+          << "a key not owned by the leaver moved";
+    }
+  }
+  const double fair = static_cast<double>(kKeys) / 8;
+  EXPECT_GT(moved, 0);
+  EXPECT_LE(moved, static_cast<int>(fair * 1.5));
+}
+
 TEST(HashRingDynamoTest, SloppyQuorumStillWorksOnRing) {
   sim::Simulator sim(5);
   sim::Network net(&sim, std::make_unique<sim::ConstantLatency>(

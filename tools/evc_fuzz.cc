@@ -19,6 +19,10 @@
 //   evc_fuzz --profile=edge-cache     # crash + gray interleavings tuned for
 //                                     # the lease protocol (amnesia forced
 //                                     # on: lease tables must be volatile)
+//   evc_fuzz --store=quorum-elastic --profile=elastic
+//                                     # membership churn: live add/remove +
+//                                     # rolling restarts + gray degradation,
+//                                     # no partitions or hard crashes
 //   evc_fuzz --verbose                # per-seed summaries, not just failures
 //
 // Exit code: 0 when every store met its claims on every seed, 1 otherwise.
@@ -43,7 +47,7 @@ struct CliOptions {
   std::optional<uint64_t> single_seed;
   bool verbose = false;
   bool amnesia = false;
-  // "" (default), "crash-heavy", "gray-heavy", or "edge-cache"
+  // "" (default), "crash-heavy", "gray-heavy", "edge-cache", or "elastic"
   std::string profile;
 };
 
@@ -88,6 +92,24 @@ bool ApplyProfile(const std::string& profile,
     options->nemesis.mean_fault_interval = evc::sim::kSecond;
     return true;
   }
+  if (profile == "elastic") {
+    // Reconfiguration is the fault under test: live joins/removals and
+    // rolling restarts over gray-degraded links, with clean partitions,
+    // hard crashes, and loss ramps off so every anomaly traces back to a
+    // membership boundary. Stores without a membership actuator log the
+    // add/remove draws as skipped — pair with --store=quorum-elastic.
+    options->nemesis.allow_partitions = false;
+    options->nemesis.allow_crashes = false;
+    options->nemesis.allow_loss = false;
+    options->nemesis.allow_duplication = false;
+    options->nemesis.allow_slow_links = true;
+    options->nemesis.allow_flaky_links = true;
+    options->nemesis.allow_slow_nodes = true;
+    options->nemesis.allow_membership = true;
+    options->nemesis.allow_rolling_restart = true;
+    options->nemesis.mean_fault_interval = 2 * evc::sim::kSecond;
+    return true;
+  }
   return false;
 }
 
@@ -95,7 +117,7 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--first-seed=S] [--store=NAME] "
                "[--seed=S] [--amnesia] "
-               "[--profile=crash-heavy|gray-heavy|edge-cache] "
+               "[--profile=crash-heavy|gray-heavy|edge-cache|elastic] "
                "[--verbose]\n"
                "  stores:",
                argv0);
