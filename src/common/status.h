@@ -34,6 +34,8 @@ enum class StatusCode : uint8_t {
   kInternal = 11,           ///< Invariant violated inside the library.
   kDeadlineExceeded = 12,   ///< Caller's overall budget elapsed (vs kTimedOut,
                             ///< which is a single attempt timing out).
+  kResourceExhausted = 13,  ///< Server shed the request under overload;
+                            ///< retry after backing off (admission control).
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -92,6 +94,9 @@ class [[nodiscard]] Status {
   static Status DeadlineExceeded(std::string msg = "") {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -111,6 +116,9 @@ class [[nodiscard]] Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
 
   StatusCode code() const { return code_; }

@@ -165,6 +165,17 @@ void AntiEntropy::GossipRound(size_t index) {
         if (++rejected >= 8) break;
         continue;
       }
+      // Backpressure: a peer advertising load (piggybacked on its recent
+      // replies) gets left alone this round. Same redraw-skip discipline as
+      // the liveness filter; unset hook = no rng perturbation.
+      if (options_.load_of && options_.load_of(nodes_[index],
+                                               nodes_[candidate]) >=
+                                  options_.yield_load) {
+        ++stats_.peers_yielded;
+        Obs().CounterFor("ae.load_yields").Inc();
+        if (++rejected >= 8) break;
+        continue;
+      }
       peer = candidate;
       found = true;
       break;

@@ -29,6 +29,13 @@ struct AntiEntropyOptions {
   /// few times past unusable peers rather than wasting its fanout on a
   /// suspect; unset = every peer is eligible (the seed behavior).
   std::function<bool(sim::NodeId self, sim::NodeId peer)> peer_usable;
+  /// Optional load oracle (e.g. sim::Rpc::PeerLoad over the piggybacked
+  /// reply signal): peers reporting at least `yield_load` percent are
+  /// skipped this round (counted in peers_yielded). Anti-entropy is the
+  /// definition of deferrable work — syncing an overloaded peer later is
+  /// free; syncing it now deepens its queue.
+  std::function<uint32_t(sim::NodeId self, sim::NodeId peer)> load_of;
+  uint32_t yield_load = 75;
 };
 
 struct AntiEntropyStats {
@@ -38,6 +45,7 @@ struct AntiEntropyStats {
   uint64_t keys_shipped = 0;      ///< (key, sibling-set) payloads sent
   uint64_t digests_shipped = 0;   ///< leaf digests sent (root probes too)
   uint64_t peers_skipped = 0;     ///< draws rejected by peer_usable
+  uint64_t peers_yielded = 0;     ///< draws skipped: peer reported load
 };
 
 /// Runs anti-entropy among a fixed membership of replicas. Each replica's

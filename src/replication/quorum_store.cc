@@ -13,6 +13,10 @@ constexpr char kClientGet[] = "dyn.get";
 constexpr char kStore[] = "dyn.store";
 constexpr char kRead[] = "dyn.read";
 constexpr char kMigrate[] = "dyn.migrate";
+constexpr char kHint[] = "dyn.hint";
+// Must match the ResilientRpc heartbeat method so admission classifies ping
+// probes as control traffic (never queued: overload must not read as death).
+constexpr char kPing[] = "rsl.ping";
 // Sentinel for "no hinted handoff target" (NodeId 0 is a valid node).
 constexpr sim::NodeId kNoHint = UINT32_MAX;
 // Keys per migration-stream RPC: small enough to interleave with traffic,
@@ -41,6 +45,7 @@ DynamoCluster::DynamoCluster(sim::Rpc* rpc, QuorumConfig config)
   m_store_ = rpc_->InternMethod(kStore);
   m_read_ = rpc_->InternMethod(kRead);
   m_migrate_ = rpc_->InternMethod(kMigrate);
+  m_hint_ = rpc_->InternMethod(kHint);
   EVC_CHECK(config_.replication_factor >= 1);
   EVC_CHECK(config_.read_quorum >= 1 &&
             config_.read_quorum <= config_.replication_factor);
@@ -64,6 +69,18 @@ DynamoCluster::Server* DynamoCluster::CreateServer(bool on_static_ring) {
   server->clock = LamportClock(server->replica_id);
   server->resilient = std::make_unique<resilience::ResilientRpc>(
       rpc_, server->node, config_.resilience, ResilienceSeed(server->node));
+  if (config_.admission_enabled) {
+    server->admission = std::make_unique<resilience::AdmissionQueue>(
+        rpc_, server->node, config_.admission);
+    server->admission->SetPriority(rpc_->InternMethod(kPing),
+                                   resilience::AdmissionPriority::kControl);
+    server->admission->SetPriority(m_hint_,
+                                   resilience::AdmissionPriority::kBackground);
+    server->admission->SetPriority(m_migrate_,
+                                   resilience::AdmissionPriority::kBackground);
+    // Everything else (client ops, store/read quorum legs) defaults to
+    // foreground.
+  }
   obs::MetricsRegistry& node_obs =
       rpc_->simulator()->metrics().node(server->node);
   server->c_coordinated_gets = &node_obs.CounterFor("dyn.coordinated_gets");
@@ -131,6 +148,12 @@ resilience::ResilientRpc* DynamoCluster::resilient(sim::NodeId server) {
   Server* s = FindServer(server);
   EVC_CHECK(s != nullptr);
   return s->resilient.get();
+}
+
+resilience::AdmissionQueue* DynamoCluster::admission(sim::NodeId server) {
+  Server* s = FindServer(server);
+  EVC_CHECK(s != nullptr);
+  return s->admission.get();
 }
 
 bool DynamoCluster::TargetUsable(Server* coordinator,
@@ -355,8 +378,10 @@ void DynamoCluster::RegisterHandlers(Server* server) {
                       });
       });
 
-  rpc_->RegisterHandler(
-      node, m_store_,
+  // Shared by m_store_ (quorum legs, read repair) and m_hint_ (handoff
+  // delivery): identical semantics, distinct method ids so the admission
+  // gate can classify handoffs as background.
+  auto store_handler =
       [this, server](sim::NodeId, sim::Payload req, sim::RpcResponder respond) {
         auto store = std::move(req).Take<StoreReq>();
         if (elastic() && !store.cross_epoch && store.epoch != server->epoch) {
@@ -387,7 +412,9 @@ void DynamoCluster::RegisterHandlers(Server* server) {
         }
         server->storage->MergeRemote(store.key, store.versions);
         respond(StoreAck{server->storage->store().KeyDigest(store.key)});
-      });
+      };
+  rpc_->RegisterHandler(node, m_store_, store_handler);
+  rpc_->RegisterHandler(node, m_hint_, store_handler);
 
   rpc_->RegisterHandler(
       node, m_read_,
@@ -432,8 +459,9 @@ void DynamoCluster::RegisterHandlers(Server* server) {
 resilience::CallOptions DynamoCluster::ClientCallOptions() const {
   resilience::CallOptions opts;
   opts.attempt_timeout = 2 * config_.rpc_timeout;
-  opts.deadline = rpc_->simulator()->Now() + 4 * config_.rpc_timeout;
-  opts.max_attempts = 2;
+  opts.deadline = rpc_->simulator()->Now() +
+                  config_.client_deadline_budget * config_.rpc_timeout;
+  opts.max_attempts = config_.client_attempts;
   return opts;
 }
 
@@ -587,6 +615,9 @@ void DynamoCluster::CoordinatePut(Server* coordinator, ClientPutReq req,
   leg.attempt_timeout = config_.rpc_timeout;
   leg.max_attempts = 1;
   leg.respect_breaker = false;
+  // The quorum math already bounds fan-out; starving a leg on the retry
+  // budget or AIMD limit would turn overload into quorum loss.
+  leg.respect_limits = false;
   for (size_t i = 0; i < targets.size(); ++i) {
     StoreReq store;
     store.key = req.key;
@@ -720,6 +751,7 @@ void DynamoCluster::CoordinateGet(
   leg.attempt_timeout = config_.rpc_timeout;
   leg.max_attempts = 1;
   leg.respect_breaker = false;
+  leg.respect_limits = false;  // see CoordinatePut
   for (const sim::NodeId target : preferred) {
     ReadReq read{key, coordinator->epoch};
     coordinator->resilient->Call(target, m_read_, std::move(read), leg,
@@ -755,10 +787,20 @@ void DynamoCluster::DeliverHints(Server* server) {
       ++it;
       continue;
     }
+    // Backpressure: hold the batch while the intended home reports load
+    // (piggybacked on its replies). Hints are best-effort background work;
+    // adding them to an overloaded node's queue only deepens the overload.
+    if (rpc_->PeerLoad(server->node, intended) >=
+        config_.background_yield_load) {
+      ++stats_.hints_deferred;
+      ++it;
+      continue;
+    }
     resilience::CallOptions leg;
     leg.attempt_timeout = config_.rpc_timeout;
     leg.max_attempts = 1;
     leg.respect_breaker = false;
+    leg.respect_limits = false;  // see CoordinatePut
     for (const auto& [key, versions] : it->second) {
       StoreReq store;
       store.key = key;
@@ -767,7 +809,7 @@ void DynamoCluster::DeliverHints(Server* server) {
       // Handoff is an idempotent merge of versions the intended home was
       // always meant to hold — exempt from the epoch fence.
       store.cross_epoch = true;
-      server->resilient->Call(intended, m_store_, std::move(store), leg,
+      server->resilient->Call(intended, m_hint_, std::move(store), leg,
                               [this](Result<sim::Payload> r) {
                    if (r.ok()) {
                      ++stats_.hints_delivered;
@@ -1016,6 +1058,22 @@ void DynamoCluster::StreamNextChunk(Server* server) {
   }
   auto it = task->outgoing.begin();
   const sim::NodeId target = it->first;
+  // Backpressure: migration streaming is background work; when the target
+  // reports load, pause the stream and retry after the standard pause
+  // instead of deepening its queue. Catch-up latency is the price of not
+  // amplifying an overload.
+  if (rpc_->PeerLoad(server->node, target) >= config_.background_yield_load) {
+    ++stats_.migrate_deferred;
+    const uint64_t deferred_epoch = task->epoch;
+    rpc_->simulator()->ScheduleAfter(
+        kMigrateRetryPause, [this, server, deferred_epoch] {
+          MigrationTask* t2 = server->migration.get();
+          if (t2 != nullptr && t2->epoch == deferred_epoch) {
+            StreamNextChunk(server);
+          }
+        });
+    return;
+  }
   MigrateChunk chunk;
   chunk.epoch = task->epoch;
   const size_t n = std::min(kMigrateChunkKeys, it->second.size());
@@ -1106,6 +1164,7 @@ void DynamoCluster::RedirectHints(Server* server) {
     leg.attempt_timeout = config_.rpc_timeout;
     leg.max_attempts = 1;
     leg.respect_breaker = false;
+    leg.respect_limits = false;  // see CoordinatePut
     for (const auto& [key, versions] : it->second) {
       ++stats_.hints_redirected;
       c_hints_redirected_->Inc();

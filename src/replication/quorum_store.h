@@ -27,6 +27,7 @@
 #include "common/interner.h"
 #include "membership/config_service.h"
 #include "replication/hash_ring.h"
+#include "resilience/admission.h"
 #include "resilience/resilient_rpc.h"
 #include "sim/rpc.h"
 #include "storage/replica_storage.h"
@@ -70,6 +71,21 @@ struct QuorumConfig {
   sim::Time view_refresh_interval = 2 * sim::kSecond;
   /// Retry/hedge/detector tuning shared by all servers and clients.
   resilience::ResilienceOptions resilience;
+  /// Server-side admission control (overload defense, DESIGN.md §4.5):
+  /// every server gets a bounded priority queue in front of its RPC
+  /// handlers. Client ops and quorum legs are foreground; hint delivery and
+  /// migration streaming are background; ping probes bypass the queue.
+  bool admission_enabled = false;
+  resilience::AdmissionOptions admission;
+  /// Background senders (hint delivery, migration streaming) yield when the
+  /// destination's piggybacked load signal reaches this percent (0..100;
+  /// values above 50 mean its admission queue has started to fill).
+  uint32_t background_yield_load = 75;
+  /// Client-op shape: attempts and overall deadline (in rpc_timeout
+  /// multiples) for the resilient client call. Defaults keep the historical
+  /// two-attempts-in-4x-budget behavior.
+  int client_attempts = 2;
+  int client_deadline_budget = 4;
 };
 
 /// Result of a quorum read.
@@ -105,6 +121,9 @@ struct DynamoStats {
   uint64_t keys_migrated = 0;        ///< keys streamed to new owners
   uint64_t migrations_started = 0;   ///< per-server catch-up tasks begun
   uint64_t migrations_completed = 0; ///< catch-up tasks acked by the config
+  // Backpressure (all zero unless a destination reports load).
+  uint64_t hints_deferred = 0;       ///< hint batches held: destination busy
+  uint64_t migrate_deferred = 0;     ///< migration chunks held: dest busy
 };
 
 /// A cluster of Dynamo-style storage servers sharing one Rpc/network.
@@ -198,6 +217,9 @@ class DynamoCluster : private sim::CrashParticipant {
   /// Resilience layer of a server (for assertions on detector state).
   resilience::ResilientRpc* resilient(sim::NodeId server);
 
+  /// Admission gate of a server (null unless admission_enabled).
+  resilience::AdmissionQueue* admission(sim::NodeId server);
+
   /// Storage engine of a server (for assertions / anti-entropy wiring).
   ReplicaStorage* storage(sim::NodeId server);
   const DynamoStats& stats() const { return stats_; }
@@ -239,6 +261,8 @@ class DynamoCluster : private sim::CrashParticipant {
     // Client-side resilience: fan-out outcomes feed its detector/breaker in
     // both modes; only detector mode consults the verdicts.
     std::unique_ptr<resilience::ResilientRpc> resilient;
+    // Server-side admission gate (null unless admission_enabled).
+    std::unique_ptr<resilience::AdmissionQueue> admission;
     // Per-node routing observability (dyn.coordinated_gets/puts in this
     // node's registry): lets tests assert WHERE client traffic landed —
     // e.g. that a sticky session really re-polls one coordinator.
@@ -395,6 +419,9 @@ class DynamoCluster : private sim::CrashParticipant {
   sim::MethodId m_store_ = 0;
   sim::MethodId m_read_ = 0;
   sim::MethodId m_migrate_ = 0;
+  /// Same handler as m_store_, but a distinct method id so admission can
+  /// classify hint handoffs as background while quorum legs stay foreground.
+  sim::MethodId m_hint_ = 0;
   QuorumConfig config_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::map<sim::NodeId, Server*> by_node_;

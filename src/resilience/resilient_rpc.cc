@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "resilience/admission.h"
 
 namespace evc::resilience {
 
@@ -49,6 +50,27 @@ obs::MetricsRegistry& ResilientRpc::Obs() const {
   return rpc_->simulator()->metrics().global();
 }
 
+ResilientRpc::DestState& ResilientRpc::DestFor(sim::NodeId dest) {
+  auto [it, inserted] = dests_.try_emplace(dest);
+  if (inserted) {
+    it->second.budget_tokens = options_.retry_budget.initial_tokens;
+    it->second.aimd_limit = options_.aimd.initial_limit;
+  }
+  return it->second;
+}
+
+double ResilientRpc::budget_tokens(sim::NodeId dest) const {
+  const auto it = dests_.find(dest);
+  return it == dests_.end() ? options_.retry_budget.initial_tokens
+                            : it->second.budget_tokens;
+}
+
+double ResilientRpc::concurrency_limit(sim::NodeId dest) const {
+  const auto it = dests_.find(dest);
+  return it == dests_.end() ? options_.aimd.initial_limit
+                            : it->second.aimd_limit;
+}
+
 void ResilientRpc::Call(sim::NodeId to, sim::MethodId method,
                         sim::Payload request, const CallOptions& options,
                         sim::RpcCallback cb) {
@@ -84,6 +106,19 @@ void ResilientRpc::Attempt(const std::shared_ptr<CallState>& state,
     RetryOrFail(state, attempt);
     return;
   }
+  if (state->opts.respect_limits && options_.aimd.enabled) {
+    const DestState& dest = DestFor(state->to);
+    if (static_cast<double>(dest.inflight) + 1.0 > dest.aimd_limit) {
+      // Over the adaptive limit: fail fast into the retry path, which backs
+      // off and re-checks. Pushing the attempt through anyway is exactly
+      // the unbounded concurrency that sustains a metastable collapse.
+      ++stats_.limit_rejects;
+      Obs().CounterFor("resilience.limit_rejects").Inc();
+      state->last_error = Status::Unavailable("adaptive concurrency limit");
+      RetryOrFail(state, attempt);
+      return;
+    }
+  }
 
   ++stats_.attempts;
   Obs().CounterFor("resilience.attempts").Inc();
@@ -111,6 +146,30 @@ void ResilientRpc::Attempt(const std::shared_ptr<CallState>& state,
               if (rem <= 0) return;
               hedge_timeout = std::min(hedge_timeout, rem);
             }
+            // A hedge is an extra request: it must respect the breaker at
+            // its destination (an open breaker means "stop adding load
+            // here" — hedges were sneaking past it) ...
+            if (state->opts.respect_breaker && options_.breaker_enabled &&
+                breaker_.StateOf(hedge_to, rpc_->simulator()->Now()) ==
+                    CircuitBreaker::State::kOpen) {
+              ++stats_.hedges_suppressed_breaker;
+              Obs().CounterFor("resilience.hedges_suppressed_breaker").Inc();
+              return;
+            }
+            // ... and it costs retry-budget tokens exactly like a retry:
+            // under overload, hedges are retries that didn't even wait for
+            // the failure.
+            if (state->opts.respect_limits &&
+                options_.retry_budget.enabled) {
+              DestState& dest = DestFor(hedge_to);
+              if (dest.budget_tokens < options_.retry_budget.retry_cost) {
+                ++stats_.hedges_suppressed_budget;
+                Obs().CounterFor("resilience.hedges_suppressed_budget")
+                    .Inc();
+                return;
+              }
+              dest.budget_tokens -= options_.retry_budget.retry_cost;
+            }
             state->hedge_issued = true;
             ++stats_.hedges_issued;
             Obs().CounterFor("resilience.hedges_issued").Inc();
@@ -125,6 +184,7 @@ void ResilientRpc::IssueLeg(const std::shared_ptr<CallState>& state,
                             int attempt, sim::NodeId dest, bool is_hedge,
                             sim::Time timeout) {
   ++state->legs_inflight;
+  ++DestFor(dest).inflight;
   const sim::Time started = rpc_->simulator()->Now();
   // Retries/hedges re-send a clone; the prototype stays with the call.
   rpc_->Call(self_, dest, state->method, state->request.Clone(), timeout,
@@ -139,10 +199,49 @@ void ResilientRpc::OnLegDone(const std::shared_ptr<CallState>& state,
                              int attempt, sim::NodeId dest, bool is_hedge,
                              sim::Time leg_started, Result<sim::Payload> r) {
   --state->legs_inflight;
+  DestState& dest_state = DestFor(dest);
+  --dest_state.inflight;
   // A reply — even an application error — proves the peer is alive; only a
-  // timeout counts against it.
-  const bool definitive = r.ok() || !r.status().IsTimedOut();
-  if (state->opts.record_outcome) RecordOutcome(dest, definitive);
+  // timeout counts against it. A kResourceExhausted shed in particular is a
+  // LIVE peer telling us to back off: convicting it in the detector or
+  // breaker would convert overload into apparent death and move the herd
+  // onto the next victim.
+  const bool alive = r.ok() || !r.status().IsTimedOut();
+  if (state->opts.record_outcome) RecordOutcome(dest, alive);
+
+  // Overload-defense feedback. Successes refill the retry budget and grow
+  // the AIMD limit additively; overload signals (attempt timeout or an
+  // explicit shed) shrink the limit multiplicatively. Heartbeats never pass
+  // through here, so probe traffic cannot refill budgets during overload.
+  const bool overload_signal =
+      !r.ok() &&
+      (r.status().IsTimedOut() || r.status().IsResourceExhausted());
+  if (r.ok()) {
+    if (options_.retry_budget.enabled) {
+      dest_state.budget_tokens =
+          std::min(options_.retry_budget.max_tokens,
+                   dest_state.budget_tokens + options_.retry_budget.token_ratio);
+    }
+    if (options_.aimd.enabled) {
+      dest_state.aimd_limit =
+          std::min(options_.aimd.max_limit,
+                   dest_state.aimd_limit +
+                       1.0 / std::max(1.0, dest_state.aimd_limit));
+    }
+  } else if (overload_signal && options_.aimd.enabled) {
+    dest_state.aimd_limit =
+        std::max(options_.aimd.min_limit,
+                 dest_state.aimd_limit * options_.aimd.backoff_ratio);
+  }
+  if (!r.ok() && r.status().IsResourceExhausted()) {
+    ++stats_.resource_exhausted_replies;
+    Obs().CounterFor("resilience.resource_exhausted_replies").Inc();
+  }
+
+  // Retryable = the attempt may be re-issued: timeouts (no verdict) and
+  // explicit sheds (the server asked us to come back later). Every other
+  // reply — success or application error — is definitive.
+  const bool definitive = !overload_signal;
 
   // First definitive reply wins; the loser's reply lands here after
   // `completed` is set and is dropped (each leg has its own rpc call id, so
@@ -188,7 +287,26 @@ void ResilientRpc::RetryOrFail(const std::shared_ptr<CallState>& state,
                         : state->last_error);
     return;
   }
-  const sim::Time backoff = retry_.BackoffBefore(attempt + 1);
+  // Retry budget: an exhausted bucket fails fast with the last error. This
+  // is the storm breaker — when a destination is rejecting or timing out
+  // broadly, per-call retry counts stop mattering and the per-destination
+  // budget caps total amplification.
+  if (state->opts.respect_limits && options_.retry_budget.enabled) {
+    DestState& dest = DestFor(state->to);
+    if (dest.budget_tokens < options_.retry_budget.retry_cost) {
+      ++stats_.budget_exhausted;
+      Obs().CounterFor("resilience.budget_exhausted").Inc();
+      Complete(state, state->last_error.ok()
+                          ? Status::Unavailable("retry budget exhausted")
+                          : state->last_error);
+      return;
+    }
+    dest.budget_tokens -= options_.retry_budget.retry_cost;
+  }
+  sim::Time backoff = retry_.BackoffBefore(attempt + 1);
+  // An overloaded server's retry-after hint dominates the local policy:
+  // the server knows its own drain rate better than our exponential guess.
+  backoff = std::max(backoff, RetryAfterHint(state->last_error));
   const sim::Time now = rpc_->simulator()->Now();
   // Deadline propagation: when the remaining budget cannot even cover the
   // backoff sleep, fail fast instead of sleeping past the deadline.

@@ -56,11 +56,45 @@ struct HedgeOptions {
   sim::Time min_delay = 1 * sim::kMillisecond;
 };
 
+/// Per-destination retry budget (gRPC-style token bucket). Every successful
+/// first-class reply refills `token_ratio` tokens; every retry AND every
+/// hedge debits `retry_cost`. An exhausted budget fails the call fast with
+/// the last error instead of amplifying: under overload, N clients retrying
+/// M times turn offered load L into L*(1+M) — the budget caps sustained
+/// amplification at 1 + token_ratio.
+struct RetryBudgetOptions {
+  bool enabled = false;
+  double initial_tokens = 10.0;
+  double max_tokens = 10.0;
+  /// Tokens credited per successful reply: 0.1 sustains one retry per ten
+  /// successes.
+  double token_ratio = 0.1;
+  /// Tokens a retry or hedge costs.
+  double retry_cost = 1.0;
+};
+
+/// AIMD adaptive concurrency limit per destination: successes grow the
+/// limit additively (+1 per `limit` successes), overload signals (attempt
+/// timeout or kResourceExhausted rejection) shrink it multiplicatively.
+/// Calls over the limit fail fast (then back off through the normal retry
+/// path), so a client's offered concurrency tracks what the destination
+/// can actually absorb.
+struct AimdOptions {
+  bool enabled = false;
+  double initial_limit = 16.0;
+  double min_limit = 1.0;
+  double max_limit = 256.0;
+  /// Multiplicative decrease factor on an overload signal.
+  double backoff_ratio = 0.7;
+};
+
 struct ResilienceOptions {
   RetryOptions retry;
   DetectorOptions detector;
   BreakerOptions breaker;
   HedgeOptions hedge;
+  RetryBudgetOptions retry_budget;
+  AimdOptions aimd;
   bool breaker_enabled = true;
   /// Heartbeat probing (StartHeartbeats): period and per-probe timeout.
   sim::Time heartbeat_interval = 100 * sim::kMillisecond;
@@ -83,6 +117,10 @@ struct CallOptions {
   bool record_outcome = true;
   /// Reject attempts the breaker holds open (failing fast with Unavailable).
   bool respect_breaker = true;
+  /// Subject this call to the retry budget and AIMD concurrency limit.
+  /// Quorum fan-out legs set false: the coordinator's quorum math already
+  /// bounds them, and starving legs would turn overload into quorum loss.
+  bool respect_limits = true;
 
   static constexpr sim::NodeId kSameDestination = UINT32_MAX;
 };
@@ -98,6 +136,11 @@ struct ResilienceStats {
   uint64_t suspect_transitions = 0;
   uint64_t false_positives = 0;  ///< suspected while oracle said reachable
   uint64_t heartbeats_sent = 0;
+  uint64_t budget_exhausted = 0;  ///< retries failed fast: no budget tokens
+  uint64_t limit_rejects = 0;     ///< attempts over the AIMD limit
+  uint64_t hedges_suppressed_breaker = 0;  ///< hedge skipped: breaker open
+  uint64_t hedges_suppressed_budget = 0;   ///< hedge skipped: no tokens
+  uint64_t resource_exhausted_replies = 0; ///< kResourceExhausted rejections
 };
 
 class ResilientRpc {
@@ -161,8 +204,19 @@ class ResilientRpc {
   sim::NodeId self() const { return self_; }
   sim::Rpc* rpc() { return rpc_; }
 
+  /// Diagnostic peeks at the per-destination overload defenses.
+  double budget_tokens(sim::NodeId dest) const;
+  double concurrency_limit(sim::NodeId dest) const;
+
  private:
   struct CallState;
+
+  /// Per-destination overload-defense state, created on first use.
+  struct DestState {
+    double budget_tokens = 0.0;
+    double aimd_limit = 0.0;
+    int inflight = 0;  ///< legs currently in flight to this destination
+  };
 
   void Attempt(const std::shared_ptr<CallState>& state, int attempt);
   void IssueLeg(const std::shared_ptr<CallState>& state, int attempt,
@@ -174,6 +228,7 @@ class ResilientRpc {
   void Complete(const std::shared_ptr<CallState>& state, Result<sim::Payload> r);
   void FailDeadline(const std::shared_ptr<CallState>& state);
   sim::Time HedgeDelay() const;
+  DestState& DestFor(sim::NodeId dest);
   bool SuspectedNow(sim::NodeId peer, sim::Time now) const;
   void NoteSuspicionEdge(sim::NodeId peer);
   void HeartbeatTick(sim::NodeId peer);
@@ -190,6 +245,7 @@ class ResilientRpc {
   ResilienceStats stats_;
   Histogram attempt_latency_us_;  ///< successful attempts, feeds HedgeDelay
   std::unordered_map<sim::NodeId, bool> suspected_;  ///< last published edge
+  std::unordered_map<sim::NodeId, DestState> dests_;  ///< lookup-only
   bool heartbeats_started_ = false;
 };
 

@@ -21,10 +21,22 @@ sim::Time RetryPolicy::BackoffBefore(int retry) {
   double backoff = static_cast<double>(options_.initial_backoff) *
                    std::pow(options_.multiplier, retry - 1);
   backoff = std::min(backoff, static_cast<double>(options_.max_backoff));
+  // jitter == 0 has always meant "exact nominal backoff"; call sites that
+  // assert precise timing rely on it, so it wins over the mode.
   if (options_.jitter > 0.0) {
-    const double scale =
-        1.0 + options_.jitter * (2.0 * rng_.NextDouble() - 1.0);
-    backoff *= scale;
+    switch (options_.jitter_mode) {
+      case JitterMode::kFull:
+        // Uniform in (0, capped]: a cohort of clients that failed on the
+        // same event spreads its re-arrivals over the whole window instead
+        // of a +/-jitter band around one instant.
+        backoff *= rng_.NextDouble();
+        break;
+      case JitterMode::kEqual:
+        backoff *= 1.0 + options_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+        break;
+      case JitterMode::kNone:
+        break;
+    }
   }
   return std::max<sim::Time>(1, static_cast<sim::Time>(backoff));
 }

@@ -2,9 +2,16 @@
 //
 // The client half of the resilience layer (see resilient_rpc.h): every
 // retried attempt backs off exponentially from `initial_backoff` up to
-// `max_backoff`, with +/-`jitter` multiplicative noise drawn from a seeded
-// Rng so that (a) retry storms decorrelate across clients and (b) a whole
-// schedule of retries is still a pure function of the seed.
+// `max_backoff`, with jitter drawn from a seeded Rng so that (a) retry
+// storms decorrelate across clients and (b) a whole schedule of retries is
+// still a pure function of the seed.
+//
+// Jitter mode matters for storm behavior: the historical +/-20% band keeps
+// N clients that failed together re-arriving together (a 40%-wide burst
+// window), which is exactly the synchronized wave that feeds a metastable
+// collapse. The default is therefore FULL jitter (AWS architecture-blog
+// style): each sleep is uniform in (0, capped_backoff], spreading the wave
+// over the whole window.
 
 #ifndef EVC_RESILIENCE_RETRY_H_
 #define EVC_RESILIENCE_RETRY_H_
@@ -14,15 +21,29 @@
 
 namespace evc::resilience {
 
+enum class JitterMode : uint8_t {
+  /// Uniform in (0, capped_backoff]. Decorrelates synchronized failures:
+  /// the re-arrival spread equals the full backoff window.
+  kFull,
+  /// Legacy +/-`jitter` multiplicative band around the nominal backoff.
+  /// Kept for the regression test that shows why it is not the default.
+  kEqual,
+  /// Exact nominal backoff (tests that assert precise timing).
+  kNone,
+};
+
 struct RetryOptions {
   /// Total attempts (first try + retries) a policy-driven call may make.
   int max_attempts = 3;
   sim::Time initial_backoff = 25 * sim::kMillisecond;
   sim::Time max_backoff = 2 * sim::kSecond;
   double multiplier = 2.0;
-  /// Multiplicative jitter fraction: each backoff is scaled by a uniform
-  /// draw in [1-jitter, 1+jitter]. 0 disables jitter.
+  /// kEqual only: multiplicative jitter fraction, scaling each backoff by a
+  /// uniform draw in [1-jitter, 1+jitter]. 0 behaves like kNone. Ignored
+  /// under kFull (the draw already spans the whole window); retained so the
+  /// historical `opts.retry.jitter = 0.0` idiom keeps disabling jitter.
   double jitter = 0.2;
+  JitterMode jitter_mode = JitterMode::kFull;
 };
 
 class RetryPolicy {

@@ -137,6 +137,19 @@ std::string FaultAction::ToString() const {
       out += buf;
       break;
     }
+    case Kind::kFlashCrowd: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "flash-crowd x%.2f", factor);
+      out += buf;
+      break;
+    }
+    case Kind::kLoadSpike: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "load-spike x%.2f + hot-key shift",
+                    factor);
+      out += buf;
+      break;
+    }
   }
   return out;
 }
@@ -298,6 +311,22 @@ FaultPlan& FaultPlan::RemoveNodeAt(Time at) {
   return Push(std::move(a));
 }
 
+FaultPlan& FaultPlan::FlashCrowdAt(Time at, double factor) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kFlashCrowd;
+  a.at = at;
+  a.factor = factor;
+  return Push(std::move(a));
+}
+
+FaultPlan& FaultPlan::LoadSpikeAt(Time at, double factor) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kLoadSpike;
+  a.at = at;
+  a.factor = factor;
+  return Push(std::move(a));
+}
+
 FaultPlan& FaultPlan::RollingRestartAt(Time at, Time stagger, Time hold) {
   FaultAction a;
   a.kind = FaultAction::Kind::kRollingRestart;
@@ -347,7 +376,7 @@ FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
   enum Family {
     kPartitionF, kCrashF, kLossF, kDupF,
     kSlowLinkF, kFlakyLinkF, kSlowNodeF,
-    kMembershipF, kRollingF
+    kMembershipF, kRollingF, kLoadF
   };
   // Gray and membership families are appended after the historical ones, so
   // schedules drawn with the default toggles consume the rng stream exactly
@@ -370,6 +399,7 @@ FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
     families.push_back(kMembershipF);
   }
   if (options.allow_rolling_restart) families.push_back(kRollingF);
+  if (options.allow_load_spikes) families.push_back(kLoadF);
   int membership_ops = 0;
   if (families.empty()) {
     if (options.heal_at_end) plan.HealAllAt(end);
@@ -462,6 +492,21 @@ FaultPlan Nemesis::GeneratePlan(const NemesisScheduleOptions& options) {
         plan.RollingRestartAt(t, options.rolling_stagger,
                               options.rolling_hold);
         break;
+      case kLoadF: {
+        // Factor in [2, max]: spikes below 2x are routine traffic noise.
+        const double factor =
+            2.0 + rng_.NextDouble() * (options.max_load_factor - 2.0);
+        if (rng_.NextBool(0.5)) {
+          plan.LoadSpikeAt(t, factor);
+        } else {
+          plan.FlashCrowdAt(t, factor);
+        }
+        // The paired recovery restores nominal load: the spike ends, and
+        // whether the system also recovers is exactly what the metastable-
+        // failure checks are probing.
+        plan.FlashCrowdAt(recover_at, 1.0);
+        break;
+      }
     }
   }
   if (options.heal_at_end) plan.HealAllAt(end);
@@ -712,6 +757,31 @@ void Nemesis::Apply(const FaultAction& action) {
       Note("rolling-restart of " + std::to_string(waved) + " targets");
       break;
     }
+    case Kind::kFlashCrowd:
+    case Kind::kLoadSpike: {
+      if (load_actuator_ == nullptr) {
+        ++stats_.skipped;
+        Note("load fault skipped (no load actuator)");
+        break;
+      }
+      load_actuator_->SetLoadFactor(action.factor);
+      if (action.kind == Kind::kLoadSpike) load_actuator_->ShiftHotKeys();
+      char buf[64];
+      if (action.factor > 1.0) {
+        load_spike_active_ = true;
+        ++stats_.load_spikes;
+        std::snprintf(buf, sizeof(buf), "%s x%.2f",
+                      action.kind == Kind::kLoadSpike ? "load-spike"
+                                                      : "flash-crowd",
+                      action.factor);
+      } else {
+        load_spike_active_ = false;
+        std::snprintf(buf, sizeof(buf), "load recovered (x%.2f)",
+                      action.factor);
+      }
+      Note(buf);
+      break;
+    }
   }
 }
 
@@ -821,6 +891,10 @@ void Nemesis::HealAll() {
     const GrayFault fault = gray_active_.front();
     gray_active_.pop_front();
     RecoverGray(fault);
+  }
+  if (load_spike_active_ && load_actuator_ != nullptr) {
+    load_actuator_->SetLoadFactor(1.0);
+    load_spike_active_ = false;
   }
   ++stats_.heals;
   Note("heal-all");

@@ -62,6 +62,11 @@ struct FaultAction {
     kAddNode,          ///< propose joining a brand-new node
     kRemoveNode,       ///< propose removing a random removable member
     kRollingRestart,   ///< crash+restart every up target, staggered
+    // Load faults (appended; act through the installed LoadActuator and are
+    // skipped when none is installed). Unlike network faults these attack
+    // the workload itself — the trigger for metastable failures.
+    kFlashCrowd,       ///< multiply offered load by `factor` (1.0 recovers)
+    kLoadSpike,        ///< kFlashCrowd plus a hot-key shift
   };
 
   Kind kind = Kind::kHeal;
@@ -101,6 +106,11 @@ class FaultPlan {
   FaultPlan& HealAllAt(Time at);
   FaultPlan& AddNodeAt(Time at);
   FaultPlan& RemoveNodeAt(Time at);
+  /// Sets the offered-load multiplier to `factor` (1.0 = nominal, i.e. the
+  /// paired recovery). Applied through the installed LoadActuator.
+  FaultPlan& FlashCrowdAt(Time at, double factor);
+  /// FlashCrowd plus a hot-key-distribution shift at the same instant.
+  FaultPlan& LoadSpikeAt(Time at, double factor);
   /// Crash+restart every up target: target i goes down at `at + i*stagger`
   /// and comes back `hold` later. With hold < stagger at most one target is
   /// down at a time — the classic rolling-deploy shape.
@@ -143,6 +153,9 @@ struct NemesisScheduleOptions {
   /// Both require a MembershipActuator / cooperating restart handling.
   bool allow_membership = false;       ///< kAddNode / kRemoveNode draws
   bool allow_rolling_restart = false;  ///< kRollingRestart draws
+  /// Load family (kFlashCrowd / kLoadSpike draws), appended after the
+  /// rolling-restart family. Requires a LoadActuator.
+  bool allow_load_spikes = false;
   /// Upper bounds for the rate ramps.
   double max_loss_rate = 0.25;
   double max_duplicate_rate = 0.25;
@@ -160,6 +173,9 @@ struct NemesisScheduleOptions {
   /// Rolling-restart shape (kRollingRestart draws).
   Time rolling_stagger = 2 * kSecond;
   Time rolling_hold = 500 * kMillisecond;
+  /// Upper bound for the load-spike multiplier draw (draws land in
+  /// [2, max_load_factor]; below 2x a spike is routine traffic noise).
+  double max_load_factor = 6.0;
   /// Append a HealAll at `duration` so runs end fault-free.
   bool heal_at_end = true;
 };
@@ -174,10 +190,12 @@ struct NemesisStats {
   uint64_t gray_recoveries = 0;  ///< gray faults undone
   uint64_t membership_ops = 0;   ///< add/remove proposals actually started
   uint64_t rolling_restarts = 0; ///< rolling-restart waves launched
+  uint64_t load_spikes = 0;      ///< flash crowds / load spikes applied
   uint64_t skipped = 0;  ///< random actions with no eligible target
   uint64_t total() const {
     return partitions + heals + crashes + restarts + rate_changes +
-           gray_faults + gray_recoveries + membership_ops + rolling_restarts;
+           gray_faults + gray_recoveries + membership_ops + rolling_restarts +
+           load_spikes;
   }
 };
 
@@ -196,6 +214,18 @@ class MembershipActuator {
   virtual std::vector<NodeId> RemovableNodes() = 0;
   /// Starts a live removal of `node`. Returns false when it cannot start.
   virtual bool RemoveNode(NodeId node) = 0;
+};
+
+/// How the Nemesis drives workload-level faults (kFlashCrowd / kLoadSpike):
+/// the harness implements this against whatever generates its offered load
+/// (e.g. the fuzz driver's session pacing). Runs at fault apply time.
+class LoadActuator {
+ public:
+  virtual ~LoadActuator() = default;
+  /// Multiplies the offered load by `factor` (1.0 restores nominal load).
+  virtual void SetLoadFactor(double factor) = 0;
+  /// Rotates the hot-key set so the spike also lands on fresh keys.
+  virtual void ShiftHotKeys() = 0;
 };
 
 /// Executes fault plans against a network. `targets` is the set of nodes the
@@ -224,6 +254,11 @@ class Nemesis {
   void SetMembershipActuator(MembershipActuator* actuator) {
     actuator_ = actuator;
   }
+
+  /// Installs the handler for kFlashCrowd / kLoadSpike (not owned; must
+  /// outlive the Nemesis). Without one those actions are skipped. Consumes
+  /// no randomness, so installing it never perturbs existing schedules.
+  void SetLoadActuator(LoadActuator* actuator) { load_actuator_ = actuator; }
 
   /// Draws a random plan from the options. Pure function of the Nemesis
   /// seed and the options (does not touch the network).
@@ -275,6 +310,7 @@ class Nemesis {
 
   Network* net_;
   MembershipActuator* actuator_ = nullptr;
+  LoadActuator* load_actuator_ = nullptr;
   std::vector<NodeId> targets_;
   /// Pool for gray draws: targets_ plus SetGrayTargets extras (== targets_
   /// until extended, keeping historical schedules bit-identical).
@@ -283,6 +319,7 @@ class Nemesis {
   NemesisStats stats_;
   std::deque<NodeId> crashed_;  ///< targets crashed by us, oldest first
   std::deque<GrayFault> gray_active_;  ///< active gray faults, oldest first
+  bool load_spike_active_ = false;  ///< a factor > 1 is currently applied
   std::vector<std::string> log_;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/rpc.h"
 
+#include <memory>
+
 #include "common/logging.h"
 #include "obs/trace.h"
 
@@ -54,6 +56,18 @@ void Rpc::RegisterHandler(NodeId node, MethodId method, RpcHandler handler) {
   auto& node_handlers = handlers_[node];
   if (node_handlers.size() <= method) node_handlers.resize(method + 1);
   node_handlers[method] = std::move(handler);
+}
+
+void Rpc::SetRequestGate(NodeId node, RequestGate* gate) {
+  if (gates_.size() <= node) gates_.resize(node + 1, nullptr);
+  gates_[node] = gate;
+}
+
+uint32_t Rpc::PeerLoad(NodeId observer, NodeId peer) const {
+  const auto it = peer_load_.find((uint64_t{observer} << 32) | peer);
+  if (it == peer_load_.end()) return 0;
+  if (network_->simulator()->Now() - it->second.at > kLoadSignalTtl) return 0;
+  return it->second.load;
 }
 
 void Rpc::Call(NodeId from, NodeId to, MethodId method, Payload request,
@@ -113,6 +127,8 @@ void Rpc::OnRequest(Message msg) {
   Simulator* sim = simulator();
   obs::Tracer& tracer = sim->tracer();
   // Server-side span, parented across the wire to the client's call span.
+  // Begun at arrival, so queueing inside an admission gate shows up as
+  // span duration.
   const uint64_t srv_span = tracer.BeginChild(
       env.span, server, server_span_names_[env.method], sim->Now());
   RpcResponder responder(
@@ -123,16 +139,42 @@ void Rpc::OnRequest(Message msg) {
                         r.ok() ? self->outcome_ok_
                                : s->tracer().InternName(
                                      StatusCodeToString(r.status().code())));
+        // Piggyback the node's current load on every reply — including
+        // rejections, which is how an overloaded node tells background
+        // callers to yield.
+        const RequestGate* gate = self->request_gate(server);
         ReplyEnvelope reply{call_id,
                             r.ok() ? Status::OK() : r.status(),
-                            r.ok() ? std::move(r).value() : Payload{}};
+                            r.ok() ? std::move(r).value() : Payload{},
+                            gate != nullptr ? gate->LoadPercent() : 0};
         self->network_->Send(server, client, self->reply_type_,
                              std::move(reply));
       });
-  // Handlers run with the server span ambient, so RPCs they issue
-  // synchronously (quorum fan-outs, Paxos phases) become its children.
-  obs::Tracer::Scope scope(&tracer, srv_span);
-  (*handler)(client, std::move(env.payload), std::move(responder));
+
+  RequestGate* gate = request_gate(server);
+  if (gate == nullptr) {
+    // Handlers run with the server span ambient, so RPCs they issue
+    // synchronously (quorum fan-outs, Paxos phases) become its children.
+    obs::Tracer::Scope scope(&tracer, srv_span);
+    (*handler)(client, std::move(env.payload), std::move(responder));
+    return;
+  }
+
+  // Gated dispatch: the payload moves into a shared box (std::function
+  // requires copyable closures) and the handler is re-looked-up at run
+  // time. A crash while queued voids the dispatch — the node must not
+  // serve requests it logically lost.
+  const MethodId method = env.method;
+  auto payload = std::make_shared<Payload>(std::move(env.payload));
+  std::function<void()> dispatch = [self, server, client, method, payload,
+                                    responder, srv_span] {
+    if (!self->network_->IsNodeUp(server)) return;
+    const RpcHandler& h = self->handlers_[server][method];
+    if (!h) return;
+    obs::Tracer::Scope scope(&self->simulator()->tracer(), srv_span);
+    h(client, std::move(*payload), responder);
+  };
+  gate->Admit(method, std::move(dispatch), std::move(responder));
 }
 
 void Rpc::OnReply(Message msg) {
@@ -149,6 +191,10 @@ void Rpc::OnReply(Message msg) {
   Simulator* sim = simulator();
   sim->Cancel(pending.timeout_event);
   pending_.erase(it);
+  // Remember the peer's piggybacked load for this (caller, replier) pair;
+  // background subsystems poll it via PeerLoad before adding traffic.
+  peer_load_[(uint64_t{msg.to} << 32) | msg.from] =
+      LoadSample{env.load, sim->Now()};
   call_latency_us_->Add(static_cast<double>(sim->Now() - pending.started_at));
   sim->tracer().End(pending.span, sim->Now(),
                     env.status.ok()

@@ -67,6 +67,26 @@ class RpcResponder {
 using RpcHandler =
     std::function<void(NodeId from, Payload request, RpcResponder respond)>;
 
+/// Server-side admission hook. When a gate is installed for a node, every
+/// inbound request to that node is offered to the gate instead of running
+/// its handler directly: the gate either runs `dispatch` (now or later — a
+/// queued request keeps its responder alive), or rejects by invoking
+/// `respond` with an error Status and dropping `dispatch`.
+///
+/// Declared here (not in resilience/) so sim stays dependency-free; the
+/// production implementation is resilience::AdmissionQueue.
+class RequestGate {
+ public:
+  virtual ~RequestGate() = default;
+  /// Offers one inbound request. Exactly one of `dispatch` / `respond`
+  /// must eventually be used.
+  virtual void Admit(MethodId method, std::function<void()> dispatch,
+                     RpcResponder respond) = 0;
+  /// Instantaneous node load in [0, 100], piggybacked on every outgoing
+  /// reply so callers can make background traffic yield (see PeerLoad).
+  virtual uint32_t LoadPercent() const = 0;
+};
+
 /// One Rpc instance serves a whole Network (it multiplexes by node id).
 class Rpc {
  public:
@@ -114,6 +134,22 @@ class Rpc {
          std::move(cb));
   }
 
+  /// Installs (or clears, with nullptr) the admission gate for `node`.
+  /// Not owned; the gate must outlive the Rpc or be cleared first.
+  void SetRequestGate(NodeId node, RequestGate* gate);
+  RequestGate* request_gate(NodeId node) const {
+    return node < gates_.size() ? gates_[node] : nullptr;
+  }
+
+  /// The most recent load signal `observer` saw piggybacked on a reply from
+  /// `peer` (0..100). Returns 0 when no reply arrived recently: a stale
+  /// signal must not suppress background traffic forever, so samples expire
+  /// after kLoadSignalTtl and the next probe refreshes them.
+  uint32_t PeerLoad(NodeId observer, NodeId peer) const;
+
+  /// How long a piggybacked load sample stays authoritative.
+  static constexpr Time kLoadSignalTtl = 1 * kSecond;
+
   Network* network() { return network_; }
   Simulator* simulator() { return network_->simulator(); }
 
@@ -135,9 +171,10 @@ class Rpc {
     uint64_t call_id;
     Status status;
     Payload payload;
+    uint32_t load = 0;  ///< replier's RequestGate::LoadPercent at send time
 
     ReplyEnvelope Clone() const {
-      return ReplyEnvelope{call_id, status, payload.Clone()};
+      return ReplyEnvelope{call_id, status, payload.Clone(), load};
     }
   };
   struct Pending {
@@ -168,6 +205,15 @@ class Rpc {
   KeyId outcome_timeout_ = kInvalidKeyId;
   // handlers_[node][method]; empty std::function = unregistered.
   std::vector<std::vector<RpcHandler>> handlers_;
+  // gates_[node]: admission gate, nullptr = dispatch directly (the default).
+  std::vector<RequestGate*> gates_;
+  // Last piggybacked load sample per (observer, peer) pair. Lookup-only map
+  // (never iterated); keyed (observer << 32) | peer.
+  struct LoadSample {
+    uint32_t load = 0;
+    Time at = 0;
+  };
+  std::unordered_map<uint64_t, LoadSample> peer_load_;
   // Which nodes have the rpc.request / rpc.reply network dispatchers
   // installed (the seed re-registered a fresh reply closure on every Call).
   std::vector<bool> req_hooked_;

@@ -256,19 +256,41 @@ std::string UniqueValue(int session, int n) {
 /// Drives the common phases of every runner: unleash the nemesis, run the
 /// client sessions to completion, heal, then quiesce (optionally breaking
 /// early once `settled` reports the store repaired).
-class Driver {
+class Driver : public sim::LoadActuator {
  public:
   Driver(SimStack* s, sim::Nemesis* nemesis, const FuzzOptions& options)
-      : s_(s), nemesis_(nemesis), options_(options) {}
+      : s_(s), nemesis_(nemesis), options_(options) {
+    // Wire the load faults into this driver's pacing. Consumes no
+    // randomness and is inert unless the schedule draws kFlashCrowd /
+    // kLoadSpike (the load family is off by default), so historical
+    // schedules replay bit-identically.
+    nemesis_->SetLoadActuator(this);
+  }
 
   bool stopped() const { return stopped_; }
   /// Exponential think time targeting ops_per_session ops over the fault
-  /// window.
+  /// window; an active flash crowd divides the mean gap (multiplies the
+  /// offered rate).
   sim::Time NextGap(Rng* rng) const {
     const double mean = static_cast<double>(options_.nemesis.duration) /
-                        std::max(1, options_.ops_per_session);
+                        std::max(1, options_.ops_per_session) /
+                        std::max(1.0, load_factor_);
     return static_cast<sim::Time>(rng->NextExponential(mean)) + 1;
   }
+
+  /// Draws a workload key, rotated by the hot-key shifts applied so far
+  /// (kLoadSpike). With no shifts this is exactly the historical
+  /// "k<NextBounded(keyspace)>" draw.
+  std::string Key(Rng* rng, int keyspace) const {
+    const uint64_t drawn = rng->NextBounded(keyspace);
+    const uint64_t shifted =
+        (drawn + key_shift_) % static_cast<uint64_t>(std::max(1, keyspace));
+    return "k" + std::to_string(shifted);
+  }
+
+  // sim::LoadActuator:
+  void SetLoadFactor(double factor) override { load_factor_ = factor; }
+  void ShiftHotKeys() override { ++key_shift_; }
 
   void SessionDone() { --live_; }
 
@@ -301,6 +323,8 @@ class Driver {
   const FuzzOptions& options_;
   int live_ = 0;
   bool stopped_ = false;
+  double load_factor_ = 1.0;  ///< kFlashCrowd multiplier (1.0 = nominal)
+  uint64_t key_shift_ = 0;    ///< hot-key rotations applied (kLoadSpike)
 };
 
 void FillCommon(FuzzReport* rep, const FuzzOptions& o, const SimStack& s,
@@ -444,6 +468,13 @@ FuzzReport RunQuorum(const FuzzOptions& o, bool strict) {
   cfg.read_repair = true;
   cfg.crash_amnesia = o.amnesia;
   cfg.use_oracle_detector = o.use_oracle_detector;
+  if (o.overload) {
+    // Overload profile: full defense stack on. Shedding / failing fast is
+    // legal; the claims below still have to hold.
+    cfg.admission_enabled = true;
+    cfg.resilience.retry_budget.enabled = true;
+    cfg.resilience.aimd.enabled = true;
+  }
   repl::DynamoCluster cluster(&s.rpc, cfg);
   const std::vector<sim::NodeId> servers = cluster.AddServers(o.servers);
   cluster.StartHintDelivery(500 * kMillisecond);
@@ -457,6 +488,12 @@ FuzzReport RunQuorum(const FuzzOptions& o, bool strict) {
     // Route gossip peer selection through each node's own detector verdict.
     ae_options.peer_usable = [&cluster](sim::NodeId self, sim::NodeId peer) {
       return cluster.PeerUsable(self, peer);
+    };
+  }
+  if (o.overload) {
+    // Gossip yields to peers advertising load (piggybacked on replies).
+    ae_options.load_of = [&s](sim::NodeId self, sim::NodeId peer) {
+      return s.rpc.PeerLoad(self, peer);
     };
   }
   repl::AntiEntropy ae(&s.net, servers, storages, ae_options);
@@ -484,8 +521,7 @@ FuzzReport RunQuorum(const FuzzOptions& o, bool strict) {
       return;
     }
     const int n = sess.issued++;
-    const std::string key =
-        "k" + std::to_string(sess.rng.NextBounded(o.keyspace));
+    const std::string key = driver.Key(&sess.rng, o.keyspace);
     const sim::NodeId coord =
         servers[sess.rng.NextBounded(servers.size())];
     const int64_t invoke = s.sim.Now();
@@ -655,6 +691,11 @@ FuzzReport RunQuorumElastic(const FuzzOptions& o) {
   cfg.use_hash_ring = true;
   cfg.crash_amnesia = o.amnesia;
   cfg.use_oracle_detector = o.use_oracle_detector;
+  if (o.overload) {
+    cfg.admission_enabled = true;
+    cfg.resilience.retry_budget.enabled = true;
+    cfg.resilience.aimd.enabled = true;
+  }
   repl::DynamoCluster cluster(&s.rpc, cfg);
   const std::vector<sim::NodeId> servers = cluster.AddServers(o.servers);
   cluster.StartHintDelivery(500 * kMillisecond);
@@ -667,6 +708,11 @@ FuzzReport RunQuorumElastic(const FuzzOptions& o) {
   if (!o.use_oracle_detector) {
     ae_options.peer_usable = [&cluster](sim::NodeId self, sim::NodeId peer) {
       return cluster.PeerUsable(self, peer);
+    };
+  }
+  if (o.overload) {
+    ae_options.load_of = [&s](sim::NodeId self, sim::NodeId peer) {
+      return s.rpc.PeerLoad(self, peer);
     };
   }
   repl::AntiEntropy ae(&s.net, servers, storages, ae_options);
@@ -731,8 +777,7 @@ FuzzReport RunQuorumElastic(const FuzzOptions& o) {
       return;
     }
     const int n = sess.issued++;
-    const std::string key =
-        "k" + std::to_string(sess.rng.NextBounded(o.keyspace));
+    const std::string key = driver.Key(&sess.rng, o.keyspace);
     // Coordinators are drawn from the CURRENT committed membership — the
     // client-visible contract of the config service. A request can still
     // race a commit (pick a server that departs in flight); it then fails
@@ -908,8 +953,7 @@ FuzzReport RunTimeline(const FuzzOptions& o) {
       return;
     }
     const int n = sess.issued++;
-    const std::string key =
-        "k" + std::to_string(sess.rng.NextBounded(o.keyspace));
+    const std::string key = driver.Key(&sess.rng, o.keyspace);
     const int64_t invoke = s.sim.Now();
     if (sess.rng.NextBool(0.5)) {
       const std::string value = UniqueValue(i, n);
@@ -1092,8 +1136,7 @@ FuzzReport RunEdgeCache(const FuzzOptions& o) {
       return;
     }
     const int n = sess.issued++;
-    const std::string key =
-        "k" + std::to_string(sess.rng.NextBounded(o.keyspace));
+    const std::string key = driver.Key(&sess.rng, o.keyspace);
     const int64_t invoke = s.sim.Now();
     if (sess.rng.NextBool(0.5)) {
       const std::string value = UniqueValue(i, n);
@@ -1227,8 +1270,7 @@ FuzzReport RunCausal(const FuzzOptions& o) {
       return;
     }
     const int n = sess.issued++;
-    const std::string key =
-        "k" + std::to_string(sess.rng.NextBounded(o.keyspace));
+    const std::string key = driver.Key(&sess.rng, o.keyspace);
     if (sess.rng.NextBool(0.5)) {
       const std::string value = UniqueValue(i, n);
       // The dependency context the client will attach to this write.

@@ -90,6 +90,14 @@ struct FuzzOptions {
   /// session guarantees are not asserted in this mode — sloppy quorums
   /// trade RYW for availability by design.
   bool elastic_sloppy = false;
+  /// Overload mode (--profile=overload): arms the nemesis load family
+  /// (set nemesis.allow_load_spikes too), routes kFlashCrowd / kLoadSpike
+  /// through the driver's pacing (offered load multiplies, hot keys
+  /// rotate), and turns the overload defenses on for the quorum stores —
+  /// server admission control plus client retry budgets and AIMD limits.
+  /// The claims checked are unchanged: shedding and failing fast are legal
+  /// under overload; corrupting state or failing to converge is not.
+  bool overload = false;
   /// Event-scheduler implementation for the run's simulator. The two
   /// schedulers promise identical (when, seq) execution order; the 25-seed
   /// differential harness (tests/simcore_diff_test.cc) runs every seed

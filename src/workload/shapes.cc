@@ -1,0 +1,66 @@
+#include "workload/shapes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace evc::workload {
+
+FlashCrowd::FlashCrowd(FlashCrowdConfig config) : config_(config) {
+  EVC_CHECK(config_.base_multiplier > 0.0);
+  EVC_CHECK(config_.spike_multiplier > 0.0);
+  EVC_CHECK(config_.spike_duration >= 0);
+  EVC_CHECK(config_.ramp >= 0);
+}
+
+double FlashCrowd::MultiplierAt(sim::Time now) const {
+  const sim::Time start = config_.spike_start;
+  const sim::Time end = start + config_.spike_duration;
+  const double base = config_.base_multiplier;
+  const double peak = config_.spike_multiplier;
+  if (config_.ramp <= 0) {
+    return (now >= start && now < end) ? peak : base;
+  }
+  // Ramped edges: base before start, linear up over [start, start+ramp),
+  // peak until end, linear down over [end, end+ramp), base after.
+  if (now < start) return base;
+  if (now < start + config_.ramp) {
+    const double f = static_cast<double>(now - start) /
+                     static_cast<double>(config_.ramp);
+    return base + (peak - base) * f;
+  }
+  if (now < end) return peak;
+  if (now < end + config_.ramp) {
+    const double f = static_cast<double>(now - end) /
+                     static_cast<double>(config_.ramp);
+    return peak + (base - peak) * f;
+  }
+  return base;
+}
+
+sim::Time FlashCrowd::GapAt(sim::Time now, sim::Time nominal_gap) const {
+  const double multiplier = MultiplierAt(now);
+  return std::max<sim::Time>(
+      1, static_cast<sim::Time>(static_cast<double>(nominal_gap) / multiplier));
+}
+
+HotKeyShift::HotKeyShift(std::unique_ptr<KeyDistribution> inner, uint64_t seed)
+    : inner_(std::move(inner)), rng_(seed) {
+  EVC_CHECK(inner_ != nullptr);
+}
+
+uint64_t HotKeyShift::Next(Rng& rng) {
+  const uint64_t n = inner_->item_count();
+  return (inner_->Next(rng) + offset_) % n;
+}
+
+void HotKeyShift::Shift() {
+  const uint64_t n = inner_->item_count();
+  ++epoch_;
+  if (n < 2) return;
+  // Draw a nonzero delta so a shift always moves the hot set; the previous
+  // hottest item can never remain hottest.
+  offset_ = (offset_ + 1 + rng_.NextBounded(n - 1)) % n;
+}
+
+}  // namespace evc::workload

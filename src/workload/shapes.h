@@ -1,0 +1,89 @@
+// Time-varying workload shapes for overload experiments.
+//
+// The YCSB-style generator (workload.h) answers "which op next?"; the shapes
+// here answer "how fast, and aimed where?" as a function of simulated time.
+// Both are pure functions of their config and seed, so an overload scenario
+// replays bit-identically:
+//
+//   * FlashCrowd — a multiplicative load profile: nominal traffic, then a
+//     spike_multiplier step (optionally ramped) over [spike_start,
+//     spike_start + spike_duration), then nominal again. Closed over sim
+//     time, so any producer can ask "what is the load factor right now?"
+//     and scale its inter-arrival gaps by the inverse.
+//
+//   * HotKeyShift — wraps any KeyDistribution and rotates which physical
+//     keys the popular ranks land on. Each Shift() re-aims the hot set at a
+//     fresh region of the keyspace, which is how real incidents start:
+//     traffic doesn't just grow, it moves (a viral item, a failover, a
+//     redirected tenant), defeating caches warmed for the old hot set.
+//
+// bench_fig12_overload composes both: a 5x flash crowd whose spike also
+// shifts the hot keys is the canonical metastable-failure trigger.
+
+#ifndef EVC_WORKLOAD_SHAPES_H_
+#define EVC_WORKLOAD_SHAPES_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace evc::workload {
+
+struct FlashCrowdConfig {
+  double base_multiplier = 1.0;
+  double spike_multiplier = 5.0;
+  sim::Time spike_start = 5 * sim::kSecond;
+  sim::Time spike_duration = 5 * sim::kSecond;
+  /// Linear ramp applied to both edges of the spike; 0 = instant step.
+  sim::Time ramp = 0;
+};
+
+/// Deterministic load-multiplier profile over simulated time.
+class FlashCrowd {
+ public:
+  explicit FlashCrowd(FlashCrowdConfig config);
+
+  /// Offered-load multiplier at `now` (>= 0; base outside the spike).
+  double MultiplierAt(sim::Time now) const;
+
+  /// Scales a nominal mean inter-arrival gap by the inverse multiplier:
+  /// doubled load means halved gaps. Never returns less than 1 tick.
+  sim::Time GapAt(sim::Time now, sim::Time nominal_gap) const;
+
+  const FlashCrowdConfig& config() const { return config_; }
+
+ private:
+  FlashCrowdConfig config_;
+};
+
+/// Wraps a KeyDistribution and rotates which physical keys are popular.
+/// Rank r maps to item (r + offset) mod n; Shift() draws a fresh offset
+/// from the shape's own seeded rng (guaranteed to actually move), so the
+/// shift schedule is independent of how many draws the workload made.
+class HotKeyShift : public KeyDistribution {
+ public:
+  /// `inner` supplies the popularity law (e.g. ZipfianDistribution).
+  HotKeyShift(std::unique_ptr<KeyDistribution> inner, uint64_t seed);
+
+  uint64_t Next(Rng& rng) override;
+  uint64_t item_count() const override { return inner_->item_count(); }
+
+  /// Re-aims the hot set at a fresh offset. Never a no-op for n >= 2.
+  void Shift();
+
+  uint64_t epoch() const { return epoch_; }
+  uint64_t offset() const { return offset_; }
+
+ private:
+  std::unique_ptr<KeyDistribution> inner_;
+  Rng rng_;  ///< drives offsets only, never draws — see class comment
+  uint64_t offset_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace evc::workload
+
+#endif  // EVC_WORKLOAD_SHAPES_H_

@@ -1,0 +1,230 @@
+// Server-side admission control: priority classes, bounded queues with
+// retry-after rejections, CoDel-style sojourn shedding, the piggybacked
+// load signal, and crash semantics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resilience/admission.h"
+#include "sim/latency.h"
+#include "sim/rpc.h"
+
+namespace evc::resilience {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+TEST(RetryAfterHintTest, RoundTripsThroughTheStatusMessage) {
+  const Status shed = ResourceExhaustedWithRetryAfter(50 * kMillisecond);
+  EXPECT_TRUE(shed.IsResourceExhausted());
+  EXPECT_EQ(RetryAfterHint(shed), 50 * kMillisecond);
+  // Absent or foreign statuses carry no hint.
+  EXPECT_EQ(RetryAfterHint(Status::OK()), 0);
+  EXPECT_EQ(RetryAfterHint(Status::Unavailable("overloaded")), 0);
+  EXPECT_EQ(RetryAfterHint(Status::ResourceExhausted("no tag here")), 0);
+}
+
+struct Req {
+  int id = 0;
+};
+
+class AdmissionQueueTest : public ::testing::Test {
+ protected:
+  AdmissionQueueTest()
+      : sim_(17),
+        net_(&sim_, std::make_unique<sim::ConstantLatency>(5 * kMillisecond)),
+        rpc_(&net_) {
+    client_ = net_.AddNode();
+    server_ = net_.AddNode();
+    m_work_ = rpc_.InternMethod("work");
+    m_bg_ = rpc_.InternMethod("bg.work");
+    m_ping_ = rpc_.InternMethod("ping");
+    for (sim::MethodId m : {m_work_, m_bg_, m_ping_}) {
+      rpc_.RegisterHandler(
+          server_, m, [this, m](sim::NodeId, sim::Payload req,
+                                sim::RpcResponder respond) {
+            served_.push_back({m, std::move(req).Take<Req>().id});
+            respond(true);
+          });
+    }
+  }
+
+  std::unique_ptr<AdmissionQueue> MakeGate(AdmissionOptions options) {
+    auto gate = std::make_unique<AdmissionQueue>(&rpc_, server_, options);
+    gate->SetPriority(m_ping_, AdmissionPriority::kControl);
+    gate->SetPriority(m_bg_, AdmissionPriority::kBackground);
+    return gate;
+  }
+
+  /// Issues one call and records its completion status by request id.
+  void Issue(sim::MethodId method, int id,
+             sim::Time timeout = 10 * kSecond) {
+    rpc_.Call(client_, server_, method, Req{id}, timeout,
+              [this, id](Result<sim::Payload> r) {
+                done_.push_back({id, r.status()});
+              });
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  sim::Rpc rpc_;
+  sim::NodeId client_ = 0;
+  sim::NodeId server_ = 0;
+  sim::MethodId m_work_ = 0;
+  sim::MethodId m_bg_ = 0;
+  sim::MethodId m_ping_ = 0;
+  std::vector<std::pair<sim::MethodId, int>> served_;  // dispatch order
+  std::vector<std::pair<int, Status>> done_;           // completion order
+};
+
+// Control traffic is never queued: with every service slot busy and a deep
+// foreground backlog, a ping still dispatches the instant it arrives.
+TEST_F(AdmissionQueueTest, ControlBypassesSlotsAndQueues) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.service_time = 100 * kMillisecond;
+  options.sojourn_target = 0;  // keep the backlog alive for the whole test
+  auto gate = MakeGate(options);
+
+  for (int i = 0; i < 4; ++i) Issue(m_work_, i);
+  Issue(m_ping_, 99);
+  sim_.RunFor(20 * kMillisecond);
+  // All requests landed at 5ms. One work request holds the only slot for
+  // 100ms; the ping was dispatched anyway and its reply is already back.
+  ASSERT_EQ(served_.size(), 2u);
+  EXPECT_EQ(served_[0], std::make_pair(m_work_, 0));
+  EXPECT_EQ(served_[1], std::make_pair(m_ping_, 99));
+  bool ping_done = false;
+  for (const auto& [id, status] : done_) {
+    if (id == 99) {
+      ping_done = true;
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    }
+  }
+  EXPECT_TRUE(ping_done);
+}
+
+// Foreground is served strictly before background, even when the background
+// request has been waiting longer.
+TEST_F(AdmissionQueueTest, ForegroundPreemptsQueuedBackground) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.service_time = 10 * kMillisecond;
+  options.sojourn_target = kSecond;  // no sheds in this test
+  auto gate = MakeGate(options);
+
+  // t=5ms: work#0 takes the slot. bg#1 queues first, work#2 queues second.
+  Issue(m_work_, 0);
+  Issue(m_bg_, 1);
+  Issue(m_work_, 2);
+  sim_.Run();
+  ASSERT_EQ(served_.size(), 3u);
+  EXPECT_EQ(served_[0].second, 0);
+  EXPECT_EQ(served_[1].second, 2);  // foreground overtakes the queued bg
+  EXPECT_EQ(served_[2].second, 1);
+  EXPECT_EQ(gate->stats().admitted, 3u);
+  EXPECT_EQ(gate->stats().total_shed(), 0u);
+}
+
+// A full class queue rejects at enqueue with kResourceExhausted carrying the
+// machine-readable retry-after hint.
+TEST_F(AdmissionQueueTest, FullQueueRejectsWithRetryAfter) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.service_time = 100 * kMillisecond;
+  options.foreground_queue_limit = 2;
+  options.sojourn_target = 0;
+  options.retry_after = 70 * kMillisecond;
+  auto gate = MakeGate(options);
+
+  // One in service + two queued = at capacity; two more are rejected.
+  for (int i = 0; i < 5; ++i) Issue(m_work_, i);
+  sim_.RunFor(50 * kMillisecond);
+  EXPECT_EQ(gate->stats().rejected_queue_full, 2u);
+  EXPECT_EQ(gate->stats().shed_foreground, 2u);
+  int rejected = 0;
+  for (const auto& [id, status] : done_) {
+    if (!status.IsResourceExhausted()) continue;
+    ++rejected;
+    EXPECT_GE(id, 3);  // the two arrivals past queue capacity
+    EXPECT_EQ(RetryAfterHint(status), 70 * kMillisecond);
+  }
+  EXPECT_EQ(rejected, 2);
+}
+
+// CoDel-style dequeue shed: work that waited past the sojourn target is
+// dropped instead of served — its caller has likely already given up.
+TEST_F(AdmissionQueueTest, SojournTargetShedsStaleWorkAtDequeue) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.service_time = 10 * kMillisecond;
+  options.sojourn_target = 5 * kMillisecond;
+  auto gate = MakeGate(options);
+
+  // All three arrive at t=5ms: #0 is served immediately; #1 and #2 reach
+  // the queue front at t=15ms with a 10ms sojourn — past the 5ms target.
+  for (int i = 0; i < 3; ++i) Issue(m_work_, i);
+  sim_.Run();
+  EXPECT_EQ(gate->stats().admitted, 1u);
+  EXPECT_EQ(gate->stats().shed_sojourn, 2u);
+  ASSERT_EQ(served_.size(), 1u);
+  EXPECT_EQ(served_[0].second, 0);
+}
+
+// The load signal is monotone in pressure: idle = 0, busy slots push it
+// toward 50, queued work pushes it toward 100.
+TEST_F(AdmissionQueueTest, LoadPercentTracksSlotsThenQueues) {
+  AdmissionOptions options;
+  options.max_concurrent = 2;
+  options.service_time = 100 * kMillisecond;
+  options.foreground_queue_limit = 8;
+  options.background_queue_limit = 8;
+  options.sojourn_target = 0;
+  auto gate = MakeGate(options);
+
+  EXPECT_EQ(gate->LoadPercent(), 0u);
+  Issue(m_work_, 0);
+  sim_.RunFor(6 * kMillisecond);  // one slot busy
+  EXPECT_EQ(gate->LoadPercent(), 25u);
+  Issue(m_work_, 1);
+  sim_.RunFor(6 * kMillisecond);  // both slots busy, nothing queued
+  EXPECT_EQ(gate->LoadPercent(), 50u);
+  for (int i = 2; i < 10; ++i) Issue(m_work_, i);
+  sim_.RunFor(6 * kMillisecond);  // 8 of 16 queue slots full
+  EXPECT_EQ(gate->LoadPercent(), 75u);
+  EXPECT_LE(gate->LoadPercent(), 100u);
+}
+
+// A crash drops queued requests and occupied slots; the old incarnation's
+// slot-release timers must not free the new incarnation's slots.
+TEST_F(AdmissionQueueTest, CrashClearsQueueAndRestartStartsFresh) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.service_time = 50 * kMillisecond;
+  options.sojourn_target = 0;
+  auto gate = MakeGate(options);
+
+  for (int i = 0; i < 3; ++i) Issue(m_work_, i);
+  sim_.RunFor(10 * kMillisecond);  // #0 in service, #1/#2 queued
+  EXPECT_EQ(gate->queue_depth(), 2u);
+
+  sim_.NotifyCrash(server_);
+  EXPECT_EQ(gate->queue_depth(), 0u);
+  sim_.NotifyRestart(server_);
+
+  // The new incarnation serves fresh work normally — and the pre-crash
+  // slot-release timer (due at 55ms) must not underflow its slot count.
+  served_.clear();
+  Issue(m_work_, 7);
+  sim_.Run();
+  ASSERT_EQ(served_.size(), 1u);
+  EXPECT_EQ(served_[0].second, 7);
+  EXPECT_EQ(gate->LoadPercent(), 0u);
+}
+
+}  // namespace
+}  // namespace evc::resilience

@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "resilience/admission.h"
 #include "resilience/resilient_rpc.h"
 #include "sim/latency.h"
 
@@ -39,6 +42,7 @@ TEST(RetryPolicy, JitterStaysInBandAndIsSeedDeterministic) {
   opts.initial_backoff = 100 * kMillisecond;
   opts.max_backoff = kSecond;
   opts.jitter = 0.2;
+  opts.jitter_mode = JitterMode::kEqual;  // the legacy +/-20% band
   RetryPolicy a(opts, 99);
   RetryPolicy b(opts, 99);
   RetryPolicy c(opts, 100);
@@ -55,6 +59,62 @@ TEST(RetryPolicy, JitterStaysInBandAndIsSeedDeterministic) {
     if (backoff != c.BackoffBefore(retry)) any_diff_from_c = true;
   }
   EXPECT_TRUE(any_diff_from_c);  // different seed, different jitter
+}
+
+// Satellite S1: the default jitter mode is FULL — each sleep is uniform in
+// (0, capped_backoff], not a narrow band around the nominal value.
+TEST(RetryPolicy, FullJitterDrawsSpanTheWholeWindow) {
+  RetryOptions opts;
+  opts.initial_backoff = 100 * kMillisecond;
+  opts.max_backoff = kSecond;
+  ASSERT_EQ(opts.jitter_mode, JitterMode::kFull);  // the default
+  RetryPolicy policy(opts, 7);
+  sim::Time lo = opts.max_backoff;
+  sim::Time hi = 0;
+  for (int i = 0; i < 200; ++i) {
+    const sim::Time b = policy.BackoffBefore(1);  // nominal 100ms
+    EXPECT_GE(b, 1);
+    EXPECT_LE(b, 100 * kMillisecond);
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  // 200 uniform draws cover the window: something landed in the bottom and
+  // top quarters, which the +/-20% band can never reach.
+  EXPECT_LT(lo, 25 * kMillisecond);
+  EXPECT_GT(hi, 75 * kMillisecond);
+}
+
+// Satellite S1 regression: N clients whose first attempts failed at the same
+// instant. Equal jitter re-arrives them inside a 40%-wide burst window — the
+// synchronized wave that feeds a metastable collapse. Full jitter spreads
+// the same wave over the whole backoff window.
+TEST(RetryPolicy, FullJitterBreaksUpSynchronizedRetryWave) {
+  constexpr int kClients = 64;
+  const auto spread_of = [](JitterMode mode) {
+    RetryOptions opts;
+    opts.initial_backoff = 100 * kMillisecond;
+    opts.max_backoff = kSecond;
+    opts.jitter = 0.2;
+    opts.jitter_mode = mode;
+    sim::Time lo = opts.max_backoff;
+    sim::Time hi = 0;
+    for (int c = 0; c < kClients; ++c) {
+      RetryPolicy policy(opts, 1000 + static_cast<uint64_t>(c));
+      const sim::Time b = policy.BackoffBefore(1);
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+    }
+    return std::make_pair(lo, hi);
+  };
+  const auto [equal_lo, equal_hi] = spread_of(JitterMode::kEqual);
+  const auto [full_lo, full_hi] = spread_of(JitterMode::kFull);
+  // The legacy band: every re-arrival inside [80ms, 120ms].
+  EXPECT_GE(equal_lo, 80 * kMillisecond - 1);
+  EXPECT_LE(equal_hi, 120 * kMillisecond + 1);
+  // Full jitter: the same cohort lands across (0, 100ms], at least twice as
+  // wide as the band and reaching far below it.
+  EXPECT_LT(full_lo, 40 * kMillisecond);
+  EXPECT_GT(full_hi - full_lo, 2 * (equal_hi - equal_lo));
 }
 
 // ---------------------------------------------------------------------------
@@ -289,6 +349,190 @@ TEST_F(ResilientRpcTest, FastPrimaryCancelsArmedHedge) {
   EXPECT_EQ(reply, "s1:y");  // primary answered at 10ms, before the 50ms hedge
   EXPECT_EQ(client->stats().hedges_issued, 0u);
   EXPECT_EQ(client->stats().hedges_won, 0u);
+}
+
+// Satellite S2: a hedge is an extra request, so an open breaker at the hedge
+// destination suppresses it — hedges were sneaking past the breaker and
+// adding load to a destination the client had already convicted.
+TEST_F(ResilientRpcTest, HedgeSuppressedWhenBreakerOpenAtHedgeTarget) {
+  ResilienceOptions options;
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_duration = 10 * kSecond;
+  auto client = MakeClient(options);
+
+  client->breaker().OnFailure(server2_, 0);  // trip the hedge target's breaker
+  net_.SetNodeProcessingDelay(server_, 300 * kMillisecond);  // slow primary
+
+  CallOptions opts;
+  opts.attempt_timeout = kSecond;
+  opts.hedge = true;
+  opts.hedge_to = server2_;
+  std::string reply;
+  client->Call(server_, "echo", EchoReq{"x"}, opts,
+               [&](Result<sim::Payload> r) {
+                 ASSERT_TRUE(r.ok());
+                 reply = std::move(*r).Take<std::string>();
+               });
+  sim_.Run();
+  // The hedge timer fired, saw the open breaker, and issued nothing; the
+  // slow primary eventually answered.
+  EXPECT_EQ(reply, "s1:x");
+  EXPECT_EQ(client->stats().hedges_issued, 0u);
+  EXPECT_EQ(client->stats().hedges_suppressed_breaker, 1u);
+}
+
+// Satellite S2: hedges debit the retry budget exactly like retries — under
+// overload a hedge is a retry that didn't even wait for the failure. An
+// exhausted budget suppresses the hedge instead of issuing it.
+TEST_F(ResilientRpcTest, HedgeDebitsRetryBudgetAndExhaustionSuppresses) {
+  ResilienceOptions options;
+  options.retry_budget.enabled = true;
+  options.retry_budget.initial_tokens = 1.0;
+  options.retry_budget.max_tokens = 1.0;
+  options.retry_budget.token_ratio = 0.0;  // no refill: isolate the debit
+  auto client = MakeClient(options);
+
+  net_.SetNodeProcessingDelay(server_, 300 * kMillisecond);  // hedges fire
+
+  CallOptions opts;
+  opts.attempt_timeout = kSecond;
+  opts.hedge = true;
+  opts.hedge_to = server2_;
+  std::string first_reply;
+  client->Call(server_, "echo", EchoReq{"a"}, opts,
+               [&](Result<sim::Payload> r) {
+                 ASSERT_TRUE(r.ok());
+                 first_reply = std::move(*r).Take<std::string>();
+               });
+  sim_.Run();
+  // The one token paid for the first hedge, which won.
+  EXPECT_EQ(first_reply, "s2:a");
+  EXPECT_EQ(client->stats().hedges_issued, 1u);
+  EXPECT_EQ(client->budget_tokens(server2_), 0.0);
+
+  std::string second_reply;
+  client->Call(server_, "echo", EchoReq{"b"}, opts,
+               [&](Result<sim::Payload> r) {
+                 ASSERT_TRUE(r.ok());
+                 second_reply = std::move(*r).Take<std::string>();
+               });
+  sim_.Run();
+  // No tokens left: the hedge is suppressed and the slow primary answers.
+  EXPECT_EQ(second_reply, "s1:b");
+  EXPECT_EQ(client->stats().hedges_issued, 1u);
+  EXPECT_EQ(client->stats().hedges_suppressed_budget, 1u);
+}
+
+// Tentpole: the per-destination retry budget fails calls fast once the
+// token bucket drains, capping retry amplification no matter how large the
+// per-call max_attempts is.
+TEST_F(ResilientRpcTest, RetryBudgetExhaustionFailsFast) {
+  ResilienceOptions options;
+  options.retry.initial_backoff = 10 * kMillisecond;
+  options.retry_budget.enabled = true;
+  options.retry_budget.initial_tokens = 1.0;
+  options.retry_budget.max_tokens = 1.0;
+  options.retry_budget.token_ratio = 0.0;
+  auto client = MakeClient(options);
+
+  net_.SetLinkDropRate(client_, server_, 1.0);  // never heals
+
+  CallOptions opts;
+  opts.attempt_timeout = 20 * kMillisecond;
+  opts.max_attempts = 5;
+  Status status = Status::OK();
+  client->Call(server_, "echo", EchoReq{"z"}, opts,
+               [&](Result<sim::Payload> r) { status = r.status(); });
+  sim_.Run();
+  // Five attempts were allowed per call, but the budget paid for exactly one
+  // retry: attempt 1 times out, the single token buys attempt 2, and the
+  // third attempt is refused with the last real error.
+  EXPECT_TRUE(status.IsTimedOut()) << status.ToString();
+  EXPECT_EQ(client->stats().attempts, 2u);
+  EXPECT_EQ(client->stats().retries, 1u);
+  EXPECT_EQ(client->stats().budget_exhausted, 1u);
+}
+
+// Tentpole: AIMD adaptive concurrency — calls over the per-destination
+// limit fail fast; successes grow the limit additively and overload signals
+// shrink it multiplicatively.
+TEST_F(ResilientRpcTest, AimdLimitRejectsOverConcurrencyAndAdapts) {
+  ResilienceOptions options;
+  options.aimd.enabled = true;
+  options.aimd.initial_limit = 1.0;
+  auto client = MakeClient(options);
+
+  CallOptions opts;
+  opts.attempt_timeout = kSecond;
+  std::string reply;
+  Status second = Status::OK();
+  client->Call(server_, "echo", EchoReq{"p"}, opts,
+               [&](Result<sim::Payload> r) {
+                 ASSERT_TRUE(r.ok());
+                 reply = std::move(*r).Take<std::string>();
+               });
+  // Issued while the first call is still in flight: over the limit of 1,
+  // rejected instantly (max_attempts = 1, so no retry path).
+  client->Call(server_, "echo", EchoReq{"q"}, opts,
+               [&](Result<sim::Payload> r) { second = r.status(); });
+  sim_.Run();
+  EXPECT_EQ(reply, "s1:p");
+  EXPECT_TRUE(second.IsUnavailable()) << second.ToString();
+  EXPECT_EQ(client->stats().limit_rejects, 1u);
+  // The success grew the limit additively: 1 + 1/1 = 2.
+  EXPECT_DOUBLE_EQ(client->concurrency_limit(server_), 2.0);
+
+  // An attempt timeout is an overload signal: multiplicative decrease.
+  net_.SetLinkDropRate(client_, server_, 1.0);
+  CallOptions short_opts;
+  short_opts.attempt_timeout = 20 * kMillisecond;
+  client->Call(server_, "echo", EchoReq{"r"}, short_opts,
+               [&](Result<sim::Payload>) {});
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(client->concurrency_limit(server_),
+                   2.0 * options.aimd.backoff_ratio);
+}
+
+// Tentpole: a kResourceExhausted shed is retryable (the server explicitly
+// asked the client to come back later) and its retry-after hint dominates
+// the local backoff policy. The shed must NOT convict the peer: it is a
+// live server managing load, not a dead one.
+TEST_F(ResilientRpcTest, ResourceExhaustedRetriesAfterServerHint) {
+  ResilienceOptions options;
+  options.retry.initial_backoff = 1 * kMillisecond;
+  auto client = MakeClient(options);
+
+  int serve_count = 0;
+  rpc_.RegisterHandler(
+      server_, "shed.then.ok",
+      [&](sim::NodeId, sim::Payload, sim::RpcResponder respond) {
+        if (++serve_count == 1) {
+          respond(ResourceExhaustedWithRetryAfter(200 * kMillisecond));
+        } else {
+          respond(std::string("served"));
+        }
+      });
+
+  CallOptions opts;
+  opts.attempt_timeout = kSecond;
+  opts.max_attempts = 2;
+  std::string reply;
+  sim::Time completed_at = -1;
+  client->Call(server_, "shed.then.ok", EchoReq{"w"}, opts,
+               [&](Result<sim::Payload> r) {
+                 ASSERT_TRUE(r.ok()) << r.status().ToString();
+                 reply = std::move(*r).Take<std::string>();
+                 completed_at = sim_.Now();
+               });
+  sim_.Run();
+  EXPECT_EQ(reply, "served");
+  EXPECT_EQ(client->stats().resource_exhausted_replies, 1u);
+  EXPECT_EQ(client->stats().retries, 1u);
+  // Shed reply lands at 10ms (5ms/hop); the retry waits the server's 200ms
+  // hint (not the 1ms local backoff) and completes one round trip later.
+  EXPECT_EQ(completed_at, 220 * kMillisecond);
+  // The shed fed the breaker/detector as a SUCCESS: the peer stays usable.
+  EXPECT_TRUE(client->PeerUsable(server_));
 }
 
 TEST_F(ResilientRpcTest, BreakerRejectsAfterRepeatedTimeouts) {

@@ -62,6 +62,9 @@ struct CliOptions {
 /// amnesia (volatile lease tables, recovery fences) and gray degradation
 /// (an unreachable lease holder must be waited out, never served around).
 /// Forces --amnesia: a durable lease table would make the fence dead code.
+/// "overload": flash crowds and hot-key-shifting load spikes against the
+/// quorum stores with the overload defenses armed — shedding is legal,
+/// corrupting state or failing to converge afterward is not.
 bool ApplyProfile(const std::string& profile,
                   evc::verify::FuzzOptions* options) {
   if (profile.empty()) return true;
@@ -92,6 +95,23 @@ bool ApplyProfile(const std::string& profile,
     options->nemesis.mean_fault_interval = evc::sim::kSecond;
     return true;
   }
+  if (profile == "overload") {
+    // Load is the fault under test: flash crowds and hot-key-shifting load
+    // spikes drive offered load past capacity while the quorum stores run
+    // with the overload defenses armed (admission control, retry budgets,
+    // AIMD limits). Clean partitions/crashes/loss off so every shed or
+    // failed op traces back to overload, never to an unreachable replica.
+    // Shedding and failing fast are legal; corrupting state or failing to
+    // converge after the load recedes is not.
+    options->overload = true;
+    options->nemesis.allow_load_spikes = true;
+    options->nemesis.allow_partitions = false;
+    options->nemesis.allow_crashes = false;
+    options->nemesis.allow_loss = false;
+    options->nemesis.allow_duplication = false;
+    options->nemesis.mean_fault_interval = 2 * evc::sim::kSecond;
+    return true;
+  }
   if (profile == "elastic") {
     // Reconfiguration is the fault under test: live joins/removals and
     // rolling restarts over gray-degraded links, with clean partitions,
@@ -117,7 +137,8 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--first-seed=S] [--store=NAME] "
                "[--seed=S] [--amnesia] "
-               "[--profile=crash-heavy|gray-heavy|edge-cache|elastic] "
+               "[--profile=crash-heavy|gray-heavy|edge-cache|elastic|"
+               "overload] "
                "[--verbose]\n"
                "  stores:",
                argv0);
