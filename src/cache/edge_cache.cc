@@ -85,7 +85,6 @@ void EdgeCacheClient::Get(const std::string& key, uint64_t min_seqno,
 
 void EdgeCacheClient::Put(const std::string& key, std::string value,
                           repl::TimelineCluster::WriteCallback done) {
-  // evc-lint: allow(discarded-status) reason=void callback API; name collides with Status Write() elsewhere
   tier_->cluster_->Write(
       node_, key, std::move(value),
       [this, key, done = std::move(done)](Result<uint64_t> r) {

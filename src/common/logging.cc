@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
@@ -16,7 +17,11 @@ LogLevel InitialLevel() {
   return LogLevel::kOff;
 }
 
-LogLevel g_level = InitialLevel();
+// Process-wide filter threshold. Atomic so a Runtime-thread log call racing
+// a startup SetLogLevel is a benign relaxed load, never UB; the level only
+// filters output and is invisible to replay-checked state.
+// evc-lint: allow(thread-hostile) reason=process-wide log filter, atomic relaxed, no replay-visible state
+std::atomic<LogLevel> g_level{InitialLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,12 +40,17 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
              ...) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) >
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
   const char* base = std::strrchr(file, '/');
   base = base ? base + 1 : file;
   std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), base, line);

@@ -17,7 +17,8 @@ enum class LogLevel : int {
   kOff = -1,
 };
 
-/// Global mutable log level (not thread-safe; set once at startup).
+/// Global log level (atomic; safe to read from Runtime threads, normally set
+/// once at startup).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 

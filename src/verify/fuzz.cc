@@ -960,7 +960,6 @@ FuzzReport RunTimeline(const FuzzOptions& o) {
       history.push_back(RecWrite(i, key, value, invoke, invoke,
                                  /*acked=*/false));
       const size_t slot = history.size() - 1;
-      // evc-lint: allow(discarded-status) reason=void callback API; name collides with Status Write() elsewhere
       cluster.Write(sess.node, key, value,
                     [&, i, key, value, slot](Result<uint64_t> r) {
                       if (r.ok()) {

@@ -1,0 +1,14 @@
+// Fixture: half of a deliberate include cycle (with layering_cycle_b.h).
+// Header guards make it compile; the include-cycle check must still flag it.
+#ifndef EVC_TESTS_LINT_FIXTURES_LAYERING_CYCLE_A_H_
+#define EVC_TESTS_LINT_FIXTURES_LAYERING_CYCLE_A_H_
+
+#include "layering_cycle_b.h"
+
+namespace fixture {
+struct A {
+  int payload;
+};
+}  // namespace fixture
+
+#endif  // EVC_TESTS_LINT_FIXTURES_LAYERING_CYCLE_A_H_

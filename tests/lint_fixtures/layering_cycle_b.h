@@ -1,0 +1,13 @@
+// Fixture: the other half of the deliberate include cycle.
+#ifndef EVC_TESTS_LINT_FIXTURES_LAYERING_CYCLE_B_H_
+#define EVC_TESTS_LINT_FIXTURES_LAYERING_CYCLE_B_H_
+
+#include "layering_cycle_a.h"
+
+namespace fixture {
+struct B {
+  int payload;
+};
+}  // namespace fixture
+
+#endif  // EVC_TESTS_LINT_FIXTURES_LAYERING_CYCLE_B_H_

@@ -1,0 +1,9 @@
+// Fixture: downward includes are the legal direction. Scanned under the
+// synthetic path src/sim/uses_common.cc — sim (rank 2) may depend on common
+// (rank 0) and obs (rank 1). Zero findings expected.
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace fixture {
+int UsesCommonFromSim() { return 2; }
+}  // namespace fixture

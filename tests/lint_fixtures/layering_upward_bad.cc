@@ -1,0 +1,8 @@
+// Fixture: an include that climbs the layer order. The test scans this
+// content under the synthetic path src/obs/uses_sim.cc — obs (rank 1) may
+// not reach up into sim (rank 2). One layering finding expected.
+#include "sim/simulator.h"
+
+namespace fixture {
+int UsesSimFromObs() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: pointer values flowing into program state. Four findings
+// expected: a percent-p format string, a reinterpret_cast to uintptr_t, a
+// C-style uintptr_t cast, and std::hash over a pointer type.
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+void LogNode(const Node* n) {
+  std::printf("node at %p\n", static_cast<const void*>(n));
+}
+
+uint64_t NodeKey(const Node* n) {
+  return reinterpret_cast<uintptr_t>(n);
+}
+
+uint64_t NodeKeyCStyle(const Node* n) {
+  return (uintptr_t)n;
+}
+
+size_t NodeHash(const Node* n) {
+  return std::hash<const Node*>{}(n);
+}
+
+}  // namespace fixture

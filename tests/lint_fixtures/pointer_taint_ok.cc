@@ -1,0 +1,31 @@
+// Fixture: the replay-stable alternatives — key and hash off stable ids,
+// never addresses; pointer casts stay pointer-to-pointer. Zero findings.
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace fixture {
+
+struct Node {
+  uint64_t id;
+  std::string name;
+};
+
+void LogNode(const Node* n) {
+  std::printf("node %llu\n", static_cast<unsigned long long>(n->id));
+}
+
+uint64_t NodeKey(const Node* n) { return n->id; }
+
+size_t NodeHash(const Node* n) { return std::hash<uint64_t>{}(n->id); }
+
+struct Header {
+  uint32_t magic;
+};
+
+const Header* AsHeader(const void* raw) {
+  return reinterpret_cast<const Header*>(raw);  // ptr-to-ptr: fine
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: thread-hostile state ahead of the Runtime port. Three findings
+// expected: a mutable namespace-scope global, a mutable function-local
+// static, and a thread_local. (Scanned under a synthetic src/ path — the
+// audit only applies to src/.)
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+uint64_t g_request_counter = 0;
+
+int NextTicket() {
+  static int ticket = 0;
+  return ++ticket;
+}
+
+thread_local std::string t_last_error;
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: thread-ready shapes — constants are fine, state is owned, and a
+// justified global carries an allow(). Zero findings expected.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+constexpr uint64_t kMaxInflight = 64;
+const std::string kClusterName = "evc";
+
+class TicketCounter {
+ public:
+  int Next() { return ++ticket_; }
+
+ private:
+  int ticket_ = 0;  // owned, per-instance: no cross-thread sharing
+};
+
+// evc-lint: allow(thread-hostile) reason=fixture demonstrating a justified global
+uint64_t g_sanctioned_counter = 0;
+
+int PlainLocal() {
+  int local = 3;  // plain locals are always fine
+  return local;
+}
+
+}  // namespace fixture

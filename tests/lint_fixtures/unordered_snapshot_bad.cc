@@ -1,0 +1,29 @@
+// Fixture: hash-order nondeterminism laundered through a snapshot copy.
+// Three findings expected: iterator-pair constructor, assign(), and a
+// back_inserter copy — none of the targets is ever sorted.
+#include <iterator>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::unordered_map<std::string, int> counters;
+
+std::vector<std::pair<std::string, int>> ExportedRows() {
+  std::vector<std::pair<std::string, int>> rows(counters.begin(),
+                                                counters.end());
+  return rows;  // hash order escapes into the export
+}
+
+void FillScratch(std::vector<std::pair<std::string, int>>* scratch) {
+  scratch->assign(counters.begin(), counters.end());
+}
+
+std::vector<std::pair<std::string, int>> Copied() {
+  std::vector<std::pair<std::string, int>> out;
+  std::copy(counters.begin(), counters.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: the legal way to snapshot a hash-ordered container — copy it out,
+// then sort before anything order-sensitive sees it. Zero findings expected.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::unordered_map<std::string, int> counters;
+
+std::vector<std::pair<std::string, int>> ExportedRows() {
+  std::vector<std::pair<std::string, int>> rows(counters.begin(),
+                                                counters.end());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+void FillScratch(std::vector<std::pair<std::string, int>>* scratch) {
+  scratch->assign(counters.begin(), counters.end());
+  std::sort(scratch->begin(), scratch->end());
+}
+
+}  // namespace fixture

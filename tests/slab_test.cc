@@ -14,6 +14,7 @@ TEST(SlabTest, BlocksAreAlignedAndWritable) {
   for (size_t size : {1u, 8u, 16u, 17u, 64u, 100u, 1024u}) {
     void* p = slab.Alloc(size);
     ASSERT_NE(p, nullptr);
+    // evc-lint: allow(pointer-taint) reason=alignment assertion only; the address never leaves the EXPECT
     EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Slab::kAlign, 0u) << size;
     std::memset(p, 0xab, size);
     slab.Free(p, size);

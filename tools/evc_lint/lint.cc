@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <regex>
 #include <sstream>
+#include <utility>
 
 namespace evc {
 namespace lint {
@@ -15,8 +18,13 @@ namespace {
 constexpr const char* kWallClock = "wall-clock";
 constexpr const char* kRawRandom = "raw-random";
 constexpr const char* kUnorderedIteration = "unordered-iteration";
+constexpr const char* kUnorderedSnapshot = "unordered-snapshot";
 constexpr const char* kDiscardedStatus = "discarded-status";
 constexpr const char* kCheckMacro = "check-macro";
+constexpr const char* kPointerTaint = "pointer-taint";
+constexpr const char* kThreadHostile = "thread-hostile";
+constexpr const char* kLayering = "layering";
+constexpr const char* kIncludeCycle = "include-cycle";
 constexpr const char* kBadSuppression = "bad-suppression";
 
 bool IsIdentChar(char c) {
@@ -32,6 +40,26 @@ std::string Trim(const std::string& s) {
   if (b == std::string::npos) return "";
   size_t e = s.find_last_not_of(" \t\r\n");
   return s.substr(b, e - b + 1);
+}
+
+/// All identifiers in `s`, in order of appearance.
+std::vector<std::string> IdentTokens(const std::string& s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (IsIdentStart(s[i])) {
+      size_t b = i;
+      while (i < s.size() && IsIdentChar(s[i])) ++i;
+      out.push_back(s.substr(b, i - b));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool HasToken(const std::vector<std::string>& tokens, const char* t) {
+  return std::find(tokens.begin(), tokens.end(), t) != tokens.end();
 }
 
 /// A suppression directive parsed from a comment.
@@ -51,6 +79,10 @@ struct Preprocessed {
   std::vector<int> line_of;
   std::vector<Suppression> suppressions;
   std::vector<Finding> bad_suppressions;  ///< malformed directives
+  /// Lines whose *string literals* contain the percent-p pointer conversion.
+  /// Tracked during stripping because it is the one check that must look
+  /// inside strings (format strings are where the bug lives).
+  std::set<int> pointer_format_lines;
 };
 
 /// Parses an evc-lint directive out of one comment's text. Returns true if
@@ -116,6 +148,7 @@ Preprocessed Preprocess(const std::string& path, const std::string& text) {
   int line = 1;
   std::string comment_text;  // accumulates the current comment's contents
   std::string raw_delim;     // delimiter of the current raw string
+  char prev_str = '\0';      // previous unescaped char inside a string literal
 
   auto emit = [&](char c) {
     out.code.push_back(c);
@@ -151,11 +184,13 @@ Preprocessed Preprocess(const std::string& path, const std::string& text) {
             if (paren != std::string::npos) {
               raw_delim = ")" + text.substr(i + 1, paren - i - 1) + "\"";
               state = State::kRaw;
+              prev_str = '\0';
               blank(c);
               break;
             }
           }
           state = State::kString;
+          prev_str = '\0';
           blank(c);
         } else if (c == '\'') {
           // C++14 digit separator (1'000'000) stays in code; anything else
@@ -193,6 +228,7 @@ Preprocessed Preprocess(const std::string& path, const std::string& text) {
         break;
       case State::kString:
         if (c == '\\' && next != '\0') {
+          prev_str = '\0';
           blank(c);
           blank(next);
           ++i;
@@ -200,6 +236,8 @@ Preprocessed Preprocess(const std::string& path, const std::string& text) {
           state = State::kCode;
           blank(c);
         } else {
+          if (prev_str == '%' && c == 'p') out.pointer_format_lines.insert(line);
+          prev_str = c;
           blank(c);
         }
         break;
@@ -221,6 +259,8 @@ Preprocessed Preprocess(const std::string& path, const std::string& text) {
           i += raw_delim.size() - 1;
           state = State::kCode;
         } else {
+          if (prev_str == '%' && c == 'p') out.pointer_format_lines.insert(line);
+          prev_str = c;
           blank(c);
         }
         break;
@@ -274,6 +314,11 @@ struct SymbolTable {
   std::set<std::string> unordered_names;
   std::set<std::string> unordered_aliases;  ///< using X = std::unordered_...
   std::set<std::string> status_fns;
+  /// Functions declared `void` somewhere in the set. A name in both sets is
+  /// ambiguous (the table matches by name, not by receiver type), so the
+  /// discarded-status check skips it — precision over recall; genuinely
+  /// dropped values are still caught by [[nodiscard]] + -Werror.
+  std::set<std::string> void_fns;
 };
 
 void CollectUnorderedNames(const std::string& code, SymbolTable* table) {
@@ -355,6 +400,13 @@ void CollectStatusFns(const std::string& code, SymbolTable* table) {
        it != end; ++it) {
     table->status_fns.insert((*it)[4].str());
   }
+  // `void Name(` declarations, for the ambiguity subtraction above.
+  static const std::regex kVoidFn(
+      "(^|[^:\\w<,])void\\s+([A-Za-z_]\\w*)\\s*\\(");
+  for (std::sregex_iterator it(code.begin(), code.end(), kVoidFn), end;
+       it != end; ++it) {
+    table->void_fns.insert((*it)[2].str());
+  }
   // `Result<...> Name(` declarations; angle brackets balanced manually.
   for (size_t pos = code.find("Result<"); pos != std::string::npos;
        pos = code.find("Result<", pos + 1)) {
@@ -378,7 +430,7 @@ int LineAt(const Preprocessed& pre, size_t offset) {
   return pre.line_of[offset];
 }
 
-/// Per-line regex checks: wall-clock, raw-random, check-macro.
+/// Per-line regex checks: wall-clock, raw-random, check-macro, pointer-taint.
 void RunLineChecks(const std::string& path, const Preprocessed& pre,
                    std::vector<Finding>* findings) {
   struct Rule {
@@ -421,6 +473,19 @@ void RunLineChecks(const std::string& path, const Preprocessed& pre,
        "EVC_CHECK"},
       {kCheckMacro, std::regex("#\\s*include\\s*[<\"](cassert|assert\\.h)[>\"]"),
        "<cassert> include; use EVC_CHECK from common/status.h"},
+      {kPointerTaint,
+       std::regex("reinterpret_cast\\s*<\\s*(std::)?(u?intptr_t|size_t|"
+                  "uint32_t|uint64_t|unsigned\\s+long(\\s+long)?|long\\s+"
+                  "long)\\b"),
+       "pointer-to-integer cast; addresses differ across runs (ASLR, "
+       "allocator state) and must never reach exported or replay-visible "
+       "state"},
+      {kPointerTaint, std::regex("\\(\\s*(std::)?u?intptr_t\\s*\\)"),
+       "C-style pointer-to-integer cast; addresses differ across runs and "
+       "must never reach exported or replay-visible state"},
+      {kPointerTaint, std::regex("\\bhash\\s*<\\s*[^<>;]*\\*\\s*>"),
+       "std::hash over a pointer type hashes an address; hash a stable id "
+       "(node name, key, sequence number) instead"},
   };
 
   // The obs exporter shim is the one place allowed to touch the real clock
@@ -439,6 +504,14 @@ void RunLineChecks(const std::string& path, const Preprocessed& pre,
         break;  // one finding per line is enough signal
       }
     }
+  }
+  // The one in-string pattern: percent-p format conversions, recorded during
+  // stripping (see Preprocessed::pointer_format_lines).
+  for (int ln : pre.pointer_format_lines) {
+    findings->push_back(
+        {kPointerTaint, path, ln,
+         "format string contains the percent-p pointer conversion; addresses "
+         "differ across runs and poison logged/exported state"});
   }
 }
 
@@ -510,11 +583,144 @@ void RunUnorderedIterationCheck(const std::string& path,
   }
 }
 
+/// Walks the receiver chain (identifiers, '.', '->', '::') backwards from
+/// `pos`, returning the chain's start offset.
+size_t ChainStart(const std::string& code, size_t pos) {
+  size_t chain_start = pos;
+  while (chain_start > 0) {
+    char c = code[chain_start - 1];
+    if (IsIdentChar(c) || c == '.' || c == ':') {
+      --chain_start;
+    } else if (c == '>' && chain_start >= 2 && code[chain_start - 2] == '-') {
+      chain_start -= 2;
+    } else {
+      break;
+    }
+  }
+  return chain_start;
+}
+
+/// unordered-snapshot: contents of a hash-ordered container copied into
+/// another container (iterator-pair constructor, assign(), insert(),
+/// back_inserter copies) with no std::sort of the target anywhere after —
+/// the classic laundering of hash-order nondeterminism past the
+/// unordered-iteration check.
+void RunUnorderedSnapshotCheck(const std::string& path, const Preprocessed& pre,
+                               const SymbolTable& table,
+                               std::vector<Finding>* findings) {
+  const std::string& code = pre.code;
+
+  // Is `target` ever passed to a sort call at or after `from`?
+  auto sorted_later = [&](const std::string& target, size_t from) {
+    for (size_t s = code.find("sort", from); s != std::string::npos;
+         s = code.find("sort", s + 1)) {
+      if (s > 0 && IsIdentChar(code[s - 1]) && code[s - 1] != ':') continue;
+      size_t p = SkipSpaces(code, s + 4);
+      if (p >= code.size() || code[p] != '(') continue;
+      size_t end = BalanceParens(code, p);
+      if (end == std::string::npos) continue;
+      std::string args = code.substr(p, end - p);
+      for (const std::string& tok : IdentTokens(args)) {
+        if (tok == target) return true;
+      }
+    }
+    return false;
+  };
+
+  for (size_t pos = code.find(".begin"); pos != std::string::npos;
+       pos = code.find(".begin", pos + 1)) {
+    size_t after = SkipSpaces(code, pos + 6);
+    if (after >= code.size() || code[after] != '(') continue;
+    size_t chain_start = ChainStart(code, pos);
+    std::string ident =
+        TrailingIdentifier(code.substr(chain_start, pos - chain_start));
+    if (ident.empty() || table.unordered_names.count(ident) == 0) continue;
+
+    // Enclosing statement: must be a whole-container copy (mentions .end too)
+    // and not already sorted in the same statement.
+    size_t stmt_begin = chain_start;
+    while (stmt_begin > 0 && code[stmt_begin - 1] != ';' &&
+           code[stmt_begin - 1] != '{' && code[stmt_begin - 1] != '}') {
+      --stmt_begin;
+    }
+    size_t stmt_end = code.find(';', pos);
+    if (stmt_end == std::string::npos) continue;
+    std::string stmt = code.substr(stmt_begin, stmt_end - stmt_begin);
+    if (stmt.find(".end") == std::string::npos) continue;
+    std::vector<std::string> stmt_tokens = IdentTokens(stmt);
+    if (!stmt_tokens.empty() && stmt_tokens.front() == "for") continue;
+    if (HasToken(stmt_tokens, "sort")) continue;
+    if (HasToken(stmt_tokens, "return")) continue;  // caller's problem to sort
+
+    // Identify the copy target.
+    std::string target;
+    size_t before = chain_start;
+    while (before > stmt_begin &&
+           std::isspace(static_cast<unsigned char>(code[before - 1]))) {
+      --before;
+    }
+    // assign()/insert() reached via '.' or '->'.
+    auto member_call = [&](const char* name) -> size_t {
+      for (size_t p = stmt.find(name); p != std::string::npos;
+           p = stmt.find(name, p + 1)) {
+        if (p > 0 && (stmt[p - 1] == '.' ||
+                      (stmt[p - 1] == '>' && p > 1 && stmt[p - 2] == '-'))) {
+          return p;
+        }
+      }
+      return std::string::npos;
+    };
+    size_t assign_pos = member_call("assign");
+    size_t insert_pos = member_call("insert");
+    size_t call_pos = std::min(assign_pos, insert_pos);
+    size_t back_ins = stmt.find("back_inserter");
+    if (call_pos != std::string::npos) {
+      size_t recv_end = stmt[call_pos - 1] == '.' ? call_pos - 1 : call_pos - 2;
+      target = TrailingIdentifier(stmt.substr(0, recv_end));
+    } else if (back_ins != std::string::npos) {
+      size_t p = SkipSpaces(stmt, back_ins + 13);
+      if (p < stmt.size() && stmt[p] == '(') {
+        size_t e = BalanceParens(stmt, p);
+        if (e != std::string::npos) {
+          target = TrailingIdentifier(stmt.substr(p + 1, e - p - 2));
+        }
+      }
+    } else if (before > stmt_begin && code[before - 1] == '(') {
+      // Constructor / callable: identifier directly before the '('.
+      size_t q = before - 1;
+      while (q > stmt_begin &&
+             std::isspace(static_cast<unsigned char>(code[q - 1]))) {
+        --q;
+      }
+      size_t name_end = q;
+      while (q > stmt_begin && IsIdentChar(code[q - 1])) --q;
+      target = code.substr(q, name_end - q);
+    }
+    if (target.empty()) {
+      // `auto v = std::vector<T>(m.begin(), m.end())` — declarator before '='.
+      size_t eq = stmt.find('=');
+      if (eq != std::string::npos) {
+        target = TrailingIdentifier(stmt.substr(0, eq));
+      }
+    }
+    if (target.empty() || target == ident) continue;
+    if (sorted_later(target, stmt_end)) continue;
+
+    findings->push_back(
+        {kUnorderedSnapshot, path, LineAt(pre, pos),
+         "contents of hash-ordered '" + ident + "' copied into '" + target +
+             "' and never sorted; the copy launders hash-order "
+             "nondeterminism past the iteration check — std::sort it (or "
+             "allow() with the reason order is irrelevant downstream)"});
+  }
+}
+
 void RunDiscardedStatusCheck(const std::string& path, const Preprocessed& pre,
                              const SymbolTable& table,
                              std::vector<Finding>* findings) {
   const std::string& code = pre.code;
   for (const std::string& fn : table.status_fns) {
+    if (table.void_fns.count(fn) > 0) continue;  // ambiguous name, see above
     for (size_t pos = code.find(fn); pos != std::string::npos;
          pos = code.find(fn, pos + 1)) {
       if (pos > 0 && IsIdentChar(code[pos - 1])) continue;  // substring match
@@ -522,18 +728,7 @@ void RunDiscardedStatusCheck(const std::string& path, const Preprocessed& pre,
       size_t paren = SkipSpaces(code, after_name);
       if (paren >= code.size() || code[paren] != '(') continue;
       // Walk back over the receiver chain: identifiers, '.', '->', '::'.
-      size_t chain_start = pos;
-      while (chain_start > 0) {
-        char c = code[chain_start - 1];
-        if (IsIdentChar(c) || c == '.' || c == ':') {
-          --chain_start;
-        } else if (c == '>' && chain_start >= 2 &&
-                   code[chain_start - 2] == '-') {
-          chain_start -= 2;
-        } else {
-          break;
-        }
-      }
+      size_t chain_start = ChainStart(code, pos);
       // The chain must begin a statement: preceded (ignoring whitespace) by
       // ';', '{', '}', or the start of the file. Anything else means the
       // value is consumed (assignment, return, argument, condition, decl).
@@ -560,6 +755,577 @@ void RunDiscardedStatusCheck(const std::string& path, const Preprocessed& pre,
   }
 }
 
+// ---------------------------------------------------------------------------
+// thread-hostility audit (src/ only)
+// ---------------------------------------------------------------------------
+
+/// Blanks preprocessor logical lines (including backslash continuations) so
+/// macro bodies containing braces don't desync the scope scanner. Length and
+/// newlines are preserved, so offsets still map to lines.
+std::string WithoutPreprocessorLines(const std::string& code) {
+  std::string out = code;
+  size_t i = 0;
+  while (i < out.size()) {
+    size_t j = i;
+    while (j < out.size() && (out[j] == ' ' || out[j] == '\t')) ++j;
+    bool pp = j < out.size() && out[j] == '#';
+    size_t end = i;
+    for (;;) {
+      size_t nl = out.find('\n', end);
+      if (nl == std::string::npos) {
+        end = out.size();
+        break;
+      }
+      bool cont = false;
+      if (nl > i) {
+        size_t last = nl - 1;
+        if (out[last] == '\r' && last > i) --last;
+        cont = out[last] == '\\';
+      }
+      end = nl + 1;
+      if (!(pp && cont)) break;
+    }
+    if (pp) {
+      for (size_t k = i; k < end; ++k) {
+        if (out[k] != '\n') out[k] = ' ';
+      }
+    }
+    i = end;
+  }
+  return out;
+}
+
+/// Scope kinds tracked by the thread-hostility scanner.
+///   'n' namespace (incl. top level, extern "C")
+///   'c' class/struct/union/enum body
+///   'b' function/lambda/control-flow block
+///   'i' brace initializer
+char ClassifyScope(const std::string& header_in, char parent) {
+  std::string h = Trim(header_in);
+  if (h.empty()) return parent == 'c' ? 'c' : 'b';
+  std::vector<std::string> tokens = IdentTokens(h);
+  if (HasToken(tokens, "namespace")) return 'n';
+  bool paren = h.find('(') != std::string::npos;
+  if (!paren && (HasToken(tokens, "class") || HasToken(tokens, "struct") ||
+                 HasToken(tokens, "union") || HasToken(tokens, "enum"))) {
+    return 'c';
+  }
+  if (h.back() == ')' || h.back() == ']') return 'b';
+  if (!tokens.empty()) {
+    const std::string& last = tokens.back();
+    if (last == "try" || last == "else" || last == "do" || last == "const" ||
+        last == "noexcept" || last == "override" || last == "final" ||
+        last == "mutable" || last == "catch") {
+      return 'b';
+    }
+  }
+  if (paren) return 'b';
+  if (tokens.size() == 1 && tokens[0] == "extern") return 'n';
+  return 'i';
+}
+
+/// Statement-level classifier: flags mutable namespace-scope globals (scope
+/// 'n') and mutable `static` function-locals (scope 'b'). Heuristic by
+/// design: `const`/`constexpr`/`constinit` anywhere in the declaration makes
+/// it clean (so `const char* p` — a mutable pointer to const — passes; the
+/// audit targets the common shapes, DESIGN.md documents the limitation).
+void MaybeFlagDeclaration(const std::string& stmt, char scope,
+                          const std::string& path, int line,
+                          std::vector<Finding>* findings) {
+  std::string t = Trim(stmt);
+  if (t.empty()) return;
+  std::vector<std::string> tokens = IdentTokens(t);
+  if (tokens.empty()) return;
+  static const std::set<std::string>* skip_first = new std::set<std::string>{
+      "using",   "typedef",  "template", "friend",   "static_assert",
+      "extern",  "namespace", "return",  "if",       "for",
+      "while",   "do",       "switch",   "case",     "default",
+      "break",   "continue", "goto",     "public",   "private",
+      "protected", "class",  "struct",   "enum",     "union",
+      "throw",   "delete",   "new",      "else",     "try",
+      "catch",   "co_return", "co_await", "asm"};
+  if (skip_first->count(tokens[0]) > 0) return;
+  if (tokens[0].rfind("EVC_", 0) == 0) return;  // macro invocation
+  bool is_static = HasToken(tokens, "static");
+  if (scope == 'b' && !is_static) return;  // plain locals are fine
+  if (HasToken(tokens, "const") || HasToken(tokens, "constexpr") ||
+      HasToken(tokens, "constinit") || HasToken(tokens, "thread_local")) {
+    return;  // thread_local reported separately, with its own message
+  }
+  if (t.find("operator") != std::string::npos) return;
+  size_t eq = t.find('=');
+  size_t par = t.find('(');
+  // '(' before any '=' means a parameter list: function decl/def, not data.
+  if (par != std::string::npos &&
+      (eq == std::string::npos || par < eq)) {
+    return;
+  }
+  std::string head = eq == std::string::npos ? t : t.substr(0, eq);
+  std::vector<std::string> decl;
+  for (const std::string& tok : IdentTokens(head)) {
+    if (tok != "static" && tok != "inline" && tok != "volatile") {
+      decl.push_back(tok);
+    }
+  }
+  if (decl.size() < 2) return;  // need at least <type> <name>
+  const std::string& name = decl.back();
+  if (!IsIdentStart(name[0])) return;
+  std::string msg =
+      scope == 'n'
+          ? "mutable namespace-scope global '" + name +
+                "'; shared state becomes a data race (and a cross-run "
+                "divergence source) the day this code runs on the real "
+                "Runtime threads (ROADMAP item 2) — refactor into owned "
+                "state or add a reasoned allow()"
+          : "mutable function-local static '" + name +
+                "'; hidden shared state across calls becomes a data race "
+                "under the real Runtime threads (ROADMAP item 2) — hoist it "
+                "into owned state or add a reasoned allow()";
+  findings->push_back({kThreadHostile, path, line, std::move(msg)});
+}
+
+bool PathIsInSrc(const std::string& path);  // fwd (defined with layer model)
+
+void RunThreadHostileCheck(const std::string& path, const Preprocessed& pre,
+                           std::vector<Finding>* findings) {
+  if (!PathIsInSrc(path)) return;
+  std::string code = WithoutPreprocessorLines(pre.code);
+
+  // thread_local anywhere (any scope) is a per-thread divergence source.
+  static const std::regex kThreadLocal("\\bthread_local\\b");
+  for (std::sregex_iterator it(code.begin(), code.end(), kThreadLocal), end;
+       it != end; ++it) {
+    findings->push_back(
+        {kThreadHostile, path, LineAt(pre, static_cast<size_t>(it->position())),
+         "thread_local storage; per-thread state diverges between the "
+         "single-threaded sim and the real Runtime (ROADMAP item 2) — pass "
+         "explicit per-worker state or add a reasoned allow()"});
+  }
+
+  // Scope-tracking statement scan.
+  std::vector<char> scopes = {'n'};
+  size_t stmt_start = 0;
+  int paren_depth = 0;
+  auto stmt_line = [&](size_t begin, size_t end) {
+    size_t p = begin;
+    while (p < end && std::isspace(static_cast<unsigned char>(code[p]))) ++p;
+    return LineAt(pre, p);
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    char c = code[i];
+    if (c == '(') {
+      ++paren_depth;
+    } else if (c == ')') {
+      if (paren_depth > 0) --paren_depth;
+    } else if (c == ';' && paren_depth == 0) {
+      char cur = scopes.back();
+      if (cur == 'n' || cur == 'b') {
+        MaybeFlagDeclaration(code.substr(stmt_start, i - stmt_start), cur,
+                             path, stmt_line(stmt_start, i), findings);
+      }
+      stmt_start = i + 1;
+    } else if (c == '{' && paren_depth == 0) {
+      std::string header = code.substr(stmt_start, i - stmt_start);
+      char cur = scopes.back();
+      char kind = ClassifyScope(header, cur);
+      if (kind == 'i' && (cur == 'n' || cur == 'b')) {
+        // `Type name{init};` — the header is itself the declaration.
+        MaybeFlagDeclaration(header, cur, path, stmt_line(stmt_start, i),
+                             findings);
+      }
+      scopes.push_back(kind);
+      stmt_start = i + 1;
+    } else if (c == '}' && paren_depth == 0) {
+      if (scopes.size() > 1) scopes.pop_back();
+      stmt_start = i + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer model + include-graph passes
+// ---------------------------------------------------------------------------
+
+/// The declared layer order. Rank N may include rank <= N; an include whose
+/// target rank exceeds the includer's rank climbs the order and is a
+/// layering finding. Same-rank edges are legal but cycle-checked.
+const std::map<std::string, int>& LayerRanks() {
+  static const std::map<std::string, int>* ranks =
+      new std::map<std::string, int>{
+          {"common", 0},
+          {"clock", 1},
+          {"obs", 1},  // owned by the Simulator (metrics/tracing), below sim
+          {"sim", 2},
+          {"net", 3},  // sim/network*, sim/nemesis*, sim/latency*
+          {"rpc", 3},  // sim/rpc*
+          {"storage", 4},
+          {"crdt", 4},
+          {"cache", 5},
+          {"causal", 5},
+          {"consensus", 5},
+          {"core", 5},
+          {"membership", 5},
+          {"replication", 5},
+          {"resilience", 5},
+          {"session", 5},
+          {"sla", 5},
+          {"stale", 5},
+          {"txn", 5},
+          {"verify", 6},
+          {"workload", 6},
+          {"api", 7},  // src/evc.h umbrella header
+          {"bench", 8},
+          {"examples", 8},
+          {"tests", 8},
+          {"tools", 8},
+      };
+  return *ranks;
+}
+
+/// Store-layer set: the code the Runtime port (ROADMAP item 2) must lift off
+/// the simulator; --runtime-worklist reports its direct sim:: references.
+const std::set<std::string>& StoreLayers() {
+  static const std::set<std::string>* layers = new std::set<std::string>{
+      "cache", "causal", "consensus",  "core", "membership", "replication",
+      "resilience", "session", "sla", "stale", "txn"};
+  return *layers;
+}
+
+int RankOf(const std::string& layer) {
+  auto it = LayerRanks().find(layer);
+  return it == LayerRanks().end() ? -1 : it->second;
+}
+
+bool IsAnchorComponent(const std::string& c) {
+  return c == "src" || c == "bench" || c == "tools" || c == "tests" ||
+         c == "examples";
+}
+
+/// `path` split at its last src/bench/tools/tests/examples component.
+struct PathAnchor {
+  bool ok = false;
+  std::string root;    ///< prefix before the anchor ("" or "/root/repo/")
+  std::string anchor;  ///< the anchor component itself
+  std::vector<std::string> rest;  ///< components after the anchor
+};
+
+PathAnchor SplitAnchor(const std::string& path) {
+  std::vector<std::pair<std::string, size_t>> comps;  // (component, offset)
+  size_t i = 0;
+  while (i < path.size()) {
+    if (path[i] == '/') {
+      ++i;
+      continue;
+    }
+    size_t b = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    std::string comp = path.substr(b, i - b);
+    if (comp != ".") comps.emplace_back(std::move(comp), b);
+  }
+  PathAnchor out;
+  size_t anchor_idx = comps.size();
+  for (size_t k = 0; k < comps.size(); ++k) {
+    if (IsAnchorComponent(comps[k].first)) anchor_idx = k;
+  }
+  if (anchor_idx == comps.size()) return out;
+  out.ok = true;
+  out.anchor = comps[anchor_idx].first;
+  out.root = path.substr(0, comps[anchor_idx].second);
+  for (size_t k = anchor_idx + 1; k < comps.size(); ++k) {
+    out.rest.push_back(comps[k].first);
+  }
+  return out;
+}
+
+bool PathIsInSrc(const std::string& path) {
+  PathAnchor a = SplitAnchor(path);
+  return a.ok && a.anchor == "src";
+}
+
+/// src/sim/ splits into three layers: the simulator core ("sim"), the
+/// network/fault files layered on top of it ("net"), and the rpc stack on
+/// top of those ("rpc").
+std::string SimSubLayer(const std::string& basename) {
+  if (basename.rfind("network", 0) == 0 || basename.rfind("nemesis", 0) == 0 ||
+      basename.rfind("latency", 0) == 0) {
+    return "net";
+  }
+  if (basename.rfind("rpc", 0) == 0) return "rpc";
+  return "sim";
+}
+
+/// Layer inferred from an include string ("sim/rpc.h" -> "rpc") when the
+/// include does not resolve to a scanned file. Unknown shapes -> "".
+std::string LayerOfInclude(const std::string& inc) {
+  if (inc == "evc.h") return "api";
+  size_t slash = inc.find('/');
+  if (slash == std::string::npos) return "";
+  std::string first = inc.substr(0, slash);
+  if (first == "sim") return SimSubLayer(inc.substr(inc.rfind('/') + 1));
+  return LayerRanks().count(first) > 0 ? first : "";
+}
+
+std::string NormalizePath(const std::string& path) {
+  return std::filesystem::path(path).lexically_normal().generic_string();
+}
+
+/// A quoted include extracted from raw text (the stripped code blanks string
+/// literals, so the path only survives in the raw line; the stripped line is
+/// consulted to drop includes that live inside comments).
+struct IncludeRef {
+  std::string inc;
+  int line = 0;
+};
+
+std::vector<IncludeRef> ExtractIncludes(const std::string& raw,
+                                        const std::string& stripped) {
+  std::vector<IncludeRef> out;
+  static const std::regex kInc(
+      "^[ \\t]*#[ \\t]*include[ \\t]*\"([^\"]+)\"");
+  std::istringstream rs(raw);
+  std::istringstream cs(stripped);
+  std::string rline;
+  std::string cline;
+  int line = 0;
+  while (std::getline(rs, rline)) {
+    ++line;
+    if (!std::getline(cs, cline)) cline.clear();
+    std::smatch m;
+    if (std::regex_search(rline, m, kInc) &&
+        cline.find('#') != std::string::npos) {
+      out.push_back({m[1].str(), line});
+    }
+  }
+  return out;
+}
+
+/// Resolves an include against the scanned file set: relative to the
+/// includer's directory first, then against the repo roots the includer's
+/// own path implies. Returns the file index or -1.
+int ResolveInclude(const std::string& includer, const std::string& inc,
+                   const std::map<std::string, int>& by_path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> candidates;
+  candidates.push_back(
+      (fs::path(includer).parent_path() / inc).lexically_normal()
+          .generic_string());
+  PathAnchor a = SplitAnchor(includer);
+  if (a.ok) {
+    for (const char* root_dir : {"src", "tools", "bench", "tests"}) {
+      candidates.push_back(NormalizePath(a.root + root_dir + "/" + inc));
+    }
+  }
+  candidates.push_back(NormalizePath(inc));
+  for (const std::string& cand : candidates) {
+    auto it = by_path.find(cand);
+    if (it != by_path.end()) return it->second;
+  }
+  return -1;
+}
+
+/// One analyzed include edge.
+struct IncludeEdge {
+  std::string inc;           ///< as written in the #include
+  int line = 0;              ///< 1-based line of the #include
+  int target = -1;           ///< index into the file set, or -1
+  std::string target_layer;  ///< resolved or inferred; may be ""
+};
+
+/// Whole-set include analysis shared by the layering/cycle checks, the DOT
+/// export and the runtime worklist.
+struct IncludeGraph {
+  std::vector<std::string> layer;          ///< per file; may be ""
+  std::vector<int> rank;                   ///< per file; -1 if unknown
+  std::vector<std::vector<IncludeEdge>> edges;  ///< per file
+};
+
+IncludeGraph BuildIncludeGraph(const std::vector<SourceFile>& files,
+                               const std::vector<Preprocessed>& pres) {
+  IncludeGraph g;
+  g.layer.resize(files.size());
+  g.rank.resize(files.size(), -1);
+  g.edges.resize(files.size());
+  std::map<std::string, int> by_path;
+  for (size_t i = 0; i < files.size(); ++i) {
+    by_path.emplace(NormalizePath(files[i].path), static_cast<int>(i));
+  }
+  // Two passes: layers first, then edges — an edge's target layer must be
+  // readable even when the target file sorts after the includer.
+  for (size_t i = 0; i < files.size(); ++i) {
+    g.layer[i] = LayerOfPath(files[i].path);
+    g.rank[i] = RankOf(g.layer[i]);
+  }
+  for (size_t i = 0; i < files.size(); ++i) {
+    for (IncludeRef& ref :
+         ExtractIncludes(files[i].content, pres[i].code)) {
+      IncludeEdge e;
+      e.inc = ref.inc;
+      e.line = ref.line;
+      e.target = ResolveInclude(files[i].path, ref.inc, by_path);
+      e.target_layer = e.target >= 0 ? g.layer[e.target]
+                                     : LayerOfInclude(ref.inc);
+      g.edges[i].push_back(std::move(e));
+    }
+  }
+  return g;
+}
+
+/// Layering findings: files outside the declared layer map, and includes
+/// that climb the layer order.
+void RunLayeringChecks(const std::vector<SourceFile>& files,
+                       const IncludeGraph& g,
+                       std::map<std::string, std::vector<Finding>>* extra) {
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::string& path = files[i].path;
+    if (!g.layer[i].empty() && g.rank[i] < 0) {
+      (*extra)[path].push_back(
+          {kLayering, path, 1,
+           "directory '" + g.layer[i] +
+               "' is not in the declared layer order; add it to kLayerRanks "
+               "(tools/evc_lint/lint.cc) at the rank its dependencies "
+               "justify"});
+      continue;
+    }
+    if (g.rank[i] < 0) continue;  // outside the layer map entirely
+    for (const IncludeEdge& e : g.edges[i]) {
+      int target_rank = RankOf(e.target_layer);
+      if (target_rank < 0) continue;
+      if (target_rank > g.rank[i]) {
+        (*extra)[path].push_back(
+            {kLayering, path, e.line,
+             "include of '" + e.inc + "' climbs the layer order: '" +
+                 g.layer[i] + "' (rank " + std::to_string(g.rank[i]) +
+                 ") may not depend on '" + e.target_layer + "' (rank " +
+                 std::to_string(target_rank) +
+                 "); invert the dependency or move the shared piece to a "
+                 "lower layer"});
+      }
+    }
+  }
+}
+
+/// include-cycle findings: cycles in the file-level include graph, plus
+/// cycles between same-rank layers. Each distinct cycle is reported once,
+/// anchored at its lexicographically-smallest member.
+void RunCycleChecks(const std::vector<SourceFile>& files,
+                    const IncludeGraph& g,
+                    std::map<std::string, std::vector<Finding>>* extra) {
+  size_t n = files.size();
+
+  // --- file-level cycles ---
+  std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+  std::vector<int> stack;
+  std::set<std::string> seen_cycles;
+  auto edge_line = [&](int from, int to) {
+    for (const IncludeEdge& e : g.edges[from]) {
+      if (e.target == to) return e.line;
+    }
+    return 1;
+  };
+  std::function<void(int)> dfs = [&](int u) {
+    color[u] = 1;
+    stack.push_back(u);
+    for (const IncludeEdge& e : g.edges[u]) {
+      int v = e.target;
+      if (v < 0) continue;
+      if (color[v] == 0) {
+        dfs(v);
+      } else if (color[v] == 1) {
+        // Found a cycle: the stack suffix from v to u.
+        size_t start = 0;
+        for (size_t k = 0; k < stack.size(); ++k) {
+          if (stack[k] == v) {
+            start = k;
+            break;
+          }
+        }
+        std::vector<int> cycle(stack.begin() + start, stack.end());
+        // Rotate so the smallest path leads, for stable dedup + reporting.
+        size_t min_at = 0;
+        for (size_t k = 1; k < cycle.size(); ++k) {
+          if (files[cycle[k]].path < files[cycle[min_at]].path) min_at = k;
+        }
+        std::rotate(cycle.begin(), cycle.begin() + min_at, cycle.end());
+        std::string chain;
+        for (int idx : cycle) chain += files[idx].path + " -> ";
+        chain += files[cycle[0]].path;
+        if (seen_cycles.insert(chain).second) {
+          const std::string& path = files[cycle[0]].path;
+          int next = cycle.size() > 1 ? cycle[1] : cycle[0];
+          (*extra)[path].push_back(
+              {kIncludeCycle, path, edge_line(cycle[0], next),
+               "include cycle: " + chain +
+                   " (header guards only hide it; hoist the shared "
+                   "declarations into a lower layer)"});
+        }
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (color[i] == 0) dfs(static_cast<int>(i));
+  }
+
+  // --- same-rank layer cycles ---
+  // layer -> layer -> representative (file path, line)
+  std::map<std::string, std::map<std::string, std::pair<std::string, int>>>
+      ladj;
+  for (size_t i = 0; i < n; ++i) {
+    if (g.rank[i] < 0) continue;
+    for (const IncludeEdge& e : g.edges[i]) {
+      if (e.target_layer.empty() || e.target_layer == g.layer[i]) continue;
+      if (RankOf(e.target_layer) != g.rank[i]) continue;
+      auto& slot = ladj[g.layer[i]][e.target_layer];
+      if (slot.first.empty()) slot = {files[i].path, e.line};
+    }
+  }
+  std::map<std::string, int> lcolor;
+  std::vector<std::string> lstack;
+  std::set<std::string> seen_lcycles;
+  std::function<void(const std::string&)> ldfs = [&](const std::string& u) {
+    lcolor[u] = 1;
+    lstack.push_back(u);
+    for (const auto& [v, rep] : ladj[u]) {
+      if (lcolor[v] == 0) {
+        ldfs(v);
+      } else if (lcolor[v] == 1) {
+        size_t start = 0;
+        for (size_t k = 0; k < lstack.size(); ++k) {
+          if (lstack[k] == v) {
+            start = k;
+            break;
+          }
+        }
+        std::vector<std::string> cycle(lstack.begin() + start, lstack.end());
+        size_t min_at = 0;
+        for (size_t k = 1; k < cycle.size(); ++k) {
+          if (cycle[k] < cycle[min_at]) min_at = k;
+        }
+        std::rotate(cycle.begin(), cycle.begin() + min_at, cycle.end());
+        std::string chain;
+        for (const std::string& l : cycle) chain += l + " -> ";
+        chain += cycle[0];
+        if (seen_lcycles.insert(chain).second) {
+          const auto& rep = ladj[cycle[0]].begin()->second;
+          (*extra)[rep.first].push_back(
+              {kIncludeCycle, rep.first, rep.second,
+               "cycle between same-rank layers: " + chain +
+                   " (same-rank includes are legal only while acyclic; split "
+                   "the layers across ranks or break the back edge)"});
+        }
+      }
+    }
+    lstack.pop_back();
+    lcolor[u] = 2;
+  };
+  std::vector<std::string> layer_nodes;
+  for (const auto& [u, _] : ladj) layer_nodes.push_back(u);
+  for (const std::string& u : layer_nodes) {
+    if (lcolor[u] == 0) ldfs(u);
+  }
+}
+
 bool IsSuppressed(std::vector<Suppression>& sups, const Finding& f) {
   for (Suppression& sup : sups) {
     if (sup.checks.count(f.check) > 0 &&
@@ -575,9 +1341,22 @@ bool IsSuppressed(std::vector<Suppression>& sups, const Finding& f) {
 
 const std::vector<std::string>& AllCheckNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
-      kWallClock, kRawRandom, kUnorderedIteration, kDiscardedStatus,
-      kCheckMacro};
+      kWallClock,        kRawRandom,     kUnorderedIteration,
+      kUnorderedSnapshot, kDiscardedStatus, kCheckMacro,
+      kPointerTaint,     kThreadHostile, kLayering,
+      kIncludeCycle};
   return *names;
+}
+
+std::string LayerOfPath(const std::string& path) {
+  PathAnchor a = SplitAnchor(path);
+  if (!a.ok) return "";
+  if (a.anchor != "src") return a.anchor;
+  if (a.rest.empty()) return "";
+  if (a.rest.size() == 1) return "api";  // src/evc.h umbrella header
+  const std::string& module = a.rest.front();
+  if (module == "sim") return SimSubLayer(a.rest.back());
+  return module;
 }
 
 std::vector<Finding> ScanFiles(const std::vector<SourceFile>& files,
@@ -600,6 +1379,15 @@ std::vector<Finding> ScanFiles(const std::vector<SourceFile>& files,
     return options.only_checks.empty() || options.only_checks.count(check) > 0;
   };
 
+  // Whole-set passes over the include graph; findings are attributed to the
+  // includer file so its suppressions apply.
+  std::map<std::string, std::vector<Finding>> graph_findings;
+  if (enabled(kLayering) || enabled(kIncludeCycle)) {
+    IncludeGraph graph = BuildIncludeGraph(files, pres);
+    if (enabled(kLayering)) RunLayeringChecks(files, graph, &graph_findings);
+    if (enabled(kIncludeCycle)) RunCycleChecks(files, graph, &graph_findings);
+  }
+
   std::vector<Finding> all;
   for (size_t i = 0; i < files.size(); ++i) {
     const std::string& path = files[i].path;
@@ -609,8 +1397,19 @@ std::vector<Finding> ScanFiles(const std::vector<SourceFile>& files,
     if (enabled(kUnorderedIteration)) {
       RunUnorderedIterationCheck(path, pre, table, &raw);
     }
+    if (enabled(kUnorderedSnapshot)) {
+      RunUnorderedSnapshotCheck(path, pre, table, &raw);
+    }
     if (enabled(kDiscardedStatus)) {
       RunDiscardedStatusCheck(path, pre, table, &raw);
+    }
+    if (enabled(kThreadHostile)) {
+      RunThreadHostileCheck(path, pre, &raw);
+    }
+    auto git = graph_findings.find(path);
+    if (git != graph_findings.end()) {
+      for (Finding& f : git->second) raw.push_back(std::move(f));
+      git->second.clear();
     }
     for (Finding& f : raw) {
       if (!enabled(f.check.c_str())) continue;
@@ -627,41 +1426,182 @@ std::vector<Finding> ScanFiles(const std::vector<SourceFile>& files,
   return all;
 }
 
-std::vector<Finding> ScanPaths(const std::vector<std::string>& paths,
-                               const Options& options,
-                               std::vector<std::string>* errors) {
+std::vector<std::string> ListSourceFiles(const std::vector<std::string>& paths,
+                                         std::vector<std::string>* errors) {
   namespace fs = std::filesystem;
-  std::vector<SourceFile> files;
-  auto load = [&](const fs::path& p) {
-    std::ifstream in(p, std::ios::binary);
-    if (!in) {
-      errors->push_back("cannot read " + p.string());
+  std::vector<std::string> out;
+  // readdir order is filesystem-dependent; sorting each directory's entries
+  // bytewise before recursing makes the walk (and so every downstream report)
+  // byte-identical across machines.
+  std::function<void(const fs::path&)> walk = [&](const fs::path& dir) {
+    std::vector<fs::path> entries;
+    std::error_code ec;
+    for (auto it = fs::directory_iterator(dir, ec);
+         !ec && it != fs::directory_iterator(); it.increment(ec)) {
+      entries.push_back(it->path());
+    }
+    if (ec) {
+      errors->push_back("cannot list " + dir.generic_string());
       return;
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    files.push_back({p.generic_string(), ss.str()});
+    std::sort(entries.begin(), entries.end(),
+              [](const fs::path& a, const fs::path& b) {
+                return a.generic_string() < b.generic_string();
+              });
+    for (const fs::path& e : entries) {
+      std::error_code ec2;
+      if (fs::is_directory(e, ec2)) {
+        walk(e);
+      } else if (fs::is_regular_file(e, ec2)) {
+        std::string ext = e.extension().string();
+        if (ext == ".cc" || ext == ".h") out.push_back(e.generic_string());
+      }
+    }
   };
   for (const std::string& path : paths) {
     fs::path p(path);
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
-      std::vector<fs::path> found;
-      for (auto it = fs::recursive_directory_iterator(p, ec);
-           it != fs::recursive_directory_iterator(); ++it) {
-        if (!it->is_regular_file()) continue;
-        std::string ext = it->path().extension().string();
-        if (ext == ".cc" || ext == ".h") found.push_back(it->path());
-      }
-      std::sort(found.begin(), found.end());
-      for (const fs::path& f : found) load(f);
+      walk(p);
     } else if (fs::is_regular_file(p, ec)) {
-      load(p);
+      out.push_back(p.generic_string());  // explicit files skip the ext filter
     } else {
       errors->push_back("no such file or directory: " + path);
     }
   }
-  return ScanFiles(files, options);
+  return out;
+}
+
+namespace {
+
+bool Excluded(const std::string& path, const Options& options) {
+  for (const std::string& sub : options.excludes) {
+    if (!sub.empty() && path.find(sub) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::vector<SourceFile> LoadFiles(const std::vector<std::string>& paths,
+                                  const Options& options,
+                                  std::vector<std::string>* errors) {
+  std::vector<SourceFile> files;
+  for (const std::string& path : ListSourceFiles(paths, errors)) {
+    if (Excluded(path, options)) continue;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      errors->push_back("cannot read " + path);
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back({path, ss.str()});
+  }
+  return files;
+}
+
+/// Graphviz DOT render of the observed layer graph (see --layers=dot).
+std::vector<std::string> RenderLayerDot(const std::vector<SourceFile>& files) {
+  std::vector<Preprocessed> pres;
+  pres.reserve(files.size());
+  for (const SourceFile& f : files) pres.push_back(Preprocess(f.path, f.content));
+  IncludeGraph g = BuildIncludeGraph(files, pres);
+
+  std::set<std::string> layers;
+  std::map<std::pair<std::string, std::string>, bool> edges;  // -> upward?
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (g.rank[i] < 0) continue;
+    layers.insert(g.layer[i]);
+    for (const IncludeEdge& e : g.edges[i]) {
+      int tr = RankOf(e.target_layer);
+      if (tr < 0 || e.target_layer == g.layer[i]) continue;
+      layers.insert(e.target_layer);
+      edges[{g.layer[i], e.target_layer}] = tr > g.rank[i];
+    }
+  }
+
+  std::vector<std::string> out;
+  out.push_back("digraph evc_layers {");
+  out.push_back("  rankdir=BT;  // arrows point at dependencies; low ranks sink");
+  out.push_back("  node [shape=box, fontname=\"Helvetica\"];");
+  std::map<int, std::vector<std::string>> by_rank;
+  for (const std::string& l : layers) by_rank[RankOf(l)].push_back(l);
+  for (const auto& [rank, names] : by_rank) {
+    std::string line = "  { rank=same;";
+    for (const std::string& l : names) line += " \"" + l + "\";";
+    line += " }  // rank " + std::to_string(rank);
+    out.push_back(line);
+  }
+  for (const auto& [pair, upward] : edges) {
+    std::string line = "  \"" + pair.first + "\" -> \"" + pair.second + "\"";
+    if (upward) line += " [color=red, penwidth=2, label=\"UPWARD\"]";
+    line += ";";
+    out.push_back(line);
+  }
+  out.push_back("}");
+  return out;
+}
+
+/// Every direct sim:: reference inside store-layer code: the call sites the
+/// Runtime port (ROADMAP item 2) must route through the runtime abstraction.
+std::vector<std::string> RenderRuntimeWorklist(
+    const std::vector<SourceFile>& files) {
+  std::vector<std::string> out;
+  static const std::regex kSimRef("\\bsim::([A-Za-z_]\\w*)");
+  int refs = 0;
+  int touched_files = 0;
+  for (const SourceFile& f : files) {
+    if (StoreLayers().count(LayerOfPath(f.path)) == 0) continue;
+    Preprocessed pre = Preprocess(f.path, f.content);
+    std::set<std::pair<int, std::string>> sites;
+    for (std::sregex_iterator it(pre.code.begin(), pre.code.end(), kSimRef),
+         end;
+         it != end; ++it) {
+      sites.emplace(LineAt(pre, static_cast<size_t>(it->position())),
+                    (*it)[1].str());
+    }
+    if (sites.empty()) continue;
+    ++touched_files;
+    for (const auto& [line, sym] : sites) {
+      out.push_back(f.path + ":" + std::to_string(line) + ": sim::" + sym);
+      ++refs;
+    }
+  }
+  out.push_back("runtime-worklist: " + std::to_string(refs) +
+                " sim:: reference(s) across " + std::to_string(touched_files) +
+                " store-layer file(s) to route through the Runtime "
+                "abstraction (ROADMAP item 2)");
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> ScanPaths(const std::vector<std::string>& paths,
+                               const Options& options,
+                               std::vector<std::string>* errors) {
+  return ScanFiles(LoadFiles(paths, options, errors), options);
 }
 
 std::string FormatFinding(const Finding& finding) {
@@ -669,10 +1609,27 @@ std::string FormatFinding(const Finding& finding) {
          finding.check + "] " + finding.message;
 }
 
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "" : ",") << "\n  {\"path\": \"" << JsonEscape(f.file)
+       << "\", \"line\": " << f.line << ", \"check\": \""
+       << JsonEscape(f.check) << "\", \"message\": \""
+       << JsonEscape(f.message) << "\"}";
+  }
+  os << (findings.empty() ? "]" : "\n]");
+  return os.str();
+}
+
 int RunCommandLine(const std::vector<std::string>& args,
                    std::vector<std::string>* out) {
   Options options;
   bool werror = false;
+  bool json = false;
+  bool layers_dot = false;
+  bool runtime_worklist = false;
   std::vector<std::string> paths;
   for (const std::string& arg : args) {
     if (arg == "--werror") {
@@ -693,13 +1650,46 @@ int RunCommandLine(const std::vector<std::string>& args,
         }
         options.only_checks.insert(name);
       }
+    } else if (arg.rfind("--exclude=", 0) == 0) {
+      std::stringstream ss(arg.substr(10));
+      std::string sub;
+      while (std::getline(ss, sub, ',')) {
+        sub = Trim(sub);
+        if (!sub.empty()) options.excludes.push_back(sub);
+      }
+    } else if (arg.rfind("--format=", 0) == 0) {
+      std::string fmt = arg.substr(9);
+      if (fmt == "json") {
+        json = true;
+      } else if (fmt != "text") {
+        out->push_back("evc_lint: unknown format '" + fmt +
+                       "' (expected text or json)");
+        return 2;
+      }
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      if (arg.substr(9) != "dot") {
+        out->push_back("evc_lint: unknown layers format '" + arg.substr(9) +
+                       "' (expected dot)");
+        return 2;
+      }
+      layers_dot = true;
+    } else if (arg == "--runtime-worklist") {
+      runtime_worklist = true;
     } else if (arg == "--help" || arg == "-h") {
       out->push_back(
-          "usage: evc_lint [--werror] [--check=name,...] [--list-checks] "
-          "[paths...]");
+          "usage: evc_lint [--werror] [--check=name,...] [--exclude=substr,"
+          "...] [--format=text|json] [--layers=dot] [--runtime-worklist] "
+          "[--list-checks] [paths...]");
       out->push_back(
           "scans .cc/.h files (default paths: src bench tools) for "
-          "determinism and error-discipline violations");
+          "determinism, layering, thread-readiness and error-discipline "
+          "violations");
+      out->push_back(
+          "  --layers=dot         print the observed layer graph as "
+          "Graphviz DOT and exit");
+      out->push_back(
+          "  --runtime-worklist   list sim:: references in store-layer code "
+          "(the Runtime-port migration worklist) and exit");
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       out->push_back("evc_lint: unknown flag '" + arg + "'");
@@ -711,9 +1701,28 @@ int RunCommandLine(const std::vector<std::string>& args,
   if (paths.empty()) paths = {"src", "bench", "tools"};
 
   std::vector<std::string> errors;
-  std::vector<Finding> findings = ScanPaths(paths, options, &errors);
+  std::vector<SourceFile> files = LoadFiles(paths, options, &errors);
   for (const std::string& err : errors) out->push_back("evc_lint: " + err);
   if (!errors.empty()) return 2;
+
+  if (layers_dot) {
+    for (std::string& line : RenderLayerDot(files)) {
+      out->push_back(std::move(line));
+    }
+    return 0;
+  }
+  if (runtime_worklist) {
+    for (std::string& line : RenderRuntimeWorklist(files)) {
+      out->push_back(std::move(line));
+    }
+    return 0;
+  }
+
+  std::vector<Finding> findings = ScanFiles(files, options);
+  if (json) {
+    out->push_back(FindingsToJson(findings));
+    return findings.empty() ? 0 : (werror ? 1 : 0);
+  }
   for (const Finding& f : findings) out->push_back(FormatFinding(f));
   if (findings.empty()) {
     out->push_back("evc_lint: clean");
